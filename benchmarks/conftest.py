@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and asserts
+the published numbers, timing the regeneration with pytest-benchmark.
+Heavy artifacts (the full cross-test run) are computed once per session.
+"""
+
+import pytest
+
+from repro.crosstest.report import run_crosstest
+from repro.dataset.cbs import load_cbs_issues
+from repro.dataset.incidents import load_incidents
+from repro.dataset.opensource import load_failures
+
+
+@pytest.fixture(scope="session")
+def failures():
+    return load_failures()
+
+
+@pytest.fixture(scope="session")
+def incidents():
+    return load_incidents()
+
+
+@pytest.fixture(scope="session")
+def cbs_issues():
+    return load_cbs_issues()
+
+
+@pytest.fixture(scope="session")
+def crosstest_report():
+    """The full §8 run: 8 plans x 3 formats x 422 inputs."""
+    return run_crosstest()
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive function with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,36 @@
+"""Ablation: backend-format diversity.
+
+§8.2's "exposing internal configurations of the downstream" category
+exists because the serializers are not interchangeable. Restricting the
+run to a single format hides the format-lattice discrepancies.
+"""
+
+from repro.crosstest.classify import found_discrepancies
+
+
+def test_bench_ablation_formats(crosstest_report, benchmark):
+    trials = crosstest_report.trials
+
+    def ablate():
+        return {
+            fmt: found_discrepancies(
+                [t for t in trials if t.fmt == fmt]
+            )
+            for fmt in ("orc", "parquet", "avro")
+        }
+
+    found = benchmark.pedantic(ablate, rounds=1, iterations=1)
+
+    print("\nformat ablation: discrepancies found per backend")
+    for fmt, numbers in found.items():
+        print(f"  {fmt:8} {len(numbers):>2}  {sorted(numbers)}")
+
+    # the Avro-lattice family needs Avro in the mix
+    assert {1, 3} <= found["avro"]
+    assert 1 not in found["orc"]
+    assert 1 not in found["parquet"]
+    # #4 (map keys) is a *cross-format* differential: a single-format run
+    # cannot observe it at all
+    assert all(4 not in numbers for numbers in found.values())
+    union = set().union(*found.values())
+    assert union | {4} == set(range(1, 16))

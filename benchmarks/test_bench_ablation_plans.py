@@ -1,0 +1,66 @@
+"""Ablation: which plan groups are needed to find which discrepancies.
+
+The paper's setup crosses system boundaries (Spark-to-Hive and
+Hive-to-Spark plans) on purpose: same-system testing alone misses the
+discrepancies that live in the other engine's read path. This bench
+quantifies that: classify the full run restricted to each plan group.
+"""
+
+from repro.crosstest.classify import found_discrepancies
+
+
+def _subset(trials, group):
+    return [t for t in trials if t.plan.group == group]
+
+
+def test_bench_ablation_plan_groups(crosstest_report, benchmark):
+    trials = crosstest_report.trials
+
+    def ablate():
+        return {
+            group: found_discrepancies(_subset(trials, group))
+            for group in ("spark_e2e", "spark_hive", "hive_spark")
+        }
+
+    found = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    full = found_discrepancies(trials)
+
+    print("\nplan-group ablation: discrepancies found")
+    print(f"  full matrix:    {len(full):>2}  {sorted(full)}")
+    for group, numbers in found.items():
+        print(f"  {group:14} {len(numbers):>2}  {sorted(numbers)}")
+
+    assert full == set(range(1, 16))
+    # the Hive-reader-only discrepancies are invisible to Spark-to-Spark
+    assert 2 not in found["spark_e2e"]
+    assert 6 not in found["spark_e2e"]
+    assert 7 not in found["spark_e2e"]
+    # they appear exactly on the cross-system plans
+    assert {2, 6, 7} <= found["spark_hive"]
+    # and no single group finds everything
+    for group, numbers in found.items():
+        assert numbers < full, f"{group} alone should not find all 15"
+
+
+def test_bench_ablation_valid_vs_invalid_inputs(crosstest_report, benchmark):
+    trials = crosstest_report.trials
+
+    def ablate():
+        valid_only = [t for t in trials if t.test_input.valid]
+        invalid_only = [t for t in trials if not t.test_input.valid]
+        return (
+            found_discrepancies(valid_only),
+            found_discrepancies(invalid_only),
+        )
+
+    valid_found, invalid_found = benchmark.pedantic(
+        ablate, rounds=1, iterations=1
+    )
+    print("\ninput-validity ablation")
+    print(f"  valid inputs only:   {len(valid_found):>2}  {sorted(valid_found)}")
+    print(f"  invalid inputs only: {len(invalid_found):>2}  {sorted(invalid_found)}")
+
+    # error-handling discrepancies need invalid data; WR/type ones need valid
+    assert {5, 9, 10, 11, 12, 15} <= invalid_found
+    assert {1, 2, 3, 6, 7, 8} <= valid_found
+    assert valid_found | invalid_found == set(range(1, 16))

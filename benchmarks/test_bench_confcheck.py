@@ -1,0 +1,57 @@
+"""Extension bench: pre-deployment cross-system configuration checking.
+
+§6.2.1's implication made executable: every configuration-plane failure
+from the scenario set is caught by the checker *before* deployment, and
+the coherent deployments produce no false positives.
+"""
+
+from repro.confcheck import Deployment, check_deployment, default_rules
+from repro.flinklite.configs import HEAP_CUTOFF_RATIO, FlinkConf
+from repro.sparklite.conf import SparkConf
+from repro.yarnlite.configs import (
+    INCREMENT_MB,
+    MIN_ALLOC_MB,
+    SCHEDULER_CLASS,
+    YarnConf,
+)
+
+
+def _deployment(**tweaks):
+    yarn, flink, spark = YarnConf(), FlinkConf(), SparkConf()
+    for key, value in tweaks.items():
+        for conf in (yarn, flink, spark):
+            if key in conf.declared:
+                conf.set(key, value, source="bench")
+                break
+    return Deployment().add(yarn).add(flink).add(spark)
+
+
+BAD_DEPLOYMENTS = {
+    "FLINK-19141": {_k: _v for _k, _v in [
+        (SCHEDULER_CLASS, "fair"), (MIN_ALLOC_MB, 1024), (INCREMENT_MB, 512),
+    ]},
+    "FLINK-887": {HEAP_CUTOFF_RATIO: "0.0"},
+    "SPARK-10181": {"spark.yarn.keytab": "/etc/spark.keytab"},
+    "SPARK-15046": {"spark.network.timeout": 86_400_079},
+}
+
+
+def test_bench_confcheck_catches_every_studied_misconfig(benchmark):
+    def check_all():
+        return {
+            jira: check_deployment(_deployment(**tweaks), default_rules())
+            for jira, tweaks in BAD_DEPLOYMENTS.items()
+        }
+
+    results = benchmark(check_all)
+
+    print("\npre-deployment configuration check")
+    for jira, violations in results.items():
+        print(f"  {jira:12} -> {len(violations)} violation(s): "
+              + "; ".join(v.rule_id for v in violations))
+        assert violations, f"{jira} not caught"
+
+    # and the coherent deployment stays clean
+    clean = check_deployment(_deployment(), default_rules())
+    print(f"  default deployment -> {len(clean)} violations")
+    assert clean == []

@@ -1,0 +1,60 @@
+"""Extension bench: change analysis for cross-system interactions (§10).
+
+Static reader-gap analysis over every format: the check whose absence
+let SPARK-39075 ship, plus upgrade/downgrade risk classification.
+"""
+
+from repro.evolution import lattice_diff, reader_gaps, upgrade_risks
+from repro.formats import serializer_for
+
+
+def test_bench_reader_gap_analysis(benchmark):
+    def analyze_all():
+        return {
+            fmt: reader_gaps(serializer_for(fmt))
+            for fmt in ("avro", "orc", "parquet", "unified_avro")
+        }
+
+    gaps = benchmark(analyze_all)
+
+    print("\nstatic reader-gap analysis (SPARK-39075 detector)")
+    for fmt, found in gaps.items():
+        print(f"  {fmt:14} {len(found)} gap(s)")
+        for gap in found:
+            print(f"    {gap.render()}")
+
+    assert {g.type_text for g in gaps["avro"]} >= {"tinyint", "smallint"}
+    assert gaps["orc"] == []
+    assert gaps["parquet"] == []
+    assert gaps["unified_avro"] == []
+
+
+def test_bench_upgrade_risk_classification(benchmark):
+    def classify():
+        return {
+            "avro -> unified_avro": upgrade_risks(
+                serializer_for("avro"), serializer_for("unified_avro")
+            ),
+            "unified_avro -> avro": upgrade_risks(
+                serializer_for("unified_avro"), serializer_for("avro")
+            ),
+            "orc -> parquet": upgrade_risks(
+                serializer_for("orc"), serializer_for("parquet")
+            ),
+        }
+
+    risks = benchmark(classify)
+    print("\nlattice-change risk classification")
+    for label, changes in risks.items():
+        print(f"  {label:24} {len(changes)} risky change(s)")
+        for change in changes[:4]:
+            print(f"    {change.render()}")
+
+    assert risks["avro -> unified_avro"] == []  # widening is safe
+    assert len(risks["unified_avro -> avro"]) >= 6  # narrowing is not
+    assert risks["orc -> parquet"] == []
+
+    # full diff still reports the non-risky widenings
+    full = lattice_diff(serializer_for("avro"), serializer_for("unified_avro"))
+    assert all(not c.risky for c in full)
+    assert full

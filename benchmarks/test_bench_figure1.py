@@ -1,0 +1,69 @@
+"""Figure 1: the Flink-YARN container-request storm (FLINK-12342).
+
+The paper's figure shows requests snowballing (1, 1+2, 1+2+3, ...) into
+"4000+ requested" while YARN allocates. The shape to reproduce: under
+the buggy loop the total requested grows far past the need; under any
+fix it equals the need exactly.
+"""
+
+from repro.flinklite.yarn_connector import FixStage
+from repro.scenarios.control_flink_yarn import replay_flink_12342
+
+
+def test_bench_figure1_buggy_storm(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: replay_flink_12342(
+            needed_containers=20,
+            allocation_latency_ms=300,
+            request_interval_ms=500,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    metrics = outcome.metrics
+    print("\nFigure 1 (FLINK-12342): buggy request loop")
+    print(f"  containers needed:            {metrics['needed']}")
+    print(f"  total container requests:     {metrics['total_requested']}")
+    print(f"  overload factor:              {metrics['overload_factor']}x")
+    print("  paper reports '4000+ requested' for large jobs; shape: "
+          "requests >> need")
+    for line in outcome.narrative[:6]:
+        print(f"    {line}")
+
+    assert outcome.failed
+    assert metrics["total_requested"] > 4000  # the paper's headline shape
+    assert metrics["allocated"] == metrics["needed"]
+
+
+def test_bench_figure1_fixed_loop(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: replay_flink_12342(fix_stage=FixStage.RESOLUTION_ASYNC),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nFigure 1 (fixed): requested {outcome.metrics['total_requested']} "
+          f"for a need of {outcome.metrics['needed']}")
+    assert not outcome.failed
+    assert outcome.metrics["total_requested"] == outcome.metrics["needed"]
+
+
+def test_bench_figure1_latency_sweep(benchmark):
+    """Crossover: the bug only manifests once allocation latency times
+    the queue length exceeds the 500 ms re-request interval."""
+
+    def sweep():
+        results = {}
+        for latency in (10, 50, 100, 300, 600):
+            outcome = replay_flink_12342(
+                needed_containers=10, allocation_latency_ms=latency
+            )
+            results[latency] = outcome.metrics["overload_factor"]
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nallocation latency (ms) -> overload factor")
+    for latency, factor in results.items():
+        print(f"  {latency:>5} -> {factor}")
+    assert results[10] <= 2  # fast YARN: assumption holds
+    assert results[600] > 5  # slow YARN: storm
+    assert results[600] > results[10]

@@ -1,0 +1,44 @@
+"""Figure 2 / Figure 4: Spark vs HDFS compressed-file length, and fix."""
+
+from repro.scenarios.data_spark_hdfs import replay_spark_27239
+
+
+def test_bench_figure2_failure(benchmark):
+    outcome = benchmark(replay_spark_27239, compressed=True, fixed=False)
+    print("\nFigure 2 (SPARK-27239): compressed file, pre-fix check")
+    print(f"  reported length: {outcome.metrics['reported_length']}")
+    print(f"  symptom: {outcome.symptom}")
+    assert outcome.failed
+    assert outcome.metrics["reported_length"] == -1
+
+
+def test_bench_figure4_fix(benchmark):
+    outcome = benchmark(replay_spark_27239, compressed=True, fixed=True)
+    print("\nFigure 4 fix: require(length >= -1)")
+    print(f"  records read: {outcome.metrics['records_read']}")
+    assert not outcome.failed
+    assert outcome.metrics["records_read"] > 0
+
+
+def test_bench_figure2_matrix(benchmark):
+    """Full 2x2: (compressed?) x (fixed?) — only one cell fails."""
+
+    def matrix():
+        return {
+            (compressed, fixed): replay_spark_27239(
+                compressed=compressed, fixed=fixed
+            ).failed
+            for compressed in (False, True)
+            for fixed in (False, True)
+        }
+
+    results = benchmark.pedantic(matrix, rounds=1, iterations=1)
+    print("\n(compressed, fixed) -> job failed")
+    for key, failed in results.items():
+        print(f"  {key} -> {failed}")
+    assert results == {
+        (False, False): False,
+        (False, True): False,
+        (True, False): True,
+        (True, True): False,
+    }

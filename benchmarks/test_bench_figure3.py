@@ -1,0 +1,40 @@
+"""Figure 3: Flink-YARN configuration misinterpretation (FLINK-19141)."""
+
+from repro.scenarios.mgmt_flink_yarn import replay_flink_19141
+
+
+def test_bench_figure3_fair_scheduler_fails(benchmark):
+    outcome = benchmark(replay_flink_19141, scheduler="fair")
+    print("\nFigure 3 (FLINK-19141): fair scheduler")
+    print(f"  Flink expected: {outcome.metrics['expected_mb']} MB "
+          f"(via yarn.scheduler.minimum-allocation-mb)")
+    print(f"  YARN granted:   {outcome.metrics['granted_mb']} MB "
+          f"(via yarn.resource-types.memory-mb.increment-allocation)")
+    print(f"  symptom: {outcome.symptom}")
+    assert outcome.failed
+
+
+def test_bench_figure3_capacity_scheduler_works(benchmark):
+    outcome = benchmark(replay_flink_19141, scheduler="capacity")
+    assert not outcome.failed
+    assert outcome.metrics["expected_mb"] == outcome.metrics["granted_mb"]
+
+
+def test_bench_figure3_request_sweep(benchmark):
+    """Mismatch appears exactly when the two rounding rules disagree."""
+
+    def sweep():
+        return {
+            mb: replay_flink_19141(scheduler="fair", requested_mb=mb).failed
+            for mb in (512, 1024, 1536, 2048, 2560)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nrequested MB -> mismatch under fair scheduler")
+    for mb, failed in results.items():
+        print(f"  {mb:>5} -> {failed}")
+    # multiples of the min-allocation agree; in-between sizes diverge
+    assert results[1024] is False
+    assert results[2048] is False
+    assert results[1536] is True
+    assert results[512] is True  # 512 rounds to 1024 (capacity) vs 512 (fair)

@@ -1,0 +1,30 @@
+"""Figure 5: the FLINK-12342 fix history — two workarounds, one fix."""
+
+from repro.flinklite.yarn_connector import FixStage
+from repro.scenarios.control_flink_yarn import FIX_STAGES, run_fix_stage
+
+
+def test_bench_figure5_fix_progression(benchmark):
+    def run_all_stages():
+        return {
+            stage: run_fix_stage(stage, needed_containers=20)
+            for stage in FIX_STAGES
+        }
+
+    outcomes = benchmark.pedantic(run_all_stages, rounds=1, iterations=1)
+
+    print("\nFigure 5 (FLINK-12342 fix history)")
+    for stage, outcome in outcomes.items():
+        print(
+            f"  {stage.value:22} requested="
+            f"{outcome.metrics['total_requested']:>7} "
+            f"failed={outcome.failed}"
+        )
+
+    assert outcomes[FixStage.BUGGY].failed
+    for stage in FIX_STAGES[1:]:
+        assert not outcomes[stage].failed, stage
+    # the real fix needs no polling at all
+    assert outcomes[FixStage.RESOLUTION_ASYNC].metrics["request_ticks"] == 1
+    # workaround #2 still polls but stops aggregating
+    assert outcomes[FixStage.WORKAROUND_DECREMENT].metrics["total_requested"] == 20

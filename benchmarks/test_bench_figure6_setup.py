@@ -1,0 +1,57 @@
+"""Figure 6 / §8.1: the cross-testing setup itself.
+
+Paper: three interfaces, eight write-read plans in three groups, three
+backend formats, 422 generated inputs (210 valid + 212 invalid).
+"""
+
+from repro.crosstest.plans import (
+    ALL_PLANS,
+    FORMATS,
+    HIVE_TO_SPARK,
+    SPARK_E2E,
+    SPARK_TO_HIVE,
+)
+from repro.crosstest.values import generate_inputs
+
+
+def test_bench_figure6_input_generation(benchmark):
+    inputs = benchmark(generate_inputs)
+    valid = sum(1 for i in inputs if i.valid)
+    invalid = len(inputs) - valid
+    types = {i.column_type.name for i in inputs}
+
+    print("\nFigure 6 setup (paper -> measured)")
+    print(f"  inputs:       422 -> {len(inputs)}")
+    print(f"  valid:        210 -> {valid}")
+    print(f"  invalid:      212 -> {invalid}")
+    print(f"  type families covered: {len(types)}")
+
+    assert len(inputs) == 422
+    assert valid == 210
+    assert invalid == 212
+    assert len(types) >= 15
+
+
+def test_bench_figure6_plan_matrix(benchmark):
+    def shape():
+        return {
+            "plans": len(ALL_PLANS),
+            "spark_to_spark": len(SPARK_E2E),
+            "spark_to_hive": len(SPARK_TO_HIVE),
+            "hive_to_spark": len(HIVE_TO_SPARK),
+            "formats": len(FORMATS),
+        }
+
+    measured = benchmark(shape)
+    print("\nplan matrix (paper -> measured)")
+    print(f"  spark-to-spark plans: 4 -> {measured['spark_to_spark']}")
+    print(f"  spark-to-hive plans:  2 -> {measured['spark_to_hive']}")
+    print(f"  hive-to-spark plans:  2 -> {measured['hive_to_spark']}")
+    print(f"  backend formats:      3 -> {measured['formats']}")
+    assert measured == {
+        "plans": 8,
+        "spark_to_spark": 4,
+        "spark_to_hive": 2,
+        "hive_to_spark": 2,
+        "formats": 3,
+    }

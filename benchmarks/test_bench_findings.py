@@ -1,0 +1,16 @@
+"""All findings (1-13) regenerated in one pass — the paper's
+``reproduce_study.ipynb`` equivalent."""
+
+from repro.core.analysis import compute_findings
+
+
+def test_bench_all_findings(benchmark, failures, incidents, cbs_issues):
+    findings = benchmark(compute_findings, failures, incidents, cbs_issues)
+
+    print("\nFindings 1-13 (paper claim -> reproduced?)")
+    for finding in findings:
+        status = "ok " if finding.holds else "FAIL"
+        print(f"  [{status}] Finding {finding.number:>2}: {finding.claim}")
+
+    assert len(findings) == 13
+    assert all(finding.holds for finding in findings)

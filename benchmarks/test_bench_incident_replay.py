@@ -1,0 +1,52 @@
+"""The flagship incident of §1, replayed end to end.
+
+Paper narrative: a deregistered monitor reports 0 usage; the quota
+system misinterprets zero as the expected load, slashes the quota, and
+the User-ID service suffers a major outage (YouTube/Gmail impacted).
+"""
+
+from repro.scenarios.incident_gcp_quota import replay_gcp_quota_incident
+
+
+def test_bench_gcp_quota_incident(benchmark):
+    outcome = benchmark.pedantic(
+        replay_gcp_quota_incident, rounds=1, iterations=1
+    )
+
+    print("\n§1 flagship incident (GCP User-ID quota outage)")
+    for line in outcome.narrative:
+        print(f"  {line}")
+    print(f"  {outcome.symptom}")
+
+    assert outcome.failed
+    assert outcome.metrics["final_quota"] == 10.0
+    assert outcome.metrics["rejected_requests"] > 0
+
+
+def test_bench_gcp_quota_incident_fixed(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: replay_gcp_quota_incident(fixed=True), rounds=1, iterations=1
+    )
+    print(f"\nabsent-aware scrape policy: {outcome.symptom}")
+    assert not outcome.failed
+    assert outcome.metrics["rejected_requests"] == 0
+
+
+def test_bench_deregistration_timing_sweep(benchmark):
+    """The outage window scales with how early the monitor vanishes."""
+
+    def sweep():
+        return {
+            at: replay_gcp_quota_incident(
+                deregister_at_ms=at
+            ).metrics["rejected_requests"]
+            for at in (100_000, 250_000, 400_000, 550_000)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nderegistration time (ms) -> rejected requests")
+    for at, rejected in results.items():
+        print(f"  {at:>7} -> {rejected}")
+    values = list(results.values())
+    assert values == sorted(values, reverse=True)
+    assert values[0] > values[-1]

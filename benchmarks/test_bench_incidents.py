@@ -1,0 +1,31 @@
+"""Finding 1 / §3: cloud incidents induced by CSI failures.
+
+Paper reports: 11/55 incidents (20%) CSI-caused; durations 10 min-19 h
+with a median of 106 minutes; 8/11 impaired external services; 4/11
+mention interaction-related fixes.
+"""
+
+from repro.core.analysis import incident_statistics
+
+
+def test_bench_incident_statistics(benchmark, incidents):
+    stats = benchmark(incident_statistics, incidents)
+
+    print("\n§3 cloud incidents (paper -> measured)")
+    print(f"  total incidents:      55 -> {stats['total']}")
+    print(f"  CSI-induced:          11 -> {stats['csi']}")
+    print(f"  CSI fraction:        20% -> {stats['csi_fraction']:.0%}")
+    print(f"  min duration:     10 min -> {stats['min_duration_minutes']} min")
+    print(f"  median duration: 106 min -> {stats['median_duration_minutes']} min")
+    print(f"  max duration:  1140 min -> {stats['max_duration_minutes']} min")
+    print(f"  impaired external: 8/11 -> {stats['impaired_external']}/11")
+    print(f"  fix mentioned:     4/11 -> {stats['mention_interaction_fix']}/11")
+
+    assert stats["total"] == 55
+    assert stats["csi"] == 11
+    assert stats["csi_fraction"] == 0.2
+    assert stats["min_duration_minutes"] == 10
+    assert stats["median_duration_minutes"] == 106
+    assert stats["max_duration_minutes"] == 1140
+    assert stats["impaired_external"] == 8
+    assert stats["mention_interaction_fix"] == 4

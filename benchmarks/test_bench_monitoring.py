@@ -1,0 +1,47 @@
+"""Finding 9 / §6.2.2: monitoring data driving kill actions."""
+
+from repro.core.taxonomy import MgmtKind
+from repro.scenarios.monitoring import replay_flink_887
+
+
+def test_bench_monitoring_kill(benchmark):
+    outcome = benchmark(replay_flink_887, heap_cutoff_ratio=0.0)
+    print("\nFinding 9 (FLINK-887): pmem monitor vs JobManager")
+    print(f"  container: {outcome.metrics['container_mb']} MB")
+    print(f"  JVM heap:  {outcome.metrics['jvm_heap_mb']} MB")
+    print(f"  peak pmem: {outcome.metrics['peak_pmem_mb']} MB")
+    print(f"  symptom: {outcome.symptom}")
+    assert outcome.failed
+    assert outcome.metrics["kills"] == 1
+
+
+def test_bench_monitoring_headroom_sweep(benchmark):
+    def sweep():
+        return {
+            ratio: replay_flink_887(heap_cutoff_ratio=ratio).failed
+            for ratio in (0.0, 0.05, 0.1, 0.15, 0.25)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nheap-cutoff ratio -> killed by pmem monitor")
+    for ratio, failed in results.items():
+        print(f"  {ratio:>5} -> {failed}")
+    assert results[0.0] is True
+    assert results[0.25] is False
+    # the crossover: ~15% native overhead needs >= ~13% cutoff
+    assert any(results[a] and not results[b]
+               for a, b in zip(list(results), list(results)[1:]))
+
+
+def test_bench_monitoring_dataset_side(benchmark, failures):
+    def count():
+        monitoring = [
+            f for f in failures if f.mgmt_kind is MgmtKind.MONITORING
+        ]
+        return len(monitoring), sum(1 for f in monitoring if f.symptom.crashing)
+
+    total, crashing = benchmark(count)
+    print(f"\nmonitoring-related CSI cases: {total} "
+          f"({crashing} with crashing symptoms, incl. FLINK-887)")
+    assert total == 9
+    assert crashing >= 1

@@ -1,0 +1,59 @@
+"""Extension bench: differential sweep over partition-value spellings.
+
+For a corpus of partition-value strings, compare what each engine
+returns for the partition column — a micro cross-test of the
+Address/naming family. The diff set is exactly the spellings Spark's
+type inference re-interprets.
+"""
+
+from repro.hivelite.engine import HiveServer
+from repro.sparklite.session import SparkSession
+
+CORPUS = [
+    "01",          # zero-padded int: re-typed, padding lost
+    "1",           # plain int: re-typed, text identical
+    "2020-01-01",  # ISO date: re-typed to date
+    "eu-west",     # plain string: preserved
+    "TRUE",        # booleans are NOT inferred: preserved
+    "1e3",         # scientific notation is NOT int-inferred: preserved
+    "007",         # zero-padded: re-typed, padding lost
+    "-42",         # negative int: re-typed
+]
+
+
+def _read_partition_value(value):
+    spark = SparkSession.local()
+    hive = HiveServer(spark.metastore, spark.filesystem)
+    hive.execute(
+        "CREATE TABLE t (a int) PARTITIONED BY (p string) STORED AS parquet"
+    )
+    hive.execute(f"INSERT INTO t PARTITION (p='{value}') VALUES (1)")
+    hive_value = hive.execute("SELECT * FROM t").rows[0][1]
+    spark_value = spark.sql("SELECT * FROM t").rows[0][1]
+    return hive_value, spark_value
+
+
+def test_bench_partition_value_sweep(benchmark):
+    def sweep():
+        return {value: _read_partition_value(value) for value in CORPUS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\npartition-value spelling -> (hive sees, spark sees)")
+    diffs = []
+    for value, (hive_value, spark_value) in results.items():
+        marker = ""
+        if hive_value != spark_value or type(hive_value) is not type(spark_value):
+            marker = "   <- DIFF"
+            diffs.append(value)
+        print(f"  {value!r:14} -> ({hive_value!r}, {spark_value!r}){marker}")
+
+    # the diff set is exactly the inferrable spellings
+    assert set(diffs) == {"01", "1", "2020-01-01", "007", "-42"}
+    # and the value-changing subset loses information outright
+    assert results["01"] == ("01", 1)
+    assert results["007"] == ("007", 7)
+    # non-inferrable spellings are safe
+    assert results["eu-west"] == ("eu-west", "eu-west")
+    assert results["TRUE"] == ("TRUE", "TRUE")
+    assert results["1e3"] == ("1e3", "1e3")

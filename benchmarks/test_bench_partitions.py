@@ -1,0 +1,29 @@
+"""Extension bench: the Address/naming discrepancy family, executable.
+
+Table 4 attributes 10/61 data-plane failures to address/naming; the
+partition-value layer is where that family lives for the Spark-Hive
+pair (values are strings in paths, re-typed per engine).
+"""
+
+from repro.scenarios.data_partition_naming import replay_partition_inference
+
+
+def test_bench_partition_inference_discrepancy(benchmark):
+    outcome = benchmark.pedantic(
+        replay_partition_inference, rounds=1, iterations=1
+    )
+    print("\npartition type inference (Address/naming family)")
+    print(f"  hive rows:  {outcome.metrics['hive_rows']}")
+    print(f"  spark rows: {outcome.metrics['spark_rows']}")
+    print(f"  {outcome.symptom}")
+    assert outcome.failed
+    assert outcome.metrics["spark_partition_type"] == "int"
+
+
+def test_bench_partition_inference_resolved(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: replay_partition_inference(fixed=True), rounds=1, iterations=1
+    )
+    print(f"\ninference disabled: {outcome.symptom}")
+    assert not outcome.failed
+    assert outcome.metrics["spark_partition_type"] == "string"

@@ -1,0 +1,42 @@
+"""§8.2 / Finding 15: the case-study results.
+
+Paper: the tool exposed **15 distinct discrepancies**, with problem
+categories: cannot-read 2/15, type violations 2/15, exposing internal
+configurations 5/15, inconsistent error behaviour 7/15, relying on
+custom configurations 8/15.
+"""
+
+from repro.crosstest.catalog import Category
+from repro.crosstest.report import run_crosstest
+
+PAPER_CATEGORIES = {
+    Category.CANNOT_READ: 2,
+    Category.TYPE_VIOLATION: 2,
+    Category.INTERNAL_CONFIG: 5,
+    Category.INCONSISTENT_ERROR: 7,
+    Category.CUSTOM_CONFIG: 8,
+}
+
+
+def test_bench_section8_full_run(benchmark):
+    report = benchmark.pedantic(run_crosstest, rounds=1, iterations=1)
+
+    print("\n§8.2 cross-test results")
+    for line in report.summary_lines():
+        print("  " + line)
+
+    assert len(report.trials) == 8 * 3 * 422
+    assert report.found_numbers == set(range(1, 16))
+    assert report.category_counts_found() == PAPER_CATEGORIES
+
+
+def test_bench_section8_failure_logs(crosstest_report, benchmark):
+    logs = benchmark(crosstest_report.failures_by_log)
+    print("\nper-log oracle failures (artifact naming)")
+    for name, failures in sorted(logs.items()):
+        print(f"  {name:10} {len(failures):>5}")
+    # every experiment group produced failures under every oracle that
+    # applies to it, as in the artifact's 2-3 *failed.json per run
+    for name in ("ss_difft", "ss_wr", "ss_eh", "sh_difft", "sh_wr",
+                 "hs_difft", "hs_eh"):
+        assert logs.get(name), f"no failures recorded for {name}"

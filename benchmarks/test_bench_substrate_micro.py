@@ -1,0 +1,103 @@
+"""Microbenchmarks of the substrate hot paths.
+
+Unlike the table/figure benches (one-shot regenerations), these use
+pytest-benchmark's statistics properly: many rounds over the layers the
+cross-test harness hammers — serializer round trips, the cast engines,
+the event kernel, and one full harness trial.
+"""
+
+import decimal
+
+from repro.common.events import EventLoop
+from repro.common.schema import Schema
+from repro.common.types import IntegerType, StringType, parse_type
+from repro.crosstest.harness import CrossTester
+from repro.crosstest.plans import ALL_PLANS
+from repro.crosstest.values import TestInput
+from repro.formats import serializer_for
+from repro.hivelite.casts import hive_write_cast
+from repro.sparklite.casts import spark_cast
+
+TestInput.__test__ = False
+
+_SCHEMA = Schema.of(
+    ("id", "bigint"), ("name", "string"), ("price", "decimal(10,2)"),
+    ("tags", "array<string>"),
+)
+_ROWS = [
+    (i, f"name-{i}", decimal.Decimal(f"{i}.25"), [f"t{i}", "x"])
+    for i in range(100)
+]
+
+
+def test_bench_parquet_write_read(benchmark):
+    serializer = serializer_for("parquet")
+
+    def roundtrip():
+        return serializer.read(serializer.write(_SCHEMA, _ROWS))
+
+    data = benchmark(roundtrip)
+    assert len(data.rows) == 100
+
+
+def test_bench_unified_write_read(benchmark):
+    serializer = serializer_for("unified_avro")
+
+    def roundtrip():
+        return serializer.read(serializer.write(_SCHEMA, _ROWS))
+
+    data = benchmark(roundtrip)
+    assert len(data.rows) == 100
+
+
+def test_bench_spark_legacy_cast(benchmark):
+    values = [str(i) for i in range(-50, 50)] + ["junk"] * 10
+
+    def cast_all():
+        return [
+            spark_cast(v, StringType(), IntegerType(), ansi=False)
+            for v in values
+        ]
+
+    out = benchmark(cast_all)
+    assert out.count(None) == 10
+
+
+def test_bench_hive_write_cast(benchmark):
+    target = parse_type("decimal(10,2)")
+    values = [decimal.Decimal(f"{i}.333") for i in range(100)]
+
+    def cast_all():
+        return [hive_write_cast(v, target) for v in values]
+
+    out = benchmark(cast_all)
+    assert all(v is not None for v in out)
+
+
+def test_bench_event_loop_throughput(benchmark):
+    def run_thousand_events():
+        loop = EventLoop()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 1000:
+                loop.call_after(1, tick)
+
+        loop.call_after(1, tick)
+        loop.run_to_completion()
+        return count[0]
+
+    assert benchmark(run_thousand_events) == 1000
+
+
+def test_bench_single_harness_trial(benchmark):
+    tester = CrossTester(inputs=[])
+    test_input = TestInput(0, "int", "5", 5, True, "micro")
+    plan = ALL_PLANS[0]
+
+    def trial():
+        return tester.run_trial(plan, "parquet", test_input)
+
+    outcome = benchmark(trial)
+    assert outcome.outcome.ok

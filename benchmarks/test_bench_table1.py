@@ -1,0 +1,35 @@
+"""Table 1: target systems, interactions, and per-pair failure counts."""
+
+from repro.core.analysis import table1_interactions
+
+PAPER_TABLE1 = {
+    ("Spark", "Hive"): 26,
+    ("Spark", "YARN"): 19,
+    ("Spark", "HDFS"): 8,
+    ("Spark", "Kafka"): 5,
+    ("Flink", "Kafka"): 12,
+    ("Flink", "YARN"): 14,
+    ("Flink", "Hive"): 8,
+    ("Flink", "HDFS"): 3,
+    ("Hive", "Spark"): 6,
+    ("Hive", "HBase"): 3,
+    ("Hive", "HDFS"): 6,
+    ("Hive", "Kafka"): 1,
+    ("Hive", "YARN"): 2,
+    ("HBase", "HDFS"): 4,
+    ("YARN", "HDFS"): 3,
+}
+
+
+def test_bench_table1(benchmark, failures):
+    table = benchmark(table1_interactions, failures)
+
+    print("\n" + table.render())
+    assert table.total == 120
+
+    measured = {}
+    for label, count in table.rows:
+        pair_text = label.split(" [")[0]
+        upstream, downstream = pair_text.split(" -> ")
+        measured[(upstream, downstream)] = count
+    assert measured == PAPER_TABLE1

@@ -1,0 +1,22 @@
+"""Table 2 / Finding 2: plane split, plus the CBS comparison."""
+
+from repro.core.analysis import cbs_statistics, table2_planes
+
+
+def test_bench_table2(benchmark, failures):
+    table = benchmark(table2_planes, failures)
+    print("\n" + table.render())
+    assert table.as_dict() == {"Control": 20, "Data": 61, "Management": 39}
+    assert table.total == 120
+
+
+def test_bench_cbs_comparison(benchmark, cbs_issues):
+    stats = benchmark(cbs_statistics, cbs_issues)
+    print(
+        f"\nCBS comparison: control-plane CSI "
+        f"{stats['control_plane_csi']}/{stats['csi']} "
+        f"({stats['control_plane_fraction']:.0%}; paper: 69%)"
+    )
+    assert stats["csi"] == 39
+    assert stats["control_plane_csi"] == 27
+    assert abs(stats["control_plane_fraction"] - 0.69) < 0.01

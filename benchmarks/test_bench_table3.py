@@ -1,0 +1,19 @@
+"""Table 3 / Finding 3: failure symptoms; 89/120 crash."""
+
+from repro.core.analysis import table3_symptoms
+
+
+def test_bench_table3(benchmark, failures):
+    table = benchmark(table3_symptoms, failures)
+    print("\n" + table.render())
+
+    crashing = sum(1 for f in failures if f.symptom.crashing)
+    print(f"  crashing symptoms: 89/120 (paper) -> {crashing}/120")
+
+    assert table.total == 120
+    assert crashing == 89
+    rows = table.as_dict()
+    assert rows["[job] Job/task failure"] == 47
+    assert rows["[job] Job/task crash/hang"] == 24
+    assert rows["[system] Runtime crash/hang"] == 8
+    assert rows["[operation] Reduced observability"] == 8

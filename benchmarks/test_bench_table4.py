@@ -1,0 +1,26 @@
+"""Table 4 / Finding 4: data properties of data-plane discrepancies."""
+
+from repro.core.analysis import table4_data_properties
+from repro.core.taxonomy import Plane
+
+
+def test_bench_table4(benchmark, failures):
+    table = benchmark(table4_data_properties, failures)
+    print("\n" + table.render())
+
+    rows = table.as_dict()
+    assert table.total == 61
+    assert rows["Address"] == 10
+    assert rows["Schema"] == 32
+    assert rows["  Structure"] == 14
+    assert rows["  Value"] == 18
+    assert rows["Custom property"] == 8
+    assert rows["API semantics"] == 11
+
+    data = [f for f in failures if f.plane is Plane.DATA]
+    typical = sum(1 for f in data if f.data_property.is_typical_metadata)
+    metadata = sum(1 for f in data if f.data_property.is_metadata)
+    print(f"  metadata-caused: 50/61 (paper) -> {metadata}/61")
+    print(f"  typical metadata: 42/61 (paper) -> {typical}/61")
+    assert metadata == 50
+    assert typical == 42

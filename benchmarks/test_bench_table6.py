@@ -1,0 +1,30 @@
+"""Table 6 / Finding 6: data-plane discrepancy patterns + serialization."""
+
+from repro.core.analysis import table6_patterns
+from repro.core.taxonomy import Plane
+
+
+def test_bench_table6(benchmark, failures):
+    table = benchmark(table6_patterns, failures)
+    print("\n" + table.render())
+
+    rows = table.as_dict()
+    assert rows["Type confusion"] == 12
+    assert rows["Unsupported operations"] == 15
+    assert rows["Unspoken convention"] == 9
+    assert rows["Undefined values"] == 7
+    assert rows["Wrong API assumptions"] == 18
+    assert table.total == 61
+
+
+def test_bench_finding6_serialization(benchmark, failures):
+    def count():
+        return sum(
+            1
+            for f in failures
+            if f.plane is Plane.DATA and f.serialization_rooted
+        )
+
+    serialization = benchmark(count)
+    print(f"\nserialization-rooted: 15/61 (paper) -> {serialization}/61")
+    assert serialization == 15

@@ -1,0 +1,29 @@
+"""Table 7 / Findings 7-8: configuration discrepancy patterns."""
+
+from repro.core.analysis import table7_config_patterns
+from repro.core.taxonomy import ConfigKind, ConfigPattern, MgmtKind
+
+
+def test_bench_table7(benchmark, failures):
+    table = benchmark(table7_config_patterns, failures)
+    print("\n" + table.render())
+
+    rows = table.as_dict()
+    assert rows["Ignorance"] == 12
+    assert rows["Unexpected override"] == 6
+    assert rows["Inconsistent context"] == 10
+    assert rows["Mishandling configuration values"] == 2
+    assert table.total == 30
+
+    config = [f for f in failures if f.mgmt_kind is MgmtKind.CONFIGURATION]
+    silently_lost = sum(
+        1
+        for f in config
+        if f.config_pattern
+        in (ConfigPattern.IGNORANCE, ConfigPattern.UNEXPECTED_OVERRIDE)
+    )
+    parameter = sum(1 for f in config if f.config_kind is ConfigKind.PARAMETER)
+    print(f"  silently ignored/overruled: 18/30 (paper) -> {silently_lost}/30")
+    print(f"  parameter-related: 21/30 (paper) -> {parameter}/30")
+    assert silently_lost == 18
+    assert parameter == 21

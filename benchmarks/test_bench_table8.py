@@ -1,0 +1,31 @@
+"""Table 8 / Findings 10-11: control-plane discrepancy patterns."""
+
+from repro.core.analysis import table8_control_patterns
+from repro.core.taxonomy import ApiMisuseKind, ControlPattern, Plane
+
+
+def test_bench_table8(benchmark, failures):
+    table = benchmark(table8_control_patterns, failures)
+    print("\n" + table.render())
+
+    rows = table.as_dict()
+    assert rows["API semantic violation"] == 13
+    assert rows["State/resource inconsistency"] == 5
+    assert rows["Feature inconsistency"] == 2
+    assert table.total == 20
+
+    control = [f for f in failures if f.plane is Plane.CONTROL]
+    misuse = [
+        f
+        for f in control
+        if f.control_pattern is ControlPattern.API_SEMANTIC_VIOLATION
+    ]
+    implicit = sum(
+        1
+        for f in misuse
+        if f.api_misuse_kind is ApiMisuseKind.IMPLICIT_SEMANTIC_VIOLATION
+    )
+    print(f"  API misuse split: 8 implicit + 5 context (paper) -> "
+          f"{implicit} + {len(misuse) - implicit}")
+    assert implicit == 8
+    assert len(misuse) - implicit == 5

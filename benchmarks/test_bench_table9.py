@@ -1,0 +1,41 @@
+"""Table 9 / Findings 12-13: fix patterns and locations."""
+
+from repro.core.analysis import table9_fixes
+from repro.core.taxonomy import FixLocation, FixPattern
+
+
+def test_bench_table9(benchmark, failures):
+    table = benchmark(table9_fixes, failures)
+    print("\n" + table.render())
+
+    rows = table.as_dict()
+    assert rows["Checking"] == 38
+    assert rows["Error handling"] == 8
+    assert rows["Interaction"] == 69
+    assert rows["Others"] == 5
+
+    fixed = [f for f in failures if f.has_merged_fix]
+    check_eh = sum(
+        1
+        for f in fixed
+        if f.fix_pattern in (FixPattern.CHECKING, FixPattern.ERROR_HANDLING)
+    )
+    specific = [
+        f
+        for f in fixed
+        if f.fix_location in (FixLocation.CONNECTOR, FixLocation.SYSTEM_SPECIFIC)
+    ]
+    connector = sum(
+        1 for f in specific if f.fix_location is FixLocation.CONNECTOR
+    )
+    print(f"  checking/EH fixes: 46/115 (paper) -> {check_eh}/{len(fixed)}")
+    print(f"  interaction-specific fixes: 79/115 (paper) -> "
+          f"{len(specific)}/{len(fixed)}")
+    print(f"  ... of which connector modules: 68/79 (paper) -> "
+          f"{connector}/{len(specific)}")
+
+    assert len(fixed) == 115
+    assert check_eh == 46
+    assert len(specific) == 79
+    assert connector == 68
+    assert sum(1 for f in fixed if f.fixed_by_downstream) == 1

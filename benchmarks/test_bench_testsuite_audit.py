@@ -1,0 +1,22 @@
+"""§5.3: only 6% of Spark integration tests cross-test dependent systems."""
+
+from repro.dataset.testsuites import (
+    cross_test_fraction,
+    load_spark_integration_tests,
+)
+
+
+def test_bench_testsuite_audit(benchmark):
+    fraction = benchmark(cross_test_fraction)
+    tests = load_spark_integration_tests()
+    cross = [t for t in tests if t.cross_system]
+
+    print("\n§5.3 Spark integration-test audit (paper -> measured)")
+    print(f"  cross-testing fraction: 6% -> {fraction:.0%}")
+    print(f"  total integration suites: {len(tests)}")
+    print(f"  cross-system suites: {len(cross)}")
+    versions = sorted({t.pinned_version for t in cross})
+    print(f"  all pinned to specific downstream versions: {versions}")
+
+    assert abs(fraction - 0.06) < 0.001
+    assert all(t.pinned_version for t in cross)

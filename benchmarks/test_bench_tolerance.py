@@ -1,0 +1,83 @@
+"""Extension bench: CSI fault tolerance via interface redundancy (§10).
+
+"A potential direction is to leverage the diversity of existing
+interfaces to build interaction redundancy across systems." Measure it:
+for every read-stage failure the cross-test recorded, would the
+redundant reader (DataFrame -> SparkSQL -> HiveQL) have produced *a*
+result?
+"""
+
+import decimal
+
+from repro.common.schema import Schema
+from repro.hivelite.engine import HiveServer
+from repro.sparklite.session import SparkSession
+from repro.tolerance import RedundantReader
+
+
+def _avro_byte_table():
+    spark = SparkSession.local()
+    hive = HiveServer(spark.metastore, spark.filesystem)
+    frame = spark.create_dataframe([(5,)], Schema.of(("b", "tinyint")))
+    frame.write.format("avro").save_as_table("t")
+    return spark, hive
+
+
+def test_bench_tolerance_single_read(benchmark):
+    spark, hive = _avro_byte_table()
+    reader = RedundantReader.for_pair(spark, hive)
+    outcome = benchmark(reader.read, "t")
+    print(f"\n{outcome.describe()}")
+    for failure in outcome.failures:
+        print(f"  failed path: {failure.path} ({failure.error_type})")
+    assert outcome.tolerated
+    assert outcome.result.to_tuples() == [(5,)]
+
+
+def test_bench_tolerated_fraction(benchmark):
+    """Across the paper's error-producing discrepancies, how many reads
+    does interface redundancy rescue?"""
+
+    def build_cases():
+        cases = {}
+
+        spark, hive = _avro_byte_table()
+        cases["#1 avro byte (SPARK-39075)"] = (spark, hive, "t")
+
+        spark2 = SparkSession.local()
+        hive2 = HiveServer(spark2.metastore, spark2.filesystem)
+        spark2.sql("CREATE TABLE d (d decimal(10,3)) STORED AS parquet")
+        frame = spark2.create_dataframe(
+            [(decimal.Decimal("3.1"),)], Schema.of(("d", "decimal(10,3)"))
+        )
+        frame.write.insert_into("d")
+        cases["#2 unquantized decimal (SPARK-39158)"] = (spark2, hive2, "d")
+
+        spark3 = SparkSession.local()
+        hive3 = HiveServer(spark3.metastore, spark3.filesystem)
+        spark3.sql("CREATE TABLE f (x double) STORED AS parquet")
+        spark3.sql("INSERT INTO f VALUES (double('Infinity'))")
+        cases["#7 infinity via hive (HIVE-26528)"] = (spark3, hive3, "f")
+        return cases
+
+    def measure():
+        results = {}
+        for label, (spark, hive, table) in build_cases().items():
+            reader = RedundantReader.for_pair(spark, hive)
+            outcome = reader.read(table)
+            results[label] = outcome
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print("\ninterface-redundancy tolerance")
+    rescued = 0
+    for label, outcome in results.items():
+        ok = outcome.succeeded
+        rescued += ok
+        print(
+            f"  {label:44} -> "
+            f"{'served via ' + outcome.path_used if ok else 'unservable'}"
+        )
+    print(f"  tolerated: {rescued}/{len(results)} read-failure families")
+    assert rescued == len(results)

@@ -1,0 +1,37 @@
+"""Extension bench: the §10 "unified serialization library" mitigation.
+
+The paper proposes a unified serialization layer for complex data
+abstractions. This bench quantifies what that single mitigation buys:
+re-run the cross-test with every format wrapped in the unified layer
+and count which of the 15 discrepancies disappear.
+
+Expected shape: the *serialization-lattice* family (#1 SPARK-39075,
+#3 HIVE-26533, #4 HIVE-26531) vanishes; interface-coercion and
+engine-semantics discrepancies survive — which is exactly §10's caveat
+that "standardization may not be a panacea to all CSI issues".
+"""
+
+from repro.crosstest.classify import found_discrepancies
+from repro.crosstest.harness import CrossTester
+
+
+def test_bench_unified_serialization_mitigation(crosstest_report, benchmark):
+    def run_unified():
+        tester = CrossTester(
+            formats=("unified_avro", "unified_orc", "unified_parquet")
+        )
+        return found_discrepancies(tester.run())
+
+    unified_found = benchmark.pedantic(run_unified, rounds=1, iterations=1)
+    plain_found = found_discrepancies(crosstest_report.trials)
+    removed = plain_found - unified_found
+
+    print("\nunified-serialization ablation")
+    print(f"  plain formats:   {len(plain_found):>2} found {sorted(plain_found)}")
+    print(f"  unified formats: {len(unified_found):>2} found {sorted(unified_found)}")
+    print(f"  removed by the mitigation: {sorted(removed)}")
+
+    assert plain_found == set(range(1, 16))
+    assert removed == {1, 3, 4}
+    # the coercion/engine-semantics families survive standardization
+    assert {2, 5, 6, 7, 9, 10, 11, 12, 13, 15} <= unified_found

@@ -1,0 +1,89 @@
+"""Cross-testing under deployment configuration (§8.2's implication).
+
+The paper's closing implication: "Cross-testing co-deployed, interacting
+systems **under deployment configuration** could be an effective
+approach to prevent CSI failures." This example shows why testing the
+default configuration is not enough: several discrepancies disappear —
+and one set persists — depending on the deployed settings.
+
+Usage::
+
+    python examples/deployment_config_audit.py
+"""
+
+from repro.crosstest import (
+    CrossTester,
+    by_number,
+    found_discrepancies,
+    generate_inputs,
+)
+
+DEPLOYMENTS = {
+    "default": {},
+    "legacy-store-assignment": {
+        "spark.sql.storeAssignmentPolicy": "legacy",
+    },
+    "char-as-string": {
+        "spark.sql.legacy.charVarcharAsString": "true",
+    },
+    "ntz-timestamps": {
+        "spark.sql.timestampType": "TIMESTAMP_NTZ",
+    },
+    "legacy-time-parser": {
+        "spark.sql.legacy.timeParserPolicy": "LEGACY",
+    },
+    "all-custom": {
+        "spark.sql.storeAssignmentPolicy": "legacy",
+        "spark.sql.legacy.charVarcharAsString": "true",
+        "spark.sql.timestampType": "TIMESTAMP_NTZ",
+        "spark.sql.legacy.timeParserPolicy": "LEGACY",
+    },
+}
+
+
+def audit(name: str, overrides: dict) -> set[int]:
+    # a focused input slice keeps each audit to well under a second
+    interesting = {
+        "tinyint", "int", "decimal", "boolean", "date",
+        "char", "varchar", "timestamp_ntz", "double", "map", "struct",
+    }
+    inputs = [
+        i for i in generate_inputs() if i.column_type.name in interesting
+    ]
+    trials = CrossTester(inputs=inputs, conf_overrides=overrides).run()
+    return found_discrepancies(trials)
+
+
+def main() -> None:
+    baseline = None
+    results = {}
+    for name, overrides in DEPLOYMENTS.items():
+        found = audit(name, overrides)
+        results[name] = found
+        if baseline is None:
+            baseline = found
+        print(f"{name:26} -> {len(found):>2} discrepancies: {sorted(found)}")
+
+    print()
+    print("What each deployment configuration makes disappear:")
+    for name, found in results.items():
+        if name == "default":
+            continue
+        resolved = baseline - found
+        introduced = found - baseline
+        print(f"\n  {name}:")
+        for number in sorted(resolved):
+            print(f"    resolved   #{number}: {by_number(number).title}")
+        for number in sorted(introduced):
+            print(f"    introduced #{number}: {by_number(number).title}")
+
+    persistent = set.intersection(*results.values())
+    print("\nDiscrepancies no configuration resolves "
+          "(real interoperability gaps):")
+    for number in sorted(persistent):
+        entry = by_number(number)
+        print(f"  #{number} [{entry.jira}] {entry.title}")
+
+
+if __name__ == "__main__":
+    main()

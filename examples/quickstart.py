@@ -1,0 +1,94 @@
+"""Quickstart: a first tour of the library.
+
+Runs in a few seconds:
+
+1. spin up a co-deployment of the simulated Spark and Hive over one
+   metastore + filesystem and show a data-plane discrepancy by hand;
+2. replay one of the paper's named failures (Figure 2 / SPARK-27239);
+3. run a small slice of the §8 cross-test harness and classify what it
+   finds.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.crosstest import CrossTester, classify_trials, generate_inputs
+from repro.errors import QueryError
+from repro.hivelite import HiveServer
+from repro.scenarios import replay_spark_27239
+from repro.sparklite import SparkSession
+
+
+def demo_manual_discrepancy() -> None:
+    """§8.2 discrepancy #6 by hand: NaN across Spark and Hive."""
+    print("=" * 72)
+    print("1. A cross-system discrepancy by hand (HIVE-26528 shape)")
+    print("=" * 72)
+
+    spark = SparkSession.local()
+    hive = HiveServer(spark.metastore, spark.filesystem)
+
+    spark.sql("CREATE TABLE metrics (value double) STORED AS parquet")
+    spark.sql("INSERT INTO metrics VALUES (double('NaN')), (1.5D)")
+
+    spark_rows = spark.sql("SELECT * FROM metrics").to_tuples()
+    hive_rows = hive.execute("SELECT * FROM metrics").to_tuples()
+    print(f"  Spark reads:  {spark_rows}")
+    print(f"  Hive reads:   {hive_rows}")
+    print("  -> the same table, two engines, two answers: NaN has no")
+    print("     representation in Hive's result path and degrades to NULL.")
+
+    spark.sql("INSERT INTO metrics VALUES (double('Infinity'))")
+    try:
+        hive.execute("SELECT * FROM metrics")
+    except QueryError as exc:
+        print(f"  ...and Infinity errors instead (same root cause): {exc}")
+    print()
+
+
+def demo_scenario_replay() -> None:
+    """Figure 2: the compressed-file length of -1 (SPARK-27239)."""
+    print("=" * 72)
+    print("2. Replaying Figure 2 (SPARK-27239)")
+    print("=" * 72)
+
+    failing = replay_spark_27239()
+    print(f"  before the fix: {failing.symptom}")
+    fixed = replay_spark_27239(fixed=True)
+    print(
+        f"  after Figure 4's fix: {fixed.symptom} "
+        f"({fixed.metrics['records_read']} records)"
+    )
+    print()
+
+
+def demo_crosstest_slice() -> None:
+    """A small slice of the §8 harness: the tinyint inputs only."""
+    print("=" * 72)
+    print("3. Cross-testing a slice (tinyint inputs, all plans x formats)")
+    print("=" * 72)
+
+    inputs = [
+        i for i in generate_inputs() if i.column_type.name == "tinyint"
+    ]
+    trials = CrossTester(inputs=inputs).run()
+    evidence = classify_trials(trials)
+    found = sorted(n for n, e in evidence.items() if e.found)
+    print(f"  trials run: {len(trials)}")
+    print(f"  discrepancies evidenced by this slice alone: {found}")
+    for number in found:
+        sample = evidence[number].trials[0]
+        print(
+            f"    #{number}: e.g. plan={sample.plan.name} fmt={sample.fmt} "
+            f"-> {sample.outcome.error_type or sample.outcome.value!r}"
+        )
+    print()
+    print("Run `python examples/spark_hive_crosstest.py` for the full §8")
+    print("experiment (all 422 inputs; finds all 15 discrepancies).")
+
+
+if __name__ == "__main__":
+    demo_manual_discrepancy()
+    demo_scenario_replay()
+    demo_crosstest_slice()

@@ -1,0 +1,41 @@
+"""repro — reproduction of "Fail through the Cracks: Cross-System
+Interaction Failures in Modern Cloud Systems" (EuroSys '23).
+
+The package has three layers:
+
+* :mod:`repro.core` + :mod:`repro.dataset` — the empirical study: the
+  CSI failure taxonomy, the encoded datasets (120 open-source cases,
+  55 cloud incidents, the CBS comparison), and the analysis engine that
+  regenerates every table and finding.
+* :mod:`repro.crosstest` — the §8 cross-system testing tool for the
+  Spark–Hive data plane (inputs, plans, oracles, harness, discrepancy
+  catalog).
+* the substrates — :mod:`repro.sparklite`, :mod:`repro.hivelite`,
+  :mod:`repro.formats`, :mod:`repro.storage`, :mod:`repro.yarnlite`,
+  :mod:`repro.flinklite`, :mod:`repro.kafkalite`, plus the
+  :mod:`repro.connectors` layer and executable :mod:`repro.scenarios`.
+
+Quickstart::
+
+    from repro.crosstest import run_crosstest
+    report = run_crosstest()
+    print("\\n".join(report.summary_lines()))
+"""
+
+from repro.core.analysis import compute_findings
+from repro.crosstest.report import run_crosstest
+from repro.dataset import load_cbs_issues, load_failures, load_incidents
+from repro.scenarios.registry import SCENARIOS, run_all
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compute_findings",
+    "run_crosstest",
+    "load_cbs_issues",
+    "load_failures",
+    "load_incidents",
+    "SCENARIOS",
+    "run_all",
+    "__version__",
+]

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map onto the paper's artifacts:
+
+* ``study``     — regenerate Tables 1-9 and Findings 1-13 (C1/E1)
+* ``crosstest`` — run the §8 Spark-Hive cross-test (C2/E2)
+* ``replay``    — replay a named CSI failure (Figures 1-5 and more)
+* ``confcheck`` — lint a deployment's configuration plane
+* ``gaps``      — static reader-gap analysis per storage format
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Fail through the Cracks' (EuroSys '23)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("study", help="regenerate Tables 1-9 and Findings 1-13")
+
+    crosstest = sub.add_parser(
+        "crosstest", help="run the §8 Spark-Hive cross-test"
+    )
+    crosstest.add_argument(
+        "--conf",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="deployment configuration override (repeatable)",
+    )
+    crosstest.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    crosstest.add_argument(
+        "--formats",
+        default=None,
+        help="comma-separated formats (default: orc,parquet,avro)",
+    )
+
+    replay = sub.add_parser("replay", help="replay a named CSI failure")
+    replay.add_argument(
+        "jira", nargs="?", default=None,
+        help="issue id (e.g. FLINK-12342); omit to list scenarios",
+    )
+    replay.add_argument(
+        "--fixed", action="store_true", help="run the fixed variant"
+    )
+
+    confcheck = sub.add_parser(
+        "confcheck", help="lint an example deployment's configuration plane"
+    )
+    confcheck.add_argument(
+        "--scheduler", default="fair", choices=["fair", "capacity"]
+    )
+
+    gaps = sub.add_parser(
+        "gaps", help="static reader-gap analysis for a storage format"
+    )
+    gaps.add_argument("format", nargs="?", default="avro")
+
+    export = sub.add_parser(
+        "export", help="dump the 120-case CSI dataset to a JSON file"
+    )
+    export.add_argument("path", help="output file (e.g. csi_failures.json)")
+    return parser
+
+
+def _cmd_study() -> int:
+    from repro.core.analysis import compute_findings
+    from repro.dataset import load_cbs_issues, load_failures, load_incidents
+
+    findings = compute_findings(
+        load_failures(), load_incidents(), load_cbs_issues()
+    )
+    for finding in findings:
+        print(finding.render())
+    reproduced = sum(1 for f in findings if f.holds)
+    print(f"\n{reproduced}/13 findings reproduced")
+    return 0 if reproduced == 13 else 1
+
+
+def _cmd_crosstest(args: argparse.Namespace) -> int:
+    from repro.crosstest import FORMATS, run_crosstest
+
+    overrides = {}
+    for item in args.conf:
+        key, _, value = item.partition("=")
+        if not key or not value:
+            print(f"bad --conf {item!r}; expected KEY=VALUE", file=sys.stderr)
+            return 2
+        overrides[key] = value
+    formats = (
+        tuple(args.formats.split(",")) if args.formats else FORMATS
+    )
+    report = run_crosstest(formats=formats, conf_overrides=overrides)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=1))
+    else:
+        print("\n".join(report.summary_lines()))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.scenarios import SCENARIOS, by_jira
+
+    if args.jira is None:
+        for scenario in SCENARIOS:
+            print(
+                f"{scenario.jira:14} [{scenario.plane}] "
+                f"{scenario.upstream} -> {scenario.downstream}: "
+                f"{scenario.pattern}"
+            )
+        return 0
+    try:
+        scenario = by_jira(args.jira.upper())
+    except KeyError:
+        print(f"no scenario for {args.jira!r}", file=sys.stderr)
+        return 2
+    outcome = (
+        scenario.run_fixed() if args.fixed else scenario.run_failing()
+    )
+    print(outcome.describe())
+    for key, value in sorted(outcome.metrics.items()):
+        print(f"  {key} = {value}")
+    return 1 if outcome.failed else 0
+
+
+def _cmd_confcheck(args: argparse.Namespace) -> int:
+    from repro.confcheck import Deployment, check_deployment, default_rules
+    from repro.flinklite.configs import HEAP_CUTOFF_RATIO, FlinkConf
+    from repro.sparklite.conf import SparkConf
+    from repro.yarnlite.configs import SCHEDULER_CLASS, YarnConf
+
+    yarn = YarnConf()
+    yarn.set(SCHEDULER_CLASS, args.scheduler, source="cli")
+    flink = FlinkConf()
+    flink.set(HEAP_CUTOFF_RATIO, "0.0", source="cli")  # the FLINK-887 bug
+    deployment = (
+        Deployment().add(yarn).add(flink).add(SparkConf())
+    )
+    violations = check_deployment(deployment, default_rules())
+    if not violations:
+        print("deployment configuration is coherent")
+        return 0
+    for violation in violations:
+        print(violation.render())
+    return 1
+
+
+def _cmd_gaps(args: argparse.Namespace) -> int:
+    from repro.evolution import reader_gaps
+    from repro.formats import serializer_for
+
+    gaps = reader_gaps(serializer_for(args.format))
+    if not gaps:
+        print(f"{args.format}: no reader gaps")
+        return 0
+    print(f"{args.format}: {len(gaps)} reader gaps")
+    for gap in gaps:
+        print(f"  {gap.render()}")
+    return 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.dataset.io import dump_failures
+    from repro.dataset.opensource import load_failures
+
+    path = dump_failures(load_failures(), args.path)
+    print(f"wrote 120 CSI failure records to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "study":
+        return _cmd_study()
+    if args.command == "crosstest":
+        return _cmd_crosstest(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "confcheck":
+        return _cmd_confcheck(args)
+    if args.command == "gaps":
+        return _cmd_gaps(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""Configuration plane: typed keys, provenance, and merge semantics.
+
+Finding 7 of the paper says CSI-inducing configuration issues are mostly
+about *coherently configuring multiple systems* — values silently
+ignored or overruled while propagating between systems (Table 7), not
+individually erroneous values. To make those failure modes expressible
+(and testable), this module gives every configuration value a recorded
+provenance and makes merging an explicit, policy-carrying operation, so
+that "this Hive setting was silently overwritten by the Hadoop merge"
+(SPARK-16901) is an observable event rather than a lost bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigValueError, UnknownConfigKeyError
+
+__all__ = [
+    "ConfigKey",
+    "ConfigEntry",
+    "MergePolicy",
+    "Configuration",
+    "parse_bool",
+    "parse_int",
+    "parse_memory_mb",
+    "parse_duration_ms",
+]
+
+
+def parse_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("true", "1", "yes", "on"):
+        return True
+    if lowered in ("false", "0", "no", "off"):
+        return False
+    raise ConfigValueError(f"not a boolean: {text!r}")
+
+
+def parse_int(text: str) -> int:
+    try:
+        return int(text.strip())
+    except ValueError as exc:
+        raise ConfigValueError(f"not an integer: {text!r}") from exc
+
+
+_MEMORY_SUFFIXES = {"": 1, "m": 1, "mb": 1, "g": 1024, "gb": 1024}
+
+
+def parse_memory_mb(text: str) -> int:
+    """Parse ``"1024"``, ``"1024m"`` or ``"1g"`` into megabytes."""
+    lowered = text.strip().lower()
+    for suffix in sorted(_MEMORY_SUFFIXES, key=len, reverse=True):
+        if suffix and lowered.endswith(suffix):
+            return parse_int(lowered[: -len(suffix)]) * _MEMORY_SUFFIXES[suffix]
+    return parse_int(lowered)
+
+
+def parse_duration_ms(text: str) -> int:
+    """Parse ``"500"``, ``"500ms"``, ``"2s"`` or ``"1min"`` into milliseconds."""
+    lowered = text.strip().lower()
+    for suffix, factor in (("ms", 1), ("s", 1000), ("min", 60_000), ("h", 3_600_000)):
+        if lowered.endswith(suffix):
+            head = lowered[: -len(suffix)]
+            # "ms" also ends with "s"; only strip when the remainder parses.
+            try:
+                return parse_int(head) * factor
+            except ConfigValueError:
+                continue
+    return parse_int(lowered)
+
+
+@dataclass(frozen=True)
+class ConfigKey:
+    """A declared configuration parameter of one system."""
+
+    name: str
+    default: object = None
+    parser: Callable[[str], object] = str
+    doc: str = ""
+    deprecated: bool = False
+
+    def parse(self, raw: object) -> object:
+        if isinstance(raw, str):
+            return self.parser(raw)
+        return raw
+
+
+@dataclass(frozen=True)
+class ConfigEntry:
+    """A configuration value together with where it came from."""
+
+    key: str
+    value: object
+    source: str
+    overwrote: "ConfigEntry | None" = None
+
+    def provenance_chain(self) -> list[str]:
+        chain = [self.source]
+        entry = self.overwrote
+        while entry is not None:
+            chain.append(entry.source)
+            entry = entry.overwrote
+        return chain
+
+
+class MergePolicy(enum.Enum):
+    """How :meth:`Configuration.merge` resolves key collisions."""
+
+    PREFER_SELF = "prefer_self"
+    PREFER_OTHER = "prefer_other"
+    #: The historical Spark behaviour behind SPARK-16901: the incoming
+    #: configuration wins and no overwrite event is recorded, so the
+    #: losing value simply vanishes.
+    SILENT_OVERWRITE = "silent_overwrite"
+
+
+@dataclass
+class Configuration:
+    """A mutable configuration store with declared keys and an audit trail."""
+
+    system: str
+    declared: dict[str, ConfigKey] = field(default_factory=dict)
+    strict: bool = False
+    _entries: dict[str, ConfigEntry] = field(default_factory=dict)
+    _audit: list[ConfigEntry] = field(default_factory=list)
+
+    # -- declaration ----------------------------------------------------
+
+    def declare(self, key: ConfigKey) -> ConfigKey:
+        self.declared[key.name] = key
+        return key
+
+    def declare_all(self, keys: list[ConfigKey]) -> None:
+        for key in keys:
+            self.declare(key)
+
+    # -- mutation ---------------------------------------------------------
+
+    def set(self, name: str, value: object, source: str = "user") -> ConfigEntry:
+        if self.strict and name not in self.declared:
+            raise UnknownConfigKeyError(
+                f"{self.system}: unknown configuration key {name!r}"
+            )
+        declared = self.declared.get(name)
+        parsed = declared.parse(value) if declared else value
+        entry = ConfigEntry(name, parsed, source, self._entries.get(name))
+        self._entries[name] = entry
+        self._audit.append(entry)
+        return entry
+
+    def unset(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, name: str, default: object = None) -> object:
+        if name in self._entries:
+            return self._entries[name].value
+        if name in self.declared:
+            return self.declared[name].default
+        return default
+
+    def entry(self, name: str) -> ConfigEntry | None:
+        return self._entries.get(name)
+
+    def is_set(self, name: str) -> bool:
+        return name in self._entries
+
+    def explicit_items(self) -> Iterator[tuple[str, object]]:
+        for name, entry in self._entries.items():
+            yield name, entry.value
+
+    def effective_items(self) -> Iterator[tuple[str, object]]:
+        """Every declared default plus every explicit setting."""
+        seen = set()
+        for name, entry in self._entries.items():
+            seen.add(name)
+            yield name, entry.value
+        for name, key in self.declared.items():
+            if name not in seen:
+                yield name, key.default
+
+    @property
+    def audit_trail(self) -> tuple[ConfigEntry, ...]:
+        return tuple(self._audit)
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(
+        self,
+        other: "Configuration",
+        policy: MergePolicy = MergePolicy.PREFER_SELF,
+    ) -> list[ConfigEntry]:
+        """Fold ``other``'s explicit settings into this configuration.
+
+        Returns the entries that *lost* a collision, so callers (and
+        tests) can check whether a value was dropped. Under
+        ``SILENT_OVERWRITE`` the overwrite is additionally scrubbed from
+        the entry chain — the paper's recurring "value lost during
+        merge" pattern.
+        """
+        losers: list[ConfigEntry] = []
+        for name, value in other.explicit_items():
+            mine = self._entries.get(name)
+            if mine is None:
+                self.set(name, value, source=other.system)
+                continue
+            if policy is MergePolicy.PREFER_SELF:
+                losers.append(ConfigEntry(name, value, other.system))
+            elif policy is MergePolicy.PREFER_OTHER:
+                losers.append(mine)
+                self.set(name, value, source=other.system)
+            else:  # SILENT_OVERWRITE
+                losers.append(mine)
+                entry = ConfigEntry(name, value, other.system, overwrote=None)
+                self._entries[name] = entry
+                self._audit.append(entry)
+        return losers
+
+    def snapshot(self) -> dict[str, object]:
+        return {name: entry.value for name, entry in self._entries.items()}
+
+    def copy(self) -> "Configuration":
+        clone = Configuration(self.system, dict(self.declared), self.strict)
+        clone._entries = dict(self._entries)
+        clone._audit = list(self._audit)
+        return clone

@@ -1,0 +1,129 @@
+"""A deterministic discrete-event simulation kernel.
+
+The control- and management-plane scenarios (Figures 1, 3, 5 and the
+pmem-monitor case of §6.2.2) are timing-dependent: FLINK-12342 only
+manifests when YARN's allocation latency exceeds Flink's 500 ms
+re-request interval. Simulated time makes those replays deterministic
+and instantaneous.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "SimClock", "EventLoop", "Process"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordering: time, then insertion sequence."""
+
+    time_ms: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class SimClock:
+    """Monotonic simulated milliseconds."""
+
+    def __init__(self, start_ms: int = 0) -> None:
+        self._now_ms = start_ms
+
+    @property
+    def now_ms(self) -> int:
+        return self._now_ms
+
+    def advance_to(self, time_ms: int) -> None:
+        if time_ms < self._now_ms:
+            raise ValueError(
+                f"clock cannot move backwards: {time_ms} < {self._now_ms}"
+            )
+        self._now_ms = time_ms
+
+
+class EventLoop:
+    """A single-threaded run-to-completion event loop over a SimClock."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock or SimClock()
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now_ms(self) -> int:
+        return self.clock.now_ms
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    def call_at(self, time_ms: int, action: Callable[[], None], label: str = "") -> Event:
+        if time_ms < self.clock.now_ms:
+            raise ValueError(f"cannot schedule in the past: {time_ms}")
+        event = Event(time_ms, next(self._seq), action, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_after(self, delay_ms: int, action: Callable[[], None], label: str = "") -> Event:
+        return self.call_at(self.clock.now_ms + delay_ms, action, label)
+
+    def run_until(self, deadline_ms: int, max_events: int | None = None) -> int:
+        """Run events with time <= deadline; returns events processed."""
+        processed = 0
+        while self._heap and self._heap[0].time_ms <= deadline_ms:
+            if max_events is not None and processed >= max_events:
+                break
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time_ms)
+            event.action()
+            processed += 1
+            self._processed += 1
+        if not self._heap or self._heap[0].time_ms > deadline_ms:
+            self.clock.advance_to(max(self.clock.now_ms, deadline_ms))
+        return processed
+
+    def run_to_completion(self, max_events: int = 1_000_000) -> int:
+        processed = 0
+        while self._heap:
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"event loop exceeded {max_events} events; likely livelock"
+                )
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time_ms)
+            event.action()
+            processed += 1
+            self._processed += 1
+        return processed
+
+
+class Process:
+    """Base class for simulated actors that share an event loop."""
+
+    def __init__(self, loop: EventLoop, name: str) -> None:
+        self.loop = loop
+        self.name = name
+
+    @property
+    def now_ms(self) -> int:
+        return self.loop.now_ms
+
+    def schedule(self, delay_ms: int, action: Callable[[], None], label: str = "") -> Event:
+        return self.loop.call_after(delay_ms, action, label or self.name)

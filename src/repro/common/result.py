@@ -1,0 +1,45 @@
+"""Query results, shared by both engines.
+
+A result carries the schema it was produced under and any warnings the
+engine emitted, because the paper's oracles compare *all three*:
+values (WR), errors (EH), and schema/warnings across interfaces (Diff —
+e.g. the "not case preserving" warning of SPARK-40409).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.row import Row, rows_equal
+from repro.common.schema import Schema
+
+__all__ = ["QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    schema: Schema
+    rows: tuple[Row, ...] = ()
+    warnings: tuple[str, ...] = ()
+    interface: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def first(self) -> Row | None:
+        return self.rows[0] if self.rows else None
+
+    def column(self, name: str) -> list[object]:
+        index = self.schema.index_of(name)
+        return [row[index] for row in self.rows]
+
+    def same_rows(self, other: "QueryResult") -> bool:
+        if len(self.rows) != len(other.rows):
+            return False
+        return all(rows_equal(a, b) for a, b in zip(self.rows, other.rows))
+
+    def to_tuples(self) -> list[tuple[object, ...]]:
+        return [row.values for row in self.rows]

@@ -1,0 +1,99 @@
+"""Row values exchanged between the simulated systems."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+
+from repro.common.schema import Schema
+
+__all__ = ["Row", "rows_equal", "values_equal"]
+
+
+class Row(Sequence):
+    """An immutable, positionally-ordered tuple of column values.
+
+    A row may optionally carry the schema it was produced under, which is
+    how the oracles report "the same cell read through two interfaces
+    came back with different types".
+    """
+
+    __slots__ = ("_values", "_schema")
+
+    def __init__(self, values: Sequence[object], schema: Schema | None = None):
+        self._values = tuple(values)
+        self._schema = schema
+
+    @property
+    def schema(self) -> Schema | None:
+        return self._schema
+
+    @property
+    def values(self) -> tuple[object, ...]:
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, index):
+        if isinstance(index, str):
+            if self._schema is None:
+                raise KeyError(f"row has no schema; cannot look up {index!r}")
+            return self._values[self._schema.index_of(index)]
+        return self._values[index]
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return rows_equal(self, other)
+        if isinstance(other, tuple):
+            return self._values == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        return f"Row{self._values!r}"
+
+    def with_schema(self, schema: Schema) -> "Row":
+        return Row(self._values, schema)
+
+
+def values_equal(left: object, right: object) -> bool:
+    """Value equality as the paper's Write-Read oracle needs it.
+
+    ``NaN == NaN`` here (a WR oracle must treat a NaN that survives a
+    round trip as preserved), and ``1 == 1.0`` is *not* collapsed when
+    the types differ in kind, because type violations (HIVE-26533) must
+    be observable. Booleans are never equal to integers for the same
+    reason.
+    """
+    if left is None or right is None:
+        return left is None and right is None
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, float) and isinstance(right, float):
+        if math.isnan(left) and math.isnan(right):
+            return True
+        return left == right
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        return len(left) == len(right) and all(
+            values_equal(a, b) for a, b in zip(left, right)
+        )
+    if isinstance(left, dict) and isinstance(right, dict):
+        if set(left) != set(right):
+            return False
+        return all(values_equal(left[k], right[k]) for k in left)
+    if type(left) is not type(right):
+        # int vs float vs Decimal vs str: a kind change is a discrepancy.
+        return False
+    return left == right
+
+
+def rows_equal(left: Row, right: Row) -> bool:
+    if len(left) != len(right):
+        return False
+    return all(values_equal(a, b) for a, b in zip(left, right))

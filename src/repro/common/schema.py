@@ -1,0 +1,150 @@
+"""Schemas: ordered, named, typed fields with configurable case semantics.
+
+Case sensitivity is the mechanism behind several of the paper's §8
+discrepancies (HIVE-26533 / SPARK-40409 report a "not case preserving"
+side effect because Spark's native schema is case-sensitive while Hive's
+metastore lower-cases identifiers), so a :class:`Schema` carries an
+explicit ``case_sensitive`` flag rather than assuming one convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.types import DataType, parse_type
+from repro.errors import SchemaError
+
+__all__ = ["Field", "Schema"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named column."""
+
+    name: str
+    data_type: DataType
+    nullable: bool = True
+    comment: str | None = None
+    metadata: tuple[tuple[str, str], ...] = ()
+
+    def with_name(self, name: str) -> "Field":
+        return replace(self, name=name)
+
+    def with_type(self, data_type: DataType) -> "Field":
+        return replace(self, data_type=data_type)
+
+    def simple_string(self) -> str:
+        suffix = "" if self.nullable else " not null"
+        return f"{self.name} {self.data_type.simple_string()}{suffix}"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`Field` objects."""
+
+    fields: tuple[Field, ...] = ()
+    case_sensitive: bool = True
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for fld in self.fields:
+            key = fld.name if self.case_sensitive else fld.name.lower()
+            if key in seen:
+                raise SchemaError(
+                    f"duplicate column {fld.name!r}"
+                    f" (case_sensitive={self.case_sensitive})"
+                )
+            seen.add(key)
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def of(cls, *columns: tuple[str, str], case_sensitive: bool = True) -> "Schema":
+        """Build a schema from ``(name, type-string)`` pairs.
+
+        >>> Schema.of(("id", "bigint"), ("name", "string")).names()
+        ('id', 'name')
+        """
+        fields = tuple(Field(name, parse_type(ts)) for name, ts in columns)
+        return cls(fields, case_sensitive=case_sensitive)
+
+    # -- lookup -------------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def types(self) -> tuple[DataType, ...]:
+        return tuple(f.data_type for f in self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def index_of(self, name: str) -> int:
+        for i, fld in enumerate(self.fields):
+            if self._matches(fld.name, name):
+                return i
+        raise SchemaError(f"no column {name!r} in {self.names()}")
+
+    def field(self, name: str) -> Field:
+        return self.fields[self.index_of(name)]
+
+    def has_column(self, name: str) -> bool:
+        return any(self._matches(f.name, name) for f in self.fields)
+
+    def _matches(self, field_name: str, query: str) -> bool:
+        if self.case_sensitive:
+            return field_name == query
+        return field_name.lower() == query.lower()
+
+    # -- transformation -----------------------------------------------
+
+    def lower_cased(self) -> "Schema":
+        """The schema as a case-insensitive store (Hive metastore) keeps it.
+
+        This is deliberately lossy: it is the exact transformation the
+        Hive metastore applies and the root of the "not case preserving"
+        discrepancy family in §8.2.
+        """
+        fields = tuple(f.with_name(f.name.lower()) for f in self.fields)
+        return Schema(fields, case_sensitive=False)
+
+    def with_case_sensitivity(self, case_sensitive: bool) -> "Schema":
+        return Schema(self.fields, case_sensitive=case_sensitive)
+
+    def rename_positional(self, prefix: str = "_col") -> "Schema":
+        """Positional column names, as Hive writes ORC files (SPARK-21686)."""
+        fields = tuple(
+            f.with_name(f"{prefix}{i}") for i, f in enumerate(self.fields)
+        )
+        return Schema(fields, case_sensitive=self.case_sensitive)
+
+    def map_types(self, fn) -> "Schema":
+        """Apply ``fn(DataType) -> DataType`` to every column type."""
+        fields = tuple(f.with_type(fn(f.data_type)) for f in self.fields)
+        return Schema(fields, case_sensitive=self.case_sensitive)
+
+    def simple_string(self) -> str:
+        return ", ".join(f.simple_string() for f in self.fields)
+
+    # -- comparison ---------------------------------------------------
+
+    def same_shape(self, other: "Schema") -> bool:
+        """Same arity and same column types (names ignored)."""
+        return self.types() == other.types()
+
+    def equivalent(self, other: "Schema", *, case_sensitive: bool = True) -> bool:
+        """Name-and-type equality under the given case convention."""
+        if len(self) != len(other):
+            return False
+        for mine, theirs in zip(self.fields, other.fields):
+            names_equal = (
+                mine.name == theirs.name
+                if case_sensitive
+                else mine.name.lower() == theirs.name.lower()
+            )
+            if not names_equal or mine.data_type != theirs.data_type:
+                return False
+        return True

@@ -1,0 +1,546 @@
+"""Logical (engine-neutral) data types.
+
+Every simulated system in this repository — sparklite, hivelite, and the
+storage formats — expresses its own type system as a mapping onto these
+logical types. The paper's data-plane findings (§6.1, Table 4/5/6) are
+about *discrepancies between those mappings*; keeping one neutral
+algebra underneath lets each system disagree with the others exactly the
+way the real systems do (e.g. Avro has no physical BYTE, Hive has no
+case-sensitive identifiers), while the cross-test oracles compare values
+in one common currency.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "DataType",
+    "AtomicType",
+    "NullType",
+    "BooleanType",
+    "ByteType",
+    "ShortType",
+    "IntegerType",
+    "LongType",
+    "FloatType",
+    "DoubleType",
+    "DecimalType",
+    "StringType",
+    "CharType",
+    "VarcharType",
+    "BinaryType",
+    "DateType",
+    "TimestampType",
+    "TimestampNTZType",
+    "IntervalType",
+    "ArrayType",
+    "MapType",
+    "StructField",
+    "StructType",
+    "INTEGRAL_RANGES",
+    "is_integral",
+    "is_fractional",
+    "is_numeric",
+    "parse_type",
+]
+
+
+@dataclass(frozen=True)
+class DataType:
+    """Base class of all logical types."""
+
+    @property
+    def name(self) -> str:
+        """Canonical lower-case SQL-ish name, e.g. ``"bigint"``."""
+        raise NotImplementedError
+
+    def simple_string(self) -> str:
+        """Printable form; parameterized types include their parameters."""
+        return self.name
+
+    def accepts(self, value: object) -> bool:
+        """Whether a Python value is a valid instance of this type.
+
+        ``None`` is accepted by every type (nullability is tracked on
+        fields, not on types, as in Spark/Hive).
+        """
+        if value is None:
+            return True
+        return self._accepts(value)
+
+    def _accepts(self, value: object) -> bool:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.simple_string()
+
+
+class AtomicType(DataType):
+    """A type with no nested element types."""
+
+
+@dataclass(frozen=True)
+class NullType(AtomicType):
+    """The type of the untyped ``NULL`` literal."""
+
+    @property
+    def name(self) -> str:
+        return "null"
+
+    def _accepts(self, value: object) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class BooleanType(AtomicType):
+    @property
+    def name(self) -> str:
+        return "boolean"
+
+    def _accepts(self, value: object) -> bool:
+        return isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class _IntegralType(AtomicType):
+    """Shared behaviour of fixed-width integer types."""
+
+    @property
+    def min_value(self) -> int:
+        return INTEGRAL_RANGES[self.name][0]
+
+    @property
+    def max_value(self) -> int:
+        return INTEGRAL_RANGES[self.name][1]
+
+    def _accepts(self, value: object) -> bool:
+        if isinstance(value, bool) or not isinstance(value, int):
+            return False
+        return self.min_value <= value <= self.max_value
+
+
+@dataclass(frozen=True)
+class ByteType(_IntegralType):
+    @property
+    def name(self) -> str:
+        return "tinyint"
+
+
+@dataclass(frozen=True)
+class ShortType(_IntegralType):
+    @property
+    def name(self) -> str:
+        return "smallint"
+
+
+@dataclass(frozen=True)
+class IntegerType(_IntegralType):
+    @property
+    def name(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class LongType(_IntegralType):
+    @property
+    def name(self) -> str:
+        return "bigint"
+
+
+INTEGRAL_RANGES: dict[str, tuple[int, int]] = {
+    "tinyint": (-(2**7), 2**7 - 1),
+    "smallint": (-(2**15), 2**15 - 1),
+    "int": (-(2**31), 2**31 - 1),
+    "bigint": (-(2**63), 2**63 - 1),
+}
+
+
+@dataclass(frozen=True)
+class FloatType(AtomicType):
+    @property
+    def name(self) -> str:
+        return "float"
+
+    def _accepts(self, value: object) -> bool:
+        return isinstance(value, float)
+
+
+@dataclass(frozen=True)
+class DoubleType(AtomicType):
+    @property
+    def name(self) -> str:
+        return "double"
+
+    def _accepts(self, value: object) -> bool:
+        return isinstance(value, float)
+
+
+@dataclass(frozen=True)
+class DecimalType(AtomicType):
+    """Fixed-precision decimal, as in Spark/Hive ``DECIMAL(p, s)``."""
+
+    precision: int = 10
+    scale: int = 0
+
+    MAX_PRECISION = 38
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.precision <= self.MAX_PRECISION:
+            raise SchemaError(
+                f"decimal precision {self.precision} out of range 1..38"
+            )
+        if not 0 <= self.scale <= self.precision:
+            raise SchemaError(
+                f"decimal scale {self.scale} out of range 0..{self.precision}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "decimal"
+
+    def simple_string(self) -> str:
+        return f"decimal({self.precision},{self.scale})"
+
+    def fits(self, value: decimal.Decimal) -> bool:
+        """Whether the value fits without loss in (precision, scale)."""
+        if not value.is_finite():
+            return False
+        quantized = value.quantize(
+            decimal.Decimal(1).scaleb(-self.scale),
+            rounding=decimal.ROUND_HALF_UP,
+            context=decimal.Context(prec=self.MAX_PRECISION + 4),
+        )
+        if quantized != value:
+            return False
+        digits = quantized.as_tuple()
+        integral_digits = len(digits.digits) + digits.exponent
+        return integral_digits <= self.precision - self.scale
+
+    def _accepts(self, value: object) -> bool:
+        return isinstance(value, decimal.Decimal) and self.fits(value)
+
+
+@dataclass(frozen=True)
+class StringType(AtomicType):
+    @property
+    def name(self) -> str:
+        return "string"
+
+    def _accepts(self, value: object) -> bool:
+        return isinstance(value, str)
+
+
+@dataclass(frozen=True)
+class CharType(AtomicType):
+    """Fixed-length character type; values are blank-padded to ``length``."""
+
+    length: int = 1
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise SchemaError(f"char length {self.length} must be positive")
+
+    @property
+    def name(self) -> str:
+        return "char"
+
+    def simple_string(self) -> str:
+        return f"char({self.length})"
+
+    def pad(self, value: str) -> str:
+        return value.ljust(self.length)
+
+    def _accepts(self, value: object) -> bool:
+        return isinstance(value, str) and len(value) <= self.length
+
+
+@dataclass(frozen=True)
+class VarcharType(AtomicType):
+    """Bounded-length character type."""
+
+    length: int = 1
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise SchemaError(f"varchar length {self.length} must be positive")
+
+    @property
+    def name(self) -> str:
+        return "varchar"
+
+    def simple_string(self) -> str:
+        return f"varchar({self.length})"
+
+    def _accepts(self, value: object) -> bool:
+        return isinstance(value, str) and len(value) <= self.length
+
+
+@dataclass(frozen=True)
+class BinaryType(AtomicType):
+    @property
+    def name(self) -> str:
+        return "binary"
+
+    def _accepts(self, value: object) -> bool:
+        return isinstance(value, bytes)
+
+
+@dataclass(frozen=True)
+class DateType(AtomicType):
+    @property
+    def name(self) -> str:
+        return "date"
+
+    def _accepts(self, value: object) -> bool:
+        return isinstance(value, datetime.date) and not isinstance(
+            value, datetime.datetime
+        )
+
+
+@dataclass(frozen=True)
+class TimestampType(AtomicType):
+    """Timestamp with session-local timezone semantics (Spark default)."""
+
+    @property
+    def name(self) -> str:
+        return "timestamp"
+
+    def _accepts(self, value: object) -> bool:
+        return isinstance(value, datetime.datetime)
+
+
+@dataclass(frozen=True)
+class TimestampNTZType(AtomicType):
+    """Timestamp without timezone (Hive's classic TIMESTAMP semantics)."""
+
+    @property
+    def name(self) -> str:
+        return "timestamp_ntz"
+
+    def _accepts(self, value: object) -> bool:
+        return isinstance(value, datetime.datetime) and value.tzinfo is None
+
+
+@dataclass(frozen=True)
+class IntervalType(AtomicType):
+    """Day-time interval, stored as a ``datetime.timedelta``."""
+
+    @property
+    def name(self) -> str:
+        return "interval"
+
+    def _accepts(self, value: object) -> bool:
+        return isinstance(value, datetime.timedelta)
+
+
+@dataclass(frozen=True)
+class ArrayType(DataType):
+    element_type: DataType = field(default_factory=StringType)
+    contains_null: bool = True
+
+    @property
+    def name(self) -> str:
+        return "array"
+
+    def simple_string(self) -> str:
+        return f"array<{self.element_type.simple_string()}>"
+
+    def _accepts(self, value: object) -> bool:
+        if not isinstance(value, (list, tuple)):
+            return False
+        for item in value:
+            if item is None and not self.contains_null:
+                return False
+            if not self.element_type.accepts(item):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class MapType(DataType):
+    key_type: DataType = field(default_factory=StringType)
+    value_type: DataType = field(default_factory=StringType)
+    value_contains_null: bool = True
+
+    @property
+    def name(self) -> str:
+        return "map"
+
+    def simple_string(self) -> str:
+        return (
+            f"map<{self.key_type.simple_string()},"
+            f"{self.value_type.simple_string()}>"
+        )
+
+    def _accepts(self, value: object) -> bool:
+        if not isinstance(value, dict):
+            return False
+        for key, val in value.items():
+            if key is None or not self.key_type.accepts(key):
+                return False
+            if val is None and not self.value_contains_null:
+                return False
+            if not self.value_type.accepts(val):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    data_type: DataType
+    nullable: bool = True
+
+    def simple_string(self) -> str:
+        return f"{self.name}:{self.data_type.simple_string()}"
+
+
+@dataclass(frozen=True)
+class StructType(DataType):
+    fields: tuple[StructField, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate field names in struct: {names}")
+
+    @property
+    def name(self) -> str:
+        return "struct"
+
+    def simple_string(self) -> str:
+        inner = ",".join(f.simple_string() for f in self.fields)
+        return f"struct<{inner}>"
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def _accepts(self, value: object) -> bool:
+        if isinstance(value, dict):
+            if set(value) != set(self.field_names()):
+                return False
+            items = [value[f.name] for f in self.fields]
+        elif isinstance(value, (list, tuple)):
+            if len(value) != len(self.fields):
+                return False
+            items = list(value)
+        else:
+            return False
+        for fld, item in zip(self.fields, items):
+            if item is None and not fld.nullable:
+                return False
+            if not fld.data_type.accepts(item):
+                return False
+        return True
+
+
+def is_integral(dtype: DataType) -> bool:
+    return isinstance(dtype, _IntegralType)
+
+
+def is_fractional(dtype: DataType) -> bool:
+    return isinstance(dtype, (FloatType, DoubleType, DecimalType))
+
+
+def is_numeric(dtype: DataType) -> bool:
+    return is_integral(dtype) or is_fractional(dtype)
+
+
+_SIMPLE_TYPES: dict[str, type[DataType]] = {
+    "boolean": BooleanType,
+    "tinyint": ByteType,
+    "byte": ByteType,
+    "smallint": ShortType,
+    "short": ShortType,
+    "int": IntegerType,
+    "integer": IntegerType,
+    "bigint": LongType,
+    "long": LongType,
+    "float": FloatType,
+    "real": FloatType,
+    "double": DoubleType,
+    "string": StringType,
+    "binary": BinaryType,
+    "date": DateType,
+    "timestamp": TimestampType,
+    "timestamp_ntz": TimestampNTZType,
+    "interval": IntervalType,
+}
+
+
+def parse_type(text: str) -> DataType:
+    """Parse a SQL type string such as ``decimal(10,2)`` or ``array<int>``.
+
+    Supports the subset of the type grammar the paper's test plans use:
+    every atomic type plus single-level parameterization and arbitrary
+    nesting of ``array``, ``map`` and ``struct``.
+    """
+    text = text.strip()
+    lowered = text.lower()
+    if lowered in _SIMPLE_TYPES:
+        return _SIMPLE_TYPES[lowered]()
+    if lowered.startswith("decimal"):
+        params = _parse_params(text, "decimal")
+        if not params:
+            return DecimalType()
+        if len(params) == 1:
+            return DecimalType(int(params[0]))
+        return DecimalType(int(params[0]), int(params[1]))
+    if lowered.startswith("char"):
+        (length,) = _parse_params(text, "char") or ("1",)
+        return CharType(int(length))
+    if lowered.startswith("varchar"):
+        (length,) = _parse_params(text, "varchar") or ("1",)
+        return VarcharType(int(length))
+    if lowered.startswith("array<") and lowered.endswith(">"):
+        return ArrayType(parse_type(text[len("array<") : -1]))
+    if lowered.startswith("map<") and lowered.endswith(">"):
+        key_text, value_text = _split_top_level(text[len("map<") : -1])
+        return MapType(parse_type(key_text), parse_type(value_text))
+    if lowered.startswith("struct<") and lowered.endswith(">"):
+        fields = []
+        for part in _split_all_top_level(text[len("struct<") : -1]):
+            fname, _, ftype = part.partition(":")
+            fields.append(StructField(fname.strip(), parse_type(ftype)))
+        return StructType(tuple(fields))
+    raise SchemaError(f"cannot parse type string: {text!r}")
+
+
+def _parse_params(text: str, prefix: str) -> tuple[str, ...]:
+    rest = text[len(prefix) :].strip()
+    if not rest:
+        return ()
+    if not (rest.startswith("(") and rest.endswith(")")):
+        raise SchemaError(f"malformed type parameters in {text!r}")
+    return tuple(p.strip() for p in rest[1:-1].split(","))
+
+
+def _split_top_level(text: str) -> tuple[str, str]:
+    parts = _split_all_top_level(text)
+    if len(parts) != 2:
+        raise SchemaError(f"expected two type parameters in {text!r}")
+    return parts[0], parts[1]
+
+
+def _split_all_top_level(text: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char in "<(":
+            depth += 1
+        elif char in ">)":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current).strip())
+    return parts

@@ -1,0 +1,20 @@
+"""Cross-system configuration checking (the §6.2.1 implication)."""
+
+from repro.confcheck.builtin import BUILTIN_RULES, default_rules
+from repro.confcheck.rules import (
+    Deployment,
+    Rule,
+    Severity,
+    Violation,
+    check_deployment,
+)
+
+__all__ = [
+    "BUILTIN_RULES",
+    "default_rules",
+    "Deployment",
+    "Rule",
+    "Severity",
+    "Violation",
+    "check_deployment",
+]

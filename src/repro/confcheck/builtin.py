@@ -1,0 +1,240 @@
+"""Built-in cross-system rules, one per studied configuration failure.
+
+Each rule encodes the coherence property whose violation caused a real
+CSI failure from the dataset (Table 7's examples), so running the
+checker against a to-be-deployed configuration set catches the failure
+*before* deployment — the paper's proposed practice.
+"""
+
+from __future__ import annotations
+
+from repro.confcheck.rules import Deployment, Rule, Severity, Violation
+from repro.core.taxonomy import ConfigPattern
+from repro.flinklite.configs import HEAP_CUTOFF_RATIO, JM_PROCESS_SIZE_MB
+from repro.yarnlite.configs import (
+    INCREMENT_MB,
+    MAX_ALLOC_MB,
+    MIN_ALLOC_MB,
+    NM_MEMORY_MB,
+    PMEM_CHECK_ENABLED,
+    SCHEDULER_CLASS,
+)
+
+__all__ = ["BUILTIN_RULES", "default_rules"]
+
+
+def _flink_19141(deployment: Deployment) -> list[Violation]:
+    """FLINK-19141: Flink sizes containers with the min-allocation keys,
+    which only the capacity scheduler honours."""
+    yarn = deployment.require("yarn")
+    if yarn.get(SCHEDULER_CLASS) != "fair":
+        return []
+    minimum = int(yarn.get(MIN_ALLOC_MB))
+    increment = int(yarn.get(INCREMENT_MB))
+    if minimum == increment:
+        return []
+    return [
+        Violation(
+            rule_id="flink-yarn-allocation-keys",
+            pattern=ConfigPattern.INCONSISTENT_CONTEXT,
+            severity=Severity.ERROR,
+            message=(
+                "the fair scheduler normalizes with "
+                f"{INCREMENT_MB}={increment} but Flink's container "
+                f"arithmetic reads {MIN_ALLOC_MB}={minimum}; container "
+                "sizes will disagree (FLINK-19141)"
+            ),
+            systems=("flink", "yarn"),
+            keys=(MIN_ALLOC_MB, INCREMENT_MB, SCHEDULER_CLASS),
+        )
+    ]
+
+
+def _flink_887(deployment: Deployment) -> list[Violation]:
+    """FLINK-887: a zero heap cutoff under an enabled pmem monitor."""
+    flink = deployment.require("flink")
+    yarn = deployment.require("yarn")
+    if not bool(yarn.get(PMEM_CHECK_ENABLED)):
+        return []
+    ratio = float(flink.get(HEAP_CUTOFF_RATIO))
+    if ratio > 0.1:
+        return []
+    return [
+        Violation(
+            rule_id="flink-yarn-pmem-headroom",
+            pattern=ConfigPattern.INCONSISTENT_CONTEXT,
+            severity=Severity.ERROR,
+            message=(
+                f"{HEAP_CUTOFF_RATIO}={ratio} leaves no headroom below "
+                "the container allocation while YARN's pmem monitor is "
+                "enabled; the JobManager will be killed (FLINK-887)"
+            ),
+            systems=("flink", "yarn"),
+            keys=(HEAP_CUTOFF_RATIO, PMEM_CHECK_ENABLED),
+        )
+    ]
+
+
+def _flink_container_fits(deployment: Deployment) -> list[Violation]:
+    """A JobManager container larger than the NM or the scheduler max
+    can never be allocated."""
+    flink = deployment.require("flink")
+    yarn = deployment.require("yarn")
+    requested = int(flink.get(JM_PROCESS_SIZE_MB))
+    violations = []
+    for key in (MAX_ALLOC_MB, NM_MEMORY_MB):
+        limit = int(yarn.get(key))
+        if requested > limit:
+            violations.append(
+                Violation(
+                    rule_id="flink-yarn-container-size",
+                    pattern=ConfigPattern.INCONSISTENT_CONTEXT,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{JM_PROCESS_SIZE_MB}={requested} exceeds "
+                        f"{key}={limit}"
+                    ),
+                    systems=("flink", "yarn"),
+                    keys=(JM_PROCESS_SIZE_MB, key),
+                )
+            )
+    return violations
+
+
+def _spark_10181(deployment: Deployment) -> list[Violation]:
+    """SPARK-10181: Kerberos principal/keytab must propagate to the
+    Hive client; setting one without the other is silently ignored."""
+    spark = deployment.require("spark")
+    keytab = spark.get("spark.yarn.keytab")
+    principal = spark.get("spark.yarn.principal")
+    if (keytab is None) == (principal is None):
+        return []
+    present, missing = (
+        ("spark.yarn.keytab", "spark.yarn.principal")
+        if keytab is not None
+        else ("spark.yarn.principal", "spark.yarn.keytab")
+    )
+    return [
+        Violation(
+            rule_id="spark-hive-kerberos-pair",
+            pattern=ConfigPattern.IGNORANCE,
+            severity=Severity.ERROR,
+            message=(
+                f"{present} is set without {missing}; Spark's Hive client "
+                "ignores the half-configured credentials (SPARK-10181)"
+            ),
+            systems=("spark", "hive"),
+            keys=(present, missing),
+        )
+    ]
+
+
+def _spark_16901(deployment: Deployment) -> list[Violation]:
+    """SPARK-16901: a value Spark's merge silently overwrote.
+
+    Detectable through provenance: an audit entry whose chain was
+    scrubbed while a differently-sourced explicit value existed for the
+    same key in another system's configuration.
+    """
+    spark = deployment.require("spark")
+    hive = deployment.get("hive-site") or deployment.get("hive")
+    if hive is None:
+        return []
+    violations = []
+    for key, value in hive.explicit_items():
+        entry = spark.entry(key)
+        if entry is not None and entry.value != value:
+            violations.append(
+                Violation(
+                    rule_id="spark-hive-config-overwrite",
+                    pattern=ConfigPattern.UNEXPECTED_OVERRIDE,
+                    severity=Severity.WARNING,
+                    message=(
+                        f"{key} is {value!r} in hive-site but "
+                        f"{entry.value!r} (from {entry.source}) in Spark's "
+                        "effective configuration; the operator value was "
+                        "overruled (SPARK-16901)"
+                    ),
+                    systems=("spark", "hive"),
+                    keys=(key,),
+                )
+            )
+    return violations
+
+
+def _spark_15046(deployment: Deployment) -> list[Violation]:
+    """SPARK-15046: interval-typed parameters handled as raw numerics.
+
+    Flags suspicious magnitudes: a duration over 24h usually means a
+    unit was dropped somewhere between the systems.
+    """
+    spark = deployment.require("spark")
+    violations = []
+    for key in ("spark.network.timeout", "spark.yarn.am.waitTime"):
+        value = spark.get(key)
+        if isinstance(value, int) and value > 86_400_000:
+            violations.append(
+                Violation(
+                    rule_id="spark-yarn-interval-magnitude",
+                    pattern=ConfigPattern.MISHANDLING_VALUES,
+                    severity=Severity.WARNING,
+                    message=(
+                        f"{key}={value}ms exceeds 24h; interval values of "
+                        "this magnitude are usually unit mistakes "
+                        "(SPARK-15046 allowed 86400079ms)"
+                    ),
+                    systems=("spark", "yarn"),
+                    keys=(key,),
+                )
+            )
+    return violations
+
+
+BUILTIN_RULES: tuple[Rule, ...] = (
+    Rule(
+        rule_id="flink-yarn-allocation-keys",
+        pattern=ConfigPattern.INCONSISTENT_CONTEXT,
+        description="Flink container sizing vs the active YARN scheduler",
+        applies_to=("flink", "yarn"),
+        check=_flink_19141,
+    ),
+    Rule(
+        rule_id="flink-yarn-pmem-headroom",
+        pattern=ConfigPattern.INCONSISTENT_CONTEXT,
+        description="JVM headroom vs the NodeManager pmem monitor",
+        applies_to=("flink", "yarn"),
+        check=_flink_887,
+    ),
+    Rule(
+        rule_id="flink-yarn-container-size",
+        pattern=ConfigPattern.INCONSISTENT_CONTEXT,
+        description="Requested container fits scheduler and NM limits",
+        applies_to=("flink", "yarn"),
+        check=_flink_container_fits,
+    ),
+    Rule(
+        rule_id="spark-hive-kerberos-pair",
+        pattern=ConfigPattern.IGNORANCE,
+        description="Kerberos keytab/principal must be set together",
+        applies_to=("spark",),
+        check=_spark_10181,
+    ),
+    Rule(
+        rule_id="spark-hive-config-overwrite",
+        pattern=ConfigPattern.UNEXPECTED_OVERRIDE,
+        description="Operator hive-site values survive Spark's merge",
+        applies_to=("spark",),
+        check=_spark_16901,
+    ),
+    Rule(
+        rule_id="spark-yarn-interval-magnitude",
+        pattern=ConfigPattern.MISHANDLING_VALUES,
+        description="Interval parameters with unit-mistake magnitudes",
+        applies_to=("spark",),
+        check=_spark_15046,
+    ),
+)
+
+
+def default_rules() -> list[Rule]:
+    return list(BUILTIN_RULES)

@@ -1,0 +1,103 @@
+"""Cross-system configuration checking (§6.2.1's implication).
+
+Finding 7: CSI-inducing configuration issues are about *coherently
+configuring multiple systems* — values silently ignored, unexpectedly
+overridden, or correct-in-isolation but wrong in the deployed context.
+The paper's implication: "cross-system configuration testing, i.e.,
+cross-testing multiple systems under deployment (or to-be-deployed)
+configurations, could expose configuration-related CSI failures" and
+"traceability of how configuration values are applied across systems
+could be useful."
+
+This module is that checker. A :class:`Rule` relates configuration
+values *across* systems; :func:`check_deployment` evaluates a rule set
+against the set of per-system :class:`Configuration` objects that make
+up one deployment and returns typed violations, each labeled with the
+Table 7 pattern it instantiates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.common.config import Configuration
+from repro.core.taxonomy import ConfigPattern
+
+__all__ = ["Severity", "Violation", "Rule", "Deployment", "check_deployment"]
+
+
+class Severity:
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Violation:
+    rule_id: str
+    pattern: ConfigPattern
+    severity: str
+    message: str
+    systems: tuple[str, ...]
+    keys: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        return (
+            f"[{self.severity}] {self.rule_id} "
+            f"({'+'.join(self.systems)}): {self.message}"
+        )
+
+
+@dataclass
+class Deployment:
+    """The configuration plane of one co-deployment: one
+    :class:`Configuration` per system, keyed by system name."""
+
+    configurations: dict[str, Configuration] = field(default_factory=dict)
+
+    def add(self, configuration: Configuration) -> "Deployment":
+        self.configurations[configuration.system] = configuration
+        return self
+
+    def get(self, system: str) -> Configuration | None:
+        return self.configurations.get(system)
+
+    def require(self, system: str) -> Configuration:
+        configuration = self.configurations.get(system)
+        if configuration is None:
+            raise KeyError(f"deployment has no {system!r} configuration")
+        return configuration
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One cross-system consistency rule.
+
+    ``applies_to`` lists the systems the rule needs; ``check`` receives
+    the deployment and returns violations (empty when coherent).
+    """
+
+    rule_id: str
+    pattern: ConfigPattern
+    description: str
+    applies_to: tuple[str, ...]
+    check: Callable[[Deployment], list[Violation]]
+
+    def applicable(self, deployment: Deployment) -> bool:
+        return all(
+            system in deployment.configurations for system in self.applies_to
+        )
+
+
+def check_deployment(
+    deployment: Deployment, rules: list[Rule]
+) -> list[Violation]:
+    """Run every applicable rule; violations sorted errors-first."""
+    violations: list[Violation] = []
+    for rule in rules:
+        if rule.applicable(deployment):
+            violations.extend(rule.check(deployment))
+    order = {Severity.ERROR: 0, Severity.WARNING: 1}
+    return sorted(
+        violations, key=lambda v: (order.get(v.severity, 2), v.rule_id)
+    )

@@ -1,0 +1,27 @@
+"""Cross-system connector modules (the layer Finding 13 points at)."""
+
+from repro.connectors.spark_hive import (
+    NATIVE_SCHEMA_PROPERTY,
+    NOT_CASE_PRESERVING_WARNING,
+    ResolvedTable,
+    SparkHiveConnector,
+    schema_from_property,
+    schema_to_property,
+)
+from repro.connectors.transformers import (
+    TRANSFORMER_COUNT,
+    transform_value,
+    transformer_for,
+)
+
+__all__ = [
+    "NATIVE_SCHEMA_PROPERTY",
+    "NOT_CASE_PRESERVING_WARNING",
+    "ResolvedTable",
+    "SparkHiveConnector",
+    "schema_from_property",
+    "schema_to_property",
+    "TRANSFORMER_COUNT",
+    "transform_value",
+    "transformer_for",
+]

@@ -1,0 +1,99 @@
+"""Hive's HBase storage handler — the Hive→HBase data interaction.
+
+HBase cells are untyped strings; Hive lays a typed schema over them
+(the real ``HBaseStorageHandler`` with ``hbase.columns.mapping``). Every
+cell read is therefore a string→declared-type coercion through Hive's
+lenient cast — the place where a typed system's expectations meet a
+schemaless store. A cell that does not parse as its declared type reads
+as NULL, silently (Table 6's "type confusion" family for the KV-backed
+tables the paper counts under Hive→HBase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.result import QueryResult
+from repro.common.row import Row
+from repro.common.schema import Schema
+from repro.errors import SchemaError
+from repro.hbaselite.master import HBaseMaster
+from repro.hivelite.casts import hive_write_cast
+
+__all__ = ["HBaseColumnMapping", "HiveHBaseHandler"]
+
+ROW_KEY = ":key"
+
+
+@dataclass(frozen=True)
+class HBaseColumnMapping:
+    """``hbase.columns.mapping``: one HBase column per Hive column.
+
+    The first mapped column is conventionally ``:key`` (the row key).
+    """
+
+    entries: tuple[str, ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "HBaseColumnMapping":
+        entries = tuple(part.strip() for part in text.split(","))
+        if not entries or not all(entries):
+            raise SchemaError(f"bad hbase.columns.mapping: {text!r}")
+        return cls(entries)
+
+    def validate_against(self, schema: Schema) -> None:
+        if len(self.entries) != len(schema):
+            raise SchemaError(
+                f"mapping has {len(self.entries)} columns, schema has "
+                f"{len(schema)}"
+            )
+
+
+@dataclass
+class HiveHBaseHandler:
+    """Read/write a typed Hive schema over an HBase table."""
+
+    hbase: HBaseMaster
+    table: str
+    schema: Schema
+    mapping: HBaseColumnMapping
+
+    def __post_init__(self) -> None:
+        self.mapping.validate_against(self.schema)
+        if not self.hbase.table_exists(self.table):
+            self.hbase.create_table(self.table)
+
+    def insert(self, rows: list[tuple]) -> None:
+        region = self.hbase.table(self.table)
+        for row in rows:
+            if len(row) != len(self.schema):
+                raise SchemaError(
+                    f"row arity {len(row)} != schema arity {len(self.schema)}"
+                )
+            row_key = None
+            columns: dict[str, str] = {}
+            for value, hbase_col in zip(row, self.mapping.entries):
+                text = "" if value is None else str(value)
+                if hbase_col == ROW_KEY:
+                    row_key = text
+                else:
+                    columns[hbase_col] = text
+            if not row_key:
+                raise SchemaError("row key column cannot be NULL/empty")
+            region.put(row_key, columns)
+
+    def select_all(self) -> QueryResult:
+        region = self.hbase.table(self.table)
+        out: list[Row] = []
+        for row_key, cells in region.scan():
+            values = []
+            for field, hbase_col in zip(self.schema.fields, self.mapping.entries):
+                raw = row_key if hbase_col == ROW_KEY else cells.get(hbase_col)
+                # the typed-over-untyped coercion: lenient, NULL on failure
+                values.append(
+                    None if raw is None else hive_write_cast(raw, field.data_type)
+                )
+            out.append(Row(values, self.schema))
+        return QueryResult(
+            schema=self.schema, rows=tuple(out), interface="hive-hbase"
+        )

@@ -1,0 +1,472 @@
+"""The study's analysis engine: regenerate Tables 1-9 and Findings 1-13
+(plus Finding 15 from the §8 case study) from the encoded datasets —
+the same role the paper's ``reproduce_study.ipynb`` artifact plays.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.failure import CBSIssue, CloudIncident, CSIFailure
+from repro.core.taxonomy import (
+    ApiMisuseKind,
+    ConfigKind,
+    ConfigPattern,
+    ControlPattern,
+    DataAbstraction,
+    DataPattern,
+    DataProperty,
+    FixLocation,
+    FixPattern,
+    MgmtKind,
+    Plane,
+    Symptom,
+    SymptomGroup,
+)
+
+__all__ = [
+    "Table",
+    "Finding",
+    "table1_interactions",
+    "table2_planes",
+    "table3_symptoms",
+    "table4_data_properties",
+    "table5_abstractions",
+    "table6_patterns",
+    "table7_config_patterns",
+    "table8_control_patterns",
+    "table9_fixes",
+    "incident_statistics",
+    "cbs_statistics",
+    "compute_findings",
+]
+
+
+@dataclass
+class Table:
+    """A rendered table: ordered (label, count) rows plus a total."""
+
+    number: int
+    title: str
+    rows: list[tuple[str, int]]
+    total: int
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.rows)
+
+    def render(self) -> str:
+        width = max((len(label) for label, _ in self.rows), default=10)
+        lines = [f"Table {self.number}. {self.title}"]
+        for label, count in self.rows:
+            pct = f"({count / self.total:.0%})" if self.total else ""
+            lines.append(f"  {label:<{width}}  {count:>4} {pct}")
+        lines.append(f"  {'Total':<{width}}  {self.total:>4}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Finding:
+    number: int
+    claim: str
+    observed: dict[str, object] = field(default_factory=dict)
+    holds: bool = True
+
+    def render(self) -> str:
+        status = "REPRODUCED" if self.holds else "NOT REPRODUCED"
+        return f"Finding {self.number} [{status}]: {self.claim}\n  observed: {self.observed}"
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def table1_interactions(failures: tuple[CSIFailure, ...]) -> Table:
+    counts = Counter(
+        (f.upstream, f.downstream, f.interaction) for f in failures
+    )
+    rows = [
+        (f"{up} -> {down} [{interaction}]", count)
+        for (up, down, interaction), count in sorted(
+            counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    ]
+    return Table(1, "Target systems and their interactions", rows, len(failures))
+
+
+def table2_planes(failures: tuple[CSIFailure, ...]) -> Table:
+    counts = Counter(f.plane for f in failures)
+    rows = [
+        ("Control", counts[Plane.CONTROL]),
+        ("Data", counts[Plane.DATA]),
+        ("Management", counts[Plane.MANAGEMENT]),
+    ]
+    return Table(2, "Categorization by planes", rows, len(failures))
+
+
+def table3_symptoms(failures: tuple[CSIFailure, ...]) -> Table:
+    counts = Counter(f.symptom for f in failures)
+    rows = []
+    for group in (SymptomGroup.SYSTEM, SymptomGroup.JOB, SymptomGroup.OPERATION):
+        for symptom in Symptom:
+            if symptom.group is group and counts.get(symptom, 0):
+                rows.append(
+                    (f"[{group.value}] {symptom.label}", counts[symptom])
+                )
+    return Table(3, "Failure symptoms", rows, len(failures))
+
+
+def _data_cases(failures) -> list[CSIFailure]:
+    return [f for f in failures if f.plane is Plane.DATA]
+
+
+def table4_data_properties(failures: tuple[CSIFailure, ...]) -> Table:
+    data = _data_cases(failures)
+    counts = Counter(f.data_property for f in data)
+    rows = [
+        ("Address", counts[DataProperty.ADDRESS]),
+        (
+            "Schema",
+            counts[DataProperty.SCHEMA_STRUCTURE]
+            + counts[DataProperty.SCHEMA_VALUE],
+        ),
+        ("  Structure", counts[DataProperty.SCHEMA_STRUCTURE]),
+        ("  Value", counts[DataProperty.SCHEMA_VALUE]),
+        ("Custom property", counts[DataProperty.CUSTOM_PROPERTY]),
+        ("API semantics", counts[DataProperty.API_SEMANTICS]),
+    ]
+    return Table(4, "Data properties of data-plane discrepancies", rows, len(data))
+
+
+def table5_abstractions(
+    failures: tuple[CSIFailure, ...],
+) -> dict[str, dict[str, int]]:
+    """The Table 5 matrix: abstraction x property."""
+    data = _data_cases(failures)
+    matrix: dict[str, dict[str, int]] = {}
+    for abstraction in DataAbstraction:
+        row = {
+            "Address": 0,
+            "Struct.": 0,
+            "Value": 0,
+            "Custom prop.": 0,
+            "API semantics": 0,
+            "Total": 0,
+        }
+        for case in data:
+            if case.data_abstraction is not abstraction:
+                continue
+            key = {
+                DataProperty.ADDRESS: "Address",
+                DataProperty.SCHEMA_STRUCTURE: "Struct.",
+                DataProperty.SCHEMA_VALUE: "Value",
+                DataProperty.CUSTOM_PROPERTY: "Custom prop.",
+                DataProperty.API_SEMANTICS: "API semantics",
+            }[case.data_property]
+            row[key] += 1
+            row["Total"] += 1
+        matrix[abstraction.value] = row
+    return matrix
+
+
+def table6_patterns(failures: tuple[CSIFailure, ...]) -> Table:
+    data = _data_cases(failures)
+    counts = Counter(f.data_pattern for f in data)
+    rows = [(pattern.value, counts[pattern]) for pattern in DataPattern]
+    return Table(6, "Data-plane discrepancy patterns", rows, len(data))
+
+
+def table7_config_patterns(failures: tuple[CSIFailure, ...]) -> Table:
+    config = [
+        f
+        for f in failures
+        if f.plane is Plane.MANAGEMENT and f.mgmt_kind is MgmtKind.CONFIGURATION
+    ]
+    counts = Counter(f.config_pattern for f in config)
+    rows = [(pattern.value, counts[pattern]) for pattern in ConfigPattern]
+    return Table(7, "Configuration-related discrepancy patterns", rows, len(config))
+
+
+def table8_control_patterns(failures: tuple[CSIFailure, ...]) -> Table:
+    control = [f for f in failures if f.plane is Plane.CONTROL]
+    counts = Counter(f.control_pattern for f in control)
+    rows = [(pattern.value, counts[pattern]) for pattern in ControlPattern]
+    return Table(8, "Control-plane discrepancy patterns", rows, len(control))
+
+
+def table9_fixes(failures: tuple[CSIFailure, ...]) -> Table:
+    counts = Counter(f.fix_pattern for f in failures)
+    rows = [(pattern.value, counts[pattern]) for pattern in FixPattern]
+    return Table(9, "Fix patterns", rows, len(failures))
+
+
+# ---------------------------------------------------------------------------
+# Incident / CBS statistics (§3, §4)
+# ---------------------------------------------------------------------------
+
+
+def incident_statistics(incidents: tuple[CloudIncident, ...]) -> dict[str, object]:
+    csi = [i for i in incidents if i.is_csi]
+    durations = sorted(i.duration_minutes for i in csi)
+    return {
+        "total": len(incidents),
+        "csi": len(csi),
+        "csi_fraction": len(csi) / len(incidents),
+        "min_duration_minutes": durations[0],
+        "median_duration_minutes": int(statistics.median(durations)),
+        "max_duration_minutes": durations[-1],
+        "impaired_external": sum(
+            1 for i in csi if i.impaired_external_services
+        ),
+        "mention_interaction_fix": sum(
+            1 for i in csi if i.mentions_interaction_fix
+        ),
+        "by_provider": dict(Counter(i.provider for i in incidents)),
+    }
+
+
+def cbs_statistics(issues: tuple[CBSIssue, ...]) -> dict[str, object]:
+    csi = [i for i in issues if i.is_csi]
+    control = sum(1 for i in csi if i.plane is Plane.CONTROL)
+    return {
+        "total": len(issues),
+        "csi": len(csi),
+        "dependency": sum(1 for i in issues if i.is_dependency),
+        "not_cross_system": sum(
+            1 for i in issues if not i.is_csi and not i.is_dependency
+        ),
+        "control_plane_csi": control,
+        "control_plane_fraction": control / len(csi),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+
+def compute_findings(
+    failures: tuple[CSIFailure, ...],
+    incidents: tuple[CloudIncident, ...],
+    cbs: tuple[CBSIssue, ...],
+) -> list[Finding]:
+    """Findings 1-13, each checked against the encoded datasets."""
+    findings: list[Finding] = []
+    data = _data_cases(failures)
+    mgmt = [f for f in failures if f.plane is Plane.MANAGEMENT]
+    control = [f for f in failures if f.plane is Plane.CONTROL]
+    fixed = [f for f in failures if f.has_merged_fix]
+
+    stats = incident_statistics(incidents)
+    findings.append(
+        Finding(
+            1,
+            "Among 55 cloud incidents, 11 (20%) were caused by CSI failures.",
+            {"total": stats["total"], "csi": stats["csi"],
+             "median_duration_minutes": stats["median_duration_minutes"]},
+            stats["total"] == 55 and stats["csi"] == 11
+            and stats["median_duration_minutes"] == 106,
+        )
+    )
+
+    cbs_stats = cbs_statistics(cbs)
+    findings.append(
+        Finding(
+            2,
+            "Plane split 51% data / 32% management / 17% control "
+            "(CBS comparison: 69% control).",
+            {
+                "data": len(data),
+                "management": len(mgmt),
+                "control": len(control),
+                "cbs_control_fraction": round(
+                    cbs_stats["control_plane_fraction"], 2
+                ),
+            },
+            (len(data), len(mgmt), len(control)) == (61, 39, 20)
+            and abs(cbs_stats["control_plane_fraction"] - 0.69) < 0.01,
+        )
+    )
+
+    crashing = sum(1 for f in failures if f.symptom.crashing)
+    findings.append(
+        Finding(
+            3,
+            "Most (89/120) CSI failures manifest through crashing behavior.",
+            {"crashing": crashing, "total": len(failures)},
+            crashing == 89,
+        )
+    )
+
+    typical = sum(1 for f in data if f.data_property.is_typical_metadata)
+    custom = sum(
+        1 for f in data if f.data_property is DataProperty.CUSTOM_PROPERTY
+    )
+    findings.append(
+        Finding(
+            4,
+            "50/61 data-plane failures are metadata-caused "
+            "(42 typical + 8 custom).",
+            {"typical_metadata": typical, "custom_metadata": custom,
+             "metadata": typical + custom, "other": len(data) - typical - custom},
+            typical == 42 and custom == 8,
+        )
+    )
+
+    table_cases = sum(
+        1 for f in data if f.data_abstraction is DataAbstraction.TABLE
+    )
+    kv_cases = sum(
+        1 for f in data if f.data_abstraction is DataAbstraction.KV_TUPLE
+    )
+    findings.append(
+        Finding(
+            5,
+            "57% (35/61) of data-plane failures are table-induced; none are "
+            "key-value tuple operations.",
+            {"table": table_cases, "kv_tuple": kv_cases},
+            table_cases == 35 and kv_cases == 0,
+        )
+    )
+
+    serialization = sum(1 for f in data if f.serialization_rooted)
+    findings.append(
+        Finding(
+            6,
+            "25% (15/61) of data-plane failures are root-caused by data "
+            "serialization.",
+            {"serialization_rooted": serialization},
+            serialization == 15,
+        )
+    )
+
+    config = [f for f in mgmt if f.mgmt_kind is MgmtKind.CONFIGURATION]
+    coherence_patterns = (
+        ConfigPattern.IGNORANCE,
+        ConfigPattern.UNEXPECTED_OVERRIDE,
+        ConfigPattern.INCONSISTENT_CONTEXT,
+    )
+    coherence = sum(1 for f in config if f.config_pattern in coherence_patterns)
+    silent = sum(
+        1
+        for f in config
+        if f.config_pattern
+        in (ConfigPattern.IGNORANCE, ConfigPattern.UNEXPECTED_OVERRIDE)
+    )
+    findings.append(
+        Finding(
+            7,
+            "Config-related CSI failures are about coherently configuring "
+            "multiple systems (18/30 silently ignored or overruled).",
+            {"config_cases": len(config), "coherence_cases": coherence,
+             "silently_lost": silent},
+            len(config) == 30 and silent == 18,
+        )
+    )
+
+    parameter = sum(
+        1 for f in config if f.config_kind is ConfigKind.PARAMETER
+    )
+    findings.append(
+        Finding(
+            8,
+            "Parameter issues are the majority (21/30) of config-induced "
+            "CSI failures; the rest (9/30) are component-level.",
+            {"parameter": parameter, "component": len(config) - parameter},
+            parameter == 21,
+        )
+    )
+
+    monitoring = [f for f in mgmt if f.mgmt_kind is MgmtKind.MONITORING]
+    kill_cases = [f for f in monitoring if f.symptom.crashing]
+    findings.append(
+        Finding(
+            9,
+            "Monitoring-related CSIs are critical, especially when "
+            "monitoring data drives critical actions.",
+            {"monitoring_cases": len(monitoring),
+             "crashing_monitoring_cases": len(kill_cases)},
+            len(monitoring) == 9 and len(kill_cases) >= 1,
+        )
+    )
+
+    implicit = sum(
+        1
+        for f in control
+        if f.control_pattern
+        in (
+            ControlPattern.API_SEMANTIC_VIOLATION,
+            ControlPattern.STATE_RESOURCE_INCONSISTENCY,
+        )
+    )
+    findings.append(
+        Finding(
+            10,
+            "Most control-plane failures root in implicit properties "
+            "(API semantics and state/resource inconsistency).",
+            {"implicit_property_cases": implicit, "control_total": len(control)},
+            implicit == 18,
+        )
+    )
+
+    misuse = [
+        f
+        for f in control
+        if f.control_pattern is ControlPattern.API_SEMANTIC_VIOLATION
+    ]
+    implicit_kind = sum(
+        1
+        for f in misuse
+        if f.api_misuse_kind is ApiMisuseKind.IMPLICIT_SEMANTIC_VIOLATION
+    )
+    findings.append(
+        Finding(
+            11,
+            "API misuses contribute 13/20 control-plane failures "
+            "(8 implicit semantic violations + 5 wrong invocation context).",
+            {"api_misuse": len(misuse), "implicit": implicit_kind,
+             "wrong_context": len(misuse) - implicit_kind},
+            len(misuse) == 13 and implicit_kind == 8,
+        )
+    )
+
+    check_eh = sum(
+        1
+        for f in fixed
+        if f.fix_pattern in (FixPattern.CHECKING, FixPattern.ERROR_HANDLING)
+    )
+    findings.append(
+        Finding(
+            12,
+            "40% (46/115) of merged fixes improve checking/error handling "
+            "rather than repairing the interaction.",
+            {"checking_or_eh": check_eh, "fixed_total": len(fixed)},
+            check_eh == 46 and len(fixed) == 115,
+        )
+    )
+
+    specific = [
+        f
+        for f in fixed
+        if f.fix_location
+        in (FixLocation.CONNECTOR, FixLocation.SYSTEM_SPECIFIC)
+    ]
+    connector = sum(
+        1 for f in specific if f.fix_location is FixLocation.CONNECTOR
+    )
+    downstream_fixed = sum(1 for f in fixed if f.fixed_by_downstream)
+    findings.append(
+        Finding(
+            13,
+            "69% (79/115) of fixes land in code specific to the interacting "
+            "system; 68 of those 79 (86%) in dedicated connector modules; "
+            "all but one fix was implemented by the upstream.",
+            {"specific": len(specific), "connector": connector,
+             "generic": len(fixed) - len(specific),
+             "downstream_fixed": downstream_fixed},
+            len(specific) == 79 and connector == 68 and downstream_fixed == 1,
+        )
+    )
+    return findings

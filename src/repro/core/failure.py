@@ -1,0 +1,151 @@
+"""Record models for the study datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.taxonomy import (
+    ApiMisuseKind,
+    ConfigKind,
+    ConfigPattern,
+    ControlPattern,
+    DataAbstraction,
+    DataPattern,
+    DataProperty,
+    FixLocation,
+    FixPattern,
+    MgmtKind,
+    Plane,
+    Severity,
+    Symptom,
+)
+from repro.errors import DatasetError
+
+__all__ = ["CSIFailure", "CloudIncident", "CBSIssue"]
+
+
+@dataclass(frozen=True)
+class CSIFailure:
+    """One labeled open-source CSI failure (the 120-case dataset of §4).
+
+    Per-plane label groups are optional but mandatory for their plane:
+    a data-plane case must carry abstraction/property/pattern labels, a
+    management-plane case its kind (+ config labels when configuration),
+    a control-plane case its control pattern (+ misuse kind when the
+    pattern is an API misuse).
+    """
+
+    case_id: str
+    issue_id: str
+    upstream: str
+    downstream: str
+    interaction: str
+    plane: Plane
+    symptom: Symptom
+    severity: Severity
+    fix_pattern: FixPattern
+    description: str = ""
+    synthetic: bool = True
+
+    # data plane
+    data_abstraction: DataAbstraction | None = None
+    data_property: DataProperty | None = None
+    data_pattern: DataPattern | None = None
+    serialization_rooted: bool = False
+
+    # management plane
+    mgmt_kind: MgmtKind | None = None
+    config_pattern: ConfigPattern | None = None
+    config_kind: ConfigKind | None = None
+
+    # control plane
+    control_pattern: ControlPattern | None = None
+    api_misuse_kind: ApiMisuseKind | None = None
+
+    # fix
+    fix_location: FixLocation | None = None
+    fixed_by_downstream: bool = False
+
+    def __post_init__(self) -> None:
+        if self.plane is Plane.DATA:
+            if None in (
+                self.data_abstraction,
+                self.data_property,
+                self.data_pattern,
+            ):
+                raise DatasetError(
+                    f"{self.case_id}: data-plane case missing data labels"
+                )
+        elif self.plane is Plane.MANAGEMENT:
+            if self.mgmt_kind is None:
+                raise DatasetError(
+                    f"{self.case_id}: management-plane case missing kind"
+                )
+            if self.mgmt_kind is MgmtKind.CONFIGURATION and None in (
+                self.config_pattern,
+                self.config_kind,
+            ):
+                raise DatasetError(
+                    f"{self.case_id}: configuration case missing labels"
+                )
+        elif self.plane is Plane.CONTROL:
+            if self.control_pattern is None:
+                raise DatasetError(
+                    f"{self.case_id}: control-plane case missing pattern"
+                )
+            if (
+                self.control_pattern
+                is ControlPattern.API_SEMANTIC_VIOLATION
+                and self.api_misuse_kind is None
+            ):
+                raise DatasetError(
+                    f"{self.case_id}: API misuse case missing misuse kind"
+                )
+        if self.fix_pattern is FixPattern.OTHER:
+            if self.fix_location is not None:
+                raise DatasetError(
+                    f"{self.case_id}: unfixed case cannot have a fix location"
+                )
+        elif self.fix_location is None:
+            raise DatasetError(
+                f"{self.case_id}: fixed case missing fix location"
+            )
+
+    @property
+    def has_merged_fix(self) -> bool:
+        return self.fix_pattern is not FixPattern.OTHER
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.upstream, self.downstream)
+
+
+@dataclass(frozen=True)
+class CloudIncident:
+    """One public incident report (§3)."""
+
+    incident_id: str
+    provider: str  # gcp | azure | aws
+    is_csi: bool
+    summary: str = ""
+    duration_minutes: int | None = None
+    plane: Plane | None = None
+    impaired_external_services: bool = False
+    mentions_interaction_fix: bool = False
+
+
+@dataclass(frozen=True)
+class CBSIssue:
+    """One issue from the 2014 Cloud Bug Study comparison subset (§4)."""
+
+    issue_id: str
+    system: str
+    is_csi: bool
+    is_dependency: bool = False
+    plane: Plane | None = None
+
+    def __post_init__(self) -> None:
+        if self.is_csi and self.is_dependency:
+            raise DatasetError(f"{self.issue_id}: cannot be both CSI and dependency")
+        if self.is_csi and self.plane is None:
+            raise DatasetError(f"{self.issue_id}: CSI issue needs a plane label")

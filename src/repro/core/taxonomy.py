@@ -1,0 +1,185 @@
+"""The paper's classification taxonomy (§2, §5, §6, §7).
+
+**OCR normalization note (Table 3).** The symptom rows in the provided
+paper text are garbled (they sum to 122). We normalized the row set so
+that both constraints the prose states hold exactly: the total is 120
+and crashing symptoms account for 89/120 (Finding 3). The normalized
+rows, with their group and crashing classification, are the
+:class:`Symptom` members below.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Plane",
+    "Severity",
+    "SymptomGroup",
+    "Symptom",
+    "DataAbstraction",
+    "DataProperty",
+    "DataPattern",
+    "MgmtKind",
+    "ConfigPattern",
+    "ConfigKind",
+    "ControlPattern",
+    "ApiMisuseKind",
+    "FixPattern",
+    "FixLocation",
+]
+
+
+class Plane(enum.Enum):
+    """The failure plane the interaction manifests on (§2.2)."""
+
+    CONTROL = "control"
+    DATA = "data"
+    MANAGEMENT = "management"
+
+
+class Severity(enum.Enum):
+    """JIRA severity; the study only admits these three (§4)."""
+
+    BLOCKER = "Blocker"
+    CRITICAL = "Critical"
+    MAJOR = "Major"
+
+
+class SymptomGroup(enum.Enum):
+    SYSTEM = "system"
+    JOB = "job"
+    OPERATION = "operation"
+
+
+class Symptom(enum.Enum):
+    """Failure symptoms (Table 3, normalized — see module docstring)."""
+
+    RUNTIME_CRASH_HANG = ("Runtime crash/hang", SymptomGroup.SYSTEM, True)
+    STARTUP_FAILURE = ("Startup failure", SymptomGroup.SYSTEM, True)
+    SYSTEM_PERFORMANCE = ("Performance issue", SymptomGroup.SYSTEM, False)
+    SYSTEM_DATA_LOSS = ("Data loss", SymptomGroup.SYSTEM, False)
+    SYSTEM_UNEXPECTED = ("Unexpected behavior", SymptomGroup.SYSTEM, False)
+    JOB_TASK_FAILURE = ("Job/task failure", SymptomGroup.JOB, True)
+    JOB_TASK_STARTUP = ("Job/task startup failure", SymptomGroup.JOB, True)
+    JOB_TASK_CRASH_HANG = ("Job/task crash/hang", SymptomGroup.JOB, True)
+    WRONG_RESULTS = ("Wrong results", SymptomGroup.OPERATION, False)
+    OPERATION_DATA_LOSS = ("Data loss", SymptomGroup.OPERATION, False)
+    REDUCED_OBSERVABILITY = (
+        "Reduced observability",
+        SymptomGroup.OPERATION,
+        False,
+    )
+    OPERATION_UNEXPECTED = (
+        "Unexpected behavior",
+        SymptomGroup.OPERATION,
+        False,
+    )
+    OPERATION_PERFORMANCE = (
+        "Performance issue",
+        SymptomGroup.OPERATION,
+        False,
+    )
+    USABILITY_ISSUE = ("Usability issue", SymptomGroup.OPERATION, False)
+
+    def __init__(self, label: str, group: SymptomGroup, crashing: bool):
+        self.label = label
+        self.group = group
+        self.crashing = crashing
+
+
+class DataAbstraction(enum.Enum):
+    """Data abstractions of Table 5."""
+
+    TABLE = "Table"
+    FILE = "File"
+    STREAM = "Stream"
+    KV_TUPLE = "KV Tuple"
+
+
+class DataProperty(enum.Enum):
+    """Data properties in which data-plane discrepancies root (Table 4)."""
+
+    ADDRESS = "Address"
+    SCHEMA_STRUCTURE = "Schema (structure)"
+    SCHEMA_VALUE = "Schema (value)"
+    CUSTOM_PROPERTY = "Custom property"
+    API_SEMANTICS = "API semantics"
+
+    @property
+    def is_schema(self) -> bool:
+        return self in (DataProperty.SCHEMA_STRUCTURE, DataProperty.SCHEMA_VALUE)
+
+    @property
+    def is_typical_metadata(self) -> bool:
+        """Finding 4: addresses/names and data schemas."""
+        return self is DataProperty.ADDRESS or self.is_schema
+
+    @property
+    def is_metadata(self) -> bool:
+        return self.is_typical_metadata or self is DataProperty.CUSTOM_PROPERTY
+
+
+class DataPattern(enum.Enum):
+    """Data-plane discrepancy patterns (Table 6)."""
+
+    TYPE_CONFUSION = "Type confusion"
+    UNSUPPORTED_OPERATIONS = "Unsupported operations"
+    UNSPOKEN_CONVENTION = "Unspoken convention"
+    UNDEFINED_VALUES = "Undefined values"
+    WRONG_API_ASSUMPTIONS = "Wrong API assumptions"
+
+
+class MgmtKind(enum.Enum):
+    """Management-plane sub-area (§6.2)."""
+
+    CONFIGURATION = "configuration"
+    MONITORING = "monitoring"
+
+
+class ConfigPattern(enum.Enum):
+    """Configuration discrepancy patterns (Table 7)."""
+
+    IGNORANCE = "Ignorance"
+    UNEXPECTED_OVERRIDE = "Unexpected override"
+    INCONSISTENT_CONTEXT = "Inconsistent context"
+    MISHANDLING_VALUES = "Mishandling configuration values"
+
+
+class ConfigKind(enum.Enum):
+    """Finding 8: parameter vs component configuration issues."""
+
+    PARAMETER = "parameter"
+    COMPONENT = "component"
+
+
+class ControlPattern(enum.Enum):
+    """Control-plane discrepancy patterns (Table 8)."""
+
+    API_SEMANTIC_VIOLATION = "API semantic violation"
+    STATE_RESOURCE_INCONSISTENCY = "State/resource inconsistency"
+    FEATURE_INCONSISTENCY = "Feature inconsistency"
+
+
+class ApiMisuseKind(enum.Enum):
+    """Finding 11: the two API-misuse sub-patterns."""
+
+    IMPLICIT_SEMANTIC_VIOLATION = "implicit semantic violation"
+    WRONG_INVOCATION_CONTEXT = "incorrect invocation context"
+
+
+class FixPattern(enum.Enum):
+    """Fix patterns (Table 9)."""
+
+    CHECKING = "Checking"
+    ERROR_HANDLING = "Error handling"
+    INTERACTION = "Interaction"
+    OTHER = "Others"
+
+
+class FixLocation(enum.Enum):
+    """Where the merged fix landed (Finding 13)."""
+
+    CONNECTOR = "dedicated connector module"
+    SYSTEM_SPECIFIC = "code specific to the interacting system"
+    GENERIC = "generic code used with multiple systems"

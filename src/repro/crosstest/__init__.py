@@ -1,0 +1,74 @@
+"""The §8 cross-system testing tool for the Spark–Hive data plane."""
+
+from repro.crosstest.catalog import (
+    CATALOG,
+    CATEGORY_MEMBERS,
+    Category,
+    Discrepancy,
+    by_number,
+    category_counts,
+)
+from repro.crosstest.classify import Evidence, classify_trials, found_discrepancies
+from repro.crosstest.harness import NO_ROWS, CrossTester, Deployment, Outcome, Trial
+from repro.crosstest.oracles import (
+    OracleFailure,
+    all_failures,
+    difft_failures,
+    eh_failures,
+    signature,
+    wr_failures,
+)
+from repro.crosstest.plans import (
+    ALL_PLANS,
+    FORMATS,
+    HIVE_TO_SPARK,
+    SPARK_E2E,
+    SPARK_TO_HIVE,
+    Interface,
+    Plan,
+    plans_in_group,
+)
+from repro.crosstest.report import CrossTestReport, run_crosstest
+from repro.crosstest.values import (
+    INVALID_COUNT,
+    VALID_COUNT,
+    TestInput,
+    generate_inputs,
+)
+
+__all__ = [
+    "CATALOG",
+    "CATEGORY_MEMBERS",
+    "Category",
+    "Discrepancy",
+    "by_number",
+    "category_counts",
+    "Evidence",
+    "classify_trials",
+    "found_discrepancies",
+    "NO_ROWS",
+    "CrossTester",
+    "Deployment",
+    "Outcome",
+    "Trial",
+    "OracleFailure",
+    "all_failures",
+    "difft_failures",
+    "eh_failures",
+    "signature",
+    "wr_failures",
+    "ALL_PLANS",
+    "FORMATS",
+    "HIVE_TO_SPARK",
+    "SPARK_E2E",
+    "SPARK_TO_HIVE",
+    "Interface",
+    "Plan",
+    "plans_in_group",
+    "CrossTestReport",
+    "run_crosstest",
+    "INVALID_COUNT",
+    "VALID_COUNT",
+    "TestInput",
+    "generate_inputs",
+]

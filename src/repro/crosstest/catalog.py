@@ -1,0 +1,196 @@
+"""Catalog of the 15 Spark–Hive data-plane discrepancies of §8.2.
+
+The catalog mirrors the paper's artifact appendix: each entry carries
+the upstream issue id(s), the problem categories it belongs to, and —
+where the developers pointed to one — the non-default configuration
+that resolves it. The category memberships reproduce the appendix's
+mapping exactly:
+
+* cannot read what was written (2/15):             {1, 2}
+* type violations (2/15):                          {3, 8}
+* exposing internal configs of downstream (5/15):  {1, 2, 3, 4, 6}
+* inconsistent error behaviour across ifaces (7/15): {1, 5, 9, 10, 11, 12, 13}
+* relying on custom configurations (8/15):         {5, 8, 9, 10, 11, 12, 13, 15}
+
+(#7 shares its root cause with #6 and #14 is uncategorized in the
+appendix, exactly as in the paper.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Category",
+    "Discrepancy",
+    "CATALOG",
+    "CATEGORY_MEMBERS",
+    "category_counts",
+    "by_number",
+]
+
+
+class Category:
+    CANNOT_READ = "cannot_read_what_was_written"
+    TYPE_VIOLATION = "type_violation"
+    INTERNAL_CONFIG = "exposing_internal_configuration"
+    INCONSISTENT_ERROR = "inconsistent_error_behavior"
+    CUSTOM_CONFIG = "relying_on_custom_configuration"
+
+
+CATEGORY_MEMBERS: dict[str, frozenset[int]] = {
+    Category.CANNOT_READ: frozenset({1, 2}),
+    Category.TYPE_VIOLATION: frozenset({3, 8}),
+    Category.INTERNAL_CONFIG: frozenset({1, 2, 3, 4, 6}),
+    Category.INCONSISTENT_ERROR: frozenset({1, 5, 9, 10, 11, 12, 13}),
+    Category.CUSTOM_CONFIG: frozenset({5, 8, 9, 10, 11, 12, 13, 15}),
+}
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    number: int
+    jira: str
+    title: str
+    mechanism: str
+    resolving_config: tuple[str, str] | None = None
+
+    @property
+    def categories(self) -> frozenset[str]:
+        return frozenset(
+            name
+            for name, members in CATEGORY_MEMBERS.items()
+            if self.number in members
+        )
+
+
+CATALOG: tuple[Discrepancy, ...] = (
+    Discrepancy(
+        1,
+        "SPARK-39075",
+        "BYTE/SHORT written through DataFrame+Avro cannot be read back",
+        "Avro promotes BYTE/SHORT to INT on serialization; Spark's Avro "
+        "deserializer has no INT->BYTE demotion and raises "
+        "IncompatibleSchemaException.",
+    ),
+    Discrepancy(
+        2,
+        "SPARK-39158",
+        "Valid decimals written from DataFrame cannot be read from HiveQL",
+        "The DataFrame writer serializes decimals unquantized (ad-hoc "
+        "serialization); Hive's reader validates the stored scale against "
+        "the declared scale and errors.",
+    ),
+    Discrepancy(
+        3,
+        "HIVE-26533 / SPARK-40409",
+        "SparkSQL round trip converts BYTE/SHORT to INT, not case preserving",
+        "Hive-serde Avro tables register the Avro physical schema in the "
+        "metastore; Spark cannot keep its native schema for Avro and falls "
+        "back to the lower-cased Hive schema with a warning.",
+    ),
+    Discrepancy(
+        4,
+        "HIVE-26531",
+        "Avro rejects non-string map keys; ORC and Parquet accept them",
+        "Avro's map type only admits string keys, so table creation fails "
+        "for one serializer and succeeds for the others.",
+        resolving_config=None,
+    ),
+    Discrepancy(
+        5,
+        "SPARK-40439",
+        "Decimal with too much precision: SparkSQL throws, DataFrame -> NULL",
+        "SQL INSERT uses ANSI store assignment (overflow raises); the "
+        "DataFrame path uses the legacy cast (overflow degrades to NULL).",
+        resolving_config=("spark.sql.storeAssignmentPolicy", "legacy"),
+    ),
+    Discrepancy(
+        6,
+        "HIVE-26528",
+        "NaN written by Spark reads as NULL through HiveQL",
+        "Hive's double reader has no NaN representation and degrades it to "
+        "NULL; Spark preserves it.",
+    ),
+    Discrepancy(
+        7,
+        "HIVE-26528 (same root cause)",
+        "Infinity written by Spark errors through HiveQL",
+        "Same non-finite-double root cause as #6, but ±Infinity trips "
+        "Hive's range check instead of degrading to NULL.",
+    ),
+    Discrepancy(
+        8,
+        "SPARK-40616",
+        "TIMESTAMP_NTZ comes back as TIMESTAMP (session-TZ)",
+        "The metastore has a single timestamp type; Spark maps it back to "
+        "TIMESTAMP_LTZ unless spark.sql.timestampType says otherwise.",
+        resolving_config=("spark.sql.timestampType", "TIMESTAMP_NTZ"),
+    ),
+    Discrepancy(
+        9,
+        "SPARK-40525",
+        "Invalid DATE: SparkSQL throws, DataFrame -> NULL",
+        "SQL DATE literals are parsed strictly; the DataFrame path "
+        "legacy-casts strings to dates, degrading failures to NULL.",
+        resolving_config=("spark.sql.legacy.timeParserPolicy", "LEGACY"),
+    ),
+    Discrepancy(
+        10,
+        "SPARK-40624",
+        "INT/BIGINT overflow: SparkSQL throws, DataFrame wraps",
+        "ANSI store assignment raises ArithmeticOverflow; the legacy cast "
+        "wraps two's-complement style.",
+        resolving_config=("spark.sql.storeAssignmentPolicy", "legacy"),
+    ),
+    Discrepancy(
+        11,
+        "SPARK-40624 (same config)",
+        "TINYINT/SMALLINT overflow: SparkSQL throws, DataFrame wraps",
+        "Identical mechanism to #10 on the narrow integral types.",
+        resolving_config=("spark.sql.storeAssignmentPolicy", "legacy"),
+    ),
+    Discrepancy(
+        12,
+        "SPARK-40629",
+        "Invalid boolean string: SparkSQL throws, DataFrame -> NULL",
+        "ANSI store assignment refuses string->boolean; the legacy cast "
+        "degrades unknown tokens to NULL.",
+        resolving_config=("spark.sql.storeAssignmentPolicy", "legacy"),
+    ),
+    Discrepancy(
+        13,
+        "spark.sql.legacy.charVarcharAsString",
+        "CHAR padding differs between SparkSQL and DataFrame",
+        "The SQL path pads CHAR on write and read; the DataFrame path "
+        "treats CHAR as a plain string.",
+        resolving_config=("spark.sql.legacy.charVarcharAsString", "true"),
+    ),
+    Discrepancy(
+        14,
+        "SPARK-40637",
+        "Mixed-case struct field names are lower-cased on some paths",
+        "Nested field names are identifiers too: the metastore fallback "
+        "lower-cases them while the native schema preserves them.",
+    ),
+    Discrepancy(
+        15,
+        "SPARK-40630",
+        "Overlong VARCHAR accepted and read back via DataFrame",
+        "The DataFrame write path does not enforce VARCHAR length, so an "
+        "invalid value is stored and read back verbatim (EH oracle).",
+        resolving_config=("spark.sql.legacy.charVarcharAsString", "true"),
+    ),
+)
+
+
+def by_number(number: int) -> Discrepancy:
+    for entry in CATALOG:
+        if entry.number == number:
+            return entry
+    raise KeyError(f"no discrepancy #{number}")
+
+
+def category_counts() -> dict[str, int]:
+    """The §8.2 headline counts: 2/2/5/7/8."""
+    return {name: len(members) for name, members in CATEGORY_MEMBERS.items()}

@@ -1,0 +1,364 @@
+"""Map observed trial behaviour onto the discrepancy catalog.
+
+Nothing in the harness or oracles knows about the 15 catalog entries;
+this module recognizes each entry's *behavioural signature* in the raw
+trials. A signature never quotes a JIRA id back at the data — it states
+the observable mechanism ("an avro trial raised
+IncompatibleSchemaException on a BYTE column") and lets the evidence
+match or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.types import (
+    BooleanType,
+    ByteType,
+    CharType,
+    DateType,
+    DecimalType,
+    DoubleType,
+    FloatType,
+    IntegerType,
+    LongType,
+    MapType,
+    ShortType,
+    StringType,
+    StructType,
+    TimestampNTZType,
+    VarcharType,
+)
+from repro.crosstest.harness import NO_ROWS, Trial
+from repro.crosstest.oracles import canonical
+
+__all__ = ["Evidence", "classify_trials", "found_discrepancies"]
+
+
+@dataclass
+class Evidence:
+    """Trials supporting one catalog entry."""
+
+    number: int
+    trials: list[Trial] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return bool(self.trials)
+
+
+def classify_trials(trials: list[Trial]) -> dict[int, Evidence]:
+    """Assign each catalog number the trials that exhibit its signature."""
+    evidence = {number: Evidence(number) for number in range(1, 16)}
+    by_input: dict[int, list[Trial]] = {}
+    for trial in trials:
+        by_input.setdefault(trial.test_input.input_id, []).append(trial)
+
+    for bucket in by_input.values():
+        for number in range(1, 16):
+            matched = _MATCHERS[number](bucket)
+            evidence[number].trials.extend(matched)
+    return evidence
+
+
+def found_discrepancies(trials: list[Trial]) -> set[int]:
+    return {
+        number
+        for number, ev in classify_trials(trials).items()
+        if ev.found
+    }
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def _ct(trial: Trial):
+    return trial.test_input.column_type
+
+
+def _is_narrow_int(trial: Trial) -> bool:
+    return isinstance(_ct(trial), (ByteType, ShortType))
+
+
+def _is_wide_int(trial: Trial) -> bool:
+    return isinstance(_ct(trial), (IntegerType, LongType))
+
+
+def _has_non_string_map_key(trial: Trial) -> bool:
+    dtype = _ct(trial)
+    return isinstance(dtype, MapType) and not isinstance(
+        dtype.key_type, StringType
+    )
+
+
+def _sql_rejected(trial: Trial) -> bool:
+    return (
+        trial.plan.writer == "sparksql"
+        and not trial.outcome.ok
+        and trial.outcome.stage == "write"
+    )
+
+
+def _df_nulled(trial: Trial) -> bool:
+    return (
+        trial.plan.writer == "dataframe"
+        and trial.outcome.ok
+        and trial.outcome.value is None
+    )
+
+
+def _df_mangled(trial: Trial) -> bool:
+    """DataFrame path stored a different (e.g. wrapped) value."""
+    if trial.plan.writer != "dataframe" or not trial.outcome.ok:
+        return False
+    value = trial.outcome.value
+    if value is None or value is NO_ROWS:
+        return False
+    return canonical(value) != canonical(trial.test_input.py_value)
+
+
+# -- per-entry signatures -------------------------------------------------------
+
+
+def _m1(bucket: list[Trial]) -> list[Trial]:
+    """Avro read of a BYTE/SHORT column raises IncompatibleSchemaException."""
+    return [
+        t
+        for t in bucket
+        if t.fmt == "avro"
+        and _is_narrow_int(t)
+        and not t.outcome.ok
+        and t.outcome.error_type == "IncompatibleSchemaException"
+    ]
+
+
+def _m2(bucket: list[Trial]) -> list[Trial]:
+    """DataFrame-written decimal fails to read through HiveQL."""
+    return [
+        t
+        for t in bucket
+        if isinstance(_ct(t), DecimalType)
+        and t.test_input.valid
+        and t.plan.writer == "dataframe"
+        and t.plan.reader == "hiveql"
+        and not t.outcome.ok
+        and t.outcome.stage == "read"
+        and "scale" in t.outcome.error_message
+    ]
+
+
+def _m3(bucket: list[Trial]) -> list[Trial]:
+    """SparkSQL round trip: BYTE/SHORT read back as INT, with the warning."""
+    return [
+        t
+        for t in bucket
+        if t.fmt == "avro"
+        and _is_narrow_int(t)
+        and t.test_input.valid
+        and t.plan.writer == "sparksql"
+        and t.outcome.ok
+        and t.outcome.value_type == "int"
+        and any("not case preserving" in w for w in t.outcome.warnings)
+    ]
+
+
+def _m4(bucket: list[Trial]) -> list[Trial]:
+    """Non-string map key: avro fails at create/write, others succeed."""
+    avro_failed = [
+        t
+        for t in bucket
+        if _has_non_string_map_key(t)
+        and t.fmt == "avro"
+        and not t.outcome.ok
+        and t.outcome.error_type == "UnsupportedTypeError"
+    ]
+    others_ok = any(
+        t.fmt != "avro" and t.outcome.ok
+        for t in bucket
+        if _has_non_string_map_key(t)
+    )
+    return avro_failed if (avro_failed and others_ok) else []
+
+
+def _m5(bucket: list[Trial]) -> list[Trial]:
+    """Decimal overflow: SQL raises, DataFrame -> NULL."""
+    if not any(
+        isinstance(_ct(t), DecimalType) and not t.test_input.valid
+        for t in bucket
+    ):
+        return []
+    rejected = [t for t in bucket if _sql_rejected(t)]
+    nulled = [t for t in bucket if _df_nulled(t)]
+    return rejected + nulled if (rejected and nulled) else []
+
+
+def _m6(bucket: list[Trial]) -> list[Trial]:
+    """NaN survives Spark readers but reads as NULL through HiveQL."""
+    matched = []
+    for t in bucket:
+        if not isinstance(_ct(t), (FloatType, DoubleType)):
+            continue
+        if "NaN" not in t.test_input.description and canonical(
+            t.test_input.py_value
+        ) != "double:NaN":
+            continue
+        if t.plan.reader == "hiveql" and t.outcome.ok and t.outcome.value is None:
+            matched.append(t)
+    return matched
+
+
+def _m7(bucket: list[Trial]) -> list[Trial]:
+    """±Infinity errors through HiveQL (same root cause as #6)."""
+    matched = []
+    for t in bucket:
+        if not isinstance(_ct(t), (FloatType, DoubleType)):
+            continue
+        if "Inf" not in canonical(t.test_input.py_value):
+            continue
+        if (
+            t.plan.reader == "hiveql"
+            and not t.outcome.ok
+            and t.outcome.stage == "read"
+        ):
+            matched.append(t)
+    return matched
+
+
+def _m8(bucket: list[Trial]) -> list[Trial]:
+    """TIMESTAMP_NTZ read back with plain TIMESTAMP type."""
+    return [
+        t
+        for t in bucket
+        if isinstance(_ct(t), TimestampNTZType)
+        and t.test_input.valid
+        and t.outcome.ok
+        and t.outcome.value_type == "timestamp"
+        and t.plan.reader != "hiveql"
+    ]
+
+
+def _m9(bucket: list[Trial]) -> list[Trial]:
+    """Malformed date string: SQL literal rejects, DataFrame stores NULL.
+
+    Only string-shaped invalid inputs qualify — a kind mismatch (e.g. an
+    int into a date column) is a store-assignment issue, not the
+    SPARK-40525 date-parsing asymmetry.
+    """
+
+    def is_bad_date_string(t: Trial) -> bool:
+        return (
+            isinstance(_ct(t), DateType)
+            and not t.test_input.valid
+            and isinstance(t.test_input.py_value, str)
+        )
+
+    if not any(is_bad_date_string(t) for t in bucket):
+        return []
+    rejected = [t for t in bucket if is_bad_date_string(t) and _sql_rejected(t)]
+    nulled = [t for t in bucket if is_bad_date_string(t) and _df_nulled(t)]
+    return rejected + nulled if (rejected and nulled) else []
+
+
+def _overflow_pair(bucket: list[Trial], narrow: bool) -> list[Trial]:
+    picker = _is_narrow_int if narrow else _is_wide_int
+    relevant = [t for t in bucket if picker(t) and not t.test_input.valid]
+    if not relevant:
+        return []
+    rejected = [t for t in relevant if _sql_rejected(t)]
+    mangled = [t for t in relevant if _df_mangled(t) or _df_nulled(t)]
+    return rejected + mangled if (rejected and mangled) else []
+
+
+def _m10(bucket: list[Trial]) -> list[Trial]:
+    return _overflow_pair(bucket, narrow=False)
+
+
+def _m11(bucket: list[Trial]) -> list[Trial]:
+    return _overflow_pair(bucket, narrow=True)
+
+
+def _m12(bucket: list[Trial]) -> list[Trial]:
+    """Invalid boolean: SQL rejects, DataFrame stores NULL."""
+    relevant = [
+        t
+        for t in bucket
+        if isinstance(_ct(t), BooleanType) and not t.test_input.valid
+    ]
+    if not relevant:
+        return []
+    rejected = [t for t in relevant if _sql_rejected(t)]
+    nulled = [t for t in relevant if _df_nulled(t)]
+    return rejected + nulled if (rejected and nulled) else []
+
+
+def _m13(bucket: list[Trial]) -> list[Trial]:
+    """CHAR padding differs across *Spark* interfaces for the same input.
+
+    Hive-side plans are excluded: Hive pads CHAR regardless of Spark's
+    session configuration (it cannot see it), and the paper reports #13
+    as a Spark-to-Spark differential (ss_difft).
+    """
+    relevant = [
+        t
+        for t in bucket
+        if isinstance(_ct(t), CharType)
+        and t.plan.group == "spark_e2e"
+        and t.outcome.ok
+        and isinstance(t.outcome.value, str)
+    ]
+    seen = {t.outcome.value for t in relevant}
+    if len(seen) > 1:
+        return relevant
+    return []
+
+
+def _m14(bucket: list[Trial]) -> list[Trial]:
+    """Mixed-case struct field names come back lower-cased on some paths."""
+    matched = []
+    for t in bucket:
+        dtype = _ct(t)
+        if not isinstance(dtype, StructType):
+            continue
+        declared = dtype.simple_string()
+        if declared == declared.lower():
+            continue  # nothing to lose
+        if (
+            t.outcome.ok
+            and t.outcome.value_type
+            and t.outcome.value_type != declared
+            and t.outcome.value_type == declared.lower()
+        ):
+            matched.append(t)
+    return matched
+
+
+def _m15(bucket: list[Trial]) -> list[Trial]:
+    """Overlong VARCHAR stored and read back verbatim via DataFrame."""
+    return [
+        t
+        for t in bucket
+        if isinstance(_ct(t), VarcharType)
+        and not t.test_input.valid
+        and t.plan.writer == "dataframe"
+        and t.outcome.ok
+        and t.outcome.value == t.test_input.py_value
+    ]
+
+
+_MATCHERS = {
+    1: _m1,
+    2: _m2,
+    3: _m3,
+    4: _m4,
+    5: _m5,
+    6: _m6,
+    7: _m7,
+    8: _m8,
+    9: _m9,
+    10: _m10,
+    11: _m11,
+    12: _m12,
+    13: _m13,
+    14: _m14,
+    15: _m15,
+}

@@ -1,0 +1,188 @@
+"""The cross-system test harness of §8.1.
+
+For every (plan, format, input) triple the harness provisions a fresh
+deployment — one shared metastore + filesystem, one Spark session, one
+Hive server — creates a single-column table through the *writer*
+interface, inserts the input, reads it back through the *reader*
+interface, and records the outcome. Oracles and classification operate
+on the recorded trials afterwards; nothing in the harness knows about
+the 15 expected discrepancies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.result import QueryResult
+from repro.common.schema import Field, Schema
+from repro.crosstest.plans import ALL_PLANS, FORMATS, Interface, Plan
+from repro.crosstest.values import TestInput, generate_inputs
+from repro.hivelite.engine import HiveServer
+from repro.hivelite.metastore import HiveMetastore
+from repro.sparklite.conf import SparkConf
+from repro.sparklite.session import SparkSession
+from repro.storage.filesystem import FileSystem
+from repro.storage.namenode import NameNode
+
+__all__ = ["Outcome", "Trial", "Deployment", "CrossTester", "NO_ROWS"]
+
+#: Sentinel for "the read returned zero rows" (distinct from NULL).
+NO_ROWS = object()
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What one trial observed."""
+
+    status: str  # "ok" or "error"
+    stage: str = ""  # create | write | read (set when status == "error")
+    error_type: str = ""
+    error_message: str = ""
+    value: object = None
+    value_type: str = ""
+    column_name: str = ""
+    row_count: int = 0
+    warnings: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class Trial:
+    plan: Plan
+    fmt: str
+    test_input: TestInput
+    outcome: Outcome
+
+
+@dataclass
+class Deployment:
+    """One co-deployment of Spark and Hive over shared state."""
+
+    conf_overrides: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        metastore = HiveMetastore()
+        filesystem = FileSystem(NameNode())
+        conf = SparkConf()
+        for key, value in self.conf_overrides.items():
+            conf.set(key, value, source="deployment")
+        self.spark = SparkSession(metastore, filesystem, conf)
+        self.hive = HiveServer(metastore, filesystem)
+
+    # -- per-interface operations -------------------------------------
+
+    def create_table(
+        self, interface: str, table: str, test_input: TestInput, fmt: str
+    ) -> None:
+        ddl = f"CREATE TABLE {table} (c {test_input.type_text}) STORED AS {fmt}"
+        if interface == Interface.SPARKSQL:
+            self.spark.sql(ddl)
+        elif interface == Interface.HIVEQL:
+            self.hive.execute(ddl)
+        elif interface == Interface.DATAFRAME:
+            # the DataFrame path creates the table while saving; nothing
+            # to do here (datasource table semantics).
+            pass
+        else:
+            raise ValueError(f"unknown interface {interface!r}")
+
+    def write(
+        self, interface: str, table: str, test_input: TestInput, fmt: str
+    ) -> None:
+        if interface == Interface.DATAFRAME:
+            schema = Schema(
+                (Field("c", test_input.column_type),), case_sensitive=True
+            )
+            frame = self.spark.create_dataframe(
+                [(test_input.py_value,)], schema
+            )
+            frame.write.format(fmt).save_as_table(table)
+            return
+        dml = f"INSERT INTO {table} VALUES ({test_input.sql_literal})"
+        if interface == Interface.SPARKSQL:
+            self.spark.sql(dml)
+        elif interface == Interface.HIVEQL:
+            self.hive.execute(dml)
+        else:
+            raise ValueError(f"unknown interface {interface!r}")
+
+    def read(self, interface: str, table: str) -> QueryResult:
+        if interface == Interface.SPARKSQL:
+            return self.spark.sql(f"SELECT * FROM {table}")
+        if interface == Interface.DATAFRAME:
+            return self.spark.read_table(table, interface="dataframe")
+        if interface == Interface.HIVEQL:
+            return self.hive.execute(f"SELECT * FROM {table}")
+        raise ValueError(f"unknown interface {interface!r}")
+
+
+class CrossTester:
+    """Drive the full (plans × formats × inputs) matrix."""
+
+    def __init__(
+        self,
+        inputs: list[TestInput] | None = None,
+        plans: tuple[Plan, ...] = ALL_PLANS,
+        formats: tuple[str, ...] = FORMATS,
+        conf_overrides: dict[str, object] | None = None,
+    ) -> None:
+        self.inputs = inputs if inputs is not None else generate_inputs()
+        self.plans = plans
+        self.formats = formats
+        self.conf_overrides = dict(conf_overrides or {})
+
+    def run(self) -> list[Trial]:
+        trials: list[Trial] = []
+        for plan in self.plans:
+            for fmt in self.formats:
+                for test_input in self.inputs:
+                    trials.append(self.run_trial(plan, fmt, test_input))
+        return trials
+
+    def run_trial(self, plan: Plan, fmt: str, test_input: TestInput) -> Trial:
+        deployment = Deployment(self.conf_overrides)
+        table = "ct"
+        try:
+            deployment.create_table(plan.writer, table, test_input, fmt)
+        except Exception as exc:  # noqa: BLE001 - any failure is data
+            return Trial(plan, fmt, test_input, _error("create", exc))
+        try:
+            deployment.write(plan.writer, table, test_input, fmt)
+        except Exception as exc:  # noqa: BLE001
+            return Trial(plan, fmt, test_input, _error("write", exc))
+        try:
+            result = deployment.read(plan.reader, table)
+        except Exception as exc:  # noqa: BLE001
+            return Trial(plan, fmt, test_input, _error("read", exc))
+        return Trial(plan, fmt, test_input, _ok(result))
+
+
+def _error(stage: str, exc: Exception) -> Outcome:
+    return Outcome(
+        status="error",
+        stage=stage,
+        error_type=type(exc).__name__,
+        error_message=str(exc),
+    )
+
+
+def _ok(result: QueryResult) -> Outcome:
+    if len(result.schema) > 0:
+        column = result.schema.fields[0]
+        value_type = column.data_type.simple_string()
+        name = column.name
+    else:
+        value_type = ""
+        name = ""
+    value = result.rows[0][0] if result.rows else NO_ROWS
+    return Outcome(
+        status="ok",
+        value=value,
+        value_type=value_type,
+        column_name=name,
+        row_count=len(result.rows),
+        warnings=result.warnings,
+    )

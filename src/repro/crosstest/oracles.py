@@ -1,0 +1,218 @@
+"""The three test oracles of §8.1.
+
+* **Write-Read (WR)** — for valid data, what is read must be what was
+  written (possibly through a different interface).
+* **Error handling (EH)** — invalid data must be rejected or corrected
+  with feedback; an invalid value that is stored and read back verbatim
+  is a failure.
+* **Differential (Diff)** — results/behaviour must be consistent across
+  interfaces and across backend formats.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import math
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.common.row import values_equal
+from repro.crosstest.harness import NO_ROWS, Outcome, Trial
+
+__all__ = [
+    "OracleFailure",
+    "signature",
+    "wr_failures",
+    "eh_failures",
+    "difft_failures",
+    "all_failures",
+]
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    oracle: str  # "wr" | "eh" | "difft"
+    group: str  # spark_e2e | spark_hive | hive_spark
+    input_id: int
+    fmt: str
+    plans: tuple[str, ...]
+    detail: str
+
+
+def canonical(value: object) -> str:
+    """A stable, cross-type-comparable rendering of a cell value."""
+    if value is NO_ROWS:
+        return "<no rows>"
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "double:NaN"
+        if math.isinf(value):
+            return f"double:{'+' if value > 0 else '-'}Inf"
+        return f"double:{value!r}"
+    if isinstance(value, bool):
+        return f"bool:{value}"
+    if isinstance(value, int):
+        return f"int:{value}"
+    if isinstance(value, decimal.Decimal):
+        return f"dec:{value}"
+    if isinstance(value, bytes):
+        return f"bin:{value.hex()}"
+    if isinstance(value, datetime.datetime):
+        return f"ts:{value.isoformat()}"
+    if isinstance(value, datetime.date):
+        return f"date:{value.isoformat()}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(canonical(v) for v in value) + "]"
+    if isinstance(value, dict):
+        items = sorted(
+            (canonical(k), canonical(v)) for k, v in value.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    return f"str:{value}"
+
+
+def signature(outcome: Outcome) -> str:
+    """The behaviour fingerprint the Diff oracle compares."""
+    if not outcome.ok:
+        return f"error:{outcome.stage}:{outcome.error_type}"
+    return f"ok:{canonical(outcome.value)}:{outcome.value_type}"
+
+
+# ---------------------------------------------------------------------------
+# WR
+# ---------------------------------------------------------------------------
+
+
+def wr_failures(trials: list[Trial]) -> list[OracleFailure]:
+    failures = []
+    for trial in trials:
+        if not trial.test_input.valid:
+            continue
+        outcome = trial.outcome
+        if not outcome.ok:
+            failures.append(
+                _failure(
+                    "wr",
+                    trial,
+                    f"{outcome.stage} failed with {outcome.error_type}: "
+                    f"{outcome.error_message}",
+                )
+            )
+            continue
+        if outcome.value is NO_ROWS:
+            failures.append(_failure("wr", trial, "row vanished"))
+            continue
+        expected = trial.test_input.expected_value
+        if not values_equal(outcome.value, expected):
+            failures.append(
+                _failure(
+                    "wr",
+                    trial,
+                    f"wrote {canonical(expected)}, read "
+                    f"{canonical(outcome.value)}",
+                )
+            )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# EH
+# ---------------------------------------------------------------------------
+
+
+def eh_failures(trials: list[Trial]) -> list[OracleFailure]:
+    failures = []
+    for trial in trials:
+        if trial.test_input.valid:
+            continue
+        outcome = trial.outcome
+        if not outcome.ok or outcome.value is NO_ROWS:
+            continue  # rejected: the system behaved
+        if outcome.value is None:
+            continue  # corrected to NULL: tolerated
+        if values_equal(outcome.value, trial.test_input.py_value):
+            failures.append(
+                _failure(
+                    "eh",
+                    trial,
+                    f"invalid value {canonical(trial.test_input.py_value)} "
+                    "was stored and read back verbatim",
+                )
+            )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Diff
+# ---------------------------------------------------------------------------
+
+
+def difft_failures(trials: list[Trial]) -> list[OracleFailure]:
+    """Inconsistencies across interfaces (same fmt) and formats (same plan)."""
+    failures = []
+    by_group_fmt_input: dict[tuple, list[Trial]] = {}
+    by_group_plan_input: dict[tuple, list[Trial]] = {}
+    for trial in trials:
+        key = (trial.plan.group, trial.fmt, trial.test_input.input_id)
+        by_group_fmt_input.setdefault(key, []).append(trial)
+        key = (trial.plan.group, trial.plan.name, trial.test_input.input_id)
+        by_group_plan_input.setdefault(key, []).append(trial)
+
+    # across interfaces within a group, same format
+    for (group, fmt, input_id), bucket in sorted(
+        by_group_fmt_input.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+    ):
+        failures.extend(_diff_bucket(bucket, group, input_id, fmt, axis="plan"))
+
+    # across formats for the same plan
+    for (group, _plan, input_id), bucket in sorted(
+        by_group_plan_input.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+    ):
+        failures.extend(_diff_bucket(bucket, group, input_id, "*", axis="fmt"))
+    return failures
+
+
+def _diff_bucket(
+    bucket: list[Trial], group: str, input_id: int, fmt: str, axis: str
+) -> list[OracleFailure]:
+    failures = []
+    for left, right in combinations(bucket, 2):
+        left_sig = signature(left.outcome)
+        right_sig = signature(right.outcome)
+        if left_sig == right_sig:
+            continue
+        left_label = left.plan.name if axis == "plan" else left.fmt
+        right_label = right.plan.name if axis == "plan" else right.fmt
+        failures.append(
+            OracleFailure(
+                oracle="difft",
+                group=group,
+                input_id=input_id,
+                fmt=fmt,
+                plans=(left.plan.name, right.plan.name),
+                detail=f"{left_label} -> {left_sig} vs {right_label} -> {right_sig}",
+            )
+        )
+    return failures
+
+
+def all_failures(trials: list[Trial]) -> dict[str, list[OracleFailure]]:
+    return {
+        "wr": wr_failures(trials),
+        "eh": eh_failures(trials),
+        "difft": difft_failures(trials),
+    }
+
+
+def _failure(oracle: str, trial: Trial, detail: str) -> OracleFailure:
+    return OracleFailure(
+        oracle=oracle,
+        group=trial.plan.group,
+        input_id=trial.test_input.input_id,
+        fmt=trial.fmt,
+        plans=(trial.plan.name,),
+        detail=detail,
+    )

@@ -1,0 +1,83 @@
+"""Test plans: the write→read interface matrix of Figure 6.
+
+Three interfaces (SparkSQL, DataFrame, HiveQL), eight write→read pairs
+grouped exactly as the paper groups its experiments:
+
+* ``spark_e2e``   — Spark to Spark (4 pairs)
+* ``spark_hive``  — Spark to Hive (2 pairs)
+* ``hive_spark``  — Hive to Spark (2 pairs)
+
+crossed with the three backend formats (ORC, Parquet, Avro).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Interface",
+    "Plan",
+    "ALL_PLANS",
+    "FORMATS",
+    "SPARK_E2E",
+    "SPARK_TO_HIVE",
+    "HIVE_TO_SPARK",
+    "plans_in_group",
+]
+
+FORMATS = ("orc", "parquet", "avro")
+
+
+class Interface:
+    SPARKSQL = "sparksql"
+    DATAFRAME = "dataframe"
+    HIVEQL = "hiveql"
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One write-interface → read-interface pairing."""
+
+    writer: str
+    reader: str
+    group: str
+
+    @property
+    def name(self) -> str:
+        short = {"sparksql": "sql", "dataframe": "df", "hiveql": "hive"}
+        return f"w_{short[self.writer]}_r_{short[self.reader]}"
+
+
+SPARK_E2E = (
+    Plan(Interface.SPARKSQL, Interface.SPARKSQL, "spark_e2e"),
+    Plan(Interface.SPARKSQL, Interface.DATAFRAME, "spark_e2e"),
+    Plan(Interface.DATAFRAME, Interface.SPARKSQL, "spark_e2e"),
+    Plan(Interface.DATAFRAME, Interface.DATAFRAME, "spark_e2e"),
+)
+
+SPARK_TO_HIVE = (
+    Plan(Interface.SPARKSQL, Interface.HIVEQL, "spark_hive"),
+    Plan(Interface.DATAFRAME, Interface.HIVEQL, "spark_hive"),
+)
+
+HIVE_TO_SPARK = (
+    Plan(Interface.HIVEQL, Interface.SPARKSQL, "hive_spark"),
+    Plan(Interface.HIVEQL, Interface.DATAFRAME, "hive_spark"),
+)
+
+ALL_PLANS = SPARK_E2E + SPARK_TO_HIVE + HIVE_TO_SPARK
+
+_GROUPS = {
+    "spark_e2e": SPARK_E2E,
+    "spark_hive": SPARK_TO_HIVE,
+    "hive_spark": HIVE_TO_SPARK,
+}
+
+
+def plans_in_group(group: str) -> tuple[Plan, ...]:
+    try:
+        return _GROUPS[group]
+    except KeyError:
+        raise ValueError(
+            f"unknown plan group {group!r}; known: {sorted(_GROUPS)}"
+        ) from None

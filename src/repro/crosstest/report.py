@@ -1,0 +1,114 @@
+"""Reporting for the cross-test run: the §8.2 results.
+
+Produces the same shape of output as the paper's artifact: per-group,
+per-oracle failure lists (``ss_difft``, ``sh_wr``, ``hs_eh``, ...), the
+set of distinct discrepancies found, and the five problem-category
+counts of §8.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crosstest.catalog import CATALOG, CATEGORY_MEMBERS, Discrepancy
+from repro.crosstest.classify import Evidence, classify_trials
+from repro.crosstest.harness import CrossTester, Trial
+from repro.crosstest.oracles import OracleFailure, all_failures
+from repro.crosstest.plans import ALL_PLANS, FORMATS
+from repro.crosstest.values import TestInput
+
+__all__ = ["CrossTestReport", "run_crosstest"]
+
+_GROUP_SHORT = {"spark_e2e": "ss", "spark_hive": "sh", "hive_spark": "hs"}
+
+
+@dataclass
+class CrossTestReport:
+    trials: list[Trial]
+    failures: dict[str, list[OracleFailure]]
+    evidence: dict[int, Evidence]
+
+    # -- derived views ----------------------------------------------------
+
+    @property
+    def found_numbers(self) -> set[int]:
+        return {n for n, ev in self.evidence.items() if ev.found}
+
+    @property
+    def found(self) -> list[Discrepancy]:
+        return [d for d in CATALOG if d.number in self.found_numbers]
+
+    def failures_by_log(self) -> dict[str, list[OracleFailure]]:
+        """Failures keyed the way the paper's artifact names its logs,
+        e.g. ``ss_difft``, ``sh_wr``, ``hs_eh``."""
+        logs: dict[str, list[OracleFailure]] = {}
+        for oracle, failures in self.failures.items():
+            for failure in failures:
+                key = f"{_GROUP_SHORT[failure.group]}_{oracle}"
+                logs.setdefault(key, []).append(failure)
+        return logs
+
+    def category_counts_found(self) -> dict[str, int]:
+        """How many *found* discrepancies fall in each §8.2 category."""
+        return {
+            name: len(members & self.found_numbers)
+            for name, members in CATEGORY_MEMBERS.items()
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "trials": len(self.trials),
+            "failures": {
+                log: [
+                    {
+                        "input": f.input_id,
+                        "fmt": f.fmt,
+                        "plans": list(f.plans),
+                        "detail": f.detail,
+                    }
+                    for f in failures
+                ]
+                for log, failures in sorted(self.failures_by_log().items())
+            },
+            "found_discrepancies": sorted(self.found_numbers),
+            "category_counts": self.category_counts_found(),
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"trials run: {len(self.trials)}",
+            "oracle failures: "
+            + ", ".join(
+                f"{log}={len(fails)}"
+                for log, fails in sorted(self.failures_by_log().items())
+            ),
+            f"distinct discrepancies found: {len(self.found_numbers)}/15",
+        ]
+        for entry in self.found:
+            lines.append(f"  #{entry.number:>2} [{entry.jira}] {entry.title}")
+        lines.append("problem categories (found / paper):")
+        paper = {name: len(members) for name, members in CATEGORY_MEMBERS.items()}
+        for name, count in self.category_counts_found().items():
+            lines.append(f"  {name}: {count}/{paper[name]}")
+        return lines
+
+
+def run_crosstest(
+    inputs: list[TestInput] | None = None,
+    plans=ALL_PLANS,
+    formats=FORMATS,
+    conf_overrides: dict[str, object] | None = None,
+) -> CrossTestReport:
+    """Run the full §8 pipeline: harness → oracles → classification."""
+    tester = CrossTester(
+        inputs=inputs,
+        plans=plans,
+        formats=formats,
+        conf_overrides=conf_overrides,
+    )
+    trials = tester.run()
+    return CrossTestReport(
+        trials=trials,
+        failures=all_failures(trials),
+        evidence=classify_trials(trials),
+    )

@@ -1,0 +1,366 @@
+"""Typed test-input generation for the §8 cross-testing case study.
+
+The paper generates inputs "based on the publicly documented
+specifications of each interface", covering every storable data type
+with both valid and invalid values: **422 inputs in total, 210 valid and
+212 invalid**. This module reproduces that corpus deterministically:
+a hand-curated set of boundary/interesting cases per type, padded with
+parameterized series to land on exactly the paper's counts.
+
+Each input carries *both* spellings the harness needs — a SQL literal
+expression (for the SparkSQL and HiveQL interfaces) and a raw Python
+value (for the DataFrame interface).
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+from dataclasses import dataclass, field
+
+from repro.common.types import DataType, parse_type
+
+__all__ = ["TestInput", "generate_inputs", "VALID_COUNT", "INVALID_COUNT"]
+
+VALID_COUNT = 210
+INVALID_COUNT = 212
+
+
+@dataclass(frozen=True)
+class TestInput:
+    """One cross-test input: a declared column type plus a value."""
+
+    input_id: int
+    type_text: str
+    sql_literal: str
+    py_value: object
+    valid: bool
+    description: str = ""
+    #: the value a correct round trip should return (may differ from
+    #: py_value, e.g. CHAR padding); ``None`` means "same as py_value".
+    expected: object = field(default=None, compare=False)
+
+    @property
+    def column_type(self) -> DataType:
+        return parse_type(self.type_text)
+
+    @property
+    def expected_value(self) -> object:
+        return self.py_value if self.expected is None else self.expected
+
+
+def _sql_str(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+def _d(text: str) -> decimal.Decimal:
+    return decimal.Decimal(text)
+
+
+def _valid_base() -> list[tuple[str, str, object, str, object]]:
+    """(type, sql, py, description[, expected]) rows for valid inputs."""
+    rows: list[tuple] = []
+
+    def add(type_text, sql, py, desc, expected=None):
+        rows.append((type_text, sql, py, desc, expected))
+
+    # booleans
+    add("boolean", "TRUE", True, "boolean true")
+    add("boolean", "FALSE", False, "boolean false")
+
+    # integrals: zero, both boundaries, a small positive/negative
+    for type_text, suffix, lo, hi in (
+        ("tinyint", "Y", -128, 127),
+        ("smallint", "S", -32768, 32767),
+        ("int", "", -2147483648, 2147483647),
+        ("bigint", "L", -9223372036854775808, 9223372036854775807),
+    ):
+        for value in (0, 1, -1, hi, lo):
+            add(type_text, f"{value}{suffix}", value, f"{type_text} {value}")
+
+    # floats and doubles, including IEEE specials
+    for type_text in ("float", "double"):
+        fn = type_text
+        add(type_text, "0.0D" if fn == "double" else "0.0F", 0.0, f"{fn} zero")
+        add(type_text, "1.5D" if fn == "double" else "1.5F", 1.5, f"{fn} 1.5")
+        add(
+            type_text,
+            "-3.25D" if fn == "double" else "-3.25F",
+            -3.25,
+            f"{fn} negative",
+        )
+        add(type_text, f"{fn}('NaN')", float("nan"), f"{fn} NaN")
+        add(type_text, f"{fn}('Infinity')", float("inf"), f"{fn} +Inf")
+        add(type_text, f"{fn}('-Infinity')", float("-inf"), f"{fn} -Inf")
+        add(type_text, "1.0E10D" if fn == "double" else "1.0E10F", 1.0e10, f"{fn} 1e10")
+
+    # decimals across shapes
+    for text in ("0.00", "123.45", "-99999999.99", "1.50", "10.00"):
+        add("decimal(10,2)", f"CAST({text} AS decimal(10,2))", _d(text), f"decimal(10,2) {text}")
+    for text in ("0.000000000000000001", "1.000000000000000000", "-42.5"):
+        add(
+            "decimal(38,18)",
+            f"CAST('{text}' AS decimal(38,18))",
+            _d(text).quantize(_d("1e-18")),
+            f"decimal(38,18) {text}",
+        )
+    for text in ("0", "99999", "-99999"):
+        add("decimal(5,0)", f"CAST({text} AS decimal(5,0))", _d(text), f"decimal(5,0) {text}")
+    # SPARK-39158 shape: fewer fractional digits than the declared scale
+    add("decimal(10,3)", "CAST(3.1 AS decimal(10,3))", _d("3.1"), "decimal sub-scale 3.1")
+    add("decimal(10,3)", "CAST(0.001 AS decimal(10,3))", _d("0.001"), "decimal 0.001")
+    add("decimal(10,3)", "CAST(-2.5 AS decimal(10,3))", _d("-2.5"), "decimal -2.5")
+
+    # strings
+    for text, desc in (
+        ("", "empty string"),
+        ("hello", "ascii"),
+        ("héllo wörld", "latin accents"),
+        ("数据平面", "CJK"),
+        ("🙂🙃", "emoji"),
+        ("it's", "embedded quote"),
+        ("  padded  ", "whitespace"),
+        ("NULL", "the text NULL"),
+        ("a" * 100, "long string"),
+    ):
+        add("string", _sql_str(text), text, f"string {desc}")
+
+    # char / varchar (expected value is the padded form for CHAR)
+    add("char(5)", "'ab'", "ab", "char(5) short", "ab   ")
+    add("char(5)", "'abcde'", "abcde", "char(5) exact", "abcde")
+    add("char(1)", "'x'", "x", "char(1)", "x")
+    add("varchar(3)", "'a'", "a", "varchar(3) short")
+    add("varchar(3)", "'abc'", "abc", "varchar(3) exact")
+    add("varchar(10)", "'hello'", "hello", "varchar(10)")
+
+    # binary
+    add("binary", "X'00FF'", b"\x00\xff", "binary bytes")
+    add("binary", "X''", b"", "empty binary")
+    add("binary", "BINARY 'abc'", b"abc", "utf8 binary")
+
+    # dates
+    for text in ("2020-01-01", "1970-01-01", "9999-12-31", "0001-01-01", "2020-02-29"):
+        add("date", f"DATE '{text}'", datetime.date.fromisoformat(text), f"date {text}")
+
+    # timestamps
+    for text in (
+        "2020-01-01 00:00:00",
+        "1970-01-01 00:00:00",
+        "2038-01-19 03:14:07",
+        "1999-12-31 23:59:59.999999",
+    ):
+        add(
+            "timestamp",
+            f"TIMESTAMP '{text}'",
+            datetime.datetime.fromisoformat(text),
+            f"timestamp {text}",
+        )
+    for text in ("2020-06-15 12:30:00", "1970-01-01 00:00:01", "2100-01-01 00:00:00"):
+        add(
+            "timestamp_ntz",
+            f"TIMESTAMP_NTZ '{text}'",
+            datetime.datetime.fromisoformat(text),
+            f"timestamp_ntz {text}",
+        )
+
+    # arrays
+    add("array<int>", "array(1, 2, 3)", [1, 2, 3], "int array")
+    add("array<int>", "array(1, NULL, 3)", [1, None, 3], "array with null")
+    add("array<string>", "array('a', 'b')", ["a", "b"], "string array")
+    add("array<double>", "array(1.5D, 2.5D)", [1.5, 2.5], "double array")
+
+    # maps — including the non-string-key shape of HIVE-26531 (#4)
+    add("map<string,int>", "map('a', 1, 'b', 2)", {"a": 1, "b": 2}, "string-key map")
+    add("map<string,string>", "map('k', 'v')", {"k": "v"}, "string map")
+    add("map<string,int>", "map('k', NULL)", {"k": None}, "map null value")
+    add("map<int,string>", "map(1, 'x')", {1: "x"}, "int-key map (HIVE-26531)")
+    add("map<bigint,double>", "map(10L, 0.5D)", {10: 0.5}, "bigint-key map")
+
+    # structs — including mixed-case nested names (#14)
+    add(
+        "struct<a:int,b:string>",
+        "named_struct('a', 1, 'b', 'x')",
+        [1, "x"],
+        "simple struct",
+    )
+    add(
+        "struct<Aa:int,bB:string>",
+        "named_struct('Aa', 2, 'bB', 'y')",
+        [2, "y"],
+        "mixed-case struct field names (SPARK-40637)",
+    )
+
+    # nested compositions
+    add(
+        "array<array<int>>",
+        "array(array(1, 2), array(3))",
+        [[1, 2], [3]],
+        "nested array",
+    )
+    add(
+        "map<string,array<int>>",
+        "map('xs', array(1, 2))",
+        {"xs": [1, 2]},
+        "map of arrays",
+    )
+    add(
+        "struct<inner:array<string>>",
+        "named_struct('inner', array('p', 'q'))",
+        [["p", "q"]],
+        "struct of array",
+    )
+    return rows
+
+
+def _invalid_base() -> list[tuple[str, str, object, str]]:
+    """(type, sql, py, description) rows for invalid inputs."""
+    rows: list[tuple] = []
+
+    def add(type_text, sql, py, desc):
+        rows.append((type_text, sql, py, desc, None))
+
+    # integral overflow (both directions, several magnitudes)
+    for type_text, hi, lo in (
+        ("tinyint", 127, -128),
+        ("smallint", 32767, -32768),
+        ("int", 2147483647, -2147483648),
+        ("bigint", 9223372036854775807, -9223372036854775808),
+    ):
+        for value in (hi + 1, lo - 1, hi * 10 + 5 if hi < 2**62 else hi + 12345):
+            add(type_text, str(value), value, f"{type_text} overflow {value}")
+
+    # malformed numeric strings into numeric columns
+    for type_text in ("tinyint", "smallint", "int", "bigint", "double", "decimal(10,2)"):
+        add(type_text, "'12abc'", "12abc", f"{type_text} malformed string")
+        add(type_text, "'--3'", "--3", f"{type_text} malformed string 2")
+
+    # decimal precision/scale violations (SPARK-40439 shape, #5)
+    for text in ("123456789.999", "99999999999.99", "-123456789.001"):
+        add("decimal(5,2)", text, _d(text), f"decimal(5,2) overflow {text}")
+    add("decimal(10,2)", "12345678901234567890.55", _d("12345678901234567890.55"),
+        "decimal(10,2) precision overflow")
+    add("decimal(38,18)", "CAST('1e30' AS decimal(38,18))", _d("1e30"),
+        "decimal(38,18) overflow")
+
+    # invalid booleans (#12 / SPARK-40629 shape)
+    for text in ("maybe", "tru", "yess", "2", "on"):
+        add("boolean", _sql_str(text), text, f"boolean invalid {text!r}")
+
+    # invalid dates (#9 / SPARK-40525 shape)
+    for text in ("2021-02-30", "2021-13-01", "not-a-date", "2021/01/01", "0000-01-01"):
+        add("date", f"DATE '{text}'", text, f"date invalid {text!r}")
+
+    # invalid timestamps
+    for text in ("2021-02-30 00:00:00", "nope", "2021-01-01 25:61:00"):
+        add("timestamp", f"TIMESTAMP '{text}'", text, f"timestamp invalid {text!r}")
+
+    # char/varchar length violations (#13/#15 shape)
+    add("char(5)", "'abcdefgh'", "abcdefgh", "char(5) overlong")
+    add("char(1)", "'xy'", "xy", "char(1) overlong")
+    add("varchar(3)", "'abcdef'", "abcdef", "varchar(3) overlong (SPARK-40630)")
+    add("varchar(10)", _sql_str("z" * 32), "z" * 32, "varchar(10) overlong")
+
+    # kind mismatches
+    add("array<int>", "'not-an-array'", "not-an-array", "string into array")
+    add("map<string,int>", "42", 42, "int into map")
+    add("struct<a:int,b:string>", "7", 7, "int into struct")
+    add("int", "DATE '2020-01-01'", datetime.date(2020, 1, 1), "date into int")
+    add("date", "12345", 12345, "int into date")
+    add("boolean", "array(1)", [1], "array into boolean")
+
+    # float strings that only look numeric
+    add("double", "'one.two'", "one.two", "double malformed")
+    add("float", "'1.2.3'", "1.2.3", "float malformed")
+    return rows
+
+
+def generate_inputs() -> list[TestInput]:
+    """The full deterministic corpus: 210 valid + 212 invalid inputs."""
+    valid_rows = _valid_base()
+    invalid_rows = _invalid_base()
+
+    pad = 0
+    while len(valid_rows) < VALID_COUNT:
+        # deterministic filler series, cycling over representative types
+        kind = pad % 6
+        if kind == 0:
+            value = 1000 + pad
+            valid_rows.append(("int", str(value), value, f"filler int {value}", None))
+        elif kind == 1:
+            value = 10_000_000_000 + pad
+            valid_rows.append(
+                ("bigint", f"{value}L", value, f"filler bigint {value}", None)
+            )
+        elif kind == 2:
+            text = f"{pad}.25"
+            valid_rows.append(
+                (
+                    "decimal(10,2)",
+                    f"CAST({text} AS decimal(10,2))",
+                    _d(text),
+                    f"filler decimal {text}",
+                    None,
+                )
+            )
+        elif kind == 3:
+            text = f"s-{pad:04d}"
+            valid_rows.append(
+                ("string", _sql_str(text), text, f"filler string {text}", None)
+            )
+        elif kind == 4:
+            day = datetime.date(2001, 1, 1) + datetime.timedelta(days=pad * 37)
+            valid_rows.append(
+                ("date", f"DATE '{day.isoformat()}'", day, f"filler date {day}", None)
+            )
+        else:
+            value = round(pad * 0.5 + 0.125, 4)
+            valid_rows.append(
+                ("double", f"{value}D", value, f"filler double {value}", None)
+            )
+        pad += 1
+
+    pad = 0
+    while len(invalid_rows) < INVALID_COUNT:
+        kind = pad % 4
+        if kind == 0:
+            value = 128 + pad
+            invalid_rows.append(
+                ("tinyint", str(value), value, f"filler tinyint overflow {value}", None)
+            )
+        elif kind == 1:
+            value = 32768 + pad * 11
+            invalid_rows.append(
+                ("smallint", str(value), value, f"filler smallint overflow {value}", None)
+            )
+        elif kind == 2:
+            text = f"bad-{pad}"
+            invalid_rows.append(
+                ("int", _sql_str(text), text, f"filler malformed int {text!r}", None)
+            )
+        else:
+            text = f"9{pad:03d}.999"
+            invalid_rows.append(
+                (
+                    "decimal(5,2)",
+                    text,
+                    _d(text),
+                    f"filler decimal overflow {text}",
+                    None,
+                )
+            )
+        pad += 1
+
+    valid_rows = valid_rows[:VALID_COUNT]
+    invalid_rows = invalid_rows[:INVALID_COUNT]
+
+    inputs: list[TestInput] = []
+    for index, (type_text, sql, py, desc, expected) in enumerate(valid_rows):
+        inputs.append(
+            TestInput(index, type_text, sql, py, True, desc, expected)
+        )
+    offset = len(inputs)
+    for index, (type_text, sql, py, desc, expected) in enumerate(invalid_rows):
+        inputs.append(
+            TestInput(offset + index, type_text, sql, py, False, desc, expected)
+        )
+    return inputs

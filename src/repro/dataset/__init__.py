@@ -1,0 +1,30 @@
+"""The study datasets: 120 OSS CSI failures, 55 incidents, CBS subset."""
+
+from repro.dataset.cbs import EXPECTED_CBS_CSI, EXPECTED_CBS_TOTAL, load_cbs_issues
+from repro.dataset.incidents import (
+    EXPECTED_CSI,
+    EXPECTED_INCIDENTS,
+    load_incidents,
+)
+from repro.dataset.opensource import EXPECTED_TOTAL, PAIRS, PairSpec, load_failures
+from repro.dataset.testsuites import (
+    IntegrationTest,
+    cross_test_fraction,
+    load_spark_integration_tests,
+)
+
+__all__ = [
+    "EXPECTED_CBS_CSI",
+    "EXPECTED_CBS_TOTAL",
+    "load_cbs_issues",
+    "EXPECTED_CSI",
+    "EXPECTED_INCIDENTS",
+    "load_incidents",
+    "EXPECTED_TOTAL",
+    "PAIRS",
+    "PairSpec",
+    "load_failures",
+    "IntegrationTest",
+    "cross_test_fraction",
+    "load_spark_integration_tests",
+]

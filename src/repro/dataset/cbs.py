@@ -1,0 +1,67 @@
+"""The Cloud Bug Study (2014) comparison subset (§4).
+
+Applying the paper's collection criteria to the CBS ``cross``-labeled
+issues yields 105 issues: 39 CSI failures, 15 dependency failures, and
+51 that are not cross-system issues. Of the 39 CSI failures, 69% (27)
+are control-plane — the contrast the paper draws against its own
+dataset's 17%.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+
+from repro.core.failure import CBSIssue
+from repro.core.taxonomy import Plane
+
+__all__ = ["load_cbs_issues", "EXPECTED_CBS_TOTAL", "EXPECTED_CBS_CSI"]
+
+EXPECTED_CBS_TOTAL = 105
+EXPECTED_CBS_CSI = 39
+
+#: CBS covers six Hadoop-era systems
+_SYSTEMS = ("MapReduce", "HDFS", "HBase", "Cassandra", "ZooKeeper", "Flume")
+
+_CSI_PLANES = (
+    [Plane.CONTROL] * 27  # 69% of 39
+    + [Plane.DATA] * 7
+    + [Plane.MANAGEMENT] * 5
+)
+_DEPENDENCY_COUNT = 15
+_NOT_CROSS_COUNT = 51
+
+
+@functools.lru_cache(maxsize=1)
+def load_cbs_issues() -> tuple[CBSIssue, ...]:
+    issues: list[CBSIssue] = []
+    systems = itertools.cycle(_SYSTEMS)
+    counter = itertools.count(1)
+
+    for plane in _CSI_PLANES:
+        issues.append(
+            CBSIssue(
+                issue_id=f"CBS-{next(counter):03d}",
+                system=next(systems),
+                is_csi=True,
+                plane=plane,
+            )
+        )
+    for _ in range(_DEPENDENCY_COUNT):
+        issues.append(
+            CBSIssue(
+                issue_id=f"CBS-{next(counter):03d}",
+                system=next(systems),
+                is_csi=False,
+                is_dependency=True,
+            )
+        )
+    for _ in range(_NOT_CROSS_COUNT):
+        issues.append(
+            CBSIssue(
+                issue_id=f"CBS-{next(counter):03d}",
+                system=next(systems),
+                is_csi=False,
+            )
+        )
+    return tuple(issues)

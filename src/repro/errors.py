@@ -1,0 +1,178 @@
+"""Exception hierarchy shared by every subsystem in the reproduction.
+
+Each simulated system raises its own exception family so that
+cross-system tests can distinguish *which* side of an interaction
+failed, exactly as the paper's oracles need to (an ``EH`` oracle failure
+is "invalid data accepted", which is only observable if valid rejections
+raise recognizable errors).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Type system / schema errors (shared substrate)
+# ---------------------------------------------------------------------------
+
+
+class TypeSystemError(ReproError):
+    """Base class for logical type-system errors."""
+
+
+class CastError(TypeSystemError):
+    """A value could not be cast to the requested logical type."""
+
+    def __init__(self, value: object, target: object, reason: str = "") -> None:
+        self.value = value
+        self.target = target
+        self.reason = reason
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"cannot cast {value!r} to {target}{detail}")
+
+
+class SchemaError(TypeSystemError):
+    """A schema is malformed or two schemas are irreconcilable."""
+
+
+class ArithmeticOverflowError(TypeSystemError):
+    """A numeric value exceeds the range of its logical type (ANSI mode)."""
+
+
+# ---------------------------------------------------------------------------
+# Serialization / format errors
+# ---------------------------------------------------------------------------
+
+
+class SerializationError(ReproError):
+    """A value or schema cannot be (de)serialized by a storage format."""
+
+
+class IncompatibleSchemaException(SerializationError):
+    """Physical data does not match the logical schema on deserialization.
+
+    Named after Spark's ``IncompatibleSchemaException``, which is the
+    user-visible symptom of SPARK-39075 (Avro round-trip of BYTE/SHORT).
+    """
+
+
+class UnsupportedTypeError(SerializationError):
+    """The storage format has no physical representation for the type."""
+
+
+# ---------------------------------------------------------------------------
+# Query / engine errors
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """A SQL statement failed to parse or execute."""
+
+
+class AnalysisException(QueryError):
+    """Semantic analysis of a query failed (Spark terminology)."""
+
+
+class ParseError(QueryError):
+    """A SQL statement could not be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# Metastore / catalog errors
+# ---------------------------------------------------------------------------
+
+
+class MetastoreError(ReproError):
+    """The (Hive) metastore rejected an operation."""
+
+
+class TableNotFoundError(MetastoreError):
+    """The referenced table does not exist."""
+
+
+class TableAlreadyExistsError(MetastoreError):
+    """A table with the same (case-normalized) name already exists."""
+
+
+# ---------------------------------------------------------------------------
+# Storage (HDFS-like) errors
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for filesystem errors."""
+
+
+class FileNotFoundInStorageError(StorageError):
+    """The referenced path does not exist in the namespace."""
+
+
+class SafeModeException(StorageError):
+    """The namenode is in safe mode and rejects mutations (HBASE-537)."""
+
+
+class InvalidFileLengthError(StorageError):
+    """An upstream system rejected a file status (e.g. negative length)."""
+
+
+# ---------------------------------------------------------------------------
+# Resource management (YARN-like) errors
+# ---------------------------------------------------------------------------
+
+
+class ResourceError(ReproError):
+    """Base class for resource-manager errors."""
+
+
+class AllocationError(ResourceError):
+    """A container allocation request could not be satisfied."""
+
+
+class ContainerKilledError(ResourceError):
+    """A container was killed by the platform (e.g. pmem monitor)."""
+
+
+class SchedulerOverloadError(ResourceError):
+    """The scheduler received more requests than it can queue."""
+
+
+# ---------------------------------------------------------------------------
+# Configuration errors
+# ---------------------------------------------------------------------------
+
+
+class ConfigError(ReproError):
+    """Base class for configuration-plane errors."""
+
+
+class UnknownConfigKeyError(ConfigError):
+    """A configuration key is not registered with the target system."""
+
+
+class ConfigValueError(ConfigError):
+    """A configuration value failed validation."""
+
+
+# ---------------------------------------------------------------------------
+# Streaming (Kafka-like) errors
+# ---------------------------------------------------------------------------
+
+
+class StreamError(ReproError):
+    """Base class for log/streaming errors."""
+
+
+class OffsetOutOfRangeError(StreamError):
+    """A consumer requested an offset that does not exist in the log."""
+
+
+# ---------------------------------------------------------------------------
+# Dataset / analysis errors
+# ---------------------------------------------------------------------------
+
+
+class DatasetError(ReproError):
+    """The encoded study dataset violates an internal invariant."""

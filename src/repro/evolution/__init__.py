@@ -1,0 +1,21 @@
+"""Change analysis for cross-system interactions (§10)."""
+
+from repro.evolution.analysis import (
+    DEFAULT_TYPE_CORPUS,
+    LatticeChange,
+    ReaderGap,
+    lattice_diff,
+    lattice_signature,
+    reader_gaps,
+    upgrade_risks,
+)
+
+__all__ = [
+    "DEFAULT_TYPE_CORPUS",
+    "LatticeChange",
+    "ReaderGap",
+    "lattice_diff",
+    "lattice_signature",
+    "reader_gaps",
+    "upgrade_risks",
+]

@@ -1,0 +1,193 @@
+"""Change analysis for cross-system interactions (§10).
+
+    "Many CSI issues are introduced during software evolution. ... New
+    techniques are needed for reasoning about impacts of changes
+    regarding cross-system interactions."
+
+Two static analyses over the pieces where the studied failures live:
+
+* :func:`lattice_diff` — compare two versions of a storage format's
+  physical type lattice over a type corpus and classify every change
+  (a gap introduced, a collapse changed, ...). Catches the
+  SPARK-21150-style regressions where an upgrade silently changes what
+  survives a round trip.
+* :func:`reader_gaps` — for one format, find the logical types whose
+  physical representation the engine's transformer layer cannot convert
+  back. Run against the Avro lattice this reports BYTE/SHORT — i.e. it
+  would have flagged SPARK-39075 before release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import parse_type
+from repro.connectors.transformers import transformer_for
+from repro.errors import ReproError
+from repro.formats.base import Serializer
+
+__all__ = [
+    "DEFAULT_TYPE_CORPUS",
+    "LatticeChange",
+    "ReaderGap",
+    "lattice_signature",
+    "lattice_diff",
+    "upgrade_risks",
+    "reader_gaps",
+]
+
+#: representative corpus covering every atomic family plus nesting
+DEFAULT_TYPE_CORPUS: tuple[str, ...] = (
+    "boolean",
+    "tinyint",
+    "smallint",
+    "int",
+    "bigint",
+    "float",
+    "double",
+    "decimal(10,2)",
+    "decimal(38,18)",
+    "string",
+    "char(5)",
+    "varchar(10)",
+    "binary",
+    "date",
+    "timestamp",
+    "timestamp_ntz",
+    "array<int>",
+    "array<tinyint>",
+    "map<string,int>",
+    "map<int,string>",
+    "struct<a:int,b:string>",
+    "struct<Aa:smallint>",
+)
+
+UNSUPPORTED = "<unsupported>"
+
+
+def lattice_signature(
+    serializer: Serializer, corpus: tuple[str, ...] = DEFAULT_TYPE_CORPUS
+) -> dict[str, str]:
+    """``logical type -> physical type`` (or the unsupported marker)."""
+    signature: dict[str, str] = {}
+    for type_text in corpus:
+        logical = parse_type(type_text)
+        try:
+            physical = serializer.physical_type(logical)
+        except ReproError:
+            signature[type_text] = UNSUPPORTED
+        else:
+            signature[type_text] = physical.simple_string()
+    return signature
+
+
+@dataclass(frozen=True)
+class LatticeChange:
+    type_text: str
+    kind: str  # gap_introduced | gap_removed | collapse_changed |
+    #            collapse_introduced | collapse_removed
+    old_physical: str
+    new_physical: str
+
+    @property
+    def risky(self) -> bool:
+        """Changes that can break an already-deployed peer.
+
+        Introducing a gap breaks writers; introducing or changing a
+        collapse changes what readers get back. Removing a gap or a
+        collapse only widens what round-trips, which is backward safe
+        for data written from now on — but note files written *before*
+        still carry the old physical types.
+        """
+        return self.kind in (
+            "gap_introduced",
+            "collapse_introduced",
+            "collapse_changed",
+        )
+
+    def render(self) -> str:
+        return (
+            f"{self.type_text}: {self.old_physical} -> {self.new_physical} "
+            f"({self.kind}{', RISK' if self.risky else ''})"
+        )
+
+
+def lattice_diff(
+    old: Serializer,
+    new: Serializer,
+    corpus: tuple[str, ...] = DEFAULT_TYPE_CORPUS,
+) -> list[LatticeChange]:
+    """Classify every behavioural difference between two lattices."""
+    old_signature = lattice_signature(old, corpus)
+    new_signature = lattice_signature(new, corpus)
+    changes: list[LatticeChange] = []
+    for type_text in corpus:
+        before = old_signature[type_text]
+        after = new_signature[type_text]
+        if before == after:
+            continue
+        if after == UNSUPPORTED:
+            kind = "gap_introduced"
+        elif before == UNSUPPORTED:
+            kind = "gap_removed"
+        elif before == type_text or before == parse_type(
+            type_text
+        ).simple_string():
+            kind = "collapse_introduced"
+        elif after == parse_type(type_text).simple_string():
+            kind = "collapse_removed"
+        else:
+            kind = "collapse_changed"
+        changes.append(LatticeChange(type_text, kind, before, after))
+    return changes
+
+
+def upgrade_risks(
+    old: Serializer,
+    new: Serializer,
+    corpus: tuple[str, ...] = DEFAULT_TYPE_CORPUS,
+) -> list[LatticeChange]:
+    """Only the changes that can break a co-deployed peer."""
+    return [change for change in lattice_diff(old, new, corpus) if change.risky]
+
+
+@dataclass(frozen=True)
+class ReaderGap:
+    """A logical type whose round trip through a format cannot be
+    completed by the engine's transformer layer."""
+
+    type_text: str
+    physical: str
+    error: str
+
+    def render(self) -> str:
+        return (
+            f"{self.type_text}: stored as {self.physical}, read back fails "
+            f"({self.error})"
+        )
+
+
+def reader_gaps(
+    serializer: Serializer,
+    corpus: tuple[str, ...] = DEFAULT_TYPE_CORPUS,
+) -> list[ReaderGap]:
+    """Types a write-then-read through this format cannot return.
+
+    This is the static check whose absence let SPARK-39075 ship: it
+    pairs the format's write-side promotion against the reader's
+    transformer table and reports every mismatch.
+    """
+    gaps: list[ReaderGap] = []
+    for type_text in corpus:
+        logical = parse_type(type_text)
+        try:
+            physical = serializer.physical_type(logical)
+        except ReproError:
+            continue  # a write-side gap, reported by lattice_signature
+        try:
+            transformer_for(physical, logical, serializer.format_name)
+        except ReproError as exc:
+            gaps.append(
+                ReaderGap(type_text, physical.simple_string(), str(exc))
+            )
+    return gaps

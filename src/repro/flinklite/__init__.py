@@ -1,0 +1,36 @@
+"""Mini Flink: YARN connector loop, JobManager sizing, configuration."""
+
+from repro.flinklite.configs import (
+    FLINK_CONFIG_KEYS,
+    HEAP_CUTOFF_MIN_MB,
+    HEAP_CUTOFF_RATIO,
+    JM_PROCESS_SIZE_MB,
+    REQUEST_INTERVAL_MS,
+    TM_PROCESS_SIZE_MB,
+    FlinkConf,
+)
+from repro.flinklite.jobmanager import (
+    JobManagerSpec,
+    expected_container_resource,
+    jvm_heap_for_container,
+)
+from repro.flinklite.vcores import ClusterInfo, cluster_vcores, local_vcores
+from repro.flinklite.yarn_connector import FixStage, FlinkYarnResourceManager
+
+__all__ = [
+    "FLINK_CONFIG_KEYS",
+    "HEAP_CUTOFF_MIN_MB",
+    "HEAP_CUTOFF_RATIO",
+    "JM_PROCESS_SIZE_MB",
+    "REQUEST_INTERVAL_MS",
+    "TM_PROCESS_SIZE_MB",
+    "FlinkConf",
+    "JobManagerSpec",
+    "expected_container_resource",
+    "jvm_heap_for_container",
+    "ClusterInfo",
+    "cluster_vcores",
+    "local_vcores",
+    "FixStage",
+    "FlinkYarnResourceManager",
+]

@@ -1,0 +1,50 @@
+"""Flink configuration surface (the keys the scenarios read)."""
+
+from __future__ import annotations
+
+from repro.common.config import ConfigKey, Configuration, parse_int
+
+__all__ = [
+    "FlinkConf",
+    "FLINK_CONFIG_KEYS",
+    "REQUEST_INTERVAL_MS",
+    "TM_PROCESS_SIZE_MB",
+    "JM_PROCESS_SIZE_MB",
+    "HEAP_CUTOFF_RATIO",
+    "HEAP_CUTOFF_MIN_MB",
+]
+
+#: Workaround #1 for FLINK-12342 made the re-request interval
+#: configurable under exactly this name.
+REQUEST_INTERVAL_MS = "yarn.heartbeat.container-request-interval"
+TM_PROCESS_SIZE_MB = "taskmanager.memory.process.size"
+JM_PROCESS_SIZE_MB = "jobmanager.memory.process.size"
+HEAP_CUTOFF_RATIO = "containerized.heap-cutoff-ratio"
+HEAP_CUTOFF_MIN_MB = "containerized.heap-cutoff-min"
+
+FLINK_CONFIG_KEYS: list[ConfigKey] = [
+    ConfigKey(REQUEST_INTERVAL_MS, default=500, parser=parse_int),
+    ConfigKey(TM_PROCESS_SIZE_MB, default=1728, parser=parse_int),
+    ConfigKey(JM_PROCESS_SIZE_MB, default=1600, parser=parse_int),
+    ConfigKey(
+        HEAP_CUTOFF_RATIO,
+        default="0.25",
+        doc="Fraction of the container kept as non-heap headroom; setting "
+        "this to 0 reproduces FLINK-887 (JVM fills the whole container "
+        "and the pmem monitor kills it).",
+    ),
+    ConfigKey(HEAP_CUTOFF_MIN_MB, default=600, parser=parse_int),
+    ConfigKey("taskmanager.numberOfTaskSlots", default=1, parser=parse_int),
+    ConfigKey("parallelism.default", default=1, parser=parse_int),
+    ConfigKey("yarn.application.queue", default="default"),
+]
+
+
+class FlinkConf(Configuration):
+    def __init__(self) -> None:
+        super().__init__(system="flink")
+        self.declare_all(FLINK_CONFIG_KEYS)
+
+    @property
+    def heap_cutoff_ratio(self) -> float:
+        return float(self.get(HEAP_CUTOFF_RATIO))

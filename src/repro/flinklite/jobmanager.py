@@ -1,0 +1,67 @@
+"""Flink JobManager memory sizing inside a YARN container (FLINK-887)
+and container-size arithmetic against YARN schedulers (FLINK-19141)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flinklite.configs import (
+    HEAP_CUTOFF_MIN_MB,
+    JM_PROCESS_SIZE_MB,
+    FlinkConf,
+)
+from repro.yarnlite.configs import MIN_ALLOC_MB, MIN_ALLOC_VCORES, YarnConf
+from repro.yarnlite.resources import Resource
+
+__all__ = ["jvm_heap_for_container", "expected_container_resource", "JobManagerSpec"]
+
+
+def jvm_heap_for_container(conf: FlinkConf, container_mb: int) -> int:
+    """JVM heap Flink configures for a container of the given size.
+
+    With the default cutoff, part of the container is reserved for
+    off-heap/native memory; with ``containerized.heap-cutoff-ratio`` set
+    to 0 the JVM is allowed to use the whole container — and JVM
+    processes exceed their heap, so the pmem monitor kills the container
+    (FLINK-887).
+    """
+    ratio = conf.heap_cutoff_ratio
+    cutoff = max(
+        int(container_mb * ratio), int(conf.get(HEAP_CUTOFF_MIN_MB)) if ratio > 0 else 0
+    )
+    return container_mb - cutoff
+
+
+def expected_container_resource(
+    flink_conf: FlinkConf, yarn_conf: YarnConf, requested: Resource
+) -> Resource:
+    """What *Flink* believes YARN will allocate for ``requested``.
+
+    Flink's arithmetic reads the ``yarn.scheduler.minimum-allocation-*``
+    keys — correct for the capacity scheduler, wrong for the fair
+    scheduler, which normalizes with the increment-allocation keys
+    instead (FLINK-19141 / Figure 3).
+    """
+    del flink_conf  # the computation only needs YARN's (assumed) keys
+    step = Resource(
+        int(yarn_conf.get(MIN_ALLOC_MB)),
+        int(yarn_conf.get(MIN_ALLOC_VCORES)),
+    )
+    return requested.round_up_to(step)
+
+
+@dataclass
+class JobManagerSpec:
+    """A launch-ready JobManager: container size plus JVM sizing."""
+
+    conf: FlinkConf
+
+    def container_mb(self) -> int:
+        return int(self.conf.get(JM_PROCESS_SIZE_MB))
+
+    def jvm_heap_mb(self) -> int:
+        return jvm_heap_for_container(self.conf, self.container_mb())
+
+    def peak_pmem_mb(self) -> int:
+        """JVM physical footprint: heap plus ~15% native overhead."""
+        return int(self.jvm_heap_mb() * 1.15)

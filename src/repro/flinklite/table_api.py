@@ -1,0 +1,159 @@
+"""Flink's table layer over the Hive catalog — FLINK-17189 executable.
+
+Table 6's type-confusion example: "Flink inserts a PROCTIME-typed value
+as the TIMESTAMP type in Hive, but fails to translate it back." Flink's
+PROCTIME is a *processing-time attribute*: a timestamp plus the marker
+that makes windowed operators work. The Hive catalog can only store
+``timestamp``, so the marker is dropped at write time; on read-back the
+attribute cannot be reconstructed and time-windowed jobs fail.
+
+Also provides the stream→table creation step Table 5 describes ("CSI
+failures are classified as 'Stream' before table creation and as
+'Table' after"): a dynamic table over a Kafka-like partition log.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.common.row import Row
+from repro.common.schema import Field, Schema
+from repro.common.types import TimestampType
+from repro.errors import QueryError
+from repro.hivelite.engine import HiveServer
+from repro.kafkalite.log import PartitionLog
+
+__all__ = ["PROCTIME_MARKER", "FlinkTableEnvironment", "ProctimeLostError"]
+
+#: Flink stashes the time-attribute marker in table properties when the
+#: catalog supports it; the Hive catalog path never writes it.
+PROCTIME_MARKER = "flink.proctime.column"
+
+
+class ProctimeLostError(QueryError):
+    """A time-windowed operation needed a PROCTIME attribute that the
+    catalog round trip destroyed (FLINK-17189)."""
+
+
+@dataclass
+class FlinkTableEnvironment:
+    """A minimal Flink table environment sharing Hive's catalog."""
+
+    hive: HiveServer
+    #: which columns are processing-time attributes, per Flink table
+    _proctime_columns: dict[str, str] = None
+
+    def __post_init__(self) -> None:
+        self._proctime_columns = {}
+
+    # -- stream -> table (the Table 5 transition) ----------------------
+
+    def table_from_stream(
+        self,
+        name: str,
+        log: PartitionLog,
+        schema: Schema,
+        *,
+        proctime_column: str | None = None,
+    ) -> list[Row]:
+        """Materialize a dynamic table from a stream's records.
+
+        Each record's value must be a dict of column values; a proctime
+        column, if named, is synthesized from record timestamps.
+        """
+        fields = list(schema.fields)
+        if proctime_column is not None:
+            fields.append(Field(proctime_column, TimestampType()))
+            self._proctime_columns[name] = proctime_column
+        full_schema = Schema(tuple(fields), case_sensitive=False)
+        rows = []
+        record = log.read_from(0)
+        position = 0
+        while record is not None:
+            payload = record.value
+            if not isinstance(payload, dict):
+                raise QueryError(
+                    f"stream record at offset {record.offset} is not a row"
+                )
+            values = [payload.get(f.name) for f in schema.fields]
+            if proctime_column is not None:
+                values.append(
+                    datetime.datetime(1970, 1, 1)
+                    + datetime.timedelta(milliseconds=record.timestamp_ms)
+                )
+            rows.append(Row(values, full_schema))
+            position = record.offset + 1
+            record = log.read_from(position)
+        return rows
+
+    # -- catalog round trip (FLINK-17189) ---------------------------------
+
+    def write_to_hive(self, name: str, rows: list[Row], schema: Schema) -> None:
+        """Persist a Flink table through the Hive catalog.
+
+        PROCTIME columns are written as plain TIMESTAMP — the Hive
+        catalog has no richer type, so the attribute marker is dropped
+        here (the write half of FLINK-17189).
+        """
+        columns = ", ".join(
+            f"{f.name} {f.data_type.simple_string()}" for f in schema.fields
+        )
+        self.hive.execute(f"CREATE TABLE {name} ({columns}) STORED AS parquet")
+        for row in rows:
+            literals = ", ".join(_sql_literal(v) for v in row)
+            self.hive.execute(f"INSERT INTO {name} VALUES ({literals})")
+
+    def read_from_hive(self, name: str) -> tuple[Schema, list[Row]]:
+        """Read a table back through the catalog.
+
+        The schema arrives as plain Hive types; whether a timestamp was
+        once a PROCTIME attribute is unrecoverable.
+        """
+        result = self.hive.execute(f"SELECT * FROM {name}")
+        return result.schema, list(result.rows)
+
+    def window_aggregate(
+        self, name: str, *, window_minutes: int = 5
+    ) -> dict[datetime.datetime, int]:
+        """A processing-time windowed count — *requires* the attribute.
+
+        Raises :class:`ProctimeLostError` when the table's proctime
+        column did not survive the catalog round trip.
+        """
+        proctime = self._proctime_columns.get(name)
+        if proctime is None:
+            raise ProctimeLostError(
+                f"table {name!r} has no PROCTIME attribute; the Hive "
+                "catalog stored it as a plain TIMESTAMP (FLINK-17189)"
+            )
+        schema, rows = self.read_from_hive(name)
+        index = schema.index_of(proctime)
+        window = datetime.timedelta(minutes=window_minutes)
+        counts: dict[datetime.datetime, int] = {}
+        epoch = datetime.datetime(1970, 1, 1)
+        for row in rows:
+            ts = row[index]
+            bucket = epoch + window * ((ts - epoch) // window)
+            counts[bucket] = counts.get(bucket, 0) + 1
+        return counts
+
+    def register_proctime(self, name: str, column: str) -> None:
+        """The FLINK-17189 fix direction: carry the attribute out of
+        band (table properties) and re-register it after a read."""
+        self._proctime_columns[name] = column
+
+
+def _sql_literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, datetime.datetime):
+        return f"TIMESTAMP '{value.isoformat(sep=' ')}'"
+    if isinstance(value, datetime.date):
+        return f"DATE '{value.isoformat()}'"
+    text = str(value).replace("'", "''")
+    return f"'{text}'"

@@ -1,0 +1,40 @@
+"""vcore discovery — the FLINK-5542 wrong-invocation-context misuse.
+
+Finding 11's second pattern: "API invocation in a wrong context. For
+example, in FLINK-5542, an API used for reading local vcore information
+is used in a global context, causing misinformation of available
+cores." Both APIs exist here; which one a caller uses in which context
+is the bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ClusterInfo", "local_vcores", "cluster_vcores"]
+
+
+@dataclass
+class ClusterInfo:
+    """Per-node vcore counts as YARN reports them."""
+
+    node_vcores: list[int] = field(default_factory=list)
+    #: the driver/client machine's own core count
+    local_machine_vcores: int = 4
+
+    def add_node(self, vcores: int) -> None:
+        self.node_vcores.append(vcores)
+
+    @property
+    def total_vcores(self) -> int:
+        return sum(self.node_vcores)
+
+
+def local_vcores(cluster: ClusterInfo) -> int:
+    """The *local machine's* cores — valid only in a local context."""
+    return cluster.local_machine_vcores
+
+
+def cluster_vcores(cluster: ClusterInfo) -> int:
+    """Aggregate cluster capacity — the API a global context needs."""
+    return cluster.total_vcores

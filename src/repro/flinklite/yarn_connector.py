@@ -1,0 +1,135 @@
+"""Flink's YARN resource manager connector — FLINK-12342 and its fixes.
+
+Figure 1: Flink keeps a count of containers it still needs and
+re-requests every 500 ms. Its use of the YARN allocate API assumes the
+request is *served within the interval*; when allocation takes longer,
+the pending count snowballs (1, then 1+2, then 1+2+3, ...), ending in
+thousands of queued requests.
+
+Figure 5 documents the three historical responses, all reproducible
+here via ``FixStage``:
+
+1. ``WORKAROUND_INTERVAL`` — make the 500 ms interval configurable
+   (``yarn.heartbeat.container-request-interval``);
+2. ``WORKAROUND_DECREMENT`` — decrement the pending count as soon as
+   the request is submitted, so re-requests stop aggregating;
+3. ``RESOLUTION_ASYNC`` — rewrite the interaction as asynchronous
+   (``NMClientAsync``): request once, rely on callbacks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.events import EventLoop, Process
+from repro.flinklite.configs import REQUEST_INTERVAL_MS, FlinkConf
+from repro.yarnlite.resourcemanager import Container, ResourceManager
+from repro.yarnlite.resources import Resource
+
+__all__ = ["FixStage", "FlinkYarnResourceManager"]
+
+
+class FixStage(enum.Enum):
+    BUGGY = "buggy"
+    WORKAROUND_INTERVAL = "workaround_interval"
+    WORKAROUND_DECREMENT = "workaround_decrement"
+    RESOLUTION_ASYNC = "resolution_async"
+
+
+@dataclass
+class RequestLogEntry:
+    time_ms: int
+    count: int
+    pending_after: int
+
+
+class FlinkYarnResourceManager(Process):
+    """The Flink-side container request loop."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        yarn: ResourceManager,
+        *,
+        needed_containers: int,
+        container_resource: Resource = Resource(1024, 1),
+        conf: FlinkConf | None = None,
+        fix_stage: FixStage = FixStage.BUGGY,
+    ) -> None:
+        super().__init__(loop, "flink-yarn-rm")
+        self.yarn = yarn
+        self.conf = conf or FlinkConf()
+        self.fix_stage = fix_stage
+        self.container_resource = container_resource
+        self.needed = needed_containers
+        self.unacked = 0  # requests sent, not yet acknowledged
+        self.allocated: list[Container] = []
+        self.request_log: list[RequestLogEntry] = []
+        self._handle = yarn.register(self._on_containers_allocated)
+        self._stopped = False
+
+    # -- public metrics ----------------------------------------------------
+
+    @property
+    def total_requested(self) -> int:
+        return self._handle.requested_total
+
+    @property
+    def satisfied(self) -> bool:
+        return self.needed <= 0
+
+    def overload_factor(self, originally_needed: int) -> float:
+        """How many times more containers were requested than needed."""
+        if originally_needed == 0:
+            return 0.0
+        return self.total_requested / originally_needed
+
+    # -- the loop ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self.fix_stage is FixStage.RESOLUTION_ASYNC:
+            # the fixed interaction: one asynchronous batch, no polling
+            self._request(self.needed)
+            return
+        self._tick()
+
+    def _interval_ms(self) -> int:
+        return int(self.conf.get(REQUEST_INTERVAL_MS))
+
+    def _tick(self) -> None:
+        if self._stopped or self.satisfied:
+            return
+        if self.fix_stage is FixStage.WORKAROUND_DECREMENT:
+            # workaround #2: only re-request what is not already in flight
+            outstanding = max(0, self.needed - self.unacked)
+            if outstanding > 0:
+                self._request(outstanding)
+        else:
+            # the buggy aggregation: pending unacknowledged requests are
+            # re-submitted *plus* the still-needed count
+            self._request(self.unacked + self.needed)
+        self.schedule(self._interval_ms(), self._tick, "flink-request-tick")
+
+    def _request(self, count: int) -> None:
+        if count <= 0:
+            return
+        self.yarn.request_containers(
+            self._handle, count, self.container_resource
+        )
+        self.unacked += count
+        self.request_log.append(
+            RequestLogEntry(self.now_ms, count, self.unacked)
+        )
+
+    def _on_containers_allocated(self, containers: list[Container]) -> None:
+        for container in containers:
+            self.unacked = max(0, self.unacked - 1)
+            if self.needed > 0:
+                self.needed -= 1
+                self.allocated.append(container)
+            else:
+                # excess container from the snowballed requests
+                self.yarn.release(container)
+        if self.satisfied:
+            self._stopped = True

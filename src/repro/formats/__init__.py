@@ -1,0 +1,52 @@
+"""Simulated storage formats (Avro / ORC / Parquet / text)."""
+
+from repro.formats.avro import AvroSerializer
+from repro.formats.base import FORMAT_VERSION, Serializer, TableData
+from repro.formats.orc import HIVE_POSITIONAL_PROPERTY, OrcSerializer
+from repro.formats.parquet import ParquetSerializer
+from repro.formats.textfile import NULL_MARKER, TextSerializer
+from repro.formats.unified import LOGICAL_SCHEMA_PROPERTY, UnifiedSerializer
+
+__all__ = [
+    "AvroSerializer",
+    "FORMAT_VERSION",
+    "Serializer",
+    "TableData",
+    "HIVE_POSITIONAL_PROPERTY",
+    "OrcSerializer",
+    "ParquetSerializer",
+    "NULL_MARKER",
+    "TextSerializer",
+    "LOGICAL_SCHEMA_PROPERTY",
+    "UnifiedSerializer",
+    "serializer_for",
+    "SERIALIZERS",
+]
+
+SERIALIZERS: dict[str, type[Serializer]] = {
+    "avro": AvroSerializer,
+    "orc": OrcSerializer,
+    "parquet": ParquetSerializer,
+    "text": TextSerializer,
+}
+
+_UNIFIED_PREFIX = "unified_"
+
+
+def serializer_for(format_name: str) -> Serializer:
+    """Instantiate the serializer for a format name (case-insensitive).
+
+    ``unified_<base>`` wraps the base format in the
+    :class:`UnifiedSerializer` layer (§10's proposed mitigation).
+    """
+    lowered = format_name.lower()
+    if lowered.startswith(_UNIFIED_PREFIX):
+        base = serializer_for(lowered[len(_UNIFIED_PREFIX) :])
+        return UnifiedSerializer(base)
+    try:
+        return SERIALIZERS[lowered]()
+    except KeyError:
+        raise ValueError(
+            f"unknown storage format {format_name!r}; "
+            f"known: {sorted(SERIALIZERS)} (+ 'unified_<base>')"
+        ) from None

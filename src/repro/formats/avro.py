@@ -1,0 +1,64 @@
+"""Avro-like row format.
+
+Two real properties of Avro's type lattice drive §8 discrepancies:
+
+* Avro has no 1- or 2-byte integer types, so BYTE and SHORT columns are
+  **promoted to INT on write**. Whether a reader demotes them back is up
+  to the reading engine — Spark's Avro reader historically did not and
+  raised ``IncompatibleSchemaException`` (SPARK-39075, discrepancy #1).
+* Avro map keys **must be strings** (HIVE-26531, discrepancy #4) —
+  unlike ORC and Parquet, which accept any key type.
+
+Avro also cannot carry Spark's case-sensitive native schema metadata, so
+``spark.sql.hive.caseSensitiveInferenceMode`` has no effect for
+Avro-backed tables (part of the "exposing internal configurations"
+family in §8.2).
+"""
+
+from __future__ import annotations
+
+from repro.common.types import (
+    ByteType,
+    CharType,
+    DataType,
+    IntegerType,
+    IntervalType,
+    ShortType,
+    StringType,
+    TimestampNTZType,
+    TimestampType,
+    VarcharType,
+)
+from repro.errors import UnsupportedTypeError
+from repro.formats.base import Serializer
+
+__all__ = ["AvroSerializer"]
+
+
+class AvroSerializer(Serializer):
+    format_name = "avro"
+    supports_native_schema_inference = False
+    file_schema_is_authoritative = True
+
+    def physical_atomic(self, dtype: DataType) -> DataType:
+        if isinstance(dtype, (ByteType, ShortType)):
+            # Avro's smallest integer is 32-bit: silent promotion.
+            return IntegerType()
+        if isinstance(dtype, (CharType, VarcharType)):
+            return StringType()
+        if isinstance(dtype, TimestampNTZType):
+            # Avro logical types only define timestamp-with-instant
+            # semantics; NTZ collapses into it.
+            return TimestampType()
+        if isinstance(dtype, IntervalType):
+            raise UnsupportedTypeError(
+                "avro has no representation for interval types"
+            )
+        return dtype
+
+    def check_map_key(self, key_type: DataType) -> None:
+        if not isinstance(key_type, (StringType, CharType, VarcharType)):
+            raise UnsupportedTypeError(
+                "avro maps support only string keys, got "
+                f"{key_type.simple_string()}"
+            )

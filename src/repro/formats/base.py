@@ -1,0 +1,196 @@
+"""Serializer interface shared by the simulated storage formats.
+
+A serializer owns two things:
+
+* a **physical type lattice** — the mapping from logical column types to
+  the types the format can actually store. Gaps and collapses in this
+  lattice (Avro has no BYTE/SHORT; text has only strings) are the
+  mechanism behind the paper's type-confusion discrepancies (Table 6).
+* a **byte encoding** — ``write`` produces self-describing bytes whose
+  header records the *physical* schema; ``read`` gives the physical
+  schema and rows back. Reconciling physical schema against the table's
+  logical schema is deliberately left to the reading engine, because
+  Spark and Hive reconcile differently — that asymmetry is where
+  SPARK-39075 lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.row import Row
+from repro.common.schema import Field as SchemaField
+from repro.common.schema import Schema
+from repro.common.types import (
+    ArrayType,
+    DataType,
+    MapType,
+    StructField,
+    StructType,
+    parse_type,
+)
+from repro.errors import SerializationError, UnsupportedTypeError
+from repro.formats import encoding
+
+__all__ = ["Serializer", "TableData", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TableData:
+    """What :meth:`Serializer.read` returns: physical schema and rows."""
+
+    format_name: str
+    physical_schema: Schema
+    rows: tuple[Row, ...]
+    properties: dict[str, str] = field(default_factory=dict)
+
+
+class Serializer:
+    """Base class; concrete formats override the lattice hooks."""
+
+    format_name: str = "abstract"
+    #: Whether Spark can persist/recover its own case-sensitive schema for
+    #: files of this format (``spark.sql.hive.caseSensitiveInferenceMode``
+    #: works for ORC and Parquet but not Avro — §8.2, HIVE-26531 family).
+    supports_native_schema_inference: bool = False
+    #: Whether the *file's* schema overrides the DDL in the metastore
+    #: (Avro tables take their schema from ``avro.schema.literal``, so a
+    #: declared BYTE column is registered as the physical INT — the
+    #: HIVE-26533 mechanism). Text files also collapse physically but the
+    #: metastore keeps the declared types and the SerDe parses on read.
+    file_schema_is_authoritative: bool = False
+
+    # -- physical lattice ------------------------------------------------
+
+    def physical_atomic(self, dtype: DataType) -> DataType:
+        """Map one atomic logical type to its physical type.
+
+        Subclasses override; raising :class:`UnsupportedTypeError` marks
+        a gap in the lattice.
+        """
+        return dtype
+
+    def check_map_key(self, key_type: DataType) -> None:
+        """Hook for formats that restrict map key types (Avro)."""
+
+    def physical_type(self, dtype: DataType) -> DataType:
+        if isinstance(dtype, ArrayType):
+            return ArrayType(self.physical_type(dtype.element_type))
+        if isinstance(dtype, MapType):
+            self.check_map_key(dtype.key_type)
+            return MapType(
+                self.physical_type(dtype.key_type),
+                self.physical_type(dtype.value_type),
+            )
+        if isinstance(dtype, StructType):
+            fields = tuple(
+                StructField(f.name, self.physical_type(f.data_type), f.nullable)
+                for f in dtype.fields
+            )
+            return StructType(fields)
+        return self.physical_atomic(dtype)
+
+    def physical_schema(self, schema: Schema) -> Schema:
+        fields = tuple(
+            SchemaField(f.name, self.physical_type(f.data_type), f.nullable)
+            for f in schema.fields
+        )
+        return Schema(fields, case_sensitive=schema.case_sensitive)
+
+    # -- value transforms --------------------------------------------------
+
+    def to_physical(self, value: object, dtype: DataType) -> object:
+        """Convert a logical value into the format's physical value."""
+        if value is None:
+            return None
+        if isinstance(dtype, ArrayType):
+            return [self.to_physical(v, dtype.element_type) for v in value]
+        if isinstance(dtype, MapType):
+            return {
+                self.to_physical(k, dtype.key_type): self.to_physical(
+                    v, dtype.value_type
+                )
+                for k, v in value.items()
+            }
+        if isinstance(dtype, StructType):
+            items = value if not isinstance(value, dict) else [
+                value[f.name] for f in dtype.fields
+            ]
+            return [
+                self.to_physical(v, f.data_type)
+                for v, f in zip(items, dtype.fields)
+            ]
+        return self.atomic_to_physical(value, dtype)
+
+    def atomic_to_physical(self, value: object, dtype: DataType) -> object:
+        return value
+
+    # -- byte encoding ------------------------------------------------------
+
+    def write(
+        self,
+        schema: Schema,
+        rows: list[Row] | list[tuple],
+        properties: dict[str, str] | None = None,
+    ) -> bytes:
+        physical = self.physical_schema(schema)
+        encoded_rows = []
+        for row in rows:
+            values = list(row)
+            if len(values) != len(schema):
+                raise SerializationError(
+                    f"row arity {len(values)} != schema arity {len(schema)}"
+                )
+            encoded_rows.append(
+                [
+                    encoding.encode_value(self.to_physical(v, f.data_type))
+                    for v, f in zip(values, schema.fields)
+                ]
+            )
+        document = {
+            "version": FORMAT_VERSION,
+            "format": self.format_name,
+            "columns": [
+                {
+                    "name": f.name,
+                    "type": f.data_type.simple_string(),
+                    "nullable": f.nullable,
+                }
+                for f in physical.fields
+            ],
+            "properties": dict(properties or {}),
+            "rows": encoded_rows,
+        }
+        return encoding.dumps(document)
+
+    def read(self, blob: bytes) -> TableData:
+        document = encoding.loads(blob)
+        if document.get("format") != self.format_name:
+            raise SerializationError(
+                f"{self.format_name} reader got a "
+                f"{document.get('format')!r} file"
+            )
+        fields = tuple(
+            SchemaField(
+                col["name"], parse_type(col["type"]), col.get("nullable", True)
+            )
+            for col in document["columns"]
+        )
+        physical = Schema(fields)
+        rows = tuple(
+            Row([encoding.decode_value(v) for v in row], physical)
+            for row in document["rows"]
+        )
+        return TableData(
+            format_name=self.format_name,
+            physical_schema=physical,
+            rows=rows,
+            properties=dict(document.get("properties", {})),
+        )
+
+    @staticmethod
+    def sniff_format(blob: bytes) -> str:
+        """Read the format name from a blob header without a serializer."""
+        return str(encoding.loads(blob).get("format", ""))

@@ -1,0 +1,92 @@
+"""A tagged, self-describing byte encoding for row data.
+
+Every storage format in :mod:`repro.formats` serializes to real bytes
+through this codec, so that table data genuinely round-trips through the
+simulated filesystem rather than being passed as live Python objects.
+The codec is JSON-based with explicit type tags for the values JSON
+cannot represent (bytes, Decimal, dates, NaN/Infinity, non-string map
+keys, ...).
+"""
+
+from __future__ import annotations
+
+import base64
+import datetime
+import decimal
+import json
+import math
+
+from repro.errors import SerializationError
+
+__all__ = ["encode_value", "decode_value", "dumps", "loads"]
+
+
+def encode_value(value: object) -> object:
+    """Convert a cell value to a JSON-representable tagged form."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return {"$t": "f", "v": "nan"}
+        if math.isinf(value):
+            return {"$t": "f", "v": "inf" if value > 0 else "-inf"}
+        return value
+    if isinstance(value, decimal.Decimal):
+        return {"$t": "dec", "v": str(value)}
+    if isinstance(value, bytes):
+        return {"$t": "bin", "v": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, datetime.datetime):
+        return {"$t": "ts", "v": value.isoformat()}
+    if isinstance(value, datetime.date):
+        return {"$t": "date", "v": value.isoformat()}
+    if isinstance(value, datetime.timedelta):
+        return {"$t": "iv", "v": value.total_seconds()}
+    if isinstance(value, (list, tuple)):
+        return {"$t": "arr", "v": [encode_value(item) for item in value]}
+    if isinstance(value, dict):
+        return {
+            "$t": "map",
+            "v": [[encode_value(k), encode_value(v)] for k, v in value.items()],
+        }
+    raise SerializationError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(encoded: object) -> object:
+    """Inverse of :func:`encode_value`."""
+    if encoded is None or isinstance(encoded, (bool, int, float, str)):
+        return encoded
+    if not isinstance(encoded, dict):
+        raise SerializationError(f"malformed encoded value: {encoded!r}")
+    tag = encoded.get("$t")
+    payload = encoded.get("v")
+    if tag == "f":
+        return {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}[payload]
+    if tag == "dec":
+        return decimal.Decimal(payload)
+    if tag == "bin":
+        return base64.b64decode(payload)
+    if tag == "ts":
+        return datetime.datetime.fromisoformat(payload)
+    if tag == "date":
+        return datetime.date.fromisoformat(payload)
+    if tag == "iv":
+        return datetime.timedelta(seconds=payload)
+    if tag == "arr":
+        return [decode_value(item) for item in payload]
+    if tag == "map":
+        return {decode_value(k): decode_value(v) for k, v in payload}
+    raise SerializationError(f"unknown value tag {tag!r}")
+
+
+def dumps(document: dict) -> bytes:
+    try:
+        return json.dumps(document, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"cannot serialize document: {exc}") from exc
+
+
+def loads(blob: bytes) -> dict:
+    try:
+        return json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SerializationError(f"corrupt blob: {exc}") from exc

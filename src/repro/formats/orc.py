@@ -1,0 +1,38 @@
+"""ORC-like columnar format.
+
+ORC preserves the full integral lattice (BYTE/SHORT survive round
+trips) and allows arbitrary map key types. Its quirk is a *metadata
+convention*: files written by Hive name their columns positionally
+(``_col0``, ``_col1``, ...) and keep the real names only in the
+metastore — the root of SPARK-21686 ("Spark failed to read column names
+in ORC files written by Hive", an "unspoken convention" in Table 6).
+The positional renaming is applied by the HiveQL engine at write time;
+this class records whether a file carries real or positional names so
+readers can tell.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import DataType, IntervalType, TimestampNTZType, TimestampType
+from repro.errors import UnsupportedTypeError
+from repro.formats.base import Serializer
+
+__all__ = ["OrcSerializer", "HIVE_POSITIONAL_PROPERTY"]
+
+#: Writer property marking a file whose column names are positional.
+HIVE_POSITIONAL_PROPERTY = "orc.hive.positional.names"
+
+
+class OrcSerializer(Serializer):
+    format_name = "orc"
+    supports_native_schema_inference = True
+
+    def physical_atomic(self, dtype: DataType) -> DataType:
+        if isinstance(dtype, TimestampNTZType):
+            # ORC has a single timestamp storage type.
+            return TimestampType()
+        if isinstance(dtype, IntervalType):
+            raise UnsupportedTypeError(
+                "orc has no representation for interval types"
+            )
+        return dtype

@@ -1,0 +1,28 @@
+"""Parquet-like columnar format.
+
+Parquet preserves the full integral lattice and TIMESTAMP_NTZ, allows
+arbitrary map key types, and carries enough footer metadata for Spark's
+case-sensitive schema inference (``caseSensitiveInferenceMode`` works
+here, unlike Avro). It is the best-behaved lattice of the three, which
+is exactly why several §8 discrepancies appear only under ORC/Avro.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import DataType, IntervalType
+from repro.errors import UnsupportedTypeError
+from repro.formats.base import Serializer
+
+__all__ = ["ParquetSerializer"]
+
+
+class ParquetSerializer(Serializer):
+    format_name = "parquet"
+    supports_native_schema_inference = True
+
+    def physical_atomic(self, dtype: DataType) -> DataType:
+        if isinstance(dtype, IntervalType):
+            raise UnsupportedTypeError(
+                "parquet has no representation for interval types"
+            )
+        return dtype

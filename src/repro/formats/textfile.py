@@ -1,0 +1,68 @@
+"""Text-file (LazySimpleSerDe-like) format.
+
+Everything becomes a string on disk; NULL is the ``\\N`` marker. The
+lattice collapse is total, so round trips depend entirely on the reading
+engine's casting — the most extreme example of the paper's "ad-hoc
+serialization" root cause (Finding 6).
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import math
+
+from repro.common.types import BinaryType, DataType, StringType
+from repro.errors import UnsupportedTypeError
+from repro.formats.base import Serializer
+
+__all__ = ["TextSerializer", "NULL_MARKER"]
+
+NULL_MARKER = "\\N"
+
+
+class TextSerializer(Serializer):
+    format_name = "text"
+    supports_native_schema_inference = False
+
+    def physical_atomic(self, dtype: DataType) -> DataType:
+        if isinstance(dtype, BinaryType):
+            raise UnsupportedTypeError("text files cannot store binary columns")
+        return StringType()
+
+    def check_map_key(self, key_type: DataType) -> None:
+        # Text maps are "k1:v1,k2:v2" strings; keys must stringify, which
+        # everything we store can, so no restriction here.
+        return
+
+    def to_physical(self, value: object, dtype: DataType) -> object:
+        if value is None:
+            return NULL_MARKER
+        return _stringify(value)
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        return repr(value)
+    if isinstance(value, decimal.Decimal):
+        return str(value)
+    if isinstance(value, datetime.datetime):
+        return value.isoformat(sep=" ")
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    if isinstance(value, datetime.timedelta):
+        return f"{value.total_seconds()} seconds"
+    if isinstance(value, (list, tuple)):
+        return ",".join(_stringify(v) if v is not None else NULL_MARKER for v in value)
+    if isinstance(value, dict):
+        return ",".join(
+            f"{_stringify(k)}:{_stringify(v) if v is not None else NULL_MARKER}"
+            for k, v in value.items()
+        )
+    return str(value)

@@ -1,0 +1,216 @@
+"""A unified serialization layer — the mitigation §10 proposes.
+
+    "One could develop and promote unified serialization libraries that
+    support complex data abstractions ..."
+
+:class:`UnifiedSerializer` wraps any base format and closes its lattice
+gaps mechanically:
+
+* the full **logical schema** travels in the file properties, so types
+  the base format collapses (BYTE/SHORT under Avro, TIMESTAMP_NTZ,
+  CHAR/VARCHAR) are restored on read instead of leaking the physical
+  type;
+* **non-string map keys** are transported as tagged JSON strings and
+  decoded against the logical schema, so Avro's string-key restriction
+  stops being an interoperability cliff (HIVE-26531);
+* values are demoted back to their logical types on read (an INT that
+  was a BYTE at write time comes back a BYTE).
+
+The cross-test ablation (``benchmarks/test_bench_unified.py``) measures
+exactly how many of the paper's 15 discrepancies this one layer removes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.common.row import Row
+from repro.common.schema import Field, Schema
+from repro.common.types import (
+    ArrayType,
+    ByteType,
+    CharType,
+    DataType,
+    IntegerType,
+    MapType,
+    ShortType,
+    StringType,
+    StructField,
+    StructType,
+    VarcharType,
+    parse_type,
+)
+from repro.errors import SerializationError
+from repro.formats import encoding
+from repro.formats.base import Serializer, TableData
+
+__all__ = ["UnifiedSerializer", "LOGICAL_SCHEMA_PROPERTY"]
+
+LOGICAL_SCHEMA_PROPERTY = "unified.logical.schema"
+
+
+def _portable_type(dtype: DataType) -> DataType:
+    """Rewrite types every base format can carry."""
+    if isinstance(dtype, MapType):
+        value = _portable_type(dtype.value_type)
+        if isinstance(dtype.key_type, (StringType, CharType, VarcharType)):
+            return MapType(StringType(), value)
+        # non-string keys travel as tagged JSON strings
+        return MapType(StringType(), value)
+    if isinstance(dtype, ArrayType):
+        return ArrayType(_portable_type(dtype.element_type))
+    if isinstance(dtype, StructType):
+        return StructType(
+            tuple(
+                StructField(f.name, _portable_type(f.data_type), f.nullable)
+                for f in dtype.fields
+            )
+        )
+    return dtype
+
+
+def _needs_key_encoding(dtype: DataType) -> bool:
+    return isinstance(dtype, MapType) and not isinstance(
+        dtype.key_type, (StringType, CharType, VarcharType)
+    )
+
+
+def _encode_portable(value: object, dtype: DataType) -> object:
+    if value is None:
+        return None
+    if isinstance(dtype, MapType):
+        encode_key = _needs_key_encoding(dtype)
+        return {
+            (
+                json.dumps(encoding.encode_value(k))
+                if encode_key
+                else k
+            ): _encode_portable(v, dtype.value_type)
+            for k, v in value.items()
+        }
+    if isinstance(dtype, ArrayType):
+        return [_encode_portable(v, dtype.element_type) for v in value]
+    if isinstance(dtype, StructType):
+        items = value if not isinstance(value, dict) else [
+            value[f.name] for f in dtype.fields
+        ]
+        return [
+            _encode_portable(v, f.data_type)
+            for v, f in zip(items, dtype.fields)
+        ]
+    return value
+
+
+def _restore(value: object, logical: DataType) -> object:
+    """Demote a physical value back to its logical type."""
+    if value is None:
+        return None
+    if isinstance(logical, (ByteType, ShortType, IntegerType)):
+        return value  # already in range: it was written from this type
+    if isinstance(logical, MapType):
+        decode_key = _needs_key_encoding(logical)
+        restored = {}
+        for key, val in value.items():
+            if decode_key:
+                key = encoding.decode_value(json.loads(key))
+            restored[key] = _restore(val, logical.value_type)
+        return restored
+    if isinstance(logical, ArrayType):
+        return [_restore(v, logical.element_type) for v in value]
+    if isinstance(logical, StructType):
+        return [
+            _restore(v, f.data_type)
+            for v, f in zip(value, logical.fields)
+        ]
+    return value
+
+
+class UnifiedSerializer(Serializer):
+    """A base serializer plus a logical-schema side channel."""
+
+    supports_native_schema_inference = True
+
+    def __init__(self, base: Serializer) -> None:
+        self.base = base
+        self.format_name = f"unified_{base.format_name}"
+
+    # the unified layer has no lattice gaps of its own
+    def physical_atomic(self, dtype: DataType) -> DataType:
+        return dtype
+
+    def physical_type(self, dtype: DataType) -> DataType:
+        return dtype
+
+    def physical_schema(self, schema: Schema) -> Schema:
+        return schema
+
+    def write(
+        self,
+        schema: Schema,
+        rows,
+        properties: dict[str, str] | None = None,
+    ) -> bytes:
+        portable = Schema(
+            tuple(
+                Field(f.name, _portable_type(f.data_type), f.nullable)
+                for f in schema.fields
+            ),
+            case_sensitive=schema.case_sensitive,
+        )
+        encoded_rows = [
+            tuple(
+                _encode_portable(v, f.data_type)
+                for v, f in zip(row, schema.fields)
+            )
+            for row in rows
+        ]
+        merged = dict(properties or {})
+        merged[LOGICAL_SCHEMA_PROPERTY] = json.dumps(
+            [
+                {"name": f.name, "type": f.data_type.simple_string()}
+                for f in schema.fields
+            ]
+        )
+        blob = self.base.write(portable, encoded_rows, merged)
+        # re-tag the header so readers dispatch to the unified layer
+        document = encoding.loads(blob)
+        document["format"] = self.format_name
+        return encoding.dumps(document)
+
+    def read(self, blob: bytes) -> TableData:
+        document = encoding.loads(blob)
+        if document.get("format") != self.format_name:
+            raise SerializationError(
+                f"{self.format_name} reader got a "
+                f"{document.get('format')!r} file"
+            )
+        document["format"] = self.base.format_name
+        data = self.base.read(encoding.dumps(document))
+        raw = data.properties.get(LOGICAL_SCHEMA_PROPERTY)
+        if raw is None:
+            return data  # plain file written without the unified layer
+        logical = Schema(
+            tuple(
+                Field(col["name"], parse_type(col["type"]))
+                for col in json.loads(raw)
+            ),
+            case_sensitive=True,
+        )
+        rows = tuple(
+            Row(
+                [
+                    _restore(v, f.data_type)
+                    for v, f in zip(row, logical.fields)
+                ],
+                logical,
+            )
+            for row in data.rows
+        )
+        properties = dict(data.properties)
+        properties.pop(LOGICAL_SCHEMA_PROPERTY, None)
+        return TableData(
+            format_name=self.format_name,
+            physical_schema=logical,
+            rows=rows,
+            properties=properties,
+        )

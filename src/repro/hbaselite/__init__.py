@@ -1,0 +1,7 @@
+"""Mini HBase: WAL, regions, master — over the shared HDFS-like store."""
+
+from repro.hbaselite.master import HBaseMaster
+from repro.hbaselite.region import Region
+from repro.hbaselite.wal import WalEntry, WriteAheadLog
+
+__all__ = ["HBaseMaster", "Region", "WalEntry", "WriteAheadLog"]

@@ -1,0 +1,85 @@
+"""The HBase master: startup against HDFS and table lifecycle.
+
+The startup sequence is where HBASE-537 lives: the master probes the
+NameNode (reads succeed even in safe mode), then initializes its root
+directory layout — a *mutation*, rejected while safe mode holds. The
+``wait_for_writes`` flag selects the fixed behaviour (poll safe mode
+before mutating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.hbaselite.region import Region
+from repro.storage.filesystem import FileSystem
+
+__all__ = ["HBaseMaster"]
+
+
+@dataclass
+class HBaseMaster:
+    filesystem: FileSystem
+    root_dir: str = "/hbase"
+    started: bool = False
+    _tables: dict[str, Region] = field(default_factory=dict)
+
+    # -- startup ----------------------------------------------------------
+
+    def start(self, *, wait_for_writes: bool = False) -> None:
+        """Initialize the on-HDFS layout; raises in safe mode (537)."""
+        # the deceptive liveness probe: reads work during safe mode
+        if not self.filesystem.exists("/"):
+            raise StorageError("namenode unreachable")
+        if wait_for_writes:
+            # fixed behaviour: explicitly wait out safe mode (the
+            # simulated namenode leaves it on request)
+            self.filesystem.namenode.leave_safe_mode()
+        self.filesystem.mkdirs(f"{self.root_dir}/WALs")
+        self.filesystem.mkdirs(f"{self.root_dir}/data")
+        self.started = True
+        # re-open any table directories that already exist (recovery)
+        data_dir = f"{self.root_dir}/data"
+        for status in self.filesystem.listdir(data_dir):
+            if status.is_directory:
+                name = status.path.rsplit("/", 1)[-1]
+                self._tables[name] = Region(
+                    name, self.filesystem, self.root_dir
+                )
+
+    def _check_started(self) -> None:
+        if not self.started:
+            raise StorageError("hbase master is not started")
+
+    # -- table lifecycle -------------------------------------------------------
+
+    def create_table(self, name: str) -> Region:
+        self._check_started()
+        if name in self._tables:
+            raise StorageError(f"hbase table {name!r} exists")
+        region = Region(name, self.filesystem, self.root_dir)
+        self._tables[name] = region
+        return region
+
+    def table(self, name: str) -> Region:
+        self._check_started()
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(f"unknown hbase table {name!r}") from None
+
+    def table_exists(self, name: str) -> bool:
+        return name in self._tables
+
+    def drop_table(self, name: str) -> None:
+        self._check_started()
+        region = self.table(name)
+        if self.filesystem.exists(region.hfile_dir):
+            self.filesystem.delete(region.hfile_dir, recursive=True)
+        if self.filesystem.exists(region.wal.path):
+            self.filesystem.delete(region.wal.path)
+        del self._tables[name]
+
+    def list_tables(self) -> list[str]:
+        return sorted(self._tables)

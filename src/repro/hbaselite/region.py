@@ -1,0 +1,119 @@
+"""Regions: the KV storage unit.
+
+All cell values are **strings of bytes** from HBase's perspective —
+there is no schema below the row/column names. That property is why
+Table 5 records *zero* data-plane CSI failures for key-value tuples:
+there is almost no metadata for two systems to disagree about. The
+disagreements reappear the moment a typed system (Hive's storage
+handler) is layered on top.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.hbaselite.wal import WriteAheadLog
+from repro.storage.filesystem import FileSystem
+
+__all__ = ["Region"]
+
+
+@dataclass
+class Region:
+    """One region: a memstore plus flushed HFiles, WAL-protected."""
+
+    table: str
+    filesystem: FileSystem
+    root_dir: str = "/hbase"
+    _memstore: dict[str, dict[str, str]] = field(default_factory=dict)
+    _flushed: dict[str, dict[str, str]] = field(default_factory=dict)
+    _hfile_count: int = 0
+
+    def __post_init__(self) -> None:
+        self.wal = WriteAheadLog(
+            self.filesystem, f"{self.root_dir}/WALs/{self.table}.wal"
+        )
+        self._load_hfiles()
+        self._replay_wal()
+
+    # -- client API ------------------------------------------------------
+
+    def put(self, row: str, columns: dict[str, str]) -> None:
+        if not row:
+            raise StorageError("row key cannot be empty")
+        self.wal.append("put", row, columns)
+        self._apply_put(row, columns)
+
+    def delete(self, row: str) -> None:
+        self.wal.append("delete", row, {})
+        self._apply_delete(row)
+
+    def get(self, row: str) -> dict[str, str] | None:
+        merged: dict[str, str] = {}
+        if row in self._flushed:
+            merged.update(self._flushed[row])
+        if row in self._memstore:
+            merged.update(self._memstore[row])
+        return merged or None
+
+    def scan(self, start: str = "", stop: str | None = None):
+        """Rows in key order within [start, stop)."""
+        rows = sorted(set(self._flushed) | set(self._memstore))
+        for row in rows:
+            if row < start:
+                continue
+            if stop is not None and row >= stop:
+                break
+            value = self.get(row)
+            if value is not None:
+                yield row, value
+
+    def row_count(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    # -- persistence -----------------------------------------------------------
+
+    @property
+    def hfile_dir(self) -> str:
+        return f"{self.root_dir}/data/{self.table}"
+
+    def flush(self) -> str:
+        """Write the memstore to a new HFile and clear the WAL."""
+        for row, columns in self._memstore.items():
+            existing = self._flushed.setdefault(row, {})
+            existing.update(columns)
+        path = f"{self.hfile_dir}/hfile-{self._hfile_count:05d}.json"
+        self._hfile_count += 1
+        payload = json.dumps(
+            {row: cols for row, cols in sorted(self._flushed.items())}
+        ).encode("utf-8")
+        self.filesystem.mkdirs(self.hfile_dir)
+        self.filesystem.write(path, payload)
+        self._memstore.clear()
+        self.wal.truncate()
+        return path
+
+    def _load_hfiles(self) -> None:
+        if not self.filesystem.exists(self.hfile_dir):
+            return
+        for status in self.filesystem.listdir(self.hfile_dir):
+            payload = json.loads(self.filesystem.read(status.path))
+            for row, columns in payload.items():
+                self._flushed.setdefault(row, {}).update(columns)
+            self._hfile_count += 1
+
+    def _replay_wal(self) -> None:
+        for entry in self.wal.replay():
+            if entry.operation == "put":
+                self._apply_put(entry.row, entry.columns)
+            elif entry.operation == "delete":
+                self._apply_delete(entry.row)
+
+    def _apply_put(self, row: str, columns: dict[str, str]) -> None:
+        self._memstore.setdefault(row, {}).update(columns)
+
+    def _apply_delete(self, row: str) -> None:
+        self._memstore.pop(row, None)
+        self._flushed.pop(row, None)

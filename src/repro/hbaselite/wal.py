@@ -1,0 +1,76 @@
+"""Write-ahead log for the HBase-like store, backed by the shared
+filesystem — the HBase↔HDFS interaction surface of Table 1."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.filesystem import FileSystem
+
+__all__ = ["WalEntry", "WriteAheadLog"]
+
+
+@dataclass(frozen=True)
+class WalEntry:
+    sequence: int
+    operation: str  # "put" | "delete"
+    row: str
+    columns: dict[str, str]
+
+
+class WriteAheadLog:
+    """Append-only log of mutations, one JSON line per entry."""
+
+    def __init__(self, filesystem: FileSystem, path: str) -> None:
+        self.filesystem = filesystem
+        self.path = path
+        self._next_sequence = self._recover_sequence()
+
+    def _recover_sequence(self) -> int:
+        if not self.filesystem.exists(self.path):
+            return 0
+        return sum(
+            1 for line in self.filesystem.read(self.path).splitlines() if line
+        )
+
+    def append(self, operation: str, row: str, columns: dict[str, str]) -> WalEntry:
+        entry = WalEntry(self._next_sequence, operation, row, dict(columns))
+        line = (
+            json.dumps(
+                {
+                    "seq": entry.sequence,
+                    "op": entry.operation,
+                    "row": entry.row,
+                    "cols": entry.columns,
+                }
+            )
+            + "\n"
+        ).encode("utf-8")
+        if self.filesystem.exists(self.path):
+            self.filesystem.append(self.path, line)
+        else:
+            self.filesystem.write(self.path, line, overwrite=False)
+        self._next_sequence += 1
+        return entry
+
+    def replay(self) -> list[WalEntry]:
+        if not self.filesystem.exists(self.path):
+            return []
+        entries = []
+        for line in self.filesystem.read(self.path).splitlines():
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except ValueError as exc:
+                raise StorageError(f"corrupt WAL line in {self.path}") from exc
+            entries.append(
+                WalEntry(raw["seq"], raw["op"], raw["row"], raw["cols"])
+            )
+        return entries
+
+    def truncate(self) -> None:
+        self.filesystem.write(self.path, b"", overwrite=True)
+        self._next_sequence = 0

@@ -1,0 +1,20 @@
+"""Mini Hive: metastore, HiveQL engine, Hive type/coercion semantics."""
+
+from repro.hivelite.casts import hive_read_cast, hive_write_cast
+from repro.hivelite.engine import HiveServer
+from repro.hivelite.metastore import DEFAULT_DATABASE, HiveMetastore, Table
+from repro.hivelite.types import hive_schema, hive_type, metastore_schema_for
+from repro.hivelite.warehouse import Warehouse
+
+__all__ = [
+    "hive_read_cast",
+    "hive_write_cast",
+    "HiveServer",
+    "DEFAULT_DATABASE",
+    "HiveMetastore",
+    "Table",
+    "hive_schema",
+    "hive_type",
+    "metastore_schema_for",
+    "Warehouse",
+]

@@ -1,0 +1,285 @@
+"""Hive's coercion rules: lenient on write, opinionated on read.
+
+Hive's SerDe stack historically converts rather than rejects: malformed
+or out-of-range values become NULL on insert. Its *read* path, however,
+has strictness of its own that Spark's does not, and the asymmetry is
+the mechanism behind two §8 discrepancies:
+
+* decimals are validated against the declared scale when read, so a
+  value another engine serialized unquantized fails to read back
+  (SPARK-39158, discrepancy #2);
+* non-finite doubles have no representation in Hive's result path:
+  NaN degrades to NULL while ±Infinity raises (HIVE-26528,
+  discrepancies #6 and #7 — same root cause, different behaviour).
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import math
+
+from repro.common.types import (
+    ArrayType,
+    BinaryType,
+    BooleanType,
+    CharType,
+    DataType,
+    DateType,
+    DecimalType,
+    DoubleType,
+    FloatType,
+    MapType,
+    StringType,
+    StructType,
+    TimestampNTZType,
+    TimestampType,
+    VarcharType,
+    is_integral,
+)
+from repro.errors import QueryError
+
+__all__ = ["hive_write_cast", "hive_read_cast"]
+
+_BOOL_TOKENS = {"true": True, "false": False}
+
+
+def hive_write_cast(value: object, target: DataType) -> object:
+    """Coerce an inserted value to the column type; NULL on failure."""
+    if value is None:
+        return None
+    try:
+        return _write_cast(value, target)
+    except (ValueError, TypeError, ArithmeticError, decimal.InvalidOperation):
+        return None
+
+
+def _write_cast(value: object, target: DataType) -> object:
+    if is_integral(target):
+        number = _to_int(value)
+        if number is None or not target.accepts(number):
+            return None
+        return number
+    if isinstance(target, (FloatType, DoubleType)):
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, decimal.Decimal):
+            return float(value)
+        if isinstance(value, str):
+            return _parse_float_text(value)
+        return None
+    if isinstance(target, DecimalType):
+        number = _to_decimal(value)
+        if number is None:
+            return None
+        quantized = number.quantize(
+            decimal.Decimal(1).scaleb(-target.scale),
+            rounding=decimal.ROUND_HALF_UP,
+        )
+        if not target.accepts(quantized):
+            return None
+        return quantized
+    if isinstance(target, CharType):
+        text = _to_text(value)
+        if text is None or len(text) > target.length:
+            return None
+        return target.pad(text)
+    if isinstance(target, VarcharType):
+        text = _to_text(value)
+        if text is None or len(text) > target.length:
+            return None
+        return text
+    if isinstance(target, StringType):
+        return _to_text(value)
+    if isinstance(target, BooleanType):
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            return _BOOL_TOKENS.get(value.strip().lower())
+        return None
+    if isinstance(target, DateType):
+        if isinstance(value, datetime.datetime):
+            return value.date()
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value.strip())
+            except ValueError:
+                return None
+        return None
+    if isinstance(target, (TimestampType, TimestampNTZType)):
+        if isinstance(value, datetime.datetime):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.datetime.fromisoformat(value.strip())
+            except ValueError:
+                return None
+        return None
+    if isinstance(target, BinaryType):
+        if isinstance(value, bytes):
+            return value
+        if isinstance(value, str):
+            return value.encode("utf-8")
+        return None
+    if isinstance(target, ArrayType):
+        if not isinstance(value, (list, tuple)):
+            return None
+        return [hive_write_cast(v, target.element_type) for v in value]
+    if isinstance(target, MapType):
+        if not isinstance(value, dict):
+            return None
+        out = {}
+        for k, v in value.items():
+            key = hive_write_cast(k, target.key_type)
+            if key is None:
+                return None
+            out[key] = hive_write_cast(v, target.value_type)
+        return out
+    if isinstance(target, StructType):
+        if isinstance(value, dict):
+            items = [value.get(f.name) for f in target.fields]
+        elif isinstance(value, (list, tuple)):
+            if len(value) != len(target.fields):
+                return None
+            items = list(value)
+        else:
+            return None
+        return [
+            hive_write_cast(v, f.data_type)
+            for v, f in zip(items, target.fields)
+        ]
+    return value
+
+
+def hive_read_cast(value: object, declared: DataType) -> object:
+    """Reconcile a physical value against the declared column type.
+
+    Raises :class:`QueryError` for the cases Hive's readers reject.
+    """
+    if value is None:
+        return None
+    if is_integral(declared):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise QueryError(
+                f"cannot read {type(value).__name__} as {declared.simple_string()}"
+            )
+        # lenient demotion: out-of-range becomes NULL, like Hive's
+        # LazyInteger parsing.
+        return value if declared.accepts(value) else None
+    if isinstance(declared, (FloatType, DoubleType)):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise QueryError(f"cannot read value as {declared.simple_string()}")
+        number = float(value)
+        if math.isnan(number):
+            # Hive's result path has no NaN: degrade to NULL (HIVE-26528).
+            return None
+        if math.isinf(number):
+            # ...but Infinity trips an overflow error instead — same root
+            # cause, different behaviour (§8.2 discrepancy #7).
+            raise QueryError(
+                f"value out of range for {declared.simple_string()}: {number}"
+            )
+        return number
+    if isinstance(declared, DecimalType):
+        if not isinstance(value, decimal.Decimal):
+            raise QueryError("physical value is not a decimal")
+        exponent = value.as_tuple().exponent
+        scale = max(0, -exponent) if isinstance(exponent, int) else 0
+        if scale != declared.scale:
+            # strict scale validation — the SPARK-39158 mechanism.
+            raise QueryError(
+                f"decimal scale {scale} does not match declared "
+                f"{declared.simple_string()}"
+            )
+        if not declared.accepts(value):
+            return None
+        return value
+    if isinstance(declared, CharType):
+        if not isinstance(value, str):
+            raise QueryError("physical value is not a string")
+        return declared.pad(value[: target_len(declared)])
+    if isinstance(declared, VarcharType):
+        if not isinstance(value, str):
+            raise QueryError("physical value is not a string")
+        return value[: target_len(declared)]
+    if isinstance(declared, ArrayType):
+        if not isinstance(value, (list, tuple)):
+            raise QueryError("physical value is not an array")
+        return [hive_read_cast(v, declared.element_type) for v in value]
+    if isinstance(declared, MapType):
+        if not isinstance(value, dict):
+            raise QueryError("physical value is not a map")
+        return {
+            hive_read_cast(k, declared.key_type): hive_read_cast(
+                v, declared.value_type
+            )
+            for k, v in value.items()
+        }
+    if isinstance(declared, StructType):
+        if not isinstance(value, (list, tuple)):
+            raise QueryError("physical value is not a struct")
+        return [
+            hive_read_cast(v, f.data_type)
+            for v, f in zip(value, declared.fields)
+        ]
+    return value
+
+
+def target_len(dtype: CharType | VarcharType) -> int:
+    return dtype.length
+
+
+def _to_int(value: object) -> int | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return None
+        return int(value)
+    if isinstance(value, decimal.Decimal):
+        return int(value)
+    if isinstance(value, str):
+        return int(value.strip())
+    return None
+
+
+def _to_decimal(value: object) -> decimal.Decimal | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, decimal.Decimal):
+        return value
+    if isinstance(value, int):
+        return decimal.Decimal(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return None
+        return decimal.Decimal(str(value))
+    if isinstance(value, str):
+        return decimal.Decimal(value.strip())
+    return None
+
+
+def _to_text(value: object) -> str | None:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float, decimal.Decimal)):
+        return str(value)
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    return None
+
+
+def _parse_float_text(text: str) -> float | None:
+    lowered = text.strip().lower()
+    # Hive's lazy parser does not recognize NaN/Infinity spellings.
+    if lowered in ("nan", "inf", "infinity", "-inf", "-infinity", "+infinity"):
+        return None
+    return float(text)

@@ -1,0 +1,329 @@
+"""The HiveQL engine.
+
+Executes the shared SQL subset with Hive semantics:
+
+* identifiers resolve case-insensitively;
+* inserted values are coerced leniently (NULL on failure,
+  :func:`hive_write_cast`);
+* ORC files are written with **positional column names** (``_col0`` ...),
+  the convention behind SPARK-21686;
+* reads validate physical values against the declared schema with
+  Hive's strictness (:func:`hive_read_cast`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.result import QueryResult
+from repro.common.row import Row
+from repro.common.schema import Field, Schema
+from repro.common.types import parse_type
+from repro.errors import AnalysisException, QueryError
+from repro.formats import serializer_for
+from repro.formats.base import Serializer, TableData
+from repro.formats.orc import HIVE_POSITIONAL_PROPERTY
+from repro.formats.textfile import NULL_MARKER
+from repro.hivelite.casts import hive_read_cast, hive_write_cast
+from repro.hivelite.metastore import DEFAULT_DATABASE, HiveMetastore, Table
+from repro.hivelite.types import metastore_schema_for
+from repro.hivelite.warehouse import (
+    Warehouse,
+    parse_partition_dirname,
+    partition_dirname,
+)
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    DropTable,
+    Insert,
+    Literal,
+    Select,
+    Star,
+)
+from repro.sql.literals import DialectOptions, LiteralEvaluator
+from repro.sql.parser import parse_statement
+from repro.storage.filesystem import FileSystem
+
+__all__ = ["HiveServer"]
+
+_POSITIONAL_PREFIX = "_col"
+
+
+def _hive_cast_fn(value, source, target):
+    """CAST(...) in HiveQL: lenient, NULL on failure."""
+    del source
+    return hive_write_cast(value, target)
+
+
+@dataclass
+class HiveServer:
+    """A HiveServer2-like endpoint bound to a metastore and filesystem."""
+
+    metastore: HiveMetastore
+    filesystem: FileSystem
+    database: str = DEFAULT_DATABASE
+    default_format: str = "text"
+    _warnings: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.warehouse = Warehouse(self.filesystem)
+        self._evaluator = LiteralEvaluator(
+            DialectOptions(
+                name="hive",
+                fractional_literal="decimal",
+                strict_datetime_literals=True,
+                cast_fn=_hive_cast_fn,
+            )
+        )
+
+    # -- public API -----------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Run one HiveQL statement and return its result."""
+        self._warnings = []
+        statement = parse_statement(sql)
+        if isinstance(statement, CreateTable):
+            return self._create(statement)
+        if isinstance(statement, DropTable):
+            return self._drop(statement)
+        if isinstance(statement, Insert):
+            return self._insert(statement)
+        if isinstance(statement, Select):
+            return self._select(statement)
+        raise QueryError(f"unsupported statement {statement!r}")
+
+    # -- DDL ------------------------------------------------------------
+
+    def _create(self, statement: CreateTable) -> QueryResult:
+        declared = Schema(
+            tuple(
+                Field(col.name, parse_type(col.type_text))
+                for col in statement.columns
+            )
+        )
+        fmt = statement.stored_as or self.default_format
+        serializer = serializer_for(fmt)
+        schema = metastore_schema_for(declared, serializer)
+        partition_schema = Schema(
+            tuple(
+                Field(col.name.lower(), parse_type(col.type_text))
+                for col in statement.partition_columns
+            ),
+            case_sensitive=False,
+        )
+        self.metastore.create_table(
+            statement.table,
+            schema,
+            fmt,
+            database=self.database,
+            properties=dict(statement.properties),
+            owner="hive",
+            if_not_exists=statement.if_not_exists,
+            partition_schema=partition_schema,
+        )
+        return self._empty_result()
+
+    def _drop(self, statement: DropTable) -> QueryResult:
+        if self.metastore.table_exists(statement.table, self.database):
+            table = self.metastore.get_table(statement.table, self.database)
+            self.warehouse.drop_data(table)
+        self.metastore.drop_table(
+            statement.table, self.database, if_exists=statement.if_exists
+        )
+        return self._empty_result()
+
+    # -- DML -----------------------------------------------------------------
+
+    def _insert(self, statement: Insert) -> QueryResult:
+        table = self.metastore.get_table(statement.table, self.database)
+        serializer = serializer_for(table.storage_format)
+        partition = self._resolve_partition_spec(table, statement)
+        rows = []
+        for expressions in statement.rows:
+            if len(expressions) != len(table.schema):
+                raise AnalysisException(
+                    f"INSERT arity {len(expressions)} != table arity "
+                    f"{len(table.schema)}"
+                )
+            values = []
+            for expr, column in zip(expressions, table.schema.fields):
+                typed = self._evaluator.evaluate(expr)
+                values.append(hive_write_cast(typed.value, column.data_type))
+            rows.append(tuple(values))
+        if statement.overwrite:
+            self.warehouse.truncate(table, partition)
+        blob = self._serialize(serializer, table.schema, rows)
+        self.warehouse.write_segment(table, blob, partition)
+        return self._empty_result()
+
+    def _resolve_partition_spec(self, table, statement: Insert) -> str | None:
+        """Turn ``PARTITION (p='01', ...)`` into a directory chain."""
+        if not table.is_partitioned:
+            if statement.partition_spec:
+                raise AnalysisException(
+                    f"table {table.name} is not partitioned"
+                )
+            return None
+        spec = {name.lower(): expr for name, expr in statement.partition_spec}
+        if set(spec) != set(table.partition_schema.names()):
+            raise AnalysisException(
+                f"INSERT must name every partition column "
+                f"{table.partition_schema.names()}, got {sorted(spec)}"
+            )
+        parts = []
+        for column in table.partition_schema.fields:
+            typed = self._evaluator.evaluate(spec[column.name])
+            value = hive_write_cast(typed.value, column.data_type)
+            parts.append(partition_dirname(column.name, value))
+        return "/".join(parts)
+
+    def _serialize(
+        self, serializer: Serializer, schema: Schema, rows: list[tuple]
+    ) -> bytes:
+        properties: dict[str, str] = {"writer": "hive"}
+        if serializer.format_name == "orc":
+            # Hive's ORC writer names columns positionally; the real
+            # names live only in the metastore (SPARK-21686).
+            schema = schema.rename_positional(_POSITIONAL_PREFIX)
+            properties[HIVE_POSITIONAL_PROPERTY] = "true"
+        return serializer.write(schema, rows, properties)
+
+    # -- queries --------------------------------------------------------------
+
+    def _select(self, statement: Select) -> QueryResult:
+        table = self.metastore.get_table(statement.table, self.database)
+        serializer = serializer_for(table.storage_format)
+        rows: list[Row] = []
+        if table.is_partitioned:
+            schema = Schema(
+                table.schema.fields + table.partition_schema.fields,
+                case_sensitive=False,
+            )
+            column = table.partition_schema.fields[0]
+            for dirname, blob in self.warehouse.read_partitioned_segments(
+                table
+            ):
+                _, text = parse_partition_dirname(dirname)
+                # Hive types the directory string by the declared column
+                # type — "01" in a string partition stays "01"
+                partition_value = hive_write_cast(text, column.data_type)
+                data = serializer.read(blob)
+                for physical_row in data.rows:
+                    base = self._reconcile_row(physical_row, data, table)
+                    rows.append(
+                        Row(list(base) + [partition_value], schema)
+                    )
+        else:
+            schema = table.schema
+            for blob in self.warehouse.read_segments(table):
+                data = serializer.read(blob)
+                for physical_row in data.rows:
+                    rows.append(
+                        self._reconcile_row(physical_row, data, table)
+                    )
+        rows = self._apply_where(rows, schema, statement.where)
+        schema, rows = self._project(statement, schema, rows)
+        return QueryResult(
+            schema=schema,
+            rows=tuple(rows),
+            warnings=tuple(self._warnings),
+            interface="hiveql",
+        )
+
+    def _reconcile_row(self, row: Row, data: TableData, table: Table) -> Row:
+        """Map one physical row onto the declared schema."""
+        physical = data.physical_schema
+        positional = (
+            data.properties.get(HIVE_POSITIONAL_PROPERTY) == "true"
+            or all(
+                name.startswith(_POSITIONAL_PREFIX) for name in physical.names()
+            )
+            or data.format_name in ("orc", "text")
+        )
+        values = []
+        for index, column in enumerate(table.schema.fields):
+            if positional:
+                raw = row[index] if index < len(row) else None
+            else:
+                raw = self._by_name(row, physical, column.name)
+            if data.format_name == "text":
+                # LazySimpleSerDe: parse the stored string by the
+                # declared type, NULL when it does not parse
+                if raw == NULL_MARKER:
+                    values.append(None)
+                else:
+                    values.append(hive_write_cast(raw, column.data_type))
+            else:
+                values.append(hive_read_cast(raw, column.data_type))
+        return Row(values, table.schema)
+
+    @staticmethod
+    def _by_name(row: Row, physical: Schema, name: str) -> object:
+        for index, fld in enumerate(physical.fields):
+            if fld.name.lower() == name.lower():
+                return row[index]
+        return None
+
+    def _apply_where(
+        self, rows: list[Row], schema: Schema, where: Comparison | None
+    ) -> list[Row]:
+        if where is None:
+            return rows
+        if not isinstance(where.left, ColumnRef) or not isinstance(
+            where.right, Literal
+        ):
+            raise QueryError("WHERE supports `column <op> literal` only")
+        index = schema.index_of(where.left.name)
+        target = self._evaluator.evaluate(where.right).value
+        return [row for row in rows if _compare(row[index], where.op, target)]
+
+    def _project(
+        self, statement: Select, schema: Schema, rows: list[Row]
+    ) -> tuple[Schema, list[Row]]:
+        if len(statement.projections) == 1 and isinstance(
+            statement.projections[0], Star
+        ):
+            return schema, rows
+        indices = []
+        fields = []
+        for projection in statement.projections:
+            if not isinstance(projection, ColumnRef):
+                raise QueryError("projections must be columns or *")
+            index = schema.index_of(projection.name)
+            indices.append(index)
+            fields.append(schema.fields[index])
+        projected_schema = Schema(tuple(fields), schema.case_sensitive)
+        projected_rows = [
+            Row([row[i] for i in indices], projected_schema) for row in rows
+        ]
+        return projected_schema, projected_rows
+
+    def _empty_result(self) -> QueryResult:
+        return QueryResult(
+            schema=Schema(()),
+            warnings=tuple(self._warnings),
+            interface="hiveql",
+        )
+
+
+def _compare(value: object, op: str, target: object) -> bool:
+    if value is None or target is None:
+        return False
+    try:
+        if op == "=":
+            return value == target
+        if op in ("<>", "!="):
+            return value != target
+        if op == "<":
+            return value < target
+        if op == ">":
+            return value > target
+        if op == "<=":
+            return value <= target
+        if op == ">=":
+            return value >= target
+    except TypeError:
+        return False
+    raise QueryError(f"unknown comparison operator {op!r}")

@@ -1,0 +1,172 @@
+"""The Hive metastore: the catalog both engines share.
+
+Spark and Hive do not talk to each other directly in the paper's §8
+setup; they interact *through* this catalog and the warehouse files.
+That indirection — two independent systems, one shared mutable store —
+is the defining shape of a data-plane cross-system interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.schema import Schema
+from repro.errors import MetastoreError, TableAlreadyExistsError, TableNotFoundError
+
+__all__ = ["Table", "HiveMetastore", "DEFAULT_DATABASE"]
+
+DEFAULT_DATABASE = "default"
+
+
+@dataclass(frozen=True)
+class Table:
+    """A registered table. Identifiers are stored lower-cased."""
+
+    database: str
+    name: str
+    schema: Schema
+    storage_format: str
+    location: str
+    properties: tuple[tuple[str, str], ...] = ()
+    owner: str = "hive"
+    created_ms: int = 0
+    #: partition columns (lower-cased, like the data schema); empty for
+    #: unpartitioned tables. Partition *values* live in directory names
+    #: — strings on disk, whatever each engine decides in memory.
+    partition_schema: Schema = Schema(())
+
+    @property
+    def is_partitioned(self) -> bool:
+        return len(self.partition_schema) > 0
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.database}.{self.name}"
+
+    def property(self, key: str, default: str | None = None) -> str | None:
+        for name, value in self.properties:
+            if name == key:
+                return value
+        return default
+
+    def with_properties(self, updates: dict[str, str]) -> "Table":
+        merged = dict(self.properties)
+        merged.update(updates)
+        return replace(self, properties=tuple(sorted(merged.items())))
+
+
+@dataclass
+class HiveMetastore:
+    """Case-insensitive catalog of databases and tables."""
+
+    warehouse_root: str = "/warehouse"
+    _databases: set[str] = field(default_factory=lambda: {DEFAULT_DATABASE})
+    _tables: dict[tuple[str, str], Table] = field(default_factory=dict)
+    clock_ms: int = 0
+
+    # -- databases ---------------------------------------------------------
+
+    def create_database(self, name: str) -> None:
+        self._databases.add(name.lower())
+
+    def database_exists(self, name: str) -> bool:
+        return name.lower() in self._databases
+
+    def list_databases(self) -> list[str]:
+        return sorted(self._databases)
+
+    # -- tables --------------------------------------------------------------
+
+    def _key(self, database: str, name: str) -> tuple[str, str]:
+        return database.lower(), name.lower()
+
+    def table_location(self, database: str, name: str) -> str:
+        return f"{self.warehouse_root}/{database.lower()}.db/{name.lower()}"
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        storage_format: str,
+        *,
+        database: str = DEFAULT_DATABASE,
+        properties: dict[str, str] | None = None,
+        owner: str = "hive",
+        if_not_exists: bool = False,
+        partition_schema: Schema = Schema(()),
+    ) -> Table:
+        """Register a table. The schema is stored exactly as given.
+
+        Callers are expected to pass a schema already normalized through
+        :func:`repro.hivelite.types.metastore_schema_for`; the metastore
+        itself only enforces lower-cased identifiers.
+        """
+        if not self.database_exists(database):
+            raise MetastoreError(f"database {database!r} does not exist")
+        key = self._key(database, name)
+        if key in self._tables:
+            if if_not_exists:
+                return self._tables[key]
+            raise TableAlreadyExistsError(f"table {database}.{name} exists")
+        for candidate in (schema, partition_schema):
+            if any(col != col.lower() for col in candidate.names()):
+                raise MetastoreError(
+                    "metastore schemas must use lower-cased column names; "
+                    f"got {candidate.names()}"
+                )
+        overlap = set(schema.names()) & set(partition_schema.names())
+        if overlap:
+            raise MetastoreError(
+                f"partition columns duplicate data columns: {sorted(overlap)}"
+            )
+        if len(partition_schema) > 1:
+            raise MetastoreError(
+                "only single-column partitioning is supported"
+            )
+        table = Table(
+            database=key[0],
+            name=key[1],
+            schema=schema,
+            storage_format=storage_format.lower(),
+            location=self.table_location(database, name),
+            properties=tuple(sorted((properties or {}).items())),
+            owner=owner,
+            created_ms=self.clock_ms,
+            partition_schema=partition_schema,
+        )
+        self._tables[key] = table
+        return table
+
+    def get_table(self, name: str, database: str = DEFAULT_DATABASE) -> Table:
+        try:
+            return self._tables[self._key(database, name)]
+        except KeyError:
+            raise TableNotFoundError(f"table {database}.{name} not found") from None
+
+    def table_exists(self, name: str, database: str = DEFAULT_DATABASE) -> bool:
+        return self._key(database, name) in self._tables
+
+    def drop_table(
+        self, name: str, database: str = DEFAULT_DATABASE, if_exists: bool = False
+    ) -> bool:
+        key = self._key(database, name)
+        if key not in self._tables:
+            if if_exists:
+                return False
+            raise TableNotFoundError(f"table {database}.{name} not found")
+        del self._tables[key]
+        return True
+
+    def alter_table_properties(
+        self, name: str, updates: dict[str, str], database: str = DEFAULT_DATABASE
+    ) -> Table:
+        table = self.get_table(name, database)
+        updated = table.with_properties(updates)
+        self._tables[self._key(database, name)] = updated
+        return updated
+
+    def list_tables(self, database: str = DEFAULT_DATABASE) -> list[str]:
+        db = database.lower()
+        return sorted(
+            name for (d, name) in self._tables if d == db
+        )

@@ -1,0 +1,73 @@
+"""Hive's view of the logical type system.
+
+Hive's metastore is the *shared* piece of state between the engines, and
+its normalizations are the mechanism behind several §8 discrepancies:
+
+* identifiers (table, column and nested struct-field names) are stored
+  **lower-cased** — the "not case preserving" family (HIVE-26533,
+  SPARK-40409, discrepancy #3/#14);
+* Hive has one TIMESTAMP type, so TIMESTAMP_NTZ collapses into it
+  (discrepancy #8 / SPARK-40616);
+* for self-describing formats that cannot back Spark's native schema
+  (Avro), the registered schema is **derived from the file's physical
+  schema** — BYTE/SHORT become INT before any row is ever written
+  (the HIVE-26533 mechanism).
+"""
+
+from __future__ import annotations
+
+from repro.common.schema import Schema
+from repro.common.types import (
+    ArrayType,
+    DataType,
+    IntervalType,
+    MapType,
+    StructField,
+    StructType,
+    TimestampNTZType,
+    TimestampType,
+)
+from repro.errors import MetastoreError
+from repro.formats.base import Serializer
+
+__all__ = ["hive_type", "hive_schema", "metastore_schema_for"]
+
+
+def hive_type(dtype: DataType) -> DataType:
+    """Collapse a logical type to what Hive's DDL can declare."""
+    if isinstance(dtype, TimestampNTZType):
+        return TimestampType()
+    if isinstance(dtype, IntervalType):
+        raise MetastoreError("hive tables cannot declare interval columns")
+    if isinstance(dtype, ArrayType):
+        return ArrayType(hive_type(dtype.element_type))
+    if isinstance(dtype, MapType):
+        return MapType(hive_type(dtype.key_type), hive_type(dtype.value_type))
+    if isinstance(dtype, StructType):
+        # struct-field names are identifiers too: Hive lower-cases them.
+        fields = tuple(
+            StructField(f.name.lower(), hive_type(f.data_type), f.nullable)
+            for f in dtype.fields
+        )
+        return StructType(fields)
+    return dtype
+
+
+def hive_schema(schema: Schema) -> Schema:
+    """The schema exactly as the metastore stores it (lossy)."""
+    return schema.map_types(hive_type).lower_cased()
+
+
+def metastore_schema_for(declared: Schema, serializer: Serializer) -> Schema:
+    """Schema registered for a table of the given storage format.
+
+    For formats whose files carry a self-describing schema that Hive
+    trusts over the DDL (Avro: ``avro.schema.literal``), the registered
+    schema is the *physical* one — the declared BYTE column is an INT
+    before the first row lands. Other formats (including text, whose
+    SerDe parses strings back to the declared types on read) keep the
+    declared schema.
+    """
+    if serializer.file_schema_is_authoritative:
+        return hive_schema(serializer.physical_schema(declared))
+    return hive_schema(declared)

@@ -1,0 +1,118 @@
+"""Warehouse layout: where table data lives on the shared filesystem.
+
+Both engines read and write the same part files under a table's
+location; only the serializer bytes travel between them. This module
+owns the part-file and partition-directory naming conventions.
+
+Partition values are **strings in directory names** (``p=01``) — the
+single most consequential piece of shared metadata in the layout,
+because each engine re-types those strings on its own terms (Hive by
+the declared column type, Spark by value inference). That divergence is
+the paper's Address/naming discrepancy family (Table 4: 10/61 cases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.hivelite.metastore import Table
+from repro.storage.filesystem import FileSystem
+
+__all__ = ["Warehouse", "partition_dirname", "parse_partition_dirname"]
+
+
+def partition_dirname(column: str, value: object) -> str:
+    """``p=01`` — the on-disk spelling of one partition value."""
+    text = "__HIVE_DEFAULT_PARTITION__" if value is None else str(value)
+    if "/" in text or "=" in text:
+        raise StorageError(f"unencodable partition value {text!r}")
+    return f"{column}={text}"
+
+
+def parse_partition_dirname(dirname: str) -> tuple[str, str]:
+    column, sep, text = dirname.partition("=")
+    if not sep or not column:
+        raise StorageError(f"not a partition directory: {dirname!r}")
+    return column, text
+
+
+@dataclass
+class Warehouse:
+    filesystem: FileSystem
+
+    # -- unpartitioned layout -------------------------------------------
+
+    def part_paths(self, table: Table, partition: str | None = None) -> list[str]:
+        directory = (
+            f"{table.location}/{partition}" if partition else table.location
+        )
+        if not self.filesystem.exists(directory):
+            return []
+        return sorted(
+            status.path
+            for status in self.filesystem.listdir(directory)
+            if not status.is_directory
+        )
+
+    def write_segment(
+        self, table: Table, blob: bytes, partition: str | None = None
+    ) -> str:
+        directory = (
+            f"{table.location}/{partition}" if partition else table.location
+        )
+        existing = self.part_paths(table, partition)
+        index = len(existing)
+        path = f"{directory}/part-{index:05d}.{table.storage_format}"
+        self.filesystem.mkdirs(directory)
+        self.filesystem.write(path, blob, overwrite=False)
+        return path
+
+    def read_segments(self, table: Table) -> list[bytes]:
+        return [self.filesystem.read(path) for path in self.part_paths(table)]
+
+    # -- partitioned layout ------------------------------------------------
+
+    def partitions(self, table: Table) -> list[str]:
+        """Partition directory names (``p=01``), sorted."""
+        if not self.filesystem.exists(table.location):
+            return []
+        return sorted(
+            status.path.rsplit("/", 1)[-1]
+            for status in self.filesystem.listdir(table.location)
+            if status.is_directory
+        )
+
+    def read_partitioned_segments(
+        self, table: Table
+    ) -> list[tuple[str, bytes]]:
+        """(partition dirname, blob) for every part file, sorted."""
+        out: list[tuple[str, bytes]] = []
+        for partition in self.partitions(table):
+            for path in self.part_paths(table, partition):
+                out.append((partition, self.filesystem.read(path)))
+        return out
+
+    # -- maintenance -----------------------------------------------------------
+
+    def truncate(self, table: Table, partition: str | None = None) -> int:
+        if partition is not None:
+            paths = self.part_paths(table, partition)
+            for path in paths:
+                self.filesystem.delete(path)
+            return len(paths)
+        count = len(self.part_paths(table))
+        if self.filesystem.exists(table.location):
+            for status in self.filesystem.listdir(table.location):
+                if status.is_directory:
+                    count += len(
+                        self.part_paths(
+                            table, status.path.rsplit("/", 1)[-1]
+                        )
+                    )
+            self.filesystem.delete(table.location, recursive=True)
+        return count
+
+    def drop_data(self, table: Table) -> None:
+        if self.filesystem.exists(table.location):
+            self.filesystem.delete(table.location, recursive=True)

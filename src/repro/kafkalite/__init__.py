@@ -1,0 +1,13 @@
+"""Mini Kafka: partition logs, compaction, offset semantics."""
+
+from repro.kafkalite.broker import Broker
+from repro.kafkalite.consumer import NaiveOffsetConsumer, SeekingConsumer
+from repro.kafkalite.log import LogRecord, PartitionLog
+
+__all__ = [
+    "Broker",
+    "NaiveOffsetConsumer",
+    "SeekingConsumer",
+    "LogRecord",
+    "PartitionLog",
+]

@@ -1,0 +1,47 @@
+"""A single-node Kafka-like broker: topics of partition logs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StreamError
+from repro.kafkalite.log import PartitionLog
+
+__all__ = ["Broker"]
+
+
+@dataclass
+class Broker:
+    _topics: dict[str, list[PartitionLog]] = field(default_factory=dict)
+
+    def create_topic(self, name: str, partitions: int = 1) -> None:
+        if name in self._topics:
+            raise StreamError(f"topic {name!r} already exists")
+        if partitions < 1:
+            raise StreamError("a topic needs at least one partition")
+        self._topics[name] = [
+            PartitionLog(name, index) for index in range(partitions)
+        ]
+
+    def topic_exists(self, name: str) -> bool:
+        return name in self._topics
+
+    def list_topics(self) -> list[str]:
+        return sorted(self._topics)
+
+    def partitions(self, topic: str) -> list[PartitionLog]:
+        try:
+            return self._topics[topic]
+        except KeyError:
+            raise StreamError(f"unknown topic {topic!r}") from None
+
+    def partition(self, topic: str, index: int = 0) -> PartitionLog:
+        logs = self.partitions(topic)
+        if not 0 <= index < len(logs):
+            raise StreamError(f"{topic} has no partition {index}")
+        return logs[index]
+
+    def produce(
+        self, topic: str, value: object, key: str | None = None, partition: int = 0
+    ) -> int:
+        return self.partition(topic, partition).append(value, key)

@@ -1,0 +1,53 @@
+"""Consumers: the wrong-assumption one and the correct one.
+
+``NaiveOffsetConsumer`` is the upstream of SPARK-19361: it advances its
+position by exactly +1 per record and reads *at* that offset, which
+breaks the moment compaction leaves holes in the offset sequence. The
+``SeekingConsumer`` uses the read-from-next-available API instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OffsetOutOfRangeError
+from repro.kafkalite.log import LogRecord, PartitionLog
+
+__all__ = ["NaiveOffsetConsumer", "SeekingConsumer"]
+
+
+@dataclass
+class NaiveOffsetConsumer:
+    """Assumes offsets increment by 1 (the buggy upstream behaviour)."""
+
+    log: PartitionLog
+    position: int = 0
+
+    def poll_all(self) -> list[LogRecord]:
+        """Read until the end offset, incrementing the position by one.
+
+        Raises :class:`OffsetOutOfRangeError` at the first compaction
+        hole — the SPARK-19361 job failure.
+        """
+        records = []
+        while self.position < self.log.log_end_offset:
+            records.append(self.log.read(self.position))
+            self.position += 1
+        return records
+
+
+@dataclass
+class SeekingConsumer:
+    """Reads the next *available* offset (the fixed behaviour)."""
+
+    log: PartitionLog
+    position: int = 0
+
+    def poll_all(self) -> list[LogRecord]:
+        records = []
+        while True:
+            record = self.log.read_from(self.position)
+            if record is None:
+                return records
+            records.append(record)
+            self.position = record.offset + 1

@@ -1,0 +1,85 @@
+"""Partition logs with compaction.
+
+SPARK-19361 (Table 6, "wrong API assumptions"): Spark assumed Kafka
+offsets always increment by one. Log compaction deletes superseded
+records *without renumbering*, so surviving offsets are non-contiguous —
+the property this log models precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OffsetOutOfRangeError
+
+__all__ = ["LogRecord", "PartitionLog"]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    offset: int
+    key: str | None
+    value: object
+    timestamp_ms: int = 0
+
+
+@dataclass
+class PartitionLog:
+    topic: str
+    partition: int = 0
+    _records: list[LogRecord] = field(default_factory=list)
+    _next_offset: int = 0
+
+    def append(self, value: object, key: str | None = None, timestamp_ms: int = 0) -> int:
+        offset = self._next_offset
+        self._records.append(LogRecord(offset, key, value, timestamp_ms))
+        self._next_offset += 1
+        return offset
+
+    @property
+    def log_start_offset(self) -> int:
+        return self._records[0].offset if self._records else self._next_offset
+
+    @property
+    def log_end_offset(self) -> int:
+        """The offset the *next* record will get (exclusive end)."""
+        return self._next_offset
+
+    def offsets(self) -> list[int]:
+        return [record.offset for record in self._records]
+
+    def read(self, offset: int) -> LogRecord:
+        """Read the record at exactly ``offset``; raises if absent."""
+        for record in self._records:
+            if record.offset == offset:
+                return record
+        raise OffsetOutOfRangeError(
+            f"{self.topic}-{self.partition}: no record at offset {offset}"
+        )
+
+    def read_from(self, offset: int) -> LogRecord | None:
+        """Read the first record with offset >= ``offset`` (correct API)."""
+        for record in self._records:
+            if record.offset >= offset:
+                return record
+        return None
+
+    def compact(self) -> int:
+        """Keep only the latest record per key; returns records removed.
+
+        Offsets of surviving records are unchanged — after compaction
+        the sequence has holes.
+        """
+        latest: dict[str | None, int] = {}
+        for index, record in enumerate(self._records):
+            latest[record.key] = index
+        keep = set(latest.values())
+        before = len(self._records)
+        self._records = [
+            record for index, record in enumerate(self._records) if index in keep
+        ]
+        return before - len(self._records)
+
+    def is_contiguous(self) -> bool:
+        offsets = self.offsets()
+        return all(b == a + 1 for a, b in zip(offsets, offsets[1:]))

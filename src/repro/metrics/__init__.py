@@ -1,0 +1,21 @@
+"""Monitoring substrate: metric registries, scraping, quota consumers."""
+
+from repro.metrics.quota import QuotaExceededError, QuotaSystem, ServiceUnderQuota
+from repro.metrics.registry import (
+    AbsentPolicy,
+    Counter,
+    Gauge,
+    MetricError,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "QuotaExceededError",
+    "QuotaSystem",
+    "ServiceUnderQuota",
+    "AbsentPolicy",
+    "Counter",
+    "Gauge",
+    "MetricError",
+    "MetricsRegistry",
+]

@@ -1,0 +1,80 @@
+"""A quota system driven by monitoring data (the §1 incident shape).
+
+The quota autoscaler periodically reads a service's reported usage and
+right-sizes its quota. Its defect is the cross-system discrepancy of
+the GCP User-ID incident: it cannot tell "usage is zero" from "the
+monitor is gone", because the monitoring system's scrape interface
+reports both as ``0`` under :attr:`AbsentPolicy.ZERO`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.events import EventLoop, Process
+from repro.errors import ReproError
+from repro.metrics.registry import AbsentPolicy, MetricsRegistry
+
+__all__ = ["QuotaExceededError", "QuotaSystem", "ServiceUnderQuota"]
+
+
+class QuotaExceededError(ReproError):
+    """A request was rejected because the quota is exhausted."""
+
+
+@dataclass
+class ServiceUnderQuota:
+    """A service whose capacity is capped by the quota system."""
+
+    name: str
+    quota: float
+    current_load: float = 0.0
+    rejected_requests: int = 0
+
+    def handle_load(self, load: float) -> None:
+        self.current_load = load
+        if load > self.quota:
+            self.rejected_requests += int(load - self.quota)
+            raise QuotaExceededError(
+                f"{self.name}: load {load} exceeds quota {self.quota}"
+            )
+
+
+class QuotaSystem(Process):
+    """Periodically right-sizes a service's quota from monitoring data."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        service: ServiceUnderQuota,
+        monitoring: MetricsRegistry,
+        usage_metric: str,
+        *,
+        interval_ms: int = 60_000,
+        headroom: float = 1.25,
+        minimum_quota: float = 10.0,
+        absent_policy: AbsentPolicy = AbsentPolicy.ZERO,
+    ) -> None:
+        super().__init__(loop, "quota-system")
+        self.service = service
+        self.monitoring = monitoring
+        self.usage_metric = usage_metric
+        self.interval_ms = interval_ms
+        self.headroom = headroom
+        self.minimum_quota = minimum_quota
+        self.absent_policy = absent_policy
+        self.adjustments: list[tuple[int, float | None, float]] = []
+
+    def start(self) -> None:
+        self.schedule(self.interval_ms, self._adjust, "quota-adjust")
+
+    def _adjust(self) -> None:
+        usage = self.monitoring.read(self.usage_metric, self.absent_policy)
+        if usage is None:
+            # the fixed behaviour: an absent metric changes nothing
+            self.adjustments.append((self.now_ms, None, self.service.quota))
+        else:
+            new_quota = max(self.minimum_quota, usage * self.headroom)
+            self.service.quota = new_quota
+            self.adjustments.append((self.now_ms, usage, new_quota))
+        self.schedule(self.interval_ms, self._adjust, "quota-adjust")

@@ -1,0 +1,126 @@
+"""A monitoring substrate: metrics, registration, and scraping.
+
+§6.2.2 and the paper's flagship incident (§1) are about monitoring data
+crossing system boundaries: "a deregistered monitor reported a value
+'0' for the resource usage to the quota system, which misinterpreted
+zero as the expected load". The discrepancy lives precisely in what a
+*missing* metric reads as — so this registry makes that choice explicit
+and configurable per scrape (:class:`AbsentPolicy`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = [
+    "MetricError",
+    "AbsentPolicy",
+    "Gauge",
+    "Counter",
+    "MetricsRegistry",
+]
+
+
+class MetricError(ReproError):
+    """A metric operation failed."""
+
+
+class AbsentPolicy(enum.Enum):
+    """What a scrape reports for a metric that is not registered.
+
+    ``ZERO`` is the historical behaviour behind the GCP User-ID outage:
+    downstream consumers cannot distinguish "no load" from "no monitor".
+    ``ABSENT`` surfaces the difference (the scrape returns ``None``).
+    ``ERROR`` refuses the read outright.
+    """
+
+    ZERO = "zero"
+    ABSENT = "absent"
+    ERROR = "error"
+
+
+@dataclass
+class Gauge:
+    name: str
+    value: float = 0.0
+    description: str = ""
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Counter:
+    name: str
+    value: float = 0.0
+    description: str = ""
+
+    def increment(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(f"{self.name}: counters only move forward")
+        self.value += amount
+
+
+@dataclass
+class MetricsRegistry:
+    """One system's exported metrics, scraped by other systems."""
+
+    system: str
+    _metrics: dict[str, Gauge | Counter] = field(default_factory=dict)
+    #: names that were registered once but have since been deregistered
+    _deregistered: set[str] = field(default_factory=set)
+
+    # -- registration ------------------------------------------------------
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._register(Gauge(name, description=description))
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._register(Counter(name, description=description))
+
+    def _register(self, metric):
+        if name_exists := self._metrics.get(metric.name):
+            return name_exists
+        self._metrics[metric.name] = metric
+        self._deregistered.discard(metric.name)
+        return metric
+
+    def deregister(self, name: str) -> None:
+        """Remove a metric (e.g. its reporter was decommissioned)."""
+        if name in self._metrics:
+            del self._metrics[name]
+            self._deregistered.add(name)
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    # -- scraping -------------------------------------------------------------
+
+    def read(
+        self, name: str, absent_policy: AbsentPolicy = AbsentPolicy.ZERO
+    ) -> float | None:
+        """What a cross-system consumer sees for ``name``."""
+        metric = self._metrics.get(name)
+        if metric is not None:
+            return metric.value
+        if absent_policy is AbsentPolicy.ZERO:
+            # the GCP-outage behaviour: silence reads as zero
+            return 0.0
+        if absent_policy is AbsentPolicy.ABSENT:
+            return None
+        raise MetricError(
+            f"{self.system}: metric {name!r} is not registered"
+            + (" (was deregistered)" if name in self._deregistered else "")
+        )
+
+    def scrape(
+        self, absent_policy: AbsentPolicy = AbsentPolicy.ZERO
+    ) -> dict[str, float]:
+        del absent_policy  # registered metrics are never absent here
+        return {name: metric.value for name, metric in sorted(self._metrics.items())}

@@ -1,0 +1,47 @@
+"""Executable replays of the paper's named CSI failures (Figures 1-5 +
+one scenario per additional discrepancy pattern)."""
+
+from repro.scenarios.base import ScenarioOutcome
+from repro.scenarios.config_spark_hive import replay_spark_16901
+from repro.scenarios.control_flink_yarn import (
+    FIX_STAGES,
+    replay_flink_12342,
+    run_fix_stage,
+)
+from repro.scenarios.control_flink_vcores import replay_flink_5542
+from repro.scenarios.control_hbase_hdfs import replay_hbase_537
+from repro.scenarios.control_yarn_hdfs import replay_yarn_2790
+from repro.scenarios.data_flink_hive import replay_flink_17189
+from repro.scenarios.data_partition_naming import replay_partition_inference
+from repro.scenarios.data_spark_hdfs import InputFileBlockHolder, replay_spark_27239
+from repro.scenarios.incident_gcp_quota import replay_gcp_quota_incident
+from repro.scenarios.mgmt_flink_yarn import replay_flink_19141
+from repro.scenarios.monitoring import replay_flink_887
+from repro.scenarios.observability import replay_spark_3627, run_yarn_application
+from repro.scenarios.registry import SCENARIOS, Scenario, by_jira, run_all
+from repro.scenarios.streaming_spark_kafka import replay_spark_19361
+
+__all__ = [
+    "ScenarioOutcome",
+    "replay_spark_16901",
+    "FIX_STAGES",
+    "replay_flink_12342",
+    "run_fix_stage",
+    "replay_flink_17189",
+    "replay_partition_inference",
+    "replay_flink_5542",
+    "replay_hbase_537",
+    "replay_yarn_2790",
+    "InputFileBlockHolder",
+    "replay_spark_27239",
+    "replay_flink_19141",
+    "replay_flink_887",
+    "SCENARIOS",
+    "Scenario",
+    "by_jira",
+    "run_all",
+    "replay_spark_19361",
+    "replay_gcp_quota_incident",
+    "replay_spark_3627",
+    "run_yarn_application",
+]

@@ -1,0 +1,27 @@
+"""Common shape for executable failure replays.
+
+Each scenario replays one named CSI failure from the paper, both in its
+failing configuration and under its documented fix/workaround, and
+returns a structured outcome the tests and benches assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ScenarioOutcome"]
+
+
+@dataclass
+class ScenarioOutcome:
+    scenario: str
+    jira: str
+    plane: str  # "control" | "data" | "management"
+    failed: bool
+    symptom: str
+    metrics: dict[str, object] = field(default_factory=dict)
+    narrative: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        status = "FAILED" if self.failed else "ok"
+        return f"[{self.plane}] {self.jira} {self.scenario}: {status} — {self.symptom}"

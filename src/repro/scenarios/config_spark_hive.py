@@ -1,0 +1,57 @@
+"""SPARK-16901: Spark silently overwrites Hive settings while merging
+with the Hadoop configuration (Table 7, "unexpected override")."""
+
+from __future__ import annotations
+
+from repro.common.config import Configuration, MergePolicy
+from repro.scenarios.base import ScenarioOutcome
+
+__all__ = ["replay_spark_16901"]
+
+_HIVE_METASTORE_URI = "hive.metastore.uris"
+_HIVE_EXEC_ENGINE = "hive.execution.engine"
+
+
+def replay_spark_16901(*, fixed: bool = False) -> ScenarioOutcome:
+    """Merge Hive's configuration into Spark's Hadoop configuration.
+
+    The buggy path merges with :attr:`MergePolicy.SILENT_OVERWRITE`: the
+    Hadoop defaults win and the operator's explicit Hive metastore URI
+    vanishes without a recorded overwrite. The fix keeps the existing
+    value (``PREFER_SELF``) and surfaces the collision.
+    """
+    hive_site = Configuration(system="hive-site")
+    hive_site.set(_HIVE_METASTORE_URI, "thrift://metastore-prod:9083", "operator")
+    hive_site.set(_HIVE_EXEC_ENGINE, "tez", "operator")
+
+    hadoop_defaults = Configuration(system="hadoop-defaults")
+    hadoop_defaults.set(_HIVE_METASTORE_URI, "thrift://localhost:9083", "default")
+    hadoop_defaults.set("fs.defaultFS", "hdfs://namenode:8020", "default")
+
+    # Spark assembles its effective configuration: hive-site first, then
+    # the Hadoop configuration is folded in.
+    effective = hive_site.copy()
+    effective.system = "spark-effective"
+    policy = MergePolicy.PREFER_SELF if fixed else MergePolicy.SILENT_OVERWRITE
+    losers = effective.merge(hadoop_defaults, policy)
+
+    final_uri = effective.get(_HIVE_METASTORE_URI)
+    failed = final_uri != "thrift://metastore-prod:9083"
+    entry = effective.entry(_HIVE_METASTORE_URI)
+    return ScenarioOutcome(
+        scenario="spark merges hive configuration with hadoop defaults",
+        jira="SPARK-16901",
+        plane="management",
+        failed=failed,
+        symptom=(
+            f"hive.metastore.uris silently overwritten to {final_uri!r}"
+            if failed
+            else "operator's metastore URI preserved"
+        ),
+        metrics={
+            "fixed": fixed,
+            "final_uri": final_uri,
+            "collisions": len(losers),
+            "provenance": entry.provenance_chain() if entry else [],
+        },
+    )

@@ -1,0 +1,53 @@
+"""FLINK-5542: vcore API used in the wrong invocation context."""
+
+from __future__ import annotations
+
+from repro.flinklite.vcores import ClusterInfo, cluster_vcores, local_vcores
+from repro.scenarios.base import ScenarioOutcome
+
+__all__ = ["replay_flink_5542"]
+
+
+def replay_flink_5542(
+    *,
+    fixed: bool = False,
+    requested_parallelism: int = 32,
+    nodes: int = 8,
+    vcores_per_node: int = 8,
+) -> ScenarioOutcome:
+    """Size a job's parallelism against 'available' vcores.
+
+    The buggy path calls the local-context API while validating a
+    cluster submission, sees 4 cores on a 64-core cluster, and rejects
+    the job; the fixed path asks YARN for the aggregate.
+    """
+    cluster = ClusterInfo(local_machine_vcores=4)
+    for _ in range(nodes):
+        cluster.add_node(vcores_per_node)
+
+    available = (
+        cluster_vcores(cluster) if fixed else local_vcores(cluster)
+    )
+    accepted = requested_parallelism <= available
+    failed = not accepted and requested_parallelism <= cluster.total_vcores
+
+    return ScenarioOutcome(
+        scenario="flink validates job parallelism against vcores",
+        jira="FLINK-5542",
+        plane="control",
+        failed=failed,
+        symptom=(
+            f"job rejected: parallelism {requested_parallelism} > "
+            f"'available' {available} vcores (cluster actually has "
+            f"{cluster.total_vcores})"
+            if failed
+            else f"job accepted with parallelism {requested_parallelism}"
+        ),
+        metrics={
+            "fixed": fixed,
+            "requested_parallelism": requested_parallelism,
+            "reported_available": available,
+            "actual_cluster_vcores": cluster.total_vcores,
+            "accepted": accepted,
+        },
+    )

@@ -1,0 +1,52 @@
+"""HBASE-537: inconsistent state views — HBase assumes the HDFS
+NameNode is ready while it is still in safe mode (Table 8,
+state/resource inconsistency)."""
+
+from __future__ import annotations
+
+from repro.errors import SafeModeException
+from repro.hbaselite.master import HBaseMaster
+from repro.scenarios.base import ScenarioOutcome
+from repro.storage.filesystem import FileSystem
+from repro.storage.namenode import NameNode
+
+__all__ = ["replay_hbase_537"]
+
+
+def replay_hbase_537(*, wait_for_safe_mode_exit: bool = False) -> ScenarioOutcome:
+    """Start the HBase master right after the NameNode answers.
+
+    The NameNode responds to reads during safe mode, so the master's
+    liveness probe succeeds — but initializing the /hbase layout is a
+    mutation and is rejected. The fixed behaviour polls safe mode
+    explicitly before mutating.
+    """
+    namenode = NameNode()
+    namenode.enter_safe_mode()
+    filesystem = FileSystem(namenode, user="hbase")
+
+    # the (successful) liveness probe HBase used
+    probe_ok = filesystem.exists("/")
+
+    master = HBaseMaster(filesystem)
+    failed = False
+    symptom = "HBase master started; WAL directory initialized"
+    try:
+        master.start(wait_for_writes=wait_for_safe_mode_exit)
+    except SafeModeException as exc:
+        failed = True
+        symptom = f"HBase startup failure: {exc}"
+
+    return ScenarioOutcome(
+        scenario="hbase master starts during namenode safe mode",
+        jira="HBASE-537",
+        plane="control",
+        failed=failed,
+        symptom=symptom,
+        metrics={
+            "probe_succeeded": probe_ok,
+            "waited_for_safe_mode": wait_for_safe_mode_exit,
+            "safe_mode_at_write": namenode.safe_mode,
+            "master_started": master.started,
+        },
+    )

@@ -1,0 +1,58 @@
+"""YARN-2790: delegation-token renewal races the operation consuming it
+(§7 — a fix that reduces likelihood without removing the window)."""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.scenarios.base import ScenarioOutcome
+from repro.storage.namenode import NameNode
+
+__all__ = ["replay_yarn_2790"]
+
+
+def replay_yarn_2790(
+    *,
+    token_lifetime_ms: int = 10_000,
+    work_before_use_ms: int = 15_000,
+    renew_close_to_use: bool = False,
+) -> ScenarioOutcome:
+    """YARN renews an HDFS token, does other work, then uses the token.
+
+    The merged fix moved the renewal *closer to* the consuming
+    operation; it shrinks but does not eliminate the expiry window
+    (Finding 12's point that common fixes do not fix the interaction).
+    """
+    namenode = NameNode(token_lifetime_ms=token_lifetime_ms)
+    token = namenode.issue_token("yarn-rm")
+
+    if renew_close_to_use:
+        # fixed ordering: work first, renew immediately before use
+        namenode.clock_ms += work_before_use_ms
+        namenode.renew_token(token.token_id)
+    else:
+        # original ordering: renew early, then do the work
+        namenode.renew_token(token.token_id)
+        namenode.clock_ms += work_before_use_ms
+
+    failed = False
+    symptom = "token accepted"
+    try:
+        namenode.verify_token(token.token_id)
+    except StorageError as exc:
+        failed = True
+        symptom = f"HDFS rejected the operation: {exc}"
+
+    return ScenarioOutcome(
+        scenario="yarn uses an hdfs delegation token after delay",
+        jira="YARN-2790",
+        plane="control",
+        failed=failed,
+        symptom=symptom,
+        metrics={
+            "token_lifetime_ms": token_lifetime_ms,
+            "work_before_use_ms": work_before_use_ms,
+            "renew_close_to_use": renew_close_to_use,
+            "expires_at_ms": token.expires_at_ms,
+            "used_at_ms": namenode.clock_ms,
+        },
+    )

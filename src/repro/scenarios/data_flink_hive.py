@@ -1,0 +1,69 @@
+"""FLINK-17189: PROCTIME lost through the Hive catalog (Table 6's
+type-confusion example, Flink -> Hive)."""
+
+from __future__ import annotations
+
+from repro.common.schema import Schema
+from repro.flinklite.table_api import FlinkTableEnvironment, ProctimeLostError
+from repro.hivelite.engine import HiveServer
+from repro.hivelite.metastore import HiveMetastore
+from repro.kafkalite.log import PartitionLog
+from repro.scenarios.base import ScenarioOutcome
+from repro.storage.filesystem import FileSystem
+from repro.storage.namenode import NameNode
+
+__all__ = ["replay_flink_17189"]
+
+
+def replay_flink_17189(*, fixed: bool = False) -> ScenarioOutcome:
+    """Stream → table with a PROCTIME column, persisted through Hive,
+    then read back and window-aggregated.
+
+    Buggy path: the second environment (a restarted job) reads the table
+    from the catalog; the proctime attribute is gone and the windowed
+    aggregation fails. Fixed path: the attribute is re-registered from
+    out-of-band metadata.
+    """
+    hive = HiveServer(HiveMetastore(), FileSystem(NameNode()))
+    first_env = FlinkTableEnvironment(hive)
+
+    log = PartitionLog("clicks")
+    for index in range(6):
+        log.append({"user": f"u{index % 2}"}, timestamp_ms=index * 90_000)
+
+    schema = Schema.of(("user", "string"))
+    rows = first_env.table_from_stream(
+        "clicks", log, schema, proctime_column="proc_ts"
+    )
+    full_schema = rows[0].schema
+    first_env.write_to_hive("clicks", rows, full_schema)
+
+    # a restarted job: a fresh environment over the same catalog
+    second_env = FlinkTableEnvironment(hive)
+    if fixed:
+        second_env.register_proctime("clicks", "proc_ts")
+
+    failed = False
+    symptom = "windowed aggregation ran"
+    windows = {}
+    try:
+        windows = second_env.window_aggregate("clicks")
+        symptom = f"windowed aggregation produced {len(windows)} buckets"
+    except ProctimeLostError as exc:
+        failed = True
+        symptom = f"Flink job failure: {exc}"
+
+    stored_schema, _ = second_env.read_from_hive("clicks")
+    return ScenarioOutcome(
+        scenario="flink proctime column through the hive catalog",
+        jira="FLINK-17189",
+        plane="data",
+        failed=failed,
+        symptom=symptom,
+        metrics={
+            "fixed": fixed,
+            "records": 6,
+            "stored_type": stored_schema.field("proc_ts").data_type.simple_string(),
+            "window_buckets": len(windows),
+        },
+    )

@@ -1,0 +1,61 @@
+"""The Address/naming discrepancy family, executable (Table 4: 10/61).
+
+Partition values live as strings in directory names; Hive types them by
+the declared column, Spark infers a type from the values
+(``partitionColumnTypeInference``). A zero-padded day partition written
+by Hive reads back as different *data* through Spark — a wrong-results
+failure with no error anywhere.
+"""
+
+from __future__ import annotations
+
+from repro.hivelite.engine import HiveServer
+from repro.scenarios.base import ScenarioOutcome
+from repro.sparklite.session import SparkSession
+
+__all__ = ["replay_partition_inference"]
+
+
+def replay_partition_inference(*, fixed: bool = False) -> ScenarioOutcome:
+    """Hive writes day partitions '01'..'03'; Spark reads them back."""
+    spark = SparkSession.local()
+    hive = HiveServer(spark.metastore, spark.filesystem)
+    hive.execute(
+        "CREATE TABLE pageviews (hits int) PARTITIONED BY (day string) "
+        "STORED AS parquet"
+    )
+    for day, hits in (("01", 10), ("02", 20), ("03", 30)):
+        hive.execute(
+            f"INSERT INTO pageviews PARTITION (day='{day}') VALUES ({hits})"
+        )
+
+    if fixed:
+        spark.conf.set(
+            "spark.sql.sources.partitionColumnTypeInference.enabled", "false"
+        )
+
+    hive_rows = hive.execute("SELECT * FROM pageviews").to_tuples()
+    spark_result = spark.sql("SELECT * FROM pageviews")
+    spark_rows = spark_result.to_tuples()
+
+    failed = spark_rows != hive_rows
+    spark_type = spark_result.schema.types()[1].simple_string()
+    return ScenarioOutcome(
+        scenario="spark and hive read the same partitioned table",
+        jira="PARTITION-TYPE-INFERENCE",
+        plane="data",
+        failed=failed,
+        symptom=(
+            f"wrong results: Hive sees day='01' (string), Spark sees "
+            f"day={spark_rows[0][1]!r} ({spark_type}) — the zero-padded "
+            "naming convention was silently re-typed"
+            if failed
+            else "both engines agree on the partition values"
+        ),
+        metrics={
+            "fixed": fixed,
+            "hive_rows": hive_rows,
+            "spark_rows": spark_rows,
+            "spark_partition_type": spark_type,
+        },
+    )

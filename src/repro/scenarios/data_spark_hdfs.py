@@ -1,0 +1,70 @@
+"""Figure 2 / Figure 4: Spark vs HDFS on compressed-file length
+(SPARK-27239) — the undefined-value discrepancy and its checking fix."""
+
+from __future__ import annotations
+
+from repro.errors import InvalidFileLengthError
+from repro.scenarios.base import ScenarioOutcome
+from repro.storage.filesystem import FileSystem
+from repro.storage.namenode import NameNode
+
+__all__ = ["InputFileBlockHolder", "replay_spark_27239"]
+
+
+class InputFileBlockHolder:
+    """Spark's file-input bookkeeping, with the length precondition.
+
+    The original check is ``require(length >= 0)``; the merged fix
+    (Figure 4) widens it to ``require(length >= -1)`` so the compressed-
+    file sentinel passes through.
+    """
+
+    def __init__(self, *, fixed: bool) -> None:
+        self.fixed = fixed
+        self.blocks: list[tuple[str, int]] = []
+
+    def set(self, path: str, length: int) -> None:
+        minimum = -1 if self.fixed else 0
+        if length < minimum:
+            raise InvalidFileLengthError(
+                f"length ({length}) cannot be "
+                + ("smaller than -1" if self.fixed else "negative")
+            )
+        self.blocks.append((path, length))
+
+
+def replay_spark_27239(
+    *, compressed: bool = True, fixed: bool = False
+) -> ScenarioOutcome:
+    """Write a file into HDFS-lite and run a Spark-style input scan."""
+    filesystem = FileSystem(NameNode(), user="spark")
+    payload = b"line-1\nline-2\nline-3\n" * 64
+    filesystem.write("/data/input/events.log", payload, compressed=compressed)
+
+    holder = InputFileBlockHolder(fixed=fixed)
+    failed = False
+    symptom = "job completed"
+    records = 0
+    status = filesystem.status("/data/input/events.log")
+    try:
+        holder.set(status.path, status.length)
+        records = filesystem.read(status.path).count(b"\n")
+    except InvalidFileLengthError as exc:
+        failed = True
+        symptom = f"Spark job failure: {exc}"
+
+    return ScenarioOutcome(
+        scenario="spark reads compressed HDFS file",
+        jira="SPARK-27239",
+        plane="data",
+        failed=failed,
+        symptom=symptom,
+        metrics={
+            "compressed": compressed,
+            "fixed": fixed,
+            "reported_length": status.length,
+            "actual_bytes": len(payload),
+            "records_read": records,
+            "is_compressed_property": status.custom_property("is_compressed"),
+        },
+    )

@@ -1,0 +1,98 @@
+"""The paper's flagship incident (§1): the GCP User-ID quota outage.
+
+    "The root cause was a discrepancy in the monitoring data — a
+    deregistered monitor reported a value '0' for the resource usage to
+    the quota system, which misinterpreted zero as the expected load of
+    the User-ID system. Consequently, the quota system incorrectly
+    decreased the resource quota of the User-ID system, resulting in a
+    major GCP outage."
+
+Replay: a service reports steady usage; mid-run its monitor is
+deregistered (a maintenance action); the quota autoscaler keeps reading
+the metric, now sees 0, and slashes the quota to the floor; the next
+burst of real traffic is rejected — the outage. The fixed variant has
+the monitoring interface report *absent* instead of zero, and the quota
+system holds steady.
+"""
+
+from __future__ import annotations
+
+from repro.common.events import EventLoop
+from repro.metrics.quota import QuotaExceededError, QuotaSystem, ServiceUnderQuota
+from repro.metrics.registry import AbsentPolicy, MetricsRegistry
+from repro.scenarios.base import ScenarioOutcome
+
+__all__ = ["replay_gcp_quota_incident"]
+
+
+def replay_gcp_quota_incident(
+    *,
+    fixed: bool = False,
+    steady_load: float = 1000.0,
+    deregister_at_ms: int = 150_000,
+    horizon_ms: int = 600_000,
+) -> ScenarioOutcome:
+    loop = EventLoop()
+    monitoring = MetricsRegistry(system="monitoring")
+    usage = monitoring.gauge(
+        "user_id.usage", description="User-ID serving load"
+    )
+    usage.set(steady_load)
+
+    service = ServiceUnderQuota("user-id", quota=steady_load * 1.25)
+    quota_system = QuotaSystem(
+        loop,
+        service,
+        monitoring,
+        "user_id.usage",
+        interval_ms=60_000,
+        absent_policy=AbsentPolicy.ABSENT if fixed else AbsentPolicy.ZERO,
+    )
+    quota_system.start()
+
+    # maintenance deregisters the monitor mid-run
+    loop.call_at(
+        deregister_at_ms,
+        lambda: monitoring.deregister("user_id.usage"),
+        "maintenance-deregister",
+    )
+
+    # real traffic keeps arriving at the steady rate
+    outage_events: list[str] = []
+
+    def traffic() -> None:
+        try:
+            service.handle_load(steady_load)
+        except QuotaExceededError as exc:
+            outage_events.append(f"t={loop.now_ms}ms {exc}")
+        if loop.now_ms < horizon_ms:
+            loop.call_after(60_000, traffic, "traffic")
+
+    loop.call_after(30_000, traffic, "traffic")
+    loop.run_until(horizon_ms)
+
+    failed = bool(outage_events)
+    return ScenarioOutcome(
+        scenario="quota system misreads a deregistered monitor",
+        jira="GCP-USERID-OUTAGE",
+        plane="management",
+        failed=failed,
+        symptom=(
+            f"major outage: {service.rejected_requests} requests rejected "
+            f"after quota fell to {service.quota}"
+            if failed
+            else f"quota held at {service.quota}; no requests rejected"
+        ),
+        metrics={
+            "fixed": fixed,
+            "final_quota": service.quota,
+            "steady_load": steady_load,
+            "rejected_requests": service.rejected_requests,
+            "quota_adjustments": len(quota_system.adjustments),
+            "first_outage": outage_events[0] if outage_events else None,
+        },
+        narrative=tuple(
+            f"t={at}ms usage_read={usage_read} -> quota={quota}"
+            for at, usage_read, quota in quota_system.adjustments[:8]
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Figure 3: Flink vs YARN resource configuration semantics
+(FLINK-19141) — the same keys mean different things per scheduler."""
+
+from __future__ import annotations
+
+from repro.flinklite.configs import FlinkConf
+from repro.flinklite.jobmanager import expected_container_resource
+from repro.scenarios.base import ScenarioOutcome
+from repro.yarnlite.configs import INCREMENT_MB, MIN_ALLOC_MB, SCHEDULER_CLASS, YarnConf
+from repro.yarnlite.resources import Resource
+from repro.yarnlite.scheduler import scheduler_for
+
+__all__ = ["replay_flink_19141"]
+
+
+def replay_flink_19141(
+    *,
+    scheduler: str = "fair",
+    requested_mb: int = 1536,
+    min_alloc_mb: int = 1024,
+    increment_mb: int = 512,
+) -> ScenarioOutcome:
+    """Flink sizes a container with the min-allocation keys; YARN's
+    active scheduler may normalize with the increment keys instead.
+
+    With the defaults here (request 1536 MB): Flink expects the capacity
+    rounding 1536→2048, but the fair scheduler grants 1536 (increment
+    512). Flink's startup validation sees a container smaller than it
+    computed and fails with "Could not allocate the required resource".
+    """
+    yarn_conf = YarnConf()
+    yarn_conf.set(SCHEDULER_CLASS, scheduler, source="deployment")
+    yarn_conf.set(MIN_ALLOC_MB, min_alloc_mb, source="deployment")
+    yarn_conf.set(INCREMENT_MB, increment_mb, source="deployment")
+    flink_conf = FlinkConf()
+
+    requested = Resource(requested_mb, 1)
+    expected = expected_container_resource(flink_conf, yarn_conf, requested)
+    granted = scheduler_for(yarn_conf).normalize(requested)
+
+    failed = granted != expected
+    symptom = (
+        f"Could not allocate the required resource: expected {expected}, "
+        f"got {granted} from the {scheduler} scheduler"
+        if failed
+        else f"container sized as expected ({granted})"
+    )
+    return ScenarioOutcome(
+        scenario="flink container sizing vs yarn scheduler",
+        jira="FLINK-19141",
+        plane="management",
+        failed=failed,
+        symptom=symptom,
+        metrics={
+            "scheduler": scheduler,
+            "requested_mb": requested_mb,
+            "expected_mb": expected.memory_mb,
+            "granted_mb": granted.memory_mb,
+            "min_alloc_mb": min_alloc_mb,
+            "increment_mb": increment_mb,
+        },
+    )

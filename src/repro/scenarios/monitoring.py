@@ -1,0 +1,63 @@
+"""§6.2.2 / Finding 9: monitoring data driving kill actions
+(FLINK-887) — the pmem monitor vs an unheadroomed JVM."""
+
+from __future__ import annotations
+
+from repro.common.events import EventLoop
+from repro.flinklite.configs import HEAP_CUTOFF_RATIO, JM_PROCESS_SIZE_MB, FlinkConf
+from repro.flinklite.jobmanager import JobManagerSpec
+from repro.scenarios.base import ScenarioOutcome
+from repro.yarnlite.configs import YarnConf
+from repro.yarnlite.nodemanager import NodeManager
+from repro.yarnlite.resourcemanager import Container
+from repro.yarnlite.resources import Resource
+
+__all__ = ["replay_flink_887"]
+
+
+def replay_flink_887(
+    *,
+    container_mb: int = 1600,
+    heap_cutoff_ratio: float | None = 0.0,
+    horizon_ms: int = 60_000,
+) -> ScenarioOutcome:
+    """Launch a JobManager container and let the pmem monitor judge it.
+
+    With ``heap_cutoff_ratio=0.0`` the JVM is sized to the whole
+    container and its physical footprint exceeds the allocation — YARN's
+    monitor kills the JobManager. With the default cutoff the heap
+    leaves headroom and the container survives.
+    """
+    flink_conf = FlinkConf()
+    flink_conf.set(JM_PROCESS_SIZE_MB, container_mb, source="scenario")
+    if heap_cutoff_ratio is not None:
+        flink_conf.set(HEAP_CUTOFF_RATIO, str(heap_cutoff_ratio), source="scenario")
+
+    spec = JobManagerSpec(flink_conf)
+    loop = EventLoop()
+    node_manager = NodeManager(loop, YarnConf(), check_interval_ms=3000)
+    container = Container(1, Resource(container_mb, 1))
+    kill_reasons: list[str] = []
+    running = node_manager.launch(container, on_kill=kill_reasons.append)
+    node_manager.report_usage(container.container_id, spec.peak_pmem_mb())
+    loop.run_until(horizon_ms)
+
+    failed = running.killed
+    return ScenarioOutcome(
+        scenario="yarn pmem monitor vs flink jobmanager",
+        jira="FLINK-887",
+        plane="management",
+        failed=failed,
+        symptom=(
+            f"JobManager killed by pmem monitor: {kill_reasons[0]}"
+            if failed
+            else "JobManager survived the pmem monitor"
+        ),
+        metrics={
+            "container_mb": container_mb,
+            "jvm_heap_mb": spec.jvm_heap_mb(),
+            "peak_pmem_mb": spec.peak_pmem_mb(),
+            "heap_cutoff_ratio": spec.conf.heap_cutoff_ratio,
+            "kills": len(kill_reasons),
+        },
+    )

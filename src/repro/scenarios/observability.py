@@ -1,0 +1,87 @@
+"""§6.2.2 observability failures: SPARK-3627 / SPARK-10851.
+
+"CSI failures impair observability due to ... not propagating the
+expected status code [or] incorrectly reporting metrics and logs
+between systems. For example, in SPARK-10851, Spark's R runner does not
+throw the right exception to YARN when an application fails, but
+instead exits silently; in SPARK-3627, Spark reports success for failed
+YARN jobs."
+
+The mechanism: YARN records whatever final status the application
+master reports. An AM whose error path swallows the failure reports
+SUCCEEDED — so every consumer of YARN's application report (operators,
+retry policies, schedulers) sees a healthy job that was not.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.common.events import EventLoop
+from repro.scenarios.base import ScenarioOutcome
+from repro.yarnlite.resourcemanager import ResourceManager
+from repro.yarnlite.resources import Resource
+
+__all__ = ["run_yarn_application", "replay_spark_3627"]
+
+
+def run_yarn_application(
+    resource_manager: ResourceManager,
+    job: Callable[[], None],
+    *,
+    propagate_failure: bool,
+):
+    """Run a job inside a YARN application and report a final status.
+
+    ``propagate_failure=False`` reproduces the buggy AM exit path: the
+    job's exception is swallowed and SUCCEEDED is reported regardless.
+    """
+    handle = resource_manager.register(lambda containers: None)
+    job_failed = False
+    diagnostics = ""
+    try:
+        job()
+    except Exception as exc:  # noqa: BLE001 - the AM sees any failure
+        job_failed = True
+        diagnostics = f"{type(exc).__name__}: {exc}"
+    if propagate_failure and job_failed:
+        resource_manager.unregister_application(
+            handle, "FAILED", diagnostics
+        )
+    else:
+        # the SPARK-3627 path: exit code lost, success reported
+        resource_manager.unregister_application(handle, "SUCCEEDED")
+    return handle, job_failed
+
+
+def replay_spark_3627(*, fixed: bool = False) -> ScenarioOutcome:
+    """A failing Spark job; compare YARN's view with reality."""
+    loop = EventLoop()
+    resource_manager = ResourceManager(loop)
+
+    def failing_job() -> None:
+        raise RuntimeError("stage 3 failed: executor lost")
+
+    handle, job_failed = run_yarn_application(
+        resource_manager, failing_job, propagate_failure=fixed
+    )
+    report = resource_manager.application_report(handle.app_id)
+    observability_lost = job_failed and report.final_status == "SUCCEEDED"
+
+    return ScenarioOutcome(
+        scenario="spark job status reporting to yarn",
+        jira="SPARK-3627",
+        plane="management",
+        failed=observability_lost,
+        symptom=(
+            f"job failed but YARN reports {report.final_status}"
+            if observability_lost
+            else f"YARN correctly reports {report.final_status}"
+        ),
+        metrics={
+            "fixed": fixed,
+            "job_failed": job_failed,
+            "yarn_final_status": report.final_status,
+            "diagnostics": report.diagnostics,
+        },
+    )

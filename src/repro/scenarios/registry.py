@@ -1,0 +1,172 @@
+"""Registry of executable failure replays, keyed like the paper's cases."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.flinklite.yarn_connector import FixStage
+from repro.scenarios.base import ScenarioOutcome
+from repro.scenarios.config_spark_hive import replay_spark_16901
+from repro.scenarios.control_flink_yarn import replay_flink_12342
+from repro.scenarios.control_flink_vcores import replay_flink_5542
+from repro.scenarios.control_hbase_hdfs import replay_hbase_537
+from repro.scenarios.control_yarn_hdfs import replay_yarn_2790
+from repro.scenarios.data_flink_hive import replay_flink_17189
+from repro.scenarios.data_partition_naming import replay_partition_inference
+from repro.scenarios.data_spark_hdfs import replay_spark_27239
+from repro.scenarios.incident_gcp_quota import replay_gcp_quota_incident
+from repro.scenarios.mgmt_flink_yarn import replay_flink_19141
+from repro.scenarios.monitoring import replay_flink_887
+from repro.scenarios.observability import replay_spark_3627
+from repro.scenarios.streaming_spark_kafka import replay_spark_19361
+
+__all__ = ["Scenario", "SCENARIOS", "run_all", "by_jira"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    jira: str
+    plane: str
+    upstream: str
+    downstream: str
+    pattern: str  # the Table 6/7/8 discrepancy pattern it exemplifies
+    run_failing: Callable[[], ScenarioOutcome]
+    run_fixed: Callable[[], ScenarioOutcome]
+
+
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario(
+        jira="FLINK-12342",
+        plane="control",
+        upstream="Flink",
+        downstream="YARN",
+        pattern="API semantic violation (sync assumption on async API)",
+        run_failing=lambda: replay_flink_12342(),
+        run_fixed=lambda: replay_flink_12342(
+            fix_stage=FixStage.RESOLUTION_ASYNC
+        ),
+    ),
+    Scenario(
+        jira="SPARK-27239",
+        plane="data",
+        upstream="Spark",
+        downstream="HDFS",
+        pattern="Undefined values (-1 as compressed-file length)",
+        run_failing=lambda: replay_spark_27239(),
+        run_fixed=lambda: replay_spark_27239(fixed=True),
+    ),
+    Scenario(
+        jira="FLINK-17189",
+        plane="data",
+        upstream="Flink",
+        downstream="Hive",
+        pattern="Type confusion (PROCTIME stored as plain TIMESTAMP)",
+        run_failing=lambda: replay_flink_17189(),
+        run_fixed=lambda: replay_flink_17189(fixed=True),
+    ),
+    Scenario(
+        jira="PARTITION-TYPE-INFERENCE",
+        plane="data",
+        upstream="Spark",
+        downstream="Hive",
+        pattern="Address/naming discrepancy (partition values in paths)",
+        run_failing=lambda: replay_partition_inference(),
+        run_fixed=lambda: replay_partition_inference(fixed=True),
+    ),
+    Scenario(
+        jira="FLINK-19141",
+        plane="management",
+        upstream="Flink",
+        downstream="YARN",
+        pattern="Inconsistent configuration context (per-scheduler keys)",
+        run_failing=lambda: replay_flink_19141(),
+        run_fixed=lambda: replay_flink_19141(scheduler="capacity"),
+    ),
+    Scenario(
+        jira="FLINK-887",
+        plane="management",
+        upstream="Flink",
+        downstream="YARN",
+        pattern="Monitoring data driving kill actions",
+        run_failing=lambda: replay_flink_887(),
+        run_fixed=lambda: replay_flink_887(heap_cutoff_ratio=None),
+    ),
+    Scenario(
+        jira="SPARK-19361",
+        plane="data",
+        upstream="Spark",
+        downstream="Kafka",
+        pattern="Wrong API assumptions (contiguous offsets)",
+        run_failing=lambda: replay_spark_19361(),
+        run_fixed=lambda: replay_spark_19361(fixed=True),
+    ),
+    Scenario(
+        jira="SPARK-16901",
+        plane="management",
+        upstream="Spark",
+        downstream="Hive",
+        pattern="Unexpected configuration override",
+        run_failing=lambda: replay_spark_16901(),
+        run_fixed=lambda: replay_spark_16901(fixed=True),
+    ),
+    Scenario(
+        jira="GCP-USERID-OUTAGE",
+        plane="management",
+        upstream="Quota system",
+        downstream="Monitoring system",
+        pattern="Monitoring discrepancy (deregistered monitor reads as 0)",
+        run_failing=lambda: replay_gcp_quota_incident(),
+        run_fixed=lambda: replay_gcp_quota_incident(fixed=True),
+    ),
+    Scenario(
+        jira="SPARK-3627",
+        plane="management",
+        upstream="Spark",
+        downstream="YARN",
+        pattern="Reduced observability (wrong status reported)",
+        run_failing=lambda: replay_spark_3627(),
+        run_fixed=lambda: replay_spark_3627(fixed=True),
+    ),
+    Scenario(
+        jira="FLINK-5542",
+        plane="control",
+        upstream="Flink",
+        downstream="YARN",
+        pattern="API misuse: wrong invocation context (local vs global)",
+        run_failing=lambda: replay_flink_5542(),
+        run_fixed=lambda: replay_flink_5542(fixed=True),
+    ),
+    Scenario(
+        jira="HBASE-537",
+        plane="control",
+        upstream="HBase",
+        downstream="HDFS",
+        pattern="State/resource inconsistency (safe mode unawareness)",
+        run_failing=lambda: replay_hbase_537(),
+        run_fixed=lambda: replay_hbase_537(wait_for_safe_mode_exit=True),
+    ),
+    Scenario(
+        jira="YARN-2790",
+        plane="control",
+        upstream="YARN",
+        downstream="HDFS",
+        pattern="Token expiry window (fix reduces, not removes)",
+        run_failing=lambda: replay_yarn_2790(),
+        run_fixed=lambda: replay_yarn_2790(renew_close_to_use=True),
+    ),
+)
+
+
+def by_jira(jira: str) -> Scenario:
+    for scenario in SCENARIOS:
+        if scenario.jira == jira:
+            return scenario
+    raise KeyError(f"no scenario for {jira}")
+
+
+def run_all(fixed: bool = False) -> list[ScenarioOutcome]:
+    return [
+        (scenario.run_fixed if fixed else scenario.run_failing)()
+        for scenario in SCENARIOS
+    ]

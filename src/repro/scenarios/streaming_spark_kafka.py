@@ -1,0 +1,55 @@
+"""SPARK-19361: the offsets-increment-by-one assumption vs compaction
+(Table 6, "wrong API assumptions")."""
+
+from __future__ import annotations
+
+from repro.errors import OffsetOutOfRangeError
+from repro.kafkalite.broker import Broker
+from repro.kafkalite.consumer import NaiveOffsetConsumer, SeekingConsumer
+from repro.scenarios.base import ScenarioOutcome
+
+__all__ = ["replay_spark_19361"]
+
+
+def replay_spark_19361(
+    *, compact: bool = True, fixed: bool = False, records: int = 12
+) -> ScenarioOutcome:
+    """Produce keyed records, optionally compact, then consume.
+
+    The naive consumer (Spark's historical assumption) crashes at the
+    first offset hole; the seeking consumer reads every surviving
+    record.
+    """
+    broker = Broker()
+    broker.create_topic("events")
+    log = broker.partition("events")
+    for index in range(records):
+        # repeated keys so compaction removes predecessors
+        broker.produce("events", f"v{index}", key=f"k{index % 3}")
+    removed = log.compact() if compact else 0
+
+    consumer = SeekingConsumer(log) if fixed else NaiveOffsetConsumer(log)
+    failed = False
+    symptom = "stream consumed"
+    consumed = 0
+    try:
+        consumed = len(consumer.poll_all())
+    except OffsetOutOfRangeError as exc:
+        failed = True
+        symptom = f"Spark streaming job failure: {exc}"
+
+    return ScenarioOutcome(
+        scenario="spark streaming reads compacted kafka topic",
+        jira="SPARK-19361",
+        plane="data",
+        failed=failed,
+        symptom=symptom,
+        metrics={
+            "compact": compact,
+            "fixed": fixed,
+            "produced": records,
+            "removed_by_compaction": removed,
+            "consumed": consumed,
+            "contiguous_offsets": log.is_contiguous(),
+        },
+    )

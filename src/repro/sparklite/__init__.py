@@ -1,0 +1,19 @@
+"""Mini Spark: session, SQL + DataFrame interfaces, casts, configuration."""
+
+from repro.sparklite.casts import spark_cast, store_assign, wrap_integral
+from repro.sparklite.conf import SPARK_CONFIG_KEYS, SparkConf, StoreAssignmentPolicy
+from repro.sparklite.dataframe import DataFrame, DataFrameWriter, dataframe_store_value
+from repro.sparklite.session import SparkSession
+
+__all__ = [
+    "spark_cast",
+    "store_assign",
+    "wrap_integral",
+    "SPARK_CONFIG_KEYS",
+    "SparkConf",
+    "StoreAssignmentPolicy",
+    "DataFrame",
+    "DataFrameWriter",
+    "dataframe_store_value",
+    "SparkSession",
+]

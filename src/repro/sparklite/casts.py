@@ -1,0 +1,386 @@
+"""Spark's cast engine: ANSI vs legacy semantics, and store assignment.
+
+Spark has two coercion entry points with *different failure behaviour*:
+
+* the SQL ``INSERT`` path goes through **store assignment**
+  (``spark.sql.storeAssignmentPolicy``, default ``ansi``), which raises
+  on overflow and on unsafe conversions;
+* the DataFrame write path goes through the **legacy cast**, which
+  wraps integrals two's-complement style and degrades failures to NULL.
+
+That asymmetry is the single mechanism behind the paper's "inconsistent
+error behaviour across interfaces" family (discrepancies #5, #9, #10,
+#11, #12 — 7/15 of the case-study findings), so it is implemented here
+once and shared by both paths.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import math
+
+from repro.common.types import (
+    ArrayType,
+    BinaryType,
+    BooleanType,
+    CharType,
+    DataType,
+    DateType,
+    DecimalType,
+    DoubleType,
+    FloatType,
+    MapType,
+    NullType,
+    StringType,
+    StructType,
+    TimestampNTZType,
+    TimestampType,
+    VarcharType,
+    is_integral,
+    is_numeric,
+)
+from repro.errors import AnalysisException, ArithmeticOverflowError, CastError
+from repro.sparklite.conf import StoreAssignmentPolicy
+
+__all__ = ["spark_cast", "store_assign", "wrap_integral"]
+
+_BOOL_TOKENS = {
+    "true": True,
+    "t": True,
+    "yes": True,
+    "y": True,
+    "1": True,
+    "false": False,
+    "f": False,
+    "no": False,
+    "n": False,
+    "0": False,
+}
+
+_FLOAT_SPELLINGS = {
+    "nan": math.nan,
+    "inf": math.inf,
+    "infinity": math.inf,
+    "+infinity": math.inf,
+    "-inf": -math.inf,
+    "-infinity": -math.inf,
+}
+
+
+def wrap_integral(value: int, dtype: DataType) -> int:
+    """Two's-complement wraparound into the type's bit width (legacy)."""
+    lo, hi = dtype.min_value, dtype.max_value
+    width = hi - lo + 1
+    return (value - lo) % width + lo
+
+
+def spark_cast(
+    value: object, source: DataType, target: DataType, *, ansi: bool
+) -> object:
+    """Cast a value; ANSI raises on failure, legacy yields NULL/wraps."""
+    del source  # dispatch is on the runtime value, as in Spark's Cast
+    if value is None:
+        return None
+    try:
+        return _cast(value, target, ansi)
+    except (CastError, ArithmeticOverflowError):
+        raise
+    except (ValueError, TypeError, decimal.InvalidOperation) as exc:
+        if ansi:
+            raise CastError(value, target.simple_string(), str(exc)) from exc
+        return None
+
+
+def _fail(value: object, target: DataType, reason: str, ansi: bool):
+    if ansi:
+        raise CastError(value, target.simple_string(), reason)
+    return None
+
+
+def _overflow(value: object, target: DataType, ansi: bool):
+    if ansi:
+        raise ArithmeticOverflowError(
+            f"value {value!r} out of range for {target.simple_string()}"
+        )
+    return None
+
+
+def _cast(value: object, target: DataType, ansi: bool) -> object:
+    if is_integral(target):
+        return _to_integral(value, target, ansi)
+    if isinstance(target, (FloatType, DoubleType)):
+        return _to_float(value, target, ansi)
+    if isinstance(target, DecimalType):
+        return _to_decimal(value, target, ansi)
+    if isinstance(target, BooleanType):
+        return _to_boolean(value, target, ansi)
+    if isinstance(target, (StringType, CharType, VarcharType)):
+        return _to_string(value)
+    if isinstance(target, DateType):
+        return _to_date(value, target, ansi)
+    if isinstance(target, (TimestampType, TimestampNTZType)):
+        return _to_timestamp(value, target, ansi)
+    if isinstance(target, BinaryType):
+        if isinstance(value, bytes):
+            return value
+        if isinstance(value, str):
+            return value.encode("utf-8")
+        return _fail(value, target, "only string casts to binary", ansi)
+    if isinstance(target, ArrayType):
+        if not isinstance(value, (list, tuple)):
+            return _fail(value, target, "not an array", ansi)
+        return [
+            _cast(v, target.element_type, ansi) if v is not None else None
+            for v in value
+        ]
+    if isinstance(target, MapType):
+        if not isinstance(value, dict):
+            return _fail(value, target, "not a map", ansi)
+        return {
+            _cast(k, target.key_type, ansi): (
+                _cast(v, target.value_type, ansi) if v is not None else None
+            )
+            for k, v in value.items()
+        }
+    if isinstance(target, StructType):
+        if isinstance(value, dict):
+            items = [value.get(f.name) for f in target.fields]
+        elif isinstance(value, (list, tuple)) and len(value) == len(
+            target.fields
+        ):
+            items = list(value)
+        else:
+            return _fail(value, target, "not a struct", ansi)
+        return [
+            _cast(v, f.data_type, ansi) if v is not None else None
+            for v, f in zip(items, target.fields)
+        ]
+    return value
+
+
+def _to_integral(value: object, target: DataType, ansi: bool):
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        if target.accepts(value):
+            return value
+        if ansi:
+            return _overflow(value, target, ansi)
+        return wrap_integral(value, target)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return _overflow(value, target, ansi)
+        truncated = int(value)
+        if target.accepts(truncated):
+            return truncated
+        if ansi:
+            return _overflow(value, target, ansi)
+        return wrap_integral(truncated, target)
+    if isinstance(value, decimal.Decimal):
+        return _to_integral(int(value), target, ansi)
+    if isinstance(value, str):
+        try:
+            number = int(value.strip())
+        except ValueError:
+            return _fail(value, target, "malformed integer string", ansi)
+        return _to_integral(number, target, ansi)
+    return _fail(value, target, f"cannot cast {type(value).__name__}", ansi)
+
+
+def _to_float(value: object, target: DataType, ansi: bool):
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, decimal.Decimal):
+        return float(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in _FLOAT_SPELLINGS:
+            return _FLOAT_SPELLINGS[lowered]
+        try:
+            return float(value)
+        except ValueError:
+            return _fail(value, target, "malformed float string", ansi)
+    return _fail(value, target, f"cannot cast {type(value).__name__}", ansi)
+
+
+def _to_decimal(value: object, target: DecimalType, ansi: bool):
+    if isinstance(value, bool):
+        return _fail(value, target, "boolean to decimal", ansi)
+    if isinstance(value, decimal.Decimal):
+        number = value
+    elif isinstance(value, int):
+        number = decimal.Decimal(value)
+    elif isinstance(value, float):
+        if not math.isfinite(value):
+            return _overflow(value, target, ansi)
+        number = decimal.Decimal(str(value))
+    elif isinstance(value, str):
+        try:
+            number = decimal.Decimal(value.strip())
+        except decimal.InvalidOperation:
+            return _fail(value, target, "malformed decimal string", ansi)
+    else:
+        return _fail(value, target, f"cannot cast {type(value).__name__}", ansi)
+    quantized = number.quantize(
+        decimal.Decimal(1).scaleb(-target.scale),
+        rounding=decimal.ROUND_HALF_UP,
+        context=decimal.Context(prec=DecimalType.MAX_PRECISION + 4),
+    )
+    if not target.accepts(quantized):
+        return _overflow(value, target, ansi)
+    return quantized
+
+
+def _to_boolean(value: object, target: BooleanType, ansi: bool):
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value != 0
+    if isinstance(value, str):
+        token = _BOOL_TOKENS.get(value.strip().lower())
+        if token is None:
+            return _fail(value, target, "not a boolean string", ansi)
+        return token
+    return _fail(value, target, f"cannot cast {type(value).__name__}", ansi)
+
+
+def _to_string(value: object) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        return repr(value)
+    if isinstance(value, bytes):
+        return value.decode("utf-8", errors="replace")
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    return str(value)
+
+
+def _to_date(value: object, target: DateType, ansi: bool):
+    if isinstance(value, datetime.datetime):
+        return value.date()
+    if isinstance(value, datetime.date):
+        return value
+    if isinstance(value, str):
+        try:
+            return datetime.date.fromisoformat(value.strip())
+        except ValueError:
+            return _fail(value, target, "malformed date string", ansi)
+    return _fail(value, target, f"cannot cast {type(value).__name__}", ansi)
+
+
+def _to_timestamp(value: object, target: DataType, ansi: bool):
+    if isinstance(value, datetime.datetime):
+        return value
+    if isinstance(value, datetime.date):
+        return datetime.datetime(value.year, value.month, value.day)
+    if isinstance(value, str):
+        try:
+            return datetime.datetime.fromisoformat(value.strip())
+        except ValueError:
+            return _fail(value, target, "malformed timestamp string", ansi)
+    return _fail(value, target, f"cannot cast {type(value).__name__}", ansi)
+
+
+# ---------------------------------------------------------------------------
+# Store assignment (the SQL INSERT path)
+# ---------------------------------------------------------------------------
+
+_WIDENING_ORDER = ["tinyint", "smallint", "int", "bigint", "float", "double"]
+
+
+def _is_safe_widening(source: DataType, target: DataType) -> bool:
+    if source == target:
+        return True
+    if isinstance(source, NullType):
+        return True
+    if source.name in _WIDENING_ORDER and target.name in _WIDENING_ORDER:
+        return _WIDENING_ORDER.index(source.name) <= _WIDENING_ORDER.index(
+            target.name
+        )
+    if isinstance(source, DecimalType) and isinstance(target, DecimalType):
+        return (
+            target.scale >= source.scale
+            and target.precision - target.scale
+            >= source.precision - source.scale
+        )
+    if isinstance(source, DateType) and isinstance(
+        target, (TimestampType, TimestampNTZType)
+    ):
+        return True
+    if isinstance(
+        source, (StringType, CharType, VarcharType)
+    ) and isinstance(target, (StringType, CharType, VarcharType)):
+        return True
+    return False
+
+
+def store_assign(
+    value: object,
+    source: DataType,
+    target: DataType,
+    policy: StoreAssignmentPolicy,
+) -> object:
+    """Coerce one inserted value to the column type per the policy."""
+    if isinstance(source, NullType) or value is None:
+        return None
+    if policy is StoreAssignmentPolicy.STRICT:
+        if not _is_safe_widening(source, target):
+            raise AnalysisException(
+                f"cannot write {source.simple_string()} to column of type "
+                f"{target.simple_string()} under strict store assignment"
+            )
+        return spark_cast(value, source, target, ansi=True)
+    if policy is StoreAssignmentPolicy.ANSI:
+        if not _ansi_assignable(source, target):
+            raise AnalysisException(
+                f"cannot safely cast {source.simple_string()} to "
+                f"{target.simple_string()} under ANSI store assignment"
+            )
+        return spark_cast(value, source, target, ansi=True)
+    return spark_cast(value, source, target, ansi=False)
+
+
+def _ansi_assignable(source: DataType, target: DataType) -> bool:
+    """ANSI store assignment forbids 'unreasonable' conversions."""
+    if source == target or isinstance(source, NullType):
+        return True
+    if is_numeric(source) and is_numeric(target):
+        return True
+    string_like = (StringType, CharType, VarcharType)
+    if isinstance(source, string_like) and isinstance(target, string_like):
+        return True
+    if is_numeric(source) and isinstance(target, string_like):
+        return True
+    if isinstance(source, BooleanType) and isinstance(target, string_like):
+        return True
+    if isinstance(source, DateType) and isinstance(
+        target, (TimestampType, TimestampNTZType, StringType)
+    ):
+        return True
+    timestampish = (TimestampType, TimestampNTZType)
+    if isinstance(source, timestampish) and isinstance(
+        target, timestampish + (DateType, StringType)
+    ):
+        return True
+    if isinstance(source, ArrayType) and isinstance(target, ArrayType):
+        return _ansi_assignable(source.element_type, target.element_type)
+    if isinstance(source, MapType) and isinstance(target, MapType):
+        return _ansi_assignable(
+            source.key_type, target.key_type
+        ) and _ansi_assignable(source.value_type, target.value_type)
+    if isinstance(source, StructType) and isinstance(target, StructType):
+        return len(source.fields) == len(target.fields) and all(
+            _ansi_assignable(s.data_type, t.data_type)
+            for s, t in zip(source.fields, target.fields)
+        )
+    return False

@@ -1,0 +1,192 @@
+"""Spark configuration surface.
+
+§8.2 of the paper notes that SparkSQL alone has 350+ configuration
+parameters and that 8 of the 15 discrepancies can only be "resolved" by
+non-default configuration. We declare the parameters that the
+discrepancy mechanisms actually read, plus a representative sample of
+the surrounding surface, all on top of the provenance-tracking
+:class:`~repro.common.config.Configuration`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.config import (
+    ConfigKey,
+    Configuration,
+    parse_bool,
+    parse_duration_ms,
+    parse_int,
+    parse_memory_mb,
+)
+
+__all__ = ["StoreAssignmentPolicy", "SparkConf", "SPARK_CONFIG_KEYS"]
+
+
+class StoreAssignmentPolicy(enum.Enum):
+    """``spark.sql.storeAssignmentPolicy`` — how SQL INSERT coerces."""
+
+    ANSI = "ansi"
+    LEGACY = "legacy"
+    STRICT = "strict"
+
+
+SPARK_CONFIG_KEYS: list[ConfigKey] = [
+    # --- keys the §8 discrepancy mechanisms read -------------------------
+    ConfigKey(
+        "spark.sql.storeAssignmentPolicy",
+        default="ansi",
+        doc="Coercion policy for SQL INSERT (ansi/legacy/strict). "
+        "Setting 'legacy' resolves discrepancies #5/#10/#11/#12 (SPARK-40439).",
+    ),
+    ConfigKey(
+        "spark.sql.ansi.enabled",
+        default=False,
+        parser=parse_bool,
+        doc="ANSI SQL mode for expressions and literals.",
+    ),
+    ConfigKey(
+        "spark.sql.caseSensitive",
+        default=False,
+        parser=parse_bool,
+        doc="Whether identifier resolution is case sensitive.",
+    ),
+    ConfigKey(
+        "spark.sql.legacy.charVarcharAsString",
+        default=False,
+        parser=parse_bool,
+        doc="Treat CHAR/VARCHAR as plain STRING (resolves discrepancy #13).",
+    ),
+    ConfigKey(
+        "spark.sql.hive.caseSensitiveInferenceMode",
+        default="INFER_AND_SAVE",
+        doc="Recover a case-sensitive schema for Hive-serde tables; only "
+        "effective for ORC and Parquet (§8.2 'exposing internal "
+        "configurations').",
+    ),
+    ConfigKey(
+        "spark.sql.timestampType",
+        default="TIMESTAMP_LTZ",
+        doc="Type Spark assigns to metastore TIMESTAMP columns "
+        "(TIMESTAMP_NTZ resolves discrepancy #8 / SPARK-40616).",
+    ),
+    ConfigKey(
+        "spark.sql.legacy.timeParserPolicy",
+        default="EXCEPTION",
+        doc="How SQL date/timestamp literals treat malformed input: "
+        "EXCEPTION raises, LEGACY degrades to NULL (resolves "
+        "discrepancy #9 / SPARK-40525).",
+    ),
+    ConfigKey(
+        "spark.sql.legacy.orc.positionalNames",
+        default=False,
+        parser=parse_bool,
+        doc="Replays the pre-fix SPARK-21686 behaviour: resolve ORC "
+        "columns strictly by name even for Hive-written files.",
+    ),
+    ConfigKey(
+        "spark.sql.sources.default",
+        default="parquet",
+        doc="Default datasource format for saveAsTable.",
+    ),
+    ConfigKey(
+        "spark.sql.sources.partitionColumnTypeInference.enabled",
+        default=True,
+        parser=parse_bool,
+        doc="Infer partition column types from the directory values "
+        "('01' becomes the INT 1) instead of keeping strings — a "
+        "classic Address/naming discrepancy against Hive, which types "
+        "partition values by the declared column.",
+    ),
+    ConfigKey("spark.sql.warehouse.dir", default="/warehouse"),
+    ConfigKey("spark.sql.session.timeZone", default="UTC"),
+    # --- representative surrounding surface ------------------------------
+    ConfigKey("spark.app.name", default="repro"),
+    ConfigKey("spark.master", default="local[*]"),
+    ConfigKey("spark.sql.shuffle.partitions", default=200, parser=parse_int),
+    ConfigKey("spark.sql.adaptive.enabled", default=True, parser=parse_bool),
+    ConfigKey(
+        "spark.sql.files.maxPartitionBytes",
+        default=128,
+        parser=parse_memory_mb,
+    ),
+    ConfigKey(
+        "spark.sql.hive.convertMetastoreOrc", default=True, parser=parse_bool
+    ),
+    ConfigKey(
+        "spark.sql.hive.convertMetastoreParquet",
+        default=True,
+        parser=parse_bool,
+    ),
+    ConfigKey("spark.sql.avro.compression.codec", default="snappy"),
+    ConfigKey(
+        "spark.sql.decimalOperations.allowPrecisionLoss",
+        default=True,
+        parser=parse_bool,
+    ),
+    ConfigKey("spark.executor.memory", default=1024, parser=parse_memory_mb),
+    ConfigKey("spark.executor.cores", default=1, parser=parse_int),
+    ConfigKey("spark.driver.memory", default=1024, parser=parse_memory_mb),
+    ConfigKey("spark.yarn.am.memory", default=512, parser=parse_memory_mb),
+    ConfigKey("spark.yarn.queue", default="default"),
+    ConfigKey(
+        "spark.network.timeout", default=120_000, parser=parse_duration_ms
+    ),
+    ConfigKey(
+        "spark.yarn.am.waitTime", default=100_000, parser=parse_duration_ms
+    ),
+    ConfigKey("spark.yarn.keytab", default=None),
+    ConfigKey("spark.yarn.principal", default=None),
+]
+
+
+class SparkConf(Configuration):
+    """A Spark session configuration with all keys pre-declared."""
+
+    def __init__(self) -> None:
+        super().__init__(system="spark")
+        self.declare_all(SPARK_CONFIG_KEYS)
+
+    # convenience accessors used across the engine -----------------------
+
+    @property
+    def store_assignment_policy(self) -> StoreAssignmentPolicy:
+        raw = str(self.get("spark.sql.storeAssignmentPolicy")).lower()
+        return StoreAssignmentPolicy(raw)
+
+    @property
+    def case_sensitive(self) -> bool:
+        return bool(self.get("spark.sql.caseSensitive"))
+
+    @property
+    def char_varchar_as_string(self) -> bool:
+        return bool(self.get("spark.sql.legacy.charVarcharAsString"))
+
+    @property
+    def case_sensitive_inference_mode(self) -> str:
+        return str(self.get("spark.sql.hive.caseSensitiveInferenceMode"))
+
+    @property
+    def timestamp_type(self) -> str:
+        return str(self.get("spark.sql.timestampType")).upper()
+
+    @property
+    def strict_datetime_literals(self) -> bool:
+        return str(self.get("spark.sql.legacy.timeParserPolicy")).upper() != (
+            "LEGACY"
+        )
+
+    @property
+    def partition_type_inference(self) -> bool:
+        return bool(
+            self.get("spark.sql.sources.partitionColumnTypeInference.enabled")
+        )
+
+    @property
+    def legacy_orc_positional_names(self) -> bool:
+        return bool(self.get("spark.sql.legacy.orc.positionalNames"))
+
+    @property
+    def warehouse_dir(self) -> str:
+        return str(self.get("spark.sql.warehouse.dir"))

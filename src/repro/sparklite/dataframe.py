@@ -1,0 +1,139 @@
+"""The DataFrame interface.
+
+The DataFrame write path deliberately has *different* coercion behaviour
+from the SparkSQL path (legacy cast, no char/varchar enforcement, ad-hoc
+decimal serialization), because that asymmetry between the two
+interfaces of the same system is what the paper's Differential oracle
+keys on (§8.1, Figure 6).
+"""
+
+from __future__ import annotations
+
+import decimal
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.row import Row
+from repro.common.schema import Schema
+from repro.common.types import (
+    CharType,
+    DataType,
+    DecimalType,
+    StringType,
+    VarcharType,
+)
+from repro.errors import AnalysisException
+from repro.sparklite.casts import spark_cast
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sparklite.session import SparkSession
+
+__all__ = ["DataFrame", "DataFrameWriter", "dataframe_store_value"]
+
+
+def dataframe_store_value(value: object, target: DataType) -> object:
+    """Coerce one DataFrame cell to a column type, the DataFrame way.
+
+    * legacy cast semantics: NULL on failure, two's-complement wrap on
+      integral overflow (vs the SQL path's ANSI errors — §8.2's
+      "inconsistent error behaviour" family);
+    * CHAR/VARCHAR are treated as plain strings: **no** length
+      enforcement, **no** padding (SPARK-40630, discrepancy #15);
+    * decimals that fit their declared precision are stored *unquantized*
+      — the ad-hoc serialization behind SPARK-39158 (discrepancy #2).
+    """
+    if value is None:
+        return None
+    if isinstance(target, (CharType, VarcharType)):
+        return spark_cast(value, StringType(), StringType(), ansi=False)
+    if isinstance(target, DecimalType) and isinstance(value, decimal.Decimal):
+        quantized = spark_cast(value, target, target, ansi=False)
+        if quantized is None:
+            return None
+        return value  # fits, keep original scale (unquantized)
+    return spark_cast(value, target, target, ansi=False)
+
+
+class DataFrame:
+    """An eagerly-materialized, schema-carrying collection of rows."""
+
+    def __init__(
+        self, session: "SparkSession", schema: Schema, rows: list[Row]
+    ) -> None:
+        self._session = session
+        self._schema = schema
+        self._rows = [
+            row if isinstance(row, Row) else Row(row, schema) for row in rows
+        ]
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def write(self) -> "DataFrameWriter":
+        return DataFrameWriter(self)
+
+    def collect(self) -> list[Row]:
+        return list(self._rows)
+
+    def count(self) -> int:
+        return len(self._rows)
+
+    def select(self, *names: str) -> "DataFrame":
+        indices = [self._schema.index_of(name) for name in names]
+        fields = tuple(self._schema.fields[i] for i in indices)
+        schema = Schema(fields, self._schema.case_sensitive)
+        rows = [
+            Row([row[i] for i in indices], schema) for row in self._rows
+        ]
+        return DataFrame(self._session, schema, rows)
+
+    def filter(self, predicate) -> "DataFrame":
+        rows = [row for row in self._rows if predicate(row)]
+        return DataFrame(self._session, self._schema, rows)
+
+    def to_result(self):
+        """View as a :class:`QueryResult` (used by the test harness)."""
+        from repro.common.result import QueryResult
+
+        return QueryResult(
+            schema=self._schema,
+            rows=tuple(self._rows),
+            interface="dataframe",
+        )
+
+
+@dataclass
+class DataFrameWriter:
+    """Fluent writer: ``df.write.format("orc").save_as_table("t")``."""
+
+    dataframe: DataFrame
+    _format: str | None = None
+    _mode: str = "append"
+
+    def format(self, name: str) -> "DataFrameWriter":
+        self._format = name.lower()
+        return self
+
+    def mode(self, mode: str) -> "DataFrameWriter":
+        if mode not in ("append", "overwrite", "errorifexists"):
+            raise AnalysisException(f"unknown save mode {mode!r}")
+        self._mode = mode
+        return self
+
+    def save_as_table(self, name: str) -> None:
+        """Create a datasource table from the frame's schema and write."""
+        session = self.dataframe._session
+        fmt = self._format or str(session.conf.get("spark.sql.sources.default"))
+        session._create_table_for_dataframe(
+            name, self.dataframe.schema, fmt, mode=self._mode
+        )
+        self.insert_into(name)
+
+    def insert_into(self, name: str) -> None:
+        """Append the frame's rows into an existing table."""
+        session = self.dataframe._session
+        session._dataframe_insert(
+            name, self.dataframe, overwrite=(self._mode == "overwrite")
+        )

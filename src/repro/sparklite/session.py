@@ -1,0 +1,580 @@
+"""The Spark session: SQL interface, DataFrame factory, read/scan path.
+
+The session exposes the two upstream interfaces of the paper's Figure 6
+(SparkSQL and DataFrame) over the shared Hive metastore and warehouse.
+The two interfaces intentionally differ exactly where the real ones do:
+
+========================  =======================  ======================
+behaviour                 SparkSQL path            DataFrame path
+========================  =======================  ======================
+insert coercion           store assignment          legacy cast
+                          (ANSI by default:         (NULL on failure,
+                          overflow/invalid raise)   wraparound overflow)
+CHAR/VARCHAR length       enforced + CHAR padded    not enforced (#15)
+decimal serialization     quantized to scale        unquantized (#2)
+invalid DATE literal      raises (#9)               NULL via legacy cast
+CHAR padding on read      padded                    raw value
+========================  =======================  ======================
+"""
+
+from __future__ import annotations
+
+from repro.common.result import QueryResult
+from repro.common.row import Row
+from repro.common.schema import Field, Schema
+from repro.common.types import (
+    CharType,
+    DataType,
+    VarcharType,
+    parse_type,
+)
+from repro.connectors.spark_hive import ResolvedTable, SparkHiveConnector
+from repro.connectors.transformers import transformer_for
+from repro.errors import AnalysisException, QueryError, TableAlreadyExistsError
+from repro.formats import serializer_for
+from repro.formats.base import TableData
+from repro.formats.orc import HIVE_POSITIONAL_PROPERTY
+from repro.hivelite.metastore import DEFAULT_DATABASE, HiveMetastore
+from repro.hivelite.warehouse import (
+    Warehouse,
+    parse_partition_dirname,
+    partition_dirname,
+)
+from repro.sparklite.casts import spark_cast, store_assign
+from repro.sparklite.conf import SparkConf
+from repro.sparklite.dataframe import DataFrame, dataframe_store_value
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    DropTable,
+    Insert,
+    Literal,
+    Select,
+    Star,
+)
+from repro.sql.literals import DialectOptions, LiteralEvaluator, TypedValue
+from repro.sql.parser import parse_statement
+from repro.storage.filesystem import FileSystem
+from repro.storage.namenode import NameNode
+
+__all__ = ["SparkSession"]
+
+
+class SparkSession:
+    """One Spark application attached to a metastore and filesystem."""
+
+    def __init__(
+        self,
+        metastore: HiveMetastore,
+        filesystem: FileSystem,
+        conf: SparkConf | None = None,
+        database: str = DEFAULT_DATABASE,
+    ) -> None:
+        self.metastore = metastore
+        self.filesystem = filesystem
+        self.conf = conf or SparkConf()
+        self.database = database
+        self.connector = SparkHiveConnector(metastore, self.conf)
+        self.warehouse = Warehouse(filesystem)
+
+    @classmethod
+    def local(cls, conf: SparkConf | None = None) -> "SparkSession":
+        """A self-contained session with a fresh metastore + filesystem."""
+        return cls(HiveMetastore(), FileSystem(NameNode()), conf)
+
+    # -- SQL interface -----------------------------------------------------
+
+    def sql(self, text: str) -> QueryResult:
+        statement = parse_statement(text)
+        if isinstance(statement, CreateTable):
+            return self._sql_create(statement)
+        if isinstance(statement, DropTable):
+            return self._sql_drop(statement)
+        if isinstance(statement, Insert):
+            return self._sql_insert(statement)
+        if isinstance(statement, Select):
+            return self._sql_select(statement)
+        raise QueryError(f"unsupported statement {statement!r}")
+
+    def _evaluator(self) -> LiteralEvaluator:
+        ansi = bool(self.conf.get("spark.sql.ansi.enabled"))
+
+        def cast_fn(value, source, target):
+            return spark_cast(value, source, target, ansi=ansi)
+
+        return LiteralEvaluator(
+            DialectOptions(
+                name="spark",
+                fractional_literal="decimal",
+                strict_datetime_literals=self.conf.strict_datetime_literals,
+                cast_fn=cast_fn,
+            )
+        )
+
+    def _sql_create(self, statement: CreateTable) -> QueryResult:
+        declared = Schema(
+            tuple(
+                Field(col.name, parse_type(col.type_text))
+                for col in statement.columns
+            ),
+            case_sensitive=True,
+        )
+        partition_schema = Schema(
+            tuple(
+                Field(col.name, parse_type(col.type_text))
+                for col in statement.partition_columns
+            ),
+            case_sensitive=True,
+        )
+        fmt = statement.stored_as or str(
+            self.conf.get("spark.sql.sources.default")
+        )
+        self.connector.create_table(
+            statement.table,
+            declared,
+            fmt,
+            database=self.database,
+            datasource=statement.datasource,
+            if_not_exists=statement.if_not_exists,
+            extra_properties=dict(statement.properties),
+            partition_schema=partition_schema,
+        )
+        return self._empty("sparksql")
+
+    def _sql_drop(self, statement: DropTable) -> QueryResult:
+        if self.metastore.table_exists(statement.table, self.database):
+            table = self.metastore.get_table(statement.table, self.database)
+            self.warehouse.drop_data(table)
+        self.metastore.drop_table(
+            statement.table, self.database, if_exists=statement.if_exists
+        )
+        return self._empty("sparksql")
+
+    def _sql_insert(self, statement: Insert) -> QueryResult:
+        resolved = self.connector.resolve(statement.table, self.database)
+        evaluator = self._evaluator()
+        policy = self.conf.store_assignment_policy
+        partition = self._resolve_partition_spec(
+            resolved.table, statement, evaluator, policy
+        )
+        rows = []
+        for expressions in statement.rows:
+            if len(expressions) != len(resolved.schema):
+                raise AnalysisException(
+                    f"INSERT arity {len(expressions)} != table arity "
+                    f"{len(resolved.schema)}"
+                )
+            values = []
+            for expr, column in zip(expressions, resolved.schema.fields):
+                typed = evaluator.evaluate(expr)
+                values.append(self._sql_store(typed, column.data_type, policy))
+            rows.append(tuple(values))
+        self._write_rows(
+            resolved, rows, overwrite=statement.overwrite, partition=partition
+        )
+        return self._empty("sparksql")
+
+    def _resolve_partition_spec(
+        self, table, statement: Insert, evaluator, policy
+    ) -> str | None:
+        if not table.is_partitioned:
+            if statement.partition_spec:
+                raise AnalysisException(
+                    f"table {table.name} is not partitioned"
+                )
+            return None
+        spec = {
+            name.lower(): expr for name, expr in statement.partition_spec
+        }
+        if set(spec) != set(table.partition_schema.names()):
+            raise AnalysisException(
+                f"INSERT must name every partition column "
+                f"{table.partition_schema.names()}, got {sorted(spec)}"
+            )
+        parts = []
+        for column in table.partition_schema.fields:
+            typed = evaluator.evaluate(spec[column.name])
+            value = store_assign(
+                typed.value, typed.data_type, column.data_type, policy
+            )
+            parts.append(partition_dirname(column.name, value))
+        return "/".join(parts)
+
+    def _sql_store(self, typed: TypedValue, target: DataType, policy) -> object:
+        """SQL INSERT coercion: char/varchar enforcement + store assignment."""
+        if isinstance(target, (CharType, VarcharType)):
+            if typed.value is None:
+                return None
+            text = store_assign(typed.value, typed.data_type, target, policy)
+            if text is None:
+                return None
+            if len(text) > target.length:
+                raise AnalysisException(
+                    f"input string {text!r} exceeds "
+                    f"{target.simple_string()} type length limitation"
+                )
+            if isinstance(target, CharType):
+                return target.pad(text)
+            return text
+        return store_assign(typed.value, typed.data_type, target, policy)
+
+    def _sql_select(self, statement: Select) -> QueryResult:
+        resolved = self.connector.resolve(statement.table, self.database)
+        schema, rows = self._scan(resolved, interface="sparksql")
+        rows = self._apply_where(rows, schema, statement.where)
+        schema, rows = self._project(statement, schema, rows)
+        return QueryResult(
+            schema=schema,
+            rows=tuple(rows),
+            warnings=resolved.warnings,
+            interface="sparksql",
+        )
+
+    # -- DataFrame interface ---------------------------------------------------
+
+    def create_dataframe(
+        self, data: list[tuple] | list[list], schema: Schema
+    ) -> DataFrame:
+        """Build a DataFrame, coercing cells the DataFrame way (legacy)."""
+        rows = []
+        for record in data:
+            if len(record) != len(schema):
+                raise AnalysisException(
+                    f"row arity {len(record)} != schema arity {len(schema)}"
+                )
+            values = [
+                dataframe_store_value(value, field.data_type)
+                for value, field in zip(record, schema.fields)
+            ]
+            rows.append(Row(values, schema))
+        return DataFrame(self, schema, rows)
+
+    def table(self, name: str) -> DataFrame:
+        """Read a table through the DataFrame interface."""
+        result = self.read_table(name, interface="dataframe")
+        return DataFrame(self, result.schema, list(result.rows))
+
+    def read_table(self, name: str, interface: str = "dataframe") -> QueryResult:
+        resolved = self.connector.resolve(name, self.database)
+        schema, rows = self._scan(resolved, interface=interface)
+        return QueryResult(
+            schema=schema,
+            rows=tuple(rows),
+            warnings=resolved.warnings,
+            interface=interface,
+        )
+
+    # hooks used by DataFrameWriter ------------------------------------------
+
+    def _create_table_for_dataframe(
+        self, name: str, schema: Schema, fmt: str, mode: str
+    ) -> None:
+        exists = self.metastore.table_exists(name, self.database)
+        if exists and mode == "errorifexists":
+            raise TableAlreadyExistsError(f"table {name} exists")
+        if exists and mode == "overwrite":
+            table = self.metastore.get_table(name, self.database)
+            self.warehouse.drop_data(table)
+            self.metastore.drop_table(name, self.database)
+            exists = False
+        if not exists:
+            self.connector.create_table(
+                name,
+                schema,
+                fmt,
+                database=self.database,
+                datasource=True,
+            )
+
+    def _dataframe_insert(
+        self, name: str, dataframe: DataFrame, overwrite: bool
+    ) -> None:
+        resolved = self.connector.resolve(name, self.database)
+        if resolved.table.is_partitioned:
+            self._dataframe_insert_partitioned(resolved, dataframe, overwrite)
+            return
+        if len(dataframe.schema) != len(resolved.schema):
+            raise AnalysisException(
+                f"DataFrame arity {len(dataframe.schema)} != table arity "
+                f"{len(resolved.schema)}"
+            )
+        rows = []
+        for row in dataframe.collect():
+            values = [
+                dataframe_store_value(value, field.data_type)
+                for value, field in zip(row, resolved.schema.fields)
+            ]
+            rows.append(tuple(values))
+        self._write_rows(resolved, rows, overwrite=overwrite)
+
+    def _dataframe_insert_partitioned(
+        self, resolved: ResolvedTable, dataframe: DataFrame, overwrite: bool
+    ) -> None:
+        """``insertInto`` a partitioned table: as in Spark, the partition
+        values arrive as the frame's *trailing* columns."""
+        partition_schema = resolved.table.partition_schema
+        expected = len(resolved.schema) + len(partition_schema)
+        if len(dataframe.schema) != expected:
+            raise AnalysisException(
+                f"DataFrame arity {len(dataframe.schema)} != data columns "
+                f"{len(resolved.schema)} + partition columns "
+                f"{len(partition_schema)}"
+            )
+        by_partition: dict[str, list[tuple]] = {}
+        split = len(resolved.schema)
+        for row in dataframe.collect():
+            values = tuple(
+                dataframe_store_value(value, field.data_type)
+                for value, field in zip(row[:split], resolved.schema.fields)
+            )
+            partition_values = [
+                dataframe_store_value(value, field.data_type)
+                for value, field in zip(row[split:], partition_schema.fields)
+            ]
+            dirname = "/".join(
+                partition_dirname(field.name, value)
+                for field, value in zip(
+                    partition_schema.fields, partition_values
+                )
+            )
+            by_partition.setdefault(dirname, []).append(values)
+        for dirname, rows in sorted(by_partition.items()):
+            self._write_rows(
+                resolved, rows, overwrite=overwrite, partition=dirname
+            )
+
+    # -- shared write/scan machinery ----------------------------------------------
+
+    def _write_rows(
+        self,
+        resolved: ResolvedTable,
+        rows: list[tuple],
+        overwrite: bool,
+        partition: str | None = None,
+    ) -> None:
+        serializer = serializer_for(resolved.table.storage_format)
+        if overwrite:
+            self.warehouse.truncate(resolved.table, partition)
+        blob = serializer.write(resolved.schema, rows, {"writer": "spark"})
+        self.warehouse.write_segment(resolved.table, blob, partition)
+
+    def _scan(
+        self, resolved: ResolvedTable, interface: str
+    ) -> tuple[Schema, list[Row]]:
+        """Scan the table; returns the result schema (which includes
+        typed partition columns for partitioned tables) and the rows."""
+        if resolved.table.is_partitioned:
+            return self._scan_partitioned(resolved, interface)
+        return resolved.schema, self._scan_segments(
+            resolved, interface, self.warehouse.read_segments(resolved.table)
+        )
+
+    def _scan_partitioned(
+        self, resolved: ResolvedTable, interface: str
+    ) -> tuple[Schema, list[Row]]:
+        column = resolved.table.partition_schema.fields[0]
+        segments = self.warehouse.read_partitioned_segments(resolved.table)
+        texts = []
+        for dirname, _ in segments:
+            _, text = parse_partition_dirname(dirname)
+            texts.append(text)
+        partition_type, converted = self._type_partition_values(texts)
+        schema = Schema(
+            resolved.schema.fields + (Field(column.name, partition_type),),
+            case_sensitive=resolved.schema.case_sensitive,
+        )
+        rows: list[Row] = []
+        for (dirname, blob), value in zip(segments, converted):
+            for base in self._scan_segments(resolved, interface, [blob]):
+                rows.append(Row(list(base) + [value], schema))
+        return schema, rows
+
+    def _type_partition_values(
+        self, texts: list[str]
+    ) -> tuple[DataType, list[object]]:
+        """Spark's partition typing: infer from the directory strings.
+
+        With inference enabled (the default), '01' becomes the INT 1 —
+        losing the leading zero Hive would have preserved. With it
+        disabled, partition values are plain strings.
+        """
+        if self.conf.partition_type_inference and texts:
+            try:
+                return parse_type("int"), [int(t, 10) for t in texts]
+            except ValueError:
+                pass
+            try:
+                import datetime
+
+                return parse_type("date"), [
+                    datetime.date.fromisoformat(t) for t in texts
+                ]
+            except ValueError:
+                pass
+        return parse_type("string"), list(texts)
+
+    def _scan_segments(
+        self, resolved: ResolvedTable, interface: str, blobs
+    ) -> list[Row]:
+        serializer = serializer_for(resolved.table.storage_format)
+        out: list[Row] = []
+        for blob in blobs:
+            data = serializer.read(blob)
+            mapping = self._column_mapping(data, resolved.schema)
+            transforms = []
+            for expected, physical_index in zip(resolved.schema.fields, mapping):
+                if physical_index is None:
+                    transforms.append(None)
+                    continue
+                if data.format_name == "text":
+                    # text rows are strings; Spark parses them with the
+                    # (lenient) legacy cast, like its Hive text scan
+                    transforms.append(_text_cell_transform(expected.data_type))
+                    continue
+                physical = data.physical_schema.fields[physical_index]
+                transforms.append(
+                    transformer_for(
+                        physical.data_type,
+                        expected.data_type,
+                        data.format_name,
+                    )
+                )
+            for physical_row in data.rows:
+                values = []
+                for physical_index, transform, expected in zip(
+                    mapping, transforms, resolved.schema.fields
+                ):
+                    if physical_index is None or transform is None:
+                        values.append(None)
+                        continue
+                    raw = physical_row[physical_index]
+                    value = None if raw is None else transform(raw)
+                    values.append(
+                        self._finish_read_value(value, expected.data_type, interface)
+                    )
+                out.append(Row(values, resolved.schema))
+        return out
+
+    def _finish_read_value(
+        self, value: object, dtype: DataType, interface: str
+    ) -> object:
+        if (
+            interface == "sparksql"
+            and isinstance(dtype, CharType)
+            and isinstance(value, str)
+            and not self.conf.char_varchar_as_string
+        ):
+            return dtype.pad(value)
+        return value
+
+    def _column_mapping(
+        self, data: TableData, expected: Schema
+    ) -> list[int | None]:
+        """Physical column index for each expected column."""
+        physical_names = data.physical_schema.names()
+        hive_positional = (
+            data.properties.get(HIVE_POSITIONAL_PROPERTY) == "true"
+        )
+        if hive_positional and not self.conf.legacy_orc_positional_names:
+            # modern Spark: Hive-written ORC resolves by position
+            return [
+                index if index < len(physical_names) else None
+                for index in range(len(expected))
+            ]
+        # name-based resolution (also the pre-fix SPARK-21686 behaviour
+        # for Hive-written ORC when legacy_orc_positional_names is set:
+        # `_col0` never matches real names, so every column reads NULL)
+        mapping: list[int | None] = []
+        case_sensitive = self.conf.case_sensitive
+        for field in expected.fields:
+            found = None
+            for index, name in enumerate(physical_names):
+                matches = (
+                    name == field.name
+                    if case_sensitive
+                    else name.lower() == field.name.lower()
+                )
+                if matches:
+                    found = index
+                    break
+            mapping.append(found)
+        return mapping
+
+    # -- SELECT helpers --------------------------------------------------------
+
+    def _apply_where(
+        self, rows: list[Row], schema: Schema, where: Comparison | None
+    ) -> list[Row]:
+        if where is None:
+            return rows
+        if not isinstance(where.left, ColumnRef) or not isinstance(
+            where.right, Literal
+        ):
+            raise QueryError("WHERE supports `column <op> literal` only")
+        index = self._resolve_column(schema, where.left.name)
+        target = self._evaluator().evaluate(where.right).value
+        return [row for row in rows if _compare(row[index], where.op, target)]
+
+    def _project(
+        self, statement: Select, schema: Schema, rows: list[Row]
+    ) -> tuple[Schema, list[Row]]:
+        if len(statement.projections) == 1 and isinstance(
+            statement.projections[0], Star
+        ):
+            return schema, rows
+        indices = []
+        fields = []
+        for projection in statement.projections:
+            if not isinstance(projection, ColumnRef):
+                raise QueryError("projections must be columns or *")
+            index = self._resolve_column(schema, projection.name)
+            indices.append(index)
+            fields.append(schema.fields[index])
+        projected = Schema(tuple(fields), schema.case_sensitive)
+        return projected, [
+            Row([row[i] for i in indices], projected) for row in rows
+        ]
+
+    def _resolve_column(self, schema: Schema, name: str) -> int:
+        for index, field in enumerate(schema.fields):
+            if self.conf.case_sensitive:
+                if field.name == name:
+                    return index
+            elif field.name.lower() == name.lower():
+                return index
+        raise AnalysisException(
+            f"cannot resolve column {name!r} among {schema.names()}"
+        )
+
+    def _empty(self, interface: str) -> QueryResult:
+        return QueryResult(schema=Schema(()), interface=interface)
+
+
+def _text_cell_transform(expected: DataType):
+    from repro.common.types import StringType
+    from repro.formats.textfile import NULL_MARKER
+
+    def transform(raw: object) -> object:
+        if raw == NULL_MARKER or raw is None:
+            return None
+        return spark_cast(raw, StringType(), expected, ansi=False)
+
+    return transform
+
+
+def _compare(value: object, op: str, target: object) -> bool:
+    if value is None or target is None:
+        return False
+    try:
+        return {
+            "=": value == target,
+            "<>": value != target,
+            "!=": value != target,
+            "<": value < target,
+            ">": value > target,
+            "<=": value <= target,
+            ">=": value >= target,
+        }[op]
+    except TypeError:
+        return False

@@ -1,0 +1,43 @@
+"""Shared SQL front end (lexer, parser, literal evaluation)."""
+
+from repro.sql.ast import (
+    ColumnDef,
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    DropTable,
+    Expression,
+    FunctionCall,
+    Insert,
+    Literal,
+    Select,
+    Star,
+    Statement,
+    TypedLiteral,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.literals import DialectOptions, LiteralEvaluator, TypedValue
+from repro.sql.parser import parse_statement
+
+__all__ = [
+    "ColumnDef",
+    "ColumnRef",
+    "Comparison",
+    "CreateTable",
+    "DropTable",
+    "Expression",
+    "FunctionCall",
+    "Insert",
+    "Literal",
+    "Select",
+    "Star",
+    "Statement",
+    "TypedLiteral",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "DialectOptions",
+    "LiteralEvaluator",
+    "TypedValue",
+    "parse_statement",
+]

@@ -1,0 +1,116 @@
+"""Abstract syntax for the shared SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Statement",
+    "CreateTable",
+    "DropTable",
+    "Insert",
+    "Select",
+    "Expression",
+    "Literal",
+    "TypedLiteral",
+    "ColumnRef",
+    "Star",
+    "FunctionCall",
+    "Comparison",
+    "ColumnDef",
+]
+
+
+class Statement:
+    """Base class of parsed statements."""
+
+
+class Expression:
+    """Base class of parsed expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """An untyped literal: number, string, boolean, or NULL."""
+
+    value: object
+    #: raw source text, kept so engines can apply their own numeric
+    #: interpretation rules (e.g. decimal vs double defaults).
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class TypedLiteral(Expression):
+    """``DATE '2020-01-01'``, ``TIMESTAMP '...'``, ``CAST(x AS t)``."""
+
+    type_name: str
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    name: str
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    pass
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """``array(...)``, ``map(...)``, ``named_struct(...)`` and friends."""
+
+    name: str
+    args: tuple[Expression, ...] = ()
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_text: str
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    table: str
+    columns: tuple[ColumnDef, ...]
+    stored_as: str | None = None
+    if_not_exists: bool = False
+    properties: tuple[tuple[str, str], ...] = ()
+    #: True for ``CREATE TABLE ... USING fmt`` (a Spark datasource
+    #: table); False for ``STORED AS fmt`` (a Hive-serde table). The two
+    #: paths keep schema metadata differently — see
+    #: :mod:`repro.connectors.spark_hive`.
+    datasource: bool = False
+    #: ``PARTITIONED BY (...)`` columns, if any.
+    partition_columns: tuple[ColumnDef, ...] = ()
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    table: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    rows: tuple[tuple[Expression, ...], ...]
+    overwrite: bool = False
+    #: ``PARTITION (name=literal, ...)`` target, if any.
+    partition_spec: tuple[tuple[str, Expression], ...] = ()
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    table: str
+    projections: tuple[Expression, ...] = field(default=(Star(),))
+    where: Comparison | None = None

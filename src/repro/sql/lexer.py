@@ -1,0 +1,124 @@
+"""Tokenizer for the SQL subset shared by SparkSQL and HiveQL.
+
+One lexer serves both dialects; all divergence between the engines is
+semantic (type coercion, identifier case, error behaviour), never
+syntactic, which mirrors how the paper's §8 harness drives both systems
+with the same statements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+_SYMBOLS = (
+    "<=", ">=", "<>", "!=", "(", ")", ",", "*", "=", "<", ">", ".", "-",
+    "+", ":",
+)
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        char = sql[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "'":
+            end = i + 1
+            chunks: list[str] = []
+            while end < length:
+                if sql[end] == "'" and end + 1 < length and sql[end + 1] == "'":
+                    chunks.append("'")
+                    end += 2
+                    continue
+                if sql[end] == "'":
+                    break
+                chunks.append(sql[end])
+                end += 1
+            if end >= length:
+                raise ParseError(f"unterminated string literal at {i} in {sql!r}")
+            tokens.append(Token(TokenType.STRING, "".join(chunks), i))
+            i = end + 1
+            continue
+        if char == "`":
+            end = sql.find("`", i + 1)
+            if end == -1:
+                raise ParseError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token(TokenType.IDENT, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        if char.isdigit() or (
+            char == "." and i + 1 < length and sql[i + 1].isdigit()
+        ):
+            end = i
+            seen_dot = False
+            seen_exp = False
+            while end < length:
+                c = sql[end]
+                if c.isdigit():
+                    end += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    end += 1
+                elif c in "eE" and not seen_exp and end > i:
+                    nxt = sql[end + 1] if end + 1 < length else ""
+                    if nxt.isdigit() or nxt in "+-":
+                        seen_exp = True
+                        end += 2 if nxt in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            text = sql[i:end]
+            # trailing type suffixes: 1Y (tinyint), 1S, 1L, 1.0D, 1.0F, 1BD
+            if end < length and sql[end : end + 2].upper() == "BD":
+                text += sql[end : end + 2]
+                end += 2
+            elif end < length and sql[end].upper() in "YSLDF":
+                text += sql[end]
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, text, i))
+            i = end
+            continue
+        if char.isalpha() or char == "_":
+            end = i
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            tokens.append(Token(TokenType.IDENT, sql[i:end], i))
+            i = end
+            continue
+        for symbol in _SYMBOLS:
+            if sql.startswith(symbol, i):
+                tokens.append(Token(TokenType.SYMBOL, symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r} at {i} in {sql!r}")
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

@@ -1,0 +1,267 @@
+"""Literal and expression evaluation with per-dialect policies.
+
+Both engines parse the same syntax, but what a literal *means* differs:
+what type an unsuffixed fractional literal gets, whether a malformed
+``DATE`` literal raises or becomes NULL (discrepancy #9 / SPARK-40525),
+how an out-of-range suffix literal is treated. Those knobs live in
+:class:`DialectOptions` so the engines disagree in exactly the
+documented ways.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.common.types import (
+    ArrayType,
+    BinaryType,
+    BooleanType,
+    ByteType,
+    DataType,
+    DateType,
+    DecimalType,
+    DoubleType,
+    FloatType,
+    IntegerType,
+    LongType,
+    NullType,
+    ShortType,
+    StringType,
+    StructField,
+    StructType,
+    TimestampNTZType,
+    TimestampType,
+    MapType,
+    parse_type,
+)
+from repro.errors import AnalysisException, ParseError
+from repro.sql.ast import (
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    TypedLiteral,
+)
+
+__all__ = ["DialectOptions", "TypedValue", "LiteralEvaluator"]
+
+
+@dataclass(frozen=True)
+class TypedValue:
+    value: object
+    data_type: DataType
+
+
+#: signature: cast(value, source_type, target_type) -> value
+CastFn = Callable[[object, DataType, DataType], object]
+
+
+@dataclass(frozen=True)
+class DialectOptions:
+    """Per-engine literal semantics."""
+
+    name: str
+    #: type given to unsuffixed fractional literals: "decimal" or "double"
+    fractional_literal: str = "decimal"
+    #: malformed DATE/TIMESTAMP literal: raise (True) or yield NULL (False)
+    strict_datetime_literals: bool = True
+    #: cast function used for CAST(...) expressions
+    cast_fn: CastFn | None = None
+
+
+class LiteralEvaluator:
+    """Evaluate constant expressions into :class:`TypedValue`."""
+
+    def __init__(self, options: DialectOptions) -> None:
+        self.options = options
+
+    def evaluate(self, expr: Expression) -> TypedValue:
+        if isinstance(expr, Literal):
+            return self._literal(expr)
+        if isinstance(expr, TypedLiteral):
+            return self._typed_literal(expr)
+        if isinstance(expr, FunctionCall):
+            return self._function(expr)
+        if isinstance(expr, ColumnRef):
+            raise AnalysisException(
+                f"column reference {expr.name!r} is not a constant"
+            )
+        raise AnalysisException(f"cannot evaluate expression {expr!r}")
+
+    # -- plain literals ---------------------------------------------------
+
+    def _literal(self, expr: Literal) -> TypedValue:
+        if expr.text == "NULL":
+            return TypedValue(None, NullType())
+        if isinstance(expr.value, bool):
+            return TypedValue(expr.value, BooleanType())
+        if isinstance(expr.value, str):
+            return TypedValue(expr.value, StringType())
+        return self._number(expr.text)
+
+    def _number(self, text: str) -> TypedValue:
+        upper = text.upper()
+        if upper.endswith("BD"):
+            return self._decimal(text[:-2])
+        if upper.endswith("Y"):
+            return self._suffixed_int(text[:-1], ByteType())
+        if upper.endswith("S") and "E" not in upper[:-1]:
+            return self._suffixed_int(text[:-1], ShortType())
+        if upper.endswith("L"):
+            return self._suffixed_int(text[:-1], LongType())
+        if upper.endswith("D") and not upper[:-1].endswith("B"):
+            return TypedValue(float(text[:-1]), DoubleType())
+        if upper.endswith("F"):
+            return TypedValue(float(text[:-1]), FloatType())
+        if "." in text or "E" in upper:
+            if "E" in upper or self.options.fractional_literal == "double":
+                return TypedValue(float(text), DoubleType())
+            return self._decimal(text)
+        value = int(text)
+        if IntegerType().accepts(value):
+            return TypedValue(value, IntegerType())
+        if LongType().accepts(value):
+            return TypedValue(value, LongType())
+        return self._decimal(text)
+
+    def _suffixed_int(self, digits: str, dtype: DataType) -> TypedValue:
+        value = int(digits)
+        if not dtype.accepts(value):
+            raise ParseError(
+                f"numeric literal {digits} out of range for"
+                f" {dtype.simple_string()}"
+            )
+        return TypedValue(value, dtype)
+
+    @staticmethod
+    def _decimal(text: str) -> TypedValue:
+        value = decimal.Decimal(text)
+        digits = value.as_tuple()
+        scale = max(0, -digits.exponent)
+        precision = max(len(digits.digits), scale)
+        precision = min(precision, DecimalType.MAX_PRECISION)
+        scale = min(scale, precision)
+        return TypedValue(value, DecimalType(precision, scale))
+
+    # -- typed literals -----------------------------------------------------
+
+    def _typed_literal(self, expr: TypedLiteral) -> TypedValue:
+        operand = self.evaluate(expr.operand)
+        type_name = expr.type_name
+        if type_name == "date":
+            return self._datetime_literal(operand, DateType(), _parse_date)
+        if type_name == "timestamp":
+            return self._datetime_literal(
+                operand, TimestampType(), _parse_timestamp
+            )
+        if type_name == "timestamp_ntz":
+            return self._datetime_literal(
+                operand, TimestampNTZType(), _parse_timestamp
+            )
+        if type_name == "x":
+            return TypedValue(bytes.fromhex(str(operand.value)), BinaryType())
+        if type_name == "binary":
+            return TypedValue(
+                str(operand.value).encode("utf-8"), BinaryType()
+            )
+        # everything else is CAST(x AS type)
+        target = parse_type(type_name)
+        if self.options.cast_fn is None:
+            raise AnalysisException(
+                f"{self.options.name}: CAST not supported in this context"
+            )
+        value = self.options.cast_fn(operand.value, operand.data_type, target)
+        return TypedValue(value, target)
+
+    def _datetime_literal(self, operand, dtype, parser) -> TypedValue:
+        try:
+            return TypedValue(parser(str(operand.value)), dtype)
+        except ValueError as exc:
+            if self.options.strict_datetime_literals:
+                raise AnalysisException(
+                    f"invalid {dtype.name} literal {operand.value!r}: {exc}"
+                ) from exc
+            return TypedValue(None, dtype)
+
+    # -- constructor functions -----------------------------------------------
+
+    def _function(self, expr: FunctionCall) -> TypedValue:
+        if expr.name == "array":
+            items = [self.evaluate(a) for a in expr.args]
+            element_type = _common_type([i.data_type for i in items])
+            return TypedValue(
+                [i.value for i in items], ArrayType(element_type)
+            )
+        if expr.name == "map":
+            if len(expr.args) % 2 != 0:
+                raise AnalysisException("map() needs an even argument count")
+            keys = [self.evaluate(a) for a in expr.args[0::2]]
+            values = [self.evaluate(a) for a in expr.args[1::2]]
+            key_type = _common_type([k.data_type for k in keys])
+            value_type = _common_type([v.data_type for v in values])
+            if any(k.value is None for k in keys):
+                raise AnalysisException("map keys cannot be NULL")
+            return TypedValue(
+                {k.value: v.value for k, v in zip(keys, values)},
+                MapType(key_type, value_type),
+            )
+        if expr.name == "named_struct":
+            if len(expr.args) % 2 != 0:
+                raise AnalysisException(
+                    "named_struct() needs an even argument count"
+                )
+            names = [self.evaluate(a) for a in expr.args[0::2]]
+            values = [self.evaluate(a) for a in expr.args[1::2]]
+            fields = tuple(
+                StructField(str(n.value), v.data_type)
+                for n, v in zip(names, values)
+            )
+            return TypedValue([v.value for v in values], StructType(fields))
+        if expr.name in ("float", "double") and len(expr.args) == 1:
+            inner = self.evaluate(expr.args[0])
+            dtype = FloatType() if expr.name == "float" else DoubleType()
+            return TypedValue(_special_float(inner.value), dtype)
+        raise AnalysisException(f"unknown function {expr.name!r}")
+
+
+def _special_float(value: object) -> float | None:
+    if value is None:
+        return None
+    text = str(value).strip().lower()
+    if text in ("nan",):
+        return float("nan")
+    if text in ("inf", "infinity", "+infinity"):
+        return float("inf")
+    if text in ("-inf", "-infinity"):
+        return float("-inf")
+    return float(text)
+
+
+def _parse_date(text: str) -> datetime.date:
+    return datetime.date.fromisoformat(text.strip())
+
+
+def _parse_timestamp(text: str) -> datetime.datetime:
+    return datetime.datetime.fromisoformat(text.strip())
+
+
+def _common_type(types: list[DataType]) -> DataType:
+    """Least-surprise common type for constructor functions."""
+    concrete = [t for t in types if not isinstance(t, NullType)]
+    if not concrete:
+        # all-NULL stays the null type: it is assignable to anything
+        return NullType()
+    first = concrete[0]
+    for other in concrete[1:]:
+        if other != first:
+            # widen integrals, else fall back to string
+            order = ["tinyint", "smallint", "int", "bigint"]
+            if first.name in order and other.name in order:
+                widest = max(first, other, key=lambda t: order.index(t.name))
+                first = widest
+            else:
+                return StringType()
+    return first

@@ -1,0 +1,340 @@
+"""Recursive-descent parser for the shared SQL subset.
+
+Grammar (case-insensitive keywords)::
+
+    statement   := create | drop | insert | select
+    create      := CREATE TABLE [IF NOT EXISTS] ident
+                   '(' coldef (',' coldef)* ')'
+                   [STORED AS ident] [TBLPROPERTIES '(' kv (',' kv)* ')']
+    drop        := DROP TABLE [IF EXISTS] ident
+    insert      := INSERT (INTO | OVERWRITE TABLE?) ident
+                   VALUES tuple (',' tuple)*
+    select      := SELECT proj (',' proj)* FROM ident [WHERE comparison]
+    proj        := '*' | expr
+    expr        := literal | typed-literal | cast | function | column
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    ColumnDef,
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    DropTable,
+    Expression,
+    FunctionCall,
+    Insert,
+    Literal,
+    Select,
+    Star,
+    Statement,
+    TypedLiteral,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+__all__ = ["parse_statement"]
+
+_TYPE_KEYWORDS = {"DATE", "TIMESTAMP", "TIMESTAMP_NTZ", "INTERVAL", "BINARY", "X"}
+
+
+def parse_statement(sql: str) -> Statement:
+    return _Parser(tokenize(sql), sql).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.pos = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def check_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        return token.type is TokenType.IDENT and token.upper() == keyword
+
+    def accept_keyword(self, keyword: str) -> bool:
+        if self.check_keyword(keyword):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise ParseError(
+                f"expected {keyword} at {self.peek().position} in {self.source!r}"
+            )
+
+    def accept_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        if token.type is TokenType.SYMBOL and token.text == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            raise ParseError(
+                f"expected {symbol!r} at {self.peek().position} in {self.source!r}"
+            )
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.type is not TokenType.IDENT:
+            raise ParseError(
+                f"expected identifier at {token.position} in {self.source!r}"
+            )
+        return self.advance().text
+
+    # -- statements -------------------------------------------------------
+
+    def parse(self) -> Statement:
+        if self.check_keyword("CREATE"):
+            statement = self._create()
+        elif self.check_keyword("DROP"):
+            statement = self._drop()
+        elif self.check_keyword("INSERT"):
+            statement = self._insert()
+        elif self.check_keyword("SELECT"):
+            statement = self._select()
+        else:
+            raise ParseError(f"unsupported statement: {self.source!r}")
+        if self.peek().type is not TokenType.EOF:
+            raise ParseError(
+                f"trailing input at {self.peek().position} in {self.source!r}"
+            )
+        return statement
+
+    def _create(self) -> CreateTable:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        table = self.expect_ident()
+        self.expect_symbol("(")
+        columns = [self._column_def()]
+        while self.accept_symbol(","):
+            columns.append(self._column_def())
+        self.expect_symbol(")")
+        partition_columns: list[ColumnDef] = []
+        if self.accept_keyword("PARTITIONED"):
+            self.expect_keyword("BY")
+            self.expect_symbol("(")
+            partition_columns.append(self._column_def())
+            while self.accept_symbol(","):
+                partition_columns.append(self._column_def())
+            self.expect_symbol(")")
+        stored_as = None
+        datasource = False
+        if self.accept_keyword("STORED"):
+            self.expect_keyword("AS")
+            stored_as = self.expect_ident().lower()
+        elif self.accept_keyword("USING"):
+            stored_as = self.expect_ident().lower()
+            datasource = True
+        properties: list[tuple[str, str]] = []
+        if self.accept_keyword("TBLPROPERTIES"):
+            self.expect_symbol("(")
+            properties.append(self._property())
+            while self.accept_symbol(","):
+                properties.append(self._property())
+            self.expect_symbol(")")
+        return CreateTable(
+            table=table,
+            columns=tuple(columns),
+            stored_as=stored_as,
+            if_not_exists=if_not_exists,
+            properties=tuple(properties),
+            datasource=datasource,
+            partition_columns=tuple(partition_columns),
+        )
+
+    def _property(self) -> tuple[str, str]:
+        key = self.advance().text
+        self.expect_symbol("=")
+        value = self.advance().text
+        return key, value
+
+    def _column_def(self) -> ColumnDef:
+        name = self.expect_ident()
+        type_text = self._type_text()
+        return ColumnDef(name, type_text)
+
+    def _type_text(self) -> str:
+        """Consume a type expression, tracking <...> and (...) nesting."""
+        parts: list[str] = [self.expect_ident()]
+        depth = 0
+        while True:
+            token = self.peek()
+            if token.type is TokenType.SYMBOL and token.text in ("(", "<"):
+                depth += 1
+                parts.append(self.advance().text)
+            elif token.type is TokenType.SYMBOL and token.text in (")", ">"):
+                if depth == 0:
+                    break
+                depth -= 1
+                parts.append(self.advance().text)
+            elif depth > 0:
+                parts.append(self.advance().text)
+            else:
+                break
+        return "".join(parts)
+
+    def _drop(self) -> DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return DropTable(self.expect_ident(), if_exists)
+
+    def _insert(self) -> Insert:
+        self.expect_keyword("INSERT")
+        overwrite = False
+        if self.accept_keyword("OVERWRITE"):
+            overwrite = True
+            self.accept_keyword("TABLE")
+        else:
+            self.expect_keyword("INTO")
+            self.accept_keyword("TABLE")
+        table = self.expect_ident()
+        partition_spec: list[tuple[str, Expression]] = []
+        if self.accept_keyword("PARTITION"):
+            self.expect_symbol("(")
+            partition_spec.append(self._partition_entry())
+            while self.accept_symbol(","):
+                partition_spec.append(self._partition_entry())
+            self.expect_symbol(")")
+        self.expect_keyword("VALUES")
+        rows = [self._value_tuple()]
+        while self.accept_symbol(","):
+            rows.append(self._value_tuple())
+        return Insert(
+            table=table,
+            rows=tuple(rows),
+            overwrite=overwrite,
+            partition_spec=tuple(partition_spec),
+        )
+
+    def _partition_entry(self) -> tuple[str, Expression]:
+        name = self.expect_ident()
+        self.expect_symbol("=")
+        return name, self._expression()
+
+    def _value_tuple(self) -> tuple[Expression, ...]:
+        self.expect_symbol("(")
+        values = [self._expression()]
+        while self.accept_symbol(","):
+            values.append(self._expression())
+        self.expect_symbol(")")
+        return tuple(values)
+
+    def _select(self) -> Select:
+        self.expect_keyword("SELECT")
+        projections = [self._projection()]
+        while self.accept_symbol(","):
+            projections.append(self._projection())
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self._comparison()
+        return Select(table=table, projections=tuple(projections), where=where)
+
+    def _projection(self) -> Expression:
+        if self.accept_symbol("*"):
+            return Star()
+        return self._expression()
+
+    def _comparison(self) -> Comparison:
+        left = self._expression()
+        token = self.peek()
+        if token.type is not TokenType.SYMBOL or token.text not in (
+            "=", "<", ">", "<=", ">=", "<>", "!=",
+        ):
+            raise ParseError(f"expected comparison operator in {self.source!r}")
+        op = self.advance().text
+        right = self._expression()
+        return Comparison(op, left, right)
+
+    # -- expressions --------------------------------------------------------
+
+    def _expression(self) -> Expression:
+        token = self.peek()
+        if token.type is TokenType.SYMBOL and token.text == "-":
+            self.advance()
+            number = self.peek()
+            if number.type is not TokenType.NUMBER:
+                raise ParseError(f"expected number after '-' in {self.source!r}")
+            self.advance()
+            return Literal(None, "-" + number.text)
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(None, token.text)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.text, repr(token.text))
+        if token.type is TokenType.IDENT:
+            upper = token.upper()
+            if upper == "NULL":
+                self.advance()
+                return Literal(None, "NULL")
+            if upper in ("TRUE", "FALSE"):
+                self.advance()
+                return Literal(upper == "TRUE", upper)
+            if upper == "CAST":
+                return self._cast()
+            if upper in _TYPE_KEYWORDS and self._next_is_string():
+                self.advance()
+                operand = self._expression()
+                return TypedLiteral(upper.lower(), operand)
+            if self._next_is_symbol("("):
+                return self._function_call()
+            self.advance()
+            return ColumnRef(token.text)
+        raise ParseError(
+            f"unexpected token {token.text!r} at {token.position}"
+            f" in {self.source!r}"
+        )
+
+    def _next_is_string(self) -> bool:
+        return self.tokens[self.pos + 1].type is TokenType.STRING
+
+    def _next_is_symbol(self, symbol: str) -> bool:
+        nxt = self.tokens[self.pos + 1]
+        return nxt.type is TokenType.SYMBOL and nxt.text == symbol
+
+    def _cast(self) -> TypedLiteral:
+        self.expect_keyword("CAST")
+        self.expect_symbol("(")
+        operand = self._expression()
+        self.expect_keyword("AS")
+        type_text = self._type_text()
+        self.expect_symbol(")")
+        return TypedLiteral(type_text.lower(), operand)
+
+    def _function_call(self) -> FunctionCall:
+        name = self.expect_ident().lower()
+        self.expect_symbol("(")
+        args: list[Expression] = []
+        if not self.accept_symbol(")"):
+            args.append(self._expression())
+            while self.accept_symbol(","):
+                args.append(self._expression())
+            self.expect_symbol(")")
+        return FunctionCall(name, tuple(args))

@@ -1,0 +1,14 @@
+"""HDFS-like storage substrate."""
+
+from repro.storage.files import COMPRESSED_LENGTH_SENTINEL, FileStatus, INodeFile
+from repro.storage.filesystem import FileSystem
+from repro.storage.namenode import DelegationToken, NameNode
+
+__all__ = [
+    "COMPRESSED_LENGTH_SENTINEL",
+    "FileStatus",
+    "INodeFile",
+    "FileSystem",
+    "DelegationToken",
+    "NameNode",
+]

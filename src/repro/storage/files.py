@@ -1,0 +1,86 @@
+"""File metadata for the HDFS-like store.
+
+The paper's Figure 2 failure (SPARK-27239) hinges on a *custom metadata*
+convention: HDFS reports ``length == -1`` for files whose payload is
+stored compressed, overloading the POSIX length field. Table 4 calls
+such non-POSIX file properties "custom metadata" and attributes 8/61
+data-plane failures to them, so the file model here carries an explicit
+bag of custom properties in addition to the overloaded length.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+__all__ = ["COMPRESSED_LENGTH_SENTINEL", "FileStatus", "INodeFile"]
+
+#: The sentinel the downstream store reports as the length of files whose
+#: payload is compressed at rest. Upstream systems that assert
+#: ``length >= 0`` crash on it (Figure 2).
+COMPRESSED_LENGTH_SENTINEL = -1
+
+
+@dataclass(frozen=True)
+class FileStatus:
+    """What a ``getFileStatus`` call returns to upstream systems."""
+
+    path: str
+    length: int
+    is_directory: bool = False
+    owner: str = "hdfs"
+    permission: int = 0o644
+    modification_time_ms: int = 0
+    replication: int = 3
+    #: Non-POSIX properties: ``is_compressed``, ``is_encrypted``,
+    #: ``is_local``, ``storage_policy`` ... (Table 4, "custom metadata").
+    custom: tuple[tuple[str, object], ...] = ()
+
+    def custom_property(self, name: str, default: object = None) -> object:
+        for key, value in self.custom:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass
+class INodeFile:
+    """An in-namespace file: payload plus its at-rest representation."""
+
+    path: str
+    data: bytes = b""
+    compressed: bool = False
+    encrypted: bool = False
+    local_only: bool = False
+    owner: str = "hdfs"
+    permission: int = 0o644
+    modification_time_ms: int = 0
+    extra_properties: dict[str, object] = field(default_factory=dict)
+
+    def stored_payload(self) -> bytes:
+        if self.compressed:
+            return zlib.compress(self.data)
+        return self.data
+
+    def reported_length(self) -> int:
+        """Length as reported to clients — overloaded for compressed files."""
+        if self.compressed:
+            return COMPRESSED_LENGTH_SENTINEL
+        return len(self.data)
+
+    def status(self) -> FileStatus:
+        custom: dict[str, object] = {
+            "is_compressed": self.compressed,
+            "is_encrypted": self.encrypted,
+            "is_local": self.local_only,
+        }
+        custom.update(self.extra_properties)
+        return FileStatus(
+            path=self.path,
+            length=self.reported_length(),
+            is_directory=False,
+            owner=self.owner,
+            permission=self.permission,
+            modification_time_ms=self.modification_time_ms,
+            custom=tuple(sorted(custom.items())),
+        )

@@ -1,0 +1,75 @@
+"""Client-facing filesystem facade over a :class:`NameNode`.
+
+Upstream systems (sparklite, hivelite, yarnlite) talk to storage through
+this API rather than the namenode directly, mirroring the Hadoop
+``FileSystem`` abstraction the paper's file-plane failures flow through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.files import FileStatus
+from repro.storage.namenode import DelegationToken, NameNode
+
+__all__ = ["FileSystem"]
+
+
+@dataclass
+class FileSystem:
+    """A thin, user-scoped handle on the namespace."""
+
+    namenode: NameNode
+    user: str = "client"
+
+    def mkdirs(self, path: str) -> None:
+        self.namenode.mkdirs(path)
+
+    def write(
+        self,
+        path: str,
+        data: bytes,
+        *,
+        compressed: bool = False,
+        encrypted: bool = False,
+        local_only: bool = False,
+        overwrite: bool = True,
+        properties: dict[str, object] | None = None,
+    ) -> FileStatus:
+        return self.namenode.create(
+            path,
+            data,
+            compressed=compressed,
+            encrypted=encrypted,
+            local_only=local_only,
+            owner=self.user,
+            overwrite=overwrite,
+            properties=properties,
+        )
+
+    def append(self, path: str, data: bytes) -> FileStatus:
+        return self.namenode.append(path, data)
+
+    def read(self, path: str) -> bytes:
+        return self.namenode.open(path)
+
+    def read_raw(self, path: str) -> bytes:
+        return self.namenode.open_raw(path)
+
+    def delete(self, path: str, recursive: bool = False) -> bool:
+        return self.namenode.delete(path, recursive=recursive)
+
+    def rename(self, src: str, dst: str) -> None:
+        self.namenode.rename(src, dst)
+
+    def exists(self, path: str) -> bool:
+        return self.namenode.exists(path)
+
+    def status(self, path: str) -> FileStatus:
+        return self.namenode.get_file_status(path)
+
+    def listdir(self, path: str) -> list[FileStatus]:
+        return self.namenode.list_status(path)
+
+    def issue_token(self, lifetime_ms: int | None = None) -> DelegationToken:
+        return self.namenode.issue_token(self.user, lifetime_ms)

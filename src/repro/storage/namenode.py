@@ -1,0 +1,225 @@
+"""The namespace server of the HDFS-like store.
+
+Implements the minimum surface the paper's scenarios exercise: a
+hierarchical namespace, safe mode (HBASE-537: an upstream wrongly
+assumed the namenode was ready while it was in safe mode), and
+delegation tokens with expiry (YARN-2790: token renewal raced with the
+operation consuming it).
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    FileNotFoundInStorageError,
+    SafeModeException,
+    StorageError,
+)
+from repro.storage.files import FileStatus, INodeFile
+
+__all__ = ["DelegationToken", "NameNode"]
+
+
+@dataclass
+class DelegationToken:
+    """A bearer token for access on behalf of a user, with an expiry."""
+
+    token_id: int
+    renewer: str
+    issued_at_ms: int
+    expires_at_ms: int
+    cancelled: bool = False
+
+    def is_valid(self, now_ms: int) -> bool:
+        return not self.cancelled and now_ms < self.expires_at_ms
+
+
+@dataclass
+class NameNode:
+    """Single-node namespace: directories, files, safe mode, tokens."""
+
+    cluster: str = "hdfs"
+    safe_mode: bool = False
+    token_lifetime_ms: int = 86_400_000
+    _files: dict[str, INodeFile] = field(default_factory=dict)
+    _dirs: set[str] = field(default_factory=lambda: {"/"})
+    _tokens: dict[int, DelegationToken] = field(default_factory=dict)
+    _next_token_id: int = 1
+    clock_ms: int = 0
+
+    # -- safe mode -----------------------------------------------------
+
+    def enter_safe_mode(self) -> None:
+        self.safe_mode = True
+
+    def leave_safe_mode(self) -> None:
+        self.safe_mode = False
+
+    def _check_writable(self, operation: str) -> None:
+        if self.safe_mode:
+            raise SafeModeException(
+                f"cannot {operation}: name node is in safe mode"
+            )
+
+    # -- namespace -----------------------------------------------------
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        if not path.startswith("/"):
+            raise StorageError(f"path must be absolute: {path!r}")
+        return posixpath.normpath(path)
+
+    def mkdirs(self, path: str) -> None:
+        self._check_writable("mkdirs")
+        path = self._normalize(path)
+        parts = path.strip("/").split("/") if path != "/" else []
+        current = "/"
+        for part in parts:
+            current = posixpath.join(current, part)
+            if current in self._files:
+                raise StorageError(f"{current} exists and is a file")
+            self._dirs.add(current)
+
+    def create(
+        self,
+        path: str,
+        data: bytes,
+        *,
+        compressed: bool = False,
+        encrypted: bool = False,
+        local_only: bool = False,
+        owner: str = "hdfs",
+        overwrite: bool = False,
+        properties: dict[str, object] | None = None,
+    ) -> FileStatus:
+        self._check_writable("create")
+        path = self._normalize(path)
+        if path in self._dirs:
+            raise StorageError(f"{path} exists and is a directory")
+        if path in self._files and not overwrite:
+            raise StorageError(f"{path} already exists")
+        self.mkdirs(posixpath.dirname(path) or "/")
+        node = INodeFile(
+            path=path,
+            data=data,
+            compressed=compressed,
+            encrypted=encrypted,
+            local_only=local_only,
+            owner=owner,
+            modification_time_ms=self.clock_ms,
+            extra_properties=dict(properties or {}),
+        )
+        self._files[path] = node
+        return node.status()
+
+    def append(self, path: str, data: bytes) -> FileStatus:
+        self._check_writable("append")
+        node = self._lookup_file(path)
+        node.data += data
+        node.modification_time_ms = self.clock_ms
+        return node.status()
+
+    def open(self, path: str) -> bytes:
+        """Read the logical (decompressed) payload."""
+        return self._lookup_file(path).data
+
+    def open_raw(self, path: str) -> bytes:
+        """Read the at-rest payload (compressed form for compressed files)."""
+        return self._lookup_file(path).stored_payload()
+
+    def delete(self, path: str, recursive: bool = False) -> bool:
+        self._check_writable("delete")
+        path = self._normalize(path)
+        if path in self._files:
+            del self._files[path]
+            return True
+        if path in self._dirs:
+            children = [p for p in self._list_children(path)]
+            if children and not recursive:
+                raise StorageError(f"{path} is a non-empty directory")
+            for child in children:
+                self.delete(child, recursive=True)
+            if path != "/":
+                self._dirs.discard(path)
+            return True
+        return False
+
+    def rename(self, src: str, dst: str) -> None:
+        self._check_writable("rename")
+        node = self._lookup_file(src)
+        dst = self._normalize(dst)
+        if dst in self._files or dst in self._dirs:
+            raise StorageError(f"rename target {dst} exists")
+        del self._files[node.path]
+        node.path = dst
+        self.mkdirs(posixpath.dirname(dst) or "/")
+        self._files[dst] = node
+
+    def exists(self, path: str) -> bool:
+        path = self._normalize(path)
+        return path in self._files or path in self._dirs
+
+    def get_file_status(self, path: str) -> FileStatus:
+        path = self._normalize(path)
+        if path in self._dirs:
+            return FileStatus(path=path, length=0, is_directory=True)
+        return self._lookup_file(path).status()
+
+    def list_status(self, path: str) -> list[FileStatus]:
+        path = self._normalize(path)
+        if path in self._files:
+            return [self._lookup_file(path).status()]
+        if path not in self._dirs:
+            raise FileNotFoundInStorageError(path)
+        return [
+            self.get_file_status(child)
+            for child in sorted(self._list_children(path))
+        ]
+
+    def set_property(self, path: str, name: str, value: object) -> None:
+        self._lookup_file(path).extra_properties[name] = value
+
+    def _list_children(self, path: str) -> list[str]:
+        prefix = path.rstrip("/") + "/"
+        children = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != path and candidate.startswith(prefix):
+                remainder = candidate[len(prefix) :]
+                children.add(prefix + remainder.split("/")[0])
+        return sorted(children)
+
+    def _lookup_file(self, path: str) -> INodeFile:
+        path = self._normalize(path)
+        node = self._files.get(path)
+        if node is None:
+            raise FileNotFoundInStorageError(path)
+        return node
+
+    # -- delegation tokens ----------------------------------------------
+
+    def issue_token(self, renewer: str, lifetime_ms: int | None = None) -> DelegationToken:
+        lifetime = lifetime_ms if lifetime_ms is not None else self.token_lifetime_ms
+        token = DelegationToken(
+            token_id=self._next_token_id,
+            renewer=renewer,
+            issued_at_ms=self.clock_ms,
+            expires_at_ms=self.clock_ms + lifetime,
+        )
+        self._next_token_id += 1
+        self._tokens[token.token_id] = token
+        return token
+
+    def renew_token(self, token_id: int, lifetime_ms: int | None = None) -> DelegationToken:
+        token = self._tokens.get(token_id)
+        if token is None or token.cancelled:
+            raise StorageError(f"token {token_id} unknown or cancelled")
+        lifetime = lifetime_ms if lifetime_ms is not None else self.token_lifetime_ms
+        token.expires_at_ms = self.clock_ms + lifetime
+        return token
+
+    def verify_token(self, token_id: int) -> None:
+        token = self._tokens.get(token_id)
+        if token is None or not token.is_valid(self.clock_ms):
+            raise StorageError(f"token {token_id} invalid or expired")

@@ -1,0 +1,5 @@
+"""Interaction redundancy: tolerate CSI read failures via path diversity."""
+
+from repro.tolerance.reader import PathFailure, RedundantReader, ToleratedRead
+
+__all__ = ["PathFailure", "RedundantReader", "ToleratedRead"]

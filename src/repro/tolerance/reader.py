@@ -1,0 +1,112 @@
+"""CSI fault tolerance through interface redundancy (§5.2 / §10).
+
+The paper observes that cross-system interactions are single points of
+failure despite replicated data, and proposes "leveraging the diversity
+of existing interfaces ... to build interaction redundancy". This module
+is that mechanism: a :class:`RedundantReader` fans a read across several
+independent read paths (Spark DataFrame, SparkSQL, HiveQL) and returns
+the first one that succeeds, recording which paths failed and why.
+
+The trade-off is real and preserved: a fallback path may return the
+data under *its* semantics (e.g. the HiveQL path reads an Avro-promoted
+INT where the DataFrame path raised on BYTE), so the result carries the
+path that produced it and the caller decides whether availability wins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.common.result import QueryResult
+from repro.hivelite.engine import HiveServer
+from repro.sparklite.session import SparkSession
+
+__all__ = ["PathFailure", "ToleratedRead", "RedundantReader"]
+
+ReadFn = Callable[[str], QueryResult]
+
+
+@dataclass(frozen=True)
+class PathFailure:
+    path: str
+    error_type: str
+    message: str
+
+
+@dataclass
+class ToleratedRead:
+    """Outcome of a redundant read."""
+
+    table: str
+    result: QueryResult | None = None
+    path_used: str | None = None
+    failures: tuple[PathFailure, ...] = ()
+
+    @property
+    def succeeded(self) -> bool:
+        return self.result is not None
+
+    @property
+    def tolerated(self) -> bool:
+        """True when the primary path failed but another succeeded."""
+        return self.succeeded and bool(self.failures)
+
+    def describe(self) -> str:
+        if not self.succeeded:
+            return (
+                f"{self.table}: all {len(self.failures)} read paths failed"
+            )
+        suffix = (
+            f" (after {len(self.failures)} failed paths)"
+            if self.failures
+            else ""
+        )
+        return f"{self.table}: read via {self.path_used}{suffix}"
+
+
+@dataclass
+class RedundantReader:
+    """Ordered read paths; first success wins."""
+
+    paths: list[tuple[str, ReadFn]] = field(default_factory=list)
+
+    def add_path(self, name: str, read_fn: ReadFn) -> "RedundantReader":
+        self.paths.append((name, read_fn))
+        return self
+
+    @classmethod
+    def for_pair(
+        cls, spark: SparkSession, hive: HiveServer
+    ) -> "RedundantReader":
+        """The standard path stack for a Spark+Hive co-deployment."""
+        reader = cls()
+        reader.add_path(
+            "spark-dataframe",
+            lambda table: spark.read_table(table, interface="dataframe"),
+        )
+        reader.add_path(
+            "spark-sql", lambda table: spark.sql(f"SELECT * FROM {table}")
+        )
+        reader.add_path(
+            "hiveql", lambda table: hive.execute(f"SELECT * FROM {table}")
+        )
+        return reader
+
+    def read(self, table: str) -> ToleratedRead:
+        failures: list[PathFailure] = []
+        for name, read_fn in self.paths:
+            try:
+                result = read_fn(table)
+            except Exception as exc:  # noqa: BLE001 - any failure falls over
+                failures.append(
+                    PathFailure(name, type(exc).__name__, str(exc))
+                )
+                continue
+            return ToleratedRead(
+                table=table,
+                result=result,
+                path_used=name,
+                failures=tuple(failures),
+            )
+        return ToleratedRead(table=table, failures=tuple(failures))

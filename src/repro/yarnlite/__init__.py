@@ -1,0 +1,52 @@
+"""Mini YARN: schedulers, ResourceManager, NodeManager pmem monitor."""
+
+from repro.yarnlite.configs import (
+    INCREMENT_MB,
+    INCREMENT_VCORES,
+    MAX_ALLOC_MB,
+    MAX_ALLOC_VCORES,
+    MIN_ALLOC_MB,
+    MIN_ALLOC_VCORES,
+    NM_MEMORY_MB,
+    PMEM_CHECK_ENABLED,
+    SCHEDULER_CLASS,
+    YARN_CONFIG_KEYS,
+    YarnConf,
+)
+from repro.yarnlite.nodemanager import NodeManager, RunningContainer
+from repro.yarnlite.resourcemanager import (
+    ApplicationHandle,
+    Container,
+    ResourceManager,
+)
+from repro.yarnlite.resources import Resource
+from repro.yarnlite.scheduler import (
+    CapacityScheduler,
+    FairScheduler,
+    Scheduler,
+    scheduler_for,
+)
+
+__all__ = [
+    "INCREMENT_MB",
+    "INCREMENT_VCORES",
+    "MAX_ALLOC_MB",
+    "MAX_ALLOC_VCORES",
+    "MIN_ALLOC_MB",
+    "MIN_ALLOC_VCORES",
+    "NM_MEMORY_MB",
+    "PMEM_CHECK_ENABLED",
+    "SCHEDULER_CLASS",
+    "YARN_CONFIG_KEYS",
+    "YarnConf",
+    "NodeManager",
+    "RunningContainer",
+    "ApplicationHandle",
+    "Container",
+    "ResourceManager",
+    "Resource",
+    "CapacityScheduler",
+    "FairScheduler",
+    "Scheduler",
+    "scheduler_for",
+]

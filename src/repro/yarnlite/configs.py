@@ -1,0 +1,71 @@
+"""YARN configuration surface.
+
+FLINK-19141 (Figure 3) is a management-plane failure rooted here: the
+**capacity scheduler** normalizes container requests with the
+``yarn.scheduler.minimum-allocation-*`` keys, while the **fair
+scheduler** uses the ``yarn.resource-types.*.increment-allocation``
+keys. The same upstream arithmetic is therefore right for one scheduler
+and wrong for the other — "configuration values are wrong in a specific
+CSI context" (Table 7, inconsistent context).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ConfigKey, Configuration, parse_bool, parse_int
+
+__all__ = [
+    "YarnConf",
+    "YARN_CONFIG_KEYS",
+    "MIN_ALLOC_MB",
+    "MIN_ALLOC_VCORES",
+    "MAX_ALLOC_MB",
+    "MAX_ALLOC_VCORES",
+    "INCREMENT_MB",
+    "INCREMENT_VCORES",
+    "SCHEDULER_CLASS",
+    "PMEM_CHECK_ENABLED",
+    "NM_MEMORY_MB",
+]
+
+MIN_ALLOC_MB = "yarn.scheduler.minimum-allocation-mb"
+MIN_ALLOC_VCORES = "yarn.scheduler.minimum-allocation-vcores"
+MAX_ALLOC_MB = "yarn.scheduler.maximum-allocation-mb"
+MAX_ALLOC_VCORES = "yarn.scheduler.maximum-allocation-vcores"
+INCREMENT_MB = "yarn.resource-types.memory-mb.increment-allocation"
+INCREMENT_VCORES = "yarn.resource-types.vcores.increment-allocation"
+SCHEDULER_CLASS = "yarn.resourcemanager.scheduler.class"
+PMEM_CHECK_ENABLED = "yarn.nodemanager.pmem-check-enabled"
+NM_MEMORY_MB = "yarn.nodemanager.resource.memory-mb"
+
+YARN_CONFIG_KEYS: list[ConfigKey] = [
+    ConfigKey(MIN_ALLOC_MB, default=1024, parser=parse_int,
+              doc="Capacity scheduler: requests round up to a multiple."),
+    ConfigKey(MIN_ALLOC_VCORES, default=1, parser=parse_int),
+    ConfigKey(MAX_ALLOC_MB, default=8192, parser=parse_int),
+    ConfigKey(MAX_ALLOC_VCORES, default=4, parser=parse_int),
+    ConfigKey(INCREMENT_MB, default=1024, parser=parse_int,
+              doc="Fair scheduler: requests round up to a multiple of "
+              "this instead of the minimum-allocation key."),
+    ConfigKey(INCREMENT_VCORES, default=1, parser=parse_int),
+    ConfigKey(SCHEDULER_CLASS, default="capacity",
+              doc="'capacity' or 'fair'."),
+    ConfigKey(PMEM_CHECK_ENABLED, default=True, parser=parse_bool,
+              doc="Whether the NodeManager kills containers whose "
+              "physical memory exceeds their allocation (FLINK-887)."),
+    ConfigKey(NM_MEMORY_MB, default=8192, parser=parse_int),
+    ConfigKey("yarn.resourcemanager.am.max-attempts", default=2,
+              parser=parse_int),
+    ConfigKey("yarn.nodemanager.vmem-pmem-ratio", default="2.1"),
+    ConfigKey("yarn.nodemanager.pmem-check-interval-ms", default=3000,
+              parser=parse_int),
+]
+
+
+class YarnConf(Configuration):
+    def __init__(self) -> None:
+        super().__init__(system="yarn")
+        self.declare_all(YARN_CONFIG_KEYS)
+
+    @property
+    def scheduler_class(self) -> str:
+        return str(self.get(SCHEDULER_CLASS)).lower()

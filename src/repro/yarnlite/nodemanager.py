@@ -1,0 +1,94 @@
+"""The NodeManager's physical-memory monitor.
+
+Finding 9: monitoring data used for critical actions (here: kill) is a
+CSI hazard. FLINK-887 is the paper's example — Flink's JobManager runs
+inside a YARN container, and if the JVM heap is not configured with
+headroom below the container allocation, the pmem monitor kills it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.common.events import EventLoop, Process
+from repro.errors import ContainerKilledError
+from repro.yarnlite.configs import PMEM_CHECK_ENABLED, YarnConf
+from repro.yarnlite.resourcemanager import Container
+
+__all__ = ["RunningContainer", "NodeManager"]
+
+
+@dataclass
+class RunningContainer:
+    container: Container
+    pmem_used_mb: int = 0
+    killed: bool = False
+    kill_reason: str = ""
+    on_kill: Callable[[str], None] | None = None
+
+
+class NodeManager(Process):
+    def __init__(
+        self,
+        loop: EventLoop,
+        conf: YarnConf | None = None,
+        *,
+        check_interval_ms: int = 3000,
+    ) -> None:
+        super().__init__(loop, "yarn-nm")
+        self.conf = conf or YarnConf()
+        self.check_interval_ms = check_interval_ms
+        self._running: dict[int, RunningContainer] = {}
+        self.kills: list[tuple[int, str]] = []
+        self._monitoring = False
+
+    def launch(
+        self,
+        container: Container,
+        on_kill: Callable[[str], None] | None = None,
+    ) -> RunningContainer:
+        running = RunningContainer(container, on_kill=on_kill)
+        self._running[container.container_id] = running
+        self._ensure_monitor()
+        return running
+
+    def report_usage(self, container_id: int, pmem_used_mb: int) -> None:
+        running = self._running.get(container_id)
+        if running is None or running.killed:
+            raise ContainerKilledError(
+                f"container {container_id} is not running"
+            )
+        running.pmem_used_mb = pmem_used_mb
+
+    def _ensure_monitor(self) -> None:
+        if self._monitoring:
+            return
+        self._monitoring = True
+        self.schedule(self.check_interval_ms, self._check, "pmem-check")
+
+    def _check(self) -> None:
+        if bool(self.conf.get(PMEM_CHECK_ENABLED)):
+            for running in list(self._running.values()):
+                limit = running.container.resource.memory_mb
+                if running.pmem_used_mb > limit:
+                    self._kill(
+                        running,
+                        f"container is running beyond physical memory "
+                        f"limits: {running.pmem_used_mb}MB of {limit}MB used",
+                    )
+        if self._running:
+            self.schedule(self.check_interval_ms, self._check, "pmem-check")
+        else:
+            self._monitoring = False
+
+    def _kill(self, running: RunningContainer, reason: str) -> None:
+        running.killed = True
+        running.kill_reason = reason
+        self.kills.append((running.container.container_id, reason))
+        del self._running[running.container.container_id]
+        if running.on_kill is not None:
+            running.on_kill(reason)
+
+    def is_running(self, container_id: int) -> bool:
+        return container_id in self._running

@@ -1,0 +1,176 @@
+"""The YARN ResourceManager: asynchronous container allocation.
+
+The control-plane example of the paper (Figure 1, FLINK-12342) hinges
+on one property of this component: ``request_containers`` **returns
+immediately** and fulfilment arrives later through a callback, taking
+``allocation_latency_ms`` of simulated time *per container*. An
+upstream that assumes the request is served within its own polling
+interval re-requests pending containers and snowballs the queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.common.events import EventLoop, Process
+from repro.errors import SchedulerOverloadError
+from repro.metrics.registry import MetricsRegistry
+from repro.yarnlite.configs import YarnConf
+from repro.yarnlite.resources import Resource
+from repro.yarnlite.scheduler import Scheduler, scheduler_for
+
+__all__ = ["Container", "ApplicationHandle", "ResourceManager"]
+
+
+@dataclass(frozen=True)
+class Container:
+    container_id: int
+    resource: Resource
+    node: str = "node-0"
+
+
+@dataclass
+class ApplicationHandle:
+    """One registered application master's view of the RM."""
+
+    app_id: int
+    callback: Callable[[list[Container]], None]
+    requested_total: int = 0
+    allocated_total: int = 0
+    #: final status the AM reported at unregistration (None = running).
+    #: YARN believes whatever the upstream reports here — the root of
+    #: the §6.2.2 observability failures (SPARK-3627, SPARK-10851).
+    final_status: str | None = None
+    diagnostics: str = ""
+
+
+class ResourceManager(Process):
+    """Single-queue RM with per-container allocation latency."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        conf: YarnConf | None = None,
+        *,
+        cluster_resource: Resource = Resource(1_048_576, 4096),
+        allocation_latency_ms: int = 300,
+        max_queued_requests: int = 1_000_000,
+    ) -> None:
+        super().__init__(loop, "yarn-rm")
+        self.conf = conf or YarnConf()
+        self.scheduler: Scheduler = scheduler_for(self.conf)
+        self.cluster_resource = cluster_resource
+        self.available = cluster_resource
+        self.allocation_latency_ms = allocation_latency_ms
+        self.max_queued_requests = max_queued_requests
+        self._apps: dict[int, ApplicationHandle] = {}
+        self._app_ids = itertools.count(1)
+        self._container_ids = itertools.count(1)
+        self._queue: list[tuple[int, Resource]] = []
+        self._draining = False
+        #: total container requests ever received — the overload metric
+        #: Figure 1 reports ("4000+ requested").
+        self.total_requests_received = 0
+        self.total_containers_allocated = 0
+        #: exported monitoring surface (scraped by other systems)
+        self.metrics = MetricsRegistry(system="yarn-rm")
+        self._pending_gauge = self.metrics.gauge(
+            "yarn.pending_requests",
+            description="container requests queued, not yet allocated",
+        )
+        self._allocated_counter = self.metrics.counter(
+            "yarn.containers_allocated"
+        )
+        self._available_gauge = self.metrics.gauge(
+            "yarn.available_memory_mb"
+        )
+        self._available_gauge.set(cluster_resource.memory_mb)
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self, callback: Callable[[list[Container]], None]
+    ) -> ApplicationHandle:
+        handle = ApplicationHandle(next(self._app_ids), callback)
+        self._apps[handle.app_id] = handle
+        return handle
+
+    def unregister_application(
+        self,
+        handle: ApplicationHandle,
+        final_status: str,
+        diagnostics: str = "",
+    ) -> None:
+        """The AM reports its final status; the RM records it verbatim."""
+        if final_status not in ("SUCCEEDED", "FAILED", "KILLED"):
+            raise ValueError(f"invalid final status {final_status!r}")
+        handle.final_status = final_status
+        handle.diagnostics = diagnostics
+
+    def application_report(self, app_id: int) -> ApplicationHandle:
+        handle = self._apps.get(app_id)
+        if handle is None:
+            raise KeyError(f"unknown application {app_id}")
+        return handle
+
+    # -- the asynchronous allocate API ------------------------------------
+
+    def request_containers(
+        self, handle: ApplicationHandle, count: int, resource: Resource
+    ) -> None:
+        """Enqueue ``count`` container requests; returns immediately."""
+        self.scheduler.validate(resource)
+        normalized = self.scheduler.normalize(resource)
+        if len(self._queue) + count > self.max_queued_requests:
+            raise SchedulerOverloadError(
+                f"request queue would exceed {self.max_queued_requests}"
+            )
+        handle.requested_total += count
+        self.total_requests_received += count
+        for _ in range(count):
+            self._queue.append((handle.app_id, normalized))
+        self._pending_gauge.set(len(self._queue))
+        self._drain()
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._queue)
+
+    def _drain(self) -> None:
+        if self._draining or not self._queue:
+            return
+        self._draining = True
+        self.schedule(self.allocation_latency_ms, self._allocate_one, "allocate")
+
+    def _allocate_one(self) -> None:
+        self._draining = False
+        if not self._queue:
+            return
+        app_id, resource = self._queue.pop(0)
+        handle = self._apps.get(app_id)
+        if handle is None:
+            self._drain()
+            return
+        if not resource.fits_within(self.available):
+            # out of cluster capacity: leave the request queued and retry.
+            self._queue.insert(0, (app_id, resource))
+            self.schedule(
+                self.allocation_latency_ms, self._allocate_one, "retry"
+            )
+            self._draining = True
+            return
+        self.available = self.available - resource
+        container = Container(next(self._container_ids), resource)
+        handle.allocated_total += 1
+        self.total_containers_allocated += 1
+        self._pending_gauge.set(len(self._queue))
+        self._allocated_counter.increment()
+        self._available_gauge.set(self.available.memory_mb)
+        handle.callback([container])
+        self._drain()
+
+    def release(self, container: Container) -> None:
+        self.available = self.available + container.resource
+        self._available_gauge.set(self.available.memory_mb)

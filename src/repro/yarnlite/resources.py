@@ -1,0 +1,40 @@
+"""Resource vectors (memory + vcores) used by the YARN-like substrate."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Resource"]
+
+
+@dataclass(frozen=True, order=True)
+class Resource:
+    memory_mb: int
+    vcores: int = 1
+
+    def __add__(self, other: "Resource") -> "Resource":
+        return Resource(self.memory_mb + other.memory_mb, self.vcores + other.vcores)
+
+    def __sub__(self, other: "Resource") -> "Resource":
+        return Resource(self.memory_mb - other.memory_mb, self.vcores - other.vcores)
+
+    def __mul__(self, factor: int) -> "Resource":
+        return Resource(self.memory_mb * factor, self.vcores * factor)
+
+    def fits_within(self, other: "Resource") -> bool:
+        return self.memory_mb <= other.memory_mb and self.vcores <= other.vcores
+
+    def round_up_to(self, step: "Resource") -> "Resource":
+        """Round each dimension up to a multiple of ``step``."""
+        return Resource(
+            memory_mb=math.ceil(self.memory_mb / step.memory_mb) * step.memory_mb
+            if step.memory_mb > 0
+            else self.memory_mb,
+            vcores=math.ceil(self.vcores / step.vcores) * step.vcores
+            if step.vcores > 0
+            else self.vcores,
+        )
+
+    def is_nonnegative(self) -> bool:
+        return self.memory_mb >= 0 and self.vcores >= 0

@@ -1,0 +1,83 @@
+"""The two YARN schedulers and their *different* normalization rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+from repro.yarnlite.configs import (
+    INCREMENT_MB,
+    INCREMENT_VCORES,
+    MAX_ALLOC_MB,
+    MAX_ALLOC_VCORES,
+    MIN_ALLOC_MB,
+    MIN_ALLOC_VCORES,
+    YarnConf,
+)
+from repro.yarnlite.resources import Resource
+
+__all__ = ["Scheduler", "CapacityScheduler", "FairScheduler", "scheduler_for"]
+
+
+@dataclass
+class Scheduler:
+    conf: YarnConf
+    name: str = "abstract"
+
+    def max_allocation(self) -> Resource:
+        return Resource(
+            int(self.conf.get(MAX_ALLOC_MB)),
+            int(self.conf.get(MAX_ALLOC_VCORES)),
+        )
+
+    def normalize(self, requested: Resource) -> Resource:
+        """Round a request to what this scheduler will actually grant."""
+        raise NotImplementedError
+
+    def validate(self, requested: Resource) -> None:
+        if not requested.is_nonnegative() or requested.memory_mb == 0:
+            raise AllocationError(f"invalid resource request {requested}")
+        if not requested.fits_within(self.max_allocation()):
+            raise AllocationError(
+                f"requested {requested} exceeds maximum allocation "
+                f"{self.max_allocation()}"
+            )
+
+
+class CapacityScheduler(Scheduler):
+    """Normalizes with the ``yarn.scheduler.minimum-allocation-*`` keys."""
+
+    def __init__(self, conf: YarnConf) -> None:
+        super().__init__(conf, name="capacity")
+
+    def normalize(self, requested: Resource) -> Resource:
+        step = Resource(
+            int(self.conf.get(MIN_ALLOC_MB)),
+            int(self.conf.get(MIN_ALLOC_VCORES)),
+        )
+        return requested.round_up_to(step)
+
+
+class FairScheduler(Scheduler):
+    """Normalizes with the ``yarn.resource-types.*.increment-allocation``
+    keys — *not* the minimum-allocation keys an upstream might assume
+    (FLINK-19141)."""
+
+    def __init__(self, conf: YarnConf) -> None:
+        super().__init__(conf, name="fair")
+
+    def normalize(self, requested: Resource) -> Resource:
+        step = Resource(
+            int(self.conf.get(INCREMENT_MB)),
+            int(self.conf.get(INCREMENT_VCORES)),
+        )
+        return requested.round_up_to(step)
+
+
+def scheduler_for(conf: YarnConf) -> Scheduler:
+    kind = conf.scheduler_class
+    if kind == "capacity":
+        return CapacityScheduler(conf)
+    if kind == "fair":
+        return FairScheduler(conf)
+    raise AllocationError(f"unknown scheduler class {kind!r}")

@@ -1,0 +1,144 @@
+"""Unit tests for the configuration plane: provenance and merging."""
+
+import pytest
+
+from repro.common.config import (
+    ConfigKey,
+    Configuration,
+    MergePolicy,
+    parse_bool,
+    parse_duration_ms,
+    parse_int,
+    parse_memory_mb,
+)
+from repro.errors import ConfigValueError, UnknownConfigKeyError
+
+
+class TestParsers:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("true", True), ("1", True), ("on", True), ("FALSE", False), ("no", False)],
+    )
+    def test_parse_bool(self, text, expected):
+        assert parse_bool(text) is expected
+
+    def test_parse_bool_invalid(self):
+        with pytest.raises(ConfigValueError):
+            parse_bool("maybe")
+
+    def test_parse_int(self):
+        assert parse_int(" 42 ") == 42
+        with pytest.raises(ConfigValueError):
+            parse_int("4x")
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("1024", 1024), ("1024m", 1024), ("2g", 2048), ("1GB", 1024)],
+    )
+    def test_parse_memory(self, text, expected):
+        assert parse_memory_mb(text) == expected
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("500", 500), ("500ms", 500), ("2s", 2000), ("1min", 60000)],
+    )
+    def test_parse_duration(self, text, expected):
+        assert parse_duration_ms(text) == expected
+
+
+@pytest.fixture
+def conf():
+    conf = Configuration(system="test")
+    conf.declare(ConfigKey("a.flag", default=False, parser=parse_bool))
+    conf.declare(ConfigKey("a.size", default=10, parser=parse_int))
+    return conf
+
+
+class TestConfiguration:
+    def test_defaults(self, conf):
+        assert conf.get("a.flag") is False
+        assert conf.get("a.size") == 10
+        assert conf.get("unknown", "fallback") == "fallback"
+
+    def test_set_parses_strings(self, conf):
+        conf.set("a.flag", "true")
+        assert conf.get("a.flag") is True
+
+    def test_set_keeps_typed_values(self, conf):
+        conf.set("a.size", 42)
+        assert conf.get("a.size") == 42
+
+    def test_strict_rejects_unknown(self):
+        conf = Configuration(system="strict", strict=True)
+        with pytest.raises(UnknownConfigKeyError):
+            conf.set("nope", 1)
+
+    def test_provenance_chain(self, conf):
+        conf.set("a.size", 1, source="file")
+        conf.set("a.size", 2, source="cli")
+        entry = conf.entry("a.size")
+        assert entry.provenance_chain() == ["cli", "file"]
+
+    def test_audit_trail(self, conf):
+        conf.set("a.size", 1)
+        conf.set("a.flag", "true")
+        assert [e.key for e in conf.audit_trail] == ["a.size", "a.flag"]
+
+    def test_unset(self, conf):
+        conf.set("a.size", 1)
+        conf.unset("a.size")
+        assert conf.get("a.size") == 10  # back to default
+        assert not conf.is_set("a.size")
+
+    def test_effective_items_include_defaults(self, conf):
+        conf.set("a.size", 1)
+        effective = dict(conf.effective_items())
+        assert effective == {"a.size": 1, "a.flag": False}
+
+    def test_copy_is_independent(self, conf):
+        conf.set("a.size", 1)
+        clone = conf.copy()
+        clone.set("a.size", 2)
+        assert conf.get("a.size") == 1
+
+
+class TestMerge:
+    def _pair(self):
+        left = Configuration(system="left")
+        left.set("k", "left-value", source="operator")
+        right = Configuration(system="right")
+        right.set("k", "right-value", source="default")
+        right.set("only-right", 1)
+        return left, right
+
+    def test_prefer_self_keeps_and_reports(self):
+        left, right = self._pair()
+        losers = left.merge(right, MergePolicy.PREFER_SELF)
+        assert left.get("k") == "left-value"
+        assert left.get("only-right") == 1
+        assert [l.value for l in losers] == ["right-value"]
+
+    def test_prefer_other_overwrites_with_provenance(self):
+        left, right = self._pair()
+        left.merge(right, MergePolicy.PREFER_OTHER)
+        assert left.get("k") == "right-value"
+        # the overwrite is recorded: old entry reachable in the chain
+        assert left.entry("k").provenance_chain() == ["right", "operator"]
+
+    def test_silent_overwrite_scrubs_history(self):
+        left, right = self._pair()
+        losers = left.merge(right, MergePolicy.SILENT_OVERWRITE)
+        assert left.get("k") == "right-value"
+        # SPARK-16901 shape: the losing value is gone from the chain
+        assert left.entry("k").provenance_chain() == ["right"]
+        assert losers and losers[0].value == "left-value"
+
+    def test_merge_of_disjoint_keys_has_no_losers(self):
+        left = Configuration(system="l")
+        left.set("x", 1)
+        right = Configuration(system="r")
+        right.set("y", 2)
+        assert left.merge(right) == []
+        assert dict(left.explicit_items())["y"] == 2
+        # a second merge collides on the now-present key
+        assert len(left.merge(right)) == 1

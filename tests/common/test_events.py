@@ -1,0 +1,120 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.events import EventLoop, Process, SimClock
+
+
+class TestSimClock:
+    def test_monotonic(self):
+        clock = SimClock()
+        clock.advance_to(10)
+        with pytest.raises(ValueError):
+            clock.advance_to(5)
+
+    def test_start_offset(self):
+        assert SimClock(100).now_ms == 100
+
+
+class TestEventLoop:
+    def test_fifo_within_same_time(self):
+        loop = EventLoop()
+        order = []
+        loop.call_at(5, lambda: order.append("a"))
+        loop.call_at(5, lambda: order.append("b"))
+        loop.run_until(10)
+        assert order == ["a", "b"]
+
+    def test_time_ordering(self):
+        loop = EventLoop()
+        order = []
+        loop.call_at(20, lambda: order.append("late"))
+        loop.call_at(10, lambda: order.append("early"))
+        loop.run_until(30)
+        assert order == ["early", "late"]
+
+    def test_run_until_stops_at_deadline(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(10, lambda: fired.append(1))
+        loop.call_at(50, lambda: fired.append(2))
+        loop.run_until(20)
+        assert fired == [1]
+        assert loop.now_ms == 20
+        assert loop.pending == 1
+
+    def test_cancelled_events_skipped(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.call_at(5, lambda: fired.append(1))
+        event.cancel()
+        loop.run_until(10)
+        assert fired == []
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.run_until(100)
+        with pytest.raises(ValueError):
+            loop.call_at(50, lambda: None)
+
+    def test_call_after_relative(self):
+        loop = EventLoop()
+        loop.run_until(100)
+        times = []
+        loop.call_after(25, lambda: times.append(loop.now_ms))
+        loop.run_until(200)
+        assert times == [125]
+
+    def test_self_rescheduling_chain(self):
+        loop = EventLoop()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5:
+                loop.call_after(10, tick)
+
+        loop.call_after(10, tick)
+        loop.run_to_completion()
+        assert count[0] == 5
+        assert loop.now_ms == 50
+
+    def test_livelock_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.call_after(0, forever)
+
+        loop.call_after(0, forever)
+        with pytest.raises(RuntimeError):
+            loop.run_to_completion(max_events=100)
+
+    def test_determinism(self):
+        def run_once():
+            loop = EventLoop()
+            seen = []
+            for delay in (30, 10, 20, 10):
+                loop.call_after(
+                    delay, lambda d=delay: seen.append((loop.now_ms, d))
+                )
+            loop.run_to_completion()
+            return seen
+
+        assert run_once() == run_once()
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for i in range(4):
+            loop.call_at(i, lambda: None)
+        loop.run_to_completion()
+        assert loop.processed == 4
+
+
+class TestProcess:
+    def test_schedule_uses_loop(self):
+        loop = EventLoop()
+        process = Process(loop, "p")
+        fired = []
+        process.schedule(15, lambda: fired.append(process.now_ms))
+        loop.run_to_completion()
+        assert fired == [15]

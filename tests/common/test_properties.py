@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) on the shared substrate."""
+
+import decimal
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import Configuration, MergePolicy
+from repro.common.events import EventLoop
+from repro.common.row import values_equal
+from repro.common.types import (
+    INTEGRAL_RANGES,
+    ByteType,
+    DecimalType,
+    IntegerType,
+    LongType,
+    ShortType,
+    parse_type,
+)
+
+_INTEGRALS = [ByteType(), ShortType(), IntegerType(), LongType()]
+
+
+class TestTypeProperties:
+    @given(st.integers())
+    def test_integral_acceptance_matches_range(self, value):
+        for dtype in _INTEGRALS:
+            lo, hi = INTEGRAL_RANGES[dtype.name]
+            assert dtype.accepts(value) == (lo <= value <= hi)
+
+    @given(st.integers(min_value=1, max_value=38), st.data())
+    def test_decimal_scale_never_exceeds_precision(self, precision, data):
+        scale = data.draw(st.integers(min_value=0, max_value=precision))
+        dtype = DecimalType(precision, scale)
+        assert dtype.precision >= dtype.scale
+
+    @given(
+        st.decimals(
+            allow_nan=False, allow_infinity=False, places=2,
+            min_value=-10**6, max_value=10**6,
+        )
+    )
+    def test_decimal_fits_is_consistent_with_accepts(self, value):
+        dtype = DecimalType(10, 2)
+        assert dtype.accepts(decimal.Decimal(value)) == dtype.fits(
+            decimal.Decimal(value)
+        )
+
+    @given(
+        st.sampled_from(
+            [
+                "int", "bigint", "decimal(12,4)", "char(9)",
+                "array<smallint>", "map<string,double>",
+                "struct<x:int,y:array<string>>",
+            ]
+        )
+    )
+    def test_parse_simple_string_roundtrip(self, text):
+        dtype = parse_type(text)
+        assert parse_type(dtype.simple_string()) == dtype
+
+
+class TestValueEqualityProperties:
+    @given(
+        st.recursive(
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(),
+                st.floats(allow_nan=True),
+                st.text(max_size=20),
+            ),
+            lambda children: st.lists(children, max_size=4),
+            max_leaves=10,
+        )
+    )
+    def test_reflexive(self, value):
+        assert values_equal(value, value)
+
+    @given(st.integers(), st.integers())
+    def test_symmetric(self, a, b):
+        assert values_equal(a, b) == values_equal(b, a)
+
+
+class TestConfigProperties:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["k1", "k2", "k3", "k4"]),
+            st.integers(),
+            max_size=4,
+        ),
+        st.dictionaries(
+            st.sampled_from(["k1", "k2", "k3", "k4"]),
+            st.integers(),
+            max_size=4,
+        ),
+    )
+    def test_prefer_self_never_changes_existing(self, mine, theirs):
+        left = Configuration(system="l")
+        for key, value in mine.items():
+            left.set(key, value)
+        right = Configuration(system="r")
+        for key, value in theirs.items():
+            right.set(key, value)
+        left.merge(right, MergePolicy.PREFER_SELF)
+        for key, value in mine.items():
+            assert left.get(key) == value
+        for key, value in theirs.items():
+            if key not in mine:
+                assert left.get(key) == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=30))
+    def test_event_loop_fires_in_sorted_order(self, delays):
+        loop = EventLoop()
+        fired = []
+        for delay in delays:
+            loop.call_at(delay, lambda d=delay: fired.append(d))
+        loop.run_to_completion()
+        assert fired == sorted(delays)

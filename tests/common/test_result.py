@@ -1,0 +1,45 @@
+"""Unit tests for QueryResult."""
+
+from repro.common.result import QueryResult
+from repro.common.row import Row
+from repro.common.schema import Schema
+
+
+def make_result(rows, interface="test"):
+    schema = Schema.of(("a", "int"), ("b", "string"))
+    return QueryResult(
+        schema=schema,
+        rows=tuple(Row(r, schema) for r in rows),
+        interface=interface,
+    )
+
+
+class TestQueryResult:
+    def test_len_and_iter(self):
+        result = make_result([(1, "x"), (2, "y")])
+        assert len(result) == 2
+        assert [tuple(r) for r in result] == [(1, "x"), (2, "y")]
+
+    def test_first(self):
+        assert make_result([]).first() is None
+        assert tuple(make_result([(1, "x")]).first()) == (1, "x")
+
+    def test_column(self):
+        result = make_result([(1, "x"), (2, "y")])
+        assert result.column("b") == ["x", "y"]
+        assert result.column("a") == [1, 2]
+
+    def test_same_rows(self):
+        left = make_result([(1, "x")])
+        right = make_result([(1, "x")], interface="other")
+        assert left.same_rows(right)
+        assert not left.same_rows(make_result([(2, "x")]))
+        assert not left.same_rows(make_result([]))
+
+    def test_to_tuples(self):
+        assert make_result([(1, "x")]).to_tuples() == [(1, "x")]
+
+    def test_empty_result_defaults(self):
+        result = QueryResult(schema=Schema(()))
+        assert len(result) == 0
+        assert result.warnings == ()

@@ -1,0 +1,88 @@
+"""Unit tests for Row and the value-equality used by the WR oracle."""
+
+import decimal
+import math
+
+from repro.common.row import Row, rows_equal, values_equal
+from repro.common.schema import Schema
+
+
+class TestRow:
+    def test_indexing(self):
+        row = Row((1, "a"))
+        assert row[0] == 1
+        assert row[1] == "a"
+        assert len(row) == 2
+
+    def test_name_indexing_with_schema(self):
+        schema = Schema.of(("id", "int"), ("name", "string"))
+        row = Row((1, "a"), schema)
+        assert row["name"] == "a"
+
+    def test_name_indexing_without_schema_raises(self):
+        try:
+            Row((1,))["x"]
+        except KeyError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected KeyError")
+
+    def test_equality_with_tuple(self):
+        assert Row((1, 2)) == (1, 2)
+
+    def test_hashable(self):
+        assert hash(Row((1, 2))) == hash((1, 2))
+
+    def test_with_schema(self):
+        schema = Schema.of(("a", "int"))
+        assert Row((1,)).with_schema(schema)["a"] == 1
+
+
+class TestValuesEqual:
+    def test_nan_equals_nan(self):
+        assert values_equal(math.nan, math.nan)
+
+    def test_infinities(self):
+        assert values_equal(math.inf, math.inf)
+        assert not values_equal(math.inf, -math.inf)
+
+    def test_none_only_equals_none(self):
+        assert values_equal(None, None)
+        assert not values_equal(None, 0)
+        assert not values_equal("", None)
+
+    def test_bool_never_equals_int(self):
+        assert not values_equal(True, 1)
+        assert not values_equal(0, False)
+
+    def test_int_never_equals_float(self):
+        assert not values_equal(1, 1.0)
+
+    def test_decimal_scale_matters(self):
+        # the type is the same; plain Decimal equality applies
+        assert values_equal(decimal.Decimal("3.1"), decimal.Decimal("3.10"))
+
+    def test_decimal_vs_float_differ(self):
+        assert not values_equal(decimal.Decimal("1.5"), 1.5)
+
+    def test_nested_lists(self):
+        assert values_equal([1, [2, None]], [1, [2, None]])
+        assert not values_equal([1, [2]], [1, [3]])
+
+    def test_list_equals_tuple(self):
+        assert values_equal([1, 2], (1, 2))
+
+    def test_dicts(self):
+        assert values_equal({"a": math.nan}, {"a": math.nan})
+        assert not values_equal({"a": 1}, {"b": 1})
+
+    def test_bytes_vs_str(self):
+        assert not values_equal(b"a", "a")
+
+
+class TestRowsEqual:
+    def test_equal_rows(self):
+        assert rows_equal(Row((math.nan, 1)), Row((math.nan, 1)))
+
+    def test_arity_mismatch(self):
+        assert not rows_equal(Row((1,)), Row((1, 2)))

@@ -1,0 +1,100 @@
+"""Unit tests for schemas and their case semantics."""
+
+import pytest
+
+from repro.common.schema import Field, Schema
+from repro.common.types import IntegerType, StringType, parse_type
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(("Id", "int"), ("Name", "string"))
+
+
+class TestConstruction:
+    def test_of_builder(self, schema):
+        assert schema.names() == ("Id", "Name")
+        assert schema.types() == (IntegerType(), StringType())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Field("a", IntegerType()), Field("a", StringType())))
+
+    def test_case_insensitive_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                (Field("Aa", IntegerType()), Field("aa", StringType())),
+                case_sensitive=False,
+            )
+
+    def test_case_sensitive_near_duplicates_allowed(self):
+        schema = Schema(
+            (Field("Aa", IntegerType()), Field("aa", StringType())),
+            case_sensitive=True,
+        )
+        assert len(schema) == 2
+
+
+class TestLookup:
+    def test_index_of_exact(self, schema):
+        assert schema.index_of("Name") == 1
+
+    def test_case_sensitive_lookup_misses(self, schema):
+        with pytest.raises(SchemaError):
+            schema.index_of("name")
+
+    def test_case_insensitive_lookup(self, schema):
+        insensitive = schema.with_case_sensitivity(False)
+        assert insensitive.index_of("name") == 1
+        assert insensitive.has_column("ID")
+
+    def test_field_accessor(self, schema):
+        assert schema.field("Id").data_type == IntegerType()
+
+
+class TestTransforms:
+    def test_lower_cased_is_lossy(self, schema):
+        lowered = schema.lower_cased()
+        assert lowered.names() == ("id", "name")
+        assert not lowered.case_sensitive
+
+    def test_rename_positional(self, schema):
+        renamed = schema.rename_positional()
+        assert renamed.names() == ("_col0", "_col1")
+        assert renamed.types() == schema.types()
+
+    def test_map_types(self, schema):
+        mapped = schema.map_types(lambda t: StringType())
+        assert all(t == StringType() for t in mapped.types())
+        assert mapped.names() == schema.names()
+
+    def test_simple_string(self, schema):
+        assert schema.simple_string() == "Id int, Name string"
+
+    def test_not_nullable_rendering(self):
+        schema = Schema((Field("a", IntegerType(), nullable=False),))
+        assert "not null" in schema.simple_string()
+
+
+class TestComparison:
+    def test_same_shape_ignores_names(self, schema):
+        other = Schema.of(("x", "int"), ("y", "string"))
+        assert schema.same_shape(other)
+
+    def test_equivalent_case_modes(self, schema):
+        lowered = schema.lower_cased()
+        assert schema.equivalent(lowered, case_sensitive=False)
+        assert not schema.equivalent(lowered, case_sensitive=True)
+
+    def test_equivalent_requires_same_types(self, schema):
+        other = Schema.of(("Id", "bigint"), ("Name", "string"))
+        assert not schema.equivalent(other, case_sensitive=True)
+
+    def test_length_mismatch(self, schema):
+        assert not schema.equivalent(Schema.of(("Id", "int")))
+
+
+def test_nested_types_parse_in_of():
+    schema = Schema.of(("m", "map<string,array<int>>"))
+    assert schema.field("m").data_type == parse_type("map<string,array<int>>")

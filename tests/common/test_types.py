@@ -1,0 +1,231 @@
+"""Unit tests for the logical type system."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro.common.types import (
+    ArrayType,
+    BinaryType,
+    BooleanType,
+    ByteType,
+    CharType,
+    DateType,
+    DecimalType,
+    DoubleType,
+    FloatType,
+    IntegerType,
+    IntervalType,
+    LongType,
+    MapType,
+    NullType,
+    ShortType,
+    StringType,
+    StructField,
+    StructType,
+    TimestampNTZType,
+    TimestampType,
+    VarcharType,
+    is_fractional,
+    is_integral,
+    is_numeric,
+    parse_type,
+)
+from repro.errors import SchemaError
+
+
+class TestIntegralRanges:
+    @pytest.mark.parametrize(
+        "dtype,lo,hi",
+        [
+            (ByteType(), -128, 127),
+            (ShortType(), -32768, 32767),
+            (IntegerType(), -(2**31), 2**31 - 1),
+            (LongType(), -(2**63), 2**63 - 1),
+        ],
+    )
+    def test_bounds_accepted(self, dtype, lo, hi):
+        assert dtype.accepts(lo)
+        assert dtype.accepts(hi)
+        assert not dtype.accepts(lo - 1)
+        assert not dtype.accepts(hi + 1)
+
+    def test_bool_is_not_integral_value(self):
+        assert not IntegerType().accepts(True)
+
+    def test_none_always_accepted(self):
+        for dtype in (ByteType(), StringType(), MapType()):
+            assert dtype.accepts(None)
+
+    def test_float_rejected_by_integral(self):
+        assert not IntegerType().accepts(1.0)
+
+
+class TestDecimal:
+    def test_fits_scale_and_precision(self):
+        dtype = DecimalType(5, 2)
+        assert dtype.accepts(decimal.Decimal("123.45"))
+        assert not dtype.accepts(decimal.Decimal("1234.5"))
+
+    def test_sub_scale_value_fits(self):
+        assert DecimalType(10, 3).accepts(decimal.Decimal("3.1"))
+
+    def test_excess_scale_rejected(self):
+        assert not DecimalType(10, 1).accepts(decimal.Decimal("3.14"))
+
+    def test_invalid_precision_raises(self):
+        with pytest.raises(SchemaError):
+            DecimalType(0, 0)
+        with pytest.raises(SchemaError):
+            DecimalType(39, 0)
+
+    def test_scale_greater_than_precision_raises(self):
+        with pytest.raises(SchemaError):
+            DecimalType(3, 4)
+
+    def test_nan_not_accepted(self):
+        assert not DecimalType(10, 2).accepts(decimal.Decimal("NaN"))
+
+    def test_simple_string(self):
+        assert DecimalType(10, 2).simple_string() == "decimal(10,2)"
+
+
+class TestCharVarchar:
+    def test_char_pads(self):
+        assert CharType(5).pad("ab") == "ab   "
+
+    def test_char_length_enforced(self):
+        assert CharType(3).accepts("abc")
+        assert not CharType(3).accepts("abcd")
+
+    def test_varchar_length_enforced(self):
+        assert VarcharType(3).accepts("ab")
+        assert not VarcharType(3).accepts("abcd")
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(SchemaError):
+            CharType(0)
+        with pytest.raises(SchemaError):
+            VarcharType(0)
+
+
+class TestTemporal:
+    def test_date_rejects_datetime(self):
+        assert DateType().accepts(datetime.date(2020, 1, 1))
+        assert not DateType().accepts(datetime.datetime(2020, 1, 1))
+
+    def test_timestamp_accepts_datetime(self):
+        assert TimestampType().accepts(datetime.datetime(2020, 1, 1, 12))
+
+    def test_ntz_rejects_aware(self):
+        aware = datetime.datetime(2020, 1, 1, tzinfo=datetime.timezone.utc)
+        assert not TimestampNTZType().accepts(aware)
+        assert TimestampNTZType().accepts(datetime.datetime(2020, 1, 1))
+
+    def test_interval(self):
+        assert IntervalType().accepts(datetime.timedelta(seconds=5))
+        assert not IntervalType().accepts(5)
+
+
+class TestComplex:
+    def test_array_element_validation(self):
+        assert ArrayType(IntegerType()).accepts([1, 2, None])
+        assert not ArrayType(IntegerType()).accepts([1, "x"])
+
+    def test_array_no_nulls(self):
+        dtype = ArrayType(IntegerType(), contains_null=False)
+        assert not dtype.accepts([1, None])
+
+    def test_map_key_cannot_be_null(self):
+        assert not MapType(StringType(), IntegerType()).accepts({None: 1})
+
+    def test_map_types_validated(self):
+        dtype = MapType(StringType(), IntegerType())
+        assert dtype.accepts({"a": 1})
+        assert not dtype.accepts({1: 1})
+
+    def test_struct_by_position_and_name(self):
+        dtype = StructType(
+            (StructField("a", IntegerType()), StructField("b", StringType()))
+        )
+        assert dtype.accepts([1, "x"])
+        assert dtype.accepts({"a": 1, "b": "x"})
+        assert not dtype.accepts([1])
+        assert not dtype.accepts({"a": 1})
+
+    def test_struct_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            StructType((StructField("a", IntegerType()),) * 2)
+
+    def test_nested_simple_string(self):
+        dtype = MapType(StringType(), ArrayType(IntegerType()))
+        assert dtype.simple_string() == "map<string,array<int>>"
+
+
+class TestPredicates:
+    def test_is_integral(self):
+        assert is_integral(ByteType())
+        assert not is_integral(FloatType())
+
+    def test_is_fractional(self):
+        assert is_fractional(DoubleType())
+        assert is_fractional(DecimalType(5, 2))
+        assert not is_fractional(LongType())
+
+    def test_is_numeric(self):
+        assert is_numeric(ShortType())
+        assert is_numeric(FloatType())
+        assert not is_numeric(StringType())
+        assert not is_numeric(BooleanType())
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("int", IntegerType()),
+            ("INT", IntegerType()),
+            ("bigint", LongType()),
+            ("tinyint", ByteType()),
+            ("string", StringType()),
+            ("binary", BinaryType()),
+            ("double", DoubleType()),
+            ("timestamp_ntz", TimestampNTZType()),
+            ("decimal(10,2)", DecimalType(10, 2)),
+            ("decimal", DecimalType()),
+            ("char(5)", CharType(5)),
+            ("varchar(3)", VarcharType(3)),
+            ("array<int>", ArrayType(IntegerType())),
+            ("map<int,string>", MapType(IntegerType(), StringType())),
+        ],
+    )
+    def test_atomic_and_parameterized(self, text, expected):
+        assert parse_type(text) == expected
+
+    def test_struct(self):
+        dtype = parse_type("struct<Aa:int,bB:string>")
+        assert isinstance(dtype, StructType)
+        assert dtype.field_names() == ("Aa", "bB")
+
+    def test_nested(self):
+        dtype = parse_type("map<string,array<decimal(5,2)>>")
+        assert dtype == MapType(StringType(), ArrayType(DecimalType(5, 2)))
+
+    def test_deeply_nested_struct(self):
+        dtype = parse_type("struct<a:map<string,int>,b:array<string>>")
+        assert isinstance(dtype, StructType)
+        assert len(dtype.fields) == 2
+
+    def test_garbage_raises(self):
+        with pytest.raises(SchemaError):
+            parse_type("frobnicate")
+
+    def test_roundtrip_through_simple_string(self):
+        for text in ("decimal(10,2)", "array<map<string,int>>", "char(7)"):
+            dtype = parse_type(text)
+            assert parse_type(dtype.simple_string()) == dtype
+
+    def test_null_type_accepts_nothing(self):
+        assert not NullType().accepts(0)
+        assert NullType().accepts(None)

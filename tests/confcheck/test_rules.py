@@ -1,0 +1,198 @@
+"""Unit tests for the cross-system configuration checker."""
+
+import pytest
+
+from repro.common.config import Configuration, MergePolicy
+from repro.confcheck import (
+    Deployment,
+    Rule,
+    Severity,
+    Violation,
+    check_deployment,
+    default_rules,
+)
+from repro.core.taxonomy import ConfigPattern
+from repro.flinklite.configs import HEAP_CUTOFF_RATIO, JM_PROCESS_SIZE_MB, FlinkConf
+from repro.sparklite.conf import SparkConf
+from repro.yarnlite.configs import (
+    INCREMENT_MB,
+    MAX_ALLOC_MB,
+    MIN_ALLOC_MB,
+    SCHEDULER_CLASS,
+    YarnConf,
+)
+
+
+def make_deployment(**tweaks):
+    yarn = YarnConf()
+    flink = FlinkConf()
+    spark = SparkConf()
+    for key, value in tweaks.items():
+        applied = False
+        for conf in (yarn, flink, spark):
+            if key in conf.declared:
+                conf.set(key, value, source="test")
+                applied = True
+                break
+        assert applied, f"unknown key {key}"
+    return Deployment().add(yarn).add(flink).add(spark)
+
+
+class TestFramework:
+    def test_coherent_default_deployment(self):
+        violations = check_deployment(make_deployment(), default_rules())
+        assert violations == []
+
+    def test_rules_skip_missing_systems(self):
+        deployment = Deployment().add(SparkConf())
+        # flink/yarn rules are simply not applicable
+        violations = check_deployment(deployment, default_rules())
+        assert all("flink" not in v.systems for v in violations)
+
+    def test_errors_sort_before_warnings(self):
+        rule_w = Rule(
+            "w", ConfigPattern.IGNORANCE, "", (),
+            lambda d: [Violation("w", ConfigPattern.IGNORANCE,
+                                 Severity.WARNING, "", ("x",))],
+        )
+        rule_e = Rule(
+            "e", ConfigPattern.IGNORANCE, "", (),
+            lambda d: [Violation("e", ConfigPattern.IGNORANCE,
+                                 Severity.ERROR, "", ("x",))],
+        )
+        violations = check_deployment(Deployment(), [rule_w, rule_e])
+        assert [v.severity for v in violations] == ["error", "warning"]
+
+    def test_require_missing_raises(self):
+        with pytest.raises(KeyError):
+            Deployment().require("yarn")
+
+
+class TestFlink19141Rule:
+    def test_fair_with_mismatched_keys_flagged(self):
+        deployment = make_deployment(**{
+            SCHEDULER_CLASS: "fair",
+            MIN_ALLOC_MB: 1024,
+            INCREMENT_MB: 512,
+        })
+        violations = check_deployment(deployment, default_rules())
+        ids = [v.rule_id for v in violations]
+        assert "flink-yarn-allocation-keys" in ids
+        flagged = next(
+            v for v in violations if v.rule_id == "flink-yarn-allocation-keys"
+        )
+        assert flagged.pattern is ConfigPattern.INCONSISTENT_CONTEXT
+        assert flagged.severity == Severity.ERROR
+
+    def test_capacity_scheduler_not_flagged(self):
+        deployment = make_deployment(**{
+            SCHEDULER_CLASS: "capacity",
+            INCREMENT_MB: 512,
+        })
+        ids = [v.rule_id for v in check_deployment(deployment, default_rules())]
+        assert "flink-yarn-allocation-keys" not in ids
+
+    def test_aligned_keys_not_flagged(self):
+        deployment = make_deployment(**{
+            SCHEDULER_CLASS: "fair",
+            MIN_ALLOC_MB: 1024,
+            INCREMENT_MB: 1024,
+        })
+        ids = [v.rule_id for v in check_deployment(deployment, default_rules())]
+        assert "flink-yarn-allocation-keys" not in ids
+
+
+class TestFlink887Rule:
+    def test_zero_cutoff_flagged(self):
+        deployment = make_deployment(**{HEAP_CUTOFF_RATIO: "0.0"})
+        ids = [v.rule_id for v in check_deployment(deployment, default_rules())]
+        assert "flink-yarn-pmem-headroom" in ids
+
+    def test_disabled_monitor_not_flagged(self):
+        deployment = make_deployment(**{
+            HEAP_CUTOFF_RATIO: "0.0",
+            "yarn.nodemanager.pmem-check-enabled": "false",
+        })
+        ids = [v.rule_id for v in check_deployment(deployment, default_rules())]
+        assert "flink-yarn-pmem-headroom" not in ids
+
+
+class TestContainerSizeRule:
+    def test_oversized_container_flagged(self):
+        deployment = make_deployment(**{
+            JM_PROCESS_SIZE_MB: 16384,
+            MAX_ALLOC_MB: 8192,
+        })
+        violations = [
+            v
+            for v in check_deployment(deployment, default_rules())
+            if v.rule_id == "flink-yarn-container-size"
+        ]
+        assert violations  # exceeds both the scheduler max and the NM
+
+
+class TestSpark10181Rule:
+    def test_half_configured_kerberos_flagged(self):
+        deployment = make_deployment(**{"spark.yarn.keytab": "/etc/kt"})
+        violations = [
+            v
+            for v in check_deployment(deployment, default_rules())
+            if v.rule_id == "spark-hive-kerberos-pair"
+        ]
+        assert violations
+        assert violations[0].pattern is ConfigPattern.IGNORANCE
+
+    def test_fully_configured_not_flagged(self):
+        deployment = make_deployment(**{
+            "spark.yarn.keytab": "/etc/kt",
+            "spark.yarn.principal": "spark@REALM",
+        })
+        ids = [v.rule_id for v in check_deployment(deployment, default_rules())]
+        assert "spark-hive-kerberos-pair" not in ids
+
+
+class TestSpark16901Rule:
+    def test_silent_overwrite_detected(self):
+        hive_site = Configuration(system="hive-site")
+        hive_site.set("hive.metastore.uris", "thrift://prod:9083", "operator")
+        spark = SparkConf()
+        spark.set("hive.metastore.uris", "thrift://localhost:9083",
+                  source="hadoop-defaults")
+        deployment = make_deployment()
+        deployment.add(hive_site)
+        deployment.configurations["spark"] = spark
+        violations = [
+            v
+            for v in check_deployment(deployment, default_rules())
+            if v.rule_id == "spark-hive-config-overwrite"
+        ]
+        assert violations
+        assert violations[0].pattern is ConfigPattern.UNEXPECTED_OVERRIDE
+
+    def test_preserved_value_not_flagged(self):
+        hive_site = Configuration(system="hive-site")
+        hive_site.set("hive.metastore.uris", "thrift://prod:9083", "operator")
+        spark = SparkConf()
+        spark.merge(hive_site, MergePolicy.PREFER_OTHER)
+        deployment = make_deployment()
+        deployment.add(hive_site)
+        deployment.configurations["spark"] = spark
+        ids = [v.rule_id for v in check_deployment(deployment, default_rules())]
+        assert "spark-hive-config-overwrite" not in ids
+
+
+class TestSpark15046Rule:
+    def test_unit_mistake_flagged(self):
+        deployment = make_deployment(**{"spark.network.timeout": 86_400_079})
+        violations = [
+            v
+            for v in check_deployment(deployment, default_rules())
+            if v.rule_id == "spark-yarn-interval-magnitude"
+        ]
+        assert violations
+        assert violations[0].pattern is ConfigPattern.MISHANDLING_VALUES
+
+    def test_sane_interval_not_flagged(self):
+        deployment = make_deployment(**{"spark.network.timeout": "120s"})
+        ids = [v.rule_id for v in check_deployment(deployment, default_rules())]
+        assert "spark-yarn-interval-magnitude" not in ids

@@ -1,0 +1,109 @@
+"""Tests for the Hive-over-HBase storage handler."""
+
+import decimal
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.connectors.hive_hbase import HBaseColumnMapping, HiveHBaseHandler
+from repro.errors import SchemaError
+from repro.hbaselite import HBaseMaster
+from repro.storage.filesystem import FileSystem
+from repro.storage.namenode import NameNode
+
+
+@pytest.fixture
+def hbase():
+    master = HBaseMaster(FileSystem(NameNode(), user="hbase"))
+    master.start()
+    return master
+
+
+def make_handler(hbase, columns, mapping):
+    return HiveHBaseHandler(
+        hbase=hbase,
+        table="kv",
+        schema=Schema.of(*columns),
+        mapping=HBaseColumnMapping.parse(mapping),
+    )
+
+
+class TestMapping:
+    def test_parse(self):
+        mapping = HBaseColumnMapping.parse(":key, cf:a ,cf:b")
+        assert mapping.entries == (":key", "cf:a", "cf:b")
+
+    def test_bad_mapping_rejected(self):
+        with pytest.raises(SchemaError):
+            HBaseColumnMapping.parse(":key,,cf:a")
+
+    def test_arity_validated(self, hbase):
+        with pytest.raises(SchemaError):
+            make_handler(hbase, [("k", "string")], ":key,cf:a")
+
+
+class TestRoundTrip:
+    def test_typed_roundtrip(self, hbase):
+        handler = make_handler(
+            hbase,
+            [("k", "string"), ("n", "int"), ("price", "decimal(10,2)")],
+            ":key,cf:n,cf:price",
+        )
+        handler.insert([("r1", 42, decimal.Decimal("9.99"))])
+        result = handler.select_all()
+        assert result.to_tuples() == [("r1", 42, decimal.Decimal("9.99"))]
+
+    def test_everything_stored_as_strings(self, hbase):
+        handler = make_handler(
+            hbase, [("k", "string"), ("n", "int")], ":key,cf:n"
+        )
+        handler.insert([("r1", 42)])
+        # the untyped substrate: the cell is the string "42"
+        assert hbase.table("kv").get("r1") == {"cf:n": "42"}
+
+    def test_rows_come_back_in_key_order(self, hbase):
+        handler = make_handler(hbase, [("k", "string"), ("v", "int")], ":key,cf:v")
+        handler.insert([("b", 2), ("a", 1)])
+        assert [r[0] for r in handler.select_all().rows] == ["a", "b"]
+
+    def test_null_becomes_empty_string_cell(self, hbase):
+        # a genuine KV-over-typed discrepancy: NULL and "" collapse
+        handler = make_handler(
+            hbase, [("k", "string"), ("s", "string")], ":key,cf:s"
+        )
+        handler.insert([("r1", None)])
+        assert handler.select_all().to_tuples() == [("r1", "")]
+
+
+class TestTypeConfusionSurface:
+    def test_unparseable_cell_reads_null(self, hbase):
+        # another writer put a non-numeric value in the column
+        handler = make_handler(hbase, [("k", "string"), ("n", "int")], ":key,cf:n")
+        hbase.table("kv").put("r1", {"cf:n": "not-a-number"})
+        assert handler.select_all().to_tuples() == [("r1", None)]
+
+    def test_two_handlers_disagree_on_one_cell(self, hbase):
+        # the same bytes under two schemas: int vs string
+        as_int = make_handler(hbase, [("k", "string"), ("v", "int")], ":key,cf:v")
+        hbase.table("kv").put("r1", {"cf:v": "007"})
+        as_string = HiveHBaseHandler(
+            hbase=hbase,
+            table="kv",
+            schema=Schema.of(("k", "string"), ("v", "string")),
+            mapping=HBaseColumnMapping.parse(":key,cf:v"),
+        )
+        assert as_int.select_all().to_tuples() == [("r1", 7)]
+        assert as_string.select_all().to_tuples() == [("r1", "007")]
+
+    def test_missing_column_reads_null(self, hbase):
+        handler = make_handler(
+            hbase, [("k", "string"), ("a", "int"), ("b", "int")],
+            ":key,cf:a,cf:b",
+        )
+        hbase.table("kv").put("r1", {"cf:a": "1"})
+        assert handler.select_all().to_tuples() == [("r1", 1, None)]
+
+    def test_row_key_cannot_be_null(self, hbase):
+        handler = make_handler(hbase, [("k", "string"), ("v", "int")], ":key,cf:v")
+        with pytest.raises(SchemaError):
+            handler.insert([(None, 1)])

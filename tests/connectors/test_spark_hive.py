@@ -1,0 +1,113 @@
+"""Unit tests for the Spark-Hive connector's registration/resolution."""
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.connectors.spark_hive import (
+    NATIVE_SCHEMA_PROPERTY,
+    NOT_CASE_PRESERVING_WARNING,
+    SparkHiveConnector,
+    schema_from_property,
+    schema_to_property,
+)
+from repro.errors import SchemaError
+from repro.hivelite.metastore import HiveMetastore
+from repro.sparklite.conf import SparkConf
+
+
+@pytest.fixture
+def connector():
+    return SparkHiveConnector(HiveMetastore(), SparkConf())
+
+
+class TestSchemaProperty:
+    def test_roundtrip(self):
+        schema = Schema.of(("Id", "int"), ("Nested", "struct<Aa:int>"))
+        assert schema_from_property(schema_to_property(schema)).equivalent(
+            schema, case_sensitive=True
+        )
+
+    def test_nullable_preserved(self):
+        from repro.common.schema import Field
+        from repro.common.types import IntegerType
+
+        schema = Schema((Field("a", IntegerType(), nullable=False),))
+        recovered = schema_from_property(schema_to_property(schema))
+        assert recovered.fields[0].nullable is False
+
+    def test_corrupt_property_raises(self):
+        with pytest.raises(SchemaError):
+            schema_from_property("{not json")
+        with pytest.raises(SchemaError):
+            schema_from_property('[{"no_name": 1}]')
+
+
+class TestCreateTable:
+    def test_datasource_always_keeps_native(self, connector):
+        connector.create_table(
+            "t", Schema.of(("Bb", "tinyint")), "avro",
+            database="default", datasource=True,
+        )
+        table = connector.metastore.get_table("t")
+        assert table.property(NATIVE_SCHEMA_PROPERTY) is not None
+        # hive side is still the promoted, lower-cased schema
+        assert table.schema.simple_string() == "bb int"
+
+    def test_hive_serde_orc_keeps_native(self, connector):
+        connector.create_table(
+            "t", Schema.of(("Bb", "tinyint")), "orc",
+            database="default", datasource=False,
+        )
+        table = connector.metastore.get_table("t")
+        assert table.property(NATIVE_SCHEMA_PROPERTY) is not None
+        assert table.schema.simple_string() == "bb tinyint"
+
+    def test_hive_serde_avro_drops_native(self, connector):
+        connector.create_table(
+            "t", Schema.of(("Bb", "tinyint")), "avro",
+            database="default", datasource=False,
+        )
+        table = connector.metastore.get_table("t")
+        assert table.property(NATIVE_SCHEMA_PROPERTY) is None
+
+
+class TestResolve:
+    def test_native_resolution_preserves_case(self, connector):
+        connector.create_table(
+            "t", Schema.of(("Id", "int")), "parquet",
+            database="default", datasource=False,
+        )
+        resolved = connector.resolve("t", "default")
+        assert resolved.used_native_schema
+        assert resolved.schema.names() == ("Id",)
+        assert resolved.warnings == ()
+
+    def test_fallback_warns(self, connector):
+        connector.create_table(
+            "t", Schema.of(("Id", "int")), "avro",
+            database="default", datasource=False,
+        )
+        resolved = connector.resolve("t", "default")
+        assert not resolved.used_native_schema
+        assert resolved.schema.names() == ("id",)
+        assert NOT_CASE_PRESERVING_WARNING in resolved.warnings
+
+    def test_timestamp_type_applies_to_fallback_only(self, connector):
+        connector.conf.set("spark.sql.timestampType", "TIMESTAMP_NTZ")
+        connector.create_table(
+            "fallback", Schema.of(("ts", "timestamp_ntz")), "avro",
+            database="default", datasource=False,
+        )
+        resolved = connector.resolve("fallback", "default")
+        assert resolved.schema.types()[0].simple_string() == "timestamp_ntz"
+
+    def test_char_varchar_as_string_rewrites(self, connector):
+        connector.conf.set("spark.sql.legacy.charVarcharAsString", "true")
+        connector.create_table(
+            "t", Schema.of(("c", "char(5)"), ("v", "varchar(3)")), "parquet",
+            database="default", datasource=True,
+        )
+        resolved = connector.resolve("t", "default")
+        assert [t.simple_string() for t in resolved.schema.types()] == [
+            "string", "string",
+        ]

@@ -1,0 +1,134 @@
+"""Tests for the CSIFailure record invariants and the taxonomy."""
+
+import pytest
+
+from repro.core.failure import CSIFailure
+from repro.core.taxonomy import (
+    ControlPattern,
+    DataAbstraction,
+    DataPattern,
+    DataProperty,
+    FixLocation,
+    FixPattern,
+    MgmtKind,
+    Plane,
+    Severity,
+    Symptom,
+    SymptomGroup,
+)
+from repro.errors import DatasetError
+
+
+def make_failure(**overrides):
+    base = dict(
+        case_id="CSI-X",
+        issue_id="TEST-1",
+        upstream="Spark",
+        downstream="Hive",
+        interaction="Data (Hive tables)",
+        plane=Plane.DATA,
+        symptom=Symptom.JOB_TASK_FAILURE,
+        severity=Severity.MAJOR,
+        fix_pattern=FixPattern.CHECKING,
+        fix_location=FixLocation.CONNECTOR,
+        data_abstraction=DataAbstraction.TABLE,
+        data_property=DataProperty.SCHEMA_VALUE,
+        data_pattern=DataPattern.TYPE_CONFUSION,
+    )
+    base.update(overrides)
+    return CSIFailure(**base)
+
+
+class TestInvariants:
+    def test_valid_data_case(self):
+        failure = make_failure()
+        assert failure.has_merged_fix
+        assert failure.pair == ("Spark", "Hive")
+
+    def test_data_case_needs_data_labels(self):
+        with pytest.raises(DatasetError):
+            make_failure(data_pattern=None)
+
+    def test_mgmt_case_needs_kind(self):
+        with pytest.raises(DatasetError):
+            make_failure(
+                plane=Plane.MANAGEMENT,
+                data_abstraction=None,
+                data_property=None,
+                data_pattern=None,
+            )
+
+    def test_monitoring_case_needs_no_config_labels(self):
+        failure = make_failure(
+            plane=Plane.MANAGEMENT,
+            mgmt_kind=MgmtKind.MONITORING,
+            data_abstraction=None,
+            data_property=None,
+            data_pattern=None,
+        )
+        assert failure.mgmt_kind is MgmtKind.MONITORING
+
+    def test_config_case_needs_labels(self):
+        with pytest.raises(DatasetError):
+            make_failure(
+                plane=Plane.MANAGEMENT,
+                mgmt_kind=MgmtKind.CONFIGURATION,
+                data_abstraction=None,
+                data_property=None,
+                data_pattern=None,
+            )
+
+    def test_control_api_misuse_needs_kind(self):
+        with pytest.raises(DatasetError):
+            make_failure(
+                plane=Plane.CONTROL,
+                control_pattern=ControlPattern.API_SEMANTIC_VIOLATION,
+                data_abstraction=None,
+                data_property=None,
+                data_pattern=None,
+            )
+
+    def test_control_state_pattern_is_fine_alone(self):
+        failure = make_failure(
+            plane=Plane.CONTROL,
+            control_pattern=ControlPattern.STATE_RESOURCE_INCONSISTENCY,
+            data_abstraction=None,
+            data_property=None,
+            data_pattern=None,
+        )
+        assert failure.api_misuse_kind is None
+
+    def test_unfixed_case_has_no_location(self):
+        with pytest.raises(DatasetError):
+            make_failure(fix_pattern=FixPattern.OTHER)
+        failure = make_failure(
+            fix_pattern=FixPattern.OTHER, fix_location=None
+        )
+        assert not failure.has_merged_fix
+
+    def test_fixed_case_needs_location(self):
+        with pytest.raises(DatasetError):
+            make_failure(fix_location=None)
+
+
+class TestTaxonomy:
+    def test_symptom_crashing_flags(self):
+        crashing = [s for s in Symptom if s.crashing]
+        assert Symptom.JOB_TASK_FAILURE in crashing
+        assert Symptom.REDUCED_OBSERVABILITY not in crashing
+        assert len(crashing) == 5
+
+    def test_symptom_groups_cover_all(self):
+        for symptom in Symptom:
+            assert symptom.group in SymptomGroup
+
+    def test_metadata_predicates(self):
+        assert DataProperty.ADDRESS.is_typical_metadata
+        assert DataProperty.SCHEMA_VALUE.is_typical_metadata
+        assert DataProperty.CUSTOM_PROPERTY.is_metadata
+        assert not DataProperty.CUSTOM_PROPERTY.is_typical_metadata
+        assert not DataProperty.API_SEMANTICS.is_metadata
+
+    def test_schema_predicate(self):
+        assert DataProperty.SCHEMA_STRUCTURE.is_schema
+        assert not DataProperty.ADDRESS.is_schema

@@ -1,0 +1,11 @@
+"""Session-scoped cross-test run shared by classification/report tests."""
+
+import pytest
+
+from repro.crosstest.report import run_crosstest
+
+
+@pytest.fixture(scope="session")
+def full_report():
+    """One full 10k-trial run of the §8 pipeline (a few seconds)."""
+    return run_crosstest()

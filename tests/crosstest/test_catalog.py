@@ -1,0 +1,66 @@
+"""Unit tests for the discrepancy catalog (§8.2 / artifact appendix)."""
+
+import pytest
+
+from repro.crosstest.catalog import (
+    CATALOG,
+    CATEGORY_MEMBERS,
+    Category,
+    by_number,
+    category_counts,
+)
+
+
+class TestCatalogShape:
+    def test_fifteen_entries(self):
+        assert len(CATALOG) == 15
+        assert [d.number for d in CATALOG] == list(range(1, 16))
+
+    def test_lookup(self):
+        assert by_number(1).jira == "SPARK-39075"
+        with pytest.raises(KeyError):
+            by_number(16)
+
+    def test_every_entry_has_mechanism(self):
+        for entry in CATALOG:
+            assert entry.mechanism
+            assert entry.title
+
+
+class TestCategories:
+    def test_paper_counts(self):
+        counts = category_counts()
+        assert counts[Category.CANNOT_READ] == 2
+        assert counts[Category.TYPE_VIOLATION] == 2
+        assert counts[Category.INTERNAL_CONFIG] == 5
+        assert counts[Category.INCONSISTENT_ERROR] == 7
+        assert counts[Category.CUSTOM_CONFIG] == 8
+
+    def test_appendix_memberships(self):
+        assert CATEGORY_MEMBERS[Category.CANNOT_READ] == {1, 2}
+        assert CATEGORY_MEMBERS[Category.TYPE_VIOLATION] == {3, 8}
+        assert CATEGORY_MEMBERS[Category.INTERNAL_CONFIG] == {1, 2, 3, 4, 6}
+        assert CATEGORY_MEMBERS[Category.INCONSISTENT_ERROR] == {
+            1, 5, 9, 10, 11, 12, 13,
+        }
+        assert CATEGORY_MEMBERS[Category.CUSTOM_CONFIG] == {
+            5, 8, 9, 10, 11, 12, 13, 15,
+        }
+
+    def test_entry_categories_derived(self):
+        assert Category.CANNOT_READ in by_number(1).categories
+        assert Category.INCONSISTENT_ERROR in by_number(1).categories
+        # 7 and 14 are uncategorized, exactly as in the appendix
+        assert by_number(7).categories == frozenset()
+        assert by_number(14).categories == frozenset()
+
+    def test_custom_config_entries_name_a_config(self):
+        # 8/15 rely on custom configuration; the resolvable ones carry it
+        resolvable = [d for d in CATALOG if d.resolving_config is not None]
+        assert {d.number for d in resolvable} <= CATEGORY_MEMBERS[
+            Category.CUSTOM_CONFIG
+        ]
+        for entry in resolvable:
+            key, value = entry.resolving_config
+            assert key.startswith("spark.sql.")
+            assert value

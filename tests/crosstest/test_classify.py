@@ -1,0 +1,89 @@
+"""Classification of the full cross-test run — the §8.2 results."""
+
+from repro.crosstest.catalog import CATEGORY_MEMBERS, Category
+from repro.crosstest.classify import found_discrepancies
+
+
+class TestAllFifteenFound:
+    def test_every_catalog_entry_discovered(self, full_report):
+        assert full_report.found_numbers == set(range(1, 16))
+
+    def test_every_entry_has_concrete_evidence(self, full_report):
+        for number, evidence in full_report.evidence.items():
+            assert evidence.found, f"discrepancy #{number} has no evidence"
+            assert all(
+                t.test_input is not None for t in evidence.trials
+            )
+
+    def test_category_counts_match_section_8_2(self, full_report):
+        counts = full_report.category_counts_found()
+        assert counts[Category.CANNOT_READ] == 2
+        assert counts[Category.TYPE_VIOLATION] == 2
+        assert counts[Category.INTERNAL_CONFIG] == 5
+        assert counts[Category.INCONSISTENT_ERROR] == 7
+        assert counts[Category.CUSTOM_CONFIG] == 8
+
+
+class TestEvidenceShapes:
+    def test_discrepancy_1_is_avro_read_error(self, full_report):
+        for trial in full_report.evidence[1].trials:
+            assert trial.fmt == "avro"
+            assert trial.outcome.error_type == "IncompatibleSchemaException"
+
+    def test_discrepancy_2_is_hive_read_error(self, full_report):
+        for trial in full_report.evidence[2].trials:
+            assert trial.plan.reader == "hiveql"
+            assert trial.plan.writer == "dataframe"
+            assert "scale" in trial.outcome.error_message
+
+    def test_discrepancy_3_carries_warning(self, full_report):
+        for trial in full_report.evidence[3].trials:
+            assert any(
+                "not case preserving" in w for w in trial.outcome.warnings
+            )
+            assert trial.outcome.value_type == "int"
+
+    def test_discrepancy_4_spans_formats(self, full_report):
+        # evidence is the avro failures; the predicate required ORC or
+        # Parquet to succeed on the same input
+        assert all(t.fmt == "avro" for t in full_report.evidence[4].trials)
+
+    def test_discrepancy_6_and_7_share_inputs_kind(self, full_report):
+        nan_trials = full_report.evidence[6].trials
+        inf_trials = full_report.evidence[7].trials
+        assert all(t.outcome.value is None for t in nan_trials)
+        assert all(not t.outcome.ok for t in inf_trials)
+
+    def test_discrepancy_8_type_changed(self, full_report):
+        for trial in full_report.evidence[8].trials:
+            assert trial.test_input.type_text == "timestamp_ntz"
+            assert trial.outcome.value_type == "timestamp"
+
+    def test_discrepancy_15_is_eh_hole(self, full_report):
+        for trial in full_report.evidence[15].trials:
+            assert trial.plan.writer == "dataframe"
+            assert trial.outcome.value == trial.test_input.py_value
+
+
+class TestFailureLogs:
+    def test_paper_log_names_present(self, full_report):
+        logs = full_report.failures_by_log()
+        for name in ("ss_difft", "ss_wr", "ss_eh", "sh_difft", "hs_difft"):
+            assert name in logs and logs[name], f"missing failures in {name}"
+
+    def test_failures_reference_real_inputs(self, full_report):
+        logs = full_report.failures_by_log()
+        max_id = max(t.test_input.input_id for t in full_report.trials)
+        for failures in logs.values():
+            for failure in failures:
+                assert 0 <= failure.input_id <= max_id
+
+    def test_json_export_is_plain_data(self, full_report):
+        import json
+
+        blob = json.dumps(full_report.to_json())
+        assert "found_discrepancies" in blob
+
+    def test_summary_mentions_fifteen(self, full_report):
+        text = "\n".join(full_report.summary_lines())
+        assert "15/15" in text

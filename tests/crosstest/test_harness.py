@@ -1,0 +1,110 @@
+"""Unit tests for the trial harness."""
+
+import pytest
+
+from repro.crosstest.harness import NO_ROWS, CrossTester, Deployment
+from repro.crosstest.plans import ALL_PLANS, FORMATS, Plan
+from repro.crosstest.values import TestInput
+
+TestInput.__test__ = False
+
+
+def make_input(type_text="int", sql="5", py=5, valid=True, input_id=0):
+    return TestInput(input_id, type_text, sql, py, valid, "test")
+
+
+PLANS_BY_NAME = {p.name: p for p in ALL_PLANS}
+
+
+class TestRunTrial:
+    def test_happy_path(self):
+        tester = CrossTester(inputs=[make_input()])
+        trial = tester.run_trial(PLANS_BY_NAME["w_sql_r_sql"], "parquet", make_input())
+        assert trial.outcome.ok
+        assert trial.outcome.value == 5
+        assert trial.outcome.value_type == "int"
+        assert trial.outcome.row_count == 1
+
+    def test_all_interfaces_drive(self):
+        for plan in ALL_PLANS:
+            trial = CrossTester(inputs=[]).run_trial(plan, "parquet", make_input())
+            assert trial.outcome.ok, (plan.name, trial.outcome)
+
+    def test_write_error_recorded(self):
+        bad = make_input(type_text="int", sql="2147483648", py=2**31, valid=False)
+        trial = CrossTester(inputs=[]).run_trial(
+            PLANS_BY_NAME["w_sql_r_sql"], "parquet", bad
+        )
+        assert not trial.outcome.ok
+        assert trial.outcome.stage == "write"
+        assert trial.outcome.error_type == "ArithmeticOverflowError"
+
+    def test_create_error_recorded(self):
+        bad_type = make_input(type_text="map<int,string>", sql="map(1,'x')", py={1: "x"})
+        trial = CrossTester(inputs=[]).run_trial(
+            PLANS_BY_NAME["w_sql_r_sql"], "avro", bad_type
+        )
+        assert trial.outcome.stage == "create"
+        assert trial.outcome.error_type == "UnsupportedTypeError"
+
+    def test_dataframe_create_error_lands_in_write_stage(self):
+        # the DataFrame path creates during save, so the same failure
+        # surfaces at the write stage — itself an interface discrepancy
+        bad_type = make_input(type_text="map<int,string>", sql="map(1,'x')", py={1: "x"})
+        trial = CrossTester(inputs=[]).run_trial(
+            PLANS_BY_NAME["w_df_r_df"], "avro", bad_type
+        )
+        assert trial.outcome.stage == "write"
+
+    def test_read_error_recorded(self):
+        byte_input = make_input(type_text="tinyint", sql="5", py=5)
+        trial = CrossTester(inputs=[]).run_trial(
+            PLANS_BY_NAME["w_df_r_df"], "avro", byte_input
+        )
+        assert trial.outcome.stage == "read"
+        assert trial.outcome.error_type == "IncompatibleSchemaException"
+
+    def test_conf_overrides_applied(self):
+        overflow = make_input(sql="2147483648", py=2**31, valid=False)
+        tester = CrossTester(
+            inputs=[],
+            conf_overrides={"spark.sql.storeAssignmentPolicy": "legacy"},
+        )
+        trial = tester.run_trial(PLANS_BY_NAME["w_sql_r_sql"], "parquet", overflow)
+        assert trial.outcome.ok
+        assert trial.outcome.value == -(2**31)
+
+    def test_trials_isolated(self):
+        # the same table name is reused across trials: isolation matters
+        tester = CrossTester(inputs=[])
+        first = tester.run_trial(PLANS_BY_NAME["w_sql_r_sql"], "orc", make_input())
+        second = tester.run_trial(PLANS_BY_NAME["w_sql_r_sql"], "orc", make_input(py=9, sql="9"))
+        assert first.outcome.value == 5
+        assert second.outcome.value == 9
+        assert second.outcome.row_count == 1
+
+
+class TestRunMatrix:
+    def test_cartesian_size(self):
+        inputs = [make_input(input_id=i) for i in range(3)]
+        tester = CrossTester(inputs=inputs, plans=ALL_PLANS[:2], formats=("orc",))
+        trials = tester.run()
+        assert len(trials) == 3 * 2 * 1
+
+    def test_default_corpus_size(self):
+        tester = CrossTester()
+        assert len(tester.inputs) == 422
+        assert tester.plans == ALL_PLANS
+        assert tester.formats == FORMATS
+
+
+class TestDeployment:
+    def test_shared_metastore(self):
+        deployment = Deployment()
+        deployment.spark.sql("CREATE TABLE t (a int) STORED AS orc")
+        assert deployment.hive.metastore.table_exists("t")
+
+    def test_unknown_interface_rejected(self):
+        deployment = Deployment()
+        with pytest.raises(ValueError):
+            deployment.read("grpc", "t")

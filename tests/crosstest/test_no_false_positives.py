@@ -1,0 +1,39 @@
+"""Soundness of the harness: the oracles fire on discrepancies, not on
+the engines' happy path."""
+
+from repro.crosstest.harness import CrossTester
+from repro.crosstest.oracles import difft_failures, wr_failures
+from repro.crosstest.plans import Interface, Plan
+
+
+class TestBestCaseIsClean:
+    """The least-discrepant slice — SparkSQL to SparkSQL over Parquet —
+    must round-trip every valid input: WR failures here would be harness
+    false positives, not cross-system findings."""
+
+    def test_zero_wr_failures(self):
+        plan = Plan(Interface.SPARKSQL, Interface.SPARKSQL, "spark_e2e")
+        trials = CrossTester(plans=(plan,), formats=("parquet",)).run()
+        failures = wr_failures(trials)
+        assert failures == [], [f.detail for f in failures[:5]]
+
+    def test_single_plan_single_format_no_diffs(self):
+        # with one plan and one format there is nothing to differ from
+        plan = Plan(Interface.SPARKSQL, Interface.SPARKSQL, "spark_e2e")
+        trials = CrossTester(plans=(plan,), formats=("parquet",)).run()
+        assert difft_failures(trials) == []
+
+    def test_hive_to_hive_is_also_clean_for_its_own_writes(self):
+        # Hive reading what Hive wrote (same interface, no crossing):
+        # lenient writes may NULL invalid inputs, but valid ones that
+        # Hive accepted must read back — modulo Hive's documented NaN
+        # degradation, which is a read-side property of the engine.
+        plan = Plan(Interface.HIVEQL, Interface.HIVEQL, "hive_hive")
+        trials = CrossTester(plans=(plan,), formats=("parquet",)).run()
+        failures = [
+            f
+            for f in wr_failures(trials)
+            if "nan" not in f.detail.lower() and "inf" not in f.detail.lower()
+        ]
+        # nothing beyond the documented non-finite-double semantics fails
+        assert failures == [], [f.detail for f in failures[:5]]

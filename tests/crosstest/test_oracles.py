@@ -1,0 +1,173 @@
+"""Unit tests for the three oracles over synthetic trials."""
+
+import math
+
+from repro.crosstest.harness import NO_ROWS, Outcome, Trial
+from repro.crosstest.oracles import (
+    all_failures,
+    canonical,
+    difft_failures,
+    eh_failures,
+    signature,
+    wr_failures,
+)
+from repro.crosstest.plans import ALL_PLANS, Plan
+from repro.crosstest.values import TestInput
+
+TestInput.__test__ = False
+
+PLAN_A = ALL_PLANS[0]  # w_sql_r_sql, spark_e2e
+PLAN_B = ALL_PLANS[3]  # w_df_r_df, spark_e2e
+PLAN_HIVE = ALL_PLANS[4]  # spark_hive group
+
+
+def make_input(valid=True, value=5, expected=None):
+    return TestInput(
+        input_id=0,
+        type_text="int",
+        sql_literal=str(value),
+        py_value=value,
+        valid=valid,
+        description="test",
+        expected=expected,
+    )
+
+
+def ok(value, value_type="int", warnings=()):
+    return Outcome(
+        status="ok", value=value, value_type=value_type,
+        row_count=1, warnings=tuple(warnings),
+    )
+
+
+def error(stage="write", error_type="CastError"):
+    return Outcome(status="error", stage=stage, error_type=error_type,
+                   error_message="boom")
+
+
+class TestCanonicalAndSignature:
+    def test_nan_canonical(self):
+        assert canonical(math.nan) == "double:NaN"
+
+    def test_bool_int_distinct(self):
+        assert canonical(True) != canonical(1)
+
+    def test_no_rows_distinct_from_null(self):
+        assert canonical(NO_ROWS) != canonical(None)
+
+    def test_signature_includes_type(self):
+        assert signature(ok(5, "int")) != signature(ok(5, "bigint"))
+
+    def test_signature_error_includes_stage(self):
+        assert signature(error("write")) != signature(error("read"))
+
+    def test_map_canonical_order_independent(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+
+class TestWROracle:
+    def test_pass_on_matching_value(self):
+        trials = [Trial(PLAN_A, "orc", make_input(), ok(5))]
+        assert wr_failures(trials) == []
+
+    def test_fail_on_value_change(self):
+        trials = [Trial(PLAN_A, "orc", make_input(), ok(6))]
+        failures = wr_failures(trials)
+        assert len(failures) == 1 and failures[0].oracle == "wr"
+
+    def test_fail_on_error(self):
+        trials = [Trial(PLAN_A, "orc", make_input(), error())]
+        assert len(wr_failures(trials)) == 1
+
+    def test_fail_on_vanished_row(self):
+        trials = [Trial(PLAN_A, "orc", make_input(), ok(NO_ROWS))]
+        failures = wr_failures(trials)
+        assert "vanished" in failures[0].detail
+
+    def test_expected_value_used_when_set(self):
+        padded = make_input(value="ab", expected="ab   ")
+        assert wr_failures([Trial(PLAN_A, "orc", padded, ok("ab   "))]) == []
+        assert len(wr_failures([Trial(PLAN_A, "orc", padded, ok("ab"))])) == 1
+
+    def test_invalid_inputs_ignored(self):
+        trials = [Trial(PLAN_A, "orc", make_input(valid=False), error())]
+        assert wr_failures(trials) == []
+
+
+class TestEHOracle:
+    def test_rejection_passes(self):
+        trials = [Trial(PLAN_A, "orc", make_input(valid=False), error())]
+        assert eh_failures(trials) == []
+
+    def test_null_correction_passes(self):
+        trials = [Trial(PLAN_A, "orc", make_input(valid=False), ok(None))]
+        assert eh_failures(trials) == []
+
+    def test_verbatim_storage_fails(self):
+        trials = [Trial(PLAN_A, "orc", make_input(valid=False, value=300), ok(300))]
+        failures = eh_failures(trials)
+        assert len(failures) == 1 and failures[0].oracle == "eh"
+
+    def test_mangled_storage_tolerated(self):
+        # a wrapped value is not "the invalid value read back verbatim"
+        trials = [Trial(PLAN_A, "orc", make_input(valid=False, value=300), ok(44))]
+        assert eh_failures(trials) == []
+
+    def test_valid_inputs_ignored(self):
+        trials = [Trial(PLAN_A, "orc", make_input(valid=True), ok(5))]
+        assert eh_failures(trials) == []
+
+
+class TestDiffOracle:
+    def test_agreement_passes(self):
+        trials = [
+            Trial(PLAN_A, "orc", make_input(), ok(5)),
+            Trial(PLAN_B, "orc", make_input(), ok(5)),
+        ]
+        assert difft_failures(trials) == []
+
+    def test_value_disagreement_fails(self):
+        trials = [
+            Trial(PLAN_A, "orc", make_input(), ok(5)),
+            Trial(PLAN_B, "orc", make_input(), ok(6)),
+        ]
+        failures = difft_failures(trials)
+        assert len(failures) == 1
+        assert set(failures[0].plans) == {PLAN_A.name, PLAN_B.name}
+
+    def test_error_vs_value_fails(self):
+        trials = [
+            Trial(PLAN_A, "orc", make_input(), error()),
+            Trial(PLAN_B, "orc", make_input(), ok(None)),
+        ]
+        assert len(difft_failures(trials)) == 1
+
+    def test_cross_format_disagreement_fails(self):
+        trials = [
+            Trial(PLAN_A, "orc", make_input(), ok(5)),
+            Trial(PLAN_A, "avro", make_input(), error()),
+        ]
+        failures = difft_failures(trials)
+        assert len(failures) == 1
+        assert failures[0].fmt == "*"
+
+    def test_groups_compared_independently(self):
+        # spark_e2e and spark_hive disagreeing is not an intra-group diff
+        trials = [
+            Trial(PLAN_A, "orc", make_input(), ok(5)),
+            Trial(PLAN_HIVE, "orc", make_input(), ok(6)),
+        ]
+        assert difft_failures(trials) == []
+
+    def test_type_violation_is_a_diff(self):
+        trials = [
+            Trial(PLAN_A, "orc", make_input(), ok(5, "tinyint")),
+            Trial(PLAN_B, "orc", make_input(), ok(5, "int")),
+        ]
+        assert len(difft_failures(trials)) == 1
+
+
+def test_all_failures_shape():
+    trials = [Trial(PLAN_A, "orc", make_input(), ok(5))]
+    result = all_failures(trials)
+    assert set(result) == {"wr", "eh", "difft"}

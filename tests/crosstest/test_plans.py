@@ -1,0 +1,50 @@
+"""Unit tests for the Figure 6 test-plan matrix."""
+
+import pytest
+
+from repro.crosstest.plans import (
+    ALL_PLANS,
+    FORMATS,
+    HIVE_TO_SPARK,
+    SPARK_E2E,
+    SPARK_TO_HIVE,
+    Interface,
+    plans_in_group,
+)
+
+
+class TestMatrix:
+    def test_eight_plans(self):
+        assert len(ALL_PLANS) == 8
+
+    def test_group_sizes_match_figure6(self):
+        assert len(SPARK_E2E) == 4
+        assert len(SPARK_TO_HIVE) == 2
+        assert len(HIVE_TO_SPARK) == 2
+
+    def test_three_formats(self):
+        assert FORMATS == ("orc", "parquet", "avro")
+
+    def test_spark_e2e_covers_all_pairs(self):
+        pairs = {(p.writer, p.reader) for p in SPARK_E2E}
+        spark_ifaces = {Interface.SPARKSQL, Interface.DATAFRAME}
+        assert pairs == {(w, r) for w in spark_ifaces for r in spark_ifaces}
+
+    def test_hive_never_writes_in_spark_to_hive(self):
+        assert all(p.writer != Interface.HIVEQL for p in SPARK_TO_HIVE)
+        assert all(p.reader == Interface.HIVEQL for p in SPARK_TO_HIVE)
+
+    def test_hive_always_writes_in_hive_to_spark(self):
+        assert all(p.writer == Interface.HIVEQL for p in HIVE_TO_SPARK)
+
+    def test_plan_names(self):
+        names = {p.name for p in ALL_PLANS}
+        assert "w_sql_r_sql" in names
+        assert "w_df_r_hive" in names
+        assert "w_hive_r_df" in names
+        assert len(names) == 8
+
+    def test_group_lookup(self):
+        assert plans_in_group("spark_e2e") == SPARK_E2E
+        with pytest.raises(ValueError):
+            plans_in_group("nope")

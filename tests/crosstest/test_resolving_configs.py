@@ -1,0 +1,82 @@
+"""§8.2: "developers pointed out that the discrepancies can be resolved
+by custom configurations" — verify each documented resolving config
+actually makes its discrepancy disappear under that deployment config.
+"""
+
+import pytest
+
+from repro.crosstest.catalog import by_number
+from repro.crosstest.classify import found_discrepancies
+from repro.crosstest.harness import CrossTester
+from repro.crosstest.values import generate_inputs
+
+
+def run_subset(predicate, conf_overrides=None):
+    inputs = [i for i in generate_inputs() if predicate(i)]
+    assert inputs, "predicate selected no inputs"
+    return CrossTester(inputs=inputs, conf_overrides=conf_overrides).run()
+
+
+class TestStoreAssignmentLegacy:
+    CONF = {"spark.sql.storeAssignmentPolicy": "legacy"}
+
+    @pytest.mark.parametrize("number,type_name", [(5, "decimal"), (10, "int"),
+                                                  (11, "tinyint"), (12, "boolean")])
+    def test_resolved_under_legacy(self, number, type_name):
+        predicate = lambda i: i.column_type.name in (type_name, "bigint", "smallint")
+        with_default = run_subset(predicate)
+        assert number in found_discrepancies(with_default)
+        with_config = run_subset(predicate, self.CONF)
+        assert number not in found_discrepancies(with_config)
+
+    def test_catalog_documents_the_config(self):
+        for number in (5, 10, 11, 12):
+            assert by_number(number).resolving_config == (
+                "spark.sql.storeAssignmentPolicy", "legacy",
+            )
+
+
+class TestTimeParserPolicy:
+    def test_invalid_date_resolved_under_legacy_parser(self):
+        predicate = lambda i: i.column_type.name == "date"
+        assert 9 in found_discrepancies(run_subset(predicate))
+        resolved = run_subset(
+            predicate, {"spark.sql.legacy.timeParserPolicy": "LEGACY"}
+        )
+        assert 9 not in found_discrepancies(resolved)
+
+    def test_catalog_documents_the_config(self):
+        assert by_number(9).resolving_config == (
+            "spark.sql.legacy.timeParserPolicy", "LEGACY",
+        )
+
+
+class TestTimestampType:
+    def test_ntz_resolved(self):
+        predicate = lambda i: i.type_text == "timestamp_ntz"
+        assert 8 in found_discrepancies(run_subset(predicate))
+        resolved = run_subset(
+            predicate, {"spark.sql.timestampType": "TIMESTAMP_NTZ"}
+        )
+        assert 8 not in found_discrepancies(resolved)
+
+
+class TestCharVarcharAsString:
+    CONF = {"spark.sql.legacy.charVarcharAsString": "true"}
+
+    def test_char_padding_diff_resolved(self):
+        predicate = lambda i: i.column_type.name == "char"
+        assert 13 in found_discrepancies(run_subset(predicate))
+        assert 13 not in found_discrepancies(run_subset(predicate, self.CONF))
+
+
+class TestUnresolvable:
+    def test_avro_byte_not_config_fixable(self):
+        # #1 has no resolving config in the catalog; confirm the legacy
+        # policy does not make it disappear either
+        predicate = lambda i: i.column_type.name == "tinyint" and i.valid
+        trials = run_subset(
+            predicate, {"spark.sql.storeAssignmentPolicy": "legacy"}
+        )
+        assert 1 in found_discrepancies(trials)
+        assert by_number(1).resolving_config is None

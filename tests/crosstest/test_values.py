@@ -1,0 +1,90 @@
+"""Unit tests for the §8 input corpus."""
+
+import pytest
+
+from repro.common.types import DataType
+from repro.crosstest.values import (
+    INVALID_COUNT,
+    VALID_COUNT,
+    TestInput,
+    generate_inputs,
+)
+
+# pytest would otherwise try to collect the dataclass as a test class
+TestInput.__test__ = False
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return generate_inputs()
+
+
+class TestCorpusShape:
+    def test_paper_counts(self, inputs):
+        assert len(inputs) == 422
+        assert sum(1 for i in inputs if i.valid) == VALID_COUNT == 210
+        assert sum(1 for i in inputs if not i.valid) == INVALID_COUNT == 212
+
+    def test_ids_unique_and_dense(self, inputs):
+        ids = [i.input_id for i in inputs]
+        assert ids == list(range(422))
+
+    def test_deterministic(self, inputs):
+        again = generate_inputs()
+        assert [(i.type_text, i.sql_literal) for i in inputs] == [
+            (i.type_text, i.sql_literal) for i in again
+        ]
+
+    def test_all_types_parse(self, inputs):
+        for test_input in inputs:
+            assert isinstance(test_input.column_type, DataType)
+
+    def test_type_coverage(self, inputs):
+        covered = {i.column_type.name for i in inputs}
+        for required in (
+            "boolean", "tinyint", "smallint", "int", "bigint", "float",
+            "double", "decimal", "string", "char", "varchar", "binary",
+            "date", "timestamp", "timestamp_ntz", "array", "map", "struct",
+        ):
+            assert required in covered, f"no inputs for {required}"
+
+    def test_valid_values_accepted_by_their_type(self, inputs):
+        for test_input in inputs:
+            if not test_input.valid:
+                continue
+            if isinstance(test_input.py_value, float):
+                continue  # NaN/Inf are valid doubles but accepts() is strict
+            dtype = test_input.column_type
+            if dtype.name in ("char", "timestamp", "timestamp_ntz", "struct"):
+                continue  # representation differs from the declared check
+            assert dtype.accepts(test_input.py_value), test_input.description
+
+
+class TestInterestingShapes:
+    def test_char_expected_padded(self, inputs):
+        char_short = next(i for i in inputs if "char(5) short" in i.description)
+        assert char_short.py_value == "ab"
+        assert char_short.expected_value == "ab   "
+
+    def test_non_string_map_key_present(self, inputs):
+        assert any(
+            i.type_text == "map<int,string>" and i.valid for i in inputs
+        )
+
+    def test_mixed_case_struct_present(self, inputs):
+        assert any("Aa" in i.type_text and i.valid for i in inputs)
+
+    def test_invalid_overflow_per_integral(self, inputs):
+        for text in ("tinyint", "smallint", "int", "bigint"):
+            assert any(
+                i.type_text == text and not i.valid
+                and isinstance(i.py_value, int)
+                for i in inputs
+            )
+
+    def test_sql_and_py_spellings_both_present(self, inputs):
+        for test_input in inputs:
+            assert test_input.sql_literal
+            # py_value may legitimately be None only for... nothing: every
+            # input carries a concrete value
+            assert test_input.py_value is not None

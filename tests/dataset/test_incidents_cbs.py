@@ -1,0 +1,105 @@
+"""Tests for the incident (§3) and CBS (§4) datasets."""
+
+import statistics
+from collections import Counter
+
+import pytest
+
+from repro.core.failure import CBSIssue
+from repro.core.taxonomy import Plane
+from repro.dataset.cbs import load_cbs_issues
+from repro.dataset.incidents import load_incidents
+from repro.dataset.testsuites import (
+    cross_test_fraction,
+    load_spark_integration_tests,
+)
+from repro.errors import DatasetError
+
+
+class TestIncidents:
+    @pytest.fixture(scope="class")
+    def incidents(self):
+        return load_incidents()
+
+    def test_totals(self, incidents):
+        assert len(incidents) == 55
+        assert sum(1 for i in incidents if i.is_csi) == 11
+
+    def test_provider_sample_sizes(self, incidents):
+        counts = Counter(i.provider for i in incidents)
+        assert counts == {"gcp": 20, "azure": 20, "aws": 15}
+
+    def test_duration_statistics(self, incidents):
+        durations = sorted(
+            i.duration_minutes for i in incidents if i.is_csi
+        )
+        assert durations[0] == 10
+        assert durations[-1] == 1140  # 19 hours
+        assert statistics.median(durations) == 106
+
+    def test_external_impact(self, incidents):
+        csi = [i for i in incidents if i.is_csi]
+        assert sum(1 for i in csi if i.impaired_external_services) == 8
+
+    def test_interaction_fixes_mentioned(self, incidents):
+        csi = [i for i in incidents if i.is_csi]
+        assert sum(1 for i in csi if i.mentions_interaction_fix) == 4
+
+    def test_csi_incidents_span_planes(self, incidents):
+        planes = {i.plane for i in incidents if i.is_csi}
+        assert planes == {Plane.CONTROL, Plane.DATA, Plane.MANAGEMENT}
+
+    def test_non_csi_carry_no_duration(self, incidents):
+        for incident in incidents:
+            if not incident.is_csi:
+                assert incident.duration_minutes is None
+
+
+class TestCBS:
+    @pytest.fixture(scope="class")
+    def issues(self):
+        return load_cbs_issues()
+
+    def test_totals(self, issues):
+        assert len(issues) == 105
+        assert sum(1 for i in issues if i.is_csi) == 39
+        assert sum(1 for i in issues if i.is_dependency) == 15
+
+    def test_control_plane_fraction(self, issues):
+        csi = [i for i in issues if i.is_csi]
+        control = sum(1 for i in csi if i.plane is Plane.CONTROL)
+        assert control == 27
+        assert abs(control / len(csi) - 0.69) < 0.01
+
+    def test_systems_are_hadoop_era(self, issues):
+        systems = {i.system for i in issues}
+        assert systems == {
+            "MapReduce", "HDFS", "HBase", "Cassandra", "ZooKeeper", "Flume",
+        }
+
+    def test_record_invariants_enforced(self):
+        with pytest.raises(DatasetError):
+            CBSIssue("X-1", "HDFS", is_csi=True, is_dependency=True)
+        with pytest.raises(DatasetError):
+            CBSIssue("X-2", "HDFS", is_csi=True)  # plane missing
+
+
+class TestSparkTestSuiteAudit:
+    def test_six_percent_cross_test(self):
+        assert cross_test_fraction() == pytest.approx(0.06)
+
+    def test_cross_tests_pin_versions(self):
+        for test in load_spark_integration_tests():
+            if test.cross_system:
+                assert test.downstream is not None
+                assert test.pinned_version is not None
+            else:
+                assert test.downstream is None
+
+    def test_cross_tested_downstreams(self):
+        downstreams = {
+            t.downstream
+            for t in load_spark_integration_tests()
+            if t.cross_system
+        }
+        assert {"Hive", "Kafka", "YARN", "HDFS"} <= downstreams

@@ -1,0 +1,72 @@
+"""Tests for dataset export/import."""
+
+import json
+
+import pytest
+
+from repro.core.analysis import compute_findings, table2_planes
+from repro.dataset.cbs import load_cbs_issues
+from repro.dataset.incidents import load_incidents
+from repro.dataset.io import (
+    dump_failures,
+    failure_from_dict,
+    failure_to_dict,
+    incident_to_dict,
+    load_failures_from_file,
+)
+from repro.dataset.opensource import load_failures
+from repro.errors import DatasetError
+
+
+class TestRoundTrip:
+    def test_single_record(self):
+        failure = load_failures()[0]
+        assert failure_from_dict(failure_to_dict(failure)) == failure
+
+    def test_full_dataset_roundtrip(self, tmp_path):
+        failures = load_failures()
+        path = dump_failures(failures, tmp_path / "csi.json")
+        reloaded = load_failures_from_file(path)
+        assert reloaded == failures
+
+    def test_reloaded_dataset_reproduces_the_study(self, tmp_path):
+        path = dump_failures(load_failures(), tmp_path / "csi.json")
+        reloaded = load_failures_from_file(path)
+        assert table2_planes(reloaded).as_dict() == {
+            "Control": 20, "Data": 61, "Management": 39,
+        }
+        findings = compute_findings(
+            reloaded, load_incidents(), load_cbs_issues()
+        )
+        assert all(f.holds for f in findings)
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = dump_failures(load_failures(), tmp_path / "csi.json")
+        payload = json.loads(path.read_text())
+        assert len(payload) == 120
+        assert payload[0]["case_id"] == "CSI-001"
+        assert all(isinstance(r["plane"], str) for r in payload)
+
+
+class TestErrors:
+    def test_malformed_record_rejected(self):
+        with pytest.raises(DatasetError):
+            failure_from_dict({"case_id": "X"})
+
+    def test_bad_enum_rejected(self):
+        record = failure_to_dict(load_failures()[0])
+        record["plane"] = "HYPERSPACE"
+        with pytest.raises(DatasetError):
+            failure_from_dict(record)
+
+    def test_non_list_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(DatasetError):
+            load_failures_from_file(path)
+
+
+def test_incident_export():
+    record = incident_to_dict(load_incidents()[0])
+    assert record["is_csi"] is True
+    assert record["plane"] in ("CONTROL", "DATA", "MANAGEMENT")

@@ -1,0 +1,214 @@
+"""The 120-case dataset must reproduce every published marginal."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.taxonomy import (
+    ApiMisuseKind,
+    ConfigKind,
+    ConfigPattern,
+    ControlPattern,
+    DataAbstraction,
+    DataPattern,
+    DataProperty,
+    FixLocation,
+    FixPattern,
+    MgmtKind,
+    Plane,
+    Symptom,
+)
+from repro.dataset.opensource import PAIRS, load_failures
+
+
+@pytest.fixture(scope="module")
+def failures():
+    return load_failures()
+
+
+class TestTable1:
+    def test_total(self, failures):
+        assert len(failures) == 120
+
+    def test_pair_counts(self, failures):
+        counts = Counter((f.upstream, f.downstream) for f in failures)
+        expected = {
+            ("Spark", "Hive"): 26, ("Spark", "YARN"): 19,
+            ("Spark", "HDFS"): 8, ("Spark", "Kafka"): 5,
+            ("Flink", "Kafka"): 12, ("Flink", "YARN"): 14,
+            ("Flink", "Hive"): 8, ("Flink", "HDFS"): 3,
+            ("Hive", "Spark"): 6, ("Hive", "HBase"): 3,
+            ("Hive", "HDFS"): 6, ("Hive", "Kafka"): 1,
+            ("Hive", "YARN"): 2, ("HBase", "HDFS"): 4,
+            ("YARN", "HDFS"): 3,
+        }
+        assert dict(counts) == expected
+
+    def test_pairspec_totals_consistent(self):
+        assert sum(p.total for p in PAIRS) == 120
+
+    def test_interaction_labels(self, failures):
+        for failure in failures:
+            assert failure.interaction.startswith(("Data", "Control"))
+
+
+class TestTable2:
+    def test_plane_split(self, failures):
+        counts = Counter(f.plane for f in failures)
+        assert counts[Plane.DATA] == 61
+        assert counts[Plane.MANAGEMENT] == 39
+        assert counts[Plane.CONTROL] == 20
+
+
+class TestTable3:
+    def test_crashing_majority(self, failures):
+        assert sum(1 for f in failures if f.symptom.crashing) == 89
+
+    def test_row_counts(self, failures):
+        counts = Counter(f.symptom for f in failures)
+        assert counts[Symptom.JOB_TASK_FAILURE] == 47
+        assert counts[Symptom.JOB_TASK_CRASH_HANG] == 24
+        assert counts[Symptom.RUNTIME_CRASH_HANG] == 8
+        assert counts[Symptom.REDUCED_OBSERVABILITY] == 8
+        assert counts[Symptom.JOB_TASK_STARTUP] == 6
+        assert counts[Symptom.STARTUP_FAILURE] == 4
+        assert counts[Symptom.USABILITY_ISSUE] == 1
+
+
+class TestTables4To6:
+    def test_property_marginals(self, failures):
+        data = [f for f in failures if f.plane is Plane.DATA]
+        counts = Counter(f.data_property for f in data)
+        assert counts[DataProperty.ADDRESS] == 10
+        assert counts[DataProperty.SCHEMA_STRUCTURE] == 14
+        assert counts[DataProperty.SCHEMA_VALUE] == 18
+        assert counts[DataProperty.CUSTOM_PROPERTY] == 8
+        assert counts[DataProperty.API_SEMANTICS] == 11
+
+    def test_table5_matrix(self, failures):
+        data = [f for f in failures if f.plane is Plane.DATA]
+        matrix = Counter((f.data_abstraction, f.data_property) for f in data)
+        assert matrix[(DataAbstraction.TABLE, DataProperty.ADDRESS)] == 1
+        assert matrix[(DataAbstraction.TABLE, DataProperty.SCHEMA_STRUCTURE)] == 13
+        assert matrix[(DataAbstraction.TABLE, DataProperty.SCHEMA_VALUE)] == 16
+        assert matrix[(DataAbstraction.TABLE, DataProperty.CUSTOM_PROPERTY)] == 0
+        assert matrix[(DataAbstraction.TABLE, DataProperty.API_SEMANTICS)] == 5
+        assert matrix[(DataAbstraction.FILE, DataProperty.ADDRESS)] == 8
+        assert matrix[(DataAbstraction.FILE, DataProperty.CUSTOM_PROPERTY)] == 8
+        assert matrix[(DataAbstraction.FILE, DataProperty.API_SEMANTICS)] == 2
+        assert matrix[(DataAbstraction.STREAM, DataProperty.API_SEMANTICS)] == 4
+        assert not any(
+            f.data_abstraction is DataAbstraction.KV_TUPLE for f in data
+        )
+
+    def test_table6_patterns(self, failures):
+        data = [f for f in failures if f.plane is Plane.DATA]
+        counts = Counter(f.data_pattern for f in data)
+        assert counts[DataPattern.TYPE_CONFUSION] == 12
+        assert counts[DataPattern.UNSUPPORTED_OPERATIONS] == 15
+        assert counts[DataPattern.UNSPOKEN_CONVENTION] == 9
+        assert counts[DataPattern.UNDEFINED_VALUES] == 7
+        assert counts[DataPattern.WRONG_API_ASSUMPTIONS] == 18
+
+    def test_serialization_count(self, failures):
+        data = [f for f in failures if f.plane is Plane.DATA]
+        assert sum(1 for f in data if f.serialization_rooted) == 15
+        assert not any(
+            f.serialization_rooted
+            for f in failures
+            if f.plane is not Plane.DATA
+        )
+
+
+class TestTables7And8:
+    def test_config_patterns(self, failures):
+        config = [
+            f for f in failures
+            if f.mgmt_kind is MgmtKind.CONFIGURATION
+        ]
+        assert len(config) == 30
+        counts = Counter(f.config_pattern for f in config)
+        assert counts[ConfigPattern.IGNORANCE] == 12
+        assert counts[ConfigPattern.UNEXPECTED_OVERRIDE] == 6
+        assert counts[ConfigPattern.INCONSISTENT_CONTEXT] == 10
+        assert counts[ConfigPattern.MISHANDLING_VALUES] == 2
+        kinds = Counter(f.config_kind for f in config)
+        assert kinds[ConfigKind.PARAMETER] == 21
+        assert kinds[ConfigKind.COMPONENT] == 9
+
+    def test_monitoring_count(self, failures):
+        assert sum(
+            1 for f in failures if f.mgmt_kind is MgmtKind.MONITORING
+        ) == 9
+
+    def test_control_patterns(self, failures):
+        control = [f for f in failures if f.plane is Plane.CONTROL]
+        counts = Counter(f.control_pattern for f in control)
+        assert counts[ControlPattern.API_SEMANTIC_VIOLATION] == 13
+        assert counts[ControlPattern.STATE_RESOURCE_INCONSISTENCY] == 5
+        assert counts[ControlPattern.FEATURE_INCONSISTENCY] == 2
+        misuse = Counter(
+            f.api_misuse_kind for f in control if f.api_misuse_kind
+        )
+        assert misuse[ApiMisuseKind.IMPLICIT_SEMANTIC_VIOLATION] == 8
+        assert misuse[ApiMisuseKind.WRONG_INVOCATION_CONTEXT] == 5
+
+
+class TestTable9:
+    def test_fix_patterns(self, failures):
+        counts = Counter(f.fix_pattern for f in failures)
+        assert counts[FixPattern.CHECKING] == 38
+        assert counts[FixPattern.ERROR_HANDLING] == 8
+        assert counts[FixPattern.INTERACTION] == 69
+        assert counts[FixPattern.OTHER] == 5
+
+    def test_fix_locations(self, failures):
+        locations = Counter(
+            f.fix_location for f in failures if f.fix_location
+        )
+        assert locations[FixLocation.CONNECTOR] == 68
+        assert locations[FixLocation.SYSTEM_SPECIFIC] == 11
+        assert locations[FixLocation.GENERIC] == 36
+
+    def test_single_downstream_fix(self, failures):
+        downstream = [f for f in failures if f.fixed_by_downstream]
+        assert len(downstream) == 1
+        assert downstream[0].issue_id == "YARN-9724"
+
+
+class TestPins:
+    def test_pinned_cases_present(self, failures):
+        real = {f.issue_id for f in failures if not f.synthetic}
+        for issue in (
+            "FLINK-12342", "SPARK-27239", "FLINK-19141", "SPARK-21686",
+            "SPARK-19361", "SPARK-16901", "FLINK-887", "HBASE-537",
+            "YARN-9724", "HIVE-11250", "FLINK-17189",
+        ):
+            assert issue in real
+
+    def test_pins_have_documented_labels(self, failures):
+        by_id = {f.issue_id: f for f in failures}
+        fig1 = by_id["FLINK-12342"]
+        assert fig1.plane is Plane.CONTROL
+        assert fig1.api_misuse_kind is ApiMisuseKind.IMPLICIT_SEMANTIC_VIOLATION
+        fig2 = by_id["SPARK-27239"]
+        assert fig2.data_pattern is DataPattern.UNDEFINED_VALUES
+        assert fig2.data_property is DataProperty.CUSTOM_PROPERTY
+        fig3 = by_id["FLINK-19141"]
+        assert fig3.config_pattern is ConfigPattern.INCONSISTENT_CONTEXT
+
+    def test_synthetic_ids_disjoint_from_real(self, failures):
+        synthetic = {f.issue_id for f in failures if f.synthetic}
+        real = {f.issue_id for f in failures if not f.synthetic}
+        assert not synthetic & real
+        assert all("-9" in issue for issue in synthetic)
+
+    def test_case_ids_unique(self, failures):
+        ids = [f.case_id for f in failures]
+        assert len(set(ids)) == 120
+
+    def test_deterministic(self, failures):
+        load_failures.cache_clear()
+        again = load_failures()
+        assert [f.issue_id for f in again] == [f.issue_id for f in failures]
+        assert [f.symptom for f in again] == [f.symptom for f in failures]

@@ -1,0 +1,86 @@
+"""Tests for the change-analysis module."""
+
+import pytest
+
+from repro.evolution import (
+    DEFAULT_TYPE_CORPUS,
+    lattice_diff,
+    lattice_signature,
+    reader_gaps,
+    upgrade_risks,
+)
+from repro.formats import serializer_for
+
+
+class TestLatticeSignature:
+    def test_avro_signature_shape(self):
+        signature = lattice_signature(serializer_for("avro"))
+        assert signature["tinyint"] == "int"
+        assert signature["char(5)"] == "string"
+        assert signature["map<int,string>"] == "<unsupported>"
+        assert signature["int"] == "int"
+
+    def test_parquet_mostly_identity(self):
+        signature = lattice_signature(serializer_for("parquet"))
+        identical = sum(1 for k, v in signature.items() if k == v)
+        assert identical >= len(DEFAULT_TYPE_CORPUS) - 2
+
+    def test_unified_fully_identity(self):
+        signature = lattice_signature(serializer_for("unified_avro"))
+        assert all(k == v for k, v in signature.items())
+
+
+class TestLatticeDiff:
+    def test_same_serializer_no_changes(self):
+        assert lattice_diff(serializer_for("avro"), serializer_for("avro")) == []
+
+    def test_upgrade_to_unified_is_safe(self):
+        changes = lattice_diff(
+            serializer_for("avro"), serializer_for("unified_avro")
+        )
+        assert changes  # plenty of differences...
+        assert upgrade_risks(
+            serializer_for("avro"), serializer_for("unified_avro")
+        ) == []  # ...none of them risky
+
+    def test_downgrade_is_risky(self):
+        risks = upgrade_risks(
+            serializer_for("unified_avro"), serializer_for("avro")
+        )
+        kinds = {r.kind for r in risks}
+        assert "collapse_introduced" in kinds
+        assert "gap_introduced" in kinds
+        risky_types = {r.type_text for r in risks}
+        assert "tinyint" in risky_types
+        assert "map<int,string>" in risky_types
+
+    def test_orc_vs_parquet_diff(self):
+        changes = lattice_diff(serializer_for("orc"), serializer_for("parquet"))
+        changed_types = {c.type_text for c in changes}
+        assert changed_types == {"timestamp_ntz"}  # gap_removed direction
+        assert changes[0].kind == "collapse_removed"
+
+    def test_render(self):
+        (change,) = lattice_diff(
+            serializer_for("orc"), serializer_for("parquet")
+        )
+        assert "timestamp_ntz" in change.render()
+
+
+class TestReaderGaps:
+    def test_avro_flags_spark_39075(self):
+        gaps = reader_gaps(serializer_for("avro"))
+        gap_types = {g.type_text for g in gaps}
+        assert "tinyint" in gap_types
+        assert "smallint" in gap_types
+        # nested occurrences flagged too
+        assert "array<tinyint>" in gap_types
+
+    @pytest.mark.parametrize("fmt", ["orc", "parquet", "unified_avro"])
+    def test_complete_formats_have_no_gaps(self, fmt):
+        assert reader_gaps(serializer_for(fmt)) == []
+
+    def test_gap_render_names_the_mechanism(self):
+        gap = reader_gaps(serializer_for("avro"))[0]
+        text = gap.render()
+        assert "stored as" in text and "read back fails" in text

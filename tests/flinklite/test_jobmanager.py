@@ -1,0 +1,69 @@
+"""Unit tests for Flink JVM sizing and container arithmetic."""
+
+from repro.flinklite.configs import (
+    HEAP_CUTOFF_RATIO,
+    JM_PROCESS_SIZE_MB,
+    FlinkConf,
+)
+from repro.flinklite.jobmanager import (
+    JobManagerSpec,
+    expected_container_resource,
+    jvm_heap_for_container,
+)
+from repro.yarnlite.configs import MIN_ALLOC_MB, YarnConf
+from repro.yarnlite.resources import Resource
+
+
+class TestHeapSizing:
+    def test_default_cutoff_leaves_headroom(self):
+        conf = FlinkConf()
+        heap = jvm_heap_for_container(conf, 2048)
+        assert heap < 2048
+        # cutoff is max(ratio * size, cutoff-min=600)
+        assert heap == 2048 - 600
+
+    def test_large_container_uses_ratio(self):
+        conf = FlinkConf()
+        heap = jvm_heap_for_container(conf, 4000)
+        assert heap == 4000 - 1000  # 25% > 600
+
+    def test_zero_cutoff_uses_whole_container(self):
+        conf = FlinkConf()
+        conf.set(HEAP_CUTOFF_RATIO, "0.0")
+        assert jvm_heap_for_container(conf, 2048) == 2048
+
+    def test_spec_peak_exceeds_container_without_cutoff(self):
+        conf = FlinkConf()
+        conf.set(HEAP_CUTOFF_RATIO, "0.0")
+        conf.set(JM_PROCESS_SIZE_MB, 1600)
+        spec = JobManagerSpec(conf)
+        assert spec.peak_pmem_mb() > spec.container_mb()
+
+    def test_spec_peak_fits_with_default_cutoff(self):
+        conf = FlinkConf()
+        conf.set(JM_PROCESS_SIZE_MB, 1600)
+        spec = JobManagerSpec(conf)
+        assert spec.peak_pmem_mb() <= spec.container_mb()
+
+
+class TestContainerArithmetic:
+    def test_expectation_follows_min_allocation(self):
+        yarn_conf = YarnConf()
+        yarn_conf.set(MIN_ALLOC_MB, 1024)
+        expected = expected_container_resource(
+            FlinkConf(), yarn_conf, Resource(1500, 1)
+        )
+        assert expected == Resource(2048, 1)
+
+    def test_expectation_ignores_increment_keys(self):
+        # this *is* the FLINK-19141 bug: Flink's arithmetic never reads
+        # the increment-allocation keys
+        yarn_conf = YarnConf()
+        yarn_conf.set(MIN_ALLOC_MB, 1024)
+        yarn_conf.set(
+            "yarn.resource-types.memory-mb.increment-allocation", 512
+        )
+        expected = expected_container_resource(
+            FlinkConf(), yarn_conf, Resource(1500, 1)
+        )
+        assert expected == Resource(2048, 1)  # not 1536

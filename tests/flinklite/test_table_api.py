@@ -1,0 +1,111 @@
+"""Tests for Flink's table layer and the FLINK-17189 mechanism."""
+
+import datetime
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.errors import QueryError
+from repro.flinklite.table_api import FlinkTableEnvironment, ProctimeLostError
+from repro.hivelite.engine import HiveServer
+from repro.hivelite.metastore import HiveMetastore
+from repro.kafkalite.log import PartitionLog
+from repro.scenarios.data_flink_hive import replay_flink_17189
+from repro.storage.filesystem import FileSystem
+from repro.storage.namenode import NameNode
+
+
+@pytest.fixture
+def env():
+    hive = HiveServer(HiveMetastore(), FileSystem(NameNode()))
+    return FlinkTableEnvironment(hive)
+
+
+def stream(records=4):
+    log = PartitionLog("s")
+    for index in range(records):
+        log.append({"user": f"u{index}"}, timestamp_ms=index * 60_000)
+    return log
+
+
+class TestStreamToTable:
+    def test_materializes_rows(self, env):
+        rows = env.table_from_stream("t", stream(3), Schema.of(("user", "string")))
+        assert [r["user"] for r in rows] == ["u0", "u1", "u2"]
+
+    def test_proctime_column_synthesized(self, env):
+        rows = env.table_from_stream(
+            "t", stream(2), Schema.of(("user", "string")),
+            proctime_column="proc_ts",
+        )
+        assert rows[0].schema.names() == ("user", "proc_ts")
+        assert isinstance(rows[1]["proc_ts"], datetime.datetime)
+        assert rows[1]["proc_ts"] - rows[0]["proc_ts"] == datetime.timedelta(
+            minutes=1
+        )
+
+    def test_non_row_records_rejected(self, env):
+        log = PartitionLog("s")
+        log.append("not-a-dict")
+        with pytest.raises(QueryError):
+            env.table_from_stream("t", log, Schema.of(("user", "string")))
+
+    def test_missing_columns_read_null(self, env):
+        log = PartitionLog("s")
+        log.append({"other": 1})
+        rows = env.table_from_stream("t", log, Schema.of(("user", "string")))
+        assert rows[0]["user"] is None
+
+
+class TestCatalogRoundTrip:
+    def test_proctime_stored_as_plain_timestamp(self, env):
+        rows = env.table_from_stream(
+            "t", stream(2), Schema.of(("user", "string")),
+            proctime_column="proc_ts",
+        )
+        env.write_to_hive("t", rows, rows[0].schema)
+        schema, back = env.read_from_hive("t")
+        assert schema.field("proc_ts").data_type.simple_string() == "timestamp"
+        assert len(back) == 2
+
+    def test_window_aggregate_with_live_attribute(self, env):
+        rows = env.table_from_stream(
+            "t", stream(6), Schema.of(("user", "string")),
+            proctime_column="proc_ts",
+        )
+        env.write_to_hive("t", rows, rows[0].schema)
+        windows = env.window_aggregate("t", window_minutes=2)
+        assert sum(windows.values()) == 6
+        assert len(windows) == 3  # 6 events at 1-minute spacing, 2-min windows
+
+    def test_restarted_environment_loses_attribute(self, env):
+        rows = env.table_from_stream(
+            "t", stream(2), Schema.of(("user", "string")),
+            proctime_column="proc_ts",
+        )
+        env.write_to_hive("t", rows, rows[0].schema)
+        restarted = FlinkTableEnvironment(env.hive)
+        with pytest.raises(ProctimeLostError):
+            restarted.window_aggregate("t")
+
+    def test_reregistration_restores(self, env):
+        rows = env.table_from_stream(
+            "t", stream(2), Schema.of(("user", "string")),
+            proctime_column="proc_ts",
+        )
+        env.write_to_hive("t", rows, rows[0].schema)
+        restarted = FlinkTableEnvironment(env.hive)
+        restarted.register_proctime("t", "proc_ts")
+        assert sum(restarted.window_aggregate("t").values()) == 2
+
+
+class TestScenario:
+    def test_failing_and_fixed(self):
+        assert replay_flink_17189().failed
+        fixed = replay_flink_17189(fixed=True)
+        assert not fixed.failed
+        assert fixed.metrics["window_buckets"] > 0
+
+    def test_stored_type_is_the_collapse(self):
+        outcome = replay_flink_17189()
+        assert outcome.metrics["stored_type"] == "timestamp"

@@ -1,0 +1,102 @@
+"""Unit tests for the Flink YARN connector loop (FLINK-12342)."""
+
+import pytest
+
+from repro.common.events import EventLoop
+from repro.flinklite.configs import REQUEST_INTERVAL_MS, FlinkConf
+from repro.flinklite.yarn_connector import FixStage, FlinkYarnResourceManager
+from repro.yarnlite.resourcemanager import ResourceManager
+from repro.yarnlite.resources import Resource
+
+
+def build(needed=10, latency=300, interval=500, fix=FixStage.BUGGY):
+    loop = EventLoop()
+    yarn = ResourceManager(loop, allocation_latency_ms=latency)
+    conf = FlinkConf()
+    conf.set(REQUEST_INTERVAL_MS, interval)
+    flink = FlinkYarnResourceManager(
+        loop, yarn,
+        needed_containers=needed,
+        container_resource=Resource(1024, 1),
+        conf=conf,
+        fix_stage=fix,
+    )
+    return loop, yarn, flink
+
+
+class TestBuggyLoop:
+    def test_fast_allocation_no_snowball(self):
+        # allocation completes within the interval: the sync assumption
+        # happens to hold and nothing goes wrong
+        loop, yarn, flink = build(needed=1, latency=100, interval=500)
+        flink.start()
+        loop.run_until(60_000, max_events=50_000)
+        assert flink.satisfied
+        assert flink.total_requested <= 2
+
+    def test_slow_allocation_snowballs(self):
+        loop, yarn, flink = build(needed=10, latency=300, interval=500)
+        flink.start()
+        loop.run_until(120_000, max_events=100_000)
+        assert flink.total_requested > 10 * 5
+
+    def test_requests_grow_each_tick(self):
+        loop, yarn, flink = build(needed=5, latency=10_000, interval=500)
+        flink.start()
+        loop.run_until(2_000, max_events=10_000)
+        counts = [entry.count for entry in flink.request_log]
+        # Figure 1's aggregation: 5, then 5+5+... strictly increasing
+        assert counts[0] == 5
+        assert all(b > a for a, b in zip(counts, counts[1:]))
+
+    def test_excess_containers_released(self):
+        loop, yarn, flink = build(needed=3, latency=300, interval=100)
+        flink.start()
+        loop.run_to_completion(max_events=500_000)
+        assert flink.satisfied
+        assert len(flink.allocated) == 3
+        # everything beyond the need went back to the cluster
+        assert yarn.available == yarn.cluster_resource - Resource(1024, 1) * 3
+
+
+class TestFixes:
+    def test_workaround_interval(self):
+        loop, yarn, flink = build(needed=10, latency=300, interval=10_000)
+        flink.start()
+        loop.run_until(120_000, max_events=100_000)
+        assert flink.satisfied
+        assert flink.total_requested == 10
+
+    def test_workaround_decrement(self):
+        loop, yarn, flink = build(
+            needed=10, latency=300, interval=500,
+            fix=FixStage.WORKAROUND_DECREMENT,
+        )
+        flink.start()
+        loop.run_until(120_000, max_events=100_000)
+        assert flink.satisfied
+        assert flink.total_requested == 10
+
+    def test_resolution_async(self):
+        loop, yarn, flink = build(
+            needed=10, latency=300, interval=500, fix=FixStage.RESOLUTION_ASYNC
+        )
+        flink.start()
+        loop.run_to_completion(max_events=100_000)
+        assert flink.satisfied
+        assert flink.total_requested == 10
+        assert len(flink.request_log) == 1  # one batch, no polling
+
+    def test_overload_factor_metric(self):
+        loop, yarn, flink = build(needed=10, latency=300, interval=500)
+        flink.start()
+        loop.run_until(60_000, max_events=100_000)
+        assert flink.overload_factor(10) == flink.total_requested / 10
+
+    def test_zero_need_is_trivially_satisfied(self):
+        loop, yarn, flink = build(needed=0)
+        flink.start()
+        loop.run_to_completion(max_events=1000)
+        assert flink.satisfied
+        assert flink.total_requested == 0
+        assert flink.overload_factor(0) == 0.0

@@ -1,0 +1,86 @@
+"""Unit tests for the tagged byte codec."""
+
+import datetime
+import decimal
+import math
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.formats import encoding
+
+
+ROUNDTRIP_VALUES = [
+    None,
+    True,
+    False,
+    0,
+    -42,
+    2**62,
+    "text",
+    "",
+    "unicode ✓ 数据",
+    1.5,
+    -0.0,
+    decimal.Decimal("3.14"),
+    decimal.Decimal("-0.001"),
+    b"\x00\xff",
+    b"",
+    datetime.date(2020, 2, 29),
+    datetime.datetime(2020, 1, 1, 12, 30, 45, 123456),
+    datetime.timedelta(seconds=90),
+    [1, 2, None],
+    [],
+    {"a": 1, "b": None},
+    {1: "x", 2: "y"},  # non-string keys
+    [[1], [2, [3]]],
+    {"nested": {"k": [decimal.Decimal("1.0")]}},
+]
+
+
+@pytest.mark.parametrize("value", ROUNDTRIP_VALUES, ids=repr)
+def test_roundtrip(value):
+    encoded = encoding.encode_value(value)
+    blob = encoding.dumps({"v": encoded})
+    decoded = encoding.decode_value(encoding.loads(blob)["v"])
+    if isinstance(value, tuple):
+        value = list(value)
+    assert decoded == value
+    # kind preserved: Decimal stays Decimal, bytes stay bytes
+    assert type(decoded) is type(value) or isinstance(value, (list, dict))
+
+
+def test_nan_roundtrip():
+    decoded = encoding.decode_value(encoding.encode_value(math.nan))
+    assert math.isnan(decoded)
+
+
+def test_infinities_roundtrip():
+    assert encoding.decode_value(encoding.encode_value(math.inf)) == math.inf
+    assert encoding.decode_value(encoding.encode_value(-math.inf)) == -math.inf
+
+
+def test_decimal_scale_preserved():
+    value = decimal.Decimal("3.100")
+    decoded = encoding.decode_value(encoding.encode_value(value))
+    assert str(decoded) == "3.100"
+
+
+def test_unencodable_type_raises():
+    with pytest.raises(SerializationError):
+        encoding.encode_value(object())
+
+
+def test_corrupt_blob_raises():
+    with pytest.raises(SerializationError):
+        encoding.loads(b"\xff\xfenot json")
+
+
+def test_unknown_tag_raises():
+    with pytest.raises(SerializationError):
+        encoding.decode_value({"$t": "wat", "v": 1})
+
+
+def test_malformed_encoded_value_raises():
+    with pytest.raises(SerializationError):
+        encoding.decode_value({"no_tag": True})

@@ -1,0 +1,97 @@
+"""Property-based round-trip laws for the serializers."""
+
+import datetime
+import decimal
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.schema import Schema
+from repro.formats import OrcSerializer, ParquetSerializer, serializer_for
+
+_scalar_columns = st.sampled_from(
+    [
+        ("int", st.integers(min_value=-(2**31), max_value=2**31 - 1)),
+        ("bigint", st.integers(min_value=-(2**63), max_value=2**63 - 1)),
+        ("string", st.text(max_size=30)),
+        ("boolean", st.booleans()),
+        (
+            "double",
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+        ),
+        (
+            "date",
+            st.dates(
+                min_value=datetime.date(1, 1, 1),
+                max_value=datetime.date(9999, 12, 31),
+            ),
+        ),
+    ]
+)
+
+
+@st.composite
+def table_case(draw):
+    columns = draw(st.lists(_scalar_columns, min_size=1, max_size=4))
+    schema = Schema.of(
+        *[(f"c{i}", type_text) for i, (type_text, _) in enumerate(columns)]
+    )
+    n_rows = draw(st.integers(min_value=0, max_value=5))
+    rows = []
+    for _ in range(n_rows):
+        row = []
+        for _, strategy in columns:
+            row.append(draw(st.one_of(st.none(), strategy)))
+        rows.append(tuple(row))
+    return schema, rows
+
+
+class TestRoundTripLaws:
+    @given(table_case())
+    @settings(max_examples=60, deadline=None)
+    def test_orc_identity_on_scalars(self, case):
+        schema, rows = case
+        orc = OrcSerializer()
+        data = orc.read(orc.write(schema, rows))
+        assert [tuple(r) for r in data.rows] == rows
+        assert data.physical_schema.names() == schema.names()
+
+    @given(table_case())
+    @settings(max_examples=60, deadline=None)
+    def test_parquet_identity_on_scalars(self, case):
+        schema, rows = case
+        parquet = ParquetSerializer()
+        data = parquet.read(parquet.write(schema, rows))
+        assert [tuple(r) for r in data.rows] == rows
+
+    @given(
+        st.lists(
+            st.integers(min_value=-128, max_value=127) | st.none(),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_avro_promotes_but_preserves_byte_values(self, values):
+        avro = serializer_for("avro")
+        schema = Schema.of(("b", "tinyint"))
+        data = avro.read(avro.write(schema, [(v,) for v in values]))
+        assert [r[0] for r in data.rows] == values
+        assert data.physical_schema.types()[0].simple_string() == "int"
+
+    @given(
+        st.decimals(
+            allow_nan=False,
+            allow_infinity=False,
+            places=2,
+            min_value=decimal.Decimal("-999.99"),
+            max_value=decimal.Decimal("999.99"),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_decimal_scale_survives_every_format(self, value):
+        schema = Schema.of(("d", "decimal(5,2)"))
+        for fmt in ("orc", "parquet", "avro"):
+            serializer = serializer_for(fmt)
+            data = serializer.read(serializer.write(schema, [(value,)]))
+            assert data.rows[0][0] == value
+            assert str(data.rows[0][0]) == str(value)

@@ -1,0 +1,174 @@
+"""Unit tests for the four storage formats and their type lattices."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import (
+    IntegerType,
+    StringType,
+    TimestampType,
+    parse_type,
+)
+from repro.errors import SerializationError, UnsupportedTypeError
+from repro.formats import (
+    AvroSerializer,
+    OrcSerializer,
+    ParquetSerializer,
+    TextSerializer,
+    serializer_for,
+)
+from repro.formats.textfile import NULL_MARKER
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["avro", "ORC", "Parquet", "text"])
+    def test_lookup(self, name):
+        assert serializer_for(name).format_name == name.lower()
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            serializer_for("csv")
+
+
+class TestAvroLattice:
+    def setup_method(self):
+        self.avro = AvroSerializer()
+
+    @pytest.mark.parametrize("text", ["tinyint", "smallint"])
+    def test_narrow_ints_promote(self, text):
+        assert self.avro.physical_type(parse_type(text)) == IntegerType()
+
+    @pytest.mark.parametrize("text", ["int", "bigint", "double", "string", "date"])
+    def test_other_types_preserved(self, text):
+        assert self.avro.physical_type(parse_type(text)) == parse_type(text)
+
+    def test_char_varchar_collapse(self):
+        assert self.avro.physical_type(parse_type("char(5)")) == StringType()
+        assert self.avro.physical_type(parse_type("varchar(3)")) == StringType()
+
+    def test_ntz_collapses_to_timestamp(self):
+        assert self.avro.physical_type(parse_type("timestamp_ntz")) == TimestampType()
+
+    def test_non_string_map_key_rejected(self):
+        with pytest.raises(UnsupportedTypeError):
+            self.avro.physical_type(parse_type("map<int,string>"))
+
+    def test_string_map_key_allowed(self):
+        self.avro.physical_type(parse_type("map<string,int>"))
+
+    def test_nested_promotion(self):
+        physical = self.avro.physical_type(parse_type("array<tinyint>"))
+        assert physical == parse_type("array<int>")
+
+    def test_struct_promotion(self):
+        physical = self.avro.physical_type(parse_type("struct<a:smallint>"))
+        assert physical.simple_string() == "struct<a:int>"
+
+    def test_interval_unsupported(self):
+        with pytest.raises(UnsupportedTypeError):
+            self.avro.physical_type(parse_type("interval"))
+
+    def test_no_native_schema_inference(self):
+        assert not self.avro.supports_native_schema_inference
+
+
+class TestOrcParquetLattices:
+    def test_orc_preserves_narrow_ints(self):
+        orc = OrcSerializer()
+        assert orc.physical_type(parse_type("tinyint")) == parse_type("tinyint")
+
+    def test_orc_allows_int_map_keys(self):
+        OrcSerializer().physical_type(parse_type("map<int,string>"))
+
+    def test_orc_collapses_ntz(self):
+        assert OrcSerializer().physical_type(
+            parse_type("timestamp_ntz")
+        ) == TimestampType()
+
+    def test_parquet_preserves_ntz(self):
+        assert ParquetSerializer().physical_type(
+            parse_type("timestamp_ntz")
+        ) == parse_type("timestamp_ntz")
+
+    def test_both_support_native_inference(self):
+        assert OrcSerializer().supports_native_schema_inference
+        assert ParquetSerializer().supports_native_schema_inference
+
+
+class TestWriteRead:
+    @pytest.mark.parametrize("fmt", ["orc", "parquet"])
+    def test_roundtrip_preserves_values(self, fmt):
+        serializer = serializer_for(fmt)
+        schema = Schema.of(("a", "tinyint"), ("b", "decimal(5,2)"), ("c", "string"))
+        rows = [(1, decimal.Decimal("1.50"), "x"), (None, None, None)]
+        data = serializer.read(serializer.write(schema, rows))
+        assert data.rows[0] == (1, decimal.Decimal("1.50"), "x")
+        assert data.rows[1] == (None, None, None)
+        assert data.physical_schema.names() == ("a", "b", "c")
+
+    def test_avro_writes_promoted_values(self):
+        avro = AvroSerializer()
+        schema = Schema.of(("b", "tinyint"))
+        data = avro.read(avro.write(schema, [(5,)]))
+        assert data.physical_schema.types() == (IntegerType(),)
+        assert data.rows[0][0] == 5
+
+    def test_writer_properties_roundtrip(self):
+        orc = OrcSerializer()
+        blob = orc.write(Schema.of(("a", "int")), [(1,)], {"writer": "hive"})
+        assert orc.read(blob).properties == {"writer": "hive"}
+
+    def test_arity_mismatch_rejected(self):
+        orc = OrcSerializer()
+        with pytest.raises(SerializationError):
+            orc.write(Schema.of(("a", "int")), [(1, 2)])
+
+    def test_wrong_reader_rejected(self):
+        blob = OrcSerializer().write(Schema.of(("a", "int")), [(1,)])
+        with pytest.raises(SerializationError):
+            ParquetSerializer().read(blob)
+
+    def test_sniff_format(self):
+        blob = AvroSerializer().write(Schema.of(("a", "int")), [])
+        assert AvroSerializer.sniff_format(blob) == "avro"
+
+    def test_dates_and_timestamps(self):
+        parquet = ParquetSerializer()
+        schema = Schema.of(("d", "date"), ("t", "timestamp"))
+        row = (datetime.date(2020, 1, 1), datetime.datetime(2020, 1, 1, 8))
+        data = parquet.read(parquet.write(schema, [row]))
+        assert data.rows[0] == row
+
+    def test_nested_values_roundtrip(self):
+        orc = OrcSerializer()
+        schema = Schema.of(("m", "map<int,string>"), ("s", "struct<x:int>"))
+        data = orc.read(orc.write(schema, [({1: "a"}, [7])]))
+        assert data.rows[0][0] == {1: "a"}
+        assert data.rows[0][1] == [7]
+
+
+class TestText:
+    def test_everything_becomes_string(self):
+        text = TextSerializer()
+        schema = Schema.of(("a", "int"), ("b", "boolean"), ("c", "double"))
+        data = text.read(text.write(schema, [(1, True, float("nan"))]))
+        assert data.rows[0] == ("1", "true", "NaN")
+        assert all(t == StringType() for t in data.physical_schema.types())
+
+    def test_null_marker(self):
+        text = TextSerializer()
+        data = text.read(text.write(Schema.of(("a", "int")), [(None,)]))
+        assert data.rows[0][0] == NULL_MARKER
+
+    def test_binary_unsupported(self):
+        with pytest.raises(UnsupportedTypeError):
+            TextSerializer().physical_type(parse_type("binary"))
+
+    def test_collections_flatten(self):
+        text = TextSerializer()
+        schema = Schema.of(("xs", "array<int>"), ("kv", "map<string,int>"))
+        data = text.read(text.write(schema, [([1, 2], {"k": 3})]))
+        assert data.rows[0] == ("1,2", "k:3")

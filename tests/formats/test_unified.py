@@ -1,0 +1,124 @@
+"""Tests for the unified serialization layer (§10 mitigation)."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import parse_type
+from repro.errors import SerializationError
+from repro.formats import UnifiedSerializer, serializer_for
+from repro.formats.unified import LOGICAL_SCHEMA_PROPERTY
+
+
+@pytest.fixture(params=["avro", "orc", "parquet"])
+def unified(request):
+    return serializer_for(f"unified_{request.param}")
+
+
+class TestRegistry:
+    def test_prefix_dispatch(self):
+        serializer = serializer_for("unified_avro")
+        assert isinstance(serializer, UnifiedSerializer)
+        assert serializer.format_name == "unified_avro"
+        assert serializer.base.format_name == "avro"
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ValueError):
+            serializer_for("unified_csv")
+
+    def test_supports_inference(self, unified):
+        assert unified.supports_native_schema_inference
+
+
+class TestLatticeClosure:
+    def test_no_collapses(self, unified):
+        for text in ("tinyint", "smallint", "char(5)", "timestamp_ntz"):
+            assert unified.physical_type(parse_type(text)) == parse_type(text)
+
+    def test_byte_roundtrip(self, unified):
+        schema = Schema.of(("b", "tinyint"))
+        data = unified.read(unified.write(schema, [(5,), (None,)]))
+        assert data.physical_schema.types()[0].simple_string() == "tinyint"
+        assert [r[0] for r in data.rows] == [5, None]
+
+    def test_ntz_roundtrip(self, unified):
+        schema = Schema.of(("ts", "timestamp_ntz"))
+        value = datetime.datetime(2020, 6, 15, 12, 30)
+        data = unified.read(unified.write(schema, [(value,)]))
+        assert data.physical_schema.types()[0].simple_string() == "timestamp_ntz"
+        assert data.rows[0][0] == value
+
+    def test_non_string_map_keys_roundtrip(self, unified):
+        schema = Schema.of(("m", "map<int,string>"))
+        data = unified.read(unified.write(schema, [({1: "x", -2: "y"},)]))
+        assert data.rows[0][0] == {1: "x", -2: "y"}
+        assert data.physical_schema.types()[0].simple_string() == (
+            "map<int,string>"
+        )
+
+    def test_nested_map_keys(self, unified):
+        schema = Schema.of(("m", "array<map<bigint,double>>"))
+        data = unified.read(unified.write(schema, [([{10: 0.5}],)]))
+        assert data.rows[0][0] == [{10: 0.5}]
+
+    def test_decimal_and_string_untouched(self, unified):
+        schema = Schema.of(("d", "decimal(5,2)"), ("s", "string"))
+        row = (decimal.Decimal("1.50"), "x")
+        data = unified.read(unified.write(schema, [row]))
+        assert tuple(data.rows[0]) == row
+
+    def test_properties_carry_through_without_internal_key(self, unified):
+        schema = Schema.of(("a", "int"))
+        blob = unified.write(schema, [(1,)], {"writer": "spark"})
+        data = unified.read(blob)
+        assert data.properties["writer"] == "spark"
+        assert LOGICAL_SCHEMA_PROPERTY not in data.properties
+
+
+class TestDispatchSafety:
+    def test_base_reader_rejects_unified_blob(self):
+        unified = serializer_for("unified_orc")
+        blob = unified.write(Schema.of(("a", "int")), [(1,)])
+        with pytest.raises(SerializationError):
+            serializer_for("orc").read(blob)
+
+    def test_unified_reader_rejects_plain_blob(self):
+        plain = serializer_for("orc").write(Schema.of(("a", "int")), [(1,)])
+        with pytest.raises(SerializationError):
+            serializer_for("unified_orc").read(plain)
+
+    def test_sql_ddl_accepts_unified_formats(self):
+        from repro.sparklite.session import SparkSession
+
+        spark = SparkSession.local()
+        spark.sql("CREATE TABLE t (b tinyint) STORED AS unified_avro")
+        spark.sql("INSERT INTO t VALUES (5)")
+        result = spark.sql("SELECT * FROM t")
+        assert result.schema.types()[0].simple_string() == "tinyint"
+        assert result.to_tuples() == [(5,)]
+
+
+class TestMitigationEffect:
+    def test_unified_avro_has_no_reader_gaps(self):
+        from repro.evolution import reader_gaps
+
+        assert reader_gaps(serializer_for("unified_avro")) == []
+        assert reader_gaps(serializer_for("avro")) != []
+
+    def test_crosstest_lattice_discrepancies_removed(self):
+        from repro.crosstest import CrossTester, found_discrepancies, generate_inputs
+
+        inputs = [
+            i
+            for i in generate_inputs()
+            if i.column_type.name in ("tinyint", "map")
+        ]
+        plain = CrossTester(inputs=inputs).run()
+        unified = CrossTester(
+            inputs=inputs,
+            formats=("unified_avro", "unified_orc", "unified_parquet"),
+        ).run()
+        assert {1, 3, 4} <= found_discrepancies(plain)
+        assert not {1, 3, 4} & found_discrepancies(unified)

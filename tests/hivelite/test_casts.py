@@ -1,0 +1,126 @@
+"""Unit tests for Hive's write and read coercion rules."""
+
+import datetime
+import decimal
+import math
+
+import pytest
+
+from repro.common.types import parse_type
+from repro.errors import QueryError
+from repro.hivelite.casts import hive_read_cast, hive_write_cast
+
+
+class TestWriteCastLenient:
+    def test_overflow_becomes_null(self):
+        assert hive_write_cast(300, parse_type("tinyint")) is None
+        assert hive_write_cast(2**40, parse_type("int")) is None
+
+    def test_in_range_preserved(self):
+        assert hive_write_cast(127, parse_type("tinyint")) == 127
+
+    def test_string_parsed(self):
+        assert hive_write_cast("42", parse_type("int")) == 42
+
+    def test_malformed_string_becomes_null(self):
+        assert hive_write_cast("12abc", parse_type("int")) is None
+
+    def test_decimal_quantized(self):
+        out = hive_write_cast(decimal.Decimal("3.1"), parse_type("decimal(10,3)"))
+        assert str(out) == "3.100"
+
+    def test_decimal_overflow_null(self):
+        assert (
+            hive_write_cast(
+                decimal.Decimal("123456.78"), parse_type("decimal(5,2)")
+            )
+            is None
+        )
+
+    def test_float_special_strings_null(self):
+        # Hive's lazy parser does not recognize NaN/Infinity spellings
+        assert hive_write_cast("NaN", parse_type("double")) is None
+        assert hive_write_cast("Infinity", parse_type("double")) is None
+
+    def test_float_value_preserved(self):
+        assert hive_write_cast(1.5, parse_type("double")) == 1.5
+        assert math.isnan(hive_write_cast(math.nan, parse_type("double")))
+
+    def test_boolean_tokens(self):
+        assert hive_write_cast("true", parse_type("boolean")) is True
+        assert hive_write_cast("yes", parse_type("boolean")) is None
+
+    def test_char_padding_and_overflow(self):
+        assert hive_write_cast("ab", parse_type("char(5)")) == "ab   "
+        assert hive_write_cast("abcdef", parse_type("char(5)")) is None
+
+    def test_varchar_overflow(self):
+        assert hive_write_cast("abcd", parse_type("varchar(3)")) is None
+        assert hive_write_cast("ab", parse_type("varchar(3)")) == "ab"
+
+    def test_date_parsing(self):
+        assert hive_write_cast("2020-01-01", parse_type("date")) == datetime.date(
+            2020, 1, 1
+        )
+        assert hive_write_cast("2021-02-30", parse_type("date")) is None
+
+    def test_struct_coerced_fieldwise(self):
+        out = hive_write_cast([1, "x"], parse_type("struct<a:tinyint,b:string>"))
+        assert out == [1, "x"]
+
+    def test_map_null_key_rejected(self):
+        assert hive_write_cast({"a": None}, parse_type("map<string,int>")) == {
+            "a": None
+        }
+        assert hive_write_cast({None: 1}, parse_type("map<string,int>")) is None
+
+    def test_wrong_kind_becomes_null(self):
+        assert hive_write_cast(42, parse_type("map<string,int>")) is None
+        assert hive_write_cast("x", parse_type("array<int>")) is None
+
+    def test_none_stays_none(self):
+        assert hive_write_cast(None, parse_type("int")) is None
+
+
+class TestReadCastStrict:
+    def test_identity_in_range(self):
+        assert hive_read_cast(5, parse_type("tinyint")) == 5
+
+    def test_out_of_range_demotes_to_null(self):
+        assert hive_read_cast(300, parse_type("tinyint")) is None
+
+    def test_wrong_physical_kind_raises(self):
+        with pytest.raises(QueryError):
+            hive_read_cast("5", parse_type("int"))
+
+    def test_nan_reads_as_null(self):
+        assert hive_read_cast(math.nan, parse_type("double")) is None
+
+    def test_infinity_raises(self):
+        with pytest.raises(QueryError):
+            hive_read_cast(math.inf, parse_type("double"))
+        with pytest.raises(QueryError):
+            hive_read_cast(-math.inf, parse_type("float"))
+
+    def test_finite_float_passes(self):
+        assert hive_read_cast(2.5, parse_type("double")) == 2.5
+
+    def test_decimal_matching_scale_passes(self):
+        value = decimal.Decimal("3.100")
+        assert hive_read_cast(value, parse_type("decimal(10,3)")) == value
+
+    def test_decimal_scale_mismatch_raises(self):
+        # the SPARK-39158 mechanism
+        with pytest.raises(QueryError, match="scale"):
+            hive_read_cast(decimal.Decimal("3.1"), parse_type("decimal(10,3)"))
+
+    def test_char_padded_on_read(self):
+        assert hive_read_cast("ab", parse_type("char(5)")) == "ab   "
+
+    def test_array_elements_recursed(self):
+        with pytest.raises(QueryError):
+            hive_read_cast([math.inf], parse_type("array<double>"))
+        assert hive_read_cast([math.nan], parse_type("array<double>")) == [None]
+
+    def test_null_passthrough(self):
+        assert hive_read_cast(None, parse_type("double")) is None

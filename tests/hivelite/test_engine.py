@@ -1,0 +1,145 @@
+"""Unit tests for the HiveQL engine."""
+
+import decimal
+
+import pytest
+
+from repro.errors import (
+    AnalysisException,
+    QueryError,
+    TableNotFoundError,
+    UnsupportedTypeError,
+)
+from repro.formats import serializer_for
+from repro.formats.orc import HIVE_POSITIONAL_PROPERTY
+from repro.hivelite.engine import HiveServer
+from repro.hivelite.metastore import HiveMetastore
+from repro.storage.filesystem import FileSystem
+from repro.storage.namenode import NameNode
+
+
+@pytest.fixture
+def hive():
+    return HiveServer(HiveMetastore(), FileSystem(NameNode()))
+
+
+class TestDDL:
+    def test_create_registers_lowercased(self, hive):
+        hive.execute("CREATE TABLE T1 (Id int, Name string) STORED AS orc")
+        table = hive.metastore.get_table("t1")
+        assert table.schema.names() == ("id", "name")
+
+    def test_default_format_is_text(self, hive):
+        hive.execute("CREATE TABLE t (a int)")
+        assert hive.metastore.get_table("t").storage_format == "text"
+
+    def test_avro_map_int_key_rejected_at_create(self, hive):
+        with pytest.raises(UnsupportedTypeError):
+            hive.execute("CREATE TABLE t (m map<int,string>) STORED AS avro")
+
+    def test_drop_removes_data(self, hive):
+        hive.execute("CREATE TABLE t (a int) STORED AS orc")
+        hive.execute("INSERT INTO t VALUES (1)")
+        location = hive.metastore.get_table("t").location
+        hive.execute("DROP TABLE t")
+        assert not hive.filesystem.exists(location)
+        with pytest.raises(TableNotFoundError):
+            hive.metastore.get_table("t")
+
+    def test_drop_if_exists(self, hive):
+        hive.execute("DROP TABLE IF EXISTS missing")
+
+
+class TestInsertSelect:
+    def test_roundtrip(self, hive):
+        hive.execute("CREATE TABLE t (a int, b string) STORED AS orc")
+        hive.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        result = hive.execute("SELECT * FROM t")
+        assert result.to_tuples() == [(1, "x"), (2, "y")]
+
+    def test_append_across_inserts(self, hive):
+        hive.execute("CREATE TABLE t (a int) STORED AS parquet")
+        hive.execute("INSERT INTO t VALUES (1)")
+        hive.execute("INSERT INTO t VALUES (2)")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [(1,), (2,)]
+
+    def test_overwrite_truncates(self, hive):
+        hive.execute("CREATE TABLE t (a int) STORED AS parquet")
+        hive.execute("INSERT INTO t VALUES (1)")
+        hive.execute("INSERT OVERWRITE TABLE t VALUES (9)")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [(9,)]
+
+    def test_arity_checked(self, hive):
+        hive.execute("CREATE TABLE t (a int, b int) STORED AS orc")
+        with pytest.raises(AnalysisException):
+            hive.execute("INSERT INTO t VALUES (1)")
+
+    def test_lenient_overflow_insert(self, hive):
+        hive.execute("CREATE TABLE t (a tinyint) STORED AS orc")
+        hive.execute("INSERT INTO t VALUES (300)")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [(None,)]
+
+    def test_projection_case_insensitive(self, hive):
+        hive.execute("CREATE TABLE t (Aa int, Bb string) STORED AS orc")
+        hive.execute("INSERT INTO t VALUES (1, 'z')")
+        result = hive.execute("SELECT BB, AA FROM t")
+        assert result.to_tuples() == [("z", 1)]
+
+    def test_where_filter(self, hive):
+        hive.execute("CREATE TABLE t (a int) STORED AS orc")
+        hive.execute("INSERT INTO t VALUES (1), (5), (10)")
+        assert hive.execute("SELECT * FROM t WHERE a >= 5").to_tuples() == [
+            (5,),
+            (10,),
+        ]
+
+    def test_unknown_column_raises(self, hive):
+        hive.execute("CREATE TABLE t (a int) STORED AS orc")
+        with pytest.raises(Exception):
+            hive.execute("SELECT nope FROM t")
+
+    def test_decimal_quantized_on_insert(self, hive):
+        hive.execute("CREATE TABLE t (d decimal(10,3)) STORED AS parquet")
+        hive.execute("INSERT INTO t VALUES (3.1)")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [
+            (decimal.Decimal("3.100"),)
+        ]
+
+
+class TestOrcConvention:
+    def test_orc_files_written_positionally(self, hive):
+        hive.execute("CREATE TABLE t (a int, b string) STORED AS orc")
+        hive.execute("INSERT INTO t VALUES (1, 'x')")
+        table = hive.metastore.get_table("t")
+        blob = hive.warehouse.read_segments(table)[0]
+        data = serializer_for("orc").read(blob)
+        assert data.physical_schema.names() == ("_col0", "_col1")
+        assert data.properties[HIVE_POSITIONAL_PROPERTY] == "true"
+
+    def test_orc_read_back_by_position(self, hive):
+        hive.execute("CREATE TABLE t (a int, b string) STORED AS orc")
+        hive.execute("INSERT INTO t VALUES (7, 'q')")
+        result = hive.execute("SELECT a, b FROM t")
+        assert result.to_tuples() == [(7, "q")]
+
+    def test_parquet_keeps_real_names(self, hive):
+        hive.execute("CREATE TABLE t (a int) STORED AS parquet")
+        hive.execute("INSERT INTO t VALUES (1)")
+        table = hive.metastore.get_table("t")
+        blob = hive.warehouse.read_segments(table)[0]
+        data = serializer_for("parquet").read(blob)
+        assert data.physical_schema.names() == ("a",)
+
+
+class TestReadStrictness:
+    def test_infinity_read_raises(self, hive):
+        hive.execute("CREATE TABLE t (d double) STORED AS parquet")
+        hive.execute("INSERT INTO t VALUES (1.5)")
+        # write Infinity through the raw warehouse path (as Spark would)
+        table = hive.metastore.get_table("t")
+        blob = serializer_for("parquet").write(
+            table.schema, [(float("inf"),)], {"writer": "spark"}
+        )
+        hive.warehouse.write_segment(table, blob)
+        with pytest.raises(QueryError):
+            hive.execute("SELECT * FROM t")

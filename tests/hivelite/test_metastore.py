@@ -1,0 +1,108 @@
+"""Unit tests for the Hive metastore."""
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.errors import (
+    MetastoreError,
+    TableAlreadyExistsError,
+    TableNotFoundError,
+)
+from repro.hivelite.metastore import HiveMetastore
+
+
+@pytest.fixture
+def metastore():
+    return HiveMetastore()
+
+
+def lowered(*cols):
+    return Schema.of(*cols).lower_cased()
+
+
+class TestDatabases:
+    def test_default_exists(self, metastore):
+        assert metastore.database_exists("default")
+        assert metastore.database_exists("DEFAULT")
+
+    def test_create_and_list(self, metastore):
+        metastore.create_database("Analytics")
+        assert metastore.database_exists("analytics")
+        assert "analytics" in metastore.list_databases()
+
+    def test_unknown_database_rejected(self, metastore):
+        with pytest.raises(MetastoreError):
+            metastore.create_table("t", lowered(("a", "int")), "orc", database="nope")
+
+
+class TestTables:
+    def test_create_lowercases_name(self, metastore):
+        table = metastore.create_table("MyTable", lowered(("a", "int")), "ORC")
+        assert table.name == "mytable"
+        assert table.storage_format == "orc"
+        assert table.qualified_name == "default.mytable"
+
+    def test_case_insensitive_lookup(self, metastore):
+        metastore.create_table("t", lowered(("a", "int")), "orc")
+        assert metastore.get_table("T").name == "t"
+        assert metastore.table_exists("T")
+
+    def test_uppercase_columns_rejected(self, metastore):
+        with pytest.raises(MetastoreError):
+            metastore.create_table("t", Schema.of(("Aa", "int")), "orc")
+
+    def test_duplicate_rejected(self, metastore):
+        metastore.create_table("t", lowered(("a", "int")), "orc")
+        with pytest.raises(TableAlreadyExistsError):
+            metastore.create_table("T", lowered(("a", "int")), "orc")
+
+    def test_if_not_exists_returns_existing(self, metastore):
+        first = metastore.create_table("t", lowered(("a", "int")), "orc")
+        second = metastore.create_table(
+            "t", lowered(("b", "string")), "avro", if_not_exists=True
+        )
+        assert second is first
+
+    def test_drop(self, metastore):
+        metastore.create_table("t", lowered(("a", "int")), "orc")
+        assert metastore.drop_table("t")
+        with pytest.raises(TableNotFoundError):
+            metastore.get_table("t")
+
+    def test_drop_missing(self, metastore):
+        with pytest.raises(TableNotFoundError):
+            metastore.drop_table("nope")
+        assert metastore.drop_table("nope", if_exists=True) is False
+
+    def test_location_layout(self, metastore):
+        table = metastore.create_table("T1", lowered(("a", "int")), "orc")
+        assert table.location == "/warehouse/default.db/t1"
+
+    def test_list_tables_per_database(self, metastore):
+        metastore.create_database("other")
+        metastore.create_table("b", lowered(("a", "int")), "orc")
+        metastore.create_table("a", lowered(("a", "int")), "orc")
+        metastore.create_table("c", lowered(("a", "int")), "orc", database="other")
+        assert metastore.list_tables() == ["a", "b"]
+        assert metastore.list_tables("other") == ["c"]
+
+
+class TestProperties:
+    def test_property_access(self, metastore):
+        table = metastore.create_table(
+            "t", lowered(("a", "int")), "orc", properties={"k": "v"}
+        )
+        assert table.property("k") == "v"
+        assert table.property("missing") is None
+        assert table.property("missing", "d") == "d"
+
+    def test_alter_properties_persists(self, metastore):
+        metastore.create_table("t", lowered(("a", "int")), "orc")
+        metastore.alter_table_properties("t", {"x": "1"})
+        assert metastore.get_table("t").property("x") == "1"
+
+    def test_with_properties_is_functional(self, metastore):
+        table = metastore.create_table("t", lowered(("a", "int")), "orc")
+        updated = table.with_properties({"k": "v"})
+        assert updated.property("k") == "v"
+        assert table.property("k") is None

@@ -1,0 +1,60 @@
+"""Unit tests for Hive's type collapses (the metastore's normalization)."""
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import TimestampType, parse_type
+from repro.errors import MetastoreError
+from repro.formats import AvroSerializer, OrcSerializer, ParquetSerializer
+from repro.hivelite.types import hive_schema, hive_type, metastore_schema_for
+
+
+class TestHiveType:
+    def test_ntz_collapses(self):
+        assert hive_type(parse_type("timestamp_ntz")) == TimestampType()
+
+    def test_interval_rejected(self):
+        with pytest.raises(MetastoreError):
+            hive_type(parse_type("interval"))
+
+    def test_narrow_ints_preserved(self):
+        assert hive_type(parse_type("tinyint")) == parse_type("tinyint")
+
+    def test_nested_struct_names_lowercased(self):
+        collapsed = hive_type(parse_type("struct<Aa:int,bB:string>"))
+        assert collapsed.simple_string() == "struct<aa:int,bb:string>"
+
+    def test_nested_collections_recursed(self):
+        collapsed = hive_type(parse_type("map<string,array<timestamp_ntz>>"))
+        assert collapsed.simple_string() == "map<string,array<timestamp>>"
+
+
+class TestHiveSchema:
+    def test_names_lowercased_and_insensitive(self):
+        schema = hive_schema(Schema.of(("Id", "int"), ("Name", "string")))
+        assert schema.names() == ("id", "name")
+        assert not schema.case_sensitive
+
+    def test_type_collapse_applied(self):
+        schema = hive_schema(Schema.of(("T", "timestamp_ntz")))
+        assert schema.types() == (TimestampType(),)
+
+
+class TestMetastoreSchemaFor:
+    def test_orc_keeps_declared_types(self):
+        declared = Schema.of(("B", "tinyint"))
+        schema = metastore_schema_for(declared, OrcSerializer())
+        assert schema.types() == (parse_type("tinyint"),)
+        assert schema.names() == ("b",)
+
+    def test_parquet_keeps_declared_types(self):
+        declared = Schema.of(("B", "smallint"))
+        schema = metastore_schema_for(declared, ParquetSerializer())
+        assert schema.types() == (parse_type("smallint"),)
+
+    def test_avro_registers_physical_schema(self):
+        # the HIVE-26533 mechanism: the metastore declaration is already
+        # the promoted INT before any row is written
+        declared = Schema.of(("B", "tinyint"), ("S", "char(4)"))
+        schema = metastore_schema_for(declared, AvroSerializer())
+        assert schema.types() == (parse_type("int"), parse_type("string"))

@@ -1,0 +1,55 @@
+"""Unit tests for the warehouse layout helper."""
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.hivelite.metastore import HiveMetastore
+from repro.hivelite.warehouse import Warehouse
+from repro.storage.filesystem import FileSystem
+from repro.storage.namenode import NameNode
+
+
+@pytest.fixture
+def setup():
+    metastore = HiveMetastore()
+    filesystem = FileSystem(NameNode())
+    table = metastore.create_table(
+        "t", Schema.of(("a", "int")).lower_cased(), "orc"
+    )
+    return Warehouse(filesystem), table
+
+
+class TestWarehouse:
+    def test_empty_table_has_no_parts(self, setup):
+        warehouse, table = setup
+        assert warehouse.part_paths(table) == []
+        assert warehouse.read_segments(table) == []
+
+    def test_segment_naming(self, setup):
+        warehouse, table = setup
+        path = warehouse.write_segment(table, b"one")
+        assert path == f"{table.location}/part-00000.orc"
+        path = warehouse.write_segment(table, b"two")
+        assert path.endswith("part-00001.orc")
+
+    def test_read_in_order(self, setup):
+        warehouse, table = setup
+        warehouse.write_segment(table, b"one")
+        warehouse.write_segment(table, b"two")
+        assert warehouse.read_segments(table) == [b"one", b"two"]
+
+    def test_truncate(self, setup):
+        warehouse, table = setup
+        warehouse.write_segment(table, b"one")
+        warehouse.write_segment(table, b"two")
+        assert warehouse.truncate(table) == 2
+        assert warehouse.part_paths(table) == []
+        # numbering restarts after truncate
+        assert warehouse.write_segment(table, b"x").endswith("part-00000.orc")
+
+    def test_drop_data(self, setup):
+        warehouse, table = setup
+        warehouse.write_segment(table, b"one")
+        warehouse.drop_data(table)
+        assert not warehouse.filesystem.exists(table.location)
+        warehouse.drop_data(table)  # idempotent

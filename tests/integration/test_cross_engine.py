@@ -1,0 +1,104 @@
+"""Cross-engine interoperability tests beyond the 15 discrepancies."""
+
+import decimal
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.hivelite.engine import HiveServer
+from repro.sparklite.session import SparkSession
+
+
+@pytest.fixture
+def deployment():
+    spark = SparkSession.local()
+    return spark, HiveServer(spark.metastore, spark.filesystem)
+
+
+class TestHappyPathInterop:
+    @pytest.mark.parametrize("fmt", ["orc", "parquet"])
+    def test_spark_writes_hive_reads(self, deployment, fmt):
+        spark, hive = deployment
+        spark.sql(f"CREATE TABLE t (a int, b string) STORED AS {fmt}")
+        spark.sql("INSERT INTO t VALUES (1, 'x')")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [(1, "x")]
+
+    @pytest.mark.parametrize("fmt", ["orc", "parquet"])
+    def test_hive_writes_spark_reads(self, deployment, fmt):
+        spark, hive = deployment
+        hive.execute(f"CREATE TABLE t (a int, b string) STORED AS {fmt}")
+        hive.execute("INSERT INTO t VALUES (2, 'y')")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [(2, "y")]
+
+    def test_interleaved_appends_visible_to_both(self, deployment):
+        spark, hive = deployment
+        spark.sql("CREATE TABLE t (a int) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (1)")
+        hive.execute("INSERT INTO t VALUES (2)")
+        spark.sql("INSERT INTO t VALUES (3)")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [(1,), (2,), (3,)]
+        assert spark.sql("SELECT * FROM t").to_tuples() == [(1,), (2,), (3,)]
+
+    def test_hive_drop_invalidates_spark(self, deployment):
+        spark, hive = deployment
+        spark.sql("CREATE TABLE t (a int) STORED AS orc")
+        hive.execute("DROP TABLE t")
+        with pytest.raises(Exception):
+            spark.sql("SELECT * FROM t")
+
+    def test_dataframe_written_read_by_hive(self, deployment):
+        spark, hive = deployment
+        frame = spark.create_dataframe(
+            [(1, "x")], Schema.of(("a", "int"), ("b", "string"))
+        )
+        frame.write.format("parquet").save_as_table("t")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [(1, "x")]
+
+
+class TestCaseHandlingAcrossEngines:
+    def test_spark_case_preserved_hive_lowered(self, deployment):
+        spark, hive = deployment
+        spark.sql("CREATE TABLE t (MixedCase int) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (1)")
+        assert spark.sql("SELECT * FROM t").schema.names() == ("MixedCase",)
+        assert hive.execute("SELECT * FROM t").schema.names() == ("mixedcase",)
+
+    def test_hive_created_table_never_case_preserving(self, deployment):
+        spark, hive = deployment
+        hive.execute("CREATE TABLE t (MixedCase int) STORED AS parquet")
+        hive.execute("INSERT INTO t VALUES (1)")
+        result = spark.sql("SELECT * FROM t")
+        assert result.schema.names() == ("mixedcase",)
+        assert any("not case preserving" in w for w in result.warnings)
+
+
+class TestValueFidelity:
+    def test_decimal_fidelity_spark_to_hive(self, deployment):
+        spark, hive = deployment
+        spark.sql("CREATE TABLE t (d decimal(12,4)) STORED AS orc")
+        spark.sql("INSERT INTO t VALUES (CAST('123.4567' AS decimal(12,4)))")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [
+            (decimal.Decimal("123.4567"),)
+        ]
+
+    def test_unicode_strings_cross_engines(self, deployment):
+        spark, hive = deployment
+        hive.execute("CREATE TABLE t (s string) STORED AS parquet")
+        hive.execute("INSERT INTO t VALUES ('数据 ✓ emoji 🙂')")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [("数据 ✓ emoji 🙂",)]
+
+    def test_nested_values_cross_engines(self, deployment):
+        spark, hive = deployment
+        spark.sql(
+            "CREATE TABLE t (xs array<int>, kv map<string,int>) STORED AS parquet"
+        )
+        spark.sql("INSERT INTO t VALUES (array(1, NULL), map('k', 7))")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [
+            ([1, None], {"k": 7})
+        ]
+
+    def test_hive_lenient_insert_visible_to_spark(self, deployment):
+        spark, hive = deployment
+        hive.execute("CREATE TABLE t (b tinyint) STORED AS parquet")
+        hive.execute("INSERT INTO t VALUES (300)")  # hive nulls it
+        assert spark.sql("SELECT * FROM t").to_tuples() == [(None,)]

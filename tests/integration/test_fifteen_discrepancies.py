@@ -1,0 +1,303 @@
+"""End-to-end integration tests: each of the 15 §8.2 discrepancies,
+asserted directly against the engines (no harness, no classifier).
+
+Each test is the minimal reproduction of one discrepancy, written the
+way a Spark/Hive user would hit it.
+"""
+
+import decimal
+import math
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.errors import (
+    AnalysisException,
+    ArithmeticOverflowError,
+    IncompatibleSchemaException,
+    QueryError,
+    UnsupportedTypeError,
+)
+from repro.hivelite.engine import HiveServer
+from repro.sparklite.session import SparkSession
+
+
+@pytest.fixture
+def spark():
+    return SparkSession.local()
+
+
+@pytest.fixture
+def hive(spark):
+    return HiveServer(spark.metastore, spark.filesystem)
+
+
+class TestDiscrepancy1:
+    """SPARK-39075: BYTE/SHORT via DataFrame+Avro cannot be read back."""
+
+    def test_byte(self, spark):
+        frame = spark.create_dataframe([(5,)], Schema.of(("b", "tinyint")))
+        frame.write.format("avro").save_as_table("t")
+        with pytest.raises(IncompatibleSchemaException):
+            spark.read_table("t")
+
+    def test_short(self, spark):
+        frame = spark.create_dataframe([(5,)], Schema.of(("s", "smallint")))
+        frame.write.format("avro").save_as_table("t")
+        with pytest.raises(IncompatibleSchemaException):
+            spark.read_table("t")
+
+    def test_parquet_is_fine(self, spark):
+        frame = spark.create_dataframe([(5,)], Schema.of(("b", "tinyint")))
+        frame.write.format("parquet").save_as_table("t")
+        assert spark.read_table("t").to_tuples() == [(5,)]
+
+
+class TestDiscrepancy2:
+    """SPARK-39158: DataFrame-written decimal unreadable from HiveQL."""
+
+    def test_hive_read_fails(self, spark, hive):
+        spark.sql("CREATE TABLE t (d decimal(10,3)) STORED AS parquet")
+        frame = spark.create_dataframe(
+            [(decimal.Decimal("3.1"),)], Schema.of(("d", "decimal(10,3)"))
+        )
+        frame.write.insert_into("t")
+        with pytest.raises(QueryError, match="scale"):
+            hive.execute("SELECT * FROM t")
+
+    def test_spark_reads_it_fine(self, spark):
+        spark.sql("CREATE TABLE t (d decimal(10,3)) STORED AS parquet")
+        frame = spark.create_dataframe(
+            [(decimal.Decimal("3.1"),)], Schema.of(("d", "decimal(10,3)"))
+        )
+        frame.write.insert_into("t")
+        assert spark.read_table("t").to_tuples() == [(decimal.Decimal("3.1"),)]
+
+    def test_sql_written_decimal_readable_by_hive(self, spark, hive):
+        spark.sql("CREATE TABLE t (d decimal(10,3)) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (3.1)")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [
+            (decimal.Decimal("3.100"),)
+        ]
+
+
+class TestDiscrepancy3:
+    """HIVE-26533/SPARK-40409: SparkSQL+Avro BYTE->INT, case lost."""
+
+    def test_type_and_case_lost(self, spark):
+        spark.sql("CREATE TABLE t (Bb tinyint) STORED AS avro")
+        spark.sql("INSERT INTO t VALUES (5)")
+        result = spark.sql("SELECT * FROM t")
+        assert result.schema.names() == ("bb",)
+        assert result.schema.types()[0].simple_string() == "int"
+        assert any("not case preserving" in w for w in result.warnings)
+
+    def test_orc_preserves_both(self, spark):
+        spark.sql("CREATE TABLE t (Bb tinyint) STORED AS orc")
+        spark.sql("INSERT INTO t VALUES (5)")
+        result = spark.sql("SELECT * FROM t")
+        assert result.schema.names() == ("Bb",)
+        assert result.schema.types()[0].simple_string() == "tinyint"
+
+
+class TestDiscrepancy4:
+    """HIVE-26531: Avro rejects non-string map keys; ORC/Parquet accept."""
+
+    def test_avro_rejects(self, spark):
+        with pytest.raises(UnsupportedTypeError, match="map"):
+            spark.sql("CREATE TABLE t (m map<int,string>) STORED AS avro")
+
+    @pytest.mark.parametrize("fmt", ["orc", "parquet"])
+    def test_others_accept(self, spark, fmt):
+        spark.sql(f"CREATE TABLE t_{fmt} (m map<int,string>) STORED AS {fmt}")
+        spark.sql(f"INSERT INTO t_{fmt} VALUES (map(1, 'x'))")
+        assert spark.sql(f"SELECT * FROM t_{fmt}").to_tuples() == [({1: "x"},)]
+
+
+class TestDiscrepancy5:
+    """SPARK-40439: decimal overflow — SQL throws, DataFrame NULLs."""
+
+    def test_sql_throws(self, spark):
+        spark.sql("CREATE TABLE t (d decimal(5,2)) STORED AS parquet")
+        with pytest.raises(ArithmeticOverflowError):
+            spark.sql("INSERT INTO t VALUES (123456789.999)")
+
+    def test_dataframe_nulls(self, spark):
+        spark.sql("CREATE TABLE t (d decimal(5,2)) STORED AS parquet")
+        frame = spark.create_dataframe(
+            [(decimal.Decimal("123456789.999"),)],
+            Schema.of(("d", "decimal(5,2)")),
+        )
+        frame.write.insert_into("t")
+        assert spark.read_table("t").to_tuples() == [(None,)]
+
+    def test_legacy_policy_aligns_them(self, spark):
+        spark.conf.set("spark.sql.storeAssignmentPolicy", "legacy")
+        spark.sql("CREATE TABLE t (d decimal(5,2)) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (123456789.999)")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [(None,)]
+
+
+class TestDiscrepancies6And7:
+    """HIVE-26528: non-finite doubles through HiveQL."""
+
+    def _write_double(self, spark, literal):
+        spark.sql("DROP TABLE IF EXISTS t")
+        spark.sql("CREATE TABLE t (d double) STORED AS parquet")
+        spark.sql(f"INSERT INTO t VALUES ({literal})")
+
+    def test_nan_reads_null_via_hive(self, spark, hive):
+        self._write_double(spark, "double('NaN')")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [(None,)]
+        assert math.isnan(spark.sql("SELECT * FROM t").rows[0][0])
+
+    def test_infinity_errors_via_hive(self, spark, hive):
+        self._write_double(spark, "double('Infinity')")
+        with pytest.raises(QueryError):
+            hive.execute("SELECT * FROM t")
+        assert spark.sql("SELECT * FROM t").rows[0][0] == math.inf
+
+    def test_negative_infinity_same_root_cause(self, spark, hive):
+        self._write_double(spark, "double('-Infinity')")
+        with pytest.raises(QueryError):
+            hive.execute("SELECT * FROM t")
+
+
+class TestDiscrepancy8:
+    """SPARK-40616: TIMESTAMP_NTZ comes back as TIMESTAMP."""
+
+    def test_type_changes(self, spark):
+        spark.sql("CREATE TABLE t (ts timestamp_ntz) STORED AS avro")
+        spark.sql("INSERT INTO t VALUES (TIMESTAMP_NTZ '2020-06-15 12:30:00')")
+        assert spark.sql("SELECT * FROM t").schema.types()[
+            0
+        ].simple_string() == "timestamp"
+
+    def test_config_restores(self, spark):
+        spark.sql("CREATE TABLE t (ts timestamp_ntz) STORED AS avro")
+        spark.sql("INSERT INTO t VALUES (TIMESTAMP_NTZ '2020-06-15 12:30:00')")
+        spark.conf.set("spark.sql.timestampType", "TIMESTAMP_NTZ")
+        assert spark.sql("SELECT * FROM t").schema.types()[
+            0
+        ].simple_string() == "timestamp_ntz"
+
+
+class TestDiscrepancy9:
+    """SPARK-40525: invalid DATE — SQL throws, DataFrame NULLs."""
+
+    def test_sql_throws(self, spark):
+        spark.sql("CREATE TABLE t (d date) STORED AS parquet")
+        with pytest.raises(AnalysisException):
+            spark.sql("INSERT INTO t VALUES (DATE '2021-02-30')")
+
+    def test_dataframe_nulls(self, spark):
+        spark.sql("CREATE TABLE t (d date) STORED AS parquet")
+        frame = spark.create_dataframe(
+            [("2021-02-30",)], Schema.of(("d", "date"))
+        )
+        frame.write.insert_into("t")
+        assert spark.read_table("t").to_tuples() == [(None,)]
+
+
+class TestDiscrepancies10And11:
+    """SPARK-40624: integral overflow — SQL throws, DataFrame wraps."""
+
+    @pytest.mark.parametrize(
+        "type_text,value,wrapped",
+        [
+            ("int", 2**31, -(2**31)),  # #10
+            ("smallint", 32768, -32768),  # #11
+            ("tinyint", 128, -128),  # #11
+        ],
+    )
+    def test_pairwise(self, spark, type_text, value, wrapped):
+        spark.sql(f"CREATE TABLE t (x {type_text}) STORED AS parquet")
+        with pytest.raises(ArithmeticOverflowError):
+            spark.sql(f"INSERT INTO t VALUES ({value})")
+        frame = spark.create_dataframe(
+            [(value,)], Schema.of(("x", type_text))
+        )
+        frame.write.insert_into("t")
+        assert spark.read_table("t").to_tuples() == [(wrapped,)]
+
+
+class TestDiscrepancy12:
+    """SPARK-40629: invalid boolean string — SQL throws, DataFrame NULLs."""
+
+    def test_sql_throws(self, spark):
+        spark.sql("CREATE TABLE t (b boolean) STORED AS parquet")
+        with pytest.raises(AnalysisException):
+            spark.sql("INSERT INTO t VALUES ('maybe')")
+
+    def test_dataframe_nulls(self, spark):
+        spark.sql("CREATE TABLE t (b boolean) STORED AS parquet")
+        frame = spark.create_dataframe([("maybe",)], Schema.of(("b", "boolean")))
+        frame.write.insert_into("t")
+        assert spark.read_table("t").to_tuples() == [(None,)]
+
+
+class TestDiscrepancy13:
+    """charVarcharAsString: CHAR padding differs across interfaces."""
+
+    def test_padding_differs(self, spark):
+        spark.sql("CREATE TABLE t (c char(5)) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES ('ab')")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [("ab   ",)]
+        assert spark.read_table("t").to_tuples() == [("ab   ",)]  # SQL padded at write
+        # DataFrame-written value shows the raw/padded split
+        frame = spark.create_dataframe([("cd",)], Schema.of(("c", "char(5)")))
+        frame.write.insert_into("t")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [("ab   ",), ("cd   ",)]
+        assert spark.read_table("t").to_tuples() == [("ab   ",), ("cd",)]
+
+    def test_config_aligns(self, spark):
+        spark.conf.set("spark.sql.legacy.charVarcharAsString", "true")
+        spark.sql("CREATE TABLE t (c char(5)) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES ('ab')")
+        frame = spark.create_dataframe([("cd",)], Schema.of(("c", "char(5)")))
+        frame.write.insert_into("t")
+        assert spark.sql("SELECT * FROM t").to_tuples() == spark.read_table(
+            "t"
+        ).to_tuples() == [("ab",), ("cd",)]
+
+
+class TestDiscrepancy14:
+    """SPARK-40637: mixed-case struct field names lower-cased."""
+
+    def test_avro_loses_nested_case(self, spark):
+        spark.sql(
+            "CREATE TABLE t (s struct<Aa:int,bB:string>) STORED AS avro"
+        )
+        spark.sql("INSERT INTO t VALUES (named_struct('Aa', 1, 'bB', 'x'))")
+        result = spark.sql("SELECT * FROM t")
+        assert result.schema.types()[0].simple_string() == (
+            "struct<aa:int,bb:string>"
+        )
+
+    def test_datasource_preserves(self, spark):
+        frame = spark.create_dataframe(
+            [([1, "x"],)], Schema.of(("s", "struct<Aa:int,bB:string>"))
+        )
+        frame.write.format("parquet").save_as_table("t")
+        result = spark.read_table("t")
+        assert result.schema.types()[0].simple_string() == (
+            "struct<Aa:int,bB:string>"
+        )
+
+
+class TestDiscrepancy15:
+    """SPARK-40630: overlong VARCHAR stored verbatim via DataFrame."""
+
+    def test_eh_hole(self, spark):
+        spark.sql("CREATE TABLE t (v varchar(3)) STORED AS parquet")
+        frame = spark.create_dataframe(
+            [("abcdef",)], Schema.of(("v", "varchar(3)"))
+        )
+        frame.write.insert_into("t")
+        # the invalid value survives the round trip intact
+        assert spark.read_table("t").to_tuples() == [("abcdef",)]
+
+    def test_sql_rejects_the_same_value(self, spark):
+        spark.sql("CREATE TABLE t (v varchar(3)) STORED AS parquet")
+        with pytest.raises(AnalysisException):
+            spark.sql("INSERT INTO t VALUES ('abcdef')")

@@ -1,0 +1,234 @@
+"""Partitioned tables: layout, pruning, and the Address-family
+discrepancy (partition values are strings in paths; each engine
+re-types them on its own terms)."""
+
+import pytest
+
+from repro.errors import AnalysisException, MetastoreError, StorageError
+from repro.hivelite.engine import HiveServer
+from repro.hivelite.warehouse import parse_partition_dirname, partition_dirname
+from repro.sparklite.session import SparkSession
+
+
+@pytest.fixture
+def deployment():
+    spark = SparkSession.local()
+    hive = HiveServer(spark.metastore, spark.filesystem)
+    return spark, hive
+
+
+class TestDirnames:
+    def test_roundtrip(self):
+        assert parse_partition_dirname(partition_dirname("p", "01")) == ("p", "01")
+
+    def test_null_sentinel(self):
+        assert partition_dirname("p", None) == "p=__HIVE_DEFAULT_PARTITION__"
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(StorageError):
+            partition_dirname("p", "a/b")
+        with pytest.raises(StorageError):
+            partition_dirname("p", "a=b")
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(StorageError):
+            parse_partition_dirname("no-separator")
+
+
+class TestHivePartitionedTables:
+    def test_layout_on_disk(self, deployment):
+        spark, hive = deployment
+        hive.execute(
+            "CREATE TABLE t (a int) PARTITIONED BY (day string) STORED AS parquet"
+        )
+        hive.execute("INSERT INTO t PARTITION (day='01') VALUES (1)")
+        table = spark.metastore.get_table("t")
+        assert spark.filesystem.exists(f"{table.location}/day=01")
+
+    def test_partition_column_in_results(self, deployment):
+        _, hive = deployment
+        hive.execute(
+            "CREATE TABLE t (a int) PARTITIONED BY (day string) STORED AS parquet"
+        )
+        hive.execute("INSERT INTO t PARTITION (day='01') VALUES (1)")
+        result = hive.execute("SELECT * FROM t")
+        assert result.schema.names() == ("a", "day")
+        assert result.to_tuples() == [(1, "01")]
+
+    def test_partition_filter(self, deployment):
+        _, hive = deployment
+        hive.execute(
+            "CREATE TABLE t (a int) PARTITIONED BY (day string) STORED AS orc"
+        )
+        hive.execute("INSERT INTO t PARTITION (day='01') VALUES (1)")
+        hive.execute("INSERT INTO t PARTITION (day='02') VALUES (2)")
+        assert hive.execute(
+            "SELECT a FROM t WHERE day = '02'"
+        ).to_tuples() == [(2,)]
+
+    def test_insert_requires_partition_spec(self, deployment):
+        _, hive = deployment
+        hive.execute(
+            "CREATE TABLE t (a int) PARTITIONED BY (day string) STORED AS orc"
+        )
+        with pytest.raises(AnalysisException):
+            hive.execute("INSERT INTO t VALUES (1)")
+
+    def test_partition_spec_on_unpartitioned_rejected(self, deployment):
+        _, hive = deployment
+        hive.execute("CREATE TABLE t (a int) STORED AS orc")
+        with pytest.raises(AnalysisException):
+            hive.execute("INSERT INTO t PARTITION (day='01') VALUES (1)")
+
+    def test_overwrite_is_per_partition(self, deployment):
+        _, hive = deployment
+        hive.execute(
+            "CREATE TABLE t (a int) PARTITIONED BY (day string) STORED AS orc"
+        )
+        hive.execute("INSERT INTO t PARTITION (day='01') VALUES (1)")
+        hive.execute("INSERT INTO t PARTITION (day='02') VALUES (2)")
+        hive.execute("INSERT OVERWRITE t PARTITION (day='01') VALUES (9)")
+        assert sorted(hive.execute("SELECT * FROM t").to_tuples()) == [
+            (2, "02"), (9, "01"),
+        ]
+
+    def test_typed_partition_column(self, deployment):
+        _, hive = deployment
+        hive.execute(
+            "CREATE TABLE t (a int) PARTITIONED BY (n int) STORED AS orc"
+        )
+        hive.execute("INSERT INTO t PARTITION (n=7) VALUES (1)")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [(1, 7)]
+
+    def test_multi_column_partitioning_unsupported(self, deployment):
+        _, hive = deployment
+        with pytest.raises(MetastoreError):
+            hive.execute(
+                "CREATE TABLE t (a int) PARTITIONED BY (x string, y string) "
+                "STORED AS orc"
+            )
+
+
+class TestPartitionTypeInference:
+    """The Address/naming discrepancy: '01' is a string to Hive and the
+    INT 1 to Spark (partitionColumnTypeInference)."""
+
+    def _make(self, deployment):
+        spark, hive = deployment
+        hive.execute(
+            "CREATE TABLE t (a int) PARTITIONED BY (day string) STORED AS parquet"
+        )
+        hive.execute("INSERT INTO t PARTITION (day='01') VALUES (1)")
+        return spark, hive
+
+    def test_engines_disagree_on_value_and_type(self, deployment):
+        spark, hive = self._make(deployment)
+        hive_result = hive.execute("SELECT * FROM t")
+        spark_result = spark.sql("SELECT * FROM t")
+        assert hive_result.to_tuples() == [(1, "01")]
+        assert spark_result.to_tuples() == [(1, 1)]  # leading zero gone
+        assert hive_result.schema.types()[1].simple_string() == "string"
+        assert spark_result.schema.types()[1].simple_string() == "int"
+
+    def test_disabling_inference_aligns_engines(self, deployment):
+        spark, hive = self._make(deployment)
+        spark.conf.set(
+            "spark.sql.sources.partitionColumnTypeInference.enabled", "false"
+        )
+        assert spark.sql("SELECT * FROM t").to_tuples() == hive.execute(
+            "SELECT * FROM t"
+        ).to_tuples()
+
+    def test_non_numeric_values_stay_strings(self, deployment):
+        spark, hive = deployment
+        hive.execute(
+            "CREATE TABLE t (a int) PARTITIONED BY (region string) "
+            "STORED AS parquet"
+        )
+        hive.execute("INSERT INTO t PARTITION (region='eu-west')  VALUES (1)")
+        result = spark.sql("SELECT * FROM t")
+        assert result.to_tuples() == [(1, "eu-west")]
+        assert result.schema.types()[1].simple_string() == "string"
+
+    def test_date_inference(self, deployment):
+        import datetime
+
+        spark, hive = deployment
+        hive.execute(
+            "CREATE TABLE t (a int) PARTITIONED BY (day string) STORED AS parquet"
+        )
+        hive.execute("INSERT INTO t PARTITION (day='2020-01-01') VALUES (1)")
+        result = spark.sql("SELECT * FROM t")
+        assert result.schema.types()[1].simple_string() == "date"
+        assert result.to_tuples() == [(1, datetime.date(2020, 1, 1))]
+
+    def test_spark_written_partitions_readable_by_hive(self, deployment):
+        spark, hive = deployment
+        spark.sql(
+            "CREATE TABLE t (a int) PARTITIONED BY (day string) STORED AS parquet"
+        )
+        spark.sql("INSERT INTO t PARTITION (day='07') VALUES (1)")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [(1, "07")]
+
+    def test_mixed_values_block_int_inference(self, deployment):
+        spark, hive = deployment
+        hive.execute(
+            "CREATE TABLE t (a int) PARTITIONED BY (day string) STORED AS parquet"
+        )
+        hive.execute("INSERT INTO t PARTITION (day='01') VALUES (1)")
+        hive.execute("INSERT INTO t PARTITION (day='xx') VALUES (2)")
+        result = spark.sql("SELECT * FROM t")
+        # one non-numeric value keeps the whole column a string
+        assert result.schema.types()[1].simple_string() == "string"
+        assert sorted(result.to_tuples()) == [(1, "01"), (2, "xx")]
+
+
+class TestDataFramePartitionedInsert:
+    """Spark's insertInto convention: partition values are the trailing
+    DataFrame columns."""
+
+    def _table(self, deployment):
+        spark, hive = deployment
+        spark.sql(
+            "CREATE TABLE t (a int) PARTITIONED BY (day string) "
+            "STORED AS parquet"
+        )
+        return spark, hive
+
+    def test_trailing_columns_route_to_partitions(self, deployment):
+        from repro.common.schema import Schema
+
+        spark, hive = self._table(deployment)
+        frame = spark.create_dataframe(
+            [(1, "01"), (2, "02"), (3, "01")],
+            Schema.of(("a", "int"), ("day", "string")),
+        )
+        frame.write.insert_into("t")
+        table = spark.metastore.get_table("t")
+        assert spark.filesystem.exists(f"{table.location}/day=01")
+        assert spark.filesystem.exists(f"{table.location}/day=02")
+        rows = hive.execute("SELECT * FROM t").to_tuples()
+        assert sorted(rows) == [(1, "01"), (2, "02"), (3, "01")]
+
+    def test_wrong_arity_rejected(self, deployment):
+        from repro.common.schema import Schema
+        from repro.errors import AnalysisException
+        import pytest as _pytest
+
+        spark, _ = self._table(deployment)
+        frame = spark.create_dataframe([(1,)], Schema.of(("a", "int")))
+        with _pytest.raises(AnalysisException):
+            frame.write.insert_into("t")
+
+    def test_overwrite_is_per_partition(self, deployment):
+        from repro.common.schema import Schema
+
+        spark, hive = self._table(deployment)
+        schema = Schema.of(("a", "int"), ("day", "string"))
+        spark.create_dataframe([(1, "01"), (2, "02")], schema).write.insert_into("t")
+        spark.create_dataframe(
+            [(9, "01")], schema
+        ).write.mode("overwrite").insert_into("t")
+        assert sorted(hive.execute("SELECT * FROM t").to_tuples()) == [
+            (2, "02"), (9, "01"),
+        ]

@@ -1,0 +1,108 @@
+"""Property-based tests over the full write→serialize→read pipeline."""
+
+import datetime
+import decimal
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.row import values_equal
+from repro.common.schema import Schema
+from repro.connectors.transformers import transformer_for
+from repro.errors import ReproError
+from repro.formats import serializer_for
+from repro.hivelite.engine import HiveServer
+from repro.sparklite.session import SparkSession
+
+
+_value_strategies = {
+    "int": st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    "bigint": st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    "string": st.text(max_size=20),
+    "boolean": st.booleans(),
+    "double": st.floats(allow_nan=False, allow_infinity=False, width=64),
+    "date": st.dates(
+        min_value=datetime.date(1, 1, 1), max_value=datetime.date(9999, 12, 31)
+    ),
+    "decimal(10,2)": st.decimals(
+        allow_nan=False, allow_infinity=False, places=2,
+        min_value=decimal.Decimal("-99999999.99"),
+        max_value=decimal.Decimal("99999999.99"),
+    ),
+}
+
+
+class TestSerializerTransformerComposition:
+    """For every format and in-lattice type: write, read, transform back
+    to the logical type — the composed pipeline is the identity."""
+
+    @given(
+        st.sampled_from(sorted(_value_strategies)),
+        st.sampled_from(["orc", "parquet", "avro", "unified_avro"]),
+        st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_identity(self, type_text, fmt, data):
+        value = data.draw(_value_strategies[type_text])
+        serializer = serializer_for(fmt)
+        schema = Schema.of(("c", type_text))
+        logical = schema.types()[0]
+        blob = serializer.write(schema, [(value,)])
+        read = serializer.read(blob)
+        physical_type = read.physical_schema.types()[0]
+        try:
+            transform = transformer_for(physical_type, logical, fmt)
+        except ReproError:
+            return  # a documented reader gap (avro byte family)
+        result = transform(read.rows[0][0])
+        assert values_equal(result, value)
+
+
+class TestEngineLevelProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=-(2**31), max_value=2**31 - 1) | st.none(),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_spark_writes_hive_reads_ints(self, values):
+        spark = SparkSession.local()
+        hive = HiveServer(spark.metastore, spark.filesystem)
+        spark.sql("CREATE TABLE t (a int) STORED AS parquet")
+        frame = spark.create_dataframe(
+            [(v,) for v in values], Schema.of(("a", "int"))
+        )
+        frame.write.insert_into("t")
+        assert hive.execute("SELECT * FROM t").to_tuples() == [
+            (v,) for v in values
+        ]
+
+    @given(st.lists(st.text(max_size=10), min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_hive_writes_spark_reads_strings(self, values):
+        spark = SparkSession.local()
+        hive = HiveServer(spark.metastore, spark.filesystem)
+        hive.execute("CREATE TABLE t (s string) STORED AS orc")
+        frame = spark.create_dataframe(
+            [(v,) for v in values], Schema.of(("s", "string"))
+        )
+        frame.write.insert_into("t")
+        spark_view = spark.sql("SELECT * FROM t").to_tuples()
+        hive_view = hive.execute("SELECT * FROM t").to_tuples()
+        assert spark_view == hive_view == [(v,) for v in values]
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_row_count_conserved_across_engines(self, n):
+        spark = SparkSession.local()
+        hive = HiveServer(spark.metastore, spark.filesystem)
+        spark.sql("CREATE TABLE t (a int) STORED AS orc")
+        if n:
+            frame = spark.create_dataframe(
+                [(i,) for i in range(n)], Schema.of(("a", "int"))
+            )
+            frame.write.insert_into("t")
+        assert len(hive.execute("SELECT * FROM t")) == n
+        assert len(spark.sql("SELECT * FROM t")) == n

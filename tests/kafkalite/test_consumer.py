@@ -1,0 +1,61 @@
+"""Unit tests for the two consumers (SPARK-19361's assumption vs fix)."""
+
+import pytest
+
+from repro.errors import OffsetOutOfRangeError
+from repro.kafkalite.consumer import NaiveOffsetConsumer, SeekingConsumer
+from repro.kafkalite.log import PartitionLog
+
+
+def compacted_log():
+    log = PartitionLog("t")
+    for i in range(6):
+        log.append(f"v{i}", key=str(i % 2))
+    log.compact()  # survivors: offsets 4, 5
+    return log
+
+
+class TestNaiveConsumer:
+    def test_works_on_contiguous_log(self):
+        log = PartitionLog("t")
+        for i in range(4):
+            log.append(i)
+        consumer = NaiveOffsetConsumer(log)
+        assert [r.value for r in consumer.poll_all()] == [0, 1, 2, 3]
+
+    def test_crashes_on_compacted_log(self):
+        consumer = NaiveOffsetConsumer(compacted_log())
+        with pytest.raises(OffsetOutOfRangeError):
+            consumer.poll_all()
+
+    def test_crash_is_at_first_hole(self):
+        log = PartitionLog("t")
+        log.append("a", key="k")
+        log.append("b", key="k")
+        log.append("c", key="j")
+        log.compact()  # offset 0 removed
+        consumer = NaiveOffsetConsumer(log)
+        with pytest.raises(OffsetOutOfRangeError, match="offset 0"):
+            consumer.poll_all()
+
+
+class TestSeekingConsumer:
+    def test_reads_every_survivor(self):
+        consumer = SeekingConsumer(compacted_log())
+        assert [r.value for r in consumer.poll_all()] == ["v4", "v5"]
+
+    def test_position_advances_past_holes(self):
+        consumer = SeekingConsumer(compacted_log())
+        consumer.poll_all()
+        assert consumer.position == 6
+
+    def test_resumes_incrementally(self):
+        log = PartitionLog("t")
+        log.append("a")
+        consumer = SeekingConsumer(log)
+        assert [r.value for r in consumer.poll_all()] == ["a"]
+        log.append("b")
+        assert [r.value for r in consumer.poll_all()] == ["b"]
+
+    def test_empty_log(self):
+        assert SeekingConsumer(PartitionLog("t")).poll_all() == []

@@ -1,0 +1,115 @@
+"""Unit tests for the partition log and compaction semantics."""
+
+import pytest
+
+from repro.errors import OffsetOutOfRangeError, StreamError
+from repro.kafkalite.broker import Broker
+from repro.kafkalite.log import PartitionLog
+
+
+class TestAppendRead:
+    def test_offsets_monotonic(self):
+        log = PartitionLog("t")
+        assert [log.append(f"v{i}") for i in range(3)] == [0, 1, 2]
+        assert log.log_end_offset == 3
+
+    def test_read_exact(self):
+        log = PartitionLog("t")
+        log.append("a", key="k")
+        assert log.read(0).value == "a"
+        with pytest.raises(OffsetOutOfRangeError):
+            log.read(5)
+
+    def test_read_from_seeks_forward(self):
+        log = PartitionLog("t")
+        log.append("a")
+        log.append("b")
+        assert log.read_from(1).value == "b"
+        assert log.read_from(2) is None
+
+    def test_contiguous_before_compaction(self):
+        log = PartitionLog("t")
+        for i in range(5):
+            log.append(i, key=str(i % 2))
+        assert log.is_contiguous()
+
+
+class TestCompaction:
+    def test_keeps_latest_per_key(self):
+        log = PartitionLog("t")
+        log.append("old", key="k")
+        log.append("other", key="j")
+        log.append("new", key="k")
+        removed = log.compact()
+        assert removed == 1
+        assert [r.value for r in (log.read(1), log.read(2))] == ["other", "new"]
+
+    def test_offsets_not_renumbered(self):
+        log = PartitionLog("t")
+        for i in range(6):
+            log.append(i, key=str(i % 2))
+        log.compact()
+        # survivors keep their original offsets; the log no longer
+        # starts at zero
+        assert log.offsets() == [4, 5]
+        assert log.log_start_offset == 4
+
+    def test_holes_raise_on_exact_read(self):
+        log = PartitionLog("t")
+        log.append("a", key="k")
+        log.append("b", key="k")
+        log.compact()
+        with pytest.raises(OffsetOutOfRangeError):
+            log.read(0)
+
+    def test_end_offset_unchanged(self):
+        log = PartitionLog("t")
+        for i in range(4):
+            log.append(i, key="same")
+        log.compact()
+        assert log.log_end_offset == 4
+        assert log.log_start_offset == 3
+
+    def test_null_keys_compact_together(self):
+        log = PartitionLog("t")
+        log.append("a")
+        log.append("b")
+        assert log.compact() == 1
+        assert [r.value for r in [log.read_from(0)]] == ["b"]
+
+    def test_compact_empty_log(self):
+        assert PartitionLog("t").compact() == 0
+
+
+class TestBroker:
+    def test_create_and_produce(self):
+        broker = Broker()
+        broker.create_topic("events", partitions=2)
+        assert broker.produce("events", "v", partition=1) == 0
+        assert broker.partition("events", 1).read(0).value == "v"
+
+    def test_duplicate_topic_rejected(self):
+        broker = Broker()
+        broker.create_topic("t")
+        with pytest.raises(StreamError):
+            broker.create_topic("t")
+
+    def test_unknown_topic_rejected(self):
+        with pytest.raises(StreamError):
+            Broker().partition("ghost")
+
+    def test_bad_partition_rejected(self):
+        broker = Broker()
+        broker.create_topic("t", partitions=1)
+        with pytest.raises(StreamError):
+            broker.partition("t", 2)
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(StreamError):
+            Broker().create_topic("t", partitions=0)
+
+    def test_list_topics(self):
+        broker = Broker()
+        broker.create_topic("b")
+        broker.create_topic("a")
+        assert broker.list_topics() == ["a", "b"]

@@ -1,0 +1,100 @@
+"""Tests for the quota system and the §1 incident mechanism."""
+
+import pytest
+
+from repro.common.events import EventLoop
+from repro.metrics import (
+    AbsentPolicy,
+    MetricsRegistry,
+    QuotaExceededError,
+    QuotaSystem,
+    ServiceUnderQuota,
+)
+from repro.scenarios.incident_gcp_quota import replay_gcp_quota_incident
+
+
+def build(absent_policy):
+    loop = EventLoop()
+    monitoring = MetricsRegistry(system="monitoring")
+    usage = monitoring.gauge("svc.usage")
+    service = ServiceUnderQuota("svc", quota=100.0)
+    quota_system = QuotaSystem(
+        loop, service, monitoring, "svc.usage",
+        interval_ms=1000, absent_policy=absent_policy,
+    )
+    quota_system.start()
+    return loop, monitoring, usage, service, quota_system
+
+
+class TestQuotaTracking:
+    def test_quota_follows_usage(self):
+        loop, _, usage, service, _ = build(AbsentPolicy.ZERO)
+        usage.set(200)
+        loop.run_until(1000)
+        assert service.quota == 250.0  # 200 * 1.25 headroom
+
+    def test_quota_floors_at_minimum(self):
+        loop, _, usage, service, _ = build(AbsentPolicy.ZERO)
+        usage.set(1)
+        loop.run_until(1000)
+        assert service.quota == 10.0
+
+    def test_service_rejects_above_quota(self):
+        service = ServiceUnderQuota("svc", quota=10.0)
+        with pytest.raises(QuotaExceededError):
+            service.handle_load(50)
+        assert service.rejected_requests == 40
+
+    def test_adjustment_log(self):
+        loop, _, usage, _, quota_system = build(AbsentPolicy.ZERO)
+        usage.set(100)
+        loop.run_until(3000)
+        assert len(quota_system.adjustments) == 3
+
+
+class TestDeregistrationDiscrepancy:
+    def test_zero_policy_slashes_quota(self):
+        loop, monitoring, usage, service, _ = build(AbsentPolicy.ZERO)
+        usage.set(1000)
+        loop.run_until(1000)
+        assert service.quota == 1250.0
+        monitoring.deregister("svc.usage")
+        loop.run_until(2000)
+        assert service.quota == 10.0  # the outage mechanism
+
+    def test_absent_policy_holds_quota(self):
+        loop, monitoring, usage, service, quota_system = build(
+            AbsentPolicy.ABSENT
+        )
+        usage.set(1000)
+        loop.run_until(1000)
+        monitoring.deregister("svc.usage")
+        loop.run_until(3000)
+        assert service.quota == 1250.0
+        # the held adjustments are recorded as None reads
+        assert any(read is None for _, read, _ in quota_system.adjustments)
+
+
+class TestIncidentReplay:
+    def test_failing_variant_is_an_outage(self):
+        outcome = replay_gcp_quota_incident()
+        assert outcome.failed
+        assert outcome.metrics["final_quota"] == 10.0
+        assert outcome.metrics["rejected_requests"] > 0
+        assert "outage" in outcome.symptom
+
+    def test_fixed_variant_holds(self):
+        outcome = replay_gcp_quota_incident(fixed=True)
+        assert not outcome.failed
+        assert outcome.metrics["rejected_requests"] == 0
+        assert outcome.metrics["final_quota"] == 1250.0
+
+    def test_outage_starts_after_deregistration(self):
+        outcome = replay_gcp_quota_incident(deregister_at_ms=150_000)
+        first = outcome.metrics["first_outage"]
+        at_ms = int(first.split("ms")[0].removeprefix("t="))
+        assert at_ms > 150_000
+
+    def test_narrative_shows_the_zero_reads(self):
+        outcome = replay_gcp_quota_incident()
+        assert any("usage_read=0.0" in line for line in outcome.narrative)

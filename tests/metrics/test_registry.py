@@ -1,0 +1,82 @@
+"""Tests for the monitoring substrate."""
+
+import pytest
+
+from repro.metrics import (
+    AbsentPolicy,
+    Counter,
+    Gauge,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(system="monitoring")
+
+
+class TestMetrics:
+    def test_gauge_set(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(5)
+        assert registry.read("g") == 5.0
+
+    def test_counter_increments(self, registry):
+        counter = registry.counter("c")
+        counter.increment()
+        counter.increment(2.5)
+        assert registry.read("c") == 3.5
+
+    def test_counter_rejects_negative(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("c").increment(-1)
+
+    def test_registration_idempotent(self, registry):
+        first = registry.gauge("g")
+        first.set(7)
+        second = registry.gauge("g")
+        assert second is first
+        assert registry.read("g") == 7
+
+    def test_names_sorted(self, registry):
+        registry.gauge("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+
+
+class TestAbsentPolicies:
+    def test_deregistered_reads_zero_by_default(self, registry):
+        registry.gauge("usage").set(1000)
+        registry.deregister("usage")
+        # the GCP-outage behaviour
+        assert registry.read("usage") == 0.0
+        assert not registry.is_registered("usage")
+
+    def test_absent_policy_returns_none(self, registry):
+        registry.gauge("usage").set(1000)
+        registry.deregister("usage")
+        assert registry.read("usage", AbsentPolicy.ABSENT) is None
+
+    def test_error_policy_raises_with_history(self, registry):
+        registry.gauge("usage")
+        registry.deregister("usage")
+        with pytest.raises(MetricError, match="deregistered"):
+            registry.read("usage", AbsentPolicy.ERROR)
+
+    def test_never_registered_error_message(self, registry):
+        with pytest.raises(MetricError) as excinfo:
+            registry.read("ghost", AbsentPolicy.ERROR)
+        assert "deregistered" not in str(excinfo.value)
+
+    def test_reregistration_clears_history(self, registry):
+        registry.gauge("g")
+        registry.deregister("g")
+        registry.gauge("g").set(3)
+        assert registry.read("g", AbsentPolicy.ERROR) == 3
+
+    def test_scrape_only_registered(self, registry):
+        registry.gauge("keep").set(1)
+        registry.gauge("drop").set(2)
+        registry.deregister("drop")
+        assert registry.scrape() == {"keep": 1.0}

@@ -1,0 +1,215 @@
+"""Tests for the executable failure replays (Figures 1-5 + registry)."""
+
+import pytest
+
+from repro.flinklite.yarn_connector import FixStage
+from repro.scenarios import (
+    FIX_STAGES,
+    SCENARIOS,
+    by_jira,
+    replay_flink_887,
+    replay_flink_12342,
+    replay_flink_19141,
+    replay_hbase_537,
+    replay_spark_16901,
+    replay_spark_19361,
+    replay_spark_27239,
+    replay_yarn_2790,
+    run_all,
+    run_fix_stage,
+)
+
+
+class TestFigure1:
+    def test_buggy_overloads(self):
+        outcome = replay_flink_12342()
+        assert outcome.failed
+        assert outcome.plane == "control"
+        assert outcome.metrics["total_requested"] > 100
+        assert outcome.metrics["overload_factor"] > 5
+
+    def test_fast_yarn_hides_the_bug(self):
+        outcome = replay_flink_12342(
+            allocation_latency_ms=10, needed_containers=5
+        )
+        assert not outcome.failed
+
+    def test_narrative_captures_snowball(self):
+        outcome = replay_flink_12342()
+        assert len(outcome.narrative) > 2
+
+
+class TestFigure5FixStages:
+    def test_stage_order_matches_figure(self):
+        assert FIX_STAGES == (
+            FixStage.BUGGY,
+            FixStage.WORKAROUND_INTERVAL,
+            FixStage.WORKAROUND_DECREMENT,
+            FixStage.RESOLUTION_ASYNC,
+        )
+
+    @pytest.mark.parametrize("stage", FIX_STAGES[1:])
+    def test_every_fix_stage_resolves(self, stage):
+        outcome = run_fix_stage(stage)
+        assert not outcome.failed
+        assert outcome.metrics["total_requested"] == outcome.metrics["needed"]
+
+    def test_buggy_stage_fails(self):
+        assert run_fix_stage(FixStage.BUGGY).failed
+
+
+class TestFigure2:
+    def test_compressed_file_crashes_job(self):
+        outcome = replay_spark_27239()
+        assert outcome.failed
+        assert outcome.metrics["reported_length"] == -1
+        assert "cannot be negative" in outcome.symptom
+
+    def test_figure4_fix_reads_through(self):
+        outcome = replay_spark_27239(fixed=True)
+        assert not outcome.failed
+        assert outcome.metrics["records_read"] > 0
+
+    def test_uncompressed_never_failed(self):
+        outcome = replay_spark_27239(compressed=False)
+        assert not outcome.failed
+        assert outcome.metrics["reported_length"] > 0
+
+
+class TestFigure3:
+    def test_fair_scheduler_mismatch(self):
+        outcome = replay_flink_19141(scheduler="fair")
+        assert outcome.failed
+        assert outcome.metrics["expected_mb"] == 2048
+        assert outcome.metrics["granted_mb"] == 1536
+
+    def test_capacity_scheduler_agrees(self):
+        assert not replay_flink_19141(scheduler="capacity").failed
+
+    def test_aligned_increment_also_fixes(self):
+        outcome = replay_flink_19141(scheduler="fair", increment_mb=1024)
+        assert not outcome.failed
+
+
+class TestMonitoring:
+    def test_zero_cutoff_killed(self):
+        outcome = replay_flink_887()
+        assert outcome.failed
+        assert outcome.metrics["kills"] == 1
+        assert "pmem" in outcome.symptom
+
+    def test_default_cutoff_survives(self):
+        outcome = replay_flink_887(heap_cutoff_ratio=None)
+        assert not outcome.failed
+        assert outcome.metrics["jvm_heap_mb"] < outcome.metrics["container_mb"]
+
+
+class TestOtherScenarios:
+    def test_kafka_offsets(self):
+        assert replay_spark_19361().failed
+        assert not replay_spark_19361(fixed=True).failed
+        assert not replay_spark_19361(compact=False).failed
+
+    def test_config_overwrite(self):
+        failing = replay_spark_16901()
+        assert failing.failed
+        assert failing.metrics["final_uri"] == "thrift://localhost:9083"
+        fixed = replay_spark_16901(fixed=True)
+        assert not fixed.failed
+        assert fixed.metrics["provenance"] == ["operator"]
+
+    def test_safe_mode(self):
+        failing = replay_hbase_537()
+        assert failing.failed
+        assert failing.metrics["probe_succeeded"]  # the deceptive probe
+        assert not replay_hbase_537(wait_for_safe_mode_exit=True).failed
+
+    def test_token_expiry(self):
+        assert replay_yarn_2790().failed
+        assert not replay_yarn_2790(renew_close_to_use=True).failed
+
+    def test_fix_reduces_but_window_remains(self):
+        # Finding 12's point: even the fixed ordering expires if the
+        # consuming operation is delayed past the lifetime again
+        outcome = replay_yarn_2790(
+            renew_close_to_use=True,
+            token_lifetime_ms=10,
+            work_before_use_ms=5,
+        )
+        assert not outcome.failed
+
+
+class TestObservability:
+    def test_buggy_am_reports_success(self):
+        from repro.scenarios import replay_spark_3627
+
+        outcome = replay_spark_3627()
+        assert outcome.failed
+        assert outcome.metrics["job_failed"] is True
+        assert outcome.metrics["yarn_final_status"] == "SUCCEEDED"
+
+    def test_fixed_am_reports_failure_with_diagnostics(self):
+        from repro.scenarios import replay_spark_3627
+
+        outcome = replay_spark_3627(fixed=True)
+        assert not outcome.failed
+        assert outcome.metrics["yarn_final_status"] == "FAILED"
+        assert "executor lost" in outcome.metrics["diagnostics"]
+
+
+class TestFlagshipIncident:
+    def test_gcp_quota_outage(self):
+        from repro.scenarios import replay_gcp_quota_incident
+
+        failing = replay_gcp_quota_incident()
+        assert failing.failed
+        assert failing.metrics["final_quota"] == 10.0
+        fixed = replay_gcp_quota_incident(fixed=True)
+        assert not fixed.failed
+
+
+class TestWrongContext:
+    def test_flink_5542(self):
+        from repro.scenarios import replay_flink_5542
+
+        failing = replay_flink_5542()
+        assert failing.failed
+        assert failing.metrics["reported_available"] == 4
+        fixed = replay_flink_5542(fixed=True)
+        assert not fixed.failed
+        assert fixed.metrics["reported_available"] == 64
+
+    def test_oversubscription_is_a_correct_rejection(self):
+        from repro.scenarios import replay_flink_5542
+
+        outcome = replay_flink_5542(
+            fixed=True, requested_parallelism=1000
+        )
+        # rejecting a job larger than the cluster is not a CSI failure
+        assert not outcome.failed
+        assert not outcome.metrics["accepted"]
+
+
+class TestRegistry:
+    def test_thirteen_scenarios(self):
+        assert len(SCENARIOS) == 13
+
+    def test_all_fail_then_all_pass(self):
+        failing = run_all(fixed=False)
+        assert all(o.failed for o in failing)
+        fixed = run_all(fixed=True)
+        assert not any(o.failed for o in fixed)
+
+    def test_planes_covered(self):
+        planes = {s.plane for s in SCENARIOS}
+        assert planes == {"control", "data", "management"}
+
+    def test_lookup(self):
+        assert by_jira("SPARK-27239").downstream == "HDFS"
+        with pytest.raises(KeyError):
+            by_jira("NOPE-1")
+
+    def test_describe_lines(self):
+        for outcome in run_all():
+            line = outcome.describe()
+            assert outcome.jira in line and "FAILED" in line

@@ -1,0 +1,147 @@
+"""Property-based invariants of Spark's cast engine (hypothesis)."""
+
+import decimal
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import (
+    ByteType,
+    DecimalType,
+    IntegerType,
+    LongType,
+    ShortType,
+    StringType,
+    parse_type,
+)
+from repro.errors import AnalysisException, ArithmeticOverflowError, CastError
+from repro.sparklite.casts import spark_cast, store_assign, wrap_integral
+from repro.sparklite.conf import StoreAssignmentPolicy
+
+_INTEGRAL_TARGETS = [ByteType(), ShortType(), IntegerType(), LongType()]
+
+_scalars = st.one_of(
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=12),
+    st.booleans(),
+    st.decimals(allow_nan=False, allow_infinity=False, places=3,
+                min_value=-(10**20), max_value=10**20),
+)
+
+
+class TestLegacyCastTotality:
+    @given(_scalars, st.sampled_from(_INTEGRAL_TARGETS))
+    @settings(max_examples=200, deadline=None)
+    def test_legacy_never_raises_and_stays_in_range(self, value, target):
+        result = spark_cast(value, StringType(), target, ansi=False)
+        assert result is None or target.accepts(result)
+
+    @given(_scalars)
+    @settings(max_examples=150, deadline=None)
+    def test_legacy_decimal_fits_or_null(self, value):
+        target = DecimalType(10, 2)
+        result = spark_cast(value, StringType(), target, ansi=False)
+        assert result is None or target.accepts(result)
+
+    @given(_scalars, st.sampled_from(
+        ["boolean", "string", "date", "timestamp", "double"]
+    ))
+    @settings(max_examples=200, deadline=None)
+    def test_legacy_total_for_every_atomic_target(self, value, target_text):
+        target = parse_type(target_text)
+        result = spark_cast(value, StringType(), target, ansi=False)
+        del result  # no exception is the property
+
+
+class TestAnsiCastSoundness:
+    @given(_scalars, st.sampled_from(_INTEGRAL_TARGETS))
+    @settings(max_examples=200, deadline=None)
+    def test_ansi_result_always_fits(self, value, target):
+        """ANSI either raises or returns an in-range value — it never
+        silently wraps (the property whose absence is legacy mode)."""
+        try:
+            result = spark_cast(value, StringType(), target, ansi=True)
+        except (CastError, ArithmeticOverflowError):
+            return
+        assert result is None or target.accepts(result)
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    @settings(max_examples=150, deadline=None)
+    def test_ansi_and_legacy_agree_when_no_failure(self, value):
+        target = IntegerType()
+        try:
+            ansi_result = spark_cast(value, StringType(), target, ansi=True)
+        except ArithmeticOverflowError:
+            # legacy wraps exactly where ANSI raised
+            legacy = spark_cast(value, StringType(), target, ansi=False)
+            assert legacy == wrap_integral(value, target)
+            return
+        assert ansi_result == spark_cast(
+            value, StringType(), target, ansi=False
+        )
+
+
+class TestWrapProperties:
+    @given(st.integers(), st.sampled_from(_INTEGRAL_TARGETS))
+    def test_wrap_lands_in_range(self, value, target):
+        assert target.accepts(wrap_integral(value, target))
+
+    @given(st.integers(), st.sampled_from(_INTEGRAL_TARGETS))
+    def test_wrap_idempotent(self, value, target):
+        once = wrap_integral(value, target)
+        assert wrap_integral(once, target) == once
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_wrap_identity_in_range(self, value):
+        assert wrap_integral(value, ByteType()) == value
+
+    @given(st.integers(), st.sampled_from(_INTEGRAL_TARGETS))
+    def test_wrap_congruent_modulo_width(self, value, target):
+        width = target.max_value - target.min_value + 1
+        assert (wrap_integral(value, target) - value) % width == 0
+
+
+class TestStoreAssignmentProperties:
+    @given(_scalars, st.sampled_from(_INTEGRAL_TARGETS))
+    @settings(max_examples=150, deadline=None)
+    def test_legacy_policy_is_total(self, value, target):
+        source = StringType()  # worst case for ANSI, irrelevant to legacy
+        result = store_assign(
+            value, source, target, StoreAssignmentPolicy.LEGACY
+        )
+        assert result is None or target.accepts(result)
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40),
+           st.sampled_from(_INTEGRAL_TARGETS))
+    @settings(max_examples=150, deadline=None)
+    def test_strict_implies_ansi_accepts(self, value, target):
+        """Anything STRICT accepts, ANSI accepts with the same result."""
+        source = IntegerType() if IntegerType().accepts(value) else LongType()
+        if not source.accepts(value):
+            return
+        try:
+            strict = store_assign(
+                value, source, target, StoreAssignmentPolicy.STRICT
+            )
+        except (AnalysisException, ArithmeticOverflowError):
+            return
+        ansi = store_assign(value, source, target, StoreAssignmentPolicy.ANSI)
+        assert ansi == strict
+
+
+class TestStringRoundTrip:
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_int_through_string(self, value):
+        text = spark_cast(value, IntegerType(), StringType(), ansi=True)
+        back = spark_cast(text, StringType(), IntegerType(), ansi=True)
+        assert back == value
+
+    @given(st.decimals(allow_nan=False, allow_infinity=False, places=2,
+                       min_value=-(10**6), max_value=10**6))
+    def test_decimal_through_string(self, value):
+        value = decimal.Decimal(value)
+        text = spark_cast(value, DecimalType(10, 2), StringType(), ansi=True)
+        back = spark_cast(text, StringType(), DecimalType(10, 2), ansi=True)
+        assert back == value.quantize(decimal.Decimal("0.01"))

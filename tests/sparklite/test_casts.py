@@ -1,0 +1,240 @@
+"""Unit tests for Spark's cast engine and store assignment."""
+
+import datetime
+import decimal
+import math
+
+import pytest
+
+from repro.common.types import NullType, StringType, parse_type
+from repro.errors import AnalysisException, ArithmeticOverflowError, CastError
+from repro.sparklite.casts import spark_cast, store_assign, wrap_integral
+from repro.sparklite.conf import StoreAssignmentPolicy
+
+
+def cast(value, target_text, *, ansi):
+    target = parse_type(target_text)
+    return spark_cast(value, StringType(), target, ansi=ansi)
+
+
+class TestWrapIntegral:
+    def test_wraps_like_java(self):
+        assert wrap_integral(2**31, parse_type("int")) == -(2**31)
+        assert wrap_integral(128, parse_type("tinyint")) == -128
+        assert wrap_integral(-129, parse_type("tinyint")) == 127
+
+    def test_identity_in_range(self):
+        assert wrap_integral(100, parse_type("tinyint")) == 100
+
+
+class TestIntegralCasts:
+    def test_ansi_overflow_raises(self):
+        with pytest.raises(ArithmeticOverflowError):
+            cast(2**31, "int", ansi=True)
+
+    def test_legacy_overflow_wraps(self):
+        assert cast(2**31, "int", ansi=False) == -(2**31)
+
+    def test_string_parse(self):
+        assert cast("42", "int", ansi=True) == 42
+
+    def test_malformed_string_ansi_raises(self):
+        with pytest.raises(CastError):
+            cast("12abc", "int", ansi=True)
+
+    def test_malformed_string_legacy_nulls(self):
+        assert cast("12abc", "int", ansi=False) is None
+
+    def test_float_truncates(self):
+        assert cast(3.9, "int", ansi=True) == 3
+        assert cast(-3.9, "int", ansi=True) == -3
+
+    def test_nonfinite_float_to_int(self):
+        with pytest.raises(ArithmeticOverflowError):
+            cast(math.inf, "int", ansi=True)
+        assert cast(math.nan, "int", ansi=False) is None
+
+    def test_bool_to_int(self):
+        assert cast(True, "int", ansi=True) == 1
+
+
+class TestDecimalCasts:
+    def test_quantizes_to_scale(self):
+        out = cast(decimal.Decimal("3.1"), "decimal(10,3)", ansi=True)
+        assert str(out) == "3.100"
+
+    def test_rounds_half_up(self):
+        out = cast(decimal.Decimal("1.005"), "decimal(10,2)", ansi=True)
+        assert str(out) == "1.01"
+
+    def test_precision_overflow_ansi(self):
+        with pytest.raises(ArithmeticOverflowError):
+            cast(decimal.Decimal("123456.78"), "decimal(5,2)", ansi=True)
+
+    def test_precision_overflow_legacy_nulls(self):
+        assert cast(decimal.Decimal("123456.78"), "decimal(5,2)", ansi=False) is None
+
+    def test_string_to_decimal(self):
+        assert cast("1.5", "decimal(5,2)", ansi=True) == decimal.Decimal("1.50")
+
+    def test_bool_to_decimal_rejected(self):
+        with pytest.raises(CastError):
+            cast(True, "decimal(5,2)", ansi=True)
+
+
+class TestBooleanCasts:
+    @pytest.mark.parametrize("token", ["true", "T", "yes", "Y", "1"])
+    def test_truthy_tokens(self, token):
+        assert cast(token, "boolean", ansi=True) is True
+
+    @pytest.mark.parametrize("token", ["false", "F", "no", "N", "0"])
+    def test_falsy_tokens(self, token):
+        assert cast(token, "boolean", ansi=True) is False
+
+    def test_invalid_ansi_raises(self):
+        with pytest.raises(CastError):
+            cast("maybe", "boolean", ansi=True)
+
+    def test_invalid_legacy_nulls(self):
+        assert cast("maybe", "boolean", ansi=False) is None
+
+    def test_int_to_boolean(self):
+        assert cast(2, "boolean", ansi=True) is True
+        assert cast(0, "boolean", ansi=True) is False
+
+
+class TestStringAndTemporalCasts:
+    def test_float_special_spellings(self):
+        assert math.isnan(cast("NaN", "double", ansi=True))
+        assert cast("-Infinity", "float", ansi=True) == -math.inf
+
+    def test_numeric_to_string(self):
+        assert cast(1.5, "string", ansi=True) == "1.5"
+        assert cast(math.nan, "string", ansi=True) == "NaN"
+
+    def test_date_parse(self):
+        assert cast("2020-01-01", "date", ansi=True) == datetime.date(2020, 1, 1)
+
+    def test_invalid_date(self):
+        with pytest.raises(CastError):
+            cast("2021-02-30", "date", ansi=True)
+        assert cast("2021-02-30", "date", ansi=False) is None
+
+    def test_timestamp_parse(self):
+        out = cast("2020-01-01 10:00:00", "timestamp", ansi=True)
+        assert out == datetime.datetime(2020, 1, 1, 10)
+
+    def test_date_to_timestamp(self):
+        out = spark_cast(
+            datetime.date(2020, 1, 2),
+            parse_type("date"),
+            parse_type("timestamp"),
+            ansi=True,
+        )
+        assert out == datetime.datetime(2020, 1, 2)
+
+    def test_string_to_binary(self):
+        assert cast("ab", "binary", ansi=True) == b"ab"
+
+
+class TestNestedCasts:
+    def test_array_elements(self):
+        out = spark_cast(
+            ["1", "2"], parse_type("array<string>"),
+            parse_type("array<int>"), ansi=True,
+        )
+        assert out == [1, 2]
+
+    def test_array_null_elements_preserved(self):
+        out = spark_cast(
+            [1, None], parse_type("array<int>"),
+            parse_type("array<bigint>"), ansi=False,
+        )
+        assert out == [1, None]
+
+    def test_wrong_kind_legacy_nulls(self):
+        assert (
+            spark_cast("x", StringType(), parse_type("array<int>"), ansi=False)
+            is None
+        )
+
+
+class TestStoreAssignment:
+    def test_ansi_numeric_overflow_raises(self):
+        with pytest.raises(ArithmeticOverflowError):
+            store_assign(
+                2**31, parse_type("bigint"), parse_type("int"),
+                StoreAssignmentPolicy.ANSI,
+            )
+
+    def test_ansi_rejects_string_to_numeric(self):
+        with pytest.raises(AnalysisException):
+            store_assign(
+                "5", StringType(), parse_type("int"),
+                StoreAssignmentPolicy.ANSI,
+            )
+
+    def test_ansi_rejects_string_to_boolean(self):
+        with pytest.raises(AnalysisException):
+            store_assign(
+                "true", StringType(), parse_type("boolean"),
+                StoreAssignmentPolicy.ANSI,
+            )
+
+    def test_ansi_allows_widening(self):
+        out = store_assign(
+            5, parse_type("tinyint"), parse_type("int"),
+            StoreAssignmentPolicy.ANSI,
+        )
+        assert out == 5
+
+    def test_legacy_allows_anything(self):
+        out = store_assign(
+            "5", StringType(), parse_type("int"),
+            StoreAssignmentPolicy.LEGACY,
+        )
+        assert out == 5
+        assert (
+            store_assign(
+                "junk", StringType(), parse_type("int"),
+                StoreAssignmentPolicy.LEGACY,
+            )
+            is None
+        )
+
+    def test_legacy_wraps_overflow(self):
+        out = store_assign(
+            128, parse_type("int"), parse_type("tinyint"),
+            StoreAssignmentPolicy.LEGACY,
+        )
+        assert out == -128
+
+    def test_strict_rejects_narrowing(self):
+        with pytest.raises(AnalysisException):
+            store_assign(
+                5, parse_type("int"), parse_type("tinyint"),
+                StoreAssignmentPolicy.STRICT,
+            )
+
+    def test_strict_allows_widening(self):
+        assert (
+            store_assign(
+                5, parse_type("smallint"), parse_type("bigint"),
+                StoreAssignmentPolicy.STRICT,
+            )
+            == 5
+        )
+
+    def test_null_always_assignable(self):
+        for policy in StoreAssignmentPolicy:
+            assert (
+                store_assign(None, NullType(), parse_type("int"), policy)
+                is None
+            )
+
+    def test_ansi_date_to_timestamp(self):
+        out = store_assign(
+            datetime.date(2020, 1, 1), parse_type("date"),
+            parse_type("timestamp"), StoreAssignmentPolicy.ANSI,
+        )
+        assert out == datetime.datetime(2020, 1, 1)

@@ -1,0 +1,144 @@
+"""Unit tests for the DataFrame interface and its legacy coercion."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import parse_type
+from repro.errors import AnalysisException, TableAlreadyExistsError
+from repro.sparklite.dataframe import dataframe_store_value
+from repro.sparklite.session import SparkSession
+
+
+@pytest.fixture
+def spark():
+    return SparkSession.local()
+
+
+class TestStoreValue:
+    def test_overflow_wraps(self):
+        assert dataframe_store_value(128, parse_type("tinyint")) == -128
+
+    def test_invalid_string_nulls(self):
+        assert dataframe_store_value("junk", parse_type("int")) is None
+
+    def test_char_not_enforced(self):
+        # SPARK-40630 shape: no length check, no padding
+        assert dataframe_store_value("abcdefgh", parse_type("char(5)")) == "abcdefgh"
+        assert dataframe_store_value("ab", parse_type("char(5)")) == "ab"
+
+    def test_varchar_not_enforced(self):
+        assert dataframe_store_value("abcdef", parse_type("varchar(3)")) == "abcdef"
+
+    def test_decimal_kept_unquantized(self):
+        # SPARK-39158 shape
+        out = dataframe_store_value(decimal.Decimal("3.1"), parse_type("decimal(10,3)"))
+        assert str(out) == "3.1"
+
+    def test_decimal_overflow_nulls(self):
+        out = dataframe_store_value(
+            decimal.Decimal("123456.78"), parse_type("decimal(5,2)")
+        )
+        assert out is None
+
+    def test_string_to_date_legacy(self):
+        assert dataframe_store_value("2021-02-30", parse_type("date")) is None
+        assert dataframe_store_value(
+            "2020-01-01", parse_type("date")
+        ) == datetime.date(2020, 1, 1)
+
+
+class TestDataFrame:
+    def test_create_and_collect(self, spark):
+        frame = spark.create_dataframe(
+            [(1, "a"), (2, "b")], Schema.of(("id", "int"), ("s", "string"))
+        )
+        assert frame.count() == 2
+        assert [tuple(r) for r in frame.collect()] == [(1, "a"), (2, "b")]
+
+    def test_creation_coerces(self, spark):
+        frame = spark.create_dataframe(
+            [("300",)], Schema.of(("b", "tinyint"))
+        )
+        assert frame.collect()[0][0] == 44  # 300 wraps into tinyint
+
+    def test_arity_checked(self, spark):
+        with pytest.raises(AnalysisException):
+            spark.create_dataframe([(1, 2)], Schema.of(("a", "int")))
+
+    def test_select(self, spark):
+        frame = spark.create_dataframe(
+            [(1, "a")], Schema.of(("id", "int"), ("s", "string"))
+        )
+        assert [tuple(r) for r in frame.select("s").collect()] == [("a",)]
+
+    def test_filter(self, spark):
+        frame = spark.create_dataframe(
+            [(1,), (5,)], Schema.of(("id", "int"))
+        )
+        assert frame.filter(lambda row: row[0] > 2).count() == 1
+
+
+class TestWriter:
+    def test_save_as_table_roundtrip(self, spark):
+        frame = spark.create_dataframe([(1,)], Schema.of(("Id", "int")))
+        frame.write.format("parquet").save_as_table("t")
+        result = spark.read_table("t")
+        assert result.to_tuples() == [(1,)]
+        assert result.schema.names() == ("Id",)  # datasource keeps case
+
+    def test_default_format(self, spark):
+        frame = spark.create_dataframe([(1,)], Schema.of(("a", "int")))
+        frame.write.save_as_table("t")
+        assert spark.metastore.get_table("t").storage_format == "parquet"
+
+    def test_append_mode(self, spark):
+        frame = spark.create_dataframe([(1,)], Schema.of(("a", "int")))
+        frame.write.format("orc").save_as_table("t")
+        frame.write.format("orc").mode("append").save_as_table("t")
+        assert spark.read_table("t").to_tuples() == [(1,), (1,)]
+
+    def test_overwrite_mode(self, spark):
+        spark.create_dataframe([(1,)], Schema.of(("a", "int"))).write.format(
+            "orc"
+        ).save_as_table("t")
+        spark.create_dataframe([(9,)], Schema.of(("a", "int"))).write.format(
+            "orc"
+        ).mode("overwrite").save_as_table("t")
+        assert spark.read_table("t").to_tuples() == [(9,)]
+
+    def test_errorifexists(self, spark):
+        spark.create_dataframe([(1,)], Schema.of(("a", "int"))).write.format(
+            "orc"
+        ).save_as_table("t")
+        with pytest.raises(TableAlreadyExistsError):
+            spark.create_dataframe(
+                [(2,)], Schema.of(("a", "int"))
+            ).write.format("orc").mode("errorifexists").save_as_table("t")
+
+    def test_unknown_mode_rejected(self, spark):
+        frame = spark.create_dataframe([(1,)], Schema.of(("a", "int")))
+        with pytest.raises(AnalysisException):
+            frame.write.mode("replace")
+
+    def test_insert_into_existing_table(self, spark):
+        spark.sql("CREATE TABLE t (a int) STORED AS parquet")
+        frame = spark.create_dataframe([(3,)], Schema.of(("a", "int")))
+        frame.write.insert_into("t")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [(3,)]
+
+    def test_insert_into_arity_checked(self, spark):
+        spark.sql("CREATE TABLE t (a int, b int) STORED AS parquet")
+        frame = spark.create_dataframe([(3,)], Schema.of(("a", "int")))
+        with pytest.raises(AnalysisException):
+            frame.write.insert_into("t")
+
+    def test_table_reads_back_dataframe(self, spark):
+        spark.create_dataframe(
+            [(1, "x")], Schema.of(("a", "int"), ("b", "string"))
+        ).write.format("parquet").save_as_table("t")
+        frame = spark.table("t")
+        assert frame.count() == 1
+        assert frame.schema.names() == ("a", "b")

@@ -1,0 +1,116 @@
+"""Unit tests for Spark's read/scan reconciliation path."""
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.errors import IncompatibleSchemaException
+from repro.hivelite.engine import HiveServer
+from repro.sparklite.session import SparkSession
+
+
+@pytest.fixture
+def deployment():
+    spark = SparkSession.local()
+    hive = HiveServer(spark.metastore, spark.filesystem)
+    return spark, hive
+
+
+class TestHiveOrcInterop:
+    def test_modern_spark_reads_hive_orc(self, deployment):
+        spark, hive = deployment
+        hive.execute("CREATE TABLE t (a int, b string) STORED AS orc")
+        hive.execute("INSERT INTO t VALUES (1, 'x')")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [(1, "x")]
+
+    def test_legacy_flag_replays_spark_21686(self, deployment):
+        spark, hive = deployment
+        hive.execute("CREATE TABLE t (a int, b string) STORED AS orc")
+        hive.execute("INSERT INTO t VALUES (1, 'x')")
+        spark.conf.set("spark.sql.legacy.orc.positionalNames", "true")
+        # pre-fix behaviour: `_col0` never matches, every column is NULL
+        assert spark.sql("SELECT * FROM t").to_tuples() == [(None, None)]
+
+    def test_spark_written_orc_reads_by_name(self, deployment):
+        spark, _ = deployment
+        spark.sql("CREATE TABLE t (a int, b string) STORED AS orc")
+        spark.sql("INSERT INTO t VALUES (2, 'y')")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [(2, "y")]
+
+
+class TestAvroReconciliation:
+    def test_dataframe_avro_byte_raises(self, deployment):
+        spark, _ = deployment
+        frame = spark.create_dataframe([(5,)], Schema.of(("b", "tinyint")))
+        frame.write.format("avro").save_as_table("t")
+        with pytest.raises(IncompatibleSchemaException):
+            spark.read_table("t")
+
+    def test_sql_avro_byte_becomes_int(self, deployment):
+        spark, _ = deployment
+        spark.sql("CREATE TABLE t (b tinyint) STORED AS avro")
+        spark.sql("INSERT INTO t VALUES (5)")
+        result = spark.sql("SELECT * FROM t")
+        assert result.to_tuples() == [(5,)]
+        assert result.schema.types()[0].simple_string() == "int"
+
+    def test_orc_byte_roundtrips_exactly(self, deployment):
+        spark, _ = deployment
+        frame = spark.create_dataframe([(5,)], Schema.of(("b", "tinyint")))
+        frame.write.format("orc").save_as_table("t")
+        result = spark.read_table("t")
+        assert result.schema.types()[0].simple_string() == "tinyint"
+        assert result.to_tuples() == [(5,)]
+
+
+class TestCharReadPath:
+    def test_sql_read_pads_char(self, deployment):
+        spark, _ = deployment
+        frame = spark.create_dataframe([("ab",)], Schema.of(("c", "char(5)")))
+        frame.write.format("parquet").save_as_table("t")
+        # DataFrame wrote it raw; SQL read pads, DataFrame read does not
+        assert spark.sql("SELECT * FROM t").to_tuples() == [("ab   ",)]
+        assert spark.read_table("t").to_tuples() == [("ab",)]
+
+    def test_char_as_string_disables_padding(self, deployment):
+        spark, _ = deployment
+        frame = spark.create_dataframe([("ab",)], Schema.of(("c", "char(5)")))
+        frame.write.format("parquet").save_as_table("t")
+        spark.conf.set("spark.sql.legacy.charVarcharAsString", "true")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [("ab",)]
+        assert spark.sql("SELECT * FROM t").schema.types()[0].simple_string() == (
+            "string"
+        )
+
+
+class TestTimestampResolution:
+    def test_ntz_falls_back_to_ltz(self, deployment):
+        spark, _ = deployment
+        spark.sql("CREATE TABLE t (ts timestamp_ntz) STORED AS avro")
+        spark.sql("INSERT INTO t VALUES (TIMESTAMP_NTZ '2020-06-15 12:30:00')")
+        result = spark.sql("SELECT * FROM t")
+        assert result.schema.types()[0].simple_string() == "timestamp"
+
+    def test_timestamp_type_config_restores_ntz(self, deployment):
+        spark, _ = deployment
+        spark.sql("CREATE TABLE t (ts timestamp_ntz) STORED AS avro")
+        spark.sql("INSERT INTO t VALUES (TIMESTAMP_NTZ '2020-06-15 12:30:00')")
+        spark.conf.set("spark.sql.timestampType", "TIMESTAMP_NTZ")
+        result = spark.sql("SELECT * FROM t")
+        assert result.schema.types()[0].simple_string() == "timestamp_ntz"
+
+
+class TestMissingColumns:
+    def test_unmatched_physical_column_reads_null(self, deployment):
+        spark, hive = deployment
+        # hive writes parquet with lower-cased names; make spark expect a
+        # column the file does not have by recreating the table
+        hive.execute("CREATE TABLE t (a int) STORED AS parquet")
+        hive.execute("INSERT INTO t VALUES (1)")
+        hive.execute("DROP TABLE IF EXISTS u")
+        spark.sql("CREATE TABLE u (a int, extra string) STORED AS parquet")
+        table_t = spark.metastore.get_table("t")
+        table_u = spark.metastore.get_table("u")
+        blob = spark.warehouse.read_segments(table_t)
+        # splice t's data under u's location
+        spark.warehouse.write_segment(table_u, blob[0])
+        assert spark.sql("SELECT * FROM u").to_tuples() == [(1, None)]

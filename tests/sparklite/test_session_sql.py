@@ -1,0 +1,148 @@
+"""Unit tests for the SparkSQL interface of the session."""
+
+import decimal
+
+import pytest
+
+from repro.connectors.spark_hive import NATIVE_SCHEMA_PROPERTY
+from repro.errors import (
+    AnalysisException,
+    ArithmeticOverflowError,
+    TableNotFoundError,
+)
+from repro.sparklite.session import SparkSession
+
+
+@pytest.fixture
+def spark():
+    return SparkSession.local()
+
+
+class TestCreate:
+    def test_hive_serde_parquet_keeps_native_schema(self, spark):
+        spark.sql("CREATE TABLE t (Id int) STORED AS parquet")
+        table = spark.metastore.get_table("t")
+        assert table.property(NATIVE_SCHEMA_PROPERTY) is not None
+        assert table.schema.names() == ("id",)
+
+    def test_hive_serde_avro_loses_native_schema(self, spark):
+        spark.sql("CREATE TABLE t (Id tinyint) STORED AS avro")
+        table = spark.metastore.get_table("t")
+        assert table.property(NATIVE_SCHEMA_PROPERTY) is None
+        assert table.schema.simple_string() == "id int"
+
+    def test_datasource_avro_keeps_native_schema(self, spark):
+        spark.sql("CREATE TABLE t (Id tinyint) USING avro")
+        table = spark.metastore.get_table("t")
+        assert table.property(NATIVE_SCHEMA_PROPERTY) is not None
+
+    def test_never_infer_mode_drops_property(self, spark):
+        spark.conf.set(
+            "spark.sql.hive.caseSensitiveInferenceMode", "NEVER_INFER"
+        )
+        spark.sql("CREATE TABLE t (Id int) STORED AS parquet")
+        assert (
+            spark.metastore.get_table("t").property(NATIVE_SCHEMA_PROPERTY)
+            is None
+        )
+
+    def test_default_format_from_conf(self, spark):
+        spark.sql("CREATE TABLE t (a int)")
+        assert spark.metastore.get_table("t").storage_format == "parquet"
+
+    def test_if_not_exists(self, spark):
+        spark.sql("CREATE TABLE t (a int) STORED AS orc")
+        spark.sql("CREATE TABLE IF NOT EXISTS t (a int) STORED AS orc")
+
+    def test_drop(self, spark):
+        spark.sql("CREATE TABLE t (a int) STORED AS orc")
+        spark.sql("DROP TABLE t")
+        with pytest.raises(TableNotFoundError):
+            spark.metastore.get_table("t")
+
+
+class TestInsertSelect:
+    def test_roundtrip_preserves_case_for_parquet(self, spark):
+        spark.sql("CREATE TABLE t (Id int, Name string) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (1, 'a')")
+        result = spark.sql("SELECT * FROM t")
+        assert result.schema.names() == ("Id", "Name")
+        assert result.to_tuples() == [(1, "a")]
+        assert result.warnings == ()
+
+    def test_avro_falls_back_with_warning(self, spark):
+        spark.sql("CREATE TABLE t (Bb tinyint) STORED AS avro")
+        spark.sql("INSERT INTO t VALUES (5)")
+        result = spark.sql("SELECT * FROM t")
+        assert result.schema.names() == ("bb",)
+        assert result.schema.types()[0].simple_string() == "int"
+        assert any("not case preserving" in w for w in result.warnings)
+
+    def test_ansi_overflow_raises(self, spark):
+        spark.sql("CREATE TABLE t (i int) STORED AS parquet")
+        with pytest.raises(ArithmeticOverflowError):
+            spark.sql("INSERT INTO t VALUES (2147483648)")
+
+    def test_legacy_policy_wraps(self, spark):
+        spark.conf.set("spark.sql.storeAssignmentPolicy", "legacy")
+        spark.sql("CREATE TABLE t (i int) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (2147483648)")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [(-(2**31),)]
+
+    def test_decimal_quantized_on_sql_insert(self, spark):
+        spark.sql("CREATE TABLE t (d decimal(10,3)) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (3.1)")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [
+            (decimal.Decimal("3.100"),)
+        ]
+
+    def test_char_padded_and_enforced(self, spark):
+        spark.sql("CREATE TABLE t (c char(5)) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES ('ab')")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [("ab   ",)]
+        with pytest.raises(AnalysisException):
+            spark.sql("INSERT INTO t VALUES ('toolongvalue')")
+
+    def test_varchar_enforced(self, spark):
+        spark.sql("CREATE TABLE t (v varchar(3)) STORED AS parquet")
+        with pytest.raises(AnalysisException):
+            spark.sql("INSERT INTO t VALUES ('abcd')")
+
+    def test_char_as_string_disables_enforcement(self, spark):
+        spark.conf.set("spark.sql.legacy.charVarcharAsString", "true")
+        spark.sql("CREATE TABLE t (c char(5)) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES ('toolongvalue')")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [("toolongvalue",)]
+
+    def test_invalid_date_literal_raises(self, spark):
+        spark.sql("CREATE TABLE t (d date) STORED AS parquet")
+        with pytest.raises(AnalysisException):
+            spark.sql("INSERT INTO t VALUES (DATE '2021-02-30')")
+
+    def test_insert_arity_checked(self, spark):
+        spark.sql("CREATE TABLE t (a int, b int) STORED AS parquet")
+        with pytest.raises(AnalysisException):
+            spark.sql("INSERT INTO t VALUES (1, 2, 3)")
+
+    def test_overwrite(self, spark):
+        spark.sql("CREATE TABLE t (a int) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (1)")
+        spark.sql("INSERT OVERWRITE TABLE t VALUES (2)")
+        assert spark.sql("SELECT * FROM t").to_tuples() == [(2,)]
+
+    def test_projection_case_insensitive_by_default(self, spark):
+        spark.sql("CREATE TABLE t (Aa int) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (1)")
+        assert spark.sql("SELECT aa FROM t").to_tuples() == [(1,)]
+
+    def test_projection_case_sensitive_mode(self, spark):
+        spark.conf.set("spark.sql.caseSensitive", "true")
+        spark.sql("CREATE TABLE t (Aa int) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (1)")
+        with pytest.raises(AnalysisException):
+            spark.sql("SELECT aa FROM t")
+
+    def test_where(self, spark):
+        spark.sql("CREATE TABLE t (a int) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (1), (7)")
+        assert spark.sql("SELECT * FROM t WHERE a > 3").to_tuples() == [(7,)]

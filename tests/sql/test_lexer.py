@@ -1,0 +1,82 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.text) for t in tokenize(sql)[:-1]]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert kinds("'abc'") == [(TokenType.STRING, "abc")]
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_empty_string(self):
+        assert kinds("''") == [(TokenType.STRING, "")]
+
+    def test_unterminated_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("'abc")
+
+    def test_unicode_content(self):
+        assert kinds("'héllo'") == [(TokenType.STRING, "héllo")]
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text",
+        ["0", "42", "3.14", ".5", "1e10", "1E-3", "2.5e+2"],
+    )
+    def test_plain_numbers(self, text):
+        ((kind, value),) = kinds(text)
+        assert kind is TokenType.NUMBER
+        assert value == text
+
+    @pytest.mark.parametrize("text", ["1Y", "2S", "3L", "4.5D", "6.7F", "8.9BD"])
+    def test_typed_suffixes(self, text):
+        ((kind, value),) = kinds(text)
+        assert kind is TokenType.NUMBER
+        assert value == text
+
+    def test_number_then_ident(self):
+        tokens = kinds("123 abc")
+        assert tokens[0][0] is TokenType.NUMBER
+        assert tokens[1][0] is TokenType.IDENT
+
+
+class TestIdentifiers:
+    def test_plain(self):
+        assert kinds("select_from t1")[0] == (TokenType.IDENT, "select_from")
+
+    def test_backquoted(self):
+        assert kinds("`weird name`") == [(TokenType.IDENT, "weird name")]
+
+    def test_unterminated_backquote(self):
+        with pytest.raises(ParseError):
+            tokenize("`oops")
+
+
+class TestSymbols:
+    def test_multi_char_operators(self):
+        texts = [t for _, t in kinds("a <= b >= c <> d != e")]
+        assert "<=" in texts and ">=" in texts and "<>" in texts and "!=" in texts
+
+    def test_parens_and_commas(self):
+        texts = [t for _, t in kinds("(a, b)")]
+        assert texts == ["(", "a", ",", "b", ")"]
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+
+def test_eof_token_always_present():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type is TokenType.EOF

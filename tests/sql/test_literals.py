@@ -1,0 +1,168 @@
+"""Unit tests for literal evaluation and dialect policies."""
+
+import datetime
+import decimal
+import math
+
+import pytest
+
+from repro.common.types import (
+    BooleanType,
+    ByteType,
+    DateType,
+    DecimalType,
+    DoubleType,
+    FloatType,
+    IntegerType,
+    LongType,
+    NullType,
+    ShortType,
+    StringType,
+)
+from repro.errors import AnalysisException, ParseError
+from repro.sql.literals import DialectOptions, LiteralEvaluator
+from repro.sql.parser import parse_statement
+
+
+def evaluate(expr_sql, **options):
+    defaults = dict(name="test", cast_fn=lambda v, s, t: v)
+    defaults.update(options)
+    evaluator = LiteralEvaluator(DialectOptions(**defaults))
+    statement = parse_statement(f"INSERT INTO t VALUES ({expr_sql})")
+    return evaluator.evaluate(statement.rows[0][0])
+
+
+class TestNumbers:
+    def test_plain_int(self):
+        typed = evaluate("42")
+        assert typed.value == 42 and typed.data_type == IntegerType()
+
+    def test_int_promotes_to_bigint(self):
+        typed = evaluate("3000000000")
+        assert typed.data_type == LongType()
+
+    def test_huge_literal_becomes_decimal(self):
+        typed = evaluate("99999999999999999999")
+        assert isinstance(typed.data_type, DecimalType)
+
+    @pytest.mark.parametrize(
+        "sql,dtype",
+        [("1Y", ByteType()), ("1S", ShortType()), ("1L", LongType()),
+         ("1.5D", DoubleType()), ("1.5F", FloatType())],
+    )
+    def test_suffixes(self, sql, dtype):
+        assert evaluate(sql).data_type == dtype
+
+    def test_suffix_out_of_range_raises(self):
+        with pytest.raises(ParseError):
+            evaluate("300Y")
+
+    def test_negative_suffix(self):
+        typed = evaluate("-128Y")
+        assert typed.value == -128 and typed.data_type == ByteType()
+
+    def test_fractional_default_decimal(self):
+        typed = evaluate("3.14")
+        assert typed.value == decimal.Decimal("3.14")
+        assert typed.data_type == DecimalType(3, 2)
+
+    def test_fractional_double_dialect(self):
+        typed = evaluate("3.14", fractional_literal="double")
+        assert typed.data_type == DoubleType()
+        assert typed.value == pytest.approx(3.14)
+
+    def test_exponent_is_double(self):
+        assert evaluate("1e3").data_type == DoubleType()
+
+    def test_bd_suffix(self):
+        typed = evaluate("1.50BD")
+        assert typed.value == decimal.Decimal("1.50")
+        assert typed.data_type == DecimalType(3, 2)
+
+
+class TestBasicLiterals:
+    def test_null(self):
+        typed = evaluate("NULL")
+        assert typed.value is None and typed.data_type == NullType()
+
+    def test_booleans(self):
+        assert evaluate("TRUE").value is True
+        assert evaluate("FALSE").data_type == BooleanType()
+
+    def test_string(self):
+        typed = evaluate("'hi'")
+        assert typed.value == "hi" and typed.data_type == StringType()
+
+
+class TestTypedLiterals:
+    def test_valid_date(self):
+        typed = evaluate("DATE '2020-02-29'")
+        assert typed.value == datetime.date(2020, 2, 29)
+        assert typed.data_type == DateType()
+
+    def test_invalid_date_strict_raises(self):
+        with pytest.raises(AnalysisException):
+            evaluate("DATE '2021-02-30'", strict_datetime_literals=True)
+
+    def test_invalid_date_lenient_nulls(self):
+        typed = evaluate("DATE '2021-02-30'", strict_datetime_literals=False)
+        assert typed.value is None
+        assert typed.data_type == DateType()
+
+    def test_timestamp(self):
+        typed = evaluate("TIMESTAMP '2020-01-01 12:00:00'")
+        assert typed.value == datetime.datetime(2020, 1, 1, 12)
+
+    def test_binary_hex(self):
+        assert evaluate("X'00FF'").value == b"\x00\xff"
+
+    def test_cast_uses_dialect_fn(self):
+        calls = []
+
+        def cast_fn(value, source, target):
+            calls.append((value, target.simple_string()))
+            return value
+
+        evaluate("CAST('5' AS int)", cast_fn=cast_fn)
+        assert calls == [("5", "int")]
+
+    def test_cast_without_fn_raises(self):
+        with pytest.raises(AnalysisException):
+            evaluate("CAST(1 AS int)", cast_fn=None)
+
+
+class TestConstructors:
+    def test_array(self):
+        typed = evaluate("array(1, 2, 3)")
+        assert typed.value == [1, 2, 3]
+        assert typed.data_type.element_type == IntegerType()
+
+    def test_array_widens_integrals(self):
+        typed = evaluate("array(1, 3000000000)")
+        assert typed.data_type.element_type == LongType()
+
+    def test_map(self):
+        typed = evaluate("map('a', 1, 'b', 2)")
+        assert typed.value == {"a": 1, "b": 2}
+
+    def test_map_odd_args_raises(self):
+        with pytest.raises(AnalysisException):
+            evaluate("map('a')")
+
+    def test_map_null_key_raises(self):
+        with pytest.raises(AnalysisException):
+            evaluate("map(NULL, 1)")
+
+    def test_named_struct(self):
+        typed = evaluate("named_struct('Aa', 1, 'bB', 'x')")
+        assert typed.value == [1, "x"]
+        assert typed.data_type.field_names() == ("Aa", "bB")
+
+    def test_float_special_values(self):
+        assert math.isnan(evaluate("double('NaN')").value)
+        assert evaluate("float('Infinity')").value == math.inf
+        assert evaluate("double('-Infinity')").value == -math.inf
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(AnalysisException):
+            evaluate("frobnicate(1)")

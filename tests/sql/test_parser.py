@@ -1,0 +1,160 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    DropTable,
+    FunctionCall,
+    Insert,
+    Literal,
+    Select,
+    Star,
+    TypedLiteral,
+)
+from repro.sql.parser import parse_statement
+
+
+class TestCreateTable:
+    def test_basic(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a int, b string) STORED AS orc"
+        )
+        assert isinstance(statement, CreateTable)
+        assert statement.table == "t"
+        assert [c.name for c in statement.columns] == ["a", "b"]
+        assert statement.stored_as == "orc"
+        assert not statement.datasource
+
+    def test_using_marks_datasource(self):
+        statement = parse_statement("CREATE TABLE t (a int) USING parquet")
+        assert statement.datasource
+        assert statement.stored_as == "parquet"
+
+    def test_if_not_exists(self):
+        statement = parse_statement("CREATE TABLE IF NOT EXISTS t (a int)")
+        assert statement.if_not_exists
+
+    def test_nested_types_survive(self):
+        statement = parse_statement(
+            "CREATE TABLE t (m map<string, array<int>>, "
+            "s struct<Aa:int, bB:string>)"
+        )
+        assert statement.columns[0].type_text == "map<string,array<int>>"
+        assert statement.columns[1].type_text == "struct<Aa:int,bB:string>"
+
+    def test_decimal_params(self):
+        statement = parse_statement("CREATE TABLE t (d decimal(10, 2))")
+        assert statement.columns[0].type_text == "decimal(10,2)"
+
+    def test_tblproperties(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a int) STORED AS orc "
+            "TBLPROPERTIES ('k' = 'v')"
+        )
+        assert statement.properties == (("k", "v"),)
+
+    def test_case_insensitive_keywords(self):
+        statement = parse_statement("create table T (A INT) stored as AVRO")
+        assert statement.stored_as == "avro"
+
+
+class TestDropTable:
+    def test_basic(self):
+        statement = parse_statement("DROP TABLE t")
+        assert statement == DropTable("t", False)
+
+    def test_if_exists(self):
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+
+
+class TestInsert:
+    def test_multi_row(self):
+        statement = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(statement, Insert)
+        assert len(statement.rows) == 2
+        assert len(statement.rows[0]) == 2
+
+    def test_overwrite(self):
+        assert parse_statement("INSERT OVERWRITE TABLE t VALUES (1)").overwrite
+
+    def test_negative_number(self):
+        statement = parse_statement("INSERT INTO t VALUES (-5)")
+        literal = statement.rows[0][0]
+        assert isinstance(literal, Literal)
+        assert literal.text == "-5"
+
+    def test_typed_literals(self):
+        statement = parse_statement(
+            "INSERT INTO t VALUES (DATE '2020-01-01', TIMESTAMP '2020-01-01 00:00:00')"
+        )
+        date_lit, ts_lit = statement.rows[0]
+        assert isinstance(date_lit, TypedLiteral) and date_lit.type_name == "date"
+        assert isinstance(ts_lit, TypedLiteral) and ts_lit.type_name == "timestamp"
+
+    def test_cast(self):
+        statement = parse_statement(
+            "INSERT INTO t VALUES (CAST('1.5' AS decimal(5,2)))"
+        )
+        cast = statement.rows[0][0]
+        assert isinstance(cast, TypedLiteral)
+        assert cast.type_name == "decimal(5,2)"
+
+    def test_constructor_functions(self):
+        statement = parse_statement(
+            "INSERT INTO t VALUES (array(1, 2), map('a', 1), "
+            "named_struct('x', 1))"
+        )
+        names = [expr.name for expr in statement.rows[0]]
+        assert names == ["array", "map", "named_struct"]
+
+    def test_empty_function_call(self):
+        statement = parse_statement("INSERT INTO t VALUES (array())")
+        assert statement.rows[0][0] == FunctionCall("array", ())
+
+    def test_null_true_false(self):
+        statement = parse_statement("INSERT INTO t VALUES (NULL, TRUE, false)")
+        null, yes, no = statement.rows[0]
+        assert null.text == "NULL"
+        assert yes.value is True
+        assert no.value is False
+
+
+class TestSelect:
+    def test_star(self):
+        statement = parse_statement("SELECT * FROM t")
+        assert isinstance(statement, Select)
+        assert isinstance(statement.projections[0], Star)
+
+    def test_columns(self):
+        statement = parse_statement("SELECT a, b FROM t")
+        assert statement.projections == (ColumnRef("a"), ColumnRef("b"))
+
+    def test_where(self):
+        statement = parse_statement("SELECT * FROM t WHERE a >= 10")
+        assert isinstance(statement.where, Comparison)
+        assert statement.where.op == ">="
+
+    def test_where_requires_operator(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM t WHERE a")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "UPDATE t SET a = 1",
+            "CREATE TABLE t",
+            "INSERT INTO t",
+            "SELECT * FROM t garbage",
+            "CREATE TABLE t (a int",
+        ],
+    )
+    def test_rejected(self, sql):
+        with pytest.raises(ParseError):
+            parse_statement(sql)

@@ -1,0 +1,63 @@
+"""Unit tests for the client FileSystem facade."""
+
+import pytest
+
+from repro.storage.filesystem import FileSystem
+from repro.storage.namenode import NameNode
+
+
+@pytest.fixture
+def filesystem():
+    return FileSystem(NameNode(), user="spark")
+
+
+class TestFacade:
+    def test_write_records_owner(self, filesystem):
+        filesystem.write("/f", b"x")
+        assert filesystem.status("/f").owner == "spark"
+
+    def test_write_read_roundtrip(self, filesystem):
+        filesystem.write("/a/b", b"payload")
+        assert filesystem.read("/a/b") == b"payload"
+
+    def test_default_overwrite_true(self, filesystem):
+        filesystem.write("/f", b"1")
+        filesystem.write("/f", b"2")
+        assert filesystem.read("/f") == b"2"
+
+    def test_listdir(self, filesystem):
+        filesystem.write("/d/x", b"")
+        filesystem.write("/d/y", b"")
+        assert [s.path for s in filesystem.listdir("/d")] == ["/d/x", "/d/y"]
+
+    def test_exists_delete(self, filesystem):
+        filesystem.write("/f", b"")
+        assert filesystem.exists("/f")
+        filesystem.delete("/f")
+        assert not filesystem.exists("/f")
+
+    def test_rename(self, filesystem):
+        filesystem.write("/f", b"z")
+        filesystem.rename("/f", "/g")
+        assert filesystem.read("/g") == b"z"
+
+    def test_compressed_passthrough(self, filesystem):
+        filesystem.write("/c", b"data" * 50, compressed=True)
+        assert filesystem.status("/c").length == -1
+        assert filesystem.read_raw("/c") != b"data" * 50
+
+    def test_token_issued_for_user(self, filesystem):
+        token = filesystem.issue_token()
+        assert token.renewer == "spark"
+
+    def test_append(self, filesystem):
+        filesystem.write("/f", b"a")
+        filesystem.append("/f", b"b")
+        assert filesystem.read("/f") == b"ab"
+
+    def test_two_clients_share_namespace(self):
+        namenode = NameNode()
+        one = FileSystem(namenode, user="one")
+        two = FileSystem(namenode, user="two")
+        one.write("/shared", b"from-one")
+        assert two.read("/shared") == b"from-one"

@@ -1,0 +1,174 @@
+"""Unit tests for the HDFS-like namenode."""
+
+import pytest
+
+from repro.errors import (
+    FileNotFoundInStorageError,
+    SafeModeException,
+    StorageError,
+)
+from repro.storage.files import COMPRESSED_LENGTH_SENTINEL
+from repro.storage.namenode import NameNode
+
+
+@pytest.fixture
+def namenode():
+    return NameNode()
+
+
+class TestNamespace:
+    def test_create_and_read(self, namenode):
+        namenode.create("/a/b/file.txt", b"hello")
+        assert namenode.open("/a/b/file.txt") == b"hello"
+        assert namenode.exists("/a/b")
+
+    def test_relative_path_rejected(self, namenode):
+        with pytest.raises(StorageError):
+            namenode.create("relative.txt", b"")
+
+    def test_create_twice_requires_overwrite(self, namenode):
+        namenode.create("/f", b"1")
+        with pytest.raises(StorageError):
+            namenode.create("/f", b"2")
+        namenode.create("/f", b"2", overwrite=True)
+        assert namenode.open("/f") == b"2"
+
+    def test_append(self, namenode):
+        namenode.create("/f", b"ab")
+        namenode.append("/f", b"cd")
+        assert namenode.open("/f") == b"abcd"
+
+    def test_missing_file_raises(self, namenode):
+        with pytest.raises(FileNotFoundInStorageError):
+            namenode.open("/nope")
+
+    def test_delete_file(self, namenode):
+        namenode.create("/f", b"")
+        assert namenode.delete("/f")
+        assert not namenode.exists("/f")
+        assert not namenode.delete("/f")
+
+    def test_delete_nonempty_dir_needs_recursive(self, namenode):
+        namenode.create("/d/f", b"")
+        with pytest.raises(StorageError):
+            namenode.delete("/d")
+        assert namenode.delete("/d", recursive=True)
+        assert not namenode.exists("/d/f")
+
+    def test_rename(self, namenode):
+        namenode.create("/old", b"x")
+        namenode.rename("/old", "/new/place")
+        assert namenode.open("/new/place") == b"x"
+        assert not namenode.exists("/old")
+
+    def test_rename_onto_existing_rejected(self, namenode):
+        namenode.create("/a", b"")
+        namenode.create("/b", b"")
+        with pytest.raises(StorageError):
+            namenode.rename("/a", "/b")
+
+    def test_list_status_sorted(self, namenode):
+        namenode.create("/d/b", b"")
+        namenode.create("/d/a", b"")
+        names = [s.path for s in namenode.list_status("/d")]
+        assert names == ["/d/a", "/d/b"]
+
+    def test_list_status_file_and_dirs(self, namenode):
+        namenode.mkdirs("/d/sub")
+        namenode.create("/d/f", b"")
+        statuses = {s.path: s.is_directory for s in namenode.list_status("/d")}
+        assert statuses == {"/d/sub": True, "/d/f": False}
+
+    def test_file_over_dir_rejected(self, namenode):
+        namenode.create("/x", b"")
+        with pytest.raises(StorageError):
+            namenode.mkdirs("/x/y")
+
+
+class TestCompressedLength:
+    def test_sentinel_reported(self, namenode):
+        namenode.create("/c", b"payload" * 100, compressed=True)
+        status = namenode.get_file_status("/c")
+        assert status.length == COMPRESSED_LENGTH_SENTINEL
+        assert status.custom_property("is_compressed") is True
+
+    def test_logical_read_unaffected(self, namenode):
+        payload = b"payload" * 100
+        namenode.create("/c", payload, compressed=True)
+        assert namenode.open("/c") == payload
+
+    def test_raw_read_is_compressed(self, namenode):
+        payload = b"payload" * 100
+        namenode.create("/c", payload, compressed=True)
+        raw = namenode.open_raw("/c")
+        assert raw != payload
+        assert len(raw) < len(payload)
+
+    def test_uncompressed_length_is_real(self, namenode):
+        namenode.create("/p", b"12345")
+        assert namenode.get_file_status("/p").length == 5
+
+
+class TestCustomProperties:
+    def test_standard_custom_properties(self, namenode):
+        namenode.create("/f", b"", encrypted=True, local_only=True)
+        status = namenode.get_file_status("/f")
+        assert status.custom_property("is_encrypted") is True
+        assert status.custom_property("is_local") is True
+        assert status.custom_property("unknown", "dflt") == "dflt"
+
+    def test_extra_properties(self, namenode):
+        namenode.create("/f", b"", properties={"storage_policy": "COLD"})
+        namenode.set_property("/f", "erasure_coded", True)
+        status = namenode.get_file_status("/f")
+        assert status.custom_property("storage_policy") == "COLD"
+        assert status.custom_property("erasure_coded") is True
+
+
+class TestSafeMode:
+    def test_mutations_rejected(self, namenode):
+        namenode.enter_safe_mode()
+        with pytest.raises(SafeModeException):
+            namenode.create("/f", b"")
+        with pytest.raises(SafeModeException):
+            namenode.mkdirs("/d")
+
+    def test_reads_allowed(self, namenode):
+        namenode.create("/f", b"x")
+        namenode.enter_safe_mode()
+        assert namenode.open("/f") == b"x"
+        assert namenode.exists("/")
+
+    def test_leave_restores_writes(self, namenode):
+        namenode.enter_safe_mode()
+        namenode.leave_safe_mode()
+        namenode.create("/f", b"")
+
+
+class TestTokens:
+    def test_issue_and_verify(self, namenode):
+        token = namenode.issue_token("yarn")
+        namenode.verify_token(token.token_id)
+
+    def test_expiry(self, namenode):
+        token = namenode.issue_token("yarn", lifetime_ms=100)
+        namenode.clock_ms = 101
+        with pytest.raises(StorageError):
+            namenode.verify_token(token.token_id)
+
+    def test_renew_extends(self, namenode):
+        token = namenode.issue_token("yarn", lifetime_ms=100)
+        namenode.clock_ms = 90
+        namenode.renew_token(token.token_id, lifetime_ms=100)
+        namenode.clock_ms = 150
+        namenode.verify_token(token.token_id)
+
+    def test_cancelled_token_cannot_renew(self, namenode):
+        token = namenode.issue_token("yarn")
+        token.cancelled = True
+        with pytest.raises(StorageError):
+            namenode.renew_token(token.token_id)
+
+    def test_unknown_token(self, namenode):
+        with pytest.raises(StorageError):
+            namenode.verify_token(999)

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReplay:
+    def test_list_scenarios(self, capsys):
+        assert main(["replay"]) == 0
+        out = capsys.readouterr().out
+        assert "FLINK-12342" in out and "SPARK-27239" in out
+
+    def test_failing_replay_exit_code(self, capsys):
+        assert main(["replay", "SPARK-27239"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_fixed_replay_exit_code(self, capsys):
+        assert main(["replay", "SPARK-27239", "--fixed"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_lowercase_jira_accepted(self):
+        assert main(["replay", "spark-27239", "--fixed"]) == 0
+
+    def test_unknown_jira(self, capsys):
+        assert main(["replay", "NOPE-1"]) == 2
+
+
+class TestStudy:
+    def test_study_reproduces(self, capsys):
+        assert main(["study"]) == 0
+        out = capsys.readouterr().out
+        assert "13/13 findings reproduced" in out
+
+
+class TestCrosstest:
+    def test_single_format_run(self, capsys):
+        assert main(["crosstest", "--formats", "parquet"]) == 0
+        out = capsys.readouterr().out
+        assert "discrepancies found" in out
+
+    def test_json_output(self, capsys):
+        assert main(["crosstest", "--formats", "parquet", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "found_discrepancies" in payload
+
+    def test_conf_override(self, capsys):
+        assert main([
+            "crosstest",
+            "--formats", "parquet",
+            "--conf", "spark.sql.storeAssignmentPolicy=legacy",
+        ]) == 0
+
+    def test_bad_conf_rejected(self, capsys):
+        assert main(["crosstest", "--conf", "garbage"]) == 2
+
+
+class TestConfcheckAndGaps:
+    def test_confcheck_flags_example(self, capsys):
+        assert main(["confcheck"]) == 1
+        assert "pmem" in capsys.readouterr().out
+
+    def test_gaps_avro(self, capsys):
+        assert main(["gaps", "avro"]) == 1
+        assert "tinyint" in capsys.readouterr().out
+
+    def test_gaps_clean_format(self, capsys):
+        assert main(["gaps", "parquet"]) == 0
+        assert "no reader gaps" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_export_writes_dataset(self, tmp_path, capsys):
+        target = tmp_path / "csi.json"
+        assert main(["export", str(target)]) == 0
+        assert "120 CSI failure records" in capsys.readouterr().out
+        from repro.dataset.io import load_failures_from_file
+
+        assert len(load_failures_from_file(target)) == 120
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

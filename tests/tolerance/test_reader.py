@@ -1,0 +1,97 @@
+"""Tests for interaction-redundancy tolerance."""
+
+import decimal
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.hivelite.engine import HiveServer
+from repro.sparklite.session import SparkSession
+from repro.tolerance import RedundantReader
+
+
+@pytest.fixture
+def deployment():
+    spark = SparkSession.local()
+    hive = HiveServer(spark.metastore, spark.filesystem)
+    return spark, hive
+
+
+@pytest.fixture
+def reader(deployment):
+    spark, hive = deployment
+    return RedundantReader.for_pair(spark, hive)
+
+
+class TestHappyPath:
+    def test_primary_path_used(self, deployment, reader):
+        spark, _ = deployment
+        spark.sql("CREATE TABLE t (a int) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (1)")
+        outcome = reader.read("t")
+        assert outcome.succeeded
+        assert outcome.path_used == "spark-dataframe"
+        assert not outcome.tolerated
+        assert outcome.result.to_tuples() == [(1,)]
+
+    def test_describe(self, deployment, reader):
+        spark, _ = deployment
+        spark.sql("CREATE TABLE t (a int) STORED AS parquet")
+        assert "spark-dataframe" in reader.read("t").describe()
+
+
+class TestToleratedDiscrepancies:
+    def test_tolerates_discrepancy_1(self, deployment, reader):
+        # DataFrame+Avro BYTE read raises; the HiveQL path still serves
+        spark, _ = deployment
+        frame = spark.create_dataframe([(5,)], Schema.of(("b", "tinyint")))
+        frame.write.format("avro").save_as_table("t")
+        outcome = reader.read("t")
+        assert outcome.tolerated
+        assert outcome.path_used == "hiveql"
+        assert outcome.result.to_tuples() == [(5,)]
+        failed_paths = {f.path for f in outcome.failures}
+        assert failed_paths == {"spark-dataframe", "spark-sql"}
+        assert all(
+            f.error_type == "IncompatibleSchemaException"
+            for f in outcome.failures
+        )
+
+    def test_tolerates_discrepancy_2_reversed(self, deployment):
+        # Hive's strict decimal read fails; prefer hive, fall back to spark
+        spark, hive = deployment
+        spark.sql("CREATE TABLE t (d decimal(10,3)) STORED AS parquet")
+        frame = spark.create_dataframe(
+            [(decimal.Decimal("3.1"),)], Schema.of(("d", "decimal(10,3)"))
+        )
+        frame.write.insert_into("t")
+        reader = (
+            RedundantReader()
+            .add_path("hiveql", lambda t: hive.execute(f"SELECT * FROM {t}"))
+            .add_path("spark-sql", lambda t: spark.sql(f"SELECT * FROM {t}"))
+        )
+        outcome = reader.read("t")
+        assert outcome.tolerated
+        assert outcome.path_used == "spark-sql"
+
+    def test_semantics_may_differ_across_paths(self, deployment, reader):
+        # tolerance trades fidelity: hive returns the promoted INT type
+        spark, _ = deployment
+        frame = spark.create_dataframe([(5,)], Schema.of(("b", "tinyint")))
+        frame.write.format("avro").save_as_table("t")
+        outcome = reader.read("t")
+        assert outcome.result.schema.types()[0].simple_string() == "int"
+
+
+class TestTotalFailure:
+    def test_all_paths_fail(self, reader):
+        outcome = reader.read("no_such_table")
+        assert not outcome.succeeded
+        assert not outcome.tolerated
+        assert len(outcome.failures) == 3
+        assert "all 3 read paths failed" in outcome.describe()
+
+    def test_empty_reader(self):
+        outcome = RedundantReader().read("t")
+        assert not outcome.succeeded
+        assert outcome.failures == ()

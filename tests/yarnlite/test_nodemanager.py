@@ -1,0 +1,79 @@
+"""Unit tests for the NodeManager pmem monitor."""
+
+import pytest
+
+from repro.common.events import EventLoop
+from repro.errors import ContainerKilledError
+from repro.yarnlite.configs import PMEM_CHECK_ENABLED, YarnConf
+from repro.yarnlite.nodemanager import NodeManager
+from repro.yarnlite.resourcemanager import Container
+from repro.yarnlite.resources import Resource
+
+
+def make_nm(check_interval_ms=100, pmem_enabled=True):
+    loop = EventLoop()
+    conf = YarnConf()
+    conf.set(PMEM_CHECK_ENABLED, pmem_enabled)
+    return loop, NodeManager(loop, conf, check_interval_ms=check_interval_ms)
+
+
+class TestPmemMonitor:
+    def test_within_limit_survives(self):
+        loop, nm = make_nm()
+        running = nm.launch(Container(1, Resource(1024, 1)))
+        nm.report_usage(1, 900)
+        loop.run_until(1000)
+        assert not running.killed
+        assert nm.is_running(1)
+
+    def test_over_limit_killed(self):
+        loop, nm = make_nm()
+        reasons = []
+        running = nm.launch(Container(1, Resource(1024, 1)), on_kill=reasons.append)
+        nm.report_usage(1, 1200)
+        loop.run_until(1000)
+        assert running.killed
+        assert "beyond physical memory" in running.kill_reason
+        assert reasons and not nm.is_running(1)
+        assert nm.kills == [(1, running.kill_reason)]
+
+    def test_kill_happens_at_check_interval(self):
+        loop, nm = make_nm(check_interval_ms=500)
+        running = nm.launch(Container(1, Resource(100, 1)))
+        nm.report_usage(1, 200)
+        loop.run_until(499)
+        assert not running.killed
+        loop.run_until(500)
+        assert running.killed
+
+    def test_disabled_monitor_never_kills(self):
+        loop, nm = make_nm(pmem_enabled=False)
+        running = nm.launch(Container(1, Resource(100, 1)))
+        nm.report_usage(1, 10_000)
+        loop.run_until(5000)
+        assert not running.killed
+
+    def test_report_after_kill_raises(self):
+        loop, nm = make_nm()
+        nm.launch(Container(1, Resource(100, 1)))
+        nm.report_usage(1, 200)
+        loop.run_until(200)
+        with pytest.raises(ContainerKilledError):
+            nm.report_usage(1, 50)
+
+    def test_usage_can_drop_before_check(self):
+        loop, nm = make_nm(check_interval_ms=100)
+        running = nm.launch(Container(1, Resource(100, 1)))
+        nm.report_usage(1, 200)
+        nm.report_usage(1, 50)  # GC before the monitor looked
+        loop.run_until(1000)
+        assert not running.killed
+
+    def test_multiple_containers_independent(self):
+        loop, nm = make_nm()
+        good = nm.launch(Container(1, Resource(1000, 1)))
+        bad = nm.launch(Container(2, Resource(100, 1)))
+        nm.report_usage(1, 500)
+        nm.report_usage(2, 500)
+        loop.run_until(1000)
+        assert not good.killed and bad.killed

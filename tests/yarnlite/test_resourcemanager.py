@@ -1,0 +1,154 @@
+"""Unit tests for the asynchronous ResourceManager."""
+
+import pytest
+
+from repro.common.events import EventLoop
+from repro.errors import SchedulerOverloadError
+from repro.yarnlite.resourcemanager import ResourceManager
+from repro.yarnlite.resources import Resource
+
+
+@pytest.fixture
+def setup():
+    loop = EventLoop()
+    rm = ResourceManager(loop, allocation_latency_ms=100)
+    return loop, rm
+
+
+class TestAllocation:
+    def test_request_returns_immediately(self, setup):
+        loop, rm = setup
+        allocated = []
+        handle = rm.register(allocated.extend)
+        rm.request_containers(handle, 3, Resource(1024, 1))
+        assert allocated == []  # nothing yet: async
+        assert rm.pending_requests == 3
+
+    def test_containers_arrive_with_latency(self, setup):
+        loop, rm = setup
+        allocated = []
+        handle = rm.register(allocated.extend)
+        rm.request_containers(handle, 3, Resource(1024, 1))
+        loop.run_until(100)
+        assert len(allocated) == 1
+        loop.run_until(300)
+        assert len(allocated) == 3
+        assert rm.pending_requests == 0
+
+    def test_allocation_time_scales_with_count(self, setup):
+        loop, rm = setup
+        allocated = []
+        handle = rm.register(allocated.extend)
+        rm.request_containers(handle, 10, Resource(1024, 1))
+        loop.run_to_completion()
+        assert loop.now_ms == 10 * 100
+
+    def test_requests_normalized(self, setup):
+        loop, rm = setup
+        allocated = []
+        handle = rm.register(allocated.extend)
+        rm.request_containers(handle, 1, Resource(1500, 1))
+        loop.run_to_completion()
+        assert allocated[0].resource == Resource(2048, 1)  # min-alloc 1024
+
+    def test_unique_container_ids(self, setup):
+        loop, rm = setup
+        allocated = []
+        handle = rm.register(allocated.extend)
+        rm.request_containers(handle, 5, Resource(1024, 1))
+        loop.run_to_completion()
+        ids = [c.container_id for c in allocated]
+        assert len(set(ids)) == 5
+
+    def test_metrics_track_totals(self, setup):
+        loop, rm = setup
+        handle = rm.register(lambda cs: None)
+        rm.request_containers(handle, 4, Resource(1024, 1))
+        loop.run_to_completion()
+        assert rm.total_requests_received == 4
+        assert rm.total_containers_allocated == 4
+        assert handle.requested_total == 4
+        assert handle.allocated_total == 4
+
+
+class TestCapacity:
+    def test_exhausted_cluster_blocks_until_release(self):
+        loop = EventLoop()
+        rm = ResourceManager(
+            loop,
+            cluster_resource=Resource(2048, 4),
+            allocation_latency_ms=10,
+        )
+        allocated = []
+        handle = rm.register(allocated.extend)
+        rm.request_containers(handle, 3, Resource(1024, 1))
+        loop.run_until(1000)
+        assert len(allocated) == 2  # third does not fit
+        rm.release(allocated[0])
+        loop.run_until(2000)
+        assert len(allocated) == 3
+
+    def test_available_accounting(self):
+        loop = EventLoop()
+        rm = ResourceManager(
+            loop, cluster_resource=Resource(4096, 8), allocation_latency_ms=10
+        )
+        handle = rm.register(lambda cs: None)
+        rm.request_containers(handle, 2, Resource(1024, 1))
+        loop.run_to_completion()
+        assert rm.available == Resource(2048, 6)
+
+
+class TestOverloadGuard:
+    def test_queue_cap_enforced(self):
+        loop = EventLoop()
+        rm = ResourceManager(loop, max_queued_requests=10)
+        handle = rm.register(lambda cs: None)
+        with pytest.raises(SchedulerOverloadError):
+            rm.request_containers(handle, 11, Resource(1024, 1))
+
+    def test_two_applications_share_queue(self, setup):
+        loop, rm = setup
+        a_containers, b_containers = [], []
+        a = rm.register(a_containers.extend)
+        b = rm.register(b_containers.extend)
+        rm.request_containers(a, 1, Resource(1024, 1))
+        rm.request_containers(b, 1, Resource(1024, 1))
+        loop.run_to_completion()
+        assert len(a_containers) == 1 and len(b_containers) == 1
+
+
+class TestExportedMetrics:
+    def test_pending_gauge_tracks_queue(self, setup):
+        loop, rm = setup
+        handle = rm.register(lambda cs: None)
+        rm.request_containers(handle, 3, Resource(1024, 1))
+        assert rm.metrics.read("yarn.pending_requests") == 3
+        loop.run_to_completion()
+        assert rm.metrics.read("yarn.pending_requests") == 0
+
+    def test_allocated_counter(self, setup):
+        loop, rm = setup
+        handle = rm.register(lambda cs: None)
+        rm.request_containers(handle, 2, Resource(1024, 1))
+        loop.run_to_completion()
+        assert rm.metrics.read("yarn.containers_allocated") == 2
+
+    def test_available_memory_gauge(self):
+        loop = EventLoop()
+        rm = ResourceManager(
+            loop, cluster_resource=Resource(4096, 8), allocation_latency_ms=10
+        )
+        assert rm.metrics.read("yarn.available_memory_mb") == 4096
+        handle = rm.register(lambda cs: None)
+        rm.request_containers(handle, 1, Resource(1024, 1))
+        loop.run_to_completion()
+        assert rm.metrics.read("yarn.available_memory_mb") == 3072
+
+    def test_scrape_surface(self, setup):
+        _, rm = setup
+        assert set(rm.metrics.scrape()) == {
+            "yarn.pending_requests",
+            "yarn.containers_allocated",
+            "yarn.available_memory_mb",
+        }

@@ -1,0 +1,96 @@
+"""Unit tests for the two YARN schedulers and their config semantics."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.yarnlite.configs import (
+    INCREMENT_MB,
+    MAX_ALLOC_MB,
+    MIN_ALLOC_MB,
+    SCHEDULER_CLASS,
+    YarnConf,
+)
+from repro.yarnlite.resources import Resource
+from repro.yarnlite.scheduler import (
+    CapacityScheduler,
+    FairScheduler,
+    scheduler_for,
+)
+
+
+@pytest.fixture
+def conf():
+    conf = YarnConf()
+    conf.set(MIN_ALLOC_MB, 1024)
+    conf.set(INCREMENT_MB, 512)
+    return conf
+
+
+class TestResource:
+    def test_arithmetic(self):
+        assert Resource(100, 1) + Resource(50, 2) == Resource(150, 3)
+        assert Resource(100, 3) - Resource(40, 1) == Resource(60, 2)
+        assert Resource(10, 1) * 3 == Resource(30, 3)
+
+    def test_fits_within(self):
+        assert Resource(100, 1).fits_within(Resource(100, 1))
+        assert not Resource(101, 1).fits_within(Resource(100, 2))
+
+    def test_round_up(self):
+        assert Resource(1500, 1).round_up_to(Resource(1024, 1)) == Resource(2048, 1)
+        assert Resource(1024, 1).round_up_to(Resource(1024, 1)) == Resource(1024, 1)
+
+
+class TestNormalization:
+    def test_capacity_uses_min_allocation(self, conf):
+        scheduler = CapacityScheduler(conf)
+        assert scheduler.normalize(Resource(1536, 1)) == Resource(2048, 1)
+
+    def test_fair_uses_increment(self, conf):
+        scheduler = FairScheduler(conf)
+        assert scheduler.normalize(Resource(1536, 1)) == Resource(1536, 1)
+
+    def test_schedulers_disagree_on_same_request(self, conf):
+        # the FLINK-19141 mechanism in one assertion
+        request = Resource(1100, 1)
+        capacity = CapacityScheduler(conf).normalize(request)
+        fair = FairScheduler(conf).normalize(request)
+        assert capacity != fair
+
+    def test_agreement_when_keys_align(self, conf):
+        conf.set(INCREMENT_MB, 1024)
+        request = Resource(1100, 1)
+        assert CapacityScheduler(conf).normalize(request) == FairScheduler(
+            conf
+        ).normalize(request)
+
+
+class TestValidation:
+    def test_exceeding_max_rejected(self, conf):
+        conf.set(MAX_ALLOC_MB, 4096)
+        scheduler = CapacityScheduler(conf)
+        with pytest.raises(AllocationError):
+            scheduler.validate(Resource(8192, 1))
+
+    def test_zero_memory_rejected(self, conf):
+        with pytest.raises(AllocationError):
+            CapacityScheduler(conf).validate(Resource(0, 1))
+
+    def test_in_range_passes(self, conf):
+        CapacityScheduler(conf).validate(Resource(1024, 1))
+
+
+class TestFactory:
+    def test_capacity_default(self):
+        assert scheduler_for(YarnConf()).name == "capacity"
+
+    def test_fair_selectable(self):
+        conf = YarnConf()
+        conf.set(SCHEDULER_CLASS, "fair")
+        assert scheduler_for(conf).name == "fair"
+
+    def test_unknown_rejected(self):
+        conf = YarnConf()
+        conf.set(SCHEDULER_CLASS, "mystery")
+        with pytest.raises(AllocationError):
+            scheduler_for(conf)
