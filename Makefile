@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: tier1 smoke-crosstest test bench crosstest
+
+# fast smoke pass over the §8 cross-test engine (runs first so a broken
+# harness fails in seconds, not after the whole suite)
+smoke-crosstest:
+	$(PYTHON) -m pytest -q tests/crosstest
+
+# the tier-1 flow: crosstest smoke, then the full suite
+tier1: smoke-crosstest
+	$(PYTHON) -m pytest -x -q
+
+test:
+	$(PYTHON) -m pytest -q
+
+bench:
+	$(PYTHON) -m pytest -q benchmarks
+
+# the full 10,128-trial matrix, parallel, with telemetry on stderr
+crosstest:
+	$(PYTHON) -m repro crosstest

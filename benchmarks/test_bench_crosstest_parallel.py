@@ -1,0 +1,65 @@
+"""Parallel execution of the §8 trial matrix.
+
+The cross-test hot path is 10,128 independent trials. The sharded
+executor must (a) return byte-identical results to the sequential loop
+and (b) actually buy wall-clock on a multi-core host — the target is a
+≥2x speedup at ``jobs=auto`` over ``jobs=1``. On a single-core host the
+speedup assertion is skipped (there is nothing to parallelize onto) but
+the identity assertion still runs.
+"""
+
+import json
+import os
+import time
+
+from repro.crosstest import CrossTestMetrics
+from repro.crosstest.report import run_crosstest
+
+MULTI_CORE = (os.cpu_count() or 1) >= 4
+
+
+def test_bench_crosstest_parallel_full_matrix(benchmark):
+    started = time.perf_counter()
+    sequential = run_crosstest(jobs=1)
+    sequential_s = time.perf_counter() - started
+
+    metrics = CrossTestMetrics()
+
+    def parallel_run():
+        return run_crosstest(jobs=None, metrics=metrics)
+
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.total
+
+    speedup = sequential_s / parallel_s if parallel_s > 0 else 0.0
+    print("\n§8 trial matrix: sequential vs parallel")
+    print(f"  trials:            {len(parallel.trials)}")
+    print(f"  jobs=1:            {sequential_s:.2f}s")
+    print(f"  jobs=auto ({os.cpu_count()}):    {parallel_s:.2f}s")
+    print(f"  speedup:           {speedup:.2f}x")
+    for line in metrics.summary_lines():
+        print("  " + line)
+
+    # identical results regardless of scheduling
+    assert len(parallel.trials) == len(sequential.trials) == 8 * 3 * 422
+    assert json.dumps(parallel.to_json()) == json.dumps(sequential.to_json())
+    assert parallel.found_numbers == set(range(1, 16))
+
+    if MULTI_CORE:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup on {os.cpu_count()} cores, got {speedup:.2f}x"
+        )
+
+
+def test_bench_crosstest_shard_dispatch_overhead(benchmark):
+    """Sharding itself must be ~free next to the trials it schedules."""
+    from repro.crosstest.executor import build_shards
+    from repro.crosstest.plans import ALL_PLANS, FORMATS
+    from repro.crosstest.values import generate_inputs
+
+    inputs = generate_inputs()
+    shards = benchmark(build_shards, ALL_PLANS, FORMATS, inputs)
+    print(f"\n  shards for full matrix: {len(shards)}")
+    assert sum(len(s.inputs) for s in shards) == 8 * 3 * 422
+    # shards stay balanced: no shard more than the configured chunk size
+    assert max(len(s.inputs) for s in shards) <= 128

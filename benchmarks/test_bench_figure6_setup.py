@@ -4,6 +4,7 @@ Paper: three interfaces, eight write-read plans in three groups, three
 backend formats, 422 generated inputs (210 valid + 212 invalid).
 """
 
+from repro.crosstest.executor import build_shards
 from repro.crosstest.plans import (
     ALL_PLANS,
     FORMATS,
@@ -55,3 +56,29 @@ def test_bench_figure6_plan_matrix(benchmark):
         "hive_to_spark": 2,
         "formats": 3,
     }
+
+
+def test_bench_figure6_shard_plan(benchmark):
+    """The executor's shard layout covers the matrix exactly once,
+    in the same plan -> format -> input order the sequential loop uses."""
+    inputs = generate_inputs()
+    shards = benchmark(build_shards, ALL_PLANS, FORMATS, inputs)
+
+    cells = {(s.plan.name, s.fmt) for s in shards}
+    print("\nshard layout for the full matrix")
+    print(f"  shards:        {len(shards)}")
+    print(f"  (plan, fmt) cells: {len(cells)}")
+    print(f"  largest shard: {max(len(s.inputs) for s in shards)} inputs")
+
+    assert len(cells) == 8 * 3
+    assert [s.index for s in shards] == list(range(len(shards)))
+    flattened = [
+        (s.plan.name, s.fmt, i.input_id) for s in shards for i in s.inputs
+    ]
+    expected = [
+        (plan.name, fmt, i.input_id)
+        for plan in ALL_PLANS
+        for fmt in FORMATS
+        for i in inputs
+    ]
+    assert flattened == expected

@@ -6,6 +6,7 @@ configurations 5/15, inconsistent error behaviour 7/15, relying on
 custom configurations 8/15.
 """
 
+from repro.crosstest import CrossTestMetrics
 from repro.crosstest.catalog import Category
 from repro.crosstest.report import run_crosstest
 
@@ -19,13 +20,22 @@ PAPER_CATEGORIES = {
 
 
 def test_bench_section8_full_run(benchmark):
-    report = benchmark.pedantic(run_crosstest, rounds=1, iterations=1)
+    metrics = CrossTestMetrics()
+
+    def run():
+        return run_crosstest(metrics=metrics)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
 
     print("\n§8.2 cross-test results")
     for line in report.summary_lines():
         print("  " + line)
+    print("run telemetry")
+    for line in metrics.summary_lines():
+        print("  " + line)
 
     assert len(report.trials) == 8 * 3 * 422
+    assert int(metrics.trials_total.value) == len(report.trials)
     assert report.found_numbers == set(range(1, 16))
     assert report.category_counts_found() == PAPER_CATEGORIES
 

@@ -45,6 +45,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated formats (default: orc,parquet,avro)",
     )
+    crosstest.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for the trial matrix "
+        "(1 = sequential; default: auto-size to the host's cores)",
+    )
+    crosstest.add_argument(
+        "--pool",
+        default="auto",
+        choices=["auto", "thread", "process"],
+        help="worker pool flavour when --jobs > 1 (default: auto)",
+    )
+    crosstest.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the progress/summary lines on stderr",
+    )
 
     replay = sub.add_parser("replay", help="replay a named CSI failure")
     replay.add_argument(
@@ -89,19 +108,64 @@ def _cmd_study() -> int:
 
 
 def _cmd_crosstest(args: argparse.Namespace) -> int:
-    from repro.crosstest import FORMATS, run_crosstest
+    import time
+
+    from repro.crosstest import FORMATS, CrossTestMetrics, run_crosstest
+    from repro.crosstest.executor import resolve_jobs
+    from repro.formats import UnknownFormatError
 
     overrides = {}
     for item in args.conf:
-        key, _, value = item.partition("=")
-        if not key or not value:
+        key, sep, value = item.partition("=")
+        # an empty VALUE is legitimate configuration; an empty KEY or a
+        # missing '=' is not.
+        if not sep or not key:
             print(f"bad --conf {item!r}; expected KEY=VALUE", file=sys.stderr)
             return 2
         overrides[key] = value
+    if args.jobs is not None and args.jobs < 1:
+        print(f"bad --jobs {args.jobs}; expected >= 1", file=sys.stderr)
+        return 2
     formats = (
         tuple(args.formats.split(",")) if args.formats else FORMATS
     )
-    report = run_crosstest(formats=formats, conf_overrides=overrides)
+
+    show_progress = not args.quiet and sys.stderr.isatty()
+
+    def progress(done_shards, total_shards, done_trials, total_trials):
+        print(
+            f"\r[crosstest] shard {done_shards}/{total_shards} "
+            f"({done_trials}/{total_trials} trials)",
+            end="" if done_shards < total_shards else "\n",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    metrics = CrossTestMetrics()
+    started = time.perf_counter()
+    try:
+        report = run_crosstest(
+            formats=formats,
+            conf_overrides=overrides,
+            jobs=args.jobs,
+            pool=args.pool,
+            metrics=metrics,
+            progress=progress if show_progress else None,
+        )
+    except UnknownFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    if not args.quiet:
+        trials = int(metrics.trials_total.value)
+        rate = trials / elapsed if elapsed > 0 else 0.0
+        print(
+            f"[crosstest] {trials} trials in {elapsed:.2f}s "
+            f"({rate:.0f}/s, jobs={resolve_jobs(args.jobs)}, "
+            f"errors: {metrics.error_summary()})",
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(report.to_json(), indent=1))
     else:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import datetime
 import decimal
+import functools
 from dataclasses import dataclass, field
 
 from repro.errors import SchemaError
@@ -473,12 +474,18 @@ _SIMPLE_TYPES: dict[str, type[DataType]] = {
 }
 
 
+@functools.lru_cache(maxsize=4096)
 def parse_type(text: str) -> DataType:
     """Parse a SQL type string such as ``decimal(10,2)`` or ``array<int>``.
 
     Supports the subset of the type grammar the paper's test plans use:
     every atomic type plus single-level parameterization and arbitrary
     nesting of ``array``, ``map`` and ``struct``.
+
+    Results are memoized: every :class:`DataType` is a frozen dataclass,
+    so sharing instances across callers (the cross-test hot path parses
+    the same few hundred type strings hundreds of thousands of times) is
+    safe.
     """
     text = text.strip()
     lowered = text.lower()

@@ -1,0 +1,320 @@
+"""Shardable, parallel execution engine for the §8 trial matrix.
+
+The cross-test hot path is 10,128 independent trials. This module
+splits the matrix into deterministic shards — contiguous runs of inputs
+for one ``(plan, fmt)`` cell — and executes them either inline
+(``jobs=1``, today's exact sequential semantics) or on a
+``concurrent.futures`` pool (threads or processes, auto-sized).
+
+Two invariants hold regardless of scheduling:
+
+* **Byte-identical results.** Shards are indexed in the same
+  plan → format → input order the sequential loop uses and reassembled
+  by index, so the returned ``Trial`` list is identical no matter how
+  many workers ran or in which order they finished.
+* **Deployment isolation.** Each trial still observes a pristine
+  deployment. Within a shard, deployments are *pooled*: a leased
+  deployment is reset (trial table dropped, data directory deleted)
+  before reuse, and discarded the moment a reset fails.
+
+Telemetry rides along via :class:`CrossTestMetrics` — per-stage error
+counters plus per-plan and per-format latency histograms — so a
+10k-trial campaign is observable instead of a silent blackout.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+
+from repro.crosstest.harness import Deployment, Trial, run_trial_on
+from repro.crosstest.plans import Plan
+from repro.crosstest.values import TestInput
+from repro.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "Shard",
+    "ShardResult",
+    "DeploymentPool",
+    "CrossTestMetrics",
+    "build_shards",
+    "run_shard",
+    "resolve_jobs",
+    "resolve_pool",
+    "execute",
+]
+
+#: Inputs per shard: small enough that 8 plans x 3 formats x 422 inputs
+#: splits into ~96 shards (good load balance up to 16+ workers), large
+#: enough that per-shard dispatch overhead stays negligible.
+DEFAULT_SHARD_INPUTS = 128
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous unit of work: some inputs for one (plan, fmt) cell."""
+
+    index: int
+    plan: Plan
+    fmt: str
+    inputs: tuple[TestInput, ...]
+
+
+@dataclass
+class ShardResult:
+    """What one shard produced, plus its per-trial wall-clock."""
+
+    index: int
+    trials: list[Trial]
+    durations: list[float] = field(default_factory=list)
+
+
+def build_shards(
+    plans,
+    formats,
+    inputs,
+    shard_inputs: int = DEFAULT_SHARD_INPUTS,
+) -> list[Shard]:
+    """Split the matrix into deterministically ordered shards.
+
+    Concatenating shard trials in ``index`` order reproduces exactly the
+    sequential plan → format → input nesting of the original loop.
+    """
+    if shard_inputs < 1:
+        raise ValueError(f"shard_inputs must be >= 1, got {shard_inputs}")
+    inputs = list(inputs)
+    shards: list[Shard] = []
+    for plan in plans:
+        for fmt in formats:
+            for start in range(0, len(inputs), shard_inputs) or (0,):
+                shards.append(
+                    Shard(
+                        index=len(shards),
+                        plan=plan,
+                        fmt=fmt,
+                        inputs=tuple(inputs[start : start + shard_inputs]),
+                    )
+                )
+    return shards
+
+
+class DeploymentPool:
+    """Recycle deployments across trials that cannot observe each other.
+
+    ``lease`` hands out a pristine deployment (fresh, or reset after a
+    previous trial); ``release`` resets it and returns it to the pool.
+    A deployment whose reset raises is dropped on the floor — the next
+    lease simply provisions a new one.
+    """
+
+    def __init__(self, conf_overrides: dict[str, object] | None = None) -> None:
+        self.conf_overrides = dict(conf_overrides or {})
+        self._idle: list[Deployment] = []
+        self.created = 0
+        self.reused = 0
+
+    def lease(self) -> Deployment:
+        if self._idle:
+            self.reused += 1
+            return self._idle.pop()
+        self.created += 1
+        return Deployment(self.conf_overrides)
+
+    def release(self, deployment: Deployment) -> None:
+        try:
+            deployment.reset()
+        except Exception:  # noqa: BLE001 - a dirty deployment is discarded
+            return
+        self._idle.append(deployment)
+
+
+def run_shard(
+    shard: Shard,
+    conf_overrides: dict[str, object] | None = None,
+    reuse_deployments: bool = True,
+) -> ShardResult:
+    """Execute one shard sequentially, timing each trial."""
+    pool = DeploymentPool(conf_overrides) if reuse_deployments else None
+    trials: list[Trial] = []
+    durations: list[float] = []
+    for test_input in shard.inputs:
+        start = time.perf_counter()
+        if pool is not None:
+            deployment = pool.lease()
+            try:
+                trial = run_trial_on(deployment, shard.plan, shard.fmt, test_input)
+            finally:
+                pool.release(deployment)
+        else:
+            trial = run_trial_on(
+                Deployment(dict(conf_overrides or {})),
+                shard.plan,
+                shard.fmt,
+                test_input,
+            )
+        durations.append(time.perf_counter() - start)
+        trials.append(trial)
+    return ShardResult(index=shard.index, trials=trials, durations=durations)
+
+
+class CrossTestMetrics:
+    """Run telemetry: stage counters + latency histograms.
+
+    Backed by :class:`repro.metrics.MetricsRegistry`, the same substrate
+    the monitoring scenarios scrape, so cross-test campaigns export
+    through the standard metric surface.
+    """
+
+    STAGES = ("create", "write", "read")
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry("crosstest")
+        self.trials_total = self.registry.counter(
+            "trials_total", "trials executed"
+        )
+        self.trials_ok = self.registry.counter(
+            "trials_ok", "trials that completed the write-read round trip"
+        )
+        self.stage_errors = {
+            stage: self.registry.counter(
+                f"errors_{stage}", f"trials that failed at the {stage} stage"
+            )
+            for stage in self.STAGES
+        }
+        self.shards_done = self.registry.counter(
+            "shards_done", "shards completed"
+        )
+
+    def _latency(self, kind: str, name: str) -> Histogram:
+        return self.registry.histogram(
+            f"latency_{kind}_{name}",
+            description=f"trial latency for {kind} {name} (seconds)",
+        )
+
+    def record_shard(self, shard: Shard, result: ShardResult) -> None:
+        plan_hist = self._latency("plan", shard.plan.name)
+        fmt_hist = self._latency("fmt", shard.fmt)
+        for trial, duration in zip(result.trials, result.durations):
+            self.trials_total.increment()
+            if trial.outcome.ok:
+                self.trials_ok.increment()
+            elif trial.outcome.stage in self.stage_errors:
+                self.stage_errors[trial.outcome.stage].increment()
+            plan_hist.observe(duration)
+            fmt_hist.observe(duration)
+        self.shards_done.increment()
+
+    # -- rendering -----------------------------------------------------
+
+    def error_summary(self) -> str:
+        return ", ".join(
+            f"{stage}={int(self.stage_errors[stage].value)}"
+            for stage in self.STAGES
+        )
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"trials: {int(self.trials_total.value)} "
+            f"(ok={int(self.trials_ok.value)}, errors: {self.error_summary()})",
+        ]
+        for name in self.registry.names():
+            metric = self.registry._metrics[name]
+            if not isinstance(metric, Histogram) or not metric.count:
+                continue
+            lines.append(
+                f"{name}: n={metric.count} mean={metric.mean * 1e6:.0f}us "
+                f"p50={metric.quantile(0.5) * 1e6:.0f}us "
+                f"p99={metric.quantile(0.99) * 1e6:.0f}us"
+            )
+        return lines
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """``None``/``0`` auto-sizes to the host's cores; negatives reject."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 1 (or None for auto), got {jobs}")
+    return jobs
+
+
+def resolve_pool(pool: str, jobs: int) -> str:
+    """Pick the worker-pool flavour: processes for real parallelism."""
+    if pool == "auto":
+        return "process" if jobs > 1 else "thread"
+    if pool not in ("thread", "process"):
+        raise ValueError(f"pool must be auto|thread|process, got {pool!r}")
+    return pool
+
+
+def _make_executor(pool: str, jobs: int) -> Executor:
+    if pool == "process":
+        return ProcessPoolExecutor(max_workers=jobs)
+    return ThreadPoolExecutor(max_workers=jobs)
+
+
+def execute(
+    plans,
+    formats,
+    inputs,
+    conf_overrides: dict[str, object] | None = None,
+    *,
+    jobs: int | None = 1,
+    pool: str = "auto",
+    shard_inputs: int = DEFAULT_SHARD_INPUTS,
+    metrics: CrossTestMetrics | None = None,
+    progress=None,
+) -> list[Trial]:
+    """Run the full matrix and return trials in sequential order.
+
+    ``progress``, if given, is called after every shard completes as
+    ``progress(done_shards, total_shards, done_trials, total_trials)``.
+    """
+    jobs = resolve_jobs(jobs)
+    shards = build_shards(plans, formats, inputs, shard_inputs=shard_inputs)
+    total_trials = sum(len(s.inputs) for s in shards)
+    results: dict[int, ShardResult] = {}
+    done_trials = 0
+
+    def finish(shard: Shard, result: ShardResult) -> None:
+        nonlocal done_trials
+        results[shard.index] = result
+        done_trials += len(result.trials)
+        if metrics is not None:
+            metrics.record_shard(shard, result)
+        if progress is not None:
+            progress(len(results), len(shards), done_trials, total_trials)
+
+    if jobs == 1:
+        # exact sequential semantics: one fresh deployment per trial,
+        # shards walked in order on the calling thread.
+        for shard in shards:
+            finish(
+                shard,
+                run_shard(shard, conf_overrides, reuse_deployments=False),
+            )
+    else:
+        flavour = resolve_pool(pool, jobs)
+        with _make_executor(flavour, min(jobs, len(shards) or 1)) as workers:
+            pending = {
+                workers.submit(run_shard, shard, conf_overrides): shard
+                for shard in shards
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard = pending.pop(future)
+                    finish(shard, future.result())
+
+    trials: list[Trial] = []
+    for index in range(len(shards)):
+        trials.extend(results[index].trials)
+    return trials

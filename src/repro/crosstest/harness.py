@@ -24,10 +24,43 @@ from repro.sparklite.session import SparkSession
 from repro.storage.filesystem import FileSystem
 from repro.storage.namenode import NameNode
 
-__all__ = ["Outcome", "Trial", "Deployment", "CrossTester", "NO_ROWS"]
+__all__ = [
+    "Outcome",
+    "Trial",
+    "Deployment",
+    "CrossTester",
+    "NO_ROWS",
+    "TRIAL_TABLE",
+    "run_trial_on",
+]
 
-#: Sentinel for "the read returned zero rows" (distinct from NULL).
-NO_ROWS = object()
+#: The table name every trial creates, writes, and reads.
+TRIAL_TABLE = "ct"
+
+
+class _NoRows:
+    """Sentinel for "the read returned zero rows" (distinct from NULL).
+
+    A real singleton (not a bare ``object()``) so that identity survives
+    pickling — trials cross process boundaries in the parallel executor
+    and ``outcome.value is NO_ROWS`` must keep working on the far side.
+    """
+
+    _instance: "_NoRows | None" = None
+
+    def __new__(cls) -> "_NoRows":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NO_ROWS"
+
+    def __reduce__(self):
+        return (_NoRows, ())
+
+
+NO_ROWS = _NoRows()
 
 
 @dataclass(frozen=True)
@@ -69,8 +102,23 @@ class Deployment:
         conf = SparkConf()
         for key, value in self.conf_overrides.items():
             conf.set(key, value, source="deployment")
+        self.metastore = metastore
+        self.filesystem = filesystem
         self.spark = SparkSession(metastore, filesystem, conf)
         self.hive = HiveServer(metastore, filesystem)
+
+    def reset(self, table: str = TRIAL_TABLE) -> None:
+        """Return the deployment to its pre-trial state.
+
+        Drops the trial table from the shared metastore and deletes its
+        data directory, so the deployment can be leased to the next
+        trial exactly as a fresh one would behave (the session conf is
+        never mutated by trials — the SQL subset has no SET statement).
+        """
+        self.metastore.drop_table(table, if_exists=True)
+        location = self.metastore.table_location("default", table)
+        if self.filesystem.exists(location):
+            self.filesystem.delete(location, recursive=True)
 
     # -- per-interface operations -------------------------------------
 
@@ -129,35 +177,64 @@ class CrossTester:
         formats: tuple[str, ...] = FORMATS,
         conf_overrides: dict[str, object] | None = None,
     ) -> None:
+        from repro.formats import validate_formats
+
         self.inputs = inputs if inputs is not None else generate_inputs()
         self.plans = plans
-        self.formats = formats
+        self.formats = validate_formats(formats)
         self.conf_overrides = dict(conf_overrides or {})
 
-    def run(self) -> list[Trial]:
-        trials: list[Trial] = []
-        for plan in self.plans:
-            for fmt in self.formats:
-                for test_input in self.inputs:
-                    trials.append(self.run_trial(plan, fmt, test_input))
-        return trials
+    def run(
+        self,
+        jobs: int = 1,
+        pool: str = "auto",
+        metrics=None,
+        progress=None,
+    ) -> list[Trial]:
+        """Run the full matrix.
+
+        ``jobs=1`` (the default) preserves the original fully sequential
+        semantics; ``jobs>1`` or ``jobs=None`` (auto-size) shards the
+        matrix onto a worker pool — see :mod:`repro.crosstest.executor`.
+        Trial ordering is identical either way.
+        """
+        from repro.crosstest.executor import execute
+
+        return execute(
+            self.plans,
+            self.formats,
+            self.inputs,
+            self.conf_overrides,
+            jobs=jobs,
+            pool=pool,
+            metrics=metrics,
+            progress=progress,
+        )
 
     def run_trial(self, plan: Plan, fmt: str, test_input: TestInput) -> Trial:
-        deployment = Deployment(self.conf_overrides)
-        table = "ct"
-        try:
-            deployment.create_table(plan.writer, table, test_input, fmt)
-        except Exception as exc:  # noqa: BLE001 - any failure is data
-            return Trial(plan, fmt, test_input, _error("create", exc))
-        try:
-            deployment.write(plan.writer, table, test_input, fmt)
-        except Exception as exc:  # noqa: BLE001
-            return Trial(plan, fmt, test_input, _error("write", exc))
-        try:
-            result = deployment.read(plan.reader, table)
-        except Exception as exc:  # noqa: BLE001
-            return Trial(plan, fmt, test_input, _error("read", exc))
-        return Trial(plan, fmt, test_input, _ok(result))
+        return run_trial_on(
+            Deployment(self.conf_overrides), plan, fmt, test_input
+        )
+
+
+def run_trial_on(
+    deployment: Deployment, plan: Plan, fmt: str, test_input: TestInput
+) -> Trial:
+    """Drive one trial against an already-provisioned deployment."""
+    table = TRIAL_TABLE
+    try:
+        deployment.create_table(plan.writer, table, test_input, fmt)
+    except Exception as exc:  # noqa: BLE001 - any failure is data
+        return Trial(plan, fmt, test_input, _error("create", exc))
+    try:
+        deployment.write(plan.writer, table, test_input, fmt)
+    except Exception as exc:  # noqa: BLE001
+        return Trial(plan, fmt, test_input, _error("write", exc))
+    try:
+        result = deployment.read(plan.reader, table)
+    except Exception as exc:  # noqa: BLE001
+        return Trial(plan, fmt, test_input, _error("read", exc))
+    return Trial(plan, fmt, test_input, _ok(result))
 
 
 def _error(stage: str, exc: Exception) -> Outcome:

@@ -40,12 +40,13 @@ class CrossTestReport:
 
     def failures_by_log(self) -> dict[str, list[OracleFailure]]:
         """Failures keyed the way the paper's artifact names its logs,
-        e.g. ``ss_difft``, ``sh_wr``, ``hs_eh``."""
+        e.g. ``ss_difft``, ``sh_wr``, ``hs_eh``. Plans outside the three
+        built-in groups keep their raw group name as the prefix."""
         logs: dict[str, list[OracleFailure]] = {}
         for oracle, failures in self.failures.items():
             for failure in failures:
-                key = f"{_GROUP_SHORT[failure.group]}_{oracle}"
-                logs.setdefault(key, []).append(failure)
+                short = _GROUP_SHORT.get(failure.group, failure.group)
+                logs.setdefault(f"{short}_{oracle}", []).append(failure)
         return logs
 
     def category_counts_found(self) -> dict[str, int]:
@@ -98,15 +99,25 @@ def run_crosstest(
     plans=ALL_PLANS,
     formats=FORMATS,
     conf_overrides: dict[str, object] | None = None,
+    *,
+    jobs: int | None = 1,
+    pool: str = "auto",
+    metrics=None,
+    progress=None,
 ) -> CrossTestReport:
-    """Run the full §8 pipeline: harness → oracles → classification."""
+    """Run the full §8 pipeline: harness → oracles → classification.
+
+    ``jobs`` selects the execution engine: 1 (default) is the original
+    sequential loop, >1 or ``None`` (auto-size) shards the matrix onto a
+    worker pool. The resulting report is identical either way.
+    """
     tester = CrossTester(
         inputs=inputs,
         plans=plans,
         formats=formats,
         conf_overrides=conf_overrides,
     )
-    trials = tester.run()
+    trials = tester.run(jobs=jobs, pool=pool, metrics=metrics, progress=progress)
     return CrossTestReport(
         trials=trials,
         failures=all_failures(trials),

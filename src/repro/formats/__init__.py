@@ -21,7 +21,15 @@ __all__ = [
     "UnifiedSerializer",
     "serializer_for",
     "SERIALIZERS",
+    "UnknownFormatError",
+    "is_known_format",
+    "known_formats",
+    "validate_formats",
 ]
+
+
+class UnknownFormatError(ValueError):
+    """A format name that no registered serializer understands."""
 
 SERIALIZERS: dict[str, type[Serializer]] = {
     "avro": AvroSerializer,
@@ -46,7 +54,40 @@ def serializer_for(format_name: str) -> Serializer:
     try:
         return SERIALIZERS[lowered]()
     except KeyError:
-        raise ValueError(
+        raise UnknownFormatError(
             f"unknown storage format {format_name!r}; "
             f"known: {sorted(SERIALIZERS)} (+ 'unified_<base>')"
         ) from None
+
+
+def known_formats() -> list[str]:
+    """Every base format name a serializer is registered for."""
+    return sorted(SERIALIZERS)
+
+
+def is_known_format(format_name: str) -> bool:
+    """Whether :func:`serializer_for` would accept ``format_name``."""
+    lowered = format_name.lower()
+    if lowered.startswith(_UNIFIED_PREFIX):
+        return is_known_format(lowered[len(_UNIFIED_PREFIX) :])
+    return lowered in SERIALIZERS
+
+
+def validate_formats(formats) -> tuple[str, ...]:
+    """Check every name against the serializer registry.
+
+    Returns the formats unchanged (as a tuple) or raises
+    :class:`UnknownFormatError` naming the offenders and the valid set —
+    the cross-test harness calls this up front so a typo like ``orcc``
+    fails loudly instead of running thousands of doomed trials.
+    """
+    formats = tuple(formats)
+    unknown = [f for f in formats if not is_known_format(f)]
+    if not formats or unknown:
+        offenders = ", ".join(repr(f) for f in unknown) or "<empty>"
+        raise UnknownFormatError(
+            f"unknown storage format(s) {offenders}; "
+            f"valid formats: {', '.join(known_formats())} "
+            "(+ 'unified_<base>')"
+        )
+    return formats

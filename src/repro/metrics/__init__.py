@@ -2,9 +2,11 @@
 
 from repro.metrics.quota import QuotaExceededError, QuotaSystem, ServiceUnderQuota
 from repro.metrics.registry import (
+    DEFAULT_LATENCY_BUCKETS,
     AbsentPolicy,
     Counter,
     Gauge,
+    Histogram,
     MetricError,
     MetricsRegistry,
 )
@@ -15,7 +17,9 @@ __all__ = [
     "ServiceUnderQuota",
     "AbsentPolicy",
     "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
+    "Histogram",
     "MetricError",
     "MetricsRegistry",
 ]

@@ -20,8 +20,30 @@ __all__ = [
     "AbsentPolicy",
     "Gauge",
     "Counter",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
     "MetricsRegistry",
 ]
+
+#: Bucket upper bounds (seconds) sized for sub-millisecond trial work.
+DEFAULT_LATENCY_BUCKETS = (
+    0.00001,
+    0.000025,
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+)
 
 
 class MetricError(ReproError):
@@ -65,11 +87,94 @@ class Counter:
 
 
 @dataclass
+class Histogram:
+    """A cumulative-bucket latency/size histogram.
+
+    ``value`` reads as the observation count so that scrapes treat a
+    histogram like any other metric (the distribution itself travels
+    via :meth:`snapshot`).
+    """
+
+    name: str
+    buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if tuple(self.buckets) != tuple(sorted(self.buckets)):
+            raise MetricError(f"{self.name}: buckets must be sorted")
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+
+    @property
+    def value(self) -> float:
+        return float(self._count)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._counts[index] += 1
+                return
+        self._counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket bounds (upper-bound biased)."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"{self.name}: quantile {q} out of [0, 1]")
+        if not self._count:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for index, bound in enumerate(self.buckets):
+            cumulative += self._counts[index]
+            if cumulative >= rank:
+                return bound
+        return self.buckets[-1] if self.buckets else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (same buckets) into this one."""
+        if tuple(other.buckets) != tuple(self.buckets):
+            raise MetricError(
+                f"{self.name}: cannot merge histogram with different buckets"
+            )
+        for index, count in enumerate(other._counts):
+            self._counts[index] += count
+        self._count += other._count
+        self._sum += other._sum
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": {
+                str(bound): self._counts[index]
+                for index, bound in enumerate(self.buckets)
+            },
+            "overflow": self._counts[-1],
+        }
+
+
+@dataclass
 class MetricsRegistry:
     """One system's exported metrics, scraped by other systems."""
 
     system: str
-    _metrics: dict[str, Gauge | Counter] = field(default_factory=dict)
+    _metrics: dict[str, Gauge | Counter | Histogram] = field(default_factory=dict)
     #: names that were registered once but have since been deregistered
     _deregistered: set[str] = field(default_factory=set)
 
@@ -80,6 +185,16 @@ class MetricsRegistry:
 
     def counter(self, name: str, description: str = "") -> Counter:
         return self._register(Counter(name, description=description))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        description: str = "",
+    ) -> Histogram:
+        return self._register(
+            Histogram(name, buckets=buckets, description=description)
+        )
 
     def _register(self, metric):
         if name_exists := self._metrics.get(metric.name):

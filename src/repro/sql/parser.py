@@ -16,6 +16,8 @@ Grammar (case-insensitive keywords)::
 
 from __future__ import annotations
 
+import functools
+
 from repro.errors import ParseError
 from repro.sql.ast import (
     ColumnDef,
@@ -39,7 +41,12 @@ __all__ = ["parse_statement"]
 _TYPE_KEYWORDS = {"DATE", "TIMESTAMP", "TIMESTAMP_NTZ", "INTERVAL", "BINARY", "X"}
 
 
+@functools.lru_cache(maxsize=4096)
 def parse_statement(sql: str) -> Statement:
+    """Parse one statement. Memoized: the AST is built entirely from
+    frozen dataclasses and tuples, so callers share parses — the
+    cross-test matrix replays the same CREATE/INSERT/SELECT texts across
+    every plan and format."""
     return _Parser(tokenize(sql), sql).parse()
 
 

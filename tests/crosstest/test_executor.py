@@ -1,0 +1,238 @@
+"""Tests for the parallel cross-test execution engine."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.crosstest.executor import (
+    CrossTestMetrics,
+    DeploymentPool,
+    build_shards,
+    execute,
+    resolve_jobs,
+    resolve_pool,
+    run_shard,
+)
+from repro.crosstest.harness import NO_ROWS, CrossTester
+from repro.crosstest.plans import ALL_PLANS
+from repro.crosstest.report import run_crosstest
+from repro.crosstest.values import generate_inputs
+from repro.formats import UnknownFormatError
+
+SMALL_INPUTS = generate_inputs()[:30] + generate_inputs()[210:230]
+
+
+def trial_reprs(trials):
+    """Order-sensitive canonical form; NaN-safe unlike dataclass ==."""
+    return [repr(t) for t in trials]
+
+
+class TestBuildShards:
+    def test_indexes_are_contiguous_and_ordered(self):
+        shards = build_shards(ALL_PLANS, ("orc", "avro"), SMALL_INPUTS)
+        assert [s.index for s in shards] == list(range(len(shards)))
+
+    def test_concatenation_reproduces_sequential_nesting(self):
+        shards = build_shards(
+            ALL_PLANS[:3], ("orc", "parquet"), SMALL_INPUTS, shard_inputs=7
+        )
+        flattened = [
+            (s.plan.name, s.fmt, i.input_id) for s in shards for i in s.inputs
+        ]
+        expected = [
+            (plan.name, fmt, i.input_id)
+            for plan in ALL_PLANS[:3]
+            for fmt in ("orc", "parquet")
+            for i in SMALL_INPUTS
+        ]
+        assert flattened == expected
+
+    def test_chunking_splits_within_a_cell(self):
+        shards = build_shards(
+            ALL_PLANS[:1], ("orc",), SMALL_INPUTS, shard_inputs=20
+        )
+        assert len(shards) == 3  # 50 inputs -> 20 + 20 + 10
+        assert [len(s.inputs) for s in shards] == [20, 20, 10]
+
+    def test_empty_inputs_yield_empty_shards(self):
+        shards = build_shards(ALL_PLANS[:2], ("orc",), [])
+        assert len(shards) == 2
+        assert all(s.inputs == () for s in shards)
+
+    def test_bad_shard_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_shards(ALL_PLANS, ("orc",), SMALL_INPUTS, shard_inputs=0)
+
+
+class TestResolve:
+    def test_auto_sizes_to_host(self):
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_explicit_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+    def test_pool_flavours(self):
+        assert resolve_pool("auto", 1) == "thread"
+        assert resolve_pool("auto", 4) == "process"
+        assert resolve_pool("thread", 4) == "thread"
+        with pytest.raises(ValueError):
+            resolve_pool("fibers", 2)
+
+
+class TestDeploymentPool:
+    def test_reuses_released_deployments(self):
+        pool = DeploymentPool()
+        first = pool.lease()
+        pool.release(first)
+        second = pool.lease()
+        assert second is first
+        assert pool.created == 1 and pool.reused == 1
+
+    def test_released_deployment_is_pristine(self):
+        pool = DeploymentPool()
+        deployment = pool.lease()
+        deployment.spark.sql("CREATE TABLE ct (c int) STORED AS orc")
+        deployment.spark.sql("INSERT INTO ct VALUES (5)")
+        pool.release(deployment)
+        leased = pool.lease()
+        assert leased is deployment
+        assert not leased.metastore.table_exists("ct")
+        location = leased.metastore.table_location("default", "ct")
+        assert not leased.filesystem.exists(location)
+
+
+class TestRunShard:
+    def test_pooled_and_fresh_deployments_agree(self):
+        shard = build_shards(ALL_PLANS[:1], ("parquet",), SMALL_INPUTS)[0]
+        pooled = run_shard(shard, reuse_deployments=True)
+        fresh = run_shard(shard, reuse_deployments=False)
+        assert trial_reprs(pooled.trials) == trial_reprs(fresh.trials)
+
+    def test_durations_cover_every_trial(self):
+        shard = build_shards(ALL_PLANS[:1], ("orc",), SMALL_INPUTS[:5])[0]
+        result = run_shard(shard)
+        assert len(result.durations) == len(result.trials) == 5
+        assert all(d >= 0 for d in result.durations)
+
+
+class TestExecuteEquivalence:
+    def sequential(self):
+        return execute(ALL_PLANS, ("orc", "avro"), SMALL_INPUTS, jobs=1)
+
+    def test_thread_parallel_identical_trials(self):
+        parallel = execute(
+            ALL_PLANS, ("orc", "avro"), SMALL_INPUTS, jobs=3, pool="thread"
+        )
+        assert trial_reprs(parallel) == trial_reprs(self.sequential())
+
+    def test_process_parallel_identical_trials(self):
+        parallel = execute(
+            ALL_PLANS[:2], ("orc",), SMALL_INPUTS, jobs=2, pool="process"
+        )
+        sequential = execute(ALL_PLANS[:2], ("orc",), SMALL_INPUTS, jobs=1)
+        assert trial_reprs(parallel) == trial_reprs(sequential)
+
+    def test_report_json_identical_across_engines(self):
+        seq = run_crosstest(
+            inputs=SMALL_INPUTS, formats=("orc", "avro"), jobs=1
+        )
+        par = run_crosstest(
+            inputs=SMALL_INPUTS, formats=("orc", "avro"), jobs=4, pool="thread"
+        )
+        assert seq.to_json() == par.to_json()
+
+    def test_small_odd_shards_still_ordered(self):
+        parallel = execute(
+            ALL_PLANS,
+            ("orc",),
+            SMALL_INPUTS,
+            jobs=5,
+            pool="thread",
+            shard_inputs=7,
+        )
+        assert trial_reprs(parallel) == trial_reprs(
+            execute(ALL_PLANS, ("orc",), SMALL_INPUTS, jobs=1)
+        )
+
+
+class TestTelemetry:
+    def test_metrics_count_every_trial(self):
+        metrics = CrossTestMetrics()
+        trials = execute(
+            ALL_PLANS,
+            ("orc",),
+            SMALL_INPUTS,
+            jobs=2,
+            pool="thread",
+            metrics=metrics,
+        )
+        assert int(metrics.trials_total.value) == len(trials)
+        ok = sum(1 for t in trials if t.outcome.ok)
+        assert int(metrics.trials_ok.value) == ok
+        staged = sum(
+            int(c.value) for c in metrics.stage_errors.values()
+        )
+        assert staged == len(trials) - ok
+
+    def test_latency_histograms_populated(self):
+        metrics = CrossTestMetrics()
+        execute(
+            ALL_PLANS[:2], ("orc", "avro"), SMALL_INPUTS[:10], metrics=metrics
+        )
+        names = metrics.registry.names()
+        assert "latency_fmt_orc" in names and "latency_fmt_avro" in names
+        hist = metrics.registry._metrics["latency_fmt_orc"]
+        assert hist.count == 2 * 10
+        assert any("latency_plan_" in line for line in metrics.summary_lines())
+
+    def test_progress_callback_monotonic(self):
+        calls = []
+        execute(
+            ALL_PLANS[:2],
+            ("orc",),
+            SMALL_INPUTS,
+            jobs=2,
+            pool="thread",
+            progress=lambda *args: calls.append(args),
+        )
+        assert calls, "progress callback never fired"
+        done_shards = [c[0] for c in calls]
+        assert done_shards == sorted(done_shards)
+        final = calls[-1]
+        assert final[0] == final[1]  # all shards reported
+        assert final[2] == final[3] == 2 * len(SMALL_INPUTS)
+
+
+class TestFormatValidation:
+    def test_unknown_format_rejected_up_front(self):
+        with pytest.raises(UnknownFormatError) as excinfo:
+            CrossTester(inputs=[], formats=("orcc",))
+        message = str(excinfo.value)
+        for valid in ("avro", "orc", "parquet"):
+            assert valid in message
+
+    def test_empty_formats_rejected(self):
+        with pytest.raises(UnknownFormatError):
+            CrossTester(inputs=[], formats=())
+
+    def test_unified_formats_accepted(self):
+        tester = CrossTester(inputs=[], formats=("unified_orc", "parquet"))
+        assert tester.formats == ("unified_orc", "parquet")
+
+
+def test_no_rows_sentinel_survives_pickling():
+    assert pickle.loads(pickle.dumps(NO_ROWS)) is NO_ROWS
+
+
+def test_crosstester_run_jobs_parameter_matches_default():
+    tester = CrossTester(inputs=SMALL_INPUTS[:12], formats=("parquet",))
+    assert trial_reprs(tester.run()) == trial_reprs(
+        tester.run(jobs=2, pool="thread")
+    )

@@ -1,0 +1,49 @@
+"""Tests for report shaping (log naming, JSON payload)."""
+
+from repro.crosstest.oracles import OracleFailure
+from repro.crosstest.report import CrossTestReport
+
+
+def make_report(failures):
+    return CrossTestReport(trials=[], failures=failures, evidence={})
+
+
+def failure(group, oracle="wr"):
+    return OracleFailure(
+        oracle=oracle,
+        group=group,
+        input_id=1,
+        fmt="orc",
+        plans=("w_sql_r_sql",),
+        detail="detail",
+    )
+
+
+class TestFailuresByLog:
+    def test_builtin_groups_use_short_names(self):
+        report = make_report(
+            {
+                "wr": [failure("spark_e2e"), failure("spark_hive")],
+                "eh": [failure("hive_spark", oracle="eh")],
+            }
+        )
+        logs = report.failures_by_log()
+        assert set(logs) == {"ss_wr", "sh_wr", "hs_eh"}
+
+    def test_custom_group_falls_back_to_raw_name(self):
+        # regression: Plan(..., group="custom") used to KeyError here
+        report = make_report({"wr": [failure("custom")]})
+        logs = report.failures_by_log()
+        assert set(logs) == {"custom_wr"}
+        assert len(logs["custom_wr"]) == 1
+
+    def test_mixed_builtin_and_custom_groups(self):
+        report = make_report(
+            {"difft": [failure("spark_e2e", "difft"), failure("team_x", "difft")]}
+        )
+        assert set(report.failures_by_log()) == {"ss_difft", "team_x_difft"}
+
+    def test_to_json_with_custom_group_does_not_crash(self):
+        report = make_report({"wr": [failure("custom")]})
+        payload = report.to_json()
+        assert "custom_wr" in payload["failures"]

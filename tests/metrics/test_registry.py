@@ -6,6 +6,7 @@ from repro.metrics import (
     AbsentPolicy,
     Counter,
     Gauge,
+    Histogram,
     MetricError,
     MetricsRegistry,
 )
@@ -80,3 +81,58 @@ class TestAbsentPolicies:
         registry.gauge("drop").set(2)
         registry.deregister("drop")
         assert registry.scrape() == {"keep": 1.0}
+
+
+class TestHistogram:
+    def test_observe_and_count(self):
+        hist = Histogram("latency", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.002, 0.05, 5.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.value == 4.0
+        assert hist.sum == pytest.approx(5.0525)
+        assert hist.snapshot()["overflow"] == 1
+
+    def test_quantiles_use_bucket_bounds(self):
+        hist = Histogram("latency", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 4.0
+        assert hist.quantile(0.0) == 1.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram("h").quantile(0.99) == 0.0
+        assert Histogram("h").mean == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(MetricError):
+            Histogram("h").quantile(1.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(MetricError):
+            Histogram("h", buckets=(0.1, 0.01))
+
+    def test_merge_folds_counts(self):
+        left = Histogram("h", buckets=(1.0, 2.0))
+        right = Histogram("h", buckets=(1.0, 2.0))
+        left.observe(0.5)
+        right.observe(1.5)
+        right.observe(9.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left.sum == pytest.approx(11.0)
+        assert left.snapshot()["overflow"] == 1
+
+    def test_merge_requires_same_buckets(self):
+        with pytest.raises(MetricError):
+            Histogram("h", buckets=(1.0,)).merge(Histogram("h", buckets=(2.0,)))
+
+    def test_registry_registration_and_scrape(self):
+        registry = MetricsRegistry(system="crosstest")
+        hist = registry.histogram("latency")
+        assert registry.histogram("latency") is hist
+        hist.observe(0.001)
+        hist.observe(0.002)
+        # a histogram scrapes as its observation count
+        assert registry.scrape()["latency"] == 2.0

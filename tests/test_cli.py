@@ -56,6 +56,54 @@ class TestCrosstest:
     def test_bad_conf_rejected(self, capsys):
         assert main(["crosstest", "--conf", "garbage"]) == 2
 
+    def test_conf_empty_value_accepted(self, capsys):
+        # KEY= is legitimate: empty string is a real configuration value
+        assert main([
+            "crosstest",
+            "--formats", "parquet",
+            "--conf", "spark.sql.sources.commitProtocolClass=",
+            "--quiet",
+        ]) == 0
+
+    def test_conf_empty_key_rejected(self, capsys):
+        assert main(["crosstest", "--conf", "=value"]) == 2
+        assert "bad --conf" in capsys.readouterr().err
+
+    def test_unknown_format_exits_2_naming_valid_formats(self, capsys):
+        # regression: '--formats orcc' used to run 3,376 doomed trials,
+        # report 0/15 discrepancies, and exit 0
+        assert main(["crosstest", "--formats", "orcc"]) == 2
+        err = capsys.readouterr().err
+        assert "orcc" in err
+        for valid in ("avro", "orc", "parquet"):
+            assert valid in err
+
+    def test_unknown_format_among_valid_ones_exits_2(self, capsys):
+        assert main(["crosstest", "--formats", "orc,parqet"]) == 2
+        assert "parqet" in capsys.readouterr().err
+
+    def test_parallel_output_identical_to_sequential(self, capsys):
+        assert main([
+            "crosstest", "--formats", "parquet", "--jobs", "1", "--quiet",
+        ]) == 0
+        sequential = capsys.readouterr().out
+        assert main([
+            "crosstest", "--formats", "parquet",
+            "--jobs", "2", "--pool", "thread", "--quiet",
+        ]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == sequential
+
+    def test_bad_jobs_rejected(self, capsys):
+        assert main(["crosstest", "--jobs", "0"]) == 2
+        assert "bad --jobs" in capsys.readouterr().err
+
+    def test_summary_line_on_stderr(self, capsys):
+        assert main(["crosstest", "--formats", "parquet", "--jobs", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "trials in" in captured.err
+        assert "errors:" in captured.err
+
 
 class TestConfcheckAndGaps:
     def test_confcheck_flags_example(self, capsys):
