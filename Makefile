@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 smoke-crosstest test bench crosstest
+.PHONY: tier1 smoke-crosstest test bench bench-json crosstest
 
 # fast smoke pass over the §8 cross-test engine (runs first so a broken
 # harness fails in seconds, not after the whole suite)
@@ -17,6 +17,10 @@ test:
 
 bench:
 	$(PYTHON) -m pytest -q benchmarks
+
+# wall-clock + cache-counter benchmark of the §8 matrix (jobs=1 and auto)
+bench-json:
+	$(PYTHON) -m repro.crosstest.bench BENCH_crosstest.json
 
 # the full 10,128-trial matrix, parallel, with telemetry on stderr
 crosstest:

@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the progress/summary lines on stderr",
     )
+    crosstest.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run with cProfile and print the top 25 "
+        "functions by internal time to stderr",
+    )
 
     replay = sub.add_parser("replay", help="replay a named CSI failure")
     replay.add_argument(
@@ -142,6 +148,12 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
         )
 
     metrics = CrossTestMetrics()
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     started = time.perf_counter()
     try:
         report = run_crosstest(
@@ -156,6 +168,12 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - started
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("tottime").print_stats(25)
 
     if not args.quiet:
         trials = int(metrics.trials_total.value)
@@ -166,6 +184,7 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
             f"errors: {metrics.error_summary()})",
             file=sys.stderr,
         )
+        print(f"[crosstest] {metrics.cache_summary()}", file=sys.stderr)
     if args.json:
         print(json.dumps(report.to_json(), indent=1))
     else:

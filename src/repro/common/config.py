@@ -126,6 +126,7 @@ class Configuration:
     strict: bool = False
     _entries: dict[str, ConfigEntry] = field(default_factory=dict)
     _audit: list[ConfigEntry] = field(default_factory=list)
+    _fingerprint: tuple | None = field(default=None, repr=False)
 
     # -- declaration ----------------------------------------------------
 
@@ -149,10 +150,12 @@ class Configuration:
         entry = ConfigEntry(name, parsed, source, self._entries.get(name))
         self._entries[name] = entry
         self._audit.append(entry)
+        self._fingerprint = None
         return entry
 
     def unset(self, name: str) -> None:
         self._entries.pop(name, None)
+        self._fingerprint = None
 
     # -- lookup ----------------------------------------------------------
 
@@ -218,10 +221,31 @@ class Configuration:
                 entry = ConfigEntry(name, value, other.system, overwrote=None)
                 self._entries[name] = entry
                 self._audit.append(entry)
+                self._fingerprint = None
         return losers
 
     def snapshot(self) -> dict[str, object]:
         return {name: entry.value for name, entry in self._entries.items()}
+
+    def fingerprint(self) -> tuple[tuple[str, object], ...]:
+        """Hashable digest of every *explicit* setting.
+
+        Declared defaults are excluded: they cannot change at runtime,
+        so two configurations with the same explicit settings behave
+        identically. Plan caches key entries on this, which is what
+        keeps conf-dependent discrepancies (#5/#8–#13) observable: a
+        ``set()`` mid-session changes the fingerprint, and every cached
+        plan compiled under the old settings simply stops matching.
+        The digest is memoized and rebuilt after any mutation.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = tuple(
+                sorted(
+                    (name, entry.value)
+                    for name, entry in self._entries.items()
+                )
+            )
+        return self._fingerprint
 
     def copy(self) -> "Configuration":
         clone = Configuration(self.system, dict(self.declared), self.strict)

@@ -56,6 +56,17 @@ class Schema:
                 )
             seen.add(key)
 
+    def __hash__(self) -> int:
+        # computed lazily and cached: schemas key several hot memos
+        # (plan fingerprints, scan plans, physical-schema caches) and
+        # the recursive field/type hash dominates otherwise. Same
+        # fields as the generated __eq__.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.fields, self.case_sensitive))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     # -- construction -------------------------------------------------
 
     @classmethod

@@ -21,7 +21,7 @@ systems have:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.schema import Field, Schema
 from repro.common.types import (
@@ -41,6 +41,7 @@ from repro.sparklite.conf import SparkConf
 __all__ = [
     "NATIVE_SCHEMA_PROPERTY",
     "NOT_CASE_PRESERVING_WARNING",
+    "CreateSpec",
     "ResolvedTable",
     "SparkHiveConnector",
     "schema_to_property",
@@ -91,12 +92,101 @@ class ResolvedTable:
     warnings: tuple[str, ...] = ()
 
 
+@dataclass(frozen=True)
+class CreateSpec:
+    """A fully analyzed CREATE TABLE, ready to register.
+
+    Everything catalog-independent — the metastore-side schema, the
+    native schema property, the lower-cased partition schema — is
+    computed once at prepare time, so a cached CREATE plan replays as a
+    single :meth:`HiveMetastore.create_table` call. Existence checks
+    stay in the metastore, at execute time.
+    """
+
+    name: str
+    schema: Schema
+    storage_format: str
+    database: str
+    properties: tuple[tuple[str, str], ...]
+    if_not_exists: bool
+    partition_schema: Schema
+
+
+#: entries kept in the per-connector resolve memo before it is cleared
+_RESOLVE_MEMO_LIMIT = 64
+
+#: entries kept in the per-connector prepare_create memo (one per
+#: distinct created-table shape) before it is cleared
+_PREPARE_MEMO_LIMIT = 512
+
+
 @dataclass
 class SparkHiveConnector:
     metastore: HiveMetastore
     conf: SparkConf
+    #: (database, table) -> ((catalog_version, conf fingerprint), ResolvedTable)
+    _resolve_memo: dict = field(default_factory=dict)
+    #: full prepare_create argument tuple -> (conf fingerprint, CreateSpec)
+    _prepare_memo: dict = field(default_factory=dict)
 
     # -- table creation ----------------------------------------------------
+
+    def prepare_create(
+        self,
+        name: str,
+        declared: Schema,
+        storage_format: str,
+        *,
+        database: str,
+        datasource: bool,
+        if_not_exists: bool = False,
+        extra_properties: dict[str, str] | None = None,
+        partition_schema: Schema = Schema(()),
+    ) -> CreateSpec:
+        """Analyze a CREATE TABLE down to a replayable :class:`CreateSpec`."""
+        serializer = serializer_for(storage_format)
+        hive_side = metastore_schema_for(declared, serializer)
+        properties = dict(extra_properties or {})
+        if self._keeps_native_schema(datasource, serializer):
+            properties[NATIVE_SCHEMA_PROPERTY] = schema_to_property(declared)
+        return CreateSpec(
+            name=name,
+            schema=hive_side,
+            storage_format=storage_format,
+            database=database,
+            properties=tuple(sorted(properties.items())),
+            if_not_exists=if_not_exists,
+            partition_schema=partition_schema.lower_cased()
+            if len(partition_schema)
+            else partition_schema,
+        )
+
+    def execute_create(self, spec: CreateSpec) -> Table:
+        """Register a prepared CREATE with the metastore.
+
+        The first execution runs the metastore's fully validated
+        creation path; the identical frozen ``Table`` it produced is
+        then re-registered directly on every replay of the cached plan.
+        """
+        table = spec.__dict__.get("_table")
+        if table is not None:
+            return self.metastore.register_table(
+                table, if_not_exists=spec.if_not_exists
+            )
+        existed = self.metastore.table_exists(spec.name, spec.database)
+        created = self.metastore.create_table(
+            spec.name,
+            spec.schema,
+            spec.storage_format,
+            database=spec.database,
+            properties=dict(spec.properties),
+            owner="spark",
+            if_not_exists=spec.if_not_exists,
+            partition_schema=spec.partition_schema,
+        )
+        if not existed:
+            object.__setattr__(spec, "_table", created)
+        return created
 
     def create_table(
         self,
@@ -110,24 +200,43 @@ class SparkHiveConnector:
         extra_properties: dict[str, str] | None = None,
         partition_schema: Schema = Schema(()),
     ) -> Table:
-        """Register a Spark-created table with the Hive metastore."""
-        serializer = serializer_for(storage_format)
-        hive_side = metastore_schema_for(declared, serializer)
-        properties = dict(extra_properties or {})
-        if self._keeps_native_schema(datasource, serializer):
-            properties[NATIVE_SCHEMA_PROPERTY] = schema_to_property(declared)
-        return self.metastore.create_table(
+        """Register a Spark-created table with the Hive metastore.
+
+        Analysis is memoized per argument shape (stamped with the conf
+        fingerprint, since ``caseSensitiveInferenceMode`` feeds the
+        native-schema decision), so the DataFrame writer — which has no
+        statement text for the plan cache to key on — still replays the
+        same :class:`CreateSpec` and gets the registration fast path.
+        """
+        key = (
             name,
-            hive_side,
+            declared,
             storage_format,
-            database=database,
-            properties=properties,
-            owner="spark",
-            if_not_exists=if_not_exists,
-            partition_schema=partition_schema.lower_cased()
-            if len(partition_schema)
-            else partition_schema,
+            database,
+            datasource,
+            if_not_exists,
+            tuple(sorted((extra_properties or {}).items())),
+            partition_schema,
         )
+        stamp = self.conf.fingerprint()
+        memo = self._prepare_memo.get(key)
+        if memo is not None and memo[0] == stamp:
+            spec = memo[1]
+        else:
+            spec = self.prepare_create(
+                name,
+                declared,
+                storage_format,
+                database=database,
+                datasource=datasource,
+                if_not_exists=if_not_exists,
+                extra_properties=extra_properties,
+                partition_schema=partition_schema,
+            )
+            if len(self._prepare_memo) >= _PREPARE_MEMO_LIMIT:
+                self._prepare_memo.clear()
+            self._prepare_memo[key] = (stamp, spec)
+        return self.execute_create(spec)
 
     def _keeps_native_schema(self, datasource: bool, serializer) -> bool:
         if datasource:
@@ -143,7 +252,31 @@ class SparkHiveConnector:
     # -- schema resolution ---------------------------------------------------
 
     def resolve(self, name: str, database: str) -> ResolvedTable:
-        """Resolve the Spark-visible schema for a Hive table."""
+        """Resolve the Spark-visible schema for a Hive table.
+
+        Resolutions are memoized per ``(database, table)`` and stamped
+        with ``(interned table state, conf fingerprint)``: the metastore
+        interns every distinct frozen ``Table`` value to a token, so the
+        stamp moves exactly when the table's own definition (or the
+        session conf) does — dropping and recreating an identical table
+        keeps the memo warm, while any visible change misses. A missing
+        table has no state token and is never memoized.
+        """
+        key = (database.lower(), name.lower())
+        state = self.metastore.table_state(name, database)
+        if state is None:
+            return self._resolve_fresh(name, database)
+        stamp = (state, self.conf.fingerprint())
+        memo = self._resolve_memo.get(key)
+        if memo is not None and memo[0] == stamp:
+            return memo[1]
+        resolved = self._resolve_fresh(name, database)
+        if len(self._resolve_memo) >= _RESOLVE_MEMO_LIMIT:
+            self._resolve_memo.clear()
+        self._resolve_memo[key] = (stamp, resolved)
+        return resolved
+
+    def _resolve_fresh(self, name: str, database: str) -> ResolvedTable:
         table = self.metastore.get_table(name, database)
         warnings: list[str] = []
         native = table.property(NATIVE_SCHEMA_PROPERTY)

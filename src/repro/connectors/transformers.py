@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import datetime
 import decimal
+import functools
 from collections.abc import Callable
 
 from repro.common.types import (
@@ -76,10 +77,17 @@ def _strip_tz(value: object) -> object:
     return value
 
 
+@functools.lru_cache(maxsize=4096)
 def transformer_for(
     physical: DataType, expected: DataType, format_name: str
 ) -> Transform:
-    """Return the cell transformer, or raise for unconvertible pairs."""
+    """Return the cell transformer, or raise for unconvertible pairs.
+
+    Transformers are pure functions of the ``(physical, expected,
+    format)`` triple, so the dispatch is memoized; incompatible pairs
+    re-raise per call (``lru_cache`` never caches exceptions), exactly
+    like the uncached dispatch.
+    """
     if physical == expected:
         if isinstance(expected, (ArrayType, MapType, StructType)):
             return _nested(physical, expected, format_name)
@@ -112,7 +120,8 @@ def transformer_for(
         # reader is strict (SPARK-39158 asymmetry).
         return _requantize(expected)
     if is_integral(physical) and isinstance(expected, DecimalType):
-        return lambda value: _requantize(expected)(decimal.Decimal(value))
+        requantize = _requantize(expected)
+        return lambda value: requantize(decimal.Decimal(value))
 
     # character family
     string_like = (StringType, CharType, VarcharType)

@@ -76,6 +76,16 @@ def _ct(trial: Trial):
     return trial.test_input.column_type
 
 
+def _canonical_input(trial: Trial) -> str:
+    """``canonical(py_value)``, cached on the (shared) test input."""
+    test_input = trial.test_input
+    cached = test_input.__dict__.get("_canonical_py")
+    if cached is None:
+        cached = canonical(test_input.py_value)
+        object.__setattr__(test_input, "_canonical_py", cached)
+    return cached
+
+
 def _is_narrow_int(trial: Trial) -> bool:
     return isinstance(_ct(trial), (ByteType, ShortType))
 
@@ -114,7 +124,7 @@ def _df_mangled(trial: Trial) -> bool:
     value = trial.outcome.value
     if value is None or value is NO_ROWS:
         return False
-    return canonical(value) != canonical(trial.test_input.py_value)
+    return canonical(value) != _canonical_input(trial)
 
 
 # -- per-entry signatures -------------------------------------------------------
@@ -198,9 +208,10 @@ def _m6(bucket: list[Trial]) -> list[Trial]:
     for t in bucket:
         if not isinstance(_ct(t), (FloatType, DoubleType)):
             continue
-        if "NaN" not in t.test_input.description and canonical(
-            t.test_input.py_value
-        ) != "double:NaN":
+        if (
+            "NaN" not in t.test_input.description
+            and _canonical_input(t) != "double:NaN"
+        ):
             continue
         if t.plan.reader == "hiveql" and t.outcome.ok and t.outcome.value is None:
             matched.append(t)
@@ -213,7 +224,7 @@ def _m7(bucket: list[Trial]) -> list[Trial]:
     for t in bucket:
         if not isinstance(_ct(t), (FloatType, DoubleType)):
             continue
-        if "Inf" not in canonical(t.test_input.py_value):
+        if "Inf" not in _canonical_input(t):
             continue
         if (
             t.plan.reader == "hiveql"

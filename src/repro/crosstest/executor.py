@@ -25,6 +25,7 @@ counters plus per-plan and per-format latency histograms — so a
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -47,6 +48,7 @@ __all__ = [
     "CrossTestMetrics",
     "build_shards",
     "run_shard",
+    "worker_pool",
     "resolve_jobs",
     "resolve_pool",
     "execute",
@@ -70,11 +72,18 @@ class Shard:
 
 @dataclass
 class ShardResult:
-    """What one shard produced, plus its per-trial wall-clock."""
+    """What one shard produced, plus its per-trial wall-clock.
+
+    ``cache_counts`` carries the *deltas* this shard contributed to the
+    engines' plan-cache counters (and deployment provisioning counts) —
+    deltas rather than totals so results aggregate correctly when worker
+    processes keep long-lived pools across shards.
+    """
 
     index: int
     trials: list[Trial]
     durations: list[float] = field(default_factory=list)
+    cache_counts: dict[str, int] = field(default_factory=dict)
 
 
 def build_shards(
@@ -113,27 +122,67 @@ class DeploymentPool:
     previous trial); ``release`` resets it and returns it to the pool.
     A deployment whose reset raises is dropped on the floor — the next
     lease simply provisions a new one.
+
+    Pooling is what makes the engines' plan caches effective: a reset
+    drops the trial table but keeps the sessions — and with them every
+    compiled plan, resolved schema and cast kernel — so the next trial
+    re-validates instead of re-analyzing.
     """
 
     def __init__(self, conf_overrides: dict[str, object] | None = None) -> None:
         self.conf_overrides = dict(conf_overrides or {})
         self._idle: list[Deployment] = []
+        self._lock = threading.Lock()
         self.created = 0
         self.reused = 0
 
     def lease(self) -> Deployment:
-        if self._idle:
-            self.reused += 1
-            return self._idle.pop()
-        self.created += 1
-        return Deployment(self.conf_overrides)
+        with self._lock:
+            if self._idle:
+                self.reused += 1
+                deployment = self._idle.pop()
+            else:
+                self.created += 1
+                deployment = Deployment(self.conf_overrides)
+                deployment.leases = 0
+        deployment.leases += 1
+        return deployment
 
     def release(self, deployment: Deployment) -> None:
         try:
             deployment.reset()
         except Exception:  # noqa: BLE001 - a dirty deployment is discarded
             return
-        self._idle.append(deployment)
+        with self._lock:
+            self._idle.append(deployment)
+
+
+#: Worker-global pools keyed by conf overrides: one pool per distinct
+#: deployment configuration, shared by every shard a worker (thread or
+#: process) executes, so plan caches stay warm across shard boundaries.
+_WORKER_POOLS: dict[tuple, DeploymentPool] = {}
+_WORKER_POOLS_LOCK = threading.Lock()
+
+
+def worker_pool(conf_overrides: dict[str, object] | None = None) -> DeploymentPool:
+    """The long-lived pool for this worker and these conf overrides."""
+    key = tuple(sorted((conf_overrides or {}).items()))
+    pool = _WORKER_POOLS.get(key)
+    if pool is None:
+        with _WORKER_POOLS_LOCK:
+            pool = _WORKER_POOLS.setdefault(key, DeploymentPool(conf_overrides))
+    return pool
+
+
+def _plan_cache_counts(deployment: Deployment) -> tuple[int, int, int, int]:
+    spark = deployment.spark.plan_cache.stats
+    hive = deployment.hive.plan_cache.stats
+    return (
+        spark.hits + hive.hits,
+        spark.misses + hive.misses,
+        spark.invalidations + hive.invalidations,
+        spark.evictions + hive.evictions,
+    )
 
 
 def run_shard(
@@ -141,28 +190,56 @@ def run_shard(
     conf_overrides: dict[str, object] | None = None,
     reuse_deployments: bool = True,
 ) -> ShardResult:
-    """Execute one shard sequentially, timing each trial."""
-    pool = DeploymentPool(conf_overrides) if reuse_deployments else None
+    """Execute one shard sequentially, timing each trial.
+
+    With ``reuse_deployments`` (the default), deployments come from the
+    worker-global pool for these conf overrides. Cache-counter deltas
+    are read per trial, while the deployment is exclusively leased, so
+    they are race-free even when worker threads share a pool.
+    """
+    pool = worker_pool(conf_overrides) if reuse_deployments else None
     trials: list[Trial] = []
     durations: list[float] = []
+    counts = {
+        "plan_cache_hits": 0,
+        "plan_cache_misses": 0,
+        "plan_cache_invalidations": 0,
+        "plan_cache_evictions": 0,
+        "deployments_created": 0,
+        "deployments_reused": 0,
+    }
     for test_input in shard.inputs:
         start = time.perf_counter()
         if pool is not None:
             deployment = pool.lease()
+            if deployment.leases == 1:
+                counts["deployments_created"] += 1
+            else:
+                counts["deployments_reused"] += 1
+            before = _plan_cache_counts(deployment)
             try:
                 trial = run_trial_on(deployment, shard.plan, shard.fmt, test_input)
+                after = _plan_cache_counts(deployment)
             finally:
                 pool.release(deployment)
         else:
-            trial = run_trial_on(
-                Deployment(dict(conf_overrides or {})),
-                shard.plan,
-                shard.fmt,
-                test_input,
-            )
+            deployment = Deployment(dict(conf_overrides or {}))
+            counts["deployments_created"] += 1
+            before = (0, 0, 0, 0)
+            trial = run_trial_on(deployment, shard.plan, shard.fmt, test_input)
+            after = _plan_cache_counts(deployment)
+        counts["plan_cache_hits"] += after[0] - before[0]
+        counts["plan_cache_misses"] += after[1] - before[1]
+        counts["plan_cache_invalidations"] += after[2] - before[2]
+        counts["plan_cache_evictions"] += after[3] - before[3]
         durations.append(time.perf_counter() - start)
         trials.append(trial)
-    return ShardResult(index=shard.index, trials=trials, durations=durations)
+    return ShardResult(
+        index=shard.index,
+        trials=trials,
+        durations=durations,
+        cache_counts=counts,
+    )
 
 
 class CrossTestMetrics:
@@ -192,6 +269,20 @@ class CrossTestMetrics:
         self.shards_done = self.registry.counter(
             "shards_done", "shards completed"
         )
+        self.cache_counters = {
+            name: self.registry.counter(name, description)
+            for name, description in (
+                ("plan_cache_hits", "plan-cache hits across both engines"),
+                ("plan_cache_misses", "plan-cache misses across both engines"),
+                (
+                    "plan_cache_invalidations",
+                    "plans invalidated by catalog movement",
+                ),
+                ("plan_cache_evictions", "plans evicted by the LRU bound"),
+                ("deployments_created", "deployments provisioned"),
+                ("deployments_reused", "deployments recycled from a pool"),
+            )
+        }
 
     def _latency(self, kind: str, name: str) -> Histogram:
         return self.registry.histogram(
@@ -210,6 +301,10 @@ class CrossTestMetrics:
                 self.stage_errors[trial.outcome.stage].increment()
             plan_hist.observe(duration)
             fmt_hist.observe(duration)
+        for name, delta in result.cache_counts.items():
+            counter = self.cache_counters.get(name)
+            if counter is not None and delta > 0:
+                counter.increment(delta)
         self.shards_done.increment()
 
     # -- rendering -----------------------------------------------------
@@ -220,10 +315,25 @@ class CrossTestMetrics:
             for stage in self.STAGES
         )
 
+    def cache_summary(self) -> str:
+        hits = int(self.cache_counters["plan_cache_hits"].value)
+        misses = int(self.cache_counters["plan_cache_misses"].value)
+        invalidations = int(self.cache_counters["plan_cache_invalidations"].value)
+        created = int(self.cache_counters["deployments_created"].value)
+        reused = int(self.cache_counters["deployments_reused"].value)
+        lookups = hits + misses
+        rate = hits / lookups if lookups else 0.0
+        return (
+            f"plan cache: hits={hits} misses={misses} "
+            f"invalidations={invalidations} hit_rate={rate:.1%}; "
+            f"deployments: created={created} reused={reused}"
+        )
+
     def summary_lines(self) -> list[str]:
         lines = [
             f"trials: {int(self.trials_total.value)} "
             f"(ok={int(self.trials_ok.value)}, errors: {self.error_summary()})",
+            self.cache_summary(),
         ]
         for name in self.registry.names():
             metric = self.registry._metrics[name]
@@ -294,13 +404,12 @@ def execute(
             progress(len(results), len(shards), done_trials, total_trials)
 
     if jobs == 1:
-        # exact sequential semantics: one fresh deployment per trial,
-        # shards walked in order on the calling thread.
+        # sequential semantics: shards walked in order on the calling
+        # thread, deployments pooled so the engines' plan caches carry
+        # across trials (results are byte-identical to fresh-per-trial —
+        # the pooled-vs-fresh equivalence is pinned by tests).
         for shard in shards:
-            finish(
-                shard,
-                run_shard(shard, conf_overrides, reuse_deployments=False),
-            )
+            finish(shard, run_shard(shard, conf_overrides))
     else:
         flavour = resolve_pool(pool, jobs)
         with _make_executor(flavour, min(jobs, len(shards) or 1)) as workers:

@@ -105,7 +105,9 @@ class Deployment:
         self.metastore = metastore
         self.filesystem = filesystem
         self.spark = SparkSession(metastore, filesystem, conf)
-        self.hive = HiveServer(metastore, filesystem)
+        self.hive = HiveServer(
+            metastore, filesystem, plan_cache_enabled=conf.plan_cache_enabled
+        )
 
     def reset(self, table: str = TRIAL_TABLE) -> None:
         """Return the deployment to its pre-trial state.
@@ -212,9 +214,20 @@ class CrossTester:
         )
 
     def run_trial(self, plan: Plan, fmt: str, test_input: TestInput) -> Trial:
-        return run_trial_on(
-            Deployment(self.conf_overrides), plan, fmt, test_input
-        )
+        """Run one trial against this tester's pooled deployments.
+
+        The deployment is leased from the executor's worker-global pool
+        (and reset on release) instead of being built and thrown away —
+        so ad-hoc single trials share warm plan caches with full runs.
+        """
+        from repro.crosstest.executor import worker_pool
+
+        pool = worker_pool(self.conf_overrides)
+        deployment = pool.lease()
+        try:
+            return run_trial_on(deployment, plan, fmt, test_input)
+        finally:
+            pool.release(deployment)
 
 
 def run_trial_on(

@@ -75,10 +75,19 @@ def canonical(value: object) -> str:
 
 
 def signature(outcome: Outcome) -> str:
-    """The behaviour fingerprint the Diff oracle compares."""
-    if not outcome.ok:
-        return f"error:{outcome.stage}:{outcome.error_type}"
-    return f"ok:{canonical(outcome.value)}:{outcome.value_type}"
+    """The behaviour fingerprint the Diff oracle compares.
+
+    Cached on the outcome: every trial sits in two Diff buckets, so each
+    fingerprint is requested several times during report assembly.
+    """
+    cached = outcome.__dict__.get("_signature")
+    if cached is None:
+        if not outcome.ok:
+            cached = f"error:{outcome.stage}:{outcome.error_type}"
+        else:
+            cached = f"ok:{canonical(outcome.value)}:{outcome.value_type}"
+        object.__setattr__(outcome, "_signature", cached)
+    return cached
 
 
 # ---------------------------------------------------------------------------
@@ -179,9 +188,10 @@ def _diff_bucket(
     bucket: list[Trial], group: str, input_id: int, fmt: str, axis: str
 ) -> list[OracleFailure]:
     failures = []
-    for left, right in combinations(bucket, 2):
-        left_sig = signature(left.outcome)
-        right_sig = signature(right.outcome)
+    sigs = [signature(trial.outcome) for trial in bucket]
+    for (left, left_sig), (right, right_sig) in combinations(
+        zip(bucket, sigs), 2
+    ):
         if left_sig == right_sig:
             continue
         left_label = left.plan.name if axis == "plan" else left.fmt

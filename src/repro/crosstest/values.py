@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import datetime
 import decimal
+import functools
 from dataclasses import dataclass, field
 
 from repro.common.types import DataType, parse_type
@@ -40,8 +41,12 @@ class TestInput:
     #: py_value, e.g. CHAR padding); ``None`` means "same as py_value".
     expected: object = field(default=None, compare=False)
 
-    @property
+    @functools.cached_property
     def column_type(self) -> DataType:
+        # cached per input: classification and the oracles inspect the
+        # column type of every trial, so even a memoized parse is hot.
+        # (cached_property writes the instance __dict__ directly, which
+        # a frozen dataclass permits; later reads bypass the descriptor.)
         return parse_type(self.type_text)
 
     @property

@@ -1,5 +1,7 @@
 """Simulated storage formats (Avro / ORC / Parquet / text)."""
 
+import functools
+
 from repro.formats.avro import AvroSerializer
 from repro.formats.base import FORMAT_VERSION, Serializer, TableData
 from repro.formats.orc import HIVE_POSITIONAL_PROPERTY, OrcSerializer
@@ -41,23 +43,30 @@ SERIALIZERS: dict[str, type[Serializer]] = {
 _UNIFIED_PREFIX = "unified_"
 
 
-def serializer_for(format_name: str) -> Serializer:
-    """Instantiate the serializer for a format name (case-insensitive).
-
-    ``unified_<base>`` wraps the base format in the
-    :class:`UnifiedSerializer` layer (§10's proposed mitigation).
-    """
-    lowered = format_name.lower()
+@functools.lru_cache(maxsize=64)
+def _serializer_instance(lowered: str) -> Serializer:
     if lowered.startswith(_UNIFIED_PREFIX):
-        base = serializer_for(lowered[len(_UNIFIED_PREFIX) :])
+        base = _serializer_instance(lowered[len(_UNIFIED_PREFIX) :])
         return UnifiedSerializer(base)
     try:
         return SERIALIZERS[lowered]()
     except KeyError:
         raise UnknownFormatError(
-            f"unknown storage format {format_name!r}; "
+            f"unknown storage format {lowered!r}; "
             f"known: {sorted(SERIALIZERS)} (+ 'unified_<base>')"
         ) from None
+
+
+def serializer_for(format_name: str) -> Serializer:
+    """The serializer for a format name (case-insensitive).
+
+    ``unified_<base>`` wraps the base format in the
+    :class:`UnifiedSerializer` layer (§10's proposed mitigation).
+    Serializers are stateless, so instances are shared: repeated lookups
+    for the same format return the same object (and with it, its
+    compiled per-column codecs).
+    """
+    return _serializer_instance(format_name.lower())
 
 
 def known_formats() -> list[str]:

@@ -36,6 +36,15 @@ __all__ = ["Serializer", "TableData", "FORMAT_VERSION"]
 
 FORMAT_VERSION = 1
 
+#: Bound on each serializer instance's schema/column-writer memos. The
+#: cross-test corpus needs a few dozen entries; anything adversarial just
+#: resets the memo instead of growing it.
+_INSTANCE_CACHE_LIMIT = 256
+
+#: Bound on the decoded-blob memo (one entry per distinct blob; the
+#: cross-test corpus produces a couple of thousand small blobs).
+_READ_CACHE_LIMIT = 4096
+
 
 @dataclass(frozen=True)
 class TableData:
@@ -93,11 +102,18 @@ class Serializer:
         return self.physical_atomic(dtype)
 
     def physical_schema(self, schema: Schema) -> Schema:
-        fields = tuple(
-            SchemaField(f.name, self.physical_type(f.data_type), f.nullable)
-            for f in schema.fields
-        )
-        return Schema(fields, case_sensitive=schema.case_sensitive)
+        cache = self.__dict__.setdefault("_physical_schema_cache", {})
+        cached = cache.get(schema)
+        if cached is None:
+            fields = tuple(
+                SchemaField(f.name, self.physical_type(f.data_type), f.nullable)
+                for f in schema.fields
+            )
+            cached = Schema(fields, case_sensitive=schema.case_sensitive)
+            if len(cache) >= _INSTANCE_CACHE_LIMIT:
+                cache.clear()
+            cache[schema] = cached
+        return cached
 
     # -- value transforms --------------------------------------------------
 
@@ -127,6 +143,66 @@ class Serializer:
     def atomic_to_physical(self, value: object, dtype: DataType) -> object:
         return value
 
+    # -- compiled write path ---------------------------------------------
+
+    def _compile_physical(self, dtype: DataType):
+        """Resolve the :meth:`to_physical` ladder for ``dtype`` once.
+
+        Returns a closure equivalent to ``lambda v: self.to_physical(v,
+        dtype)`` with the type dispatch already done. Subclasses that
+        replace :meth:`to_physical` wholesale (text) fall back to calling
+        their override, so compilation is always semantics-preserving.
+        """
+        if type(self).to_physical is not Serializer.to_physical:
+            return lambda value: self.to_physical(value, dtype)
+        if isinstance(dtype, ArrayType):
+            element = self._compile_physical(dtype.element_type)
+            return lambda value: (
+                None if value is None else [element(v) for v in value]
+            )
+        if isinstance(dtype, MapType):
+            key = self._compile_physical(dtype.key_type)
+            val = self._compile_physical(dtype.value_type)
+            return lambda value: (
+                None
+                if value is None
+                else {key(k): val(v) for k, v in value.items()}
+            )
+        if isinstance(dtype, StructType):
+            names = [f.name for f in dtype.fields]
+            children = [self._compile_physical(f.data_type) for f in dtype.fields]
+
+            def convert_struct(value: object) -> object:
+                if value is None:
+                    return None
+                items = (
+                    value
+                    if not isinstance(value, dict)
+                    else [value[name] for name in names]
+                )
+                return [child(v) for v, child in zip(items, children)]
+
+            return convert_struct
+        return lambda value: (
+            None if value is None else self.atomic_to_physical(value, dtype)
+        )
+
+    def _cell_writer(self, dtype: DataType):
+        """``encode_value ∘ to_physical`` for one column, memoized."""
+        cache = self.__dict__.setdefault("_cell_writer_cache", {})
+        writer = cache.get(dtype)
+        if writer is None:
+            convert = self._compile_physical(dtype)
+            encode = encoding.encode_value
+
+            def writer(value: object) -> object:
+                return encode(convert(value))
+
+            if len(cache) >= _INSTANCE_CACHE_LIMIT:
+                cache.clear()
+            cache[dtype] = writer
+        return writer
+
     # -- byte encoding ------------------------------------------------------
 
     def write(
@@ -136,18 +212,17 @@ class Serializer:
         properties: dict[str, str] | None = None,
     ) -> bytes:
         physical = self.physical_schema(schema)
+        writers = [self._cell_writer(f.data_type) for f in schema.fields]
+        arity = len(schema)
         encoded_rows = []
         for row in rows:
             values = list(row)
-            if len(values) != len(schema):
+            if len(values) != arity:
                 raise SerializationError(
-                    f"row arity {len(values)} != schema arity {len(schema)}"
+                    f"row arity {len(values)} != schema arity {arity}"
                 )
             encoded_rows.append(
-                [
-                    encoding.encode_value(self.to_physical(v, f.data_type))
-                    for v, f in zip(values, schema.fields)
-                ]
+                [writer(v) for writer, v in zip(writers, values)]
             )
         document = {
             "version": FORMAT_VERSION,
@@ -166,6 +241,25 @@ class Serializer:
         return encoding.dumps(document)
 
     def read(self, blob: bytes) -> TableData:
+        """Decode a blob, memoized by its bytes.
+
+        Blobs are immutable once written and decoding is deterministic,
+        so identical blobs (the same value round-tripped by different
+        plans) share one :class:`TableData`. Callers treat the result as
+        read-only — nothing in either engine mutates a decoded
+        ``TableData`` (the unified layer copies ``properties`` before
+        editing).
+        """
+        cache = self.__dict__.setdefault("_read_cache", {})
+        data = cache.get(blob)
+        if data is None:
+            data = self._read_uncached(blob)
+            if len(cache) >= _READ_CACHE_LIMIT:
+                cache.clear()
+            cache[blob] = data
+        return data
+
+    def _read_uncached(self, blob: bytes) -> TableData:
         document = encoding.loads(blob)
         if document.get("format") != self.format_name:
             raise SerializationError(

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import datetime
 import decimal
+import functools
 import math
+from collections.abc import Callable
 
 from repro.common.types import (
     ArrayType,
@@ -39,13 +41,23 @@ from repro.common.types import (
 )
 from repro.errors import QueryError
 
-__all__ = ["hive_write_cast", "hive_read_cast"]
+__all__ = [
+    "hive_read_cast",
+    "hive_read_kernel",
+    "hive_write_cast",
+    "hive_write_kernel",
+]
 
 _BOOL_TOKENS = {"true": True, "false": False}
 
 
 def hive_write_cast(value: object, target: DataType) -> object:
     """Coerce an inserted value to the column type; NULL on failure."""
+    return hive_write_kernel(target)(value)
+
+
+def hive_write_cast_reference(value: object, target: DataType) -> object:
+    """Uncompiled write coercion; the oracle for the compiled kernels."""
     if value is None:
         return None
     try:
@@ -128,16 +140,18 @@ def _write_cast(value: object, target: DataType) -> object:
     if isinstance(target, ArrayType):
         if not isinstance(value, (list, tuple)):
             return None
-        return [hive_write_cast(v, target.element_type) for v in value]
+        return [
+            hive_write_cast_reference(v, target.element_type) for v in value
+        ]
     if isinstance(target, MapType):
         if not isinstance(value, dict):
             return None
         out = {}
         for k, v in value.items():
-            key = hive_write_cast(k, target.key_type)
+            key = hive_write_cast_reference(k, target.key_type)
             if key is None:
                 return None
-            out[key] = hive_write_cast(v, target.value_type)
+            out[key] = hive_write_cast_reference(v, target.value_type)
         return out
     if isinstance(target, StructType):
         if isinstance(value, dict):
@@ -149,7 +163,7 @@ def _write_cast(value: object, target: DataType) -> object:
         else:
             return None
         return [
-            hive_write_cast(v, f.data_type)
+            hive_write_cast_reference(v, f.data_type)
             for v, f in zip(items, target.fields)
         ]
     return value
@@ -160,6 +174,11 @@ def hive_read_cast(value: object, declared: DataType) -> object:
 
     Raises :class:`QueryError` for the cases Hive's readers reject.
     """
+    return hive_read_kernel(declared)(value)
+
+
+def hive_read_cast_reference(value: object, declared: DataType) -> object:
+    """Uncompiled read reconciliation; the oracle for the kernels."""
     if value is None:
         return None
     if is_integral(declared):
@@ -209,21 +228,23 @@ def hive_read_cast(value: object, declared: DataType) -> object:
     if isinstance(declared, ArrayType):
         if not isinstance(value, (list, tuple)):
             raise QueryError("physical value is not an array")
-        return [hive_read_cast(v, declared.element_type) for v in value]
+        return [
+            hive_read_cast_reference(v, declared.element_type) for v in value
+        ]
     if isinstance(declared, MapType):
         if not isinstance(value, dict):
             raise QueryError("physical value is not a map")
         return {
-            hive_read_cast(k, declared.key_type): hive_read_cast(
-                v, declared.value_type
-            )
+            hive_read_cast_reference(
+                k, declared.key_type
+            ): hive_read_cast_reference(v, declared.value_type)
             for k, v in value.items()
         }
     if isinstance(declared, StructType):
         if not isinstance(value, (list, tuple)):
             raise QueryError("physical value is not a struct")
         return [
-            hive_read_cast(v, f.data_type)
+            hive_read_cast_reference(v, f.data_type)
             for v, f in zip(value, declared.fields)
         ]
     return value
@@ -283,3 +304,311 @@ def _parse_float_text(text: str) -> float | None:
     if lowered in ("nan", "inf", "infinity", "-inf", "-infinity", "+infinity"):
         return None
     return float(text)
+
+
+# ---------------------------------------------------------------------------
+# Compiled cast kernels
+# ---------------------------------------------------------------------------
+#
+# Same scheme as sparklite/casts.py: the isinstance ladder runs once per
+# distinct type at kernel-compile time, and the hot path applies a plain
+# closure per value. The ``*_reference`` functions above keep the
+# original per-value dispatch as the oracle for the kernel property
+# tests.
+
+CastKernel = Callable[[object], object]
+
+_KERNEL_CACHE_SIZE = 1024
+
+
+@functools.lru_cache(maxsize=_KERNEL_CACHE_SIZE)
+def hive_write_kernel(target: DataType) -> CastKernel:
+    """Compile ``hive_write_cast`` for one column type into a closure."""
+    inner = _compile_write(target)
+
+    def kernel(value: object) -> object:
+        if value is None:
+            return None
+        try:
+            return inner(value)
+        except (
+            ValueError,
+            TypeError,
+            ArithmeticError,
+            decimal.InvalidOperation,
+        ):
+            return None
+
+    return kernel
+
+
+def _compile_write(target: DataType) -> CastKernel:
+    if is_integral(target):
+
+        def to_integral(value: object) -> object:
+            number = _to_int(value)
+            if number is None or not target.accepts(number):
+                return None
+            return number
+
+        return to_integral
+    if isinstance(target, (FloatType, DoubleType)):
+
+        def to_float(value: object) -> object:
+            if isinstance(value, bool):
+                return None
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, decimal.Decimal):
+                return float(value)
+            if isinstance(value, str):
+                return _parse_float_text(value)
+            return None
+
+        return to_float
+    if isinstance(target, DecimalType):
+        quantum = decimal.Decimal(1).scaleb(-target.scale)
+
+        def to_decimal(value: object) -> object:
+            number = _to_decimal(value)
+            if number is None:
+                return None
+            quantized = number.quantize(
+                quantum, rounding=decimal.ROUND_HALF_UP
+            )
+            if not target.accepts(quantized):
+                return None
+            return quantized
+
+        return to_decimal
+    if isinstance(target, CharType):
+        length = target.length
+
+        def to_char(value: object) -> object:
+            text = _to_text(value)
+            if text is None or len(text) > length:
+                return None
+            return target.pad(text)
+
+        return to_char
+    if isinstance(target, VarcharType):
+        length = target.length
+
+        def to_varchar(value: object) -> object:
+            text = _to_text(value)
+            if text is None or len(text) > length:
+                return None
+            return text
+
+        return to_varchar
+    if isinstance(target, StringType):
+        return _to_text
+    if isinstance(target, BooleanType):
+
+        def to_boolean(value: object) -> object:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, str):
+                return _BOOL_TOKENS.get(value.strip().lower())
+            return None
+
+        return to_boolean
+    if isinstance(target, DateType):
+
+        def to_date(value: object) -> object:
+            if isinstance(value, datetime.datetime):
+                return value.date()
+            if isinstance(value, datetime.date):
+                return value
+            if isinstance(value, str):
+                try:
+                    return datetime.date.fromisoformat(value.strip())
+                except ValueError:
+                    return None
+            return None
+
+        return to_date
+    if isinstance(target, (TimestampType, TimestampNTZType)):
+
+        def to_timestamp(value: object) -> object:
+            if isinstance(value, datetime.datetime):
+                return value
+            if isinstance(value, str):
+                try:
+                    return datetime.datetime.fromisoformat(value.strip())
+                except ValueError:
+                    return None
+            return None
+
+        return to_timestamp
+    if isinstance(target, BinaryType):
+
+        def to_binary(value: object) -> object:
+            if isinstance(value, bytes):
+                return value
+            if isinstance(value, str):
+                return value.encode("utf-8")
+            return None
+
+        return to_binary
+    if isinstance(target, ArrayType):
+        element = hive_write_kernel(target.element_type)
+
+        def to_array(value: object) -> object:
+            if not isinstance(value, (list, tuple)):
+                return None
+            return [element(v) for v in value]
+
+        return to_array
+    if isinstance(target, MapType):
+        key_kernel = hive_write_kernel(target.key_type)
+        value_kernel = hive_write_kernel(target.value_type)
+
+        def to_map(value: object) -> object:
+            if not isinstance(value, dict):
+                return None
+            out = {}
+            for k, v in value.items():
+                key = key_kernel(k)
+                if key is None:
+                    return None
+                out[key] = value_kernel(v)
+            return out
+
+        return to_map
+    if isinstance(target, StructType):
+        fields = target.fields
+        names = tuple(f.name for f in fields)
+        members = tuple(hive_write_kernel(f.data_type) for f in fields)
+
+        def to_struct(value: object) -> object:
+            if isinstance(value, dict):
+                items = [value.get(name) for name in names]
+            elif isinstance(value, (list, tuple)):
+                if len(value) != len(fields):
+                    return None
+                items = list(value)
+            else:
+                return None
+            return [member(v) for v, member in zip(items, members)]
+
+        return to_struct
+    return lambda value: value
+
+
+@functools.lru_cache(maxsize=_KERNEL_CACHE_SIZE)
+def hive_read_kernel(declared: DataType) -> CastKernel:
+    """Compile ``hive_read_cast`` for one declared type into a closure."""
+    inner = _compile_read(declared)
+
+    def kernel(value: object) -> object:
+        if value is None:
+            return None
+        return inner(value)
+
+    return kernel
+
+
+def _compile_read(declared: DataType) -> CastKernel:
+    if is_integral(declared):
+        simple = declared.simple_string()
+
+        def read_integral(value: object) -> object:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise QueryError(
+                    f"cannot read {type(value).__name__} as {simple}"
+                )
+            # lenient demotion: out-of-range becomes NULL, like Hive's
+            # LazyInteger parsing.
+            return value if declared.accepts(value) else None
+
+        return read_integral
+    if isinstance(declared, (FloatType, DoubleType)):
+        simple = declared.simple_string()
+
+        def read_float(value: object) -> object:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise QueryError(f"cannot read value as {simple}")
+            number = float(value)
+            if math.isnan(number):
+                # Hive's result path has no NaN: degrade to NULL
+                # (HIVE-26528).
+                return None
+            if math.isinf(number):
+                # ...but Infinity trips an overflow error instead — same
+                # root cause, different behaviour (§8.2 discrepancy #7).
+                raise QueryError(
+                    f"value out of range for {simple}: {number}"
+                )
+            return number
+
+        return read_float
+    if isinstance(declared, DecimalType):
+        simple = declared.simple_string()
+
+        def read_decimal(value: object) -> object:
+            if not isinstance(value, decimal.Decimal):
+                raise QueryError("physical value is not a decimal")
+            exponent = value.as_tuple().exponent
+            scale = max(0, -exponent) if isinstance(exponent, int) else 0
+            if scale != declared.scale:
+                # strict scale validation — the SPARK-39158 mechanism.
+                raise QueryError(
+                    f"decimal scale {scale} does not match declared {simple}"
+                )
+            if not declared.accepts(value):
+                return None
+            return value
+
+        return read_decimal
+    if isinstance(declared, CharType):
+        length = declared.length
+
+        def read_char(value: object) -> object:
+            if not isinstance(value, str):
+                raise QueryError("physical value is not a string")
+            return declared.pad(value[:length])
+
+        return read_char
+    if isinstance(declared, VarcharType):
+        length = declared.length
+
+        def read_varchar(value: object) -> object:
+            if not isinstance(value, str):
+                raise QueryError("physical value is not a string")
+            return value[:length]
+
+        return read_varchar
+    if isinstance(declared, ArrayType):
+        element = hive_read_kernel(declared.element_type)
+
+        def read_array(value: object) -> object:
+            if not isinstance(value, (list, tuple)):
+                raise QueryError("physical value is not an array")
+            return [element(v) for v in value]
+
+        return read_array
+    if isinstance(declared, MapType):
+        key_kernel = hive_read_kernel(declared.key_type)
+        value_kernel = hive_read_kernel(declared.value_type)
+
+        def read_map(value: object) -> object:
+            if not isinstance(value, dict):
+                raise QueryError("physical value is not a map")
+            return {
+                key_kernel(k): value_kernel(v) for k, v in value.items()
+            }
+
+        return read_map
+    if isinstance(declared, StructType):
+        members = tuple(
+            hive_read_kernel(f.data_type) for f in declared.fields
+        )
+
+        def read_struct(value: object) -> object:
+            if not isinstance(value, (list, tuple)):
+                raise QueryError("physical value is not a struct")
+            return [member(v) for v, member in zip(value, members)]
+
+        return read_struct
+    return lambda value: value

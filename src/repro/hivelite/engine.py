@@ -24,7 +24,11 @@ from repro.formats import serializer_for
 from repro.formats.base import Serializer, TableData
 from repro.formats.orc import HIVE_POSITIONAL_PROPERTY
 from repro.formats.textfile import NULL_MARKER
-from repro.hivelite.casts import hive_read_cast, hive_write_cast
+from repro.hivelite.casts import (
+    hive_read_kernel,
+    hive_write_cast,
+    hive_write_kernel,
+)
 from repro.hivelite.metastore import DEFAULT_DATABASE, HiveMetastore, Table
 from repro.hivelite.types import metastore_schema_for
 from repro.hivelite.warehouse import (
@@ -44,6 +48,7 @@ from repro.sql.ast import (
 )
 from repro.sql.literals import DialectOptions, LiteralEvaluator
 from repro.sql.parser import parse_statement
+from repro.sql.plancache import PlanCache, PreparedFailure
 from repro.storage.filesystem import FileSystem
 
 __all__ = ["HiveServer"]
@@ -57,6 +62,69 @@ def _hive_cast_fn(value, source, target):
     return hive_write_cast(value, target)
 
 
+@dataclass(frozen=True)
+class _PreparedCreate:
+    """CREATE TABLE with schemas and format analysis already done."""
+
+    name: str
+    schema: Schema
+    storage_format: str
+    properties: tuple[tuple[str, str], ...]
+    if_not_exists: bool
+    partition_schema: Schema
+
+    def execute(self, server: "HiveServer") -> QueryResult:
+        # replay fast path: after the first (fully validated) creation,
+        # re-register the identical frozen Table value directly
+        table = self.__dict__.get("_table")
+        if table is not None and table.database == server.database:
+            server.metastore.register_table(
+                table, if_not_exists=self.if_not_exists
+            )
+            return server._empty_result()
+        existed = server.metastore.table_exists(self.name, server.database)
+        created = server.metastore.create_table(
+            self.name,
+            self.schema,
+            self.storage_format,
+            database=server.database,
+            properties=dict(self.properties),
+            owner="hive",
+            if_not_exists=self.if_not_exists,
+            partition_schema=self.partition_schema,
+        )
+        if not existed:
+            object.__setattr__(self, "_table", created)
+        return server._empty_result()
+
+
+@dataclass(frozen=True)
+class _PreparedInsert:
+    """INSERT with evaluation, coercion and serialization done."""
+
+    table: Table
+    blob: bytes
+    partition: str | None
+    overwrite: bool
+
+    def execute(self, server: "HiveServer") -> QueryResult:
+        if self.overwrite:
+            server.warehouse.truncate(self.table, self.partition)
+        server.warehouse.write_segment(self.table, self.blob, self.partition)
+        return server._empty_result()
+
+
+@dataclass(frozen=True)
+class _PreparedSelect:
+    """SELECT with the catalog lookup done; scans stay per-call."""
+
+    table: Table
+    statement: Select
+
+    def execute(self, server: "HiveServer") -> QueryResult:
+        return server._execute_select(self.table, self.statement)
+
+
 @dataclass
 class HiveServer:
     """A HiveServer2-like endpoint bound to a metastore and filesystem."""
@@ -66,6 +134,8 @@ class HiveServer:
     database: str = DEFAULT_DATABASE
     default_format: str = "text"
     _warnings: list[str] = field(default_factory=list)
+    plan_cache: PlanCache = field(default_factory=PlanCache)
+    plan_cache_enabled: bool = True
 
     def __post_init__(self) -> None:
         self.warehouse = Warehouse(self.filesystem)
@@ -84,19 +154,93 @@ class HiveServer:
         """Run one HiveQL statement and return its result."""
         self._warnings = []
         statement = parse_statement(sql)
+        if isinstance(statement, DropTable):
+            # DROP is pure side effect; there is no analysis to reuse.
+            return self._drop(statement)
+        if not self.plan_cache_enabled:
+            return self._execute_uncached(statement)
+        fingerprint = (self.database, self.default_format)
+        version = self.metastore.catalog_version
+        plan = self.plan_cache.lookup(
+            sql, fingerprint, version, self._dependency_state
+        )
+        if plan is None:
+            plan, deps = self._prepare(statement)
+            self.plan_cache.store(sql, fingerprint, version, deps, plan)
+        return plan.execute(self)
+
+    def _execute_uncached(self, statement) -> QueryResult:
         if isinstance(statement, CreateTable):
             return self._create(statement)
-        if isinstance(statement, DropTable):
-            return self._drop(statement)
         if isinstance(statement, Insert):
             return self._insert(statement)
         if isinstance(statement, Select):
             return self._select(statement)
         raise QueryError(f"unsupported statement {statement!r}")
 
+    # -- prepared execution ----------------------------------------------
+
+    def _dependency_state(self, dep_key: tuple[str, str]):
+        database, name = dep_key
+        return self.metastore.table_state(name, database)
+
+    def _table_deps(self, name: str):
+        dep_key = (self.database, name)
+        return ((dep_key, self._dependency_state(dep_key)),)
+
+    def _prepare(self, statement):
+        if isinstance(statement, CreateTable):
+            return self._prepare_create(statement)
+        if isinstance(statement, Insert):
+            return self._prepare_insert(statement)
+        if isinstance(statement, Select):
+            return self._prepare_select(statement)
+        raise QueryError(f"unsupported statement {statement!r}")
+
+    def _prepare_create(self, statement: CreateTable):
+        # CREATE analysis reads no catalog state: existence is checked
+        # by the metastore at execute time, so the dep set is empty.
+        try:
+            schema, fmt, properties, partition_schema = self._analyze_create(
+                statement
+            )
+        except Exception as exc:
+            return PreparedFailure(exc), ()
+        return (
+            _PreparedCreate(
+                name=statement.table,
+                schema=schema,
+                storage_format=fmt,
+                properties=tuple(sorted(properties.items())),
+                if_not_exists=statement.if_not_exists,
+                partition_schema=partition_schema,
+            ),
+            (),
+        )
+
+    def _prepare_insert(self, statement: Insert):
+        deps = self._table_deps(statement.table)
+        try:
+            table, partition, rows = self._analyze_insert(statement)
+            serializer = serializer_for(table.storage_format)
+            blob = self._serialize(serializer, table.schema, rows)
+        except Exception as exc:
+            return PreparedFailure(exc), deps
+        return _PreparedInsert(table, blob, partition, statement.overwrite), deps
+
+    def _prepare_select(self, statement: Select):
+        deps = self._table_deps(statement.table)
+        try:
+            table = self.metastore.get_table(statement.table, self.database)
+        except Exception as exc:
+            return PreparedFailure(exc), deps
+        return _PreparedSelect(table, statement), deps
+
     # -- DDL ------------------------------------------------------------
 
-    def _create(self, statement: CreateTable) -> QueryResult:
+    def _analyze_create(
+        self, statement: CreateTable
+    ) -> tuple[Schema, str, dict[str, str], Schema]:
         declared = Schema(
             tuple(
                 Field(col.name, parse_type(col.type_text))
@@ -113,12 +257,18 @@ class HiveServer:
             ),
             case_sensitive=False,
         )
+        return schema, fmt, dict(statement.properties), partition_schema
+
+    def _create(self, statement: CreateTable) -> QueryResult:
+        schema, fmt, properties, partition_schema = self._analyze_create(
+            statement
+        )
         self.metastore.create_table(
             statement.table,
             schema,
             fmt,
             database=self.database,
-            properties=dict(statement.properties),
+            properties=properties,
             owner="hive",
             if_not_exists=statement.if_not_exists,
             partition_schema=partition_schema,
@@ -136,22 +286,32 @@ class HiveServer:
 
     # -- DML -----------------------------------------------------------------
 
-    def _insert(self, statement: Insert) -> QueryResult:
+    def _analyze_insert(
+        self, statement: Insert
+    ) -> tuple[Table, str | None, list[tuple]]:
         table = self.metastore.get_table(statement.table, self.database)
-        serializer = serializer_for(table.storage_format)
         partition = self._resolve_partition_spec(table, statement)
+        kernels = [
+            hive_write_kernel(column.data_type)
+            for column in table.schema.fields
+        ]
+        arity = len(table.schema)
         rows = []
         for expressions in statement.rows:
-            if len(expressions) != len(table.schema):
+            if len(expressions) != arity:
                 raise AnalysisException(
-                    f"INSERT arity {len(expressions)} != table arity "
-                    f"{len(table.schema)}"
+                    f"INSERT arity {len(expressions)} != table arity {arity}"
                 )
             values = []
-            for expr, column in zip(expressions, table.schema.fields):
+            for expr, kernel in zip(expressions, kernels):
                 typed = self._evaluator.evaluate(expr)
-                values.append(hive_write_cast(typed.value, column.data_type))
+                values.append(kernel(typed.value))
             rows.append(tuple(values))
+        return table, partition, rows
+
+    def _insert(self, statement: Insert) -> QueryResult:
+        table, partition, rows = self._analyze_insert(statement)
+        serializer = serializer_for(table.storage_format)
         if statement.overwrite:
             self.warehouse.truncate(table, partition)
         blob = self._serialize(serializer, table.schema, rows)
@@ -194,6 +354,9 @@ class HiveServer:
 
     def _select(self, statement: Select) -> QueryResult:
         table = self.metastore.get_table(statement.table, self.database)
+        return self._execute_select(table, statement)
+
+    def _execute_select(self, table: Table, statement: Select) -> QueryResult:
         serializer = serializer_for(table.storage_format)
         rows: list[Row] = []
         if table.is_partitioned:
@@ -210,8 +373,9 @@ class HiveServer:
                 # type — "01" in a string partition stays "01"
                 partition_value = hive_write_cast(text, column.data_type)
                 data = serializer.read(blob)
+                mapper = self._row_mapper(data, table)
                 for physical_row in data.rows:
-                    base = self._reconcile_row(physical_row, data, table)
+                    base = mapper(physical_row)
                     rows.append(
                         Row(list(base) + [partition_value], schema)
                     )
@@ -219,10 +383,9 @@ class HiveServer:
             schema = table.schema
             for blob in self.warehouse.read_segments(table):
                 data = serializer.read(blob)
+                mapper = self._row_mapper(data, table)
                 for physical_row in data.rows:
-                    rows.append(
-                        self._reconcile_row(physical_row, data, table)
-                    )
+                    rows.append(mapper(physical_row))
         rows = self._apply_where(rows, schema, statement.where)
         schema, rows = self._project(statement, schema, rows)
         return QueryResult(
@@ -232,8 +395,25 @@ class HiveServer:
             interface="hiveql",
         )
 
-    def _reconcile_row(self, row: Row, data: TableData, table: Table) -> Row:
-        """Map one physical row onto the declared schema."""
+    def _row_mapper(self, data: TableData, table: Table):
+        """Compile the physical→declared mapping for one segment.
+
+        Column resolution (positional vs by-name) and per-column cast
+        kernels are decided once per segment instead of once per cell —
+        and memoized on the (shared, read-only) decoded segment, keyed
+        by the declared schema it is being read under.
+        """
+        mappers = data.__dict__.get("_hive_mappers")
+        if mappers is None:
+            mappers = {}
+            object.__setattr__(data, "_hive_mappers", mappers)
+        mapper = mappers.get(table.schema)
+        if mapper is None:
+            mapper = self._build_row_mapper(data, table)
+            mappers[table.schema] = mapper
+        return mapper
+
+    def _build_row_mapper(self, data: TableData, table: Table):
         physical = data.physical_schema
         positional = (
             data.properties.get(HIVE_POSITIONAL_PROPERTY) == "true"
@@ -242,28 +422,63 @@ class HiveServer:
             )
             or data.format_name in ("orc", "text")
         )
-        values = []
+        is_text = data.format_name == "text"
+        columns = []
         for index, column in enumerate(table.schema.fields):
             if positional:
-                raw = row[index] if index < len(row) else None
+                source = index
             else:
-                raw = self._by_name(row, physical, column.name)
-            if data.format_name == "text":
-                # LazySimpleSerDe: parse the stored string by the
-                # declared type, NULL when it does not parse
-                if raw == NULL_MARKER:
-                    values.append(None)
-                else:
-                    values.append(hive_write_cast(raw, column.data_type))
-            else:
-                values.append(hive_read_cast(raw, column.data_type))
-        return Row(values, table.schema)
+                source = self._index_by_name(physical, column.name)
+            kernel = (
+                hive_write_kernel(column.data_type)
+                if is_text
+                else hive_read_kernel(column.data_type)
+            )
+            columns.append((source, kernel))
+        schema = table.schema
+
+        if is_text:
+            # LazySimpleSerDe: parse the stored string by the declared
+            # type, NULL when it does not parse
+            def mapper(row: Row) -> Row:
+                values = []
+                for source, kernel in columns:
+                    raw = (
+                        row[source]
+                        if source is not None and source < len(row)
+                        else None
+                    )
+                    if raw == NULL_MARKER:
+                        values.append(None)
+                    else:
+                        values.append(kernel(raw))
+                return Row(values, schema)
+
+        else:
+
+            def mapper(row: Row) -> Row:
+                values = []
+                for source, kernel in columns:
+                    raw = (
+                        row[source]
+                        if source is not None and source < len(row)
+                        else None
+                    )
+                    values.append(kernel(raw))
+                return Row(values, schema)
+
+        return mapper
+
+    def _reconcile_row(self, row: Row, data: TableData, table: Table) -> Row:
+        """Map one physical row onto the declared schema."""
+        return self._row_mapper(data, table)(row)
 
     @staticmethod
-    def _by_name(row: Row, physical: Schema, name: str) -> object:
+    def _index_by_name(physical: Schema, name: str) -> int | None:
+        lowered = name.lower()
         for index, fld in enumerate(physical.fields):
-            if fld.name.lower() == name.lower():
-                return row[index]
+            if fld.name.lower() == lowered:
+                return index
         return None
 
     def _apply_where(

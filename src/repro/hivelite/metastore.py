@@ -54,20 +54,76 @@ class Table:
         merged.update(updates)
         return replace(self, properties=tuple(sorted(merged.items())))
 
+    def __hash__(self) -> int:
+        # computed lazily and cached: tables are hashed on every plan
+        # replay (state interning) and the recursive Schema hash is the
+        # expensive part. Same fields as the generated __eq__.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(
+                (
+                    self.database,
+                    self.name,
+                    self.schema,
+                    self.storage_format,
+                    self.location,
+                    self.properties,
+                    self.owner,
+                    self.created_ms,
+                    self.partition_schema,
+                )
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
 
 @dataclass
 class HiveMetastore:
-    """Case-insensitive catalog of databases and tables."""
+    """Case-insensitive catalog of databases and tables.
+
+    Every DDL mutation (CREATE/DROP/ALTER, database creation) bumps
+    ``catalog_version``, a monotonically increasing counter. Plan caches
+    key their validity on it: a cached plan compiled at version *v* can
+    trust its resolved tables unchanged while the version still reads
+    *v*, and must re-validate its dependencies (via :meth:`table_state`)
+    once the version has moved — so a cached plan can never observe a
+    stale table.
+    """
 
     warehouse_root: str = "/warehouse"
     _databases: set[str] = field(default_factory=lambda: {DEFAULT_DATABASE})
     _tables: dict[tuple[str, str], Table] = field(default_factory=dict)
     clock_ms: int = 0
+    catalog_version: int = 0
+    #: Table-value interning for :meth:`table_state`: every distinct
+    #: :class:`Table` value ever registered gets a unique small token,
+    #: computed once at DDL time. ``_state_tokens`` maps each live table
+    #: key to its token.
+    _interned: dict[Table, int] = field(default_factory=dict)
+    _state_tokens: dict[tuple[str, str], int] = field(default_factory=dict)
+    _next_token: int = 0
+
+    def _bump(self) -> None:
+        self.catalog_version += 1
+
+    def _intern(self, key: tuple[str, str], table: Table) -> None:
+        token = self._interned.get(table)
+        if token is None:
+            if len(self._interned) >= 4096:
+                # unbounded distinct table shapes: drop the memo but keep
+                # the counter monotonic so stale tokens can never collide
+                self._interned.clear()
+            token = self._next_token
+            self._next_token += 1
+            self._interned[table] = token
+        self._state_tokens[key] = token
 
     # -- databases ---------------------------------------------------------
 
     def create_database(self, name: str) -> None:
-        self._databases.add(name.lower())
+        if name.lower() not in self._databases:
+            self._databases.add(name.lower())
+            self._bump()
 
     def database_exists(self, name: str) -> bool:
         return name.lower() in self._databases
@@ -135,7 +191,50 @@ class HiveMetastore:
             partition_schema=partition_schema,
         )
         self._tables[key] = table
+        self._intern(key, table)
+        self._bump()
         return table
+
+    def register_table(
+        self, table: Table, *, if_not_exists: bool = False
+    ) -> Table:
+        """Re-register a previously validated :class:`Table` value.
+
+        The replay fast path for cached CREATE plans: the expensive,
+        deterministic work — schema validation, property sorting, the
+        `Table` construction itself — happened when the plan was first
+        compiled and cannot change, so replay is just the existence
+        check, the insert, and the version bump.
+        """
+        key = (table.database, table.name)
+        if key in self._tables:
+            if if_not_exists:
+                return self._tables[key]
+            raise TableAlreadyExistsError(
+                f"table {table.database}.{table.name} exists"
+            )
+        if not self.database_exists(table.database):
+            raise MetastoreError(f"database {table.database!r} does not exist")
+        self._tables[key] = table
+        self._intern(key, table)
+        self._bump()
+        return table
+
+    def table_state(
+        self, name: str, database: str = DEFAULT_DATABASE
+    ) -> int | None:
+        """The current catalog state token for a table (``None`` if absent).
+
+        This is the dependency-fingerprint primitive of the plan cache:
+        :class:`Table` is a frozen dataclass, and every distinct table
+        *value* is interned to a unique token at DDL time — so two
+        ``table_state`` results are equal exactly when nothing a cached
+        plan resolved against has changed, and a DROP + CREATE that
+        rebuilds an identical table yields the same token. Tokens are
+        cheap to hash, which keeps plan-cache lookups off the recursive
+        ``Table``/``Schema`` hash path.
+        """
+        return self._state_tokens.get(self._key(database, name))
 
     def get_table(self, name: str, database: str = DEFAULT_DATABASE) -> Table:
         try:
@@ -155,6 +254,8 @@ class HiveMetastore:
                 return False
             raise TableNotFoundError(f"table {database}.{name} not found")
         del self._tables[key]
+        del self._state_tokens[key]
+        self._bump()
         return True
 
     def alter_table_properties(
@@ -162,7 +263,10 @@ class HiveMetastore:
     ) -> Table:
         table = self.get_table(name, database)
         updated = table.with_properties(updates)
-        self._tables[self._key(database, name)] = updated
+        key = self._key(database, name)
+        self._tables[key] = updated
+        self._intern(key, updated)
+        self._bump()
         return updated
 
     def list_tables(self, database: str = DEFAULT_DATABASE) -> list[str]:

@@ -61,10 +61,15 @@ class Warehouse:
         directory = (
             f"{table.location}/{partition}" if partition else table.location
         )
-        existing = self.part_paths(table, partition)
-        index = len(existing)
+        if self.filesystem.exists(directory):
+            index = sum(
+                not status.is_directory
+                for status in self.filesystem.listdir(directory)
+            )
+        else:
+            self.filesystem.mkdirs(directory)
+            index = 0
         path = f"{directory}/part-{index:05d}.{table.storage_format}"
-        self.filesystem.mkdirs(directory)
         self.filesystem.write(path, blob, overwrite=False)
         return path
 

@@ -1,5 +1,11 @@
 """Monitoring substrate: metric registries, scraping, quota consumers."""
 
+from repro.metrics.caches import (
+    cache_info_snapshot,
+    cache_stats_registry,
+    clear_tracked_caches,
+    tracked_caches,
+)
 from repro.metrics.quota import QuotaExceededError, QuotaSystem, ServiceUnderQuota
 from repro.metrics.registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -22,4 +28,8 @@ __all__ = [
     "Histogram",
     "MetricError",
     "MetricsRegistry",
+    "cache_info_snapshot",
+    "cache_stats_registry",
+    "clear_tracked_caches",
+    "tracked_caches",
 ]

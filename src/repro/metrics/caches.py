@@ -1,0 +1,94 @@
+"""Cache observability: every process-wide memo as scrapeable metrics.
+
+The prepared-execution layer leans on a family of ``lru_cache``-style
+memos (statement/type parsing, compiled cast kernels, serializer
+instances, path normalization). This module names each one and exposes
+its ``cache_info()`` through the same :class:`MetricsRegistry` substrate
+the rest of the simulation scrapes — so cache behaviour crosses system
+boundaries the way §6.2.2 says monitoring data should: explicitly.
+
+Per-session caches (each deployment's plan cache) are *not* listed here;
+their counters travel with :class:`repro.crosstest.CrossTestMetrics`
+because they are scoped to a deployment, not to the process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.metrics.registry import MetricsRegistry
+
+__all__ = [
+    "tracked_caches",
+    "cache_info_snapshot",
+    "cache_stats_registry",
+    "clear_tracked_caches",
+]
+
+
+def tracked_caches() -> dict[str, Callable]:
+    """Name -> memoized callable for every process-wide cache.
+
+    Imports happen inside the function: this module sits below
+    ``repro.metrics`` and must not force the SQL/engine stack into every
+    metrics import.
+    """
+    from repro.common.types import parse_type
+    from repro.connectors.transformers import transformer_for
+    from repro.formats import _serializer_instance
+    from repro.hivelite.casts import hive_read_kernel, hive_write_kernel
+    from repro.sparklite.casts import cast_kernel, store_assign_kernel
+    from repro.sparklite.dataframe import dataframe_store_kernel
+    from repro.sql.parser import parse_statement
+    from repro.storage.namenode import _dirname, _normalize_path
+
+    return {
+        "sql.parse_statement": parse_statement,
+        "types.parse_type": parse_type,
+        "spark.cast_kernel": cast_kernel,
+        "spark.store_assign_kernel": store_assign_kernel,
+        "spark.dataframe_store_kernel": dataframe_store_kernel,
+        "hive.write_kernel": hive_write_kernel,
+        "hive.read_kernel": hive_read_kernel,
+        "connectors.transformer_for": transformer_for,
+        "formats.serializer_instance": _serializer_instance,
+        "storage.normalize_path": _normalize_path,
+        "storage.dirname": _dirname,
+    }
+
+
+def cache_info_snapshot() -> dict[str, dict[str, int]]:
+    """``cache_info()`` for every tracked cache, as plain dicts."""
+    snapshot: dict[str, dict[str, int]] = {}
+    for name, fn in sorted(tracked_caches().items()):
+        info = fn.cache_info()
+        snapshot[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "maxsize": info.maxsize,
+            "currsize": info.currsize,
+        }
+    return snapshot
+
+
+def cache_stats_registry(system: str = "repro.caches") -> MetricsRegistry:
+    """A registry with one gauge per ``<cache>.<field>``.
+
+    Gauges, not counters: ``cache_info()`` is cumulative already and a
+    re-scrape must be able to re-set values after a ``cache_clear()``.
+    """
+    registry = MetricsRegistry(system)
+    for name, info in cache_info_snapshot().items():
+        for stat_name, value in info.items():
+            gauge = registry.gauge(
+                f"{name}.{stat_name}",
+                description=f"lru_cache {stat_name} of {name}",
+            )
+            gauge.set(value if value is not None else -1)
+    return registry
+
+
+def clear_tracked_caches() -> None:
+    """Reset every tracked cache (test isolation helper)."""
+    for fn in tracked_caches().values():
+        fn.cache_clear()

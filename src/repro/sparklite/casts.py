@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import datetime
 import decimal
+import functools
 import math
+from collections.abc import Callable
 
 from repro.common.types import (
     ArrayType,
@@ -43,7 +45,15 @@ from repro.common.types import (
 from repro.errors import AnalysisException, ArithmeticOverflowError, CastError
 from repro.sparklite.conf import StoreAssignmentPolicy
 
-__all__ = ["spark_cast", "store_assign", "wrap_integral"]
+__all__ = [
+    "cast_kernel",
+    "spark_cast",
+    "spark_cast_reference",
+    "store_assign",
+    "store_assign_kernel",
+    "store_assign_reference",
+    "wrap_integral",
+]
 
 _BOOL_TOKENS = {
     "true": True,
@@ -79,6 +89,20 @@ def spark_cast(
     value: object, source: DataType, target: DataType, *, ansi: bool
 ) -> object:
     """Cast a value; ANSI raises on failure, legacy yields NULL/wraps."""
+    del source  # dispatch is on the runtime value, as in Spark's Cast
+    return cast_kernel(target, ansi)(value)
+
+
+def spark_cast_reference(
+    value: object, source: DataType, target: DataType, *, ansi: bool
+) -> object:
+    """Uncompiled per-value dispatch; the oracle for the compiled kernels.
+
+    ``spark_cast`` now compiles ``(target, ansi)`` into a closure once
+    and applies it per value. This walks the original isinstance ladder
+    on every call instead, so a property test can assert the two agree
+    on the whole values corpus (see tests/sparklite/test_cast_kernels).
+    """
     del source  # dispatch is on the runtime value, as in Spark's Cast
     if value is None:
         return None
@@ -331,6 +355,16 @@ def store_assign(
     policy: StoreAssignmentPolicy,
 ) -> object:
     """Coerce one inserted value to the column type per the policy."""
+    return store_assign_kernel(source, target, policy)(value)
+
+
+def store_assign_reference(
+    value: object,
+    source: DataType,
+    target: DataType,
+    policy: StoreAssignmentPolicy,
+) -> object:
+    """Uncompiled store assignment; the oracle for the compiled kernels."""
     if isinstance(source, NullType) or value is None:
         return None
     if policy is StoreAssignmentPolicy.STRICT:
@@ -339,15 +373,15 @@ def store_assign(
                 f"cannot write {source.simple_string()} to column of type "
                 f"{target.simple_string()} under strict store assignment"
             )
-        return spark_cast(value, source, target, ansi=True)
+        return spark_cast_reference(value, source, target, ansi=True)
     if policy is StoreAssignmentPolicy.ANSI:
         if not _ansi_assignable(source, target):
             raise AnalysisException(
                 f"cannot safely cast {source.simple_string()} to "
                 f"{target.simple_string()} under ANSI store assignment"
             )
-        return spark_cast(value, source, target, ansi=True)
-    return spark_cast(value, source, target, ansi=False)
+        return spark_cast_reference(value, source, target, ansi=True)
+    return spark_cast_reference(value, source, target, ansi=False)
 
 
 def _ansi_assignable(source: DataType, target: DataType) -> bool:
@@ -384,3 +418,177 @@ def _ansi_assignable(source: DataType, target: DataType) -> bool:
             for s, t in zip(source.fields, target.fields)
         )
     return False
+
+
+# ---------------------------------------------------------------------------
+# Compiled cast kernels
+# ---------------------------------------------------------------------------
+#
+# The §8 harness applies the same handful of casts hundreds of thousands
+# of times; the per-value cost was never the conversion itself but the
+# isinstance ladder re-deciding *which* conversion on every call. These
+# kernels run the ladder once per distinct ``(target, ansi)`` /
+# ``(source, target, policy)`` and hand back a closure that only does
+# the conversion. All ``DataType``s are frozen dataclasses, so they are
+# valid ``lru_cache`` keys; the bound guards adversarial corpora with
+# unbounded distinct decimal(p,s)/char(n) shapes.
+
+CastKernel = Callable[[object], object]
+
+_KERNEL_CACHE_SIZE = 1024
+
+
+@functools.lru_cache(maxsize=_KERNEL_CACHE_SIZE)
+def cast_kernel(target: DataType, ansi: bool) -> CastKernel:
+    """Compile ``spark_cast`` for one ``(target, ansi)`` into a closure."""
+    inner = _compile_cast(target, ansi)
+
+    if ansi:
+
+        def kernel(value: object) -> object:
+            if value is None:
+                return None
+            try:
+                return inner(value)
+            except (CastError, ArithmeticOverflowError):
+                raise
+            except (ValueError, TypeError, decimal.InvalidOperation) as exc:
+                raise CastError(
+                    value, target.simple_string(), str(exc)
+                ) from exc
+
+        return kernel
+
+    def kernel(value: object) -> object:
+        if value is None:
+            return None
+        try:
+            return inner(value)
+        except (CastError, ArithmeticOverflowError):
+            raise
+        except (ValueError, TypeError, decimal.InvalidOperation):
+            return None
+
+    return kernel
+
+
+def _compile_cast(target: DataType, ansi: bool) -> CastKernel:
+    """Resolve the ``_cast`` dispatch ladder once for ``target``.
+
+    Branch order mirrors ``_cast`` exactly; nested array/map/struct
+    targets compile child kernels recursively, so a deep cast does no
+    type dispatch at all at apply time.
+    """
+    if is_integral(target):
+        return lambda value: _to_integral(value, target, ansi)
+    if isinstance(target, (FloatType, DoubleType)):
+        return lambda value: _to_float(value, target, ansi)
+    if isinstance(target, DecimalType):
+        return lambda value: _to_decimal(value, target, ansi)
+    if isinstance(target, BooleanType):
+        return lambda value: _to_boolean(value, target, ansi)
+    if isinstance(target, (StringType, CharType, VarcharType)):
+        return _to_string
+    if isinstance(target, DateType):
+        return lambda value: _to_date(value, target, ansi)
+    if isinstance(target, (TimestampType, TimestampNTZType)):
+        return lambda value: _to_timestamp(value, target, ansi)
+    if isinstance(target, BinaryType):
+
+        def to_binary(value: object) -> object:
+            if isinstance(value, bytes):
+                return value
+            if isinstance(value, str):
+                return value.encode("utf-8")
+            return _fail(value, target, "only string casts to binary", ansi)
+
+        return to_binary
+    if isinstance(target, ArrayType):
+        element = _compile_cast(target.element_type, ansi)
+
+        def to_array(value: object) -> object:
+            if not isinstance(value, (list, tuple)):
+                return _fail(value, target, "not an array", ansi)
+            return [element(v) if v is not None else None for v in value]
+
+        return to_array
+    if isinstance(target, MapType):
+        key_kernel = _compile_cast(target.key_type, ansi)
+        value_kernel = _compile_cast(target.value_type, ansi)
+
+        def to_map(value: object) -> object:
+            if not isinstance(value, dict):
+                return _fail(value, target, "not a map", ansi)
+            return {
+                key_kernel(k): (
+                    value_kernel(v) if v is not None else None
+                )
+                for k, v in value.items()
+            }
+
+        return to_map
+    if isinstance(target, StructType):
+        fields = target.fields
+        names = tuple(f.name for f in fields)
+        members = tuple(_compile_cast(f.data_type, ansi) for f in fields)
+
+        def to_struct(value: object) -> object:
+            if isinstance(value, dict):
+                items = [value.get(name) for name in names]
+            elif isinstance(value, (list, tuple)) and len(value) == len(
+                fields
+            ):
+                items = list(value)
+            else:
+                return _fail(value, target, "not a struct", ansi)
+            return [
+                member(v) if v is not None else None
+                for v, member in zip(items, members)
+            ]
+
+        return to_struct
+    return lambda value: value
+
+
+def _none_kernel(value: object) -> object:
+    return None
+
+
+def _compile_reject(message: str) -> CastKernel:
+    def reject(value: object) -> object:
+        if value is None:
+            return None
+        raise AnalysisException(message)
+
+    return reject
+
+
+@functools.lru_cache(maxsize=_KERNEL_CACHE_SIZE)
+def store_assign_kernel(
+    source: DataType, target: DataType, policy: StoreAssignmentPolicy
+) -> CastKernel:
+    """Compile ``store_assign`` for one ``(source, target, policy)``.
+
+    Policy admissibility (``_is_safe_widening`` / ``_ansi_assignable``)
+    is decided once at compile time: inadmissible pairs compile to a
+    kernel that raises the pre-built :class:`AnalysisException` message
+    (after the NULL short-circuit, which always wins — matching the
+    reference, where ``value is None`` is checked before the policy).
+    """
+    if isinstance(source, NullType):
+        return _none_kernel
+    if policy is StoreAssignmentPolicy.STRICT:
+        if not _is_safe_widening(source, target):
+            return _compile_reject(
+                f"cannot write {source.simple_string()} to column of type "
+                f"{target.simple_string()} under strict store assignment"
+            )
+        return cast_kernel(target, True)
+    if policy is StoreAssignmentPolicy.ANSI:
+        if not _ansi_assignable(source, target):
+            return _compile_reject(
+                f"cannot safely cast {source.simple_string()} to "
+                f"{target.simple_string()} under ANSI store assignment"
+            )
+        return cast_kernel(target, True)
+    return cast_kernel(target, False)

@@ -101,6 +101,14 @@ SPARK_CONFIG_KEYS: list[ConfigKey] = [
     ),
     ConfigKey("spark.sql.warehouse.dir", default="/warehouse"),
     ConfigKey("spark.sql.session.timeZone", default="UTC"),
+    ConfigKey(
+        "repro.plan.cache.enabled",
+        default=True,
+        parser=parse_bool,
+        doc="Cache analyzed statement plans per session, keyed on the "
+        "session configuration and validated against the metastore "
+        "catalog version. Disable to force full re-analysis per query.",
+    ),
     # --- representative surrounding surface ------------------------------
     ConfigKey("spark.app.name", default="repro"),
     ConfigKey("spark.master", default="local[*]"),
@@ -186,6 +194,10 @@ class SparkConf(Configuration):
     @property
     def legacy_orc_positional_names(self) -> bool:
         return bool(self.get("spark.sql.legacy.orc.positionalNames"))
+
+    @property
+    def plan_cache_enabled(self) -> bool:
+        return bool(self.get("repro.plan.cache.enabled"))
 
     @property
     def warehouse_dir(self) -> str:

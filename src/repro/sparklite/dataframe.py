@@ -10,6 +10,8 @@ keys on (§8.1, Figure 6).
 from __future__ import annotations
 
 import decimal
+import functools
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -23,16 +25,22 @@ from repro.common.types import (
     VarcharType,
 )
 from repro.errors import AnalysisException
-from repro.sparklite.casts import spark_cast
+from repro.sparklite.casts import cast_kernel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sparklite.session import SparkSession
 
-__all__ = ["DataFrame", "DataFrameWriter", "dataframe_store_value"]
+__all__ = [
+    "DataFrame",
+    "DataFrameWriter",
+    "dataframe_store_kernel",
+    "dataframe_store_value",
+]
 
 
-def dataframe_store_value(value: object, target: DataType) -> object:
-    """Coerce one DataFrame cell to a column type, the DataFrame way.
+@functools.lru_cache(maxsize=1024)
+def dataframe_store_kernel(target: DataType) -> Callable[[object], object]:
+    """Compile the DataFrame-path coercion for one column type.
 
     * legacy cast semantics: NULL on failure, two's-complement wrap on
       integral overflow (vs the SQL path's ANSI errors — §8.2's
@@ -42,16 +50,27 @@ def dataframe_store_value(value: object, target: DataType) -> object:
     * decimals that fit their declared precision are stored *unquantized*
       — the ad-hoc serialization behind SPARK-39158 (discrepancy #2).
     """
-    if value is None:
-        return None
     if isinstance(target, (CharType, VarcharType)):
-        return spark_cast(value, StringType(), StringType(), ansi=False)
-    if isinstance(target, DecimalType) and isinstance(value, decimal.Decimal):
-        quantized = spark_cast(value, target, target, ansi=False)
-        if quantized is None:
-            return None
-        return value  # fits, keep original scale (unquantized)
-    return spark_cast(value, target, target, ansi=False)
+        return cast_kernel(StringType(), False)
+    if isinstance(target, DecimalType):
+        quantize = cast_kernel(target, False)
+
+        def decimal_kernel(value: object) -> object:
+            if value is None:
+                return None
+            if isinstance(value, decimal.Decimal):
+                if quantize(value) is None:
+                    return None
+                return value  # fits, keep original scale (unquantized)
+            return quantize(value)
+
+        return decimal_kernel
+    return cast_kernel(target, False)
+
+
+def dataframe_store_value(value: object, target: DataType) -> object:
+    """Coerce one DataFrame cell to a column type, the DataFrame way."""
+    return dataframe_store_kernel(target)(value)
 
 
 class DataFrame:

@@ -19,6 +19,9 @@ CHAR padding on read      padded                    raw value
 
 from __future__ import annotations
 
+import functools
+from dataclasses import dataclass
+
 from repro.common.result import QueryResult
 from repro.common.row import Row
 from repro.common.schema import Field, Schema
@@ -28,21 +31,26 @@ from repro.common.types import (
     VarcharType,
     parse_type,
 )
-from repro.connectors.spark_hive import ResolvedTable, SparkHiveConnector
+from repro.connectors.spark_hive import (
+    CreateSpec,
+    ResolvedTable,
+    SparkHiveConnector,
+)
 from repro.connectors.transformers import transformer_for
 from repro.errors import AnalysisException, QueryError, TableAlreadyExistsError
 from repro.formats import serializer_for
 from repro.formats.base import TableData
 from repro.formats.orc import HIVE_POSITIONAL_PROPERTY
+from repro.formats.textfile import NULL_MARKER
 from repro.hivelite.metastore import DEFAULT_DATABASE, HiveMetastore
 from repro.hivelite.warehouse import (
     Warehouse,
     parse_partition_dirname,
     partition_dirname,
 )
-from repro.sparklite.casts import spark_cast, store_assign
+from repro.sparklite.casts import cast_kernel, spark_cast, store_assign
 from repro.sparklite.conf import SparkConf
-from repro.sparklite.dataframe import DataFrame, dataframe_store_value
+from repro.sparklite.dataframe import DataFrame, dataframe_store_kernel
 from repro.sql.ast import (
     ColumnRef,
     Comparison,
@@ -55,10 +63,58 @@ from repro.sql.ast import (
 )
 from repro.sql.literals import DialectOptions, LiteralEvaluator, TypedValue
 from repro.sql.parser import parse_statement
+from repro.sql.plancache import PlanCache, PreparedFailure
 from repro.storage.filesystem import FileSystem
 from repro.storage.namenode import NameNode
 
 __all__ = ["SparkSession"]
+
+
+@dataclass(frozen=True)
+class _PreparedCreate:
+    """CREATE TABLE with the connector analysis already done."""
+
+    spec: CreateSpec
+
+    def execute(self, session: "SparkSession") -> QueryResult:
+        session.connector.execute_create(self.spec)
+        return session._empty("sparksql")
+
+
+@dataclass(frozen=True)
+class _PreparedInsert:
+    """INSERT with evaluation, coercion and serialization done.
+
+    The write itself — truncate-on-overwrite plus appending the segment
+    — is the only execute-time work. The blob is valid for as long as
+    the dependency fingerprint (the resolved table) holds, which the
+    plan cache guarantees.
+    """
+
+    resolved: ResolvedTable
+    blob: bytes
+    partition: str | None
+    overwrite: bool
+
+    def execute(self, session: "SparkSession") -> QueryResult:
+        if self.overwrite:
+            session.warehouse.truncate(self.resolved.table, self.partition)
+        session.warehouse.write_segment(
+            self.resolved.table, self.blob, self.partition
+        )
+        return session._empty("sparksql")
+
+
+@dataclass(frozen=True)
+class _PreparedSelect:
+    """SELECT with the table resolution done; the scan stays per-call
+    (warehouse contents are dynamic, only the resolution is not)."""
+
+    resolved: ResolvedTable
+    statement: Select
+
+    def execute(self, session: "SparkSession") -> QueryResult:
+        return session._execute_select(self.resolved, self.statement)
 
 
 class SparkSession:
@@ -77,6 +133,7 @@ class SparkSession:
         self.database = database
         self.connector = SparkHiveConnector(metastore, self.conf)
         self.warehouse = Warehouse(filesystem)
+        self.plan_cache = PlanCache()
 
     @classmethod
     def local(cls, conf: SparkConf | None = None) -> "SparkSession":
@@ -87,15 +144,81 @@ class SparkSession:
 
     def sql(self, text: str) -> QueryResult:
         statement = parse_statement(text)
+        if isinstance(statement, DropTable):
+            # DROP is pure side effect; there is no analysis to reuse.
+            return self._sql_drop(statement)
+        if not self.conf.plan_cache_enabled:
+            return self._sql_uncached(statement)
+        fingerprint = self.conf.fingerprint()
+        version = self.metastore.catalog_version
+        plan = self.plan_cache.lookup(
+            text, fingerprint, version, self._dependency_state
+        )
+        if plan is None:
+            plan, deps = self._prepare(statement)
+            self.plan_cache.store(text, fingerprint, version, deps, plan)
+        return plan.execute(self)
+
+    def _sql_uncached(self, statement) -> QueryResult:
         if isinstance(statement, CreateTable):
             return self._sql_create(statement)
-        if isinstance(statement, DropTable):
-            return self._sql_drop(statement)
         if isinstance(statement, Insert):
             return self._sql_insert(statement)
         if isinstance(statement, Select):
             return self._sql_select(statement)
         raise QueryError(f"unsupported statement {statement!r}")
+
+    # -- prepared execution ------------------------------------------------
+
+    def _dependency_state(self, dep_key: tuple[str, str]):
+        database, name = dep_key
+        return self.metastore.table_state(name, database)
+
+    def _table_deps(self, name: str):
+        dep_key = (self.database, name)
+        return ((dep_key, self._dependency_state(dep_key)),)
+
+    def _prepare(self, statement):
+        """Analyze one statement into a (plan, dependency fingerprints)
+        pair; deterministic analysis failures become cacheable
+        :class:`PreparedFailure` plans."""
+        if isinstance(statement, CreateTable):
+            return self._prepare_create(statement)
+        if isinstance(statement, Insert):
+            return self._prepare_insert(statement)
+        if isinstance(statement, Select):
+            return self._prepare_select(statement)
+        raise QueryError(f"unsupported statement {statement!r}")
+
+    def _prepare_create(self, statement: CreateTable):
+        # CREATE analysis reads no catalog state: existence is checked
+        # by the metastore at execute time, so the dep set is empty.
+        try:
+            spec = self._analyze_create(statement)
+        except Exception as exc:
+            return PreparedFailure(exc), ()
+        return _PreparedCreate(spec), ()
+
+    def _prepare_insert(self, statement: Insert):
+        deps = self._table_deps(statement.table)
+        try:
+            resolved, rows, partition = self._analyze_insert(statement)
+            serializer = serializer_for(resolved.table.storage_format)
+            blob = serializer.write(resolved.schema, rows, {"writer": "spark"})
+        except Exception as exc:
+            return PreparedFailure(exc), deps
+        return (
+            _PreparedInsert(resolved, blob, partition, statement.overwrite),
+            deps,
+        )
+
+    def _prepare_select(self, statement: Select):
+        deps = self._table_deps(statement.table)
+        try:
+            resolved = self.connector.resolve(statement.table, self.database)
+        except Exception as exc:
+            return PreparedFailure(exc), deps
+        return _PreparedSelect(resolved, statement), deps
 
     def _evaluator(self) -> LiteralEvaluator:
         ansi = bool(self.conf.get("spark.sql.ansi.enabled"))
@@ -112,7 +235,7 @@ class SparkSession:
             )
         )
 
-    def _sql_create(self, statement: CreateTable) -> QueryResult:
+    def _analyze_create(self, statement: CreateTable) -> CreateSpec:
         declared = Schema(
             tuple(
                 Field(col.name, parse_type(col.type_text))
@@ -130,7 +253,7 @@ class SparkSession:
         fmt = statement.stored_as or str(
             self.conf.get("spark.sql.sources.default")
         )
-        self.connector.create_table(
+        return self.connector.prepare_create(
             statement.table,
             declared,
             fmt,
@@ -140,6 +263,9 @@ class SparkSession:
             extra_properties=dict(statement.properties),
             partition_schema=partition_schema,
         )
+
+    def _sql_create(self, statement: CreateTable) -> QueryResult:
+        self.connector.execute_create(self._analyze_create(statement))
         return self._empty("sparksql")
 
     def _sql_drop(self, statement: DropTable) -> QueryResult:
@@ -151,7 +277,9 @@ class SparkSession:
         )
         return self._empty("sparksql")
 
-    def _sql_insert(self, statement: Insert) -> QueryResult:
+    def _analyze_insert(
+        self, statement: Insert
+    ) -> tuple[ResolvedTable, list[tuple], str | None]:
         resolved = self.connector.resolve(statement.table, self.database)
         evaluator = self._evaluator()
         policy = self.conf.store_assignment_policy
@@ -170,6 +298,10 @@ class SparkSession:
                 typed = evaluator.evaluate(expr)
                 values.append(self._sql_store(typed, column.data_type, policy))
             rows.append(tuple(values))
+        return resolved, rows, partition
+
+    def _sql_insert(self, statement: Insert) -> QueryResult:
+        resolved, rows, partition = self._analyze_insert(statement)
         self._write_rows(
             resolved, rows, overwrite=statement.overwrite, partition=partition
         )
@@ -221,6 +353,11 @@ class SparkSession:
 
     def _sql_select(self, statement: Select) -> QueryResult:
         resolved = self.connector.resolve(statement.table, self.database)
+        return self._execute_select(resolved, statement)
+
+    def _execute_select(
+        self, resolved: ResolvedTable, statement: Select
+    ) -> QueryResult:
         schema, rows = self._scan(resolved, interface="sparksql")
         rows = self._apply_where(rows, schema, statement.where)
         schema, rows = self._project(statement, schema, rows)
@@ -237,15 +374,19 @@ class SparkSession:
         self, data: list[tuple] | list[list], schema: Schema
     ) -> DataFrame:
         """Build a DataFrame, coercing cells the DataFrame way (legacy)."""
+        kernels = [
+            dataframe_store_kernel(field.data_type)
+            for field in schema.fields
+        ]
+        arity = len(schema)
         rows = []
         for record in data:
-            if len(record) != len(schema):
+            if len(record) != arity:
                 raise AnalysisException(
-                    f"row arity {len(record)} != schema arity {len(schema)}"
+                    f"row arity {len(record)} != schema arity {arity}"
                 )
             values = [
-                dataframe_store_value(value, field.data_type)
-                for value, field in zip(record, schema.fields)
+                kernel(value) for value, kernel in zip(record, kernels)
             ]
             rows.append(Row(values, schema))
         return DataFrame(self, schema, rows)
@@ -299,12 +440,13 @@ class SparkSession:
                 f"DataFrame arity {len(dataframe.schema)} != table arity "
                 f"{len(resolved.schema)}"
             )
+        kernels = [
+            dataframe_store_kernel(field.data_type)
+            for field in resolved.schema.fields
+        ]
         rows = []
         for row in dataframe.collect():
-            values = [
-                dataframe_store_value(value, field.data_type)
-                for value, field in zip(row, resolved.schema.fields)
-            ]
+            values = [kernel(value) for value, kernel in zip(row, kernels)]
             rows.append(tuple(values))
         self._write_rows(resolved, rows, overwrite=overwrite)
 
@@ -323,14 +465,22 @@ class SparkSession:
             )
         by_partition: dict[str, list[tuple]] = {}
         split = len(resolved.schema)
+        data_kernels = [
+            dataframe_store_kernel(field.data_type)
+            for field in resolved.schema.fields
+        ]
+        partition_kernels = [
+            dataframe_store_kernel(field.data_type)
+            for field in partition_schema.fields
+        ]
         for row in dataframe.collect():
             values = tuple(
-                dataframe_store_value(value, field.data_type)
-                for value, field in zip(row[:split], resolved.schema.fields)
+                kernel(value)
+                for value, kernel in zip(row[:split], data_kernels)
             )
             partition_values = [
-                dataframe_store_value(value, field.data_type)
-                for value, field in zip(row[split:], partition_schema.fields)
+                kernel(value)
+                for value, kernel in zip(row[split:], partition_kernels)
             ]
             dirname = "/".join(
                 partition_dirname(field.name, value)
@@ -418,55 +568,71 @@ class SparkSession:
         self, resolved: ResolvedTable, interface: str, blobs
     ) -> list[Row]:
         serializer = serializer_for(resolved.table.storage_format)
+        pad_chars = (
+            interface == "sparksql" and not self.conf.char_varchar_as_string
+        )
+        plan_key = (
+            resolved.schema,
+            pad_chars,
+            self.conf.case_sensitive,
+            self.conf.legacy_orc_positional_names,
+        )
         out: list[Row] = []
         for blob in blobs:
             data = serializer.read(blob)
-            mapping = self._column_mapping(data, resolved.schema)
-            transforms = []
-            for expected, physical_index in zip(resolved.schema.fields, mapping):
-                if physical_index is None:
-                    transforms.append(None)
-                    continue
-                if data.format_name == "text":
-                    # text rows are strings; Spark parses them with the
-                    # (lenient) legacy cast, like its Hive text scan
-                    transforms.append(_text_cell_transform(expected.data_type))
-                    continue
-                physical = data.physical_schema.fields[physical_index]
-                transforms.append(
-                    transformer_for(
-                        physical.data_type,
-                        expected.data_type,
-                        data.format_name,
-                    )
-                )
+            # decoded blobs are shared, so the per-blob column plan is
+            # memoized on the TableData, keyed by everything it reads
+            # from the session (schema + the conf switches involved)
+            plans = data.__dict__.get("_scan_plans")
+            if plans is None:
+                plans = {}
+                object.__setattr__(data, "_scan_plans", plans)
+            columns = plans.get(plan_key)
+            if columns is None:
+                columns = self._scan_columns(data, resolved.schema, pad_chars)
+                plans[plan_key] = columns
             for physical_row in data.rows:
                 values = []
-                for physical_index, transform, expected in zip(
-                    mapping, transforms, resolved.schema.fields
-                ):
+                for physical_index, transform, finish in columns:
                     if physical_index is None or transform is None:
                         values.append(None)
                         continue
                     raw = physical_row[physical_index]
                     value = None if raw is None else transform(raw)
-                    values.append(
-                        self._finish_read_value(value, expected.data_type, interface)
-                    )
+                    if finish is not None:
+                        value = finish(value)
+                    values.append(value)
                 out.append(Row(values, resolved.schema))
         return out
 
-    def _finish_read_value(
-        self, value: object, dtype: DataType, interface: str
-    ) -> object:
-        if (
-            interface == "sparksql"
-            and isinstance(dtype, CharType)
-            and isinstance(value, str)
-            and not self.conf.char_varchar_as_string
-        ):
-            return dtype.pad(value)
-        return value
+    def _scan_columns(
+        self, data: TableData, expected: Schema, pad_chars: bool
+    ) -> list[tuple]:
+        """Resolve (physical index, transform, finisher) per column."""
+        mapping = self._column_mapping(data, expected)
+        columns: list[tuple] = []
+        for field, physical_index in zip(expected.fields, mapping):
+            if physical_index is None:
+                columns.append((None, None, None))
+                continue
+            if data.format_name == "text":
+                # text rows are strings; Spark parses them with the
+                # (lenient) legacy cast, like its Hive text scan
+                transform = _text_cell_transform(field.data_type)
+            else:
+                physical = data.physical_schema.fields[physical_index]
+                transform = transformer_for(
+                    physical.data_type,
+                    field.data_type,
+                    data.format_name,
+                )
+            finish = (
+                _char_pad_finisher(field.data_type)
+                if pad_chars and isinstance(field.data_type, CharType)
+                else None
+            )
+            columns.append((physical_index, transform, finish))
+        return columns
 
     def _column_mapping(
         self, data: TableData, expected: Schema
@@ -551,16 +717,26 @@ class SparkSession:
         return QueryResult(schema=Schema(()), interface=interface)
 
 
+@functools.lru_cache(maxsize=1024)
 def _text_cell_transform(expected: DataType):
-    from repro.common.types import StringType
-    from repro.formats.textfile import NULL_MARKER
+    kernel = cast_kernel(expected, False)
 
     def transform(raw: object) -> object:
         if raw == NULL_MARKER or raw is None:
             return None
-        return spark_cast(raw, StringType(), expected, ansi=False)
+        return kernel(raw)
 
     return transform
+
+
+@functools.lru_cache(maxsize=1024)
+def _char_pad_finisher(dtype: CharType):
+    def finish(value: object) -> object:
+        if isinstance(value, str):
+            return dtype.pad(value)
+        return value
+
+    return finish
 
 
 def _compare(value: object, op: str, target: object) -> bool:

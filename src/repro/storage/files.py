@@ -56,6 +56,8 @@ class INodeFile:
     permission: int = 0o644
     modification_time_ms: int = 0
     extra_properties: dict[str, object] = field(default_factory=dict)
+    #: cached ``status()`` result; every mutation resets it to ``None``
+    _status: "FileStatus | None" = field(default=None, repr=False, compare=False)
 
     def stored_payload(self) -> bytes:
         if self.compressed:
@@ -69,13 +71,15 @@ class INodeFile:
         return len(self.data)
 
     def status(self) -> FileStatus:
+        if self._status is not None:
+            return self._status
         custom: dict[str, object] = {
             "is_compressed": self.compressed,
             "is_encrypted": self.encrypted,
             "is_local": self.local_only,
         }
         custom.update(self.extra_properties)
-        return FileStatus(
+        self._status = FileStatus(
             path=self.path,
             length=self.reported_length(),
             is_directory=False,
@@ -84,3 +88,4 @@ class INodeFile:
             modification_time_ms=self.modification_time_ms,
             custom=tuple(sorted(custom.items())),
         )
+        return self._status

@@ -9,6 +9,7 @@ operation consuming it).
 
 from __future__ import annotations
 
+import functools
 import posixpath
 from dataclasses import dataclass, field
 
@@ -20,6 +21,18 @@ from repro.errors import (
 from repro.storage.files import FileStatus, INodeFile
 
 __all__ = ["DelegationToken", "NameNode"]
+
+
+@functools.lru_cache(maxsize=4096)
+def _normalize_path(path: str) -> str:
+    """Absolute-path check + ``normpath``, memoized (paths recur heavily)."""
+    if not path.startswith("/"):
+        raise StorageError(f"path must be absolute: {path!r}")
+    return posixpath.normpath(path)
+
+
+#: warehouse layouts revisit the same handful of directories constantly
+_dirname = functools.lru_cache(maxsize=4096)(posixpath.dirname)
 
 
 @dataclass
@@ -45,6 +58,10 @@ class NameNode:
     token_lifetime_ms: int = 86_400_000
     _files: dict[str, INodeFile] = field(default_factory=dict)
     _dirs: set[str] = field(default_factory=lambda: {"/"})
+    #: direct-children index (files and directories, as full paths),
+    #: maintained by every namespace mutation so listing and recursive
+    #: deletion need not scan the whole namespace
+    _children: dict[str, set[str]] = field(default_factory=dict)
     _tokens: dict[int, DelegationToken] = field(default_factory=dict)
     _next_token_id: int = 1
     clock_ms: int = 0
@@ -65,22 +82,34 @@ class NameNode:
 
     # -- namespace -----------------------------------------------------
 
-    @staticmethod
-    def _normalize(path: str) -> str:
-        if not path.startswith("/"):
-            raise StorageError(f"path must be absolute: {path!r}")
-        return posixpath.normpath(path)
+    _normalize = staticmethod(_normalize_path)
+
+    def _link(self, path: str) -> None:
+        if path != "/":
+            self._children.setdefault(_dirname(path), set()).add(path)
+
+    def _unlink(self, path: str) -> None:
+        if path != "/":
+            kids = self._children.get(_dirname(path))
+            if kids is not None:
+                kids.discard(path)
 
     def mkdirs(self, path: str) -> None:
         self._check_writable("mkdirs")
         path = self._normalize(path)
+        if path in self._dirs:
+            # mkdirs only ever adds a directory together with all its
+            # ancestors, so an existing directory needs no walk.
+            return
         parts = path.strip("/").split("/") if path != "/" else []
         current = "/"
         for part in parts:
             current = posixpath.join(current, part)
             if current in self._files:
                 raise StorageError(f"{current} exists and is a file")
-            self._dirs.add(current)
+            if current not in self._dirs:
+                self._dirs.add(current)
+                self._link(current)
 
     def create(
         self,
@@ -100,7 +129,9 @@ class NameNode:
             raise StorageError(f"{path} exists and is a directory")
         if path in self._files and not overwrite:
             raise StorageError(f"{path} already exists")
-        self.mkdirs(posixpath.dirname(path) or "/")
+        self.mkdirs(_dirname(path) or "/")
+        if path not in self._files:
+            self._link(path)
         node = INodeFile(
             path=path,
             data=data,
@@ -119,6 +150,7 @@ class NameNode:
         node = self._lookup_file(path)
         node.data += data
         node.modification_time_ms = self.clock_ms
+        node._status = None
         return node.status()
 
     def open(self, path: str) -> bytes:
@@ -134,15 +166,18 @@ class NameNode:
         path = self._normalize(path)
         if path in self._files:
             del self._files[path]
+            self._unlink(path)
             return True
         if path in self._dirs:
-            children = [p for p in self._list_children(path)]
+            children = self._list_children(path)
             if children and not recursive:
                 raise StorageError(f"{path} is a non-empty directory")
             for child in children:
                 self.delete(child, recursive=True)
             if path != "/":
                 self._dirs.discard(path)
+                self._children.pop(path, None)
+                self._unlink(path)
             return True
         return False
 
@@ -153,9 +188,12 @@ class NameNode:
         if dst in self._files or dst in self._dirs:
             raise StorageError(f"rename target {dst} exists")
         del self._files[node.path]
+        self._unlink(node.path)
         node.path = dst
-        self.mkdirs(posixpath.dirname(dst) or "/")
+        node._status = None
+        self.mkdirs(_dirname(dst) or "/")
         self._files[dst] = node
+        self._link(dst)
 
     def exists(self, path: str) -> bool:
         path = self._normalize(path)
@@ -179,16 +217,12 @@ class NameNode:
         ]
 
     def set_property(self, path: str, name: str, value: object) -> None:
-        self._lookup_file(path).extra_properties[name] = value
+        node = self._lookup_file(path)
+        node.extra_properties[name] = value
+        node._status = None
 
     def _list_children(self, path: str) -> list[str]:
-        prefix = path.rstrip("/") + "/"
-        children = set()
-        for candidate in list(self._files) + list(self._dirs):
-            if candidate != path and candidate.startswith(prefix):
-                remainder = candidate[len(prefix) :]
-                children.add(prefix + remainder.split("/")[0])
-        return sorted(children)
+        return sorted(self._children.get(path, ()))
 
     def _lookup_file(self, path: str) -> INodeFile:
         path = self._normalize(path)

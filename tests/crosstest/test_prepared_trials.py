@@ -1,0 +1,84 @@
+"""Prepared-trial machinery: pooled single trials, cache counters in the
+metrics, and the plan-cache disable flag leaving the report untouched."""
+
+import json
+
+from repro.crosstest import CrossTestMetrics
+from repro.crosstest.executor import worker_pool
+from repro.crosstest.harness import CrossTester
+from repro.crosstest.plans import ALL_PLANS
+from repro.crosstest.report import run_crosstest
+from repro.crosstest.values import generate_inputs
+
+
+def _plan(name):
+    return next(plan for plan in ALL_PLANS if plan.name == name)
+
+
+class TestPooledRunTrial:
+    def test_single_trials_reuse_the_worker_pool(self):
+        tester = CrossTester()
+        test_input = generate_inputs()[0]
+        plan = ALL_PLANS[0]
+        first = tester.run_trial(plan, "orc", test_input)
+        pool = worker_pool(tester.conf_overrides)
+        pooled = len(pool._idle)
+        second = tester.run_trial(plan, "orc", test_input)
+        assert len(worker_pool(tester.conf_overrides)._idle) == pooled
+        assert first.outcome == second.outcome
+
+    def test_pool_is_keyed_by_conf_overrides(self):
+        assert worker_pool({}) is worker_pool({})
+        assert worker_pool({}) is not worker_pool({"spark.sql.ansi.enabled": "true"})
+        assert worker_pool({"a": "1", "b": "2"}) is worker_pool(
+            {"b": "2", "a": "1"}
+        )
+
+
+class TestCacheCounters:
+    def test_metrics_report_plan_cache_traffic(self):
+        metrics = CrossTestMetrics()
+        run_crosstest(formats=("orc",), jobs=1, metrics=metrics)
+        counts = {
+            name: int(counter.value)
+            for name, counter in metrics.cache_counters.items()
+        }
+        assert counts["plan_cache_hits"] > 0
+        assert counts["deployments_created"] + counts["deployments_reused"] > 0
+
+    def test_cache_summary_line(self):
+        metrics = CrossTestMetrics()
+        run_crosstest(formats=("orc",), jobs=1, metrics=metrics)
+        line = metrics.cache_summary()
+        assert "plan cache:" in line
+        assert "hit_rate=" in line
+        assert "deployments:" in line
+        assert line in "\n".join(metrics.summary_lines())
+
+
+class TestDisableFlag:
+    def test_report_byte_identical_with_cache_disabled(self):
+        baseline = run_crosstest(formats=("orc",), jobs=1)
+        disabled = run_crosstest(
+            formats=("orc",),
+            jobs=1,
+            conf_overrides={"repro.plan.cache.enabled": "false"},
+        )
+        assert json.dumps(disabled.to_json(), sort_keys=True) == json.dumps(
+            baseline.to_json(), sort_keys=True
+        )
+
+    def test_disabled_deployments_skip_the_cache(self):
+        metrics = CrossTestMetrics()
+        run_crosstest(
+            formats=("orc",),
+            jobs=1,
+            conf_overrides={"repro.plan.cache.enabled": "false"},
+            metrics=metrics,
+        )
+        counts = {
+            name: int(counter.value)
+            for name, counter in metrics.cache_counters.items()
+        }
+        assert counts["plan_cache_hits"] == 0
+        assert counts["plan_cache_misses"] == 0

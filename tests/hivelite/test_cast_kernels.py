@@ -1,0 +1,41 @@
+"""Hive's compiled read/write kernels agree with the reference casts
+on the full cross-test corpus (values, exception types, and messages)."""
+
+import pytest
+
+from repro.crosstest.oracles import canonical
+from repro.crosstest.values import generate_inputs
+from repro.hivelite.casts import (
+    hive_read_cast,
+    hive_read_cast_reference,
+    hive_write_cast,
+    hive_write_cast_reference,
+)
+
+CORPUS = generate_inputs()
+
+
+def _outcome(fn, *args):
+    try:
+        return ("ok", canonical(fn(*args)))
+    except Exception as exc:  # noqa: BLE001 - parity includes the type
+        return ("error", type(exc).__name__, str(exc))
+
+
+@pytest.mark.parametrize(
+    "compiled,reference",
+    [
+        (hive_write_cast, hive_write_cast_reference),
+        (hive_read_cast, hive_read_cast_reference),
+    ],
+    ids=["write", "read"],
+)
+def test_corpus_py_values_against_declared_type(compiled, reference):
+    for test_input in CORPUS:
+        dtype = test_input.column_type
+        expected = _outcome(reference, test_input.py_value, dtype)
+        actual = _outcome(compiled, test_input.py_value, dtype)
+        assert actual == expected, (
+            f"input {test_input.input_id} ({test_input.type_text}): "
+            f"kernel {actual} != reference {expected}"
+        )

@@ -1,0 +1,86 @@
+"""Interned table-state tokens and the register_table replay fast path."""
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.errors import MetastoreError, TableAlreadyExistsError
+from repro.hivelite.metastore import HiveMetastore
+
+
+@pytest.fixture
+def metastore():
+    return HiveMetastore()
+
+
+def _schema():
+    return Schema.of(("a", "int"), case_sensitive=False)
+
+
+class TestTableState:
+    def test_absent_table_has_no_state(self, metastore):
+        assert metastore.table_state("t") is None
+
+    def test_create_assigns_a_token(self, metastore):
+        metastore.create_table("t", _schema(), "orc")
+        assert isinstance(metastore.table_state("t"), int)
+
+    def test_drop_clears_the_state(self, metastore):
+        metastore.create_table("t", _schema(), "orc")
+        metastore.drop_table("t")
+        assert metastore.table_state("t") is None
+
+    def test_identical_recreate_reuses_the_token(self, metastore):
+        metastore.create_table("t", _schema(), "orc")
+        token = metastore.table_state("t")
+        metastore.drop_table("t")
+        metastore.create_table("t", _schema(), "orc")
+        assert metastore.table_state("t") == token
+
+    def test_different_recreate_gets_a_new_token(self, metastore):
+        metastore.create_table("t", _schema(), "orc")
+        token = metastore.table_state("t")
+        metastore.drop_table("t")
+        metastore.create_table(
+            "t", Schema.of(("a", "string"), case_sensitive=False), "orc"
+        )
+        assert metastore.table_state("t") != token
+
+    def test_property_change_moves_the_state(self, metastore):
+        metastore.create_table("t", _schema(), "orc")
+        token = metastore.table_state("t")
+        metastore.alter_table_properties("t", {"k": "v"})
+        assert metastore.table_state("t") != token
+
+    def test_distinct_tables_have_distinct_tokens(self, metastore):
+        metastore.create_table("a", _schema(), "orc")
+        metastore.create_table("b", _schema(), "orc")
+        assert metastore.table_state("a") != metastore.table_state("b")
+
+
+class TestRegisterTable:
+    def test_replays_a_previously_created_table(self, metastore):
+        created = metastore.create_table("t", _schema(), "orc")
+        metastore.drop_table("t")
+        version = metastore.catalog_version
+        replayed = metastore.register_table(created)
+        assert replayed == created
+        assert metastore.get_table("t") == created
+        assert metastore.catalog_version == version + 1
+
+    def test_existing_table_rejected(self, metastore):
+        created = metastore.create_table("t", _schema(), "orc")
+        with pytest.raises(TableAlreadyExistsError):
+            metastore.register_table(created)
+
+    def test_if_not_exists_returns_existing(self, metastore):
+        created = metastore.create_table("t", _schema(), "orc")
+        assert metastore.register_table(created, if_not_exists=True) == created
+
+    def test_unknown_database_rejected(self, metastore):
+        from dataclasses import replace
+
+        created = metastore.create_table("t", _schema(), "orc")
+        metastore.drop_table("t")
+        ghost = replace(created, database="nowhere")
+        with pytest.raises(MetastoreError):
+            metastore.register_table(ghost)

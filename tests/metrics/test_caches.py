@@ -1,0 +1,62 @@
+"""The process-wide cache registry: every memo is named and scrapeable."""
+
+from repro.metrics import (
+    cache_info_snapshot,
+    cache_stats_registry,
+    tracked_caches,
+)
+
+
+class TestTrackedCaches:
+    def test_every_entry_exposes_cache_info(self):
+        caches = tracked_caches()
+        assert caches
+        for fn in caches.values():
+            info = fn.cache_info()
+            assert info.hits >= 0 and info.misses >= 0
+
+    def test_the_hot_path_memos_are_tracked(self):
+        names = set(tracked_caches())
+        assert {
+            "sql.parse_statement",
+            "types.parse_type",
+            "spark.cast_kernel",
+            "spark.store_assign_kernel",
+            "hive.write_kernel",
+            "hive.read_kernel",
+            "connectors.transformer_for",
+            "formats.serializer_instance",
+        } <= names
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self):
+        snapshot = cache_info_snapshot()
+        for stats in snapshot.values():
+            assert set(stats) == {"hits", "misses", "maxsize", "currsize"}
+
+    def test_usage_moves_the_counters(self):
+        from repro.common.types import parse_type
+
+        before = cache_info_snapshot()["types.parse_type"]
+        parse_type("array<int>")
+        parse_type("array<int>")
+        after = cache_info_snapshot()["types.parse_type"]
+        assert after["hits"] + after["misses"] >= before["hits"] + before["misses"] + 2
+
+
+class TestRegistry:
+    def test_gauges_are_scrapeable(self):
+        from repro.common.types import parse_type
+
+        parse_type("int")
+        registry = cache_stats_registry()
+        assert registry.read("types.parse_type.misses") >= 1
+        assert "types.parse_type.hits" in registry.names()
+
+    def test_every_cache_exports_four_gauges(self):
+        registry = cache_stats_registry()
+        names = registry.names()
+        for cache_name in cache_info_snapshot():
+            for stat in ("hits", "misses", "maxsize", "currsize"):
+                assert f"{cache_name}.{stat}" in names

@@ -1,0 +1,114 @@
+"""Compiled cast kernels agree with the reference casts — everywhere.
+
+The §8 discrepancy catalog lives in the cast semantics, so the compiled
+kernels are held to exact agreement with the uncompiled references on
+the full 422-input cross-test corpus: same values (NaN-aware), same
+exception types, same messages.
+"""
+
+import pytest
+
+from repro.common.types import parse_type
+from repro.crosstest.oracles import canonical
+from repro.crosstest.values import generate_inputs
+from repro.sparklite.casts import (
+    spark_cast,
+    spark_cast_reference,
+    store_assign,
+    store_assign_reference,
+)
+from repro.sparklite.conf import StoreAssignmentPolicy
+
+CORPUS = generate_inputs()
+TYPE_TEXTS = sorted({i.type_text for i in CORPUS})
+
+
+def _outcome(fn, *args, **kwargs):
+    """(status, payload) for a call: comparable across implementations."""
+    try:
+        return ("ok", canonical(fn(*args, **kwargs)))
+    except Exception as exc:  # noqa: BLE001 - parity includes the type
+        return ("error", type(exc).__name__, str(exc))
+
+
+class TestSparkCastKernels:
+    @pytest.mark.parametrize("ansi", [False, True])
+    def test_corpus_py_values_against_declared_type(self, ansi):
+        for test_input in CORPUS:
+            target = test_input.column_type
+            expected = _outcome(
+                spark_cast_reference,
+                test_input.py_value,
+                None,
+                target,
+                ansi=ansi,
+            )
+            actual = _outcome(
+                spark_cast, test_input.py_value, None, target, ansi=ansi
+            )
+            assert actual == expected, (
+                f"input {test_input.input_id} ({test_input.type_text}): "
+                f"kernel {actual} != reference {expected}"
+            )
+
+    @pytest.mark.parametrize("target_text", ["string", "double", "int"])
+    def test_corpus_cross_type(self, target_text):
+        target = parse_type(target_text)
+        for test_input in CORPUS:
+            expected = _outcome(
+                spark_cast_reference,
+                test_input.py_value,
+                None,
+                target,
+                ansi=False,
+            )
+            actual = _outcome(
+                spark_cast, test_input.py_value, None, target, ansi=False
+            )
+            assert actual == expected, (
+                f"input {test_input.input_id} -> {target_text}: "
+                f"kernel {actual} != reference {expected}"
+            )
+
+
+class TestStoreAssignKernels:
+    @pytest.mark.parametrize("policy", list(StoreAssignmentPolicy))
+    def test_corpus_identity_source(self, policy):
+        for test_input in CORPUS:
+            dtype = test_input.column_type
+            expected = _outcome(
+                store_assign_reference,
+                test_input.py_value,
+                dtype,
+                dtype,
+                policy,
+            )
+            actual = _outcome(
+                store_assign, test_input.py_value, dtype, dtype, policy
+            )
+            assert actual == expected, (
+                f"input {test_input.input_id} ({test_input.type_text}, "
+                f"{policy}): kernel {actual} != reference {expected}"
+            )
+
+    @pytest.mark.parametrize("policy", list(StoreAssignmentPolicy))
+    @pytest.mark.parametrize("source_text", ["string", "int", "double"])
+    def test_corpus_cross_source(self, policy, source_text):
+        source = parse_type(source_text)
+        for test_input in CORPUS:
+            target = test_input.column_type
+            expected = _outcome(
+                store_assign_reference,
+                test_input.py_value,
+                source,
+                target,
+                policy,
+            )
+            actual = _outcome(
+                store_assign, test_input.py_value, source, target, policy
+            )
+            assert actual == expected, (
+                f"input {test_input.input_id} {source_text}->"
+                f"{test_input.type_text} ({policy}): "
+                f"kernel {actual} != reference {expected}"
+            )

@@ -1,0 +1,100 @@
+"""The namenode's direct-children index stays consistent under every
+namespace mutation (it backs listing and recursive deletion)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.namenode import NameNode
+
+
+@pytest.fixture
+def namenode():
+    return NameNode()
+
+
+def _names(namenode, path):
+    return [status.path for status in namenode.list_status(path)]
+
+
+class TestChildrenIndex:
+    def test_create_links_the_file_under_its_parent(self, namenode):
+        namenode.create("/a/b/f", b"x")
+        assert _names(namenode, "/a/b") == ["/a/b/f"]
+        assert _names(namenode, "/a") == ["/a/b"]
+        assert _names(namenode, "/") == ["/a"]
+
+    def test_mkdirs_links_every_new_ancestor(self, namenode):
+        namenode.mkdirs("/w/x/y")
+        assert _names(namenode, "/w") == ["/w/x"]
+        assert _names(namenode, "/w/x") == ["/w/x/y"]
+        assert _names(namenode, "/w/x/y") == []
+
+    def test_repeat_mkdirs_does_not_duplicate(self, namenode):
+        namenode.mkdirs("/w/x")
+        namenode.mkdirs("/w/x")
+        assert _names(namenode, "/w") == ["/w/x"]
+
+    def test_listing_is_sorted(self, namenode):
+        for name in ("c", "a", "b"):
+            namenode.create(f"/d/{name}", b"")
+        assert _names(namenode, "/d") == ["/d/a", "/d/b", "/d/c"]
+
+    def test_delete_file_unlinks_it(self, namenode):
+        namenode.create("/d/f", b"")
+        namenode.delete("/d/f")
+        assert _names(namenode, "/d") == []
+
+    def test_recursive_delete_drops_the_subtree(self, namenode):
+        namenode.create("/d/sub/f1", b"")
+        namenode.create("/d/sub/f2", b"")
+        namenode.create("/d/g", b"")
+        assert namenode.delete("/d", recursive=True)
+        assert not namenode.exists("/d")
+        assert not namenode.exists("/d/sub/f1")
+        assert _names(namenode, "/") == []
+
+    def test_non_recursive_delete_of_populated_dir_rejected(self, namenode):
+        namenode.create("/d/f", b"")
+        with pytest.raises(StorageError):
+            namenode.delete("/d")
+        assert _names(namenode, "/d") == ["/d/f"]
+
+    def test_rename_moves_the_link(self, namenode):
+        namenode.create("/src/f", b"payload")
+        namenode.rename("/src/f", "/dst/g")
+        assert _names(namenode, "/src") == []
+        assert _names(namenode, "/dst") == ["/dst/g"]
+        assert namenode.open("/dst/g") == b"payload"
+
+    def test_recreate_after_delete_relinks(self, namenode):
+        namenode.create("/d/f", b"1")
+        namenode.delete("/d/f")
+        namenode.create("/d/f", b"2")
+        assert _names(namenode, "/d") == ["/d/f"]
+        assert namenode.open("/d/f") == b"2"
+
+    def test_overwrite_does_not_duplicate_the_link(self, namenode):
+        namenode.create("/d/f", b"1")
+        namenode.create("/d/f", b"2", overwrite=True)
+        assert _names(namenode, "/d") == ["/d/f"]
+
+
+class TestStatusCache:
+    def test_append_refreshes_length(self, namenode):
+        namenode.create("/f", b"ab")
+        assert namenode.get_file_status("/f").length == 2
+        namenode.append("/f", b"cd")
+        assert namenode.get_file_status("/f").length == 4
+
+    def test_set_property_refreshes_custom_metadata(self, namenode):
+        namenode.create("/f", b"")
+        namenode.get_file_status("/f")
+        namenode.set_property("/f", "storage_policy", "HOT")
+        status = namenode.get_file_status("/f")
+        assert status.custom_property("storage_policy") == "HOT"
+
+    def test_rename_refreshes_path(self, namenode):
+        namenode.create("/f", b"")
+        namenode.get_file_status("/f")
+        namenode.rename("/f", "/g")
+        assert namenode.get_file_status("/g").path == "/g"
