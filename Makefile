@@ -4,9 +4,11 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 .PHONY: tier1 smoke-crosstest test bench bench-json crosstest
 
 # fast smoke pass over the §8 cross-test engine (runs first so a broken
-# harness fails in seconds, not after the whole suite)
+# harness fails in seconds, not after the whole suite), including the
+# tracing-overhead guard: instrumentation must stay free when disabled
 smoke-crosstest:
 	$(PYTHON) -m pytest -q tests/crosstest
+	$(PYTHON) -m pytest -q benchmarks/test_bench_tracing_overhead.py
 
 # the tier-1 flow: crosstest smoke, then the full suite
 tier1: smoke-crosstest

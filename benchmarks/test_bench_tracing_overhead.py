@@ -1,0 +1,84 @@
+"""Tracing must be free when off and honest when on.
+
+Acceptance for the boundary-tracing work: with tracing disabled the §8
+hot path must stay within the PR2 budget (the instrumentation sites are
+guarded by a module-global counter, so a disabled ``span()`` call is a
+singleton return), and a traced run must produce the byte-identical
+report while actually capturing every trial's span tree.
+"""
+
+import json
+import time
+
+from repro.crosstest.report import run_crosstest
+from repro.crosstest.values import generate_inputs
+from repro.tracing.core import span
+
+#: the full matrix runs ~10k trials; a traced trial records a few dozen
+#: spans, so the disabled path is exercised on the order of 1e5 times
+#: per run. Its unit cost must stay deep in the noise floor.
+TRIAL_COUNT = 8 * 3 * 422
+DISABLED_BUDGET_S_PER_RUN = 0.045  # <5% of the 0.95s jobs=1 baseline
+
+
+def test_bench_disabled_span_cost(benchmark):
+    """Unit cost of a disabled instrumentation site, scaled to a run."""
+    BATCH = 1000
+
+    def disabled_sites():
+        # a batch big enough to amortize the timer overhead out of the
+        # per-site figure
+        for _ in range(BATCH):
+            with span("spark.serde.encode", system="spark",
+                      boundary="spark->serde") as sp:
+                if sp is not None:  # never taken when tracing is off
+                    sp.attributes["fmt"] = "orc"
+
+    benchmark.pedantic(disabled_sites, rounds=30, iterations=1, warmup_rounds=3)
+
+    # count how many spans an average traced trial actually records,
+    # then price a whole disabled run at the measured per-site cost
+    inputs = generate_inputs()[:8]
+    traced = run_crosstest(inputs=inputs, jobs=1, tracing=True)
+    total_spans = sum(len(t) for t in traced.traces.values())
+    spans_per_trial = total_spans / len(traced.trials)
+    sites_per_run = spans_per_trial * TRIAL_COUNT
+    per_call_s = benchmark.stats.stats.min / BATCH
+    projected_s = per_call_s * sites_per_run
+
+    print("\ntracing-disabled overhead projection")
+    print(f"  per-site cost:     {per_call_s * 1e9:.0f}ns")
+    print(f"  spans per trial:   {spans_per_trial:.1f}")
+    print(f"  sites per run:     {sites_per_run:.0f}")
+    print(f"  projected per run: {projected_s * 1e3:.1f}ms "
+          f"(budget {DISABLED_BUDGET_S_PER_RUN * 1e3:.0f}ms)")
+
+    assert projected_s < DISABLED_BUDGET_S_PER_RUN, (
+        f"disabled tracing would cost {projected_s * 1e3:.1f}ms per run, "
+        f"budget is {DISABLED_BUDGET_S_PER_RUN * 1e3:.0f}ms"
+    )
+
+
+def test_bench_traced_run_report_identical(benchmark):
+    """A traced subset run: report unchanged, spans captured."""
+    inputs = generate_inputs()[:40]
+
+    started = time.perf_counter()
+    plain = run_crosstest(inputs=inputs, jobs=1)
+    plain_s = time.perf_counter() - started
+
+    def traced_run():
+        return run_crosstest(inputs=inputs, jobs=1, tracing=True)
+
+    traced = benchmark.pedantic(traced_run, rounds=1, iterations=1)
+    traced_s = benchmark.stats.stats.total
+
+    print("\ntraced vs untraced subset run (8 plans x 3 formats x 40 inputs)")
+    print(f"  untraced: {plain_s:.3f}s")
+    print(f"  traced:   {traced_s:.3f}s "
+          f"({traced_s / plain_s if plain_s else 0:.2f}x)")
+
+    assert json.dumps(traced.to_json()) == json.dumps(plain.to_json())
+    assert traced.summary_lines() == plain.summary_lines()
+    assert set(traced.traces) == set(range(len(traced.trials)))
+    assert all(traced.traces.values())

@@ -7,6 +7,7 @@ Commands map onto the paper's artifacts:
 * ``replay``    — replay a named CSI failure (Figures 1-5 and more)
 * ``confcheck`` — lint a deployment's configuration plane
 * ``gaps``      — static reader-gap analysis per storage format
+* ``trace``     — summarize exported boundary traces
 """
 
 from __future__ import annotations
@@ -70,6 +71,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the run with cProfile and print the top 25 "
         "functions by internal time to stderr",
     )
+    crosstest.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="trace every trial and write one trace file per found "
+        "discrepancy (JSONL + chrome://tracing) into DIR",
+    )
+    crosstest.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="dump the run's metrics and cache-registry snapshot as "
+        "JSON to PATH",
+    )
 
     replay = sub.add_parser("replay", help="replay a named CSI failure")
     replay.add_argument(
@@ -96,6 +111,26 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="dump the 120-case CSI dataset to a JSON file"
     )
     export.add_argument("path", help="output file (e.g. csi_failures.json)")
+
+    trace = sub.add_parser(
+        "trace", help="inspect boundary traces exported by --trace-dir"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-boundary span counts and latency percentiles",
+    )
+    summarize.add_argument(
+        "directory", help="directory holding *.jsonl trace files"
+    )
+    summarize.add_argument(
+        "--absent-policy",
+        default="absent",
+        choices=["zero", "absent", "error"],
+        help="how a known boundary with no spans reads: absent "
+        "(default; renders ABSENT), zero (the GCP-outage misread), "
+        "or error (refuse the scrape)",
+    )
     return parser
 
 
@@ -163,6 +198,7 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
             pool=args.pool,
             metrics=metrics,
             progress=progress if show_progress else None,
+            tracing=args.trace_dir is not None,
         )
     except UnknownFormatError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -175,6 +211,22 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("tottime").print_stats(25)
 
+    trace_note = None
+    if args.trace_dir is not None:
+        trace_note = _write_trace_dir(report, args.trace_dir)
+    if args.metrics_json is not None:
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(metrics.to_json(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    # The report goes to stdout first and is flushed before any summary
+    # chatter hits stderr, so piped consumers never see the two streams
+    # interleaved mid-report.
+    if args.json:
+        print(json.dumps(report.to_json(), indent=1))
+    else:
+        print("\n".join(report.summary_lines()))
+    sys.stdout.flush()
     if not args.quiet:
         trials = int(metrics.trials_total.value)
         rate = trials / elapsed if elapsed > 0 else 0.0
@@ -185,11 +237,44 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         print(f"[crosstest] {metrics.cache_summary()}", file=sys.stderr)
-    if args.json:
-        print(json.dumps(report.to_json(), indent=1))
-    else:
-        print("\n".join(report.summary_lines()))
+        if trace_note is not None:
+            print(f"[crosstest] {trace_note}", file=sys.stderr)
     return 0
+
+
+def _write_trace_dir(report, trace_dir: str) -> str:
+    """Write one trace (JSONL + Chrome) per found discrepancy.
+
+    Each file holds the spans of every trial in the discrepancy's
+    differential bucket — writer side and reader side — plus a separate
+    ``oracles.jsonl`` for the oracle-evaluation phase.
+    """
+    import os
+    import re
+
+    from repro.crosstest.catalog import CATALOG
+    from repro.tracing import write_chrome_trace, write_jsonl
+
+    os.makedirs(trace_dir, exist_ok=True)
+    jiras = {entry.number: entry.jira for entry in CATALOG}
+    written = 0
+    for number, spans in report.discrepancy_traces().items():
+        if not spans:
+            continue
+        # "HIVE-26533 / SPARK-40409" and friends must stay one path part
+        jira = re.sub(r"[^A-Za-z0-9._-]+", "-", jiras.get(number, "UNKNOWN"))
+        stem = f"discrepancy_{number:02d}_{jira}"
+        write_jsonl(spans, os.path.join(trace_dir, f"{stem}.jsonl"))
+        write_chrome_trace(
+            spans, os.path.join(trace_dir, f"{stem}.chrome.json")
+        )
+        written += 1
+    if report.oracle_spans:
+        write_jsonl(
+            list(report.oracle_spans),
+            os.path.join(trace_dir, "oracles.jsonl"),
+        )
+    return f"wrote {written} discrepancy traces to {trace_dir}"
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -253,6 +338,23 @@ def _cmd_gaps(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.metrics import AbsentPolicy, MetricError
+    from repro.tracing import read_jsonl_dir, summary_lines
+
+    try:
+        spans = read_jsonl_dir(args.directory)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print("\n".join(summary_lines(spans, AbsentPolicy(args.absent_policy))))
+    except MetricError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.dataset.io import dump_failures
     from repro.dataset.opensource import load_failures
@@ -276,6 +378,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_gaps(args)
     if args.command == "export":
         return _cmd_export(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -19,6 +19,8 @@ from repro.common.schema import Schema
 from repro.errors import SchemaError
 from repro.hbaselite.master import HBaseMaster
 from repro.hivelite.casts import hive_write_cast
+from repro.tracing.core import event as trace_event
+from repro.tracing.core import span as trace_span
 
 __all__ = ["HBaseColumnMapping", "HiveHBaseHandler"]
 
@@ -64,6 +66,18 @@ class HiveHBaseHandler:
             self.hbase.create_table(self.table)
 
     def insert(self, rows: list[tuple]) -> None:
+        with trace_span(
+            "hive.hbase.put",
+            system="hive",
+            peer_system="hbase",
+            operation="put",
+            boundary="hive->hbase",
+        ) as sp:
+            if sp is not None:
+                sp.attributes.update(table=self.table, rows=len(rows))
+            self._insert(rows)
+
+    def _insert(self, rows: list[tuple]) -> None:
         region = self.hbase.table(self.table)
         for row in rows:
             if len(row) != len(self.schema):
@@ -83,17 +97,43 @@ class HiveHBaseHandler:
             region.put(row_key, columns)
 
     def select_all(self) -> QueryResult:
-        region = self.hbase.table(self.table)
-        out: list[Row] = []
-        for row_key, cells in region.scan():
-            values = []
-            for field, hbase_col in zip(self.schema.fields, self.mapping.entries):
-                raw = row_key if hbase_col == ROW_KEY else cells.get(hbase_col)
-                # the typed-over-untyped coercion: lenient, NULL on failure
-                values.append(
-                    None if raw is None else hive_write_cast(raw, field.data_type)
+        with trace_span(
+            "hive.hbase.scan",
+            system="hive",
+            peer_system="hbase",
+            operation="scan",
+            boundary="hive->hbase",
+        ) as sp:
+            region = self.hbase.table(self.table)
+            out: list[Row] = []
+            nulled = 0
+            for row_key, cells in region.scan():
+                values = []
+                for field, hbase_col in zip(
+                    self.schema.fields, self.mapping.entries
+                ):
+                    raw = (
+                        row_key if hbase_col == ROW_KEY else cells.get(hbase_col)
+                    )
+                    # the typed-over-untyped coercion: lenient, NULL on failure
+                    cast = (
+                        None
+                        if raw is None
+                        else hive_write_cast(raw, field.data_type)
+                    )
+                    if raw is not None and cast is None:
+                        nulled += 1
+                        trace_event(
+                            "cast.nulled",
+                            column=field.name,
+                            declared_type=field.data_type.simple_string(),
+                        )
+                    values.append(cast)
+                out.append(Row(values, self.schema))
+            if sp is not None:
+                sp.attributes.update(
+                    table=self.table, rows=len(out), cells_nulled=nulled
                 )
-            out.append(Row(values, self.schema))
-        return QueryResult(
-            schema=self.schema, rows=tuple(out), interface="hive-hbase"
-        )
+            return QueryResult(
+                schema=self.schema, rows=tuple(out), interface="hive-hbase"
+            )

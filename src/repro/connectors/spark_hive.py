@@ -37,6 +37,8 @@ from repro.formats import serializer_for
 from repro.hivelite.metastore import HiveMetastore, Table
 from repro.hivelite.types import metastore_schema_for
 from repro.sparklite.conf import SparkConf
+from repro.tracing.core import event as trace_event
+from repro.tracing.core import span as trace_span
 
 __all__ = [
     "NATIVE_SCHEMA_PROPERTY",
@@ -168,25 +170,43 @@ class SparkHiveConnector:
         creation path; the identical frozen ``Table`` it produced is
         then re-registered directly on every replay of the cached plan.
         """
-        table = spec.__dict__.get("_table")
-        if table is not None:
-            return self.metastore.register_table(
-                table, if_not_exists=spec.if_not_exists
+        with trace_span(
+            "spark.metastore.create_table",
+            system="spark",
+            peer_system="hive-metastore",
+            operation="create_table",
+            boundary="spark->metastore",
+        ) as sp:
+            if sp is not None:
+                sp.attributes.update(
+                    table=spec.name,
+                    database=spec.database,
+                    fmt=spec.storage_format,
+                    native_schema_property=any(
+                        key == NATIVE_SCHEMA_PROPERTY
+                        for key, _ in spec.properties
+                    ),
+                )
+            table = spec.__dict__.get("_table")
+            if table is not None:
+                trace_event("create.replayed")
+                return self.metastore.register_table(
+                    table, if_not_exists=spec.if_not_exists
+                )
+            existed = self.metastore.table_exists(spec.name, spec.database)
+            created = self.metastore.create_table(
+                spec.name,
+                spec.schema,
+                spec.storage_format,
+                database=spec.database,
+                properties=dict(spec.properties),
+                owner="spark",
+                if_not_exists=spec.if_not_exists,
+                partition_schema=spec.partition_schema,
             )
-        existed = self.metastore.table_exists(spec.name, spec.database)
-        created = self.metastore.create_table(
-            spec.name,
-            spec.schema,
-            spec.storage_format,
-            database=spec.database,
-            properties=dict(spec.properties),
-            owner="spark",
-            if_not_exists=spec.if_not_exists,
-            partition_schema=spec.partition_schema,
-        )
-        if not existed:
-            object.__setattr__(spec, "_table", created)
-        return created
+            if not existed:
+                object.__setattr__(spec, "_table", created)
+            return created
 
     def create_table(
         self,
@@ -222,7 +242,13 @@ class SparkHiveConnector:
         memo = self._prepare_memo.get(key)
         if memo is not None and memo[0] == stamp:
             spec = memo[1]
+            trace_event(
+                "spark.create.memo_hit", conf_fingerprint=str(stamp)
+            )
         else:
+            trace_event(
+                "spark.create.memo_miss", conf_fingerprint=str(stamp)
+            )
             spec = self.prepare_create(
                 name,
                 declared,
@@ -262,19 +288,38 @@ class SparkHiveConnector:
         keeps the memo warm, while any visible change misses. A missing
         table has no state token and is never memoized.
         """
-        key = (database.lower(), name.lower())
-        state = self.metastore.table_state(name, database)
-        if state is None:
-            return self._resolve_fresh(name, database)
-        stamp = (state, self.conf.fingerprint())
-        memo = self._resolve_memo.get(key)
-        if memo is not None and memo[0] == stamp:
-            return memo[1]
-        resolved = self._resolve_fresh(name, database)
-        if len(self._resolve_memo) >= _RESOLVE_MEMO_LIMIT:
-            self._resolve_memo.clear()
-        self._resolve_memo[key] = (stamp, resolved)
-        return resolved
+        with trace_span(
+            "spark.metastore.resolve",
+            system="spark",
+            peer_system="hive-metastore",
+            operation="resolve",
+            boundary="spark->metastore",
+        ) as sp:
+            key = (database.lower(), name.lower())
+            state = self.metastore.table_state(name, database)
+            memo_hit = False
+            if state is None:
+                resolved = self._resolve_fresh(name, database)
+            else:
+                stamp = (state, self.conf.fingerprint())
+                memo = self._resolve_memo.get(key)
+                if memo is not None and memo[0] == stamp:
+                    resolved = memo[1]
+                    memo_hit = True
+                else:
+                    resolved = self._resolve_fresh(name, database)
+                    if len(self._resolve_memo) >= _RESOLVE_MEMO_LIMIT:
+                        self._resolve_memo.clear()
+                    self._resolve_memo[key] = (stamp, resolved)
+            if sp is not None:
+                sp.attributes.update(
+                    table=name,
+                    database=database,
+                    memo_hit=memo_hit,
+                    used_native_schema=resolved.used_native_schema,
+                    not_case_preserving=not resolved.used_native_schema,
+                )
+            return resolved
 
     def _resolve_fresh(self, name: str, database: str) -> ResolvedTable:
         table = self.metastore.get_table(name, database)

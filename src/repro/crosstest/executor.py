@@ -40,6 +40,7 @@ from repro.crosstest.harness import Deployment, Trial, run_trial_on
 from repro.crosstest.plans import Plan
 from repro.crosstest.values import TestInput
 from repro.metrics import Histogram, MetricsRegistry
+from repro.tracing.core import Span, Tracer
 
 __all__ = [
     "Shard",
@@ -78,12 +79,18 @@ class ShardResult:
     engines' plan-cache counters (and deployment provisioning counts) —
     deltas rather than totals so results aggregate correctly when worker
     processes keep long-lived pools across shards.
+
+    ``traces`` is populated only when the shard ran with tracing: one
+    finished-span tuple per trial, in trial order. Spans are plain
+    picklable dataclasses, so traces collected inside a process-pool
+    worker ship back with the result.
     """
 
     index: int
     trials: list[Trial]
     durations: list[float] = field(default_factory=list)
     cache_counts: dict[str, int] = field(default_factory=dict)
+    traces: list[tuple[Span, ...]] | None = None
 
 
 def build_shards(
@@ -189,6 +196,7 @@ def run_shard(
     shard: Shard,
     conf_overrides: dict[str, object] | None = None,
     reuse_deployments: bool = True,
+    tracing: bool = False,
 ) -> ShardResult:
     """Execute one shard sequentially, timing each trial.
 
@@ -196,10 +204,17 @@ def run_shard(
     worker-global pool for these conf overrides. Cache-counter deltas
     are read per trial, while the deployment is exclusively leased, so
     they are race-free even when worker threads share a pool.
+
+    With ``tracing``, each trial runs under its own
+    :class:`~repro.tracing.Tracer` (trace id ``plan/fmt/input_id``) and
+    the finished spans ride back on ``ShardResult.traces`` — activation
+    happens here, inside the worker, so tracing survives thread and
+    process pools alike.
     """
     pool = worker_pool(conf_overrides) if reuse_deployments else None
     trials: list[Trial] = []
     durations: list[float] = []
+    traces: list[tuple[Span, ...]] | None = [] if tracing else None
     counts = {
         "plan_cache_hits": 0,
         "plan_cache_misses": 0,
@@ -209,6 +224,15 @@ def run_shard(
         "deployments_reused": 0,
     }
     for test_input in shard.inputs:
+        tracer = (
+            Tracer(
+                trace_id=(
+                    f"{shard.plan.name}/{shard.fmt}/{test_input.input_id}"
+                )
+            )
+            if tracing
+            else None
+        )
         start = time.perf_counter()
         if pool is not None:
             deployment = pool.lease()
@@ -218,7 +242,15 @@ def run_shard(
                 counts["deployments_reused"] += 1
             before = _plan_cache_counts(deployment)
             try:
-                trial = run_trial_on(deployment, shard.plan, shard.fmt, test_input)
+                if tracer is not None:
+                    with tracer:
+                        trial = run_trial_on(
+                            deployment, shard.plan, shard.fmt, test_input
+                        )
+                else:
+                    trial = run_trial_on(
+                        deployment, shard.plan, shard.fmt, test_input
+                    )
                 after = _plan_cache_counts(deployment)
             finally:
                 pool.release(deployment)
@@ -226,7 +258,15 @@ def run_shard(
             deployment = Deployment(dict(conf_overrides or {}))
             counts["deployments_created"] += 1
             before = (0, 0, 0, 0)
-            trial = run_trial_on(deployment, shard.plan, shard.fmt, test_input)
+            if tracer is not None:
+                with tracer:
+                    trial = run_trial_on(
+                        deployment, shard.plan, shard.fmt, test_input
+                    )
+            else:
+                trial = run_trial_on(
+                    deployment, shard.plan, shard.fmt, test_input
+                )
             after = _plan_cache_counts(deployment)
         counts["plan_cache_hits"] += after[0] - before[0]
         counts["plan_cache_misses"] += after[1] - before[1]
@@ -234,11 +274,14 @@ def run_shard(
         counts["plan_cache_evictions"] += after[3] - before[3]
         durations.append(time.perf_counter() - start)
         trials.append(trial)
+        if traces is not None and tracer is not None:
+            traces.append(tuple(tracer.finished))
     return ShardResult(
         index=shard.index,
         trials=trials,
         durations=durations,
         cache_counts=counts,
+        traces=traces,
     )
 
 
@@ -308,6 +351,27 @@ class CrossTestMetrics:
         self.shards_done.increment()
 
     # -- rendering -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Full snapshot: every metric plus the tracked-cache registry.
+
+        Histograms export their bucket snapshots (so quantiles can be
+        recomputed offline); counters and gauges export their value.
+        """
+        from repro.metrics.caches import cache_info_snapshot
+
+        metrics: dict[str, object] = {}
+        for name in self.registry.names():
+            metric = self.registry._metrics[name]
+            if isinstance(metric, Histogram):
+                metrics[name] = metric.snapshot()
+            else:
+                metrics[name] = metric.value
+        return {
+            "system": self.registry.system,
+            "metrics": metrics,
+            "caches": cache_info_snapshot(),
+        }
 
     def error_summary(self) -> str:
         return ", ".join(
@@ -382,15 +446,27 @@ def execute(
     shard_inputs: int = DEFAULT_SHARD_INPUTS,
     metrics: CrossTestMetrics | None = None,
     progress=None,
+    trace_sink: dict[int, tuple[Span, ...]] | None = None,
 ) -> list[Trial]:
     """Run the full matrix and return trials in sequential order.
 
     ``progress``, if given, is called after every shard completes as
     ``progress(done_shards, total_shards, done_trials, total_trials)``.
+
+    ``trace_sink``, if given, switches per-trial tracing on and is
+    filled with ``{global trial index: finished spans}`` — the index
+    matches the position of the trial in the returned list, at every
+    ``jobs``/``pool`` setting.
     """
     jobs = resolve_jobs(jobs)
     shards = build_shards(plans, formats, inputs, shard_inputs=shard_inputs)
     total_trials = sum(len(s.inputs) for s in shards)
+    tracing = trace_sink is not None
+    offsets: list[int] = []
+    base = 0
+    for shard in shards:
+        offsets.append(base)
+        base += len(shard.inputs)
     results: dict[int, ShardResult] = {}
     done_trials = 0
 
@@ -400,6 +476,10 @@ def execute(
         done_trials += len(result.trials)
         if metrics is not None:
             metrics.record_shard(shard, result)
+        if trace_sink is not None and result.traces is not None:
+            offset = offsets[shard.index]
+            for position, spans in enumerate(result.traces):
+                trace_sink[offset + position] = spans
         if progress is not None:
             progress(len(results), len(shards), done_trials, total_trials)
 
@@ -409,12 +489,14 @@ def execute(
         # across trials (results are byte-identical to fresh-per-trial —
         # the pooled-vs-fresh equivalence is pinned by tests).
         for shard in shards:
-            finish(shard, run_shard(shard, conf_overrides))
+            finish(shard, run_shard(shard, conf_overrides, tracing=tracing))
     else:
         flavour = resolve_pool(pool, jobs)
         with _make_executor(flavour, min(jobs, len(shards) or 1)) as workers:
             pending = {
-                workers.submit(run_shard, shard, conf_overrides): shard
+                workers.submit(
+                    run_shard, shard, conf_overrides, True, tracing
+                ): shard
                 for shard in shards
             }
             while pending:

@@ -23,6 +23,7 @@ from repro.sparklite.conf import SparkConf
 from repro.sparklite.session import SparkSession
 from repro.storage.filesystem import FileSystem
 from repro.storage.namenode import NameNode
+from repro.tracing.core import span as trace_span
 
 __all__ = [
     "Outcome",
@@ -192,13 +193,16 @@ class CrossTester:
         pool: str = "auto",
         metrics=None,
         progress=None,
+        trace_sink=None,
     ) -> list[Trial]:
         """Run the full matrix.
 
         ``jobs=1`` (the default) preserves the original fully sequential
         semantics; ``jobs>1`` or ``jobs=None`` (auto-size) shards the
         matrix onto a worker pool — see :mod:`repro.crosstest.executor`.
-        Trial ordering is identical either way.
+        Trial ordering is identical either way. ``trace_sink`` (a dict)
+        switches per-trial boundary tracing on; it fills with
+        ``{trial index: finished spans}``.
         """
         from repro.crosstest.executor import execute
 
@@ -211,6 +215,7 @@ class CrossTester:
             pool=pool,
             metrics=metrics,
             progress=progress,
+            trace_sink=trace_sink,
         )
 
     def run_trial(self, plan: Plan, fmt: str, test_input: TestInput) -> Trial:
@@ -233,21 +238,49 @@ class CrossTester:
 def run_trial_on(
     deployment: Deployment, plan: Plan, fmt: str, test_input: TestInput
 ) -> Trial:
-    """Drive one trial against an already-provisioned deployment."""
+    """Drive one trial against an already-provisioned deployment.
+
+    With a tracer active, the trial becomes a span tree: one root span,
+    one child per stage, and whatever boundary spans the engines emit
+    underneath (metastore registrations, SerDe encode/decode, warehouse
+    reads/writes). With tracing off (the default) the ``with`` blocks
+    are shared no-ops.
+    """
     table = TRIAL_TABLE
-    try:
-        deployment.create_table(plan.writer, table, test_input, fmt)
-    except Exception as exc:  # noqa: BLE001 - any failure is data
-        return Trial(plan, fmt, test_input, _error("create", exc))
-    try:
-        deployment.write(plan.writer, table, test_input, fmt)
-    except Exception as exc:  # noqa: BLE001
-        return Trial(plan, fmt, test_input, _error("write", exc))
-    try:
-        result = deployment.read(plan.reader, table)
-    except Exception as exc:  # noqa: BLE001
-        return Trial(plan, fmt, test_input, _error("read", exc))
-    return Trial(plan, fmt, test_input, _ok(result))
+    with trace_span(
+        "crosstest.trial", system="crosstest", operation="trial"
+    ) as root:
+        if root is not None:
+            root.attributes.update(
+                plan=plan.name,
+                writer=plan.writer,
+                reader=plan.reader,
+                fmt=fmt,
+                input_id=test_input.input_id,
+                type=test_input.type_text,
+            )
+        try:
+            with trace_span(
+                "crosstest.create", system="crosstest", operation="create"
+            ):
+                deployment.create_table(plan.writer, table, test_input, fmt)
+        except Exception as exc:  # noqa: BLE001 - any failure is data
+            return Trial(plan, fmt, test_input, _error("create", exc))
+        try:
+            with trace_span(
+                "crosstest.write", system="crosstest", operation="write"
+            ):
+                deployment.write(plan.writer, table, test_input, fmt)
+        except Exception as exc:  # noqa: BLE001
+            return Trial(plan, fmt, test_input, _error("write", exc))
+        try:
+            with trace_span(
+                "crosstest.read", system="crosstest", operation="read"
+            ):
+                result = deployment.read(plan.reader, table)
+        except Exception as exc:  # noqa: BLE001
+            return Trial(plan, fmt, test_input, _error("read", exc))
+        return Trial(plan, fmt, test_input, _ok(result))
 
 
 def _error(stage: str, exc: Exception) -> Outcome:

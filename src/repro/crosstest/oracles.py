@@ -19,6 +19,7 @@ from itertools import combinations
 
 from repro.common.row import values_equal
 from repro.crosstest.harness import NO_ROWS, Outcome, Trial
+from repro.tracing.core import span as trace_span
 
 __all__ = [
     "OracleFailure",
@@ -210,11 +211,26 @@ def _diff_bucket(
 
 
 def all_failures(trials: list[Trial]) -> dict[str, list[OracleFailure]]:
-    return {
-        "wr": wr_failures(trials),
-        "eh": eh_failures(trials),
-        "difft": difft_failures(trials),
-    }
+    out: dict[str, list[OracleFailure]] = {}
+    for name, oracle in (
+        ("wr", wr_failures),
+        ("eh", eh_failures),
+        ("difft", difft_failures),
+    ):
+        with trace_span(
+            f"oracle.{name}",
+            system="crosstest",
+            peer_system="oracle",
+            operation=name,
+            boundary="crosstest->oracle",
+        ) as sp:
+            failures = oracle(trials)
+            if sp is not None:
+                sp.attributes.update(
+                    trials=len(trials), failures=len(failures)
+                )
+            out[name] = failures
+    return out
 
 
 def _failure(oracle: str, trial: Trial, detail: str) -> OracleFailure:

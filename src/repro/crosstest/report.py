@@ -16,6 +16,7 @@ from repro.crosstest.harness import CrossTester, Trial
 from repro.crosstest.oracles import OracleFailure, all_failures
 from repro.crosstest.plans import ALL_PLANS, FORMATS
 from repro.crosstest.values import TestInput
+from repro.tracing.core import Span, Tracer
 
 __all__ = ["CrossTestReport", "run_crosstest"]
 
@@ -27,6 +28,13 @@ class CrossTestReport:
     trials: list[Trial]
     failures: dict[str, list[OracleFailure]]
     evidence: dict[int, Evidence]
+    #: per-trial span trees, keyed by position in ``trials`` — only
+    #: populated when the run was traced. Never feeds ``to_json`` or
+    #: ``summary_lines``, so the rendered report is byte-identical with
+    #: tracing on or off.
+    traces: dict[int, tuple[Span, ...]] | None = None
+    #: spans from the oracle/classification phase of a traced run
+    oracle_spans: tuple[Span, ...] = ()
 
     # -- derived views ----------------------------------------------------
 
@@ -75,6 +83,36 @@ class CrossTestReport:
             "category_counts": self.category_counts_found(),
         }
 
+    # -- traces -----------------------------------------------------------
+
+    def discrepancy_trace(self, number: int) -> list[Span]:
+        """Every span recorded for the trials behind one discrepancy.
+
+        The witness trials alone can be one-sided (e.g. a discrepancy
+        whose witnesses all fail at ``create`` never reaches a read), so
+        the trace covers *every* trial that shares the first witness's
+        input — the full differential bucket, writer side and reader
+        side, across all plans and formats.
+        """
+        if self.traces is None:
+            return []
+        witness = self.evidence.get(number)
+        if witness is None or not witness.trials:
+            return []
+        input_id = witness.trials[0].test_input.input_id
+        spans: list[Span] = []
+        for index, trial in enumerate(self.trials):
+            if trial.test_input.input_id == input_id:
+                spans.extend(self.traces.get(index, ()))
+        return spans
+
+    def discrepancy_traces(self) -> dict[int, list[Span]]:
+        """``{discrepancy number: spans}`` for every found discrepancy."""
+        return {
+            number: self.discrepancy_trace(number)
+            for number in sorted(self.found_numbers)
+        }
+
     def summary_lines(self) -> list[str]:
         lines = [
             f"trials run: {len(self.trials)}",
@@ -104,12 +142,16 @@ def run_crosstest(
     pool: str = "auto",
     metrics=None,
     progress=None,
+    tracing: bool = False,
 ) -> CrossTestReport:
     """Run the full §8 pipeline: harness → oracles → classification.
 
     ``jobs`` selects the execution engine: 1 (default) is the original
     sequential loop, >1 or ``None`` (auto-size) shards the matrix onto a
-    worker pool. The resulting report is identical either way.
+    worker pool. The resulting report is identical either way — tracing
+    included: ``tracing=True`` attaches per-trial span trees (plus the
+    oracle-phase spans) to the report without touching its rendered
+    content.
     """
     tester = CrossTester(
         inputs=inputs,
@@ -117,9 +159,27 @@ def run_crosstest(
         formats=formats,
         conf_overrides=conf_overrides,
     )
-    trials = tester.run(jobs=jobs, pool=pool, metrics=metrics, progress=progress)
+    trace_sink: dict[int, tuple[Span, ...]] | None = {} if tracing else None
+    trials = tester.run(
+        jobs=jobs,
+        pool=pool,
+        metrics=metrics,
+        progress=progress,
+        trace_sink=trace_sink,
+    )
+    if tracing:
+        with Tracer(trace_id="crosstest/oracles") as oracle_tracer:
+            failures = all_failures(trials)
+            evidence = classify_trials(trials)
+        oracle_spans = tuple(oracle_tracer.finished)
+    else:
+        failures = all_failures(trials)
+        evidence = classify_trials(trials)
+        oracle_spans = ()
     return CrossTestReport(
         trials=trials,
-        failures=all_failures(trials),
-        evidence=classify_trials(trials),
+        failures=failures,
+        evidence=evidence,
+        traces=trace_sink,
+        oracle_spans=oracle_spans,
     )

@@ -50,6 +50,8 @@ from repro.sql.literals import DialectOptions, LiteralEvaluator
 from repro.sql.parser import parse_statement
 from repro.sql.plancache import PlanCache, PreparedFailure
 from repro.storage.filesystem import FileSystem
+from repro.tracing.core import event as trace_event
+from repro.tracing.core import span as trace_span
 
 __all__ = ["HiveServer"]
 
@@ -74,28 +76,40 @@ class _PreparedCreate:
     partition_schema: Schema
 
     def execute(self, server: "HiveServer") -> QueryResult:
-        # replay fast path: after the first (fully validated) creation,
-        # re-register the identical frozen Table value directly
-        table = self.__dict__.get("_table")
-        if table is not None and table.database == server.database:
-            server.metastore.register_table(
-                table, if_not_exists=self.if_not_exists
+        with trace_span(
+            "hive.metastore.create_table",
+            system="hive",
+            peer_system="hive-metastore",
+            operation="create_table",
+            boundary="hive->metastore",
+        ) as sp:
+            if sp is not None:
+                sp.attributes.update(
+                    table=self.name, fmt=self.storage_format
+                )
+            # replay fast path: after the first (fully validated)
+            # creation, re-register the identical frozen Table value
+            table = self.__dict__.get("_table")
+            if table is not None and table.database == server.database:
+                trace_event("create.replayed")
+                server.metastore.register_table(
+                    table, if_not_exists=self.if_not_exists
+                )
+                return server._empty_result()
+            existed = server.metastore.table_exists(self.name, server.database)
+            created = server.metastore.create_table(
+                self.name,
+                self.schema,
+                self.storage_format,
+                database=server.database,
+                properties=dict(self.properties),
+                owner="hive",
+                if_not_exists=self.if_not_exists,
+                partition_schema=self.partition_schema,
             )
+            if not existed:
+                object.__setattr__(self, "_table", created)
             return server._empty_result()
-        existed = server.metastore.table_exists(self.name, server.database)
-        created = server.metastore.create_table(
-            self.name,
-            self.schema,
-            self.storage_format,
-            database=server.database,
-            properties=dict(self.properties),
-            owner="hive",
-            if_not_exists=self.if_not_exists,
-            partition_schema=self.partition_schema,
-        )
-        if not existed:
-            object.__setattr__(self, "_table", created)
-        return server._empty_result()
 
 
 @dataclass(frozen=True)
@@ -108,9 +122,25 @@ class _PreparedInsert:
     overwrite: bool
 
     def execute(self, server: "HiveServer") -> QueryResult:
-        if self.overwrite:
-            server.warehouse.truncate(self.table, self.partition)
-        server.warehouse.write_segment(self.table, self.blob, self.partition)
+        with trace_span(
+            "hive.warehouse.write",
+            system="hive",
+            peer_system="hdfs",
+            operation="write_segment",
+            boundary="hive->hdfs",
+        ) as sp:
+            if sp is not None:
+                sp.attributes.update(
+                    table=self.table.name,
+                    fmt=self.table.storage_format,
+                    bytes=len(self.blob),
+                    overwrite=self.overwrite,
+                )
+            if self.overwrite:
+                server.warehouse.truncate(self.table, self.partition)
+            server.warehouse.write_segment(
+                self.table, self.blob, self.partition
+            )
         return server._empty_result()
 
 
@@ -152,22 +182,34 @@ class HiveServer:
 
     def execute(self, sql: str) -> QueryResult:
         """Run one HiveQL statement and return its result."""
-        self._warnings = []
-        statement = parse_statement(sql)
-        if isinstance(statement, DropTable):
-            # DROP is pure side effect; there is no analysis to reuse.
-            return self._drop(statement)
-        if not self.plan_cache_enabled:
-            return self._execute_uncached(statement)
-        fingerprint = (self.database, self.default_format)
-        version = self.metastore.catalog_version
-        plan = self.plan_cache.lookup(
-            sql, fingerprint, version, self._dependency_state
-        )
-        if plan is None:
-            plan, deps = self._prepare(statement)
-            self.plan_cache.store(sql, fingerprint, version, deps, plan)
-        return plan.execute(self)
+        with trace_span(
+            "hive.execute", system="hive", operation="execute"
+        ) as sp:
+            if sp is not None:
+                sp.attributes["statement"] = sql[:120]
+            self._warnings = []
+            statement = parse_statement(sql)
+            if isinstance(statement, DropTable):
+                # DROP is pure side effect; there is no analysis to reuse.
+                return self._drop(statement)
+            if not self.plan_cache_enabled:
+                return self._execute_uncached(statement)
+            fingerprint = (self.database, self.default_format)
+            version = self.metastore.catalog_version
+            plan = self.plan_cache.lookup(
+                sql, fingerprint, version, self._dependency_state
+            )
+            if plan is None:
+                trace_event(
+                    "plan_cache.miss", conf_fingerprint=str(fingerprint)
+                )
+                plan, deps = self._prepare(statement)
+                self.plan_cache.store(sql, fingerprint, version, deps, plan)
+            else:
+                trace_event(
+                    "plan_cache.hit", conf_fingerprint=str(fingerprint)
+                )
+            return plan.execute(self)
 
     def _execute_uncached(self, statement) -> QueryResult:
         if isinstance(statement, CreateTable):
@@ -231,10 +273,28 @@ class HiveServer:
     def _prepare_select(self, statement: Select):
         deps = self._table_deps(statement.table)
         try:
-            table = self.metastore.get_table(statement.table, self.database)
+            table = self._get_table(statement.table)
         except Exception as exc:
             return PreparedFailure(exc), deps
         return _PreparedSelect(table, statement), deps
+
+    def _get_table(self, name: str) -> Table:
+        """Catalog lookup, as a traced Hive→metastore call."""
+        with trace_span(
+            "hive.metastore.get_table",
+            system="hive",
+            peer_system="hive-metastore",
+            operation="get_table",
+            boundary="hive->metastore",
+        ) as sp:
+            table = self.metastore.get_table(name, self.database)
+            if sp is not None:
+                sp.attributes.update(
+                    table=name,
+                    database=self.database,
+                    fmt=table.storage_format,
+                )
+            return table
 
     # -- DDL ------------------------------------------------------------
 
@@ -263,16 +323,25 @@ class HiveServer:
         schema, fmt, properties, partition_schema = self._analyze_create(
             statement
         )
-        self.metastore.create_table(
-            statement.table,
-            schema,
-            fmt,
-            database=self.database,
-            properties=properties,
-            owner="hive",
-            if_not_exists=statement.if_not_exists,
-            partition_schema=partition_schema,
-        )
+        with trace_span(
+            "hive.metastore.create_table",
+            system="hive",
+            peer_system="hive-metastore",
+            operation="create_table",
+            boundary="hive->metastore",
+        ) as sp:
+            if sp is not None:
+                sp.attributes.update(table=statement.table, fmt=fmt)
+            self.metastore.create_table(
+                statement.table,
+                schema,
+                fmt,
+                database=self.database,
+                properties=properties,
+                owner="hive",
+                if_not_exists=statement.if_not_exists,
+                partition_schema=partition_schema,
+            )
         return self._empty_result()
 
     def _drop(self, statement: DropTable) -> QueryResult:
@@ -289,7 +358,7 @@ class HiveServer:
     def _analyze_insert(
         self, statement: Insert
     ) -> tuple[Table, str | None, list[tuple]]:
-        table = self.metastore.get_table(statement.table, self.database)
+        table = self._get_table(statement.table)
         partition = self._resolve_partition_spec(table, statement)
         kernels = [
             hive_write_kernel(column.data_type)
@@ -312,10 +381,24 @@ class HiveServer:
     def _insert(self, statement: Insert) -> QueryResult:
         table, partition, rows = self._analyze_insert(statement)
         serializer = serializer_for(table.storage_format)
-        if statement.overwrite:
-            self.warehouse.truncate(table, partition)
         blob = self._serialize(serializer, table.schema, rows)
-        self.warehouse.write_segment(table, blob, partition)
+        with trace_span(
+            "hive.warehouse.write",
+            system="hive",
+            peer_system="hdfs",
+            operation="write_segment",
+            boundary="hive->hdfs",
+        ) as sp:
+            if sp is not None:
+                sp.attributes.update(
+                    table=table.name,
+                    fmt=table.storage_format,
+                    bytes=len(blob),
+                    overwrite=statement.overwrite,
+                )
+            if statement.overwrite:
+                self.warehouse.truncate(table, partition)
+            self.warehouse.write_segment(table, blob, partition)
         return self._empty_result()
 
     def _resolve_partition_spec(self, table, statement: Insert) -> str | None:
@@ -342,18 +425,37 @@ class HiveServer:
     def _serialize(
         self, serializer: Serializer, schema: Schema, rows: list[tuple]
     ) -> bytes:
-        properties: dict[str, str] = {"writer": "hive"}
-        if serializer.format_name == "orc":
-            # Hive's ORC writer names columns positionally; the real
-            # names live only in the metastore (SPARK-21686).
-            schema = schema.rename_positional(_POSITIONAL_PREFIX)
-            properties[HIVE_POSITIONAL_PROPERTY] = "true"
-        return serializer.write(schema, rows, properties)
+        with trace_span(
+            "hive.serde.encode",
+            system="hive",
+            peer_system="serde",
+            operation="encode",
+            boundary="hive->serde",
+        ) as sp:
+            properties: dict[str, str] = {"writer": "hive"}
+            if serializer.format_name == "orc":
+                # Hive's ORC writer names columns positionally; the real
+                # names live only in the metastore (SPARK-21686).
+                schema = schema.rename_positional(_POSITIONAL_PREFIX)
+                properties[HIVE_POSITIONAL_PROPERTY] = "true"
+                trace_event(
+                    "orc.positional_rename",
+                    prefix=_POSITIONAL_PREFIX,
+                    columns=len(schema),
+                )
+            blob = serializer.write(schema, rows, properties)
+            if sp is not None:
+                sp.attributes.update(
+                    fmt=serializer.format_name,
+                    rows=len(rows),
+                    bytes=len(blob),
+                )
+            return blob
 
     # -- queries --------------------------------------------------------------
 
     def _select(self, statement: Select) -> QueryResult:
-        table = self.metastore.get_table(statement.table, self.database)
+        table = self._get_table(statement.table)
         return self._execute_select(table, statement)
 
     def _execute_select(self, table: Table, statement: Select) -> QueryResult:
@@ -365,14 +467,26 @@ class HiveServer:
                 case_sensitive=False,
             )
             column = table.partition_schema.fields[0]
-            for dirname, blob in self.warehouse.read_partitioned_segments(
-                table
-            ):
+            with trace_span(
+                "hive.warehouse.scan",
+                system="hive",
+                peer_system="hdfs",
+                operation="read_partitioned_segments",
+                boundary="hive->hdfs",
+            ) as sp:
+                segments = list(
+                    self.warehouse.read_partitioned_segments(table)
+                )
+                if sp is not None:
+                    sp.attributes.update(
+                        table=table.name, segments=len(segments)
+                    )
+            for dirname, blob in segments:
                 _, text = parse_partition_dirname(dirname)
                 # Hive types the directory string by the declared column
                 # type — "01" in a string partition stays "01"
                 partition_value = hive_write_cast(text, column.data_type)
-                data = serializer.read(blob)
+                data = self._decode_blob(serializer, blob)
                 mapper = self._row_mapper(data, table)
                 for physical_row in data.rows:
                     base = mapper(physical_row)
@@ -381,8 +495,20 @@ class HiveServer:
                     )
         else:
             schema = table.schema
-            for blob in self.warehouse.read_segments(table):
-                data = serializer.read(blob)
+            with trace_span(
+                "hive.warehouse.scan",
+                system="hive",
+                peer_system="hdfs",
+                operation="read_segments",
+                boundary="hive->hdfs",
+            ) as sp:
+                blobs = list(self.warehouse.read_segments(table))
+                if sp is not None:
+                    sp.attributes.update(
+                        table=table.name, segments=len(blobs)
+                    )
+            for blob in blobs:
+                data = self._decode_blob(serializer, blob)
                 mapper = self._row_mapper(data, table)
                 for physical_row in data.rows:
                     rows.append(mapper(physical_row))
@@ -394,6 +520,25 @@ class HiveServer:
             warnings=tuple(self._warnings),
             interface="hiveql",
         )
+
+    @staticmethod
+    def _decode_blob(serializer: Serializer, blob: bytes) -> TableData:
+        """Deserialize one segment, as a traced Hive→SerDe call."""
+        with trace_span(
+            "hive.serde.decode",
+            system="hive",
+            peer_system="serde",
+            operation="decode",
+            boundary="hive->serde",
+        ) as sp:
+            data = serializer.read(blob)
+            if sp is not None:
+                sp.attributes.update(
+                    fmt=serializer.format_name,
+                    bytes=len(blob),
+                    rows=len(data.rows),
+                )
+            return data
 
     def _row_mapper(self, data: TableData, table: Table):
         """Compile the physical→declared mapping for one segment.

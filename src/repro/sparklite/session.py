@@ -66,6 +66,8 @@ from repro.sql.parser import parse_statement
 from repro.sql.plancache import PlanCache, PreparedFailure
 from repro.storage.filesystem import FileSystem
 from repro.storage.namenode import NameNode
+from repro.tracing.core import event as trace_event
+from repro.tracing.core import span as trace_span
 
 __all__ = ["SparkSession"]
 
@@ -97,11 +99,25 @@ class _PreparedInsert:
     overwrite: bool
 
     def execute(self, session: "SparkSession") -> QueryResult:
-        if self.overwrite:
-            session.warehouse.truncate(self.resolved.table, self.partition)
-        session.warehouse.write_segment(
-            self.resolved.table, self.blob, self.partition
-        )
+        with trace_span(
+            "spark.warehouse.write",
+            system="spark",
+            peer_system="hdfs",
+            operation="write_segment",
+            boundary="spark->hdfs",
+        ) as sp:
+            if sp is not None:
+                sp.attributes.update(
+                    table=self.resolved.table.name,
+                    fmt=self.resolved.table.storage_format,
+                    bytes=len(self.blob),
+                    overwrite=self.overwrite,
+                )
+            if self.overwrite:
+                session.warehouse.truncate(self.resolved.table, self.partition)
+            session.warehouse.write_segment(
+                self.resolved.table, self.blob, self.partition
+            )
         return session._empty("sparksql")
 
 
@@ -143,21 +159,33 @@ class SparkSession:
     # -- SQL interface -----------------------------------------------------
 
     def sql(self, text: str) -> QueryResult:
-        statement = parse_statement(text)
-        if isinstance(statement, DropTable):
-            # DROP is pure side effect; there is no analysis to reuse.
-            return self._sql_drop(statement)
-        if not self.conf.plan_cache_enabled:
-            return self._sql_uncached(statement)
-        fingerprint = self.conf.fingerprint()
-        version = self.metastore.catalog_version
-        plan = self.plan_cache.lookup(
-            text, fingerprint, version, self._dependency_state
-        )
-        if plan is None:
-            plan, deps = self._prepare(statement)
-            self.plan_cache.store(text, fingerprint, version, deps, plan)
-        return plan.execute(self)
+        with trace_span(
+            "spark.sql", system="spark", operation="sql"
+        ) as sp:
+            if sp is not None:
+                sp.attributes["statement"] = text[:120]
+            statement = parse_statement(text)
+            if isinstance(statement, DropTable):
+                # DROP is pure side effect; there is no analysis to reuse.
+                return self._sql_drop(statement)
+            if not self.conf.plan_cache_enabled:
+                return self._sql_uncached(statement)
+            fingerprint = self.conf.fingerprint()
+            version = self.metastore.catalog_version
+            plan = self.plan_cache.lookup(
+                text, fingerprint, version, self._dependency_state
+            )
+            if plan is None:
+                trace_event(
+                    "plan_cache.miss", conf_fingerprint=str(fingerprint)
+                )
+                plan, deps = self._prepare(statement)
+                self.plan_cache.store(text, fingerprint, version, deps, plan)
+            else:
+                trace_event(
+                    "plan_cache.hit", conf_fingerprint=str(fingerprint)
+                )
+            return plan.execute(self)
 
     def _sql_uncached(self, statement) -> QueryResult:
         if isinstance(statement, CreateTable):
@@ -203,8 +231,7 @@ class SparkSession:
         deps = self._table_deps(statement.table)
         try:
             resolved, rows, partition = self._analyze_insert(statement)
-            serializer = serializer_for(resolved.table.storage_format)
-            blob = serializer.write(resolved.schema, rows, {"writer": "spark"})
+            blob = self._encode_rows(resolved, rows)
         except Exception as exc:
             return PreparedFailure(exc), deps
         return (
@@ -283,6 +310,11 @@ class SparkSession:
         resolved = self.connector.resolve(statement.table, self.database)
         evaluator = self._evaluator()
         policy = self.conf.store_assignment_policy
+        trace_event(
+            "cast.store_assignment",
+            policy=str(policy),
+            ansi=bool(self.conf.get("spark.sql.ansi.enabled")),
+        )
         partition = self._resolve_partition_spec(
             resolved.table, statement, evaluator, policy
         )
@@ -496,6 +528,25 @@ class SparkSession:
 
     # -- shared write/scan machinery ----------------------------------------------
 
+    def _encode_rows(self, resolved: ResolvedTable, rows: list[tuple]) -> bytes:
+        """Serialize rows for the table's format, as a traced SerDe call."""
+        serializer = serializer_for(resolved.table.storage_format)
+        with trace_span(
+            "spark.serde.encode",
+            system="spark",
+            peer_system="serde",
+            operation="encode",
+            boundary="spark->serde",
+        ) as sp:
+            blob = serializer.write(resolved.schema, rows, {"writer": "spark"})
+            if sp is not None:
+                sp.attributes.update(
+                    fmt=resolved.table.storage_format,
+                    rows=len(rows),
+                    bytes=len(blob),
+                )
+            return blob
+
     def _write_rows(
         self,
         resolved: ResolvedTable,
@@ -503,11 +554,24 @@ class SparkSession:
         overwrite: bool,
         partition: str | None = None,
     ) -> None:
-        serializer = serializer_for(resolved.table.storage_format)
-        if overwrite:
-            self.warehouse.truncate(resolved.table, partition)
-        blob = serializer.write(resolved.schema, rows, {"writer": "spark"})
-        self.warehouse.write_segment(resolved.table, blob, partition)
+        blob = self._encode_rows(resolved, rows)
+        with trace_span(
+            "spark.warehouse.write",
+            system="spark",
+            peer_system="hdfs",
+            operation="write_segment",
+            boundary="spark->hdfs",
+        ) as sp:
+            if sp is not None:
+                sp.attributes.update(
+                    table=resolved.table.name,
+                    fmt=resolved.table.storage_format,
+                    bytes=len(blob),
+                    overwrite=overwrite,
+                )
+            if overwrite:
+                self.warehouse.truncate(resolved.table, partition)
+            self.warehouse.write_segment(resolved.table, blob, partition)
 
     def _scan(
         self, resolved: ResolvedTable, interface: str
@@ -516,15 +580,40 @@ class SparkSession:
         typed partition columns for partitioned tables) and the rows."""
         if resolved.table.is_partitioned:
             return self._scan_partitioned(resolved, interface)
+        with trace_span(
+            "spark.warehouse.scan",
+            system="spark",
+            peer_system="hdfs",
+            operation="read_segments",
+            boundary="spark->hdfs",
+        ) as sp:
+            blobs = list(self.warehouse.read_segments(resolved.table))
+            if sp is not None:
+                sp.attributes.update(
+                    table=resolved.table.name, segments=len(blobs)
+                )
         return resolved.schema, self._scan_segments(
-            resolved, interface, self.warehouse.read_segments(resolved.table)
+            resolved, interface, blobs
         )
 
     def _scan_partitioned(
         self, resolved: ResolvedTable, interface: str
     ) -> tuple[Schema, list[Row]]:
         column = resolved.table.partition_schema.fields[0]
-        segments = self.warehouse.read_partitioned_segments(resolved.table)
+        with trace_span(
+            "spark.warehouse.scan",
+            system="spark",
+            peer_system="hdfs",
+            operation="read_partitioned_segments",
+            boundary="spark->hdfs",
+        ) as sp:
+            segments = list(
+                self.warehouse.read_partitioned_segments(resolved.table)
+            )
+            if sp is not None:
+                sp.attributes.update(
+                    table=resolved.table.name, segments=len(segments)
+                )
         texts = []
         for dirname, _ in segments:
             _, text = parse_partition_dirname(dirname)
@@ -579,7 +668,20 @@ class SparkSession:
         )
         out: list[Row] = []
         for blob in blobs:
-            data = serializer.read(blob)
+            with trace_span(
+                "spark.serde.decode",
+                system="spark",
+                peer_system="serde",
+                operation="decode",
+                boundary="spark->serde",
+            ) as sp:
+                data = serializer.read(blob)
+                if sp is not None:
+                    sp.attributes.update(
+                        fmt=resolved.table.storage_format,
+                        bytes=len(blob),
+                        rows=len(data.rows),
+                    )
             # decoded blobs are shared, so the per-blob column plan is
             # memoized on the TableData, keyed by everything it reads
             # from the session (schema + the conf switches involved)

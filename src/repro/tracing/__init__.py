@@ -1,0 +1,62 @@
+"""Boundary tracing for every cross-system call in the simulation.
+
+Usage, end to end::
+
+    from repro import tracing
+
+    with tracing.Tracer() as tracer:
+        ...  # anything that crosses an instrumented seam
+    tracing.write_jsonl(tracer.finished, "trace.jsonl")
+    tracing.write_chrome_trace(tracer.finished, "trace.chrome.json")
+    print("\\n".join(tracing.summary_lines(tracer.finished)))
+
+Instrumentation sites call :func:`tracing.span` / :func:`tracing.event`
+unconditionally; with no tracer active (the default) both are no-ops
+behind a single global check.
+"""
+
+from repro.tracing.core import (
+    Span,
+    SpanEvent,
+    Tracer,
+    current_span,
+    current_tracer,
+    event,
+    span,
+    tracing_enabled,
+)
+from repro.tracing.export import (
+    read_jsonl,
+    read_jsonl_dir,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.tracing.summary import (
+    KNOWN_BOUNDARIES,
+    BoundarySummary,
+    scrape_spans,
+    summarize_spans,
+    summary_lines,
+)
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "current_span",
+    "current_tracer",
+    "event",
+    "span",
+    "tracing_enabled",
+    "read_jsonl",
+    "read_jsonl_dir",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "KNOWN_BOUNDARIES",
+    "BoundarySummary",
+    "scrape_spans",
+    "summarize_spans",
+    "summary_lines",
+]

@@ -1,0 +1,319 @@
+"""Boundary tracing: context-propagating spans over cross-system calls.
+
+The paper's §6.2.2 finding — CSI failures impair observability because
+the signal crossing a boundary is wrong or missing — is a tracing
+problem: to debug a cross-system trial you need to know *which*
+boundaries it crossed, in what order, and where it diverged. This
+module is the substrate: Dapper/Canopy-style spans with explicit
+``(system, peer_system, operation, boundary)`` attributes and
+structured events, nested through a :mod:`contextvars` active-span
+stack so spans parent correctly across sync call chains and survive
+the cross-test process pool (workers ship finished spans back with
+their trial results).
+
+Tracing defaults **off** and the disabled path is a single module-level
+counter check plus a shared no-op context manager — cheap enough to
+leave the instrumentation inline on the 10k-trial hot path (guarded by
+``benchmarks/test_bench_tracing_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanEvent",
+    "Span",
+    "Tracer",
+    "span",
+    "event",
+    "current_tracer",
+    "current_span",
+    "tracing_enabled",
+]
+
+
+@dataclass
+class SpanEvent:
+    """A structured, timestamped annotation inside a span."""
+
+    name: str
+    offset_s: float
+    attributes: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        payload = {"name": self.name, "offset_s": round(self.offset_s, 9)}
+        if self.attributes:
+            payload["attributes"] = self.attributes
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SpanEvent":
+        return cls(
+            name=payload["name"],
+            offset_s=payload.get("offset_s", 0.0),
+            attributes=dict(payload.get("attributes", {})),
+        )
+
+
+@dataclass
+class Span:
+    """One timed operation, optionally crossing a system boundary.
+
+    ``boundary`` is non-empty exactly when the operation leaves the
+    calling system (``"spark->metastore"``, ``"am->rm"``, ...); spans
+    with an empty boundary are intra-system structure (a trial stage, a
+    SQL statement). Only plain picklable fields — spans cross process
+    boundaries inside ``ShardResult``.
+    """
+
+    name: str
+    trace_id: str
+    span_id: int
+    parent_id: int | None = None
+    system: str = ""
+    peer_system: str = ""
+    operation: str = ""
+    boundary: str = ""
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    status: str = "ok"  # "ok" | "error"
+    error: str = ""
+    attributes: dict = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+
+    def add_event(self, name: str, **attributes: object) -> SpanEvent:
+        evt = SpanEvent(
+            name, time.perf_counter() - self.start_s, dict(attributes)
+        )
+        self.events.append(evt)
+        return evt
+
+    def to_json(self) -> dict:
+        payload = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "system": self.system,
+            "peer_system": self.peer_system,
+            "operation": self.operation,
+            "boundary": self.boundary,
+            "start_s": round(self.start_s, 9),
+            "duration_s": round(self.duration_s, 9),
+            "status": self.status,
+        }
+        if self.error:
+            payload["error"] = self.error
+        if self.attributes:
+            payload["attributes"] = self.attributes
+        if self.events:
+            payload["events"] = [evt.to_json() for evt in self.events]
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Span":
+        return cls(
+            name=payload["name"],
+            trace_id=payload.get("trace_id", ""),
+            span_id=payload.get("span_id", 0),
+            parent_id=payload.get("parent_id"),
+            system=payload.get("system", ""),
+            peer_system=payload.get("peer_system", ""),
+            operation=payload.get("operation", ""),
+            boundary=payload.get("boundary", ""),
+            start_s=payload.get("start_s", 0.0),
+            duration_s=payload.get("duration_s", 0.0),
+            status=payload.get("status", "ok"),
+            error=payload.get("error", ""),
+            attributes=dict(payload.get("attributes", {})),
+            events=[
+                SpanEvent.from_json(evt) for evt in payload.get("events", [])
+            ],
+        )
+
+
+# -- the active tracer/span stack -------------------------------------------
+
+#: how many tracers are currently activated, process-wide. The disabled
+#: fast path reads this plain int — no ContextVar lookup, no lock — so a
+#: tracing-off run pays one global load per instrumented call site.
+_ACTIVE_TRACERS = 0
+_ACTIVE_LOCK = threading.Lock()
+
+_CURRENT_TRACER: ContextVar["Tracer | None"] = ContextVar(
+    "repro_tracer", default=None
+)
+_CURRENT_SPAN: ContextVar[Span | None] = ContextVar(
+    "repro_span", default=None
+)
+
+_TRACE_IDS = itertools.count(1)
+
+
+class _NoopSpanContext:
+    """Shared do-nothing context manager for the tracing-off path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NOOP = _NoopSpanContext()
+
+
+class _SpanContext:
+    """Context manager that opens a span on the contextvars stack."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._token = None
+
+    def __enter__(self) -> Span:
+        parent = _CURRENT_SPAN.get()
+        if parent is not None:
+            self._span.parent_id = parent.span_id
+        self._span.start_s = time.perf_counter()
+        self._token = _CURRENT_SPAN.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.duration_s = time.perf_counter() - span.start_s
+        if exc is not None:
+            span.status = "error"
+            span.error = f"{exc_type.__name__}: {exc}"
+        _CURRENT_SPAN.reset(self._token)
+        self._tracer.finished.append(span)
+        return False
+
+
+class Tracer:
+    """Collects the spans of one trace (one trial, one scenario run).
+
+    Used as a context manager: ``with Tracer() as tracer: ...`` makes it
+    the current tracer for the enclosing context (thread/task), so the
+    module-level :func:`span` helper — the only thing instrumentation
+    sites call — records into it. Finished spans accumulate in
+    ``tracer.finished`` in completion order (children before parents).
+    """
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = (
+            trace_id if trace_id is not None else f"trace-{next(_TRACE_IDS)}"
+        )
+        self.finished: list[Span] = []
+        self._span_ids = itertools.count(1)
+        self._tracer_token = None
+        self._span_token = None
+
+    def span(
+        self,
+        name: str,
+        *,
+        system: str = "",
+        peer_system: str = "",
+        operation: str = "",
+        boundary: str = "",
+        attributes: dict | None = None,
+    ) -> _SpanContext:
+        return _SpanContext(
+            self,
+            Span(
+                name=name,
+                trace_id=self.trace_id,
+                span_id=next(self._span_ids),
+                system=system,
+                peer_system=peer_system,
+                operation=operation,
+                boundary=boundary,
+                attributes=dict(attributes) if attributes else {},
+            ),
+        )
+
+    # -- activation -----------------------------------------------------
+
+    def __enter__(self) -> "Tracer":
+        global _ACTIVE_TRACERS
+        self._tracer_token = _CURRENT_TRACER.set(self)
+        # a fresh tracer must not adopt spans from an outer tracer as
+        # parents — traces are independent
+        self._span_token = _CURRENT_SPAN.set(None)
+        with _ACTIVE_LOCK:
+            _ACTIVE_TRACERS += 1
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        global _ACTIVE_TRACERS
+        with _ACTIVE_LOCK:
+            _ACTIVE_TRACERS -= 1
+        _CURRENT_SPAN.reset(self._span_token)
+        _CURRENT_TRACER.reset(self._tracer_token)
+        return False
+
+
+# -- module-level instrumentation API ---------------------------------------
+
+
+def span(
+    name: str,
+    *,
+    system: str = "",
+    peer_system: str = "",
+    operation: str = "",
+    boundary: str = "",
+    attributes: dict | None = None,
+):
+    """Open a span on the current tracer, or do nothing if tracing is off.
+
+    The instrumentation sites call this unconditionally; when no tracer
+    is active (the default) it returns a shared no-op context manager
+    after a single global check.
+    """
+    if not _ACTIVE_TRACERS:
+        return _NOOP
+    tracer = _CURRENT_TRACER.get()
+    if tracer is None:
+        return _NOOP
+    return tracer.span(
+        name,
+        system=system,
+        peer_system=peer_system,
+        operation=operation,
+        boundary=boundary,
+        attributes=attributes,
+    )
+
+
+def event(name: str, **attributes: object) -> None:
+    """Attach a structured event to the innermost active span, if any."""
+    if not _ACTIVE_TRACERS:
+        return
+    active = _CURRENT_SPAN.get()
+    if active is None:
+        return
+    active.add_event(name, **attributes)
+
+
+def current_tracer() -> Tracer | None:
+    return _CURRENT_TRACER.get() if _ACTIVE_TRACERS else None
+
+
+def current_span() -> Span | None:
+    return _CURRENT_SPAN.get() if _ACTIVE_TRACERS else None
+
+
+def tracing_enabled() -> bool:
+    """Whether *this context* records spans (a tracer is current here)."""
+    return bool(_ACTIVE_TRACERS) and _CURRENT_TRACER.get() is not None

@@ -1,0 +1,121 @@
+"""Trace exporters: JSONL span records and Chrome ``chrome://tracing``.
+
+JSONL is the machine-readable interchange format (one span per line,
+``Span.to_json`` payloads) that ``repro trace summarize`` scrapes; the
+Chrome trace format opens directly in ``chrome://tracing`` / Perfetto
+for visual inspection of a discrepancy's span tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.tracing.core import Span
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def write_jsonl(spans: list[Span], path: str) -> str:
+    """Write spans as JSON Lines; returns the path written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for item in spans:
+            handle.write(json.dumps(item.to_json(), sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: str) -> list[Span]:
+    spans: list[Span] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_json(json.loads(line)))
+    return spans
+
+
+def read_jsonl_dir(directory: str) -> list[Span]:
+    """Every span from every ``*.jsonl`` file under ``directory``."""
+    spans: list[Span] = []
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".jsonl"):
+            spans.extend(read_jsonl(os.path.join(directory, entry)))
+    return spans
+
+
+def to_chrome_trace(spans: list[Span]) -> dict:
+    """Spans as a Chrome Trace Event document (``traceEvents``).
+
+    Complete events (``ph: "X"``) with microsecond timestamps relative
+    to the earliest span; one ``pid`` per trace id, one ``tid`` per
+    system, so a multi-trial export renders as parallel tracks.
+    """
+    if spans:
+        epoch = min(item.start_s for item in spans)
+    else:
+        epoch = 0.0
+    pids: dict[str, int] = {}
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+    metadata: list[dict] = []
+    for item in spans:
+        pid = pids.get(item.trace_id)
+        if pid is None:
+            pid = pids[item.trace_id] = len(pids) + 1
+            metadata.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "name": "process_name",
+                    "args": {"name": item.trace_id},
+                }
+            )
+        tid_key = item.system or "untracked"
+        tid = tids.get(tid_key)
+        if tid is None:
+            tid = tids[tid_key] = len(tids) + 1
+            metadata.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": tid_key},
+                }
+            )
+        args = {
+            "operation": item.operation,
+            "boundary": item.boundary,
+            "peer_system": item.peer_system,
+            "status": item.status,
+        }
+        if item.error:
+            args["error"] = item.error
+        args.update(item.attributes)
+        for evt in item.events:
+            args[f"event:{evt.name}"] = evt.attributes or True
+        events.append(
+            {
+                "ph": "X",
+                "name": item.name,
+                "cat": item.boundary or "internal",
+                "pid": pid,
+                "tid": tid,
+                "ts": round((item.start_s - epoch) * 1e6, 3),
+                "dur": round(item.duration_s * 1e6, 3),
+                "args": args,
+            }
+        )
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: list[Span], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(spans), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,162 @@
+"""Per-boundary scrape of exported traces: counts and latency quantiles.
+
+``python -m repro trace summarize OUT`` feeds every exported span into
+the standard :mod:`repro.metrics` substrate — one counter and one
+:class:`~repro.metrics.Histogram` per boundary — and renders
+per-boundary span counts with p50/p99 latencies.
+
+The §1 lesson is wired in deliberately: a *known* boundary with zero
+spans is read back through :class:`~repro.metrics.AbsentPolicy`, so
+under the default ``ABSENT`` policy it renders as ``ABSENT`` — never as
+a silent 0 a consumer could mistake for "this boundary was watched and
+quiet" (the exact misread behind the GCP quota outage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics import AbsentPolicy, Histogram, MetricsRegistry
+from repro.tracing.core import Span
+
+__all__ = [
+    "KNOWN_BOUNDARIES",
+    "BoundarySummary",
+    "scrape_spans",
+    "summarize_spans",
+    "summary_lines",
+]
+
+#: every boundary the instrumented seams can emit. ``summarize`` reports
+#: each of these even when no span crossed it — absence is information.
+KNOWN_BOUNDARIES = (
+    "spark->metastore",
+    "hive->metastore",
+    "spark->hdfs",
+    "hive->hdfs",
+    "spark->serde",
+    "hive->serde",
+    "hive->hbase",
+    "am->rm",
+    "crosstest->oracle",
+)
+
+
+@dataclass(frozen=True)
+class BoundarySummary:
+    """What the scrape saw for one boundary."""
+
+    boundary: str
+    count: int | None  # None == ABSENT under the scrape's absent policy
+    errors: int = 0
+    p50_s: float = 0.0
+    p99_s: float = 0.0
+
+    @property
+    def absent(self) -> bool:
+        return self.count is None
+
+
+def _counter_name(boundary: str) -> str:
+    return f"boundary_spans:{boundary}"
+
+
+def _error_name(boundary: str) -> str:
+    return f"boundary_errors:{boundary}"
+
+
+def _histogram_name(boundary: str) -> str:
+    return f"boundary_latency:{boundary}"
+
+
+def scrape_spans(spans: list[Span]) -> MetricsRegistry:
+    """Aggregate boundary spans into a metrics registry.
+
+    Only boundaries that actually appear get registered — the registry
+    models what a scrape of the trace data *observes*, and the absent
+    policy decides how an unobserved boundary reads.
+    """
+    registry = MetricsRegistry("tracing")
+    for item in spans:
+        if not item.boundary:
+            continue
+        registry.counter(
+            _counter_name(item.boundary),
+            description=f"spans crossing {item.boundary}",
+        ).increment()
+        if item.status == "error":
+            registry.counter(
+                _error_name(item.boundary),
+                description=f"errored spans crossing {item.boundary}",
+            ).increment()
+        registry.histogram(
+            _histogram_name(item.boundary),
+            description=f"span latency across {item.boundary} (seconds)",
+        ).observe(item.duration_s)
+    return registry
+
+
+def summarize_spans(
+    spans: list[Span],
+    absent_policy: AbsentPolicy = AbsentPolicy.ABSENT,
+    boundaries: tuple[str, ...] = KNOWN_BOUNDARIES,
+) -> list[BoundarySummary]:
+    """One :class:`BoundarySummary` per boundary, known ones first.
+
+    Known boundaries are *read through the registry's absent policy*:
+    ``ABSENT`` yields ``count=None``, ``ZERO`` yields the historical
+    silent 0, and ``ERROR`` refuses the scrape with
+    :class:`~repro.metrics.MetricError`.
+    """
+    registry = scrape_spans(spans)
+    seen = sorted(
+        {item.boundary for item in spans if item.boundary} - set(boundaries)
+    )
+    summaries: list[BoundarySummary] = []
+    for boundary in tuple(boundaries) + tuple(seen):
+        count = registry.read(_counter_name(boundary), absent_policy)
+        if count is None:
+            summaries.append(BoundarySummary(boundary, None))
+            continue
+        histogram = registry._metrics.get(_histogram_name(boundary))
+        if isinstance(histogram, Histogram) and histogram.count:
+            p50, p99 = histogram.quantile(0.5), histogram.quantile(0.99)
+        else:
+            p50 = p99 = 0.0
+        errors = registry.read(_error_name(boundary), AbsentPolicy.ZERO)
+        summaries.append(
+            BoundarySummary(
+                boundary,
+                count=int(count),
+                errors=int(errors or 0),
+                p50_s=p50,
+                p99_s=p99,
+            )
+        )
+    return summaries
+
+
+def summary_lines(
+    spans: list[Span],
+    absent_policy: AbsentPolicy = AbsentPolicy.ABSENT,
+) -> list[str]:
+    """The rendered per-boundary table for the CLI."""
+    width = max(len(b) for b in KNOWN_BOUNDARIES) + 2
+    lines = [
+        f"{'boundary':<{width}} {'spans':>8} {'errors':>7} "
+        f"{'p50':>9} {'p99':>9}"
+    ]
+    for row in summarize_spans(spans, absent_policy):
+        if row.absent:
+            lines.append(f"{row.boundary:<{width}} {'ABSENT':>8}")
+            continue
+        lines.append(
+            f"{row.boundary:<{width}} {row.count:>8} {row.errors:>7} "
+            f"{row.p50_s * 1e6:>7.0f}us {row.p99_s * 1e6:>7.0f}us"
+        )
+    total = sum(1 for item in spans if item.boundary)
+    lines.append(
+        f"{len(spans)} spans total, {total} boundary crossings, "
+        f"absent_policy={absent_policy.value}"
+    )
+    return lines

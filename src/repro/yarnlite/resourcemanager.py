@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.common.events import EventLoop, Process
 from repro.errors import SchedulerOverloadError
 from repro.metrics.registry import MetricsRegistry
+from repro.tracing.core import span as trace_span
 from repro.yarnlite.configs import YarnConf
 from repro.yarnlite.resources import Resource
 from repro.yarnlite.scheduler import Scheduler, scheduler_for
@@ -104,10 +105,23 @@ class ResourceManager(Process):
         diagnostics: str = "",
     ) -> None:
         """The AM reports its final status; the RM records it verbatim."""
-        if final_status not in ("SUCCEEDED", "FAILED", "KILLED"):
-            raise ValueError(f"invalid final status {final_status!r}")
-        handle.final_status = final_status
-        handle.diagnostics = diagnostics
+        with trace_span(
+            "am.rm.report_final_status",
+            system="yarn-am",
+            peer_system="yarn-rm",
+            operation="report_final_status",
+            boundary="am->rm",
+        ) as sp:
+            if sp is not None:
+                sp.attributes.update(
+                    app_id=handle.app_id,
+                    final_status=final_status,
+                    diagnostics=diagnostics,
+                )
+            if final_status not in ("SUCCEEDED", "FAILED", "KILLED"):
+                raise ValueError(f"invalid final status {final_status!r}")
+            handle.final_status = final_status
+            handle.diagnostics = diagnostics
 
     def application_report(self, app_id: int) -> ApplicationHandle:
         handle = self._apps.get(app_id)
@@ -121,18 +135,31 @@ class ResourceManager(Process):
         self, handle: ApplicationHandle, count: int, resource: Resource
     ) -> None:
         """Enqueue ``count`` container requests; returns immediately."""
-        self.scheduler.validate(resource)
-        normalized = self.scheduler.normalize(resource)
-        if len(self._queue) + count > self.max_queued_requests:
-            raise SchedulerOverloadError(
-                f"request queue would exceed {self.max_queued_requests}"
-            )
-        handle.requested_total += count
-        self.total_requests_received += count
-        for _ in range(count):
-            self._queue.append((handle.app_id, normalized))
-        self._pending_gauge.set(len(self._queue))
-        self._drain()
+        with trace_span(
+            "am.rm.request_containers",
+            system="yarn-am",
+            peer_system="yarn-rm",
+            operation="request_containers",
+            boundary="am->rm",
+        ) as sp:
+            if sp is not None:
+                sp.attributes.update(
+                    app_id=handle.app_id,
+                    count=count,
+                    pending=len(self._queue),
+                )
+            self.scheduler.validate(resource)
+            normalized = self.scheduler.normalize(resource)
+            if len(self._queue) + count > self.max_queued_requests:
+                raise SchedulerOverloadError(
+                    f"request queue would exceed {self.max_queued_requests}"
+                )
+            handle.requested_total += count
+            self.total_requests_received += count
+            for _ in range(count):
+                self._queue.append((handle.app_id, normalized))
+            self._pending_gauge.set(len(self._queue))
+            self._drain()
 
     @property
     def pending_requests(self) -> int:

@@ -9,3 +9,9 @@ from repro.crosstest.report import run_crosstest
 def full_report():
     """One full 10k-trial run of the §8 pipeline (a few seconds)."""
     return run_crosstest()
+
+
+@pytest.fixture(scope="session")
+def full_traced_report():
+    """The same full run with per-trial span trees attached."""
+    return run_crosstest(tracing=True)

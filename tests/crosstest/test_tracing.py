@@ -1,0 +1,149 @@
+"""Traced cross-test runs: byte-identical reports, process-pool span
+shipping, and two-sided discrepancy traces."""
+
+import json
+
+from repro.crosstest.plans import ALL_PLANS
+from repro.crosstest.report import run_crosstest
+from repro.crosstest.values import generate_inputs
+
+#: operations on the writer side of a cross-system seam
+WRITER_OPS = ("encode", "write_segment", "write", "create_table", "put")
+#: operations on the reader side
+READER_OPS = (
+    "decode",
+    "read_segments",
+    "read_partitioned_segments",
+    "resolve",
+    "get_table",
+    "scan",
+)
+
+
+def _subset_inputs(count=12):
+    return generate_inputs()[:count]
+
+
+class TestReportByteIdentity:
+    """Tracing must never change the rendered report (acceptance 5)."""
+
+    def _render(self, report):
+        return (
+            json.dumps(report.to_json(), sort_keys=True),
+            "\n".join(report.summary_lines()),
+        )
+
+    def test_traced_equals_untraced_sequential(self):
+        inputs = _subset_inputs()
+        plain = run_crosstest(inputs=inputs, jobs=1)
+        traced = run_crosstest(inputs=inputs, jobs=1, tracing=True)
+        assert self._render(plain) == self._render(traced)
+
+    def test_traced_equals_untraced_process_pool(self):
+        inputs = _subset_inputs()
+        plain = run_crosstest(inputs=inputs, jobs=1)
+        traced = run_crosstest(
+            inputs=inputs, jobs=4, pool="process", tracing=True
+        )
+        assert self._render(plain) == self._render(traced)
+
+    def test_full_traced_report_matches_untraced(
+        self, full_report, full_traced_report
+    ):
+        assert self._render(full_report) == self._render(full_traced_report)
+
+
+class TestTraceCapture:
+    def test_every_trial_has_a_span_tree(self):
+        inputs = _subset_inputs()
+        report = run_crosstest(inputs=inputs, jobs=1, tracing=True)
+        assert report.traces is not None
+        assert set(report.traces) == set(range(len(report.trials)))
+        assert all(report.traces[i] for i in report.traces)
+
+    def test_untraced_run_attaches_nothing(self):
+        report = run_crosstest(inputs=_subset_inputs(4), jobs=1)
+        assert report.traces is None
+        assert report.oracle_spans == ()
+
+    def test_root_span_names_the_trial(self):
+        inputs = _subset_inputs(4)
+        report = run_crosstest(inputs=inputs, jobs=1, tracing=True)
+        for index, trial in enumerate(report.trials):
+            spans = report.traces[index]
+            root = next(s for s in spans if s.name == "crosstest.trial")
+            assert root.attributes["plan"] == trial.plan.name
+            assert root.attributes["fmt"] == trial.fmt
+            assert root.attributes["input_id"] == trial.test_input.input_id
+            assert root.trace_id == (
+                f"{trial.plan.name}/{trial.fmt}/{trial.test_input.input_id}"
+            )
+
+    def test_spans_ship_back_from_process_workers(self):
+        inputs = _subset_inputs()
+        report = run_crosstest(
+            inputs=inputs, jobs=4, pool="process", tracing=True
+        )
+        expected = len(ALL_PLANS) * 3 * len(inputs)
+        assert len(report.trials) == expected
+        assert set(report.traces) == set(range(expected))
+        for index, trial in enumerate(report.trials):
+            root = next(
+                s
+                for s in report.traces[index]
+                if s.name == "crosstest.trial"
+            )
+            assert root.attributes["input_id"] == trial.test_input.input_id
+
+    def test_oracle_phase_is_traced(self):
+        report = run_crosstest(inputs=_subset_inputs(4), jobs=1, tracing=True)
+        names = {s.name for s in report.oracle_spans}
+        assert {"oracle.wr", "oracle.eh", "oracle.difft"} <= names
+        assert all(
+            s.boundary == "crosstest->oracle"
+            for s in report.oracle_spans
+            if s.name.startswith("oracle.")
+        )
+
+
+class TestDiscrepancyTraces:
+    """Acceptance 3: every discrepancy trace shows both sides of the
+    seam — at least one writer-side and one reader-side boundary span."""
+
+    def test_all_fifteen_found_with_tracing_on(self, full_traced_report):
+        assert len(full_traced_report.found_numbers) == 15
+
+    def test_every_trace_has_writer_and_reader_spans(
+        self, full_traced_report
+    ):
+        traces = full_traced_report.discrepancy_traces()
+        assert sorted(traces) == sorted(full_traced_report.found_numbers)
+        for number, spans in traces.items():
+            boundary_spans = [s for s in spans if s.boundary]
+            writers = [
+                s for s in boundary_spans if s.operation in WRITER_OPS
+            ]
+            readers = [
+                s for s in boundary_spans if s.operation in READER_OPS
+            ]
+            assert writers, f"discrepancy #{number}: no writer-side span"
+            assert readers, f"discrepancy #{number}: no reader-side span"
+
+    def test_trace_covers_the_full_differential_bucket(
+        self, full_traced_report
+    ):
+        number = min(full_traced_report.found_numbers)
+        spans = full_traced_report.discrepancy_trace(number)
+        witness = full_traced_report.evidence[number].trials[0]
+        input_id = witness.test_input.input_id
+        trace_ids = {s.trace_id for s in spans}
+        expected = {
+            f"{t.plan.name}/{t.fmt}/{t.test_input.input_id}"
+            for t in full_traced_report.trials
+            if t.test_input.input_id == input_id
+        }
+        assert trace_ids == expected
+
+    def test_untraced_report_yields_empty_traces(self, full_report):
+        number = min(full_report.found_numbers)
+        assert full_report.discrepancy_trace(number) == []

@@ -1,0 +1,100 @@
+"""SPARK-3627 through the tracer: the AM→RM status report is a traced
+boundary, so the swallowed failure is visible in the span even when the
+reported status is SUCCEEDED (satellite for the observability seam)."""
+
+from repro.common.events import EventLoop
+from repro.scenarios.observability import (
+    replay_spark_3627,
+    run_yarn_application,
+)
+from repro.tracing.core import Tracer
+from repro.yarnlite.resourcemanager import ResourceManager
+
+
+def _failing_job():
+    raise RuntimeError("stage 3 failed: executor lost")
+
+
+def _am_rm_spans(tracer):
+    return [
+        s
+        for s in tracer.finished
+        if s.name == "am.rm.report_final_status"
+    ]
+
+
+class TestRunYarnApplication:
+    def test_buggy_path_swallows_the_failure(self):
+        rm = ResourceManager(EventLoop())
+        handle, job_failed = run_yarn_application(
+            rm, _failing_job, propagate_failure=False
+        )
+        assert job_failed
+        report = rm.application_report(handle.app_id)
+        assert report.final_status == "SUCCEEDED"
+        assert report.diagnostics == ""
+
+    def test_fixed_path_propagates_status_and_diagnostics(self):
+        rm = ResourceManager(EventLoop())
+        handle, job_failed = run_yarn_application(
+            rm, _failing_job, propagate_failure=True
+        )
+        assert job_failed
+        report = rm.application_report(handle.app_id)
+        assert report.final_status == "FAILED"
+        assert "executor lost" in report.diagnostics
+
+    def test_healthy_job_reports_success_either_way(self):
+        for propagate in (False, True):
+            rm = ResourceManager(EventLoop())
+            handle, job_failed = run_yarn_application(
+                rm, lambda: None, propagate_failure=propagate
+            )
+            assert not job_failed
+            report = rm.application_report(handle.app_id)
+            assert report.final_status == "SUCCEEDED"
+
+
+class TestScenarioOutcome:
+    def test_default_replay_reproduces_the_misreport(self):
+        outcome = replay_spark_3627()
+        assert outcome.failed
+        assert outcome.metrics["yarn_final_status"] == "SUCCEEDED"
+
+    def test_fixed_replay_reports_failed(self):
+        outcome = replay_spark_3627(fixed=True)
+        assert not outcome.failed
+        assert outcome.metrics["yarn_final_status"] == "FAILED"
+
+
+class TestTracedStatusReport:
+    """The am->rm boundary span records what crossed the seam."""
+
+    def test_buggy_am_span_shows_succeeded_for_failed_job(self):
+        with Tracer() as tracer:
+            outcome = replay_spark_3627()
+        assert outcome.failed
+        spans = _am_rm_spans(tracer)
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.boundary == "am->rm"
+        assert span.system == "yarn-am"
+        assert span.peer_system == "yarn-rm"
+        # the trace preserves the lie the RM was told
+        assert span.attributes["final_status"] == "SUCCEEDED"
+        assert span.status == "ok"
+
+    def test_fixed_am_span_shows_failed_with_diagnostics(self):
+        with Tracer() as tracer:
+            outcome = replay_spark_3627(fixed=True)
+        assert not outcome.failed
+        spans = _am_rm_spans(tracer)
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.boundary == "am->rm"
+        assert span.attributes["final_status"] == "FAILED"
+        assert "executor lost" in span.attributes["diagnostics"]
+
+    def test_untraced_replay_records_nothing(self):
+        outcome = replay_spark_3627()
+        assert outcome.failed  # behavior unchanged without a tracer

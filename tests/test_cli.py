@@ -104,6 +104,106 @@ class TestCrosstest:
         assert "trials in" in captured.err
         assert "errors:" in captured.err
 
+    def test_quiet_suppresses_all_stderr_chatter(self, capsys):
+        assert main([
+            "crosstest", "--formats", "parquet", "--jobs", "1", "--quiet",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "discrepancies found" in captured.out
+
+    def test_metrics_json_snapshot(self, tmp_path, capsys):
+        target = tmp_path / "metrics.json"
+        assert main([
+            "crosstest", "--formats", "parquet", "--jobs", "1", "--quiet",
+            "--metrics-json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["system"] == "crosstest"
+        assert payload["metrics"]["trials_total"] > 0
+        assert "caches" in payload
+
+
+class TestCrosstestTraceDir:
+    def test_trace_dir_writes_discrepancy_traces(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        assert main([
+            "crosstest", "--formats", "parquet", "--jobs", "1",
+            "--trace-dir", str(trace_dir),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "discrepancy traces" in captured.err
+        jsonls = sorted(p.name for p in trace_dir.glob("discrepancy_*.jsonl"))
+        chromes = sorted(
+            p.name for p in trace_dir.glob("discrepancy_*.chrome.json")
+        )
+        assert jsonls and len(jsonls) == len(chromes)
+        assert (trace_dir / "oracles.jsonl").exists()
+        # jira ids with '/' or '(...)' must have been sanitized into the
+        # file names, never treated as path separators
+        for name in jsonls:
+            assert "/" not in name and " " not in name
+
+    def test_trace_dir_output_identical_to_plain_run(self, tmp_path, capsys):
+        assert main([
+            "crosstest", "--formats", "parquet", "--jobs", "1", "--quiet",
+        ]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "crosstest", "--formats", "parquet", "--jobs", "1", "--quiet",
+            "--trace-dir", str(tmp_path / "traces"),
+        ]) == 0
+        traced = capsys.readouterr().out
+        assert traced == plain
+
+
+class TestTraceSummarize:
+    def _trace_dir(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        assert main([
+            "crosstest", "--formats", "parquet", "--jobs", "1", "--quiet",
+            "--trace-dir", str(trace_dir),
+        ]) == 0
+        return trace_dir
+
+    def test_summarize_renders_boundary_table(self, tmp_path, capsys):
+        trace_dir = self._trace_dir(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "spark->serde" in out
+        assert "p50" in out and "p99" in out
+        # a parquet-only run never crosses the hbase seam: it must read
+        # ABSENT, not a silent 0
+        hbase_line = next(
+            line for line in out.splitlines()
+            if line.startswith("hive->hbase")
+        )
+        assert "ABSENT" in hbase_line
+        assert "absent_policy=absent" in out
+
+    def test_summarize_zero_policy(self, tmp_path, capsys):
+        trace_dir = self._trace_dir(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "trace", "summarize", str(trace_dir), "--absent-policy", "zero",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ABSENT" not in out
+        assert "absent_policy=zero" in out
+
+    def test_summarize_error_policy_refuses(self, tmp_path, capsys):
+        trace_dir = self._trace_dir(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "trace", "summarize", str(trace_dir), "--absent-policy", "error",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_summarize_missing_directory(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "missing")]) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestConfcheckAndGaps:
     def test_confcheck_flags_example(self, capsys):

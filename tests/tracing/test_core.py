@@ -1,0 +1,180 @@
+"""The span/tracer substrate: nesting, errors, isolation, pickling."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.tracing.core import (
+    Span,
+    Tracer,
+    current_span,
+    current_tracer,
+    event,
+    span,
+    tracing_enabled,
+)
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop_when_off(self):
+        first = span("anything", system="spark")
+        second = span("else", boundary="spark->hdfs")
+        assert first is second  # the shared no-op singleton
+
+    def test_noop_context_yields_none(self):
+        with span("x") as sp:
+            assert sp is None
+
+    def test_event_is_silent_when_off(self):
+        event("plan_cache.hit", key="value")  # must not raise
+
+    def test_introspection_when_off(self):
+        assert not tracing_enabled()
+        assert current_tracer() is None
+        assert current_span() is None
+
+
+class TestSpanRecording:
+    def test_span_records_into_active_tracer(self):
+        with Tracer() as tracer:
+            with span("hive.execute", system="hive", operation="execute"):
+                pass
+        assert len(tracer.finished) == 1
+        recorded = tracer.finished[0]
+        assert recorded.name == "hive.execute"
+        assert recorded.system == "hive"
+        assert recorded.status == "ok"
+        assert recorded.duration_s >= 0.0
+
+    def test_nesting_sets_parent_ids(self):
+        with Tracer() as tracer:
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+                with span("sibling") as sibling:
+                    assert sibling.parent_id == outer.span_id
+            assert outer.parent_id is None
+        # children finish before parents
+        assert [s.name for s in tracer.finished] == [
+            "inner",
+            "sibling",
+            "outer",
+        ]
+
+    def test_trace_id_stamped_on_every_span(self):
+        with Tracer(trace_id="plan/fmt/7") as tracer:
+            with span("a"):
+                with span("b"):
+                    pass
+        assert {s.trace_id for s in tracer.finished} == {"plan/fmt/7"}
+
+    def test_exception_marks_span_error_and_propagates(self):
+        with Tracer() as tracer:
+            with pytest.raises(ValueError, match="boom"):
+                with span("create"):
+                    raise ValueError("boom")
+        recorded = tracer.finished[0]
+        assert recorded.status == "error"
+        assert recorded.error == "ValueError: boom"
+
+    def test_event_attaches_to_innermost_span(self):
+        with Tracer() as tracer:
+            with span("outer"):
+                with span("inner"):
+                    event("plan_cache.hit", conf="x")
+        inner = next(s for s in tracer.finished if s.name == "inner")
+        outer = next(s for s in tracer.finished if s.name == "outer")
+        assert [e.name for e in inner.events] == ["plan_cache.hit"]
+        assert inner.events[0].attributes == {"conf": "x"}
+        assert outer.events == []
+
+    def test_boundary_and_peer_recorded(self):
+        with Tracer() as tracer:
+            with span(
+                "spark.metastore.resolve",
+                system="spark",
+                peer_system="hive-metastore",
+                operation="resolve",
+                boundary="spark->metastore",
+            ):
+                pass
+        recorded = tracer.finished[0]
+        assert recorded.boundary == "spark->metastore"
+        assert recorded.peer_system == "hive-metastore"
+
+
+class TestIsolation:
+    def test_fresh_tracer_does_not_adopt_outer_parent(self):
+        with Tracer() as outer_tracer:
+            with span("outer"):
+                with Tracer() as inner_tracer:
+                    with span("inner") as inner:
+                        assert inner.parent_id is None
+                # the outer stack is restored after the inner tracer exits
+                assert current_tracer() is outer_tracer
+        assert [s.name for s in inner_tracer.finished] == ["inner"]
+        assert [s.name for s in outer_tracer.finished] == ["outer"]
+
+    def test_other_threads_do_not_record(self):
+        seen = []
+
+        def probe():
+            seen.append(tracing_enabled())
+            with span("elsewhere") as sp:
+                seen.append(sp)
+
+        with Tracer() as tracer:
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+        # contextvars do not leak into new threads: the worker saw no
+        # tracer and recorded nothing
+        assert seen == [False, None]
+        assert tracer.finished == []
+
+    def test_disabled_again_after_exit(self):
+        with Tracer():
+            assert tracing_enabled()
+        assert not tracing_enabled()
+        with span("after") as sp:
+            assert sp is None
+
+
+class TestSerialization:
+    def _make_span(self):
+        with Tracer(trace_id="t") as tracer:
+            with span(
+                "x",
+                system="spark",
+                peer_system="serde",
+                operation="encode",
+                boundary="spark->serde",
+                attributes={"fmt": "orc"},
+            ):
+                event("orc.positional_rename", prefix="_col")
+        return tracer.finished[0]
+
+    def test_pickle_round_trip(self):
+        original = self._make_span()
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone == original
+
+    def test_json_round_trip(self):
+        original = self._make_span()
+        clone = Span.from_json(original.to_json())
+        assert clone.name == original.name
+        assert clone.boundary == original.boundary
+        assert clone.attributes == original.attributes
+        assert [e.name for e in clone.events] == ["orc.positional_rename"]
+
+    def test_error_json_round_trip(self):
+        with Tracer() as tracer:
+            try:
+                with span("y"):
+                    raise KeyError("gone")
+            except KeyError:
+                pass
+        clone = Span.from_json(tracer.finished[0].to_json())
+        assert clone.status == "error"
+        assert "KeyError" in clone.error

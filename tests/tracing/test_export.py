@@ -1,0 +1,112 @@
+"""JSONL and Chrome trace exporters."""
+
+import json
+
+from repro.tracing.core import Tracer, event, span
+from repro.tracing.export import (
+    read_jsonl,
+    read_jsonl_dir,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _sample_spans():
+    with Tracer(trace_id="sample") as tracer:
+        with span(
+            "spark.sql", system="spark", operation="sql"
+        ):
+            with span(
+                "spark.serde.encode",
+                system="spark",
+                peer_system="serde",
+                operation="encode",
+                boundary="spark->serde",
+            ):
+                event("plan_cache.miss", conf_fingerprint="()")
+    return tracer.finished
+
+
+class TestJsonl:
+    def test_write_read_round_trip(self, tmp_path):
+        spans = _sample_spans()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(spans, str(path))
+        # timing floats are rounded on export, so compare the payloads
+        assert [s.to_json() for s in read_jsonl(str(path))] == [
+            s.to_json() for s in spans
+        ]
+
+    def test_one_json_object_per_line(self, tmp_path):
+        spans = _sample_spans()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(spans, str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(spans)
+        for line in lines:
+            json.loads(line)
+
+    def test_read_dir_aggregates_sorted_jsonl_files(self, tmp_path):
+        first = _sample_spans()
+        second = _sample_spans()
+        write_jsonl(first, str(tmp_path / "a.jsonl"))
+        write_jsonl(second, str(tmp_path / "b.jsonl"))
+        (tmp_path / "ignored.chrome.json").write_text("{}")
+        merged = read_jsonl_dir(str(tmp_path))
+        assert [s.to_json() for s in merged] == [
+            s.to_json() for s in first + second
+        ]
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(_sample_spans())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        phases = {evt["ph"] for evt in doc["traceEvents"]}
+        assert phases == {"M", "X"}
+
+    def test_complete_events_carry_boundary_args(self):
+        doc = to_chrome_trace(_sample_spans())
+        encode = next(
+            evt
+            for evt in doc["traceEvents"]
+            if evt["ph"] == "X" and evt["name"] == "spark.serde.encode"
+        )
+        assert encode["cat"] == "spark->serde"
+        assert encode["args"]["boundary"] == "spark->serde"
+        assert encode["args"]["event:plan_cache.miss"] == {
+            "conf_fingerprint": "()"
+        }
+        assert encode["ts"] >= 0.0
+        assert encode["dur"] >= 0.0
+
+    def test_one_pid_per_trace_one_tid_per_system(self):
+        with Tracer(trace_id="t1") as one:
+            with span("a", system="spark"):
+                pass
+        with Tracer(trace_id="t2") as two:
+            with span("b", system="hive"):
+                pass
+        doc = to_chrome_trace(one.finished + two.finished)
+        xs = [evt for evt in doc["traceEvents"] if evt["ph"] == "X"]
+        assert len({evt["pid"] for evt in xs}) == 2
+        assert len({evt["tid"] for evt in xs}) == 2
+        names = {
+            evt["args"]["name"]
+            for evt in doc["traceEvents"]
+            if evt["ph"] == "M" and evt["name"] == "process_name"
+        }
+        assert names == {"t1", "t2"}
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.chrome.json"
+        write_chrome_trace(_sample_spans(), str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_empty_input(self):
+        assert to_chrome_trace([]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }

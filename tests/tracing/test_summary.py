@@ -1,0 +1,130 @@
+"""Per-boundary summaries and the AbsentPolicy routing (satellite 2)."""
+
+import pytest
+
+from repro.metrics import AbsentPolicy, MetricError
+from repro.tracing.core import Tracer, span
+from repro.tracing.summary import (
+    KNOWN_BOUNDARIES,
+    scrape_spans,
+    summarize_spans,
+    summary_lines,
+)
+
+
+def _spans_crossing(*boundaries, fail=()):
+    with Tracer(trace_id="t") as tracer:
+        for boundary in boundaries:
+            writer, _, reader = boundary.partition("->")
+            try:
+                with span(
+                    f"{writer}.{reader}.op",
+                    system=writer,
+                    peer_system=reader,
+                    operation="op",
+                    boundary=boundary,
+                ):
+                    if boundary in fail:
+                        raise RuntimeError("seam broke")
+            except RuntimeError:
+                pass
+        with span("internal.bookkeeping", system="crosstest"):
+            pass  # no boundary: must not count as a crossing
+    return tracer.finished
+
+
+class TestScrape:
+    def test_counts_only_boundary_spans(self):
+        spans = _spans_crossing("spark->hdfs", "spark->hdfs", "hive->serde")
+        registry = scrape_spans(spans)
+        assert registry.read("boundary_spans:spark->hdfs") == 2
+        assert registry.read("boundary_spans:hive->serde") == 1
+
+    def test_errors_counted_separately(self):
+        spans = _spans_crossing(
+            "am->rm", "am->rm", fail=("am->rm",)
+        )
+        registry = scrape_spans(spans)
+        assert registry.read("boundary_spans:am->rm") == 2
+        assert registry.read("boundary_errors:am->rm") == 2
+
+
+class TestAbsentPolicy:
+    def test_absent_reads_none_not_zero(self):
+        spans = _spans_crossing("spark->hdfs")
+        rows = {
+            row.boundary: row
+            for row in summarize_spans(spans, AbsentPolicy.ABSENT)
+        }
+        assert rows["hive->hbase"].absent
+        assert rows["hive->hbase"].count is None
+        assert rows["spark->hdfs"].count == 1
+
+    def test_zero_policy_reads_zero(self):
+        rows = {
+            row.boundary: row
+            for row in summarize_spans(
+                _spans_crossing("spark->hdfs"), AbsentPolicy.ZERO
+            )
+        }
+        assert rows["hive->hbase"].count == 0
+        assert not rows["hive->hbase"].absent
+
+    def test_error_policy_refuses_the_scrape(self):
+        with pytest.raises(MetricError):
+            summarize_spans(_spans_crossing("spark->hdfs"), AbsentPolicy.ERROR)
+
+    def test_error_policy_passes_when_all_boundaries_crossed(self):
+        spans = _spans_crossing(*KNOWN_BOUNDARIES)
+        rows = summarize_spans(spans, AbsentPolicy.ERROR)
+        assert all(row.count == 1 for row in rows)
+
+
+class TestSummaries:
+    def test_known_boundaries_always_reported_in_order(self):
+        rows = summarize_spans(_spans_crossing("hive->hdfs"))
+        assert tuple(row.boundary for row in rows) == KNOWN_BOUNDARIES
+
+    def test_unknown_boundary_appended_after_known(self):
+        rows = summarize_spans(_spans_crossing("zk->quorum"))
+        assert [row.boundary for row in rows] == [
+            *KNOWN_BOUNDARIES,
+            "zk->quorum",
+        ]
+        assert rows[-1].count == 1
+
+    def test_quantiles_cover_observed_latencies(self):
+        spans = _spans_crossing(*["spark->serde"] * 20)
+        row = next(
+            r
+            for r in summarize_spans(spans)
+            if r.boundary == "spark->serde"
+        )
+        durations = sorted(
+            s.duration_s for s in spans if s.boundary == "spark->serde"
+        )
+        assert row.p50_s <= row.p99_s
+        assert durations[0] <= row.p99_s
+
+
+class TestRendering:
+    def test_absent_rows_render_as_absent(self):
+        lines = summary_lines(_spans_crossing("spark->metastore"))
+        body = "\n".join(lines)
+        assert "ABSENT" in body
+        hbase_line = next(l for l in lines if l.startswith("hive->hbase"))
+        assert "ABSENT" in hbase_line
+        assert "0" not in hbase_line.split("hive->hbase", 1)[1]
+
+    def test_counted_rows_render_quantiles(self):
+        lines = summary_lines(_spans_crossing("spark->metastore"))
+        row = next(l for l in lines if l.startswith("spark->metastore"))
+        assert row.count("us") == 2  # p50 and p99 columns
+
+    def test_trailer_states_totals_and_policy(self):
+        spans = _spans_crossing("spark->hdfs", "hive->hdfs")
+        lines = summary_lines(spans, AbsentPolicy.ABSENT)
+        # 2 boundary spans + 1 internal span
+        assert lines[-1] == (
+            "3 spans total, 2 boundary crossings, absent_policy=absent"
+        )
