@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 smoke-crosstest test bench bench-json crosstest
+.PHONY: tier1 smoke-crosstest test bench bench-json bench-gate chaos \
+	lint crosstest
 
 # fast smoke pass over the §8 cross-test engine (runs first so a broken
 # harness fails in seconds, not after the whole suite), including the
@@ -23,6 +24,29 @@ bench:
 # wall-clock + cache-counter benchmark of the §8 matrix (jobs=1 and auto)
 bench-json:
 	$(PYTHON) -m repro.crosstest.bench BENCH_crosstest.json
+
+# measure fresh, then gate jobs=1 wall time against the committed baseline
+bench-gate:
+	$(PYTHON) -m repro.crosstest.bench bench-fresh.json
+	$(PYTHON) -m repro.crosstest.benchgate bench-fresh.json
+
+# the CI chaos job, locally: seeded fault matrix, gated on mis-handled
+# trials, run twice — the fault report must be byte-identical
+chaos:
+	$(PYTHON) -m repro crosstest --formats parquet --jobs 2 \
+		--faults smoke --fault-seed 1337 --quiet \
+		--fault-json fault-report.json --fault-gate
+	$(PYTHON) -m repro crosstest --formats parquet --jobs 4 \
+		--faults smoke --fault-seed 1337 --quiet \
+		--fault-json fault-report-rerun.json --fault-gate
+	diff fault-report.json fault-report-rerun.json
+
+# ruff + mypy over the packages the lint CI job covers (needs the
+# 'lint' extra: pip install ruff mypy)
+lint:
+	ruff check src/repro/faults src/repro/tracing
+	ruff format --check src/repro/faults
+	mypy src/repro/faults src/repro/tracing
 
 # the full 10,128-trial matrix, parallel, with telemetry on stderr
 crosstest:

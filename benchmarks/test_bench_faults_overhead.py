@@ -1,0 +1,85 @@
+"""Fault injection must be free when off and reproducible when on.
+
+Acceptance for the fault-injection work: with no injector active a
+``fault_point()`` call is a module-global int check (the same guard
+discipline as disabled tracing), so the §8 hot path — which now crosses
+a fault point at every boundary call — must stay within the PR2 budget.
+An injected run must stay deterministic without slowing to a crawl from
+the baseline reruns.
+"""
+
+import time
+
+from repro.crosstest.report import run_crosstest
+from repro.crosstest.values import generate_inputs
+from repro.faults import BUILTIN_PLANS
+from repro.faults.core import fault_point
+
+#: same scaling story as the tracing guard: ~1e5 disabled fault points
+#: per full run, each must cost nanoseconds
+TRIAL_COUNT = 8 * 3 * 422
+SITES_PER_TRIAL = 12  # upper bound: every seam, write and read side
+DISABLED_BUDGET_S_PER_RUN = 0.045  # <5% of the 0.95s jobs=1 baseline
+
+
+def test_bench_disabled_fault_point_cost(benchmark):
+    """Unit cost of a disabled fault point, scaled to a full run."""
+    BATCH = 1000
+
+    def disabled_sites():
+        for _ in range(BATCH):
+            action = fault_point(
+                "spark->serde", "encode", cooperative=("torn_write",)
+            )
+            if action is not None:  # never taken with no injector
+                raise AssertionError("injector leaked into benchmark")
+
+    benchmark.pedantic(
+        disabled_sites, rounds=30, iterations=1, warmup_rounds=3
+    )
+
+    per_call_s = benchmark.stats.stats.min / BATCH
+    projected_s = per_call_s * SITES_PER_TRIAL * TRIAL_COUNT
+
+    print("\nfaults-disabled overhead projection")
+    print(f"  per-site cost:     {per_call_s * 1e9:.0f}ns")
+    print(f"  sites per run:     {SITES_PER_TRIAL * TRIAL_COUNT}")
+    print(f"  projected per run: {projected_s * 1e3:.1f}ms "
+          f"(budget {DISABLED_BUDGET_S_PER_RUN * 1e3:.0f}ms)")
+
+    assert projected_s < DISABLED_BUDGET_S_PER_RUN, (
+        f"disabled fault points would cost {projected_s * 1e3:.1f}ms per "
+        f"run, budget is {DISABLED_BUDGET_S_PER_RUN * 1e3:.0f}ms"
+    )
+
+
+def test_bench_injected_subset_run(benchmark):
+    """An injected subset run: bounded slowdown, deterministic output."""
+    inputs = generate_inputs()[:40]
+
+    started = time.perf_counter()
+    plain = run_crosstest(inputs=inputs, jobs=1)
+    plain_s = time.perf_counter() - started
+
+    plan = BUILTIN_PLANS["smoke"]
+
+    def injected_run():
+        return run_crosstest(
+            inputs=inputs, jobs=1, fault_plan=plan, fault_seed=1337
+        )
+
+    first = benchmark.pedantic(injected_run, rounds=1, iterations=1)
+    injected_s = benchmark.stats.stats.total
+
+    print("\ninjected vs plain subset run (8 plans x 3 formats x 40 inputs)")
+    print(f"  plain:    {plain_s:.3f}s")
+    print(f"  injected: {injected_s:.3f}s "
+          f"({injected_s / plain_s if plain_s else 0:.2f}x)")
+
+    second = injected_run()
+    assert first.faults is not None
+    assert first.faults.to_json() == second.faults.to_json()
+    # injection bypasses the plan cache and reruns injected trials for
+    # baselines — allow room, but a order-of-magnitude blowup means the
+    # bypass leaked into the uninjected path
+    assert injected_s < max(plain_s * 25, 5.0)

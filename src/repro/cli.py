@@ -85,6 +85,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump the run's metrics and cache-registry snapshot as "
         "JSON to PATH",
     )
+    crosstest.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="inject faults per PLAN: a builtin plan name "
+        "(see 'repro faults list') or a JSON plan file",
+    )
+    crosstest.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the deterministic fault schedule (default: 0)",
+    )
+    crosstest.add_argument(
+        "--fault-json",
+        default=None,
+        metavar="PATH",
+        help="dump the fault-robustness report as JSON to PATH",
+    )
+    crosstest.add_argument(
+        "--fault-gate",
+        action="store_true",
+        help="exit 3 if any injected trial is classified mis-handled",
+    )
+
+    faults = sub.add_parser(
+        "faults", help="inspect the fault-injection machinery"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_sub.add_parser(
+        "list", help="list injectable sites and builtin fault plans"
+    )
 
     replay = sub.add_parser("replay", help="replay a named CSI failure")
     replay.add_argument(
@@ -153,7 +186,21 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
 
     from repro.crosstest import FORMATS, CrossTestMetrics, run_crosstest
     from repro.crosstest.executor import resolve_jobs
+    from repro.faults import PlanError, load_plan
     from repro.formats import UnknownFormatError
+
+    fault_plan = None
+    if args.faults is not None:
+        try:
+            fault_plan = load_plan(args.faults)
+        except PlanError as exc:
+            print(f"bad --faults {args.faults!r}: {exc}", file=sys.stderr)
+            return 2
+    elif args.fault_seed:
+        print(
+            "--fault-seed has no effect without --faults", file=sys.stderr
+        )
+        return 2
 
     overrides = {}
     for item in args.conf:
@@ -199,6 +246,8 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
             metrics=metrics,
             progress=progress if show_progress else None,
             tracing=args.trace_dir is not None,
+            fault_plan=fault_plan,
+            fault_seed=args.fault_seed,
         )
     except UnknownFormatError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -217,6 +266,13 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
     if args.metrics_json is not None:
         with open(args.metrics_json, "w", encoding="utf-8") as handle:
             json.dump(metrics.to_json(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    if args.fault_json is not None:
+        fault_payload = (
+            report.faults.to_json() if report.faults is not None else {}
+        )
+        with open(args.fault_json, "w", encoding="utf-8") as handle:
+            json.dump(fault_payload, handle, indent=1, sort_keys=True)
             handle.write("\n")
 
     # The report goes to stdout first and is flushed before any summary
@@ -239,6 +295,15 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
         print(f"[crosstest] {metrics.cache_summary()}", file=sys.stderr)
         if trace_note is not None:
             print(f"[crosstest] {trace_note}", file=sys.stderr)
+    if args.fault_gate and report.faults is not None:
+        mis_handled = report.faults.mis_handled()
+        if mis_handled:
+            print(
+                f"[crosstest] fault gate: {len(mis_handled)} mis-handled "
+                "trial(s)",
+                file=sys.stderr,
+            )
+            return 3
     return 0
 
 
@@ -275,6 +340,31 @@ def _write_trace_dir(report, trace_dir: str) -> str:
             os.path.join(trace_dir, "oracles.jsonl"),
         )
     return f"wrote {written} discrepancy traces to {trace_dir}"
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import BUILTIN_PLANS, KNOWN_SITES
+
+    if args.faults_command == "list":
+        print("injectable sites:")
+        for site in KNOWN_SITES:
+            kinds = ",".join(site.kinds)
+            print(f"  {site.site:18} {site.operation:26} [{kinds}]")
+        print("builtin plans:")
+        for name, plan in sorted(BUILTIN_PLANS.items()):
+            print(f"  {name:20} {plan.description}")
+            for rule in plan.rules:
+                cap = (
+                    f", max {rule.max_per_trial}/trial"
+                    if rule.max_per_trial
+                    else ""
+                )
+                print(
+                    f"    {rule.site}/{rule.operation}: "
+                    f"{rule.kind} @ {rule.rate:g}{cap}"
+                )
+        return 0
+    raise AssertionError(f"unhandled faults command {args.faults_command}")
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -370,6 +460,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_study()
     if args.command == "crosstest":
         return _cmd_crosstest(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "replay":
         return _cmd_replay(args)
     if args.command == "confcheck":

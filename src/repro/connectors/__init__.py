@@ -1,5 +1,6 @@
 """Cross-system connector modules (the layer Finding 13 points at)."""
 
+from repro.connectors.retry import RetryPolicy, RetryStats
 from repro.connectors.spark_hive import (
     NATIVE_SCHEMA_PROPERTY,
     NOT_CASE_PRESERVING_WARNING,
@@ -15,6 +16,8 @@ from repro.connectors.transformers import (
 )
 
 __all__ = [
+    "RetryPolicy",
+    "RetryStats",
     "NATIVE_SCHEMA_PROPERTY",
     "NOT_CASE_PRESERVING_WARNING",
     "ResolvedTable",

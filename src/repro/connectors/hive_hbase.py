@@ -11,11 +11,12 @@ tables the paper counts under Hive→HBase).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.result import QueryResult
 from repro.common.row import Row
 from repro.common.schema import Schema
+from repro.connectors.retry import RetryPolicy
 from repro.errors import SchemaError
 from repro.hbaselite.master import HBaseMaster
 from repro.hivelite.casts import hive_write_cast
@@ -59,6 +60,10 @@ class HiveHBaseHandler:
     table: str
     schema: Schema
     mapping: HBaseColumnMapping
+    #: retry/backoff for every region-server call; injected transient
+    #: faults under the budget are masked, exhaustion surfaces as a
+    #: typed BoundaryError instead of a raw transport fault
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         self.mapping.validate_against(self.schema)
@@ -75,7 +80,11 @@ class HiveHBaseHandler:
         ) as sp:
             if sp is not None:
                 sp.attributes.update(table=self.table, rows=len(rows))
-            self._insert(rows)
+            self.retry.call(
+                lambda action: self._insert(rows),
+                site="hive->hbase",
+                operation="put",
+            )
 
     def _insert(self, rows: list[tuple]) -> None:
         region = self.hbase.table(self.table)
@@ -105,9 +114,14 @@ class HiveHBaseHandler:
             boundary="hive->hbase",
         ) as sp:
             region = self.hbase.table(self.table)
+            rows_read = self.retry.call(
+                lambda action: list(region.scan()),
+                site="hive->hbase",
+                operation="scan",
+            )
             out: list[Row] = []
             nulled = 0
-            for row_key, cells in region.scan():
+            for row_key, cells in rows_read:
                 values = []
                 for field, hbase_col in zip(
                     self.schema.fields, self.mapping.entries

@@ -1,0 +1,153 @@
+"""Retry/timeout/backoff policy for boundary calls.
+
+The paper's mis-handled CSI failures are mostly *absent* handling: a
+transient peer hiccup crosses the boundary raw and becomes the caller's
+crash. :class:`RetryPolicy` is the present-handling counterpart — it
+wraps one boundary call, absorbs :class:`TransientFault` injections up
+to an attempt cap and a simulated-backoff budget, and converts
+exhaustion into a *typed* :class:`BoundaryError` so the caller sees a
+connector-vocabulary failure rather than a transport internal.
+
+Backoff is jittered exponential but **simulated**: the computed sleep
+is accumulated in the stats (and annotated on the surrounding span),
+never actually slept, so fault runs stay fast and wall-clock stays out
+of the determinism footprint. Jitter comes from the injected fault's
+own decision hash, not a live RNG.
+
+Stats are per-policy-instance (one policy per connector, one connector
+per deployment), so the cross-test executor can read race-free
+per-trial deltas while the deployment is leased — the same discipline
+``_plan_cache_counts`` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.faults.core import FaultAction, fault_point
+from repro.faults.errors import (
+    BoundaryTimeout,
+    BoundaryUnavailable,
+    TransientFault,
+)
+from repro.tracing.core import event as trace_event
+
+__all__ = ["RetryStats", "RetryPolicy"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryStats:
+    """Counters for one policy instance; read as per-trial deltas."""
+
+    attempts: int = 0
+    faults: int = 0
+    masked_calls: int = 0
+    exhausted_calls: int = 0
+    backoff_s: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "boundary_attempts": self.attempts,
+            "boundary_faults": self.faults,
+            "boundary_masked_calls": self.masked_calls,
+            "boundary_exhausted_calls": self.exhausted_calls,
+        }
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded, jittered-exponential retry for one connector's calls."""
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.05
+    max_backoff_s: float = 1.0
+    backoff_budget_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        self.stats = RetryStats()
+
+    def call(
+        self,
+        fn: Callable[[FaultAction | None], T],
+        *,
+        site: str,
+        operation: str = "",
+        cooperative: tuple[str, ...] = (),
+    ) -> T:
+        """Run one boundary call under this policy.
+
+        ``fn`` receives the cooperative :class:`FaultAction` decided at
+        the fault point (or ``None``), so sites that support torn/stale
+        behavior can apply it inside the guarded body.
+        """
+        spent_backoff = 0.0
+        faults_seen = 0
+        last_fault: TransientFault | None = None
+        attempt = 0
+        while True:
+            attempt += 1
+            self.stats.attempts += 1
+            try:
+                action = fault_point(site, operation, cooperative)
+                result = fn(action)
+            except TransientFault as fault:
+                faults_seen += 1
+                self.stats.faults += 1
+                last_fault = fault
+                trace_event(
+                    "boundary.fault",
+                    site=site,
+                    operation=operation,
+                    kind=fault.fault_kind,
+                    attempt=attempt,
+                )
+                backoff = min(
+                    self.max_backoff_s,
+                    self.base_backoff_s * 2.0 ** (attempt - 1),
+                ) * (0.5 + 0.5 * fault.jitter)
+                over_budget = (
+                    spent_backoff + backoff > self.backoff_budget_s
+                )
+                if attempt >= self.max_attempts or over_budget:
+                    self.stats.exhausted_calls += 1
+                    trace_event(
+                        "boundary.retries_exhausted",
+                        site=site,
+                        operation=operation,
+                        kind=fault.fault_kind,
+                        attempts=attempt,
+                        over_budget=over_budget,
+                    )
+                    if fault.fault_kind == "timeout":
+                        raise BoundaryTimeout(
+                            site, operation, attempts=attempt
+                        ) from fault
+                    raise BoundaryUnavailable(
+                        site, operation, attempts=attempt
+                    ) from fault
+                spent_backoff += backoff
+                self.stats.backoff_s += backoff
+                trace_event(
+                    "boundary.retry",
+                    site=site,
+                    operation=operation,
+                    attempt=attempt,
+                    backoff_s=round(backoff, 6),
+                )
+                continue
+            if faults_seen:
+                self.stats.masked_calls += 1
+                trace_event(
+                    "boundary.fault_masked",
+                    site=site,
+                    operation=operation,
+                    kind=(
+                        last_fault.fault_kind if last_fault else "fault"
+                    ),
+                    attempts=attempt,
+                    backoff_s=round(spent_backoff, 6),
+                )
+            return result

@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass, field
 
 from repro.common.schema import Field, Schema
+from repro.connectors.retry import RetryPolicy
 from repro.common.types import (
     CharType,
     StringType,
@@ -32,7 +33,8 @@ from repro.common.types import (
     VarcharType,
     parse_type,
 )
-from repro.errors import SchemaError
+from repro.errors import SchemaError, TableNotFoundError
+from repro.faults.core import FaultAction
 from repro.formats import serializer_for
 from repro.hivelite.metastore import HiveMetastore, Table
 from repro.hivelite.types import metastore_schema_for
@@ -130,6 +132,10 @@ class SparkHiveConnector:
     _resolve_memo: dict = field(default_factory=dict)
     #: full prepare_create argument tuple -> (conf fingerprint, CreateSpec)
     _prepare_memo: dict = field(default_factory=dict)
+    #: retry/backoff policy for every metastore-facing call; stats are
+    #: per-connector (= per-deployment), so the executor can read
+    #: race-free per-trial deltas while the deployment is leased
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     # -- table creation ----------------------------------------------------
 
@@ -187,26 +193,35 @@ class SparkHiveConnector:
                         for key, _ in spec.properties
                     ),
                 )
-            table = spec.__dict__.get("_table")
-            if table is not None:
-                trace_event("create.replayed")
-                return self.metastore.register_table(
-                    table, if_not_exists=spec.if_not_exists
+            def attempt(action: FaultAction | None) -> Table:
+                table = spec.__dict__.get("_table")
+                if table is not None:
+                    trace_event("create.replayed")
+                    return self.metastore.register_table(
+                        table, if_not_exists=spec.if_not_exists
+                    )
+                existed = self.metastore.table_exists(
+                    spec.name, spec.database
                 )
-            existed = self.metastore.table_exists(spec.name, spec.database)
-            created = self.metastore.create_table(
-                spec.name,
-                spec.schema,
-                spec.storage_format,
-                database=spec.database,
-                properties=dict(spec.properties),
-                owner="spark",
-                if_not_exists=spec.if_not_exists,
-                partition_schema=spec.partition_schema,
+                created = self.metastore.create_table(
+                    spec.name,
+                    spec.schema,
+                    spec.storage_format,
+                    database=spec.database,
+                    properties=dict(spec.properties),
+                    owner="spark",
+                    if_not_exists=spec.if_not_exists,
+                    partition_schema=spec.partition_schema,
+                )
+                if not existed:
+                    object.__setattr__(spec, "_table", created)
+                return created
+
+            return self.retry.call(
+                attempt,
+                site="spark->metastore",
+                operation="create_table",
             )
-            if not existed:
-                object.__setattr__(spec, "_table", created)
-            return created
 
     def create_table(
         self,
@@ -295,22 +310,41 @@ class SparkHiveConnector:
             operation="resolve",
             boundary="spark->metastore",
         ) as sp:
-            key = (database.lower(), name.lower())
-            state = self.metastore.table_state(name, database)
             memo_hit = False
-            if state is None:
-                resolved = self._resolve_fresh(name, database)
-            else:
+
+            def attempt(action: FaultAction | None) -> ResolvedTable:
+                nonlocal memo_hit
+                if action is not None and action.kind == "stale_read":
+                    # the lookup lands on a metastore snapshot from
+                    # before this table existed: same typed error, wrong
+                    # reason — the caller cannot tell the difference
+                    trace_event(
+                        "fault.stale_read", table=name, database=database
+                    )
+                    raise TableNotFoundError(
+                        f"table {database}.{name} not found"
+                    )
+                key = (database.lower(), name.lower())
+                state = self.metastore.table_state(name, database)
+                if state is None:
+                    return self._resolve_fresh(name, database)
                 stamp = (state, self.conf.fingerprint())
                 memo = self._resolve_memo.get(key)
                 if memo is not None and memo[0] == stamp:
-                    resolved = memo[1]
                     memo_hit = True
-                else:
-                    resolved = self._resolve_fresh(name, database)
-                    if len(self._resolve_memo) >= _RESOLVE_MEMO_LIMIT:
-                        self._resolve_memo.clear()
-                    self._resolve_memo[key] = (stamp, resolved)
+                    return memo[1]
+                fresh = self._resolve_fresh(name, database)
+                if len(self._resolve_memo) >= _RESOLVE_MEMO_LIMIT:
+                    self._resolve_memo.clear()
+                self._resolve_memo[key] = (stamp, fresh)
+                return fresh
+
+            resolved = self.retry.call(
+                attempt,
+                site="spark->metastore",
+                operation="resolve",
+                cooperative=("stale_read",),
+            )
             if sp is not None:
                 sp.attributes.update(
                     table=name,

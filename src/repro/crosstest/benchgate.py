@@ -1,0 +1,100 @@
+"""Bench-regression gate for the §8 trial matrix.
+
+``python -m repro.crosstest.benchgate FRESH.json`` compares a freshly
+measured benchmark document (``repro.crosstest.bench`` output) against
+the committed ``BENCH_crosstest.json`` and fails when the sequential
+(``jobs=1``) wall-clock regressed beyond the threshold. CI runs it so a
+PR cannot silently slow the hot path — the fault hooks in particular
+are a one-int check when no injector is active, and this gate is what
+holds them to that.
+
+The gate compares ``best_s`` (best-of-N, warm) rather than ``cold_s``:
+cold numbers fold in import time and first-touch cache fills, which
+vary with runner provisioning far more than the code under test does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["DEFAULT_BASELINE", "DEFAULT_THRESHOLD", "check", "main"]
+
+DEFAULT_BASELINE = "BENCH_crosstest.json"
+
+#: allowed fractional slowdown of jobs=1 best_s before the gate fails
+DEFAULT_THRESHOLD = 0.25
+
+
+class GateError(ValueError):
+    """A benchmark document is missing the fields the gate compares."""
+
+
+def _jobs1_best(document: dict, label: str) -> float:
+    try:
+        best = document["jobs1"]["best_s"]
+    except (KeyError, TypeError) as exc:
+        raise GateError(f"{label}: missing jobs1.best_s") from exc
+    if not isinstance(best, (int, float)) or best <= 0:
+        raise GateError(f"{label}: bad jobs1.best_s {best!r}")
+    return float(best)
+
+
+def check(
+    fresh: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> tuple[bool, str]:
+    """``(ok, message)`` for one fresh-vs-baseline comparison."""
+    fresh_best = _jobs1_best(fresh, "fresh")
+    base_best = _jobs1_best(baseline, "baseline")
+    ratio = fresh_best / base_best
+    limit = 1.0 + threshold
+    message = (
+        f"jobs=1 best {fresh_best:.4f}s vs baseline {base_best:.4f}s "
+        f"({ratio:.2f}x, limit {limit:.2f}x)"
+    )
+    return ratio <= limit, message
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.crosstest.benchgate",
+        description="fail if the jobs=1 crosstest wall time regressed",
+    )
+    parser.add_argument("fresh", help="freshly measured bench JSON")
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional slowdown (default: "
+        f"{DEFAULT_THRESHOLD:g} = {DEFAULT_THRESHOLD:.0%})",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        print(f"bad --threshold {args.threshold}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.fresh, encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        ok, message = check(fresh, baseline, args.threshold)
+    except GateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    verdict = "OK" if ok else "REGRESSION"
+    print(f"[benchgate] {verdict}: {message}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -24,6 +24,7 @@ counters plus per-plan and per-format latency histograms — so a
 
 from __future__ import annotations
 
+import contextlib
 import os
 import threading
 import time
@@ -39,6 +40,8 @@ from dataclasses import dataclass, field
 from repro.crosstest.harness import Deployment, Trial, run_trial_on
 from repro.crosstest.plans import Plan
 from repro.crosstest.values import TestInput
+from repro.faults.core import FaultInjector, InjectionRecord
+from repro.faults.plan import FaultPlan
 from repro.metrics import Histogram, MetricsRegistry
 from repro.tracing.core import Span, Tracer
 
@@ -84,6 +87,10 @@ class ShardResult:
     finished-span tuple per trial, in trial order. Spans are plain
     picklable dataclasses, so traces collected inside a process-pool
     worker ship back with the result.
+
+    ``injections`` is populated only when the shard ran under a fault
+    plan: one :class:`InjectionRecord` tuple per trial, in trial order,
+    shipping across process pools exactly like spans do.
     """
 
     index: int
@@ -91,6 +98,7 @@ class ShardResult:
     durations: list[float] = field(default_factory=list)
     cache_counts: dict[str, int] = field(default_factory=dict)
     traces: list[tuple[Span, ...]] | None = None
+    injections: list[tuple[InjectionRecord, ...]] | None = None
 
 
 def build_shards(
@@ -192,11 +200,29 @@ def _plan_cache_counts(deployment: Deployment) -> tuple[int, int, int, int]:
     )
 
 
+def _retry_counts(deployment: Deployment) -> tuple[int, int, int, int]:
+    """Retry-policy counters for this deployment's connectors.
+
+    Read while the deployment is leased (same race-free discipline as
+    :func:`_plan_cache_counts`): policy stats live on the connector, one
+    connector per deployment.
+    """
+    stats = deployment.spark.connector.retry.stats
+    return (
+        stats.attempts,
+        stats.faults,
+        stats.masked_calls,
+        stats.exhausted_calls,
+    )
+
+
 def run_shard(
     shard: Shard,
     conf_overrides: dict[str, object] | None = None,
     reuse_deployments: bool = True,
     tracing: bool = False,
+    fault_plan: FaultPlan | None = None,
+    fault_seed: int = 0,
 ) -> ShardResult:
     """Execute one shard sequentially, timing each trial.
 
@@ -210,11 +236,21 @@ def run_shard(
     the finished spans ride back on ``ShardResult.traces`` — activation
     happens here, inside the worker, so tracing survives thread and
     process pools alike.
+
+    With a non-empty ``fault_plan``, each trial likewise runs under its
+    own :class:`~repro.faults.FaultInjector` keyed by the same stable
+    trial identity, so the fault schedule is a pure function of
+    ``(plan, seed, trial)`` — independent of worker count, scheduling,
+    and everything the worker ran before.
     """
     pool = worker_pool(conf_overrides) if reuse_deployments else None
+    injecting = fault_plan is not None and not fault_plan.empty
     trials: list[Trial] = []
     durations: list[float] = []
     traces: list[tuple[Span, ...]] | None = [] if tracing else None
+    injections: list[tuple[InjectionRecord, ...]] | None = (
+        [] if injecting else None
+    )
     counts = {
         "plan_cache_hits": 0,
         "plan_cache_misses": 0,
@@ -223,16 +259,37 @@ def run_shard(
         "deployments_created": 0,
         "deployments_reused": 0,
     }
+    if injecting:
+        counts.update(
+            faults_injected=0,
+            faults_timeout=0,
+            faults_io_error=0,
+            faults_torn_write=0,
+            faults_stale_read=0,
+            boundary_attempts=0,
+            boundary_faults=0,
+            boundary_masked_calls=0,
+            boundary_exhausted_calls=0,
+        )
     for test_input in shard.inputs:
-        tracer = (
-            Tracer(
-                trace_id=(
-                    f"{shard.plan.name}/{shard.fmt}/{test_input.input_id}"
-                )
-            )
-            if tracing
+        trial_key = f"{shard.plan.name}/{shard.fmt}/{test_input.input_id}"
+        tracer = Tracer(trace_id=trial_key) if tracing else None
+        injector = (
+            FaultInjector(fault_plan, fault_seed, trial_key)
+            if injecting and fault_plan is not None
             else None
         )
+
+        def run_one(deployment: Deployment) -> Trial:
+            with contextlib.ExitStack() as stack:
+                if tracer is not None:
+                    stack.enter_context(tracer)
+                if injector is not None:
+                    stack.enter_context(injector)
+                return run_trial_on(
+                    deployment, shard.plan, shard.fmt, test_input
+                )
+
         start = time.perf_counter()
         if pool is not None:
             deployment = pool.lease()
@@ -241,47 +298,50 @@ def run_shard(
             else:
                 counts["deployments_reused"] += 1
             before = _plan_cache_counts(deployment)
+            retry_before = _retry_counts(deployment)
             try:
-                if tracer is not None:
-                    with tracer:
-                        trial = run_trial_on(
-                            deployment, shard.plan, shard.fmt, test_input
-                        )
-                else:
-                    trial = run_trial_on(
-                        deployment, shard.plan, shard.fmt, test_input
-                    )
+                trial = run_one(deployment)
                 after = _plan_cache_counts(deployment)
+                retry_after = _retry_counts(deployment)
             finally:
                 pool.release(deployment)
         else:
             deployment = Deployment(dict(conf_overrides or {}))
             counts["deployments_created"] += 1
             before = (0, 0, 0, 0)
-            if tracer is not None:
-                with tracer:
-                    trial = run_trial_on(
-                        deployment, shard.plan, shard.fmt, test_input
-                    )
-            else:
-                trial = run_trial_on(
-                    deployment, shard.plan, shard.fmt, test_input
-                )
+            retry_before = (0, 0, 0, 0)
+            trial = run_one(deployment)
             after = _plan_cache_counts(deployment)
+            retry_after = _retry_counts(deployment)
         counts["plan_cache_hits"] += after[0] - before[0]
         counts["plan_cache_misses"] += after[1] - before[1]
         counts["plan_cache_invalidations"] += after[2] - before[2]
         counts["plan_cache_evictions"] += after[3] - before[3]
+        if injector is not None:
+            counts["boundary_attempts"] += retry_after[0] - retry_before[0]
+            counts["boundary_faults"] += retry_after[1] - retry_before[1]
+            counts["boundary_masked_calls"] += (
+                retry_after[2] - retry_before[2]
+            )
+            counts["boundary_exhausted_calls"] += (
+                retry_after[3] - retry_before[3]
+            )
+            counts["faults_injected"] += len(injector.records)
+            for record in injector.records:
+                counts[f"faults_{record.kind}"] += 1
         durations.append(time.perf_counter() - start)
         trials.append(trial)
         if traces is not None and tracer is not None:
             traces.append(tuple(tracer.finished))
+        if injections is not None and injector is not None:
+            injections.append(tuple(injector.records))
     return ShardResult(
         index=shard.index,
         trials=trials,
         durations=durations,
         cache_counts=counts,
         traces=traces,
+        injections=injections,
     )
 
 
@@ -326,6 +386,26 @@ class CrossTestMetrics:
                 ("deployments_reused", "deployments recycled from a pool"),
             )
         }
+        self.fault_counters = {
+            name: self.registry.counter(name, description)
+            for name, description in (
+                ("faults_injected", "boundary faults injected"),
+                ("faults_timeout", "injected peer timeouts"),
+                ("faults_io_error", "injected transient I/O errors"),
+                ("faults_torn_write", "injected torn segment writes"),
+                ("faults_stale_read", "injected stale metastore reads"),
+                ("boundary_attempts", "boundary call attempts (retries incl.)"),
+                ("boundary_faults", "transient faults seen by retry policies"),
+                (
+                    "boundary_masked_calls",
+                    "boundary calls that succeeded after retries",
+                ),
+                (
+                    "boundary_exhausted_calls",
+                    "boundary calls that exhausted their retry budget",
+                ),
+            )
+        }
 
     def _latency(self, kind: str, name: str) -> Histogram:
         return self.registry.histogram(
@@ -345,7 +425,9 @@ class CrossTestMetrics:
             plan_hist.observe(duration)
             fmt_hist.observe(duration)
         for name, delta in result.cache_counts.items():
-            counter = self.cache_counters.get(name)
+            counter = self.cache_counters.get(name) or self.fault_counters.get(
+                name
+            )
             if counter is not None and delta > 0:
                 counter.increment(delta)
         self.shards_done.increment()
@@ -393,12 +475,29 @@ class CrossTestMetrics:
             f"deployments: created={created} reused={reused}"
         )
 
+    def fault_summary(self) -> str:
+        injected = int(self.fault_counters["faults_injected"].value)
+        masked = int(self.fault_counters["boundary_masked_calls"].value)
+        exhausted = int(
+            self.fault_counters["boundary_exhausted_calls"].value
+        )
+        kinds = ", ".join(
+            f"{kind}={int(self.fault_counters[f'faults_{kind}'].value)}"
+            for kind in ("timeout", "io_error", "torn_write", "stale_read")
+        )
+        return (
+            f"faults: injected={injected} ({kinds}); "
+            f"retries: masked={masked} exhausted={exhausted}"
+        )
+
     def summary_lines(self) -> list[str]:
         lines = [
             f"trials: {int(self.trials_total.value)} "
             f"(ok={int(self.trials_ok.value)}, errors: {self.error_summary()})",
             self.cache_summary(),
         ]
+        if int(self.fault_counters["faults_injected"].value):
+            lines.append(self.fault_summary())
         for name in self.registry.names():
             metric = self.registry._metrics[name]
             if not isinstance(metric, Histogram) or not metric.count:
@@ -447,6 +546,9 @@ def execute(
     metrics: CrossTestMetrics | None = None,
     progress=None,
     trace_sink: dict[int, tuple[Span, ...]] | None = None,
+    fault_plan: FaultPlan | None = None,
+    fault_seed: int = 0,
+    injection_sink: dict[int, tuple[InjectionRecord, ...]] | None = None,
 ) -> list[Trial]:
     """Run the full matrix and return trials in sequential order.
 
@@ -457,11 +559,18 @@ def execute(
     filled with ``{global trial index: finished spans}`` — the index
     matches the position of the trial in the returned list, at every
     ``jobs``/``pool`` setting.
+
+    ``fault_plan``/``fault_seed`` switch deterministic fault injection
+    on (an empty plan is equivalent to no plan at all);
+    ``injection_sink`` is filled like ``trace_sink``, with
+    ``{global trial index: fired injection records}``.
     """
     jobs = resolve_jobs(jobs)
     shards = build_shards(plans, formats, inputs, shard_inputs=shard_inputs)
     total_trials = sum(len(s.inputs) for s in shards)
     tracing = trace_sink is not None
+    if fault_plan is not None and fault_plan.empty:
+        fault_plan = None
     offsets: list[int] = []
     base = 0
     for shard in shards:
@@ -480,6 +589,10 @@ def execute(
             offset = offsets[shard.index]
             for position, spans in enumerate(result.traces):
                 trace_sink[offset + position] = spans
+        if injection_sink is not None and result.injections is not None:
+            offset = offsets[shard.index]
+            for position, records in enumerate(result.injections):
+                injection_sink[offset + position] = records
         if progress is not None:
             progress(len(results), len(shards), done_trials, total_trials)
 
@@ -489,13 +602,28 @@ def execute(
         # across trials (results are byte-identical to fresh-per-trial —
         # the pooled-vs-fresh equivalence is pinned by tests).
         for shard in shards:
-            finish(shard, run_shard(shard, conf_overrides, tracing=tracing))
+            finish(
+                shard,
+                run_shard(
+                    shard,
+                    conf_overrides,
+                    tracing=tracing,
+                    fault_plan=fault_plan,
+                    fault_seed=fault_seed,
+                ),
+            )
     else:
         flavour = resolve_pool(pool, jobs)
         with _make_executor(flavour, min(jobs, len(shards) or 1)) as workers:
             pending = {
                 workers.submit(
-                    run_shard, shard, conf_overrides, True, tracing
+                    run_shard,
+                    shard,
+                    conf_overrides,
+                    True,
+                    tracing,
+                    fault_plan,
+                    fault_seed,
                 ): shard
                 for shard in shards
             }

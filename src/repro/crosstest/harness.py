@@ -194,6 +194,9 @@ class CrossTester:
         metrics=None,
         progress=None,
         trace_sink=None,
+        fault_plan=None,
+        fault_seed: int = 0,
+        injection_sink=None,
     ) -> list[Trial]:
         """Run the full matrix.
 
@@ -202,7 +205,9 @@ class CrossTester:
         matrix onto a worker pool — see :mod:`repro.crosstest.executor`.
         Trial ordering is identical either way. ``trace_sink`` (a dict)
         switches per-trial boundary tracing on; it fills with
-        ``{trial index: finished spans}``.
+        ``{trial index: finished spans}``. ``fault_plan``/``fault_seed``
+        switch deterministic fault injection on, with fired injections
+        reported through ``injection_sink`` the same way.
         """
         from repro.crosstest.executor import execute
 
@@ -216,6 +221,9 @@ class CrossTester:
             metrics=metrics,
             progress=progress,
             trace_sink=trace_sink,
+            fault_plan=fault_plan,
+            fault_seed=fault_seed,
+            injection_sink=injection_sink,
         )
 
     def run_trial(self, plan: Plan, fmt: str, test_input: TestInput) -> Trial:

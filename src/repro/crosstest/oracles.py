@@ -19,15 +19,18 @@ from itertools import combinations
 
 from repro.common.row import values_equal
 from repro.crosstest.harness import NO_ROWS, Outcome, Trial
+from repro.faults.core import InjectionRecord
 from repro.tracing.core import span as trace_span
 
 __all__ = [
     "OracleFailure",
+    "RobustnessVerdict",
     "signature",
     "wr_failures",
     "eh_failures",
     "difft_failures",
     "all_failures",
+    "fault_robustness",
 ]
 
 
@@ -208,6 +211,153 @@ def _diff_bucket(
             )
         )
     return failures
+
+
+# ---------------------------------------------------------------------------
+# Fault robustness
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RobustnessVerdict:
+    """How one injected trial handled its faults — the paper's taxonomy.
+
+    ``classification`` is one of:
+
+    * ``masked`` — the outcome is identical to the fault-free baseline;
+      retries (or sheer luck of the call graph) absorbed every fault.
+    * ``gracefully_failed`` — the trial failed, but with a *typed*
+      boundary error that names the failing interaction; an upstream
+      could catch and handle it.
+    * ``mis_handled`` — the fault fell through the cracks: a raw
+      injected fault escaped to the top (``hang_equivalent`` /
+      ``unhandled_fault``), the error surfaced in the wrong system or
+      stage (``wrong_system_error``), or the trial "succeeded" with a
+      different answer than the baseline (``silent_corruption``).
+    """
+
+    classification: str  # masked | gracefully_failed | mis_handled
+    mode: str
+    detail: str
+
+    def to_json(self) -> dict:
+        return {
+            "classification": self.classification,
+            "mode": self.mode,
+            "detail": self.detail,
+        }
+
+
+def _classify_injected(
+    records: tuple[InjectionRecord, ...],
+    outcome: Outcome,
+    baseline: Outcome,
+) -> RobustnessVerdict:
+    if signature(outcome) == signature(baseline):
+        return RobustnessVerdict(
+            "masked",
+            "absorbed",
+            f"{len(records)} fault(s) absorbed; outcome matches baseline",
+        )
+    kinds = {record.kind for record in records}
+    if not outcome.ok:
+        error_type = outcome.error_type
+        if error_type == "InjectedTimeout":
+            return RobustnessVerdict(
+                "mis_handled",
+                "hang_equivalent",
+                f"raw timeout escaped at the {outcome.stage} stage: "
+                f"{outcome.error_message}",
+            )
+        if error_type in ("InjectedIOError", "TransientFault", "InjectedFault"):
+            return RobustnessVerdict(
+                "mis_handled",
+                "unhandled_fault",
+                f"raw transient fault escaped at the {outcome.stage} "
+                f"stage: {outcome.error_message}",
+            )
+        if error_type in ("BoundaryTimeout", "BoundaryUnavailable"):
+            return RobustnessVerdict(
+                "gracefully_failed",
+                "typed_boundary_error",
+                f"retries exhausted into {error_type} at the "
+                f"{outcome.stage} stage",
+            )
+        if "stale_read" in kinds:
+            return RobustnessVerdict(
+                "mis_handled",
+                "wrong_system_error",
+                f"stale metastore read surfaced as {error_type} at the "
+                f"{outcome.stage} stage (the table exists)",
+            )
+        if "torn_write" in kinds:
+            if outcome.stage == "write":
+                return RobustnessVerdict(
+                    "gracefully_failed",
+                    "typed_error",
+                    f"torn write rejected at the write stage with "
+                    f"{error_type}",
+                )
+            return RobustnessVerdict(
+                "mis_handled",
+                "wrong_system_error",
+                f"write-side tear surfaced as {error_type} at the "
+                f"{outcome.stage} stage — wrong system, wrong time",
+            )
+        return RobustnessVerdict(
+            "gracefully_failed",
+            "typed_error",
+            f"fault surfaced as typed {error_type} at the "
+            f"{outcome.stage} stage",
+        )
+    return RobustnessVerdict(
+        "mis_handled",
+        "silent_corruption",
+        f"trial 'succeeded' but read {signature(outcome)} where the "
+        f"baseline reads {signature(baseline)}",
+    )
+
+
+def fault_robustness(
+    trials: list[Trial],
+    injections: dict[int, tuple[InjectionRecord, ...]],
+    baselines: dict[int, Outcome],
+) -> dict[int, RobustnessVerdict]:
+    """Classify every injected trial against its fault-free baseline.
+
+    ``injections`` and ``baselines`` are keyed by global trial index
+    (position in ``trials``). Trials whose injection tuple is empty
+    received no fault and get no verdict. The classification is a pure
+    function of (records, outcome, baseline), so a fixed (plan, seed)
+    reproduces identical verdicts across runs and worker counts.
+    """
+    with trace_span(
+        "oracle.fault_robustness",
+        system="crosstest",
+        peer_system="oracle",
+        operation="fault_robustness",
+        boundary="crosstest->oracle",
+    ) as sp:
+        verdicts: dict[int, RobustnessVerdict] = {}
+        for index, records in sorted(injections.items()):
+            if not records:
+                continue
+            baseline = baselines.get(index)
+            if baseline is None:
+                continue
+            verdicts[index] = _classify_injected(
+                records, trials[index].outcome, baseline
+            )
+        if sp is not None:
+            sp.attributes.update(
+                injected=len(verdicts),
+                mis_handled=sum(
+                    1
+                    for verdict in verdicts.values()
+                    if verdict.classification == "mis_handled"
+                ),
+            )
+        return verdicts
 
 
 def all_failures(trials: list[Trial]) -> dict[str, list[OracleFailure]]:

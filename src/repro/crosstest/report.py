@@ -8,17 +8,119 @@ counts of §8.2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crosstest.catalog import CATALOG, CATEGORY_MEMBERS, Discrepancy
 from repro.crosstest.classify import Evidence, classify_trials
-from repro.crosstest.harness import CrossTester, Trial
-from repro.crosstest.oracles import OracleFailure, all_failures
+from repro.crosstest.harness import CrossTester, Outcome, Trial
+from repro.crosstest.oracles import (
+    OracleFailure,
+    RobustnessVerdict,
+    all_failures,
+    fault_robustness,
+)
 from repro.crosstest.plans import ALL_PLANS, FORMATS
 from repro.crosstest.values import TestInput
+from repro.faults.core import InjectionRecord
+from repro.faults.plan import FaultPlan
 from repro.tracing.core import Span, Tracer
 
-__all__ = ["CrossTestReport", "run_crosstest"]
+__all__ = ["CrossTestReport", "FaultReport", "run_crosstest"]
+
+#: classification order used everywhere a fault report renders
+_CLASSIFICATIONS = ("masked", "gracefully_failed", "mis_handled")
+
+
+@dataclass
+class FaultReport:
+    """The robustness side of a fault-injected run.
+
+    Everything in here is deterministic for a fixed (plan, seed): the
+    injection schedule is a pure hash and the verdicts are pure
+    functions of (records, outcome, baseline) — so two runs of the same
+    campaign produce byte-identical fault reports, which is what the CI
+    chaos job asserts with a plain diff.
+    """
+
+    plan: FaultPlan
+    seed: int
+    #: global trial index -> fired injections (only injected trials)
+    injections: dict[int, tuple[InjectionRecord, ...]] = field(
+        default_factory=dict
+    )
+    verdicts: dict[int, RobustnessVerdict] = field(default_factory=dict)
+    #: global trial index -> "plan/fmt/input_id" label
+    trial_keys: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def injected_trials(self) -> int:
+        return len(self.verdicts)
+
+    def counts(self) -> dict[str, int]:
+        out = {name: 0 for name in _CLASSIFICATIONS}
+        for verdict in self.verdicts.values():
+            out[verdict.classification] += 1
+        return out
+
+    def mode_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for verdict in self.verdicts.values():
+            out[verdict.mode] = out.get(verdict.mode, 0) + 1
+        return dict(sorted(out.items()))
+
+    def mis_handled(self) -> list[int]:
+        return sorted(
+            index
+            for index, verdict in self.verdicts.items()
+            if verdict.classification == "mis_handled"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "plan": self.plan.to_json(),
+            "seed": self.seed,
+            "injected_trials": self.injected_trials,
+            "classifications": self.counts(),
+            "modes": self.mode_counts(),
+            "trials": [
+                {
+                    "index": index,
+                    "trial": self.trial_keys.get(index, ""),
+                    "injections": [
+                        record.to_json()
+                        for record in self.injections.get(index, ())
+                    ],
+                    **self.verdicts[index].to_json(),
+                }
+                for index in sorted(self.verdicts)
+            ],
+        }
+
+    def summary_lines(self) -> list[str]:
+        counts = self.counts()
+        lines = [
+            f"fault plan: {self.plan.name} (seed={self.seed}), "
+            f"injected trials: {self.injected_trials}",
+            "robustness: "
+            + ", ".join(
+                f"{name}={counts[name]}" for name in _CLASSIFICATIONS
+            ),
+        ]
+        modes = self.mode_counts()
+        if modes:
+            lines.append(
+                "modes: "
+                + ", ".join(
+                    f"{mode}={count}" for mode, count in modes.items()
+                )
+            )
+        for index in self.mis_handled():
+            verdict = self.verdicts[index]
+            label = self.trial_keys.get(index, str(index))
+            lines.append(
+                f"  MIS-HANDLED {label}: [{verdict.mode}] {verdict.detail}"
+            )
+        return lines
 
 _GROUP_SHORT = {"spark_e2e": "ss", "spark_hive": "sh", "hive_spark": "hs"}
 
@@ -35,6 +137,9 @@ class CrossTestReport:
     traces: dict[int, tuple[Span, ...]] | None = None
     #: spans from the oracle/classification phase of a traced run
     oracle_spans: tuple[Span, ...] = ()
+    #: robustness results of a fault-injected run — ``None`` for plain
+    #: runs, so empty-plan reports stay byte-identical to pre-fault ones
+    faults: "FaultReport | None" = None
 
     # -- derived views ----------------------------------------------------
 
@@ -65,7 +170,7 @@ class CrossTestReport:
         }
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "trials": len(self.trials),
             "failures": {
                 log: [
@@ -82,6 +187,9 @@ class CrossTestReport:
             "found_discrepancies": sorted(self.found_numbers),
             "category_counts": self.category_counts_found(),
         }
+        if self.faults is not None:
+            payload["fault_robustness"] = self.faults.to_json()
+        return payload
 
     # -- traces -----------------------------------------------------------
 
@@ -129,6 +237,8 @@ class CrossTestReport:
         paper = {name: len(members) for name, members in CATEGORY_MEMBERS.items()}
         for name, count in self.category_counts_found().items():
             lines.append(f"  {name}: {count}/{paper[name]}")
+        if self.faults is not None:
+            lines.extend(self.faults.summary_lines())
         return lines
 
 
@@ -143,6 +253,8 @@ def run_crosstest(
     metrics=None,
     progress=None,
     tracing: bool = False,
+    fault_plan: FaultPlan | None = None,
+    fault_seed: int = 0,
 ) -> CrossTestReport:
     """Run the full §8 pipeline: harness → oracles → classification.
 
@@ -152,6 +264,13 @@ def run_crosstest(
     included: ``tracing=True`` attaches per-trial span trees (plus the
     oracle-phase spans) to the report without touching its rendered
     content.
+
+    With a non-empty ``fault_plan``, trials run under deterministic
+    fault injection; each injected trial is then re-run fault-free (in
+    this process, against the pooled deployments) to obtain its
+    baseline, and the fault-robustness oracle attaches a
+    :class:`FaultReport` to the result. An empty or absent plan leaves
+    the report byte-identical to a plain run.
     """
     tester = CrossTester(
         inputs=inputs,
@@ -159,22 +278,63 @@ def run_crosstest(
         formats=formats,
         conf_overrides=conf_overrides,
     )
+    injecting = fault_plan is not None and not fault_plan.empty
     trace_sink: dict[int, tuple[Span, ...]] | None = {} if tracing else None
+    injection_sink: dict[int, tuple[InjectionRecord, ...]] | None = (
+        {} if injecting else None
+    )
     trials = tester.run(
         jobs=jobs,
         pool=pool,
         metrics=metrics,
         progress=progress,
         trace_sink=trace_sink,
+        fault_plan=fault_plan if injecting else None,
+        fault_seed=fault_seed,
+        injection_sink=injection_sink,
     )
-    if tracing:
-        with Tracer(trace_id="crosstest/oracles") as oracle_tracer:
-            failures = all_failures(trials)
-            evidence = classify_trials(trials)
-        oracle_spans = tuple(oracle_tracer.finished)
-    else:
+
+    def oracle_phase() -> tuple[dict, dict, FaultReport | None]:
         failures = all_failures(trials)
         evidence = classify_trials(trials)
+        faults: FaultReport | None = None
+        if injecting and fault_plan is not None:
+            assert injection_sink is not None
+            injected = {
+                index: records
+                for index, records in injection_sink.items()
+                if records
+            }
+            baselines: dict[int, Outcome] = {
+                index: tester.run_trial(
+                    trials[index].plan,
+                    trials[index].fmt,
+                    trials[index].test_input,
+                ).outcome
+                for index in sorted(injected)
+            }
+            verdicts = fault_robustness(trials, injected, baselines)
+            faults = FaultReport(
+                plan=fault_plan,
+                seed=fault_seed,
+                injections=injected,
+                verdicts=verdicts,
+                trial_keys={
+                    index: (
+                        f"{trials[index].plan.name}/{trials[index].fmt}/"
+                        f"{trials[index].test_input.input_id}"
+                    )
+                    for index in injected
+                },
+            )
+        return failures, evidence, faults
+
+    if tracing:
+        with Tracer(trace_id="crosstest/oracles") as oracle_tracer:
+            failures, evidence, faults = oracle_phase()
+        oracle_spans = tuple(oracle_tracer.finished)
+    else:
+        failures, evidence, faults = oracle_phase()
         oracle_spans = ()
     return CrossTestReport(
         trials=trials,
@@ -182,4 +342,5 @@ def run_crosstest(
         evidence=evidence,
         traces=trace_sink,
         oracle_spans=oracle_spans,
+        faults=faults,
     )

@@ -1,0 +1,119 @@
+"""Exception types raised by the fault-injection layer.
+
+Two families live here. ``InjectedFault`` subclasses are the *raw*
+faults the injector raises at a boundary site — they model the
+transport-level symptom (a timeout, a flaky I/O error) and are what a
+retry policy is expected to absorb. ``BoundaryError`` subclasses are
+the *typed* errors a well-behaved connector surfaces after its retry
+budget is exhausted — the "gracefully-failed" shape of the paper's
+taxonomy. A raw ``InjectedFault`` escaping to the trial outcome means
+the boundary had no handling at all, which the robustness oracle
+classifies as mis-handled.
+
+Every class carries ``fault_kind`` so downstream consumers (the
+tolerance reader, the oracle) can report the injected cause instead of
+parroting an exception repr.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+__all__ = [
+    "FaultError",
+    "InjectedFault",
+    "TransientFault",
+    "InjectedTimeout",
+    "InjectedIOError",
+    "BoundaryError",
+    "BoundaryTimeout",
+    "BoundaryUnavailable",
+]
+
+
+class FaultError(ReproError):
+    """Base class for everything the fault layer raises."""
+
+
+class InjectedFault(FaultError):
+    """A raw fault injected at a boundary site.
+
+    ``jitter`` is a deterministic value in ``[0, 1)`` derived from the
+    injection decision hash; retry policies use it to de-synchronize
+    their simulated backoff without consulting a live RNG.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        operation: str = "",
+        fault_kind: str = "fault",
+        jitter: float = 0.0,
+    ) -> None:
+        self.site = site
+        self.operation = operation
+        self.fault_kind = fault_kind
+        self.jitter = jitter
+        suffix = f".{operation}" if operation else ""
+        super().__init__(f"injected {fault_kind} at {site}{suffix}")
+
+
+class TransientFault(InjectedFault):
+    """An injected fault that a retry is allowed to absorb."""
+
+
+class InjectedTimeout(TransientFault):
+    """The peer system did not answer within the (simulated) deadline."""
+
+    def __init__(
+        self, site: str, operation: str = "", jitter: float = 0.0
+    ) -> None:
+        super().__init__(site, operation, "timeout", jitter)
+
+
+class InjectedIOError(TransientFault):
+    """A transient transport error on the wire to the peer system."""
+
+    def __init__(
+        self, site: str, operation: str = "", jitter: float = 0.0
+    ) -> None:
+        super().__init__(site, operation, "io_error", jitter)
+
+
+class BoundaryError(FaultError):
+    """Typed error a connector raises once its retry budget is spent."""
+
+    def __init__(
+        self,
+        site: str,
+        operation: str = "",
+        fault_kind: str = "fault",
+        attempts: int = 0,
+    ) -> None:
+        self.site = site
+        self.operation = operation
+        self.fault_kind = fault_kind
+        self.attempts = attempts
+        suffix = f".{operation}" if operation else ""
+        super().__init__(
+            f"{site}{suffix} failed after {attempts} attempts"
+            f" ({fault_kind})"
+        )
+
+
+class BoundaryTimeout(BoundaryError):
+    """Every retry of a boundary call timed out."""
+
+    def __init__(
+        self, site: str, operation: str = "", attempts: int = 0
+    ) -> None:
+        super().__init__(site, operation, "timeout", attempts)
+
+
+class BoundaryUnavailable(BoundaryError):
+    """The peer system stayed unreachable across the whole retry budget."""
+
+    def __init__(
+        self, site: str, operation: str = "", attempts: int = 0
+    ) -> None:
+        super().__init__(site, operation, "io_error", attempts)

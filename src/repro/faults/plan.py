@@ -1,0 +1,307 @@
+"""Fault plans: which boundary sites fail, how, and how often.
+
+A :class:`FaultPlan` is a named, ordered list of :class:`FaultRule`
+entries. Rules select boundary sites with :mod:`fnmatch` globs over the
+``(boundary, operation)`` vocabulary the tracer already uses (site
+``"spark->metastore"``, operation ``"resolve"``, ...), and each carries
+an injection ``rate`` plus a fault ``kind``. Plans are plain frozen
+dataclasses of primitives, so they pickle into ``--jobs`` process
+workers unchanged — determinism comes from hashing, never from shared
+state.
+
+The module also registers the canonical site vocabulary
+(:data:`KNOWN_SITES`) and a handful of builtin plans used by the CLI
+and the CI chaos job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultRule",
+    "FaultPlan",
+    "FaultSite",
+    "KNOWN_SITES",
+    "BUILTIN_PLANS",
+    "EMPTY_PLAN",
+    "PlanError",
+    "load_plan",
+]
+
+#: every fault kind the injector knows how to produce. ``timeout`` and
+#: ``io_error`` raise at the site; ``torn_write`` and ``stale_read``
+#: are cooperative — the site itself applies them (truncate the blob,
+#: serve a not-yet-visible table) and only sites that declare support
+#: can receive them.
+FAULT_KINDS = ("timeout", "io_error", "torn_write", "stale_read")
+
+
+class PlanError(ValueError):
+    """A fault plan (builtin name, JSON file, or rule) is invalid."""
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One injectable boundary operation and the kinds it supports."""
+
+    site: str
+    operation: str
+    cooperative: tuple[str, ...] = ()
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        return ("timeout", "io_error") + self.cooperative
+
+
+#: the injectable site vocabulary — one entry per traced boundary
+#: operation the harness crosses. ``python -m repro faults list``
+#: prints this table.
+KNOWN_SITES: tuple[FaultSite, ...] = (
+    FaultSite("spark->metastore", "create_table"),
+    FaultSite("spark->metastore", "resolve", ("stale_read",)),
+    FaultSite("spark->hdfs", "write_segment", ("torn_write",)),
+    FaultSite("spark->hdfs", "read_segments"),
+    FaultSite("spark->hdfs", "read_partitioned_segments"),
+    FaultSite("spark->serde", "encode"),
+    FaultSite("spark->serde", "decode"),
+    FaultSite("hive->metastore", "create_table"),
+    FaultSite("hive->metastore", "get_table", ("stale_read",)),
+    FaultSite("hive->hdfs", "write_segment", ("torn_write",)),
+    FaultSite("hive->hdfs", "read_segments"),
+    FaultSite("hive->hdfs", "read_partitioned_segments"),
+    FaultSite("hive->serde", "encode"),
+    FaultSite("hive->serde", "decode"),
+    FaultSite("hive->hbase", "put"),
+    FaultSite("hive->hbase", "scan"),
+    FaultSite("am->rm", "report_final_status"),
+    FaultSite("am->rm", "request_containers"),
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Inject ``kind`` at sites matching ``site``/``operation`` globs.
+
+    ``rate`` is the per-visit injection probability, decided by hashing
+    (seed, trial, site, operation, visit index) — not by a live RNG —
+    so the same plan and seed schedule the same faults at any worker
+    count. ``max_per_trial`` caps how many times this rule may fire in
+    a single trial (0 means unlimited).
+    """
+
+    site: str
+    kind: str
+    rate: float
+    operation: str = "*"
+    max_per_trial: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise PlanError(
+                f"unknown fault kind {self.kind!r}"
+                f" (valid: {', '.join(FAULT_KINDS)})"
+            )
+        if not 0.0 < self.rate <= 1.0:
+            raise PlanError(f"rule rate must be in (0, 1], got {self.rate!r}")
+        if self.max_per_trial < 0:
+            raise PlanError("max_per_trial must be >= 0")
+        if not self.site:
+            raise PlanError("rule site glob must be non-empty")
+
+    def matches(self, site: str, operation: str) -> bool:
+        return fnmatchcase(site, self.site) and fnmatchcase(
+            operation, self.operation or "*"
+        )
+
+    def to_json(self) -> dict:
+        payload: dict = {
+            "site": self.site,
+            "kind": self.kind,
+            "rate": self.rate,
+        }
+        if self.operation != "*":
+            payload["operation"] = self.operation
+        if self.max_per_trial:
+            payload["max_per_trial"] = self.max_per_trial
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FaultRule":
+        unknown = set(payload) - {
+            "site",
+            "kind",
+            "rate",
+            "operation",
+            "max_per_trial",
+        }
+        if unknown:
+            raise PlanError(f"unknown rule keys: {', '.join(sorted(unknown))}")
+        try:
+            return cls(
+                site=str(payload["site"]),
+                kind=str(payload["kind"]),
+                rate=float(payload["rate"]),
+                operation=str(payload.get("operation", "*")),
+                max_per_trial=int(payload.get("max_per_trial", 0)),
+            )
+        except KeyError as exc:
+            raise PlanError(f"rule missing key {exc.args[0]!r}") from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, ordered set of fault rules (first matching rule wins)."""
+
+    name: str
+    rules: tuple[FaultRule, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    @property
+    def empty(self) -> bool:
+        return not self.rules
+
+    def to_json(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "rules": [rule.to_json() for rule in self.rules],
+        }
+        if self.description:
+            payload["description"] = self.description
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise PlanError("fault plan must be a JSON object")
+        rules = payload.get("rules", [])
+        if not isinstance(rules, list):
+            raise PlanError("plan 'rules' must be a list")
+        return cls(
+            name=str(payload.get("name", "custom")),
+            rules=tuple(FaultRule.from_json(rule) for rule in rules),
+            description=str(payload.get("description", "")),
+        )
+
+
+EMPTY_PLAN = FaultPlan(name="empty")
+
+#: builtin plans, addressable by name from ``--faults``. ``smoke`` only
+#: targets retry-guarded metastore calls, so a healthy harness masks or
+#: gracefully fails every injection — that is what the CI chaos gate
+#: asserts. The others deliberately include kinds the stack mis-handles
+#: to demonstrate the paper's failure taxonomy.
+BUILTIN_PLANS: dict[str, FaultPlan] = {
+    plan.name: plan
+    for plan in (
+        FaultPlan(
+            name="smoke",
+            description=(
+                "transient metastore faults under the retry budget;"
+                " expects zero mis-handled trials"
+            ),
+            rules=(
+                FaultRule("spark->metastore", "timeout", 0.25),
+                FaultRule("spark->metastore", "io_error", 0.1),
+            ),
+        ),
+        FaultPlan(
+            name="metastore-brownout",
+            description=(
+                "metastore times out almost every call, exhausting"
+                " retry budgets into typed boundary errors"
+            ),
+            rules=(FaultRule("*->metastore", "timeout", 0.9),),
+        ),
+        FaultPlan(
+            name="torn-writes",
+            description=(
+                "warehouse writes are truncated mid-blob; surfaces"
+                " wrong-system read errors"
+            ),
+            rules=(
+                FaultRule(
+                    "*->hdfs", "torn_write", 0.3, operation="write_segment"
+                ),
+            ),
+        ),
+        FaultPlan(
+            name="stale-metastore",
+            description=(
+                "metastore lookups see a snapshot from before the"
+                " table existed"
+            ),
+            rules=(
+                FaultRule(
+                    "spark->metastore",
+                    "stale_read",
+                    0.5,
+                    operation="resolve",
+                    max_per_trial=1,
+                ),
+                FaultRule(
+                    "hive->metastore",
+                    "stale_read",
+                    0.5,
+                    operation="get_table",
+                    max_per_trial=1,
+                ),
+            ),
+        ),
+        FaultPlan(
+            name="chaos",
+            description="every fault kind at every seam, low rates",
+            rules=(
+                FaultRule("*->metastore", "timeout", 0.1),
+                FaultRule("*->metastore", "io_error", 0.05),
+                FaultRule(
+                    "*->hdfs",
+                    "torn_write",
+                    0.05,
+                    operation="write_segment",
+                ),
+                FaultRule(
+                    "*->metastore", "stale_read", 0.05, max_per_trial=1
+                ),
+                FaultRule("hive->hbase", "timeout", 0.1),
+                FaultRule("am->rm", "io_error", 0.1),
+            ),
+        ),
+    )
+}
+
+
+def load_plan(spec: str) -> FaultPlan:
+    """Resolve ``spec`` to a plan: builtin name, or path to a JSON file.
+
+    Anything that looks like a path (contains a separator, ends in
+    ``.json``, or names an existing file) is loaded as JSON; otherwise
+    the spec must be a builtin plan name.
+    """
+    looks_like_path = (
+        os.sep in spec
+        or (os.altsep is not None and os.altsep in spec)
+        or spec.endswith(".json")
+        or os.path.isfile(spec)
+    )
+    if not looks_like_path:
+        try:
+            return BUILTIN_PLANS[spec]
+        except KeyError:
+            raise PlanError(
+                f"unknown fault plan {spec!r}"
+                f" (builtins: {', '.join(sorted(BUILTIN_PLANS))};"
+                " or pass a JSON plan file)"
+            ) from None
+    try:
+        with open(spec, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise PlanError(f"cannot read fault plan {spec!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise PlanError(f"fault plan {spec!r} is not JSON: {exc}") from exc
+    return FaultPlan.from_json(payload)

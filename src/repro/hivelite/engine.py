@@ -19,7 +19,12 @@ from repro.common.result import QueryResult
 from repro.common.row import Row
 from repro.common.schema import Field, Schema
 from repro.common.types import parse_type
-from repro.errors import AnalysisException, QueryError
+from repro.errors import AnalysisException, QueryError, TableNotFoundError
+from repro.faults.core import (
+    apply_torn_write,
+    fault_point,
+    injection_active,
+)
 from repro.formats import serializer_for
 from repro.formats.base import Serializer, TableData
 from repro.formats.orc import HIVE_POSITIONAL_PROPERTY
@@ -136,10 +141,17 @@ class _PreparedInsert:
                     bytes=len(self.blob),
                     overwrite=self.overwrite,
                 )
+            blob = self.blob
+            action = fault_point(
+                "hive->hdfs", "write_segment", ("torn_write",)
+            )
+            if action is not None and action.kind == "torn_write":
+                blob = apply_torn_write(blob, action)
+                trace_event("fault.torn_write", bytes_kept=len(blob))
             if self.overwrite:
                 server.warehouse.truncate(self.table, self.partition)
             server.warehouse.write_segment(
-                self.table, self.blob, self.partition
+                self.table, blob, self.partition
             )
         return server._empty_result()
 
@@ -192,7 +204,11 @@ class HiveServer:
             if isinstance(statement, DropTable):
                 # DROP is pure side effect; there is no analysis to reuse.
                 return self._drop(statement)
-            if not self.plan_cache_enabled:
+            if not self.plan_cache_enabled or injection_active():
+                # see SparkSession.sql: cached-plan replay would skip
+                # prepare-time fault points, entangling the fault
+                # schedule with cache history; bypassing is
+                # outcome-neutral (PR 2 byte-identity)
                 return self._execute_uncached(statement)
             fingerprint = (self.database, self.default_format)
             version = self.metastore.catalog_version
@@ -287,6 +303,19 @@ class HiveServer:
             operation="get_table",
             boundary="hive->metastore",
         ) as sp:
+            action = fault_point(
+                "hive->metastore", "get_table", ("stale_read",)
+            )
+            if action is not None and action.kind == "stale_read":
+                # the lookup lands on a snapshot from before the table
+                # existed; Hive has no retry here, so the wrong answer
+                # propagates as a plain not-found
+                trace_event(
+                    "fault.stale_read", table=name, database=self.database
+                )
+                raise TableNotFoundError(
+                    f"table {self.database}.{name} not found"
+                )
             table = self.metastore.get_table(name, self.database)
             if sp is not None:
                 sp.attributes.update(
@@ -332,6 +361,7 @@ class HiveServer:
         ) as sp:
             if sp is not None:
                 sp.attributes.update(table=statement.table, fmt=fmt)
+            fault_point("hive->metastore", "create_table")
             self.metastore.create_table(
                 statement.table,
                 schema,
@@ -396,6 +426,12 @@ class HiveServer:
                     bytes=len(blob),
                     overwrite=statement.overwrite,
                 )
+            action = fault_point(
+                "hive->hdfs", "write_segment", ("torn_write",)
+            )
+            if action is not None and action.kind == "torn_write":
+                blob = apply_torn_write(blob, action)
+                trace_event("fault.torn_write", bytes_kept=len(blob))
             if statement.overwrite:
                 self.warehouse.truncate(table, partition)
             self.warehouse.write_segment(table, blob, partition)
@@ -432,6 +468,7 @@ class HiveServer:
             operation="encode",
             boundary="hive->serde",
         ) as sp:
+            fault_point("hive->serde", "encode")
             properties: dict[str, str] = {"writer": "hive"}
             if serializer.format_name == "orc":
                 # Hive's ORC writer names columns positionally; the real
@@ -474,6 +511,7 @@ class HiveServer:
                 operation="read_partitioned_segments",
                 boundary="hive->hdfs",
             ) as sp:
+                fault_point("hive->hdfs", "read_partitioned_segments")
                 segments = list(
                     self.warehouse.read_partitioned_segments(table)
                 )
@@ -502,6 +540,7 @@ class HiveServer:
                 operation="read_segments",
                 boundary="hive->hdfs",
             ) as sp:
+                fault_point("hive->hdfs", "read_segments")
                 blobs = list(self.warehouse.read_segments(table))
                 if sp is not None:
                     sp.attributes.update(
@@ -531,6 +570,7 @@ class HiveServer:
             operation="decode",
             boundary="hive->serde",
         ) as sp:
+            fault_point("hive->serde", "decode")
             data = serializer.read(blob)
             if sp is not None:
                 sp.attributes.update(

@@ -38,6 +38,11 @@ from repro.connectors.spark_hive import (
 )
 from repro.connectors.transformers import transformer_for
 from repro.errors import AnalysisException, QueryError, TableAlreadyExistsError
+from repro.faults.core import (
+    apply_torn_write,
+    fault_point,
+    injection_active,
+)
 from repro.formats import serializer_for
 from repro.formats.base import TableData
 from repro.formats.orc import HIVE_POSITIONAL_PROPERTY
@@ -113,10 +118,17 @@ class _PreparedInsert:
                     bytes=len(self.blob),
                     overwrite=self.overwrite,
                 )
+            blob = self.blob
+            action = fault_point(
+                "spark->hdfs", "write_segment", ("torn_write",)
+            )
+            if action is not None and action.kind == "torn_write":
+                blob = apply_torn_write(blob, action)
+                trace_event("fault.torn_write", bytes_kept=len(blob))
             if self.overwrite:
                 session.warehouse.truncate(self.resolved.table, self.partition)
             session.warehouse.write_segment(
-                self.resolved.table, self.blob, self.partition
+                self.resolved.table, blob, self.partition
             )
         return session._empty("sparksql")
 
@@ -168,7 +180,12 @@ class SparkSession:
             if isinstance(statement, DropTable):
                 # DROP is pure side effect; there is no analysis to reuse.
                 return self._sql_drop(statement)
-            if not self.conf.plan_cache_enabled:
+            if not self.conf.plan_cache_enabled or injection_active():
+                # under fault injection, cached-plan replay would skip
+                # prepare-time fault points on hits and make the fault
+                # schedule depend on cache history (which varies with
+                # worker count); cache on/off is byte-identical (PR 2),
+                # so bypassing is outcome-neutral
                 return self._sql_uncached(statement)
             fingerprint = self.conf.fingerprint()
             version = self.metastore.catalog_version
@@ -538,6 +555,7 @@ class SparkSession:
             operation="encode",
             boundary="spark->serde",
         ) as sp:
+            fault_point("spark->serde", "encode")
             blob = serializer.write(resolved.schema, rows, {"writer": "spark"})
             if sp is not None:
                 sp.attributes.update(
@@ -569,6 +587,12 @@ class SparkSession:
                     bytes=len(blob),
                     overwrite=overwrite,
                 )
+            action = fault_point(
+                "spark->hdfs", "write_segment", ("torn_write",)
+            )
+            if action is not None and action.kind == "torn_write":
+                blob = apply_torn_write(blob, action)
+                trace_event("fault.torn_write", bytes_kept=len(blob))
             if overwrite:
                 self.warehouse.truncate(resolved.table, partition)
             self.warehouse.write_segment(resolved.table, blob, partition)
@@ -587,6 +611,7 @@ class SparkSession:
             operation="read_segments",
             boundary="spark->hdfs",
         ) as sp:
+            fault_point("spark->hdfs", "read_segments")
             blobs = list(self.warehouse.read_segments(resolved.table))
             if sp is not None:
                 sp.attributes.update(
@@ -607,6 +632,7 @@ class SparkSession:
             operation="read_partitioned_segments",
             boundary="spark->hdfs",
         ) as sp:
+            fault_point("spark->hdfs", "read_partitioned_segments")
             segments = list(
                 self.warehouse.read_partitioned_segments(resolved.table)
             )
@@ -675,6 +701,7 @@ class SparkSession:
                 operation="decode",
                 boundary="spark->serde",
             ) as sp:
+                fault_point("spark->serde", "decode")
                 data = serializer.read(blob)
                 if sp is not None:
                     sp.attributes.update(

@@ -32,6 +32,10 @@ class PathFailure:
     path: str
     error_type: str
     message: str
+    #: which injected fault kind felled this path ("" when the failure
+    #: was organic) — ``repr(exc)`` alone can't distinguish an injected
+    #: timeout from a real one, and chaos reports need to
+    fault_kind: str = ""
 
 
 @dataclass
@@ -100,7 +104,12 @@ class RedundantReader:
                 result = read_fn(table)
             except Exception as exc:  # noqa: BLE001 - any failure falls over
                 failures.append(
-                    PathFailure(name, type(exc).__name__, str(exc))
+                    PathFailure(
+                        name,
+                        type(exc).__name__,
+                        str(exc),
+                        fault_kind=getattr(exc, "fault_kind", ""),
+                    )
                 )
                 continue
             return ToleratedRead(

@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from contextvars import ContextVar
+from contextvars import ContextVar, Token
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -178,7 +178,7 @@ class _SpanContext:
     def __init__(self, tracer: "Tracer", span: Span) -> None:
         self._tracer = tracer
         self._span = span
-        self._token = None
+        self._token: Token[Span | None] | None = None
 
     def __enter__(self) -> Span:
         parent = _CURRENT_SPAN.get()
@@ -194,7 +194,8 @@ class _SpanContext:
         if exc is not None:
             span.status = "error"
             span.error = f"{exc_type.__name__}: {exc}"
-        _CURRENT_SPAN.reset(self._token)
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
         self._tracer.finished.append(span)
         return False
 
@@ -215,8 +216,8 @@ class Tracer:
         )
         self.finished: list[Span] = []
         self._span_ids = itertools.count(1)
-        self._tracer_token = None
-        self._span_token = None
+        self._tracer_token: Token[Tracer | None] | None = None
+        self._span_token: Token[Span | None] | None = None
 
     def span(
         self,
@@ -258,8 +259,10 @@ class Tracer:
         global _ACTIVE_TRACERS
         with _ACTIVE_LOCK:
             _ACTIVE_TRACERS -= 1
-        _CURRENT_SPAN.reset(self._span_token)
-        _CURRENT_TRACER.reset(self._tracer_token)
+        if self._span_token is not None:
+            _CURRENT_SPAN.reset(self._span_token)
+        if self._tracer_token is not None:
+            _CURRENT_TRACER.reset(self._tracer_token)
         return False
 
 

@@ -31,7 +31,7 @@ def write_jsonl(spans: list[Span], path: str) -> str:
 
 def read_jsonl(path: str) -> list[Span]:
     spans: list[Span] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:

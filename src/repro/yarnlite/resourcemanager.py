@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.common.events import EventLoop, Process
 from repro.errors import SchedulerOverloadError
+from repro.faults.core import fault_point
 from repro.metrics.registry import MetricsRegistry
 from repro.tracing.core import span as trace_span
 from repro.yarnlite.configs import YarnConf
@@ -118,6 +119,7 @@ class ResourceManager(Process):
                     final_status=final_status,
                     diagnostics=diagnostics,
                 )
+            fault_point("am->rm", "report_final_status")
             if final_status not in ("SUCCEEDED", "FAILED", "KILLED"):
                 raise ValueError(f"invalid final status {final_status!r}")
             handle.final_status = final_status
@@ -148,6 +150,7 @@ class ResourceManager(Process):
                     count=count,
                     pending=len(self._queue),
                 )
+            fault_point("am->rm", "request_containers")
             self.scheduler.validate(resource)
             normalized = self.scheduler.normalize(resource)
             if len(self._queue) + count > self.max_queued_requests:

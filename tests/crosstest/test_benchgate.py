@@ -1,0 +1,80 @@
+"""The bench-regression gate: threshold math and CLI behaviour."""
+
+import json
+
+import pytest
+
+from repro.crosstest.benchgate import GateError, check, main
+
+
+def _doc(best_s):
+    return {"benchmark": "crosstest-trial-matrix", "jobs1": {"best_s": best_s}}
+
+
+class TestCheck:
+    def test_within_threshold_passes(self):
+        ok, message = check(_doc(1.2), _doc(1.0), threshold=0.25)
+        assert ok
+        assert "1.20x" in message
+
+    def test_improvement_passes(self):
+        ok, _ = check(_doc(0.5), _doc(1.0), threshold=0.25)
+        assert ok
+
+    def test_regression_fails(self):
+        ok, message = check(_doc(1.3), _doc(1.0), threshold=0.25)
+        assert not ok
+        assert "limit 1.25x" in message
+
+    def test_exact_limit_passes(self):
+        ok, _ = check(_doc(1.25), _doc(1.0), threshold=0.25)
+        assert ok
+
+    @pytest.mark.parametrize(
+        "document", [{}, {"jobs1": {}}, {"jobs1": {"best_s": 0}}]
+    )
+    def test_malformed_document_rejected(self, document):
+        with pytest.raises(GateError):
+            check(document, _doc(1.0))
+
+
+class TestMain:
+    def _write(self, path, document):
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        fresh = self._write(tmp_path / "fresh.json", _doc(1.0))
+        base = self._write(tmp_path / "base.json", _doc(1.0))
+        assert main([fresh, "--baseline", base]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        fresh = self._write(tmp_path / "fresh.json", _doc(2.0))
+        base = self._write(tmp_path / "base.json", _doc(1.0))
+        assert main([fresh, "--baseline", base]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_custom_threshold(self, tmp_path):
+        fresh = self._write(tmp_path / "fresh.json", _doc(1.9))
+        base = self._write(tmp_path / "base.json", _doc(1.0))
+        assert main([fresh, "--baseline", base, "--threshold", "1.0"]) == 0
+
+    def test_missing_file_exit_two(self, tmp_path):
+        base = self._write(tmp_path / "base.json", _doc(1.0))
+        assert main([str(tmp_path / "nope.json"), "--baseline", base]) == 2
+
+    def test_bad_json_exit_two(self, tmp_path):
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text("{nope")
+        base = self._write(tmp_path / "base.json", _doc(1.0))
+        assert main([str(fresh), "--baseline", base]) == 2
+
+    def test_negative_threshold_exit_two(self, tmp_path):
+        fresh = self._write(tmp_path / "fresh.json", _doc(1.0))
+        assert main([fresh, "--threshold", "-1"]) == 2
+
+    def test_committed_baseline_is_valid(self):
+        with open("BENCH_crosstest.json", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["jobs1"]["best_s"] > 0

@@ -1,0 +1,52 @@
+"""Property: a (plan, seed) schedules identical faults at any --jobs.
+
+The acceptance bar for the whole subsystem — worker count, pool flavour,
+and scheduling order must be invisible to the fault schedule and to the
+robustness classifications derived from it.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crosstest.report import run_crosstest
+from repro.crosstest.values import generate_inputs
+from repro.faults import FaultPlan, FaultRule
+
+_INPUTS = generate_inputs()[:6]
+
+_SITES = st.sampled_from(
+    ["spark->metastore", "*->metastore", "hive->hbase", "*->hdfs"]
+)
+_KINDS = st.sampled_from(["timeout", "io_error"])
+
+
+def _fault_json(seed, plan, jobs):
+    report = run_crosstest(
+        inputs=_INPUTS,
+        formats=("parquet",),
+        jobs=jobs,
+        pool="thread",
+        fault_plan=plan,
+        fault_seed=seed,
+    )
+    assert report.faults is not None
+    return json.dumps(report.faults.to_json(), sort_keys=True)
+
+
+class TestScheduleInvariance:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        site=_SITES,
+        kind=_KINDS,
+        rate=st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_jobs_1_2_4_schedule_identically(self, seed, site, kind, rate):
+        plan = FaultPlan(
+            name="prop", rules=(FaultRule(site, kind, round(rate, 3)),)
+        )
+        baseline = _fault_json(seed, plan, jobs=1)
+        assert _fault_json(seed, plan, jobs=2) == baseline
+        assert _fault_json(seed, plan, jobs=4) == baseline

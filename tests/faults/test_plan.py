@@ -1,0 +1,139 @@
+"""Fault plans: validation, JSON round-trips, and spec resolution."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.faults import (
+    BUILTIN_PLANS,
+    EMPTY_PLAN,
+    KNOWN_SITES,
+    FaultPlan,
+    FaultRule,
+    PlanError,
+    load_plan,
+)
+
+
+class TestFaultRule:
+    def test_valid_rule(self):
+        rule = FaultRule("spark->metastore", "timeout", 0.5)
+        assert rule.operation == "*"
+        assert rule.max_per_trial == 0
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_bad_rate_rejected(self, rate):
+        with pytest.raises(PlanError, match="rate"):
+            FaultRule("spark->metastore", "timeout", rate)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlanError, match="unknown fault kind"):
+            FaultRule("spark->metastore", "brownout", 0.5)
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(PlanError, match="site"):
+            FaultRule("", "timeout", 0.5)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(PlanError, match="max_per_trial"):
+            FaultRule("x", "timeout", 0.5, max_per_trial=-1)
+
+    def test_glob_matching(self):
+        rule = FaultRule("*->metastore", "timeout", 0.5, operation="resolve")
+        assert rule.matches("spark->metastore", "resolve")
+        assert rule.matches("hive->metastore", "resolve")
+        assert not rule.matches("spark->metastore", "create_table")
+        assert not rule.matches("spark->hdfs", "resolve")
+
+    def test_json_round_trip(self):
+        rule = FaultRule(
+            "hive->hbase", "timeout", 0.25, operation="put", max_per_trial=2
+        )
+        assert FaultRule.from_json(rule.to_json()) == rule
+
+    def test_from_json_rejects_unknown_keys(self):
+        with pytest.raises(PlanError, match="unknown rule keys"):
+            FaultRule.from_json(
+                {"site": "x", "kind": "timeout", "rate": 0.5, "color": "red"}
+            )
+
+    def test_from_json_missing_key(self):
+        with pytest.raises(PlanError, match="missing key"):
+            FaultRule.from_json({"site": "x", "kind": "timeout"})
+
+
+class TestFaultPlan:
+    def test_empty(self):
+        assert EMPTY_PLAN.empty
+        assert not BUILTIN_PLANS["smoke"].empty
+
+    def test_json_round_trip(self):
+        plan = BUILTIN_PLANS["chaos"]
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_plans_pickle_unchanged(self):
+        # plans ship into --jobs process workers
+        for plan in BUILTIN_PLANS.values():
+            assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestBuiltins:
+    def test_builtin_rules_cover_known_sites_only(self):
+        """Every builtin rule matches at least one registered site."""
+        for plan in BUILTIN_PLANS.values():
+            for rule in plan.rules:
+                assert any(
+                    rule.matches(site.site, site.operation)
+                    for site in KNOWN_SITES
+                ), f"{plan.name}: rule {rule} matches no known site"
+
+    def test_cooperative_rules_target_supporting_sites(self):
+        for plan in BUILTIN_PLANS.values():
+            for rule in plan.rules:
+                if rule.kind in ("timeout", "io_error"):
+                    continue
+                assert any(
+                    rule.matches(site.site, site.operation)
+                    and rule.kind in site.cooperative
+                    for site in KNOWN_SITES
+                ), f"{plan.name}: {rule.kind} rule hits no supporting site"
+
+    def test_smoke_targets_retry_guarded_sites(self):
+        for rule in BUILTIN_PLANS["smoke"].rules:
+            assert rule.site == "spark->metastore"
+
+
+class TestLoadPlan:
+    def test_builtin_by_name(self):
+        assert load_plan("smoke") is BUILTIN_PLANS["smoke"]
+
+    def test_unknown_name_lists_builtins(self):
+        with pytest.raises(PlanError, match="smoke"):
+            load_plan("definitely-not-a-plan")
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = BUILTIN_PLANS["torn-writes"]
+        path.write_text(json.dumps(plan.to_json()))
+        assert load_plan(str(path)) == plan
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PlanError, match="cannot read"):
+            load_plan(str(tmp_path / "nope.json"))
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        with pytest.raises(PlanError, match="not JSON"):
+            load_plan(str(path))
+
+    def test_bad_rule_in_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {"name": "p", "rules": [{"site": "x", "kind": "q", "rate": 1}]}
+            )
+        )
+        with pytest.raises(PlanError, match="unknown fault kind"):
+            load_plan(str(path))

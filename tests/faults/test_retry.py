@@ -1,0 +1,112 @@
+"""RetryPolicy: masking, exhaustion, budgets, and stats."""
+
+import pytest
+
+from repro.connectors import RetryPolicy
+from repro.faults import (
+    BoundaryTimeout,
+    BoundaryUnavailable,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedTimeout,
+)
+
+
+def _plan(kind, rate=1.0, max_per_trial=0):
+    return FaultPlan(
+        name="p",
+        rules=(FaultRule("site", kind, rate, max_per_trial=max_per_trial),),
+    )
+
+
+class TestHappyPath:
+    def test_single_attempt_no_faults(self):
+        policy = RetryPolicy()
+        assert policy.call(lambda action: 42, site="site") == 42
+        assert policy.stats.attempts == 1
+        assert policy.stats.faults == 0
+        assert policy.stats.masked_calls == 0
+
+    def test_no_injector_means_no_fault_overhead(self):
+        policy = RetryPolicy()
+        calls = []
+        policy.call(lambda action: calls.append(action), site="site")
+        assert calls == [None]
+
+
+class TestMasking:
+    def test_fault_under_cap_is_masked(self):
+        # one guaranteed fault, then the rule is spent -> retry succeeds
+        policy = RetryPolicy(max_attempts=3)
+        with FaultInjector(_plan("timeout", max_per_trial=1), 0, "k"):
+            result = policy.call(lambda action: "ok", site="site")
+        assert result == "ok"
+        assert policy.stats.attempts == 2
+        assert policy.stats.faults == 1
+        assert policy.stats.masked_calls == 1
+        assert policy.stats.exhausted_calls == 0
+        assert policy.stats.backoff_s > 0
+
+    def test_backoff_is_simulated_not_slept(self):
+        import time
+
+        policy = RetryPolicy(
+            base_backoff_s=30.0, max_backoff_s=30.0, backoff_budget_s=100.0
+        )
+        with FaultInjector(_plan("timeout", max_per_trial=1), 0, "k"):
+            started = time.perf_counter()
+            policy.call(lambda action: "ok", site="site")
+            elapsed = time.perf_counter() - started
+        assert elapsed < 1.0  # a real 30s sleep would be unmistakable
+        assert policy.stats.backoff_s >= 15.0
+
+
+class TestExhaustion:
+    def test_timeouts_exhaust_into_boundary_timeout(self):
+        policy = RetryPolicy(max_attempts=3)
+        with FaultInjector(_plan("timeout"), 0, "k"):
+            with pytest.raises(BoundaryTimeout) as info:
+                policy.call(lambda action: "ok", site="site", operation="op")
+        assert info.value.attempts == 3
+        assert info.value.fault_kind == "timeout"
+        assert isinstance(info.value.__cause__, InjectedTimeout)
+        assert policy.stats.exhausted_calls == 1
+        assert policy.stats.faults == 3
+
+    def test_io_errors_exhaust_into_boundary_unavailable(self):
+        policy = RetryPolicy(max_attempts=2)
+        with FaultInjector(_plan("io_error"), 0, "k"):
+            with pytest.raises(BoundaryUnavailable) as info:
+                policy.call(lambda action: "ok", site="site")
+        assert info.value.fault_kind == "io_error"
+
+    def test_backoff_budget_caps_retries(self):
+        # generous attempt cap, tiny budget: the second fault must not
+        # be retried because its backoff would blow the budget
+        policy = RetryPolicy(
+            max_attempts=100, base_backoff_s=1.0, backoff_budget_s=1.0
+        )
+        with FaultInjector(_plan("timeout"), 0, "k"):
+            with pytest.raises(BoundaryTimeout) as info:
+                policy.call(lambda action: "ok", site="site")
+        assert info.value.attempts < 100
+        assert policy.stats.backoff_s <= 1.0
+
+
+class TestDeterminism:
+    def test_same_schedule_same_stats(self):
+        def run():
+            policy = RetryPolicy()
+            with FaultInjector(_plan("timeout", rate=0.5), 3, "k"):
+                try:
+                    policy.call(lambda action: "ok", site="site")
+                except BoundaryTimeout:
+                    pass
+            return (
+                policy.stats.attempts,
+                policy.stats.faults,
+                policy.stats.backoff_s,
+            )
+
+        assert run() == run()

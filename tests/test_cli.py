@@ -124,6 +124,72 @@ class TestCrosstest:
         assert "caches" in payload
 
 
+class TestCrosstestFaults:
+    def test_fault_run_renders_robustness(self, capsys):
+        assert main([
+            "crosstest", "--formats", "parquet",
+            "--faults", "smoke", "--fault-seed", "1337",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan: smoke (seed=1337)" in out
+        assert "robustness:" in out
+
+    def test_fault_json_written(self, tmp_path, capsys):
+        path = tmp_path / "faults.json"
+        assert main([
+            "crosstest", "--formats", "parquet",
+            "--faults", "smoke", "--fault-seed", "1337",
+            "--fault-json", str(path), "--quiet",
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["plan"]["name"] == "smoke"
+        assert payload["seed"] == 1337
+        assert payload["injected_trials"] > 0
+
+    def test_gate_passes_on_smoke(self, capsys):
+        assert main([
+            "crosstest", "--formats", "parquet",
+            "--faults", "smoke", "--fault-seed", "1337",
+            "--fault-gate", "--quiet",
+        ]) == 0
+
+    def test_gate_exits_3_on_mis_handled(self, capsys):
+        assert main([
+            "crosstest", "--formats", "parquet",
+            "--faults", "stale-metastore", "--fault-seed", "5",
+            "--fault-gate", "--quiet",
+        ]) == 3
+        assert "mis-handled" in capsys.readouterr().err
+
+    def test_unknown_plan_exits_2_naming_builtins(self, capsys):
+        assert main(["crosstest", "--faults", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "smoke" in err and "chaos" in err
+
+    def test_fault_seed_without_faults_rejected(self, capsys):
+        assert main(["crosstest", "--fault-seed", "7"]) == 2
+
+    def test_plan_file_accepted(self, tmp_path, capsys):
+        from repro.faults import BUILTIN_PLANS
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(BUILTIN_PLANS["smoke"].to_json()))
+        assert main([
+            "crosstest", "--formats", "parquet",
+            "--faults", str(path), "--quiet",
+        ]) == 0
+
+
+class TestFaultsList:
+    def test_lists_sites_and_plans(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "spark->metastore" in out
+        assert "hive->hbase" in out
+        assert "smoke" in out
+        assert "torn_write" in out
+
+
 class TestCrosstestTraceDir:
     def test_trace_dir_writes_discrepancy_traces(self, tmp_path, capsys):
         trace_dir = tmp_path / "traces"

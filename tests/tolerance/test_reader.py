@@ -83,6 +83,30 @@ class TestToleratedDiscrepancies:
         assert outcome.result.schema.types()[0].simple_string() == "int"
 
 
+class TestInjectedFaultAttribution:
+    def test_fault_kind_recorded_not_just_repr(self, deployment, reader):
+        from repro.faults import FaultInjector, FaultPlan, FaultRule
+
+        spark, _ = deployment
+        spark.sql("CREATE TABLE t (a int) STORED AS parquet")
+        spark.sql("INSERT INTO t VALUES (1)")
+        plan = FaultPlan(
+            name="meta-down",
+            rules=(FaultRule("spark->metastore", "timeout", 1.0),),
+        )
+        with FaultInjector(plan, seed=1, trial_key="tolerance/t"):
+            outcome = reader.read("t")
+        # both spark paths die on the metastore; hiveql still serves
+        assert outcome.tolerated
+        assert outcome.path_used == "hiveql"
+        assert outcome.failures
+        assert all(f.fault_kind == "timeout" for f in outcome.failures)
+
+    def test_organic_failures_have_no_fault_kind(self, reader):
+        outcome = reader.read("no_such_table")
+        assert all(f.fault_kind == "" for f in outcome.failures)
+
+
 class TestTotalFailure:
     def test_all_paths_fail(self, reader):
         outcome = reader.read("no_such_table")
