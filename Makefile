@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: tier1 smoke-crosstest test bench bench-json bench-gate chaos \
-	lint crosstest
+	fuzz-smoke fuzz-baseline lint crosstest
 
 # fast smoke pass over the §8 cross-test engine (runs first so a broken
 # harness fails in seconds, not after the whole suite), including the
@@ -40,6 +40,22 @@ chaos:
 		--faults smoke --fault-seed 1337 --quiet \
 		--fault-json fault-report-rerun.json --fault-gate
 	diff fault-report.json fault-report-rerun.json
+
+# the CI fuzz-smoke job, locally: the canonical fixed-seed campaign,
+# gated on novel fingerprints (exit 4 = a discrepancy the committed
+# baseline doesn't know), run at two worker counts — the fingerprint
+# JSONL must be byte-identical or the campaign lost determinism
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz --seed 11 --budget 96 --batch 16 \
+		--jobs 2 --quiet --out-dir fuzz-smoke-j2
+	$(PYTHON) -m repro fuzz --seed 11 --budget 96 --batch 16 \
+		--jobs 4 --quiet --out-dir fuzz-smoke-j4
+	diff fuzz-smoke-j2/fingerprints.jsonl fuzz-smoke-j4/fingerprints.jsonl
+
+# regenerate src/repro/fuzz/known_discrepancies.json (deterministic:
+# any machine produces the identical file)
+fuzz-baseline:
+	$(PYTHON) -m repro.fuzz.gen_baseline
 
 # ruff + mypy over the packages the lint CI job covers (needs the
 # 'lint' extra: pip install ruff mypy)

@@ -4,6 +4,7 @@ Commands map onto the paper's artifacts:
 
 * ``study``     — regenerate Tables 1-9 and Findings 1-13 (C1/E1)
 * ``crosstest`` — run the §8 Spark-Hive cross-test (C2/E2)
+* ``fuzz``      — coverage-guided discrepancy search beyond the corpus
 * ``replay``    — replay a named CSI failure (Figures 1-5 and more)
 * ``confcheck`` — lint a deployment's configuration plane
 * ``gaps``      — static reader-gap analysis per storage format
@@ -109,6 +110,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-gate",
         action="store_true",
         help="exit 3 if any injected trial is classified mis-handled",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided search for new cross-system discrepancies",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="campaign seed; every generator choice derives from it "
+        "(default: 0)",
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=64,
+        metavar="N",
+        help="candidates to generate — the determinism-safe budget "
+        "unit, not wall-clock (default: 64)",
+    )
+    fuzz.add_argument(
+        "--batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="candidates per scheduler round (default: 16)",
+    )
+    fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker count for each batch (default: 1; the campaign "
+        "output is byte-identical at any jobs/pool setting)",
+    )
+    fuzz.add_argument(
+        "--pool",
+        default="auto",
+        choices=["auto", "thread", "process"],
+        help="worker pool flavour when --jobs > 1 (default: auto)",
+    )
+    fuzz.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="known-discrepancies baseline to dedup against (default: "
+        "the committed known_discrepancies.json; 'none' for an empty "
+        "baseline)",
+    )
+    fuzz.add_argument(
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help="write fingerprints.jsonl plus one findings/<slug>/ dir "
+        "(repro.json + trace.jsonl) per novel finding into DIR",
+    )
+    fuzz.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="merge this campaign's fingerprints into the baseline "
+        "and save the union to PATH",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        action="store_true",
+        help="seed the mutation pool with the curated §8 corpus "
+        "(parents only; corpus inputs are never executed)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip shrinking novel findings to minimal reproducers",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+    fuzz.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the progress/summary lines on stderr",
     )
 
     faults = sub.add_parser(
@@ -342,6 +426,146 @@ def _write_trace_dir(report, trace_dir: str) -> str:
     return f"wrote {written} discrepancy traces to {trace_dir}"
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.fuzz import (
+        Baseline,
+        FuzzConfig,
+        default_baseline_path,
+        run_fuzz,
+    )
+
+    try:
+        config = FuzzConfig(
+            seed=args.seed,
+            budget=args.budget,
+            batch=args.batch,
+            jobs=args.jobs,
+            pool=args.pool,
+            use_corpus=args.corpus,
+            shrink=not args.no_shrink,
+        )
+    except ValueError as exc:
+        print(f"bad fuzz config: {exc}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"bad --jobs {args.jobs}; expected >= 1", file=sys.stderr)
+        return 2
+
+    if args.baseline == "none":
+        baseline = Baseline.empty()
+    else:
+        baseline_path = (
+            args.baseline
+            if args.baseline is not None
+            else default_baseline_path()
+        )
+        try:
+            baseline = Baseline.load(baseline_path)
+        except OSError as exc:
+            if args.baseline is not None:
+                print(f"bad --baseline: {exc}", file=sys.stderr)
+                return 2
+            # no committed baseline yet — everything found is novel
+            baseline = Baseline.empty()
+
+    show_progress = not args.quiet and sys.stderr.isatty()
+
+    def progress(round_index, total_rounds, trials):
+        print(
+            f"\r[fuzz] round {round_index}/{total_rounds} "
+            f"({trials} trials)",
+            end="" if round_index < total_rounds else "\n",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    started = time.perf_counter()
+    result = run_fuzz(
+        config, baseline, progress=progress if show_progress else None
+    )
+    elapsed = time.perf_counter() - started
+
+    if args.out_dir is not None:
+        note = _write_fuzz_out_dir(result, args.out_dir)
+        if not args.quiet:
+            print(f"[fuzz] {note}", file=sys.stderr)
+    if args.write_baseline is not None:
+        merged = Baseline(dict(baseline.fingerprints))
+        added = sum(
+            merged.add(finding.fingerprint)
+            for finding in result.findings.values()
+        )
+        merged.save(args.write_baseline)
+        if not args.quiet:
+            print(
+                f"[fuzz] wrote baseline ({len(merged.fingerprints)} "
+                f"fingerprints, {added} new) to {args.write_baseline}",
+                file=sys.stderr,
+            )
+
+    section = result.section()
+    if args.json:
+        print(json.dumps(section.to_json(), indent=1, sort_keys=True))
+    else:
+        print("\n".join(section.summary_lines()))
+    sys.stdout.flush()
+    if not args.quiet:
+        rate = result.trials_run / elapsed if elapsed > 0 else 0.0
+        print(
+            f"[fuzz] {result.trials_run} trials in {elapsed:.2f}s "
+            f"({rate:.0f}/s, jobs={config.jobs}); "
+            f"{len(result.findings)} fingerprints "
+            f"({len(result.novel_findings)} novel)",
+            file=sys.stderr,
+        )
+    return 4 if result.novel_findings else 0
+
+
+def _write_fuzz_out_dir(result, out_dir: str) -> str:
+    """Write the campaign's artifacts: the fingerprint JSONL plus one
+    ``findings/<slug>/`` directory (repro.json + trace.jsonl) per novel
+    finding. Every byte is derived from the (deterministic) result, so
+    two equal campaigns write identical trees.
+    """
+    import os
+    import re
+
+    from repro.tracing import write_jsonl
+
+    os.makedirs(out_dir, exist_ok=True)
+    jsonl_path = os.path.join(out_dir, "fingerprints.jsonl")
+    with open(jsonl_path, "w", encoding="utf-8") as handle:
+        for record in result.fingerprint_records():
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    written = 0
+    for index, finding in enumerate(result.novel_findings):
+        fp = finding.fingerprint
+        slug = re.sub(
+            r"[^A-Za-z0-9._-]+",
+            "-",
+            f"{index:03d}_{fp.oracle}_{fp.type_shape}",
+        )
+        finding_dir = os.path.join(out_dir, "findings", slug)
+        os.makedirs(finding_dir, exist_ok=True)
+        with open(
+            os.path.join(finding_dir, "repro.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(finding.to_json(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        spans = result.spans_by_input.get(finding.witness.input_id, [])
+        if spans:
+            write_jsonl(
+                list(spans), os.path.join(finding_dir, "trace.jsonl")
+            )
+        written += 1
+    return (
+        f"wrote {len(result.findings)} fingerprints and {written} "
+        f"novel-finding dirs to {out_dir}"
+    )
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults import BUILTIN_PLANS, KNOWN_SITES
 
@@ -460,6 +684,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_study()
     if args.command == "crosstest":
         return _cmd_crosstest(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "replay":

@@ -14,23 +14,37 @@ from dataclasses import dataclass, field
 
 from repro.common.types import (
     BooleanType,
-    ByteType,
     CharType,
     DateType,
     DecimalType,
     DoubleType,
     FloatType,
-    IntegerType,
-    LongType,
-    MapType,
-    ShortType,
-    StringType,
     StructType,
     TimestampNTZType,
     VarcharType,
 )
-from repro.crosstest.harness import NO_ROWS, Trial
-from repro.crosstest.oracles import canonical
+from repro.crosstest.fingerprint import (
+    canonical_input as _canonical_input,
+)
+from repro.crosstest.fingerprint import (
+    df_mangled as _df_mangled,
+)
+from repro.crosstest.fingerprint import (
+    df_nulled as _df_nulled,
+)
+from repro.crosstest.fingerprint import (
+    has_non_string_map_key as _has_non_string_map_key,
+)
+from repro.crosstest.fingerprint import (
+    is_narrow_int as _is_narrow_int,
+)
+from repro.crosstest.fingerprint import (
+    is_wide_int as _is_wide_int,
+)
+from repro.crosstest.fingerprint import (
+    sql_rejected as _sql_rejected,
+)
+from repro.crosstest.harness import Trial
 
 __all__ = ["Evidence", "classify_trials", "found_discrepancies"]
 
@@ -70,61 +84,14 @@ def found_discrepancies(trials: list[Trial]) -> set[int]:
 
 
 # -- helpers ----------------------------------------------------------------
+#
+# The trial-shape vocabulary (_canonical_input, _sql_rejected, ...) lives
+# in repro.crosstest.fingerprint and is shared with repro.fuzz.dedup; the
+# aliased imports above keep the signature definitions below unchanged.
 
 
 def _ct(trial: Trial):
     return trial.test_input.column_type
-
-
-def _canonical_input(trial: Trial) -> str:
-    """``canonical(py_value)``, cached on the (shared) test input."""
-    test_input = trial.test_input
-    cached = test_input.__dict__.get("_canonical_py")
-    if cached is None:
-        cached = canonical(test_input.py_value)
-        object.__setattr__(test_input, "_canonical_py", cached)
-    return cached
-
-
-def _is_narrow_int(trial: Trial) -> bool:
-    return isinstance(_ct(trial), (ByteType, ShortType))
-
-
-def _is_wide_int(trial: Trial) -> bool:
-    return isinstance(_ct(trial), (IntegerType, LongType))
-
-
-def _has_non_string_map_key(trial: Trial) -> bool:
-    dtype = _ct(trial)
-    return isinstance(dtype, MapType) and not isinstance(
-        dtype.key_type, StringType
-    )
-
-
-def _sql_rejected(trial: Trial) -> bool:
-    return (
-        trial.plan.writer == "sparksql"
-        and not trial.outcome.ok
-        and trial.outcome.stage == "write"
-    )
-
-
-def _df_nulled(trial: Trial) -> bool:
-    return (
-        trial.plan.writer == "dataframe"
-        and trial.outcome.ok
-        and trial.outcome.value is None
-    )
-
-
-def _df_mangled(trial: Trial) -> bool:
-    """DataFrame path stored a different (e.g. wrapped) value."""
-    if trial.plan.writer != "dataframe" or not trial.outcome.ok:
-        return False
-    value = trial.outcome.value
-    if value is None or value is NO_ROWS:
-        return False
-    return canonical(value) != _canonical_input(trial)
 
 
 # -- per-entry signatures -------------------------------------------------------

@@ -351,12 +351,21 @@ class CrossTestMetrics:
     Backed by :class:`repro.metrics.MetricsRegistry`, the same substrate
     the monitoring scenarios scrape, so cross-test campaigns export
     through the standard metric surface.
+
+    ``source`` labels which workload the counters describe: the §8
+    matrix (``"matrix"``, registry system ``crosstest``) or a fuzz
+    campaign (``"fuzz"``, registry system ``crosstest.fuzz``). Fuzz
+    trials therefore never fold into the paper-replication totals — a
+    scrape that wants the §8 stage-error counts reads ``crosstest``,
+    not ``crosstest.fuzz``.
     """
 
     STAGES = ("create", "write", "read")
 
-    def __init__(self) -> None:
-        self.registry = MetricsRegistry("crosstest")
+    def __init__(self, source: str = "matrix") -> None:
+        self.source = source
+        system = "crosstest" if source == "matrix" else f"crosstest.{source}"
+        self.registry = MetricsRegistry(system)
         self.trials_total = self.registry.counter(
             "trials_total", "trials executed"
         )

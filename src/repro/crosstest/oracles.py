@@ -42,6 +42,11 @@ class OracleFailure:
     fmt: str
     plans: tuple[str, ...]
     detail: str
+    #: which axis a differential failure compared ("plan" or "fmt") and
+    #: the two compared labels — consumed by the fingerprinter, absent
+    #: from the rendered report (defaults keep old constructions valid).
+    axis: str = "plan"
+    labels: tuple[str, ...] = ()
 
 
 def canonical(value: object) -> str:
@@ -208,6 +213,8 @@ def _diff_bucket(
                 fmt=fmt,
                 plans=(left.plan.name, right.plan.name),
                 detail=f"{left_label} -> {left_sig} vs {right_label} -> {right_sig}",
+                axis=axis,
+                labels=(left_label, right_label),
             )
         )
     return failures

@@ -25,7 +25,7 @@ from repro.faults.core import InjectionRecord
 from repro.faults.plan import FaultPlan
 from repro.tracing.core import Span, Tracer
 
-__all__ = ["CrossTestReport", "FaultReport", "run_crosstest"]
+__all__ = ["CrossTestReport", "FaultReport", "FuzzSection", "run_crosstest"]
 
 #: classification order used everywhere a fault report renders
 _CLASSIFICATIONS = ("masked", "gracefully_failed", "mis_handled")
@@ -122,6 +122,85 @@ class FaultReport:
             )
         return lines
 
+@dataclass
+class FuzzSection:
+    """The fuzzing side of a report: what a campaign searched and found.
+
+    Attached to :class:`CrossTestReport` only by ``repro fuzz`` — plain
+    §8 runs leave it ``None``, and both ``to_json`` and
+    ``summary_lines`` skip an absent section entirely, so the
+    paper-replication report is byte-identical with fuzzing off.
+    """
+
+    seed: int
+    budget: int
+    rounds: int
+    candidates: int
+    trials: int
+    coverage_features: int
+    distinct_fingerprints: int
+    known_fingerprints: int
+    #: rendered summaries of novel findings, in fingerprint-key order
+    novel: list[dict] = field(default_factory=list)
+    #: catalog numbers the campaign's inputs rediscovered behaviourally
+    rediscovered: tuple[int, ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "rounds": self.rounds,
+            "candidates": self.candidates,
+            "trials": self.trials,
+            "coverage_features": self.coverage_features,
+            "distinct_fingerprints": self.distinct_fingerprints,
+            "known_fingerprints": self.known_fingerprints,
+            "novel": self.novel,
+            "rediscovered": list(self.rediscovered),
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"fuzz: seed={self.seed} budget={self.budget} "
+            f"rounds={self.rounds} candidates={self.candidates} "
+            f"trials={self.trials}",
+            f"coverage: {self.coverage_features} features; "
+            f"fingerprints: {self.distinct_fingerprints} distinct "
+            f"({self.known_fingerprints} known, {len(self.novel)} novel)",
+            "rediscovered known discrepancies: "
+            + (
+                ", ".join(f"#{n}" for n in self.rediscovered)
+                if self.rediscovered
+                else "none"
+            ),
+        ]
+        # fingerprints that differ only in format/plan pair render the
+        # same mechanism line — fold them and count the variants
+        rendered: dict[tuple[str, str], int] = {}
+        for finding in self.novel:
+            head = (
+                f"  NOVEL {finding['fingerprint']['oracle']} "
+                f"{finding['fingerprint']['type']} "
+                f"[{finding['fingerprint']['evidence']}]"
+                + (
+                    f" conf={finding['fingerprint']['conf']}"
+                    if finding["fingerprint"]["conf"]
+                    else ""
+                )
+            )
+            repro = (
+                f"    repro: {finding['shrunk']['type_text']} = "
+                f"{finding['shrunk']['sql_literal']}"
+            )
+            rendered[(head, repro)] = rendered.get((head, repro), 0) + 1
+        for (head, repro), count in rendered.items():
+            lines.append(
+                head + (f" x{count}" if count > 1 else "")
+            )
+            lines.append(repro)
+        return lines
+
+
 _GROUP_SHORT = {"spark_e2e": "ss", "spark_hive": "sh", "hive_spark": "hs"}
 
 
@@ -140,6 +219,9 @@ class CrossTestReport:
     #: robustness results of a fault-injected run — ``None`` for plain
     #: runs, so empty-plan reports stay byte-identical to pre-fault ones
     faults: "FaultReport | None" = None
+    #: fuzz-campaign results — ``None`` for plain §8 runs, keeping the
+    #: paper-replication report byte-identical with fuzzing off
+    fuzz: "FuzzSection | None" = None
 
     # -- derived views ----------------------------------------------------
 
@@ -189,6 +271,8 @@ class CrossTestReport:
         }
         if self.faults is not None:
             payload["fault_robustness"] = self.faults.to_json()
+        if self.fuzz is not None:
+            payload["fuzz"] = self.fuzz.to_json()
         return payload
 
     # -- traces -----------------------------------------------------------
@@ -239,6 +323,8 @@ class CrossTestReport:
             lines.append(f"  {name}: {count}/{paper[name]}")
         if self.faults is not None:
             lines.extend(self.faults.summary_lines())
+        if self.fuzz is not None:
+            lines.extend(self.fuzz.summary_lines())
         return lines
 
 

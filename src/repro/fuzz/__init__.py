@@ -1,0 +1,40 @@
+"""``repro.fuzz`` — coverage-guided cross-system fuzzing over §8.
+
+The paper found its 15 discrepancies with a hand-curated 422-input
+corpus; this subsystem searches the space *around* that corpus. Seeded
+generators (:mod:`~repro.fuzz.generators`) produce typed inputs and
+conf mutations with every choice BLAKE2b-derived from
+``(seed, round, slot)``; a coverage map (:mod:`~repro.fuzz.coverage`)
+keyed on boundary spans and structured trace events promotes inputs
+that reach new interaction sites; the scheduler
+(:mod:`~repro.fuzz.scheduler`) fans batches through the sharded
+cross-test executor; findings are fingerprinted by mechanism, deduped
+against the committed baseline (:mod:`~repro.fuzz.dedup`), and shrunk
+to minimal reproducers (:mod:`~repro.fuzz.shrink`).
+
+Entry point: ``python -m repro fuzz`` (exit 4 on a novel discrepancy).
+"""
+
+from repro.fuzz.coverage import CoverageMap, trial_features
+from repro.fuzz.dedup import Baseline, default_baseline_path
+from repro.fuzz.generators import FUZZ_ID_BASE, gen_candidate, gen_conf, mutate
+from repro.fuzz.scheduler import FuzzConfig, FuzzFinding, FuzzResult, run_fuzz
+from repro.fuzz.shrink import input_size, reproduces, shrink_input
+
+__all__ = [
+    "FUZZ_ID_BASE",
+    "Baseline",
+    "CoverageMap",
+    "FuzzConfig",
+    "FuzzFinding",
+    "FuzzResult",
+    "default_baseline_path",
+    "gen_candidate",
+    "gen_conf",
+    "input_size",
+    "mutate",
+    "reproduces",
+    "run_fuzz",
+    "shrink_input",
+    "trial_features",
+]

@@ -1,0 +1,94 @@
+"""Fingerprint baselines: dedup fuzz findings against known discrepancies.
+
+A fuzz campaign is only useful if it does not re-report the paper's 15
+discrepancies on every run. The committed
+``src/repro/fuzz/known_discrepancies.json`` holds the fingerprint of
+every mechanism the curated corpus (and the canonical smoke campaign)
+already witnesses; a finding whose fingerprint is in the baseline is
+*known*, everything else is *novel* and exits the CLI with code 4.
+
+Baselines are stored as sorted full fingerprint records (not bare
+keys), so a human can read which mechanism each entry names and a
+diff of the file reviews cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.crosstest.fingerprint import Fingerprint
+
+__all__ = ["Baseline", "default_baseline_path"]
+
+
+def default_baseline_path() -> str:
+    """The committed baseline that ships with the package."""
+    return os.path.join(os.path.dirname(__file__), "known_discrepancies.json")
+
+
+class Baseline:
+    """A set of known discrepancy fingerprints with JSON persistence."""
+
+    def __init__(self, fingerprints: dict[str, Fingerprint] | None = None):
+        self.fingerprints: dict[str, Fingerprint] = dict(fingerprints or {})
+
+    @property
+    def keys(self) -> set[str]:
+        return set(self.fingerprints)
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.fingerprints
+
+    def add(self, fingerprint: Fingerprint) -> bool:
+        """Record a fingerprint; True if it was new to the baseline."""
+        if fingerprint.key in self.fingerprints:
+            return False
+        self.fingerprints[fingerprint.key] = fingerprint
+        return True
+
+    def merge(self, other: "Baseline") -> None:
+        for fingerprint in other.fingerprints.values():
+            self.add(fingerprint)
+
+    def novel(self, fingerprints: dict[str, Fingerprint]) -> dict[str, Fingerprint]:
+        """The subset of ``fingerprints`` this baseline does not know."""
+        return {
+            key: fingerprint
+            for key, fingerprint in fingerprints.items()
+            if key not in self.fingerprints
+        }
+
+    # -- persistence ---------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "count": len(self.fingerprints),
+            "fingerprints": [
+                self.fingerprints[key].to_json()
+                for key in sorted(self.fingerprints)
+            ],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        fingerprints = {}
+        for record in payload.get("fingerprints", []):
+            fingerprint = Fingerprint.from_json(record)
+            fingerprints[fingerprint.key] = fingerprint
+        return cls(fingerprints)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls()

@@ -1,0 +1,337 @@
+"""The fuzz campaign scheduler: generate → execute → observe → mutate.
+
+A campaign runs in *rounds*. Each round draws a deployment conf, fills
+a batch with fresh candidates and mutations of coverage-promoted seeds,
+and fans the batch through the sharded :mod:`crosstest.executor` at
+whatever ``--jobs``/pool setting the caller picked. Trials come back in
+byte-identical order regardless of worker count, so everything layered
+on top — coverage promotion, fingerprint collection, dedup, shrinking —
+replays exactly for a fixed ``(seed, budget, baseline)``.
+
+The budget is counted in *candidates generated*, not wall-clock: a time
+budget would make the campaign's output depend on machine speed and
+worker count, which is precisely what the determinism guarantee
+forbids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crosstest.classify import found_discrepancies
+from repro.crosstest.executor import CrossTestMetrics, execute
+from repro.crosstest.fingerprint import (
+    Fingerprint,
+    conf_label,
+    run_fingerprints,
+)
+from repro.crosstest.oracles import all_failures
+from repro.crosstest.plans import ALL_PLANS, FORMATS
+from repro.crosstest.report import FuzzSection
+from repro.crosstest.values import TestInput, generate_inputs
+from repro.fuzz.coverage import CoverageMap, trial_features
+from repro.fuzz.dedup import Baseline
+from repro.fuzz.generators import (
+    FUZZ_ID_BASE,
+    gen_candidate,
+    gen_conf,
+    mutate,
+)
+from repro.fuzz.shrink import shrink_input
+from repro.tracing.core import Span
+
+__all__ = ["FuzzConfig", "FuzzFinding", "FuzzResult", "run_fuzz"]
+
+from hashlib import blake2b
+
+
+def _hash_int(*parts: object) -> int:
+    key = "\x1f".join(str(part) for part in parts).encode("utf-8")
+    return int.from_bytes(blake2b(key, digest_size=8).digest(), "big")
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Everything that determines a campaign's output."""
+
+    seed: int = 0
+    #: total candidates to generate (the determinism-safe budget unit)
+    budget: int = 64
+    #: candidates per round; one round = one executor submission
+    batch: int = 16
+    jobs: int | None = 1
+    pool: str = "auto"
+    plans: tuple = tuple(ALL_PLANS)
+    formats: tuple = tuple(FORMATS)
+    #: seed the mutation pool with the curated corpus (parents only —
+    #: corpus inputs are never executed, so "generators alone" holds
+    #: when this is off, which is the default)
+    use_corpus: bool = False
+    #: shrink novel findings after the budget is exhausted
+    shrink: bool = True
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+
+
+@dataclass
+class FuzzFinding:
+    """One discrepancy fingerprint the campaign witnessed."""
+
+    fingerprint: Fingerprint
+    witness: TestInput
+    conf_overrides: dict[str, object]
+    round_index: int
+    failure_count: int = 0
+    novel: bool = False
+    shrunk: TestInput | None = None
+
+    def _input_json(self, test_input: TestInput) -> dict:
+        return {
+            "input_id": test_input.input_id,
+            "type_text": test_input.type_text,
+            "sql_literal": test_input.sql_literal,
+            "valid": test_input.valid,
+            "description": test_input.description,
+        }
+
+    def to_json(self) -> dict:
+        minimal = self.shrunk if self.shrunk is not None else self.witness
+        return {
+            "fingerprint": self.fingerprint.to_json(),
+            "key": self.fingerprint.key,
+            "novel": self.novel,
+            "round": self.round_index,
+            "failures": self.failure_count,
+            "conf_overrides": {
+                key: str(value)
+                for key, value in sorted(self.conf_overrides.items())
+            },
+            "witness": self._input_json(self.witness),
+            "shrunk": self._input_json(minimal),
+        }
+
+
+@dataclass
+class FuzzResult:
+    """Everything a campaign produced, in deterministic order."""
+
+    config: FuzzConfig
+    rounds: int
+    candidates: int
+    trials_run: int
+    coverage: CoverageMap
+    #: every distinct fingerprint of the campaign, key → finding
+    findings: dict[str, FuzzFinding] = field(default_factory=dict)
+    #: catalog numbers rediscovered behaviourally by generated inputs
+    rediscovered: tuple[int, ...] = ()
+    #: spans per input id, for per-finding trace export
+    spans_by_input: dict[int, list[Span]] = field(default_factory=dict)
+
+    @property
+    def novel_findings(self) -> list[FuzzFinding]:
+        return [
+            self.findings[key]
+            for key in sorted(self.findings)
+            if self.findings[key].novel
+        ]
+
+    @property
+    def known_count(self) -> int:
+        return sum(1 for f in self.findings.values() if not f.novel)
+
+    def fingerprint_records(self) -> list[dict]:
+        """One JSON record per distinct fingerprint, key-sorted."""
+        records = []
+        for key in sorted(self.findings):
+            finding = self.findings[key]
+            records.append(
+                {
+                    "key": key,
+                    "fingerprint": finding.fingerprint.to_json(),
+                    "novel": finding.novel,
+                    "failures": finding.failure_count,
+                    "round": finding.round_index,
+                }
+            )
+        return records
+
+    def section(self) -> FuzzSection:
+        return FuzzSection(
+            seed=self.config.seed,
+            budget=self.config.budget,
+            rounds=self.rounds,
+            candidates=self.candidates,
+            trials=self.trials_run,
+            coverage_features=len(self.coverage),
+            distinct_fingerprints=len(self.findings),
+            known_fingerprints=self.known_count,
+            novel=[finding.to_json() for finding in self.novel_findings],
+            rediscovered=self.rediscovered,
+        )
+
+
+def _build_batch(
+    config: FuzzConfig,
+    round_index: int,
+    batch_size: int,
+    next_id: int,
+    seed_pool: list[TestInput],
+) -> list[TestInput]:
+    """One round's candidates: fresh generations plus seed mutations."""
+    batch: list[TestInput] = []
+    for slot in range(batch_size):
+        input_id = next_id + slot
+        use_mutation = (
+            seed_pool
+            and round_index > 0
+            and _hash_int(config.seed, round_index, slot, "mutate?") % 3 == 0
+        )
+        if use_mutation:
+            parent = seed_pool[
+                _hash_int(config.seed, round_index, slot, "parent")
+                % len(seed_pool)
+            ]
+            batch.append(
+                mutate(config.seed, round_index, slot, input_id, parent)
+            )
+        else:
+            batch.append(
+                gen_candidate(config.seed, round_index, slot, input_id)
+            )
+    return batch
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    baseline: Baseline,
+    *,
+    metrics: CrossTestMetrics | None = None,
+    progress=None,
+) -> FuzzResult:
+    """Run one campaign and return its (deterministic) result.
+
+    ``metrics`` defaults to a fresh ``CrossTestMetrics(source="fuzz")``
+    so campaign telemetry lands in the ``crosstest.fuzz`` registry and
+    never pollutes the §8 matrix counters. ``progress``, if given, is
+    called per round as ``progress(round, rounds, trials_so_far)``.
+    """
+    if metrics is None:
+        metrics = CrossTestMetrics(source="fuzz")
+    coverage = CoverageMap()
+    seed_pool: list[TestInput] = []
+    pool_ids: set[int] = set()
+    if config.use_corpus:
+        # corpus inputs join as mutation parents only; they are never
+        # executed, so their ids (< FUZZ_ID_BASE) never reach a trial
+        seed_pool.extend(generate_inputs())
+    findings: dict[str, FuzzFinding] = {}
+    rediscovered: set[int] = set()
+    spans_by_input: dict[int, list[Span]] = {}
+    total_rounds = (config.budget + config.batch - 1) // config.batch
+    candidates = 0
+    trials_run = 0
+    round_index = 0
+    while candidates < config.budget:
+        batch_size = min(config.batch, config.budget - candidates)
+        batch = _build_batch(
+            config,
+            round_index,
+            batch_size,
+            FUZZ_ID_BASE + candidates,
+            seed_pool,
+        )
+        conf_overrides = gen_conf(config.seed, round_index)
+        # fuzz batches always run with the plan cache off: cache hits
+        # skip analysis-time spans/events, and cache warmth depends on
+        # worker history (even fork inheritance), which would make the
+        # coverage map vary with --jobs. Outcome-neutral by the PR 2
+        # byte-identity guarantee; excluded from the fingerprint label.
+        exec_conf = dict(conf_overrides)
+        exec_conf["repro.plan.cache.enabled"] = "false"
+        trace_sink: dict[int, tuple[Span, ...]] = {}
+        trials = execute(
+            config.plans,
+            config.formats,
+            batch,
+            exec_conf,
+            jobs=config.jobs,
+            pool=config.pool,
+            metrics=metrics,
+            trace_sink=trace_sink,
+        )
+        trials_run += len(trials)
+
+        # fuzz spans are tagged with their source so `trace summarize`
+        # can split them out of the §8 matrix totals
+        for spans in trace_sink.values():
+            for span in spans:
+                span.attributes["source"] = "fuzz"
+
+        # coverage promotion, in (byte-identical) trial order
+        promoted: set[int] = set()
+        for index, trial in enumerate(trials):
+            spans = trace_sink.get(index, ())
+            input_id = trial.test_input.input_id
+            spans_by_input.setdefault(input_id, []).extend(spans)
+            if coverage.observe(trial_features(trial, spans)):
+                promoted.add(input_id)
+        for test_input in batch:
+            if test_input.input_id in promoted and (
+                test_input.input_id not in pool_ids
+            ):
+                seed_pool.append(test_input)
+                pool_ids.add(test_input.input_id)
+
+        # fingerprints + dedup bookkeeping
+        label = conf_label(conf_overrides)
+        failures = all_failures(trials)
+        by_id = {test_input.input_id: test_input for test_input in batch}
+        for key, hit in run_fingerprints(trials, failures, label).items():
+            finding = findings.get(key)
+            if finding is None:
+                findings[key] = FuzzFinding(
+                    fingerprint=hit.fingerprint,
+                    witness=by_id[hit.witness_input_id],
+                    conf_overrides=dict(conf_overrides),
+                    round_index=round_index,
+                    failure_count=len(hit.failures),
+                    novel=key not in baseline,
+                )
+            else:
+                finding.failure_count += len(hit.failures)
+
+        rediscovered.update(
+            number
+            for number in found_discrepancies(trials)
+            if number
+        )
+        candidates += batch_size
+        round_index += 1
+        if progress is not None:
+            progress(round_index, total_rounds, trials_run)
+
+    result = FuzzResult(
+        config=config,
+        rounds=round_index,
+        candidates=candidates,
+        trials_run=trials_run,
+        coverage=coverage,
+        findings=findings,
+        rediscovered=tuple(sorted(rediscovered)),
+        spans_by_input=spans_by_input,
+    )
+    if config.shrink:
+        for finding in result.novel_findings:
+            finding.shrunk = shrink_input(
+                finding.witness,
+                finding.fingerprint.key,
+                config.plans,
+                config.formats,
+                finding.conf_overrides,
+                conf_label(finding.conf_overrides),
+            )
+    return result

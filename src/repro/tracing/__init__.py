@@ -36,6 +36,7 @@ from repro.tracing.summary import (
     KNOWN_BOUNDARIES,
     BoundarySummary,
     scrape_spans,
+    split_by_source,
     summarize_spans,
     summary_lines,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "KNOWN_BOUNDARIES",
     "BoundarySummary",
     "scrape_spans",
+    "split_by_source",
     "summarize_spans",
     "summary_lines",
 ]

@@ -23,9 +23,13 @@ __all__ = [
     "KNOWN_BOUNDARIES",
     "BoundarySummary",
     "scrape_spans",
+    "split_by_source",
     "summarize_spans",
     "summary_lines",
 ]
+
+#: the implicit source of untagged spans — the §8 cross-test matrix
+DEFAULT_SOURCE = "matrix"
 
 #: every boundary the instrumented seams can emit. ``summarize`` reports
 #: each of these even when no span crossed it — absence is information.
@@ -136,11 +140,51 @@ def summarize_spans(
     return summaries
 
 
+def split_by_source(spans: list[Span]) -> dict[str, list[Span]]:
+    """Group spans by their ``source`` attribute.
+
+    Fuzz campaigns tag every span they emit with
+    ``attributes["source"] = "fuzz"``; spans with no tag are the §8
+    matrix and land under :data:`DEFAULT_SOURCE`. Span order within
+    each group is preserved.
+    """
+    by_source: dict[str, list[Span]] = {}
+    for span in spans:
+        source = str(span.attributes.get("source", DEFAULT_SOURCE))
+        by_source.setdefault(source, []).append(span)
+    return by_source
+
+
 def summary_lines(
     spans: list[Span],
     absent_policy: AbsentPolicy = AbsentPolicy.ABSENT,
 ) -> list[str]:
-    """The rendered per-boundary table for the CLI."""
+    """The rendered per-boundary table(s) for the CLI.
+
+    When every span is untagged (no fuzzing ran), the output is the
+    single historical table, byte-identical to what it was before
+    sources existed. When tagged spans are present, each source gets
+    its own ``[source=...]`` table so fuzz traffic never inflates the
+    §8 matrix counts.
+    """
+    by_source = split_by_source(spans)
+    extra = sorted(source for source in by_source if source != DEFAULT_SOURCE)
+    if not extra:
+        return _table_lines(spans, absent_policy)
+    lines: list[str] = []
+    for source in (DEFAULT_SOURCE, *extra):
+        lines.append(f"[source={source}]")
+        lines.extend(
+            _table_lines(by_source.get(source, []), absent_policy)
+        )
+    return lines
+
+
+def _table_lines(
+    spans: list[Span],
+    absent_policy: AbsentPolicy = AbsentPolicy.ABSENT,
+) -> list[str]:
+    """One rendered per-boundary table."""
     width = max(len(b) for b in KNOWN_BOUNDARIES) + 2
     lines = [
         f"{'boundary':<{width}} {'spans':>8} {'errors':>7} "

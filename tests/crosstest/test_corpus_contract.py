@@ -1,0 +1,50 @@
+"""The validated contract every cross-test input must satisfy.
+
+The curated §8 corpus and the fuzzer's generated candidates feed the
+same harness, so they share one contract: the SQL literal must embed in
+an ``INSERT ... VALUES`` statement the shared parser accepts, and the
+declared type text must round-trip through ``parse_type`` — otherwise a
+"discrepancy" could just be one engine choking on text the repo itself
+produced malformed.
+"""
+
+import pytest
+
+from repro.common.types import parse_type
+from repro.crosstest.values import generate_inputs
+from repro.fuzz.generators import FUZZ_ID_BASE, gen_candidate
+from repro.sql.parser import parse_statement
+
+CORPUS = generate_inputs()
+
+
+def _assert_contract(test_input):
+    statement = parse_statement(
+        f"INSERT INTO t VALUES ({test_input.sql_literal})"
+    )
+    assert statement is not None
+    parsed = parse_type(test_input.type_text)
+    assert str(parse_type(str(parsed))) == str(parsed)
+
+
+@pytest.mark.parametrize(
+    "test_input", CORPUS, ids=[t.input_id for t in CORPUS]
+)
+def test_corpus_input_satisfies_contract(test_input):
+    _assert_contract(test_input)
+
+
+def test_corpus_declared_types_match_column_type():
+    for test_input in CORPUS:
+        assert str(test_input.column_type) == str(
+            parse_type(test_input.type_text)
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_generated_candidates_satisfy_corpus_contract(seed):
+    for index in range(160):
+        candidate = gen_candidate(
+            seed, index // 16, index % 16, FUZZ_ID_BASE + index
+        )
+        _assert_contract(candidate)

@@ -1,0 +1,148 @@
+"""Fingerprint identities for the §8 discrepancy mechanisms.
+
+These tests pin a representative fingerprint key for each of the 15
+known discrepancies, so any change to evidence canonicalization that
+would silently re-identify a known mechanism (and let ``repro fuzz``
+re-report it as novel) fails here first. If a pin moves because the
+canonicalization *deliberately* changed, regenerate the baseline with
+``make fuzz-baseline`` and update the pin in the same commit.
+"""
+
+import pytest
+
+from repro.crosstest.classify import classify_trials
+from repro.crosstest.fingerprint import (
+    Fingerprint,
+    conf_label,
+    outcome_shape,
+    run_fingerprints,
+    type_shape,
+)
+from repro.crosstest.oracles import all_failures
+from repro.fuzz.dedup import Baseline, default_baseline_path
+
+# one hand-pinned fingerprint key per catalog number: the key-sorted
+# first fingerprint among the oracle failures raised by that entry's
+# evidence trials in a stock full run
+PINNED = {
+    1: "difft|hive_spark|orc<>avro|w_hive_r_df+w_hive_r_df|smallint"
+       "|ok:expected:smallint<>ok:expected:int|",
+    2: "difft|spark_e2e|avro|w_sql_r_df+w_df_r_df|decimal"
+       "|ok:expected:decimal<>ok:expected:decimal|",
+    3: "difft|hive_spark|orc<>avro|w_hive_r_df+w_hive_r_df|smallint"
+       "|ok:expected:smallint<>ok:expected:int|",
+    4: "difft|hive_spark|orc<>avro|w_hive_r_df+w_hive_r_df"
+       "|map<bigint,double>"
+       "|ok:expected:map<bigint,double><>error:create:UnsupportedTypeError|",
+    5: "difft|spark_e2e|avro|w_sql_r_df+w_df_r_df|decimal"
+       "|error:write:AnalysisException<>ok:null:decimal|",
+    6: "wr|spark_hive|avro|w_df_r_hive|double|ok:null:double|",
+    7: "wr|spark_hive|avro|w_df_r_hive|double|error:read:QueryError|",
+    8: "difft|spark_e2e|avro|w_sql_r_df+w_df_r_df|timestamp_ntz"
+       "|ok:expected:timestamp<>ok:expected:timestamp_ntz|",
+    9: "difft|spark_e2e|avro|w_sql_r_df+w_df_r_df|date"
+       "|error:write:AnalysisException<>ok:null:date|",
+    10: "difft|spark_e2e|avro|w_sql_r_df+w_df_r_df|bigint"
+        "|error:write:AnalysisException<>ok:null:bigint|",
+    11: "difft|hive_spark|orc<>avro|w_hive_r_df+w_hive_r_df|smallint"
+        "|ok:null:smallint<>ok:expected:int|",
+    12: "difft|spark_e2e|avro|w_sql_r_df+w_df_r_df|boolean"
+        "|error:write:AnalysisException<>ok:null:boolean|",
+    13: "difft|hive_spark|orc<>avro|w_hive_r_df+w_hive_r_df|char"
+        "|ok:expected:char<>ok:input:string|",
+    14: "difft|spark_e2e|avro|w_sql_r_df+w_df_r_df|struct<F!:int,F!:string>"
+        "|ok:expected:struct<f:int,f:string>#lowercased"
+        "<>ok:expected:struct<F!:int,F!:string>|",
+    15: "difft|hive_spark|orc<>avro|w_hive_r_df+w_hive_r_df|varchar"
+        "|ok:null:varchar<>ok:expected:string|",
+}
+
+
+@pytest.fixture(scope="module")
+def catalog_fingerprints(full_report):
+    """Catalog number -> key-sorted fingerprint keys of its evidence."""
+    evidence = classify_trials(full_report.trials)
+    failures = all_failures(full_report.trials)
+    hits = run_fingerprints(full_report.trials, failures, "")
+    per_number = {}
+    for number in range(1, 16):
+        ids = {t.test_input.input_id for t in evidence[number].trials}
+        per_number[number] = sorted(
+            key
+            for key, hit in hits.items()
+            if any(f.input_id in ids for f in hit.failures)
+        )
+    return per_number
+
+
+def test_every_catalog_entry_has_fingerprints(catalog_fingerprints):
+    for number in range(1, 16):
+        assert catalog_fingerprints[number], f"entry #{number} fingerprints"
+
+
+@pytest.mark.parametrize("number", sorted(PINNED))
+def test_pinned_fingerprint_per_catalog_entry(
+    catalog_fingerprints, number
+):
+    assert catalog_fingerprints[number][0] == PINNED[number]
+
+
+def test_known_fingerprints_are_all_in_committed_baseline(
+    catalog_fingerprints,
+):
+    baseline = Baseline.load(default_baseline_path())
+    for number, keys in catalog_fingerprints.items():
+        missing = [key for key in keys if key not in baseline]
+        assert not missing, f"entry #{number}: {missing[:3]}"
+
+
+# -- unit-level identities --------------------------------------------------
+
+
+def test_type_shape_strips_parameters_and_keeps_name_case():
+    assert type_shape("decimal(10,2)") == "decimal"
+    assert type_shape("char(5)") == "char"
+    assert type_shape("array<decimal(3,1)>") == "array<decimal>"
+    # struct field names collapse to case markers, so aa/bb and Aa/Bb
+    # structs share a shape only when their cases match
+    assert (
+        type_shape("struct<Aa:int,b:string>")
+        == "struct<F!:int,f:string>"
+    )
+
+
+def test_fingerprint_key_and_json_roundtrip():
+    fingerprint = Fingerprint(
+        oracle="difft",
+        group="hive_spark",
+        fmt="orc<>avro",
+        plans=("w_hive_r_df", "w_hive_r_df"),
+        type_shape="smallint",
+        evidence="ok:expected:smallint<>ok:expected:int",
+        conf="spark.sql.storeAssignmentPolicy=legacy",
+    )
+    assert Fingerprint.from_json(fingerprint.to_json()) == fingerprint
+    assert fingerprint.key.count("|") == 6
+
+
+def test_conf_label_is_sorted_and_stable():
+    label = conf_label({"b.key": "2", "a.key": "1"})
+    assert label == "a.key=1;b.key=2"
+    assert conf_label({}) == ""
+
+
+def test_outcome_shape_distinguishes_error_stage_and_type():
+    from repro.crosstest.harness import Outcome
+    from repro.crosstest.values import TestInput
+
+    test_input = TestInput(
+        input_id=0,
+        type_text="int",
+        sql_literal="1",
+        py_value=1,
+        valid=True,
+    )
+    err = Outcome(
+        status="error", stage="read", error_type="QueryError"
+    )
+    assert outcome_shape(err, test_input) == "error:read:QueryError"

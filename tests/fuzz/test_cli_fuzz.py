@@ -1,0 +1,108 @@
+"""The ``repro fuzz`` command: exit codes, artifacts, determinism."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+SMOKE = ["fuzz", "--seed", "11", "--batch", "16", "--quiet"]
+
+
+def test_exit_4_on_novel_findings(tmp_path, capsys):
+    code = main(
+        SMOKE
+        + ["--budget", "16", "--baseline", "none", "--no-shrink"]
+    )
+    assert code == 4
+    out = capsys.readouterr().out
+    assert "novel" in out
+    assert "NOVEL" in out
+
+
+def test_exit_0_when_baseline_knows_everything(capsys):
+    # the smoke prefix of the committed baseline's own campaign
+    code = main(SMOKE + ["--budget", "16"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 novel" in out
+
+
+def test_out_dir_writes_fingerprints_and_finding_dirs(tmp_path, capsys):
+    out_dir = os.path.join(tmp_path, "artifacts")
+    code = main(
+        SMOKE
+        + [
+            "--budget", "16", "--baseline", "none", "--no-shrink",
+            "--out-dir", out_dir,
+        ]
+    )
+    assert code == 4
+    jsonl = os.path.join(out_dir, "fingerprints.jsonl")
+    with open(jsonl, encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle]
+    assert records
+    assert [r["key"] for r in records] == sorted(r["key"] for r in records)
+    findings_dir = os.path.join(out_dir, "findings")
+    slugs = sorted(os.listdir(findings_dir))
+    assert slugs
+    first = os.path.join(findings_dir, slugs[0])
+    with open(os.path.join(first, "repro.json"), encoding="utf-8") as fh:
+        repro_payload = json.load(fh)
+    assert repro_payload["novel"] is True
+    assert "shrunk" in repro_payload
+    assert os.path.exists(os.path.join(first, "trace.jsonl"))
+
+
+@pytest.mark.parametrize("jobs", ["2", "4"])
+def test_fingerprint_jsonl_is_byte_identical_across_jobs(
+    tmp_path, capsys, jobs
+):
+    base = os.path.join(tmp_path, "j1")
+    other = os.path.join(tmp_path, f"j{jobs}")
+    args = SMOKE + ["--budget", "32", "--no-shrink", "--pool", "thread"]
+    assert main(args + ["--jobs", "1", "--out-dir", base]) == 0
+    assert main(args + ["--jobs", jobs, "--out-dir", other]) == 0
+    with open(os.path.join(base, "fingerprints.jsonl"), "rb") as handle:
+        expected = handle.read()
+    with open(os.path.join(other, "fingerprints.jsonl"), "rb") as handle:
+        assert handle.read() == expected
+
+
+def test_write_baseline_merges_and_saves(tmp_path, capsys):
+    path = os.path.join(tmp_path, "baseline.json")
+    code = main(
+        SMOKE
+        + [
+            "--budget", "16", "--baseline", "none", "--no-shrink",
+            "--write-baseline", path,
+        ]
+    )
+    assert code == 4
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["count"] == len(payload["fingerprints"]) > 0
+    # a rerun against the written baseline finds nothing novel
+    code = main(
+        SMOKE + ["--budget", "16", "--baseline", path, "--no-shrink"]
+    )
+    assert code == 0
+
+
+def test_json_output_is_the_fuzz_section(capsys):
+    code = main(SMOKE + ["--budget", "16", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["seed"] == 11
+    assert payload["candidates"] == 16
+    assert payload["novel"] == []
+
+
+def test_bad_usage_exits_2(capsys):
+    assert main(["fuzz", "--budget", "0", "--quiet"]) == 2
+    assert main(["fuzz", "--jobs", "0", "--quiet"]) == 2
+    assert (
+        main(["fuzz", "--baseline", "/nonexistent/path.json", "--quiet"])
+        == 2
+    )

@@ -1,0 +1,92 @@
+"""Coverage feature extraction: spans in, deterministic features out."""
+
+from repro.crosstest.harness import Outcome, Trial
+from repro.crosstest.plans import ALL_PLANS
+from repro.crosstest.values import TestInput
+from repro.fuzz.coverage import EVENT_ATTRS, CoverageMap, trial_features
+from repro.tracing.core import Span, SpanEvent
+
+
+def _span(boundary="spark->serde", operation="encode", status="ok"):
+    return Span(
+        name=f"{operation}",
+        trace_id="t",
+        span_id=1,
+        boundary=boundary,
+        operation=operation,
+        status=status,
+    )
+
+
+def _trial():
+    test_input = TestInput(
+        input_id=1,
+        type_text="decimal(5,2)",
+        sql_literal="1.5",
+        py_value=1.5,
+        valid=True,
+    )
+    return Trial(
+        plan=ALL_PLANS[0],
+        fmt="orc",
+        test_input=test_input,
+        outcome=Outcome(status="ok", value=1.5, row_count=1),
+    )
+
+
+def test_boundary_spans_become_features():
+    features = trial_features(_trial(), (_span(),))
+    assert "span:spark->serde:encode:ok" in features
+
+
+def test_type_and_verdict_features_are_always_present():
+    features = trial_features(_trial(), ())
+    assert any(f.startswith("type:decimal") for f in features)
+    assert any(f.startswith("verdict:") for f in features)
+
+
+def test_allowlisted_event_attributes_become_features():
+    span = _span()
+    span.events.append(
+        SpanEvent(
+            "cast.store_assignment", 0.0, {"policy": "ANSI", "ansi": True}
+        )
+    )
+    features = trial_features(_trial(), (span,))
+    assert "event:cast.store_assignment:policy=ANSI,ansi=True" in features
+
+
+def test_cache_and_replay_events_never_feed_coverage():
+    # cache warmth depends on worker history; a feature derived from it
+    # would break byte-identical replay across --jobs settings
+    for name in (
+        "plan_cache.hit",
+        "plan_cache.miss",
+        "spark.create.memo_hit",
+        "create.replayed",
+        "fault.injected",
+    ):
+        assert name not in EVENT_ATTRS
+    span = _span()
+    span.events.append(SpanEvent("create.replayed", 0.0, {}))
+    features = trial_features(_trial(), (span,))
+    assert not any("create.replayed" in f for f in features)
+
+
+def test_durations_never_feed_coverage():
+    fast = _span()
+    slow = _span()
+    slow.duration_s = 99.0
+    assert trial_features(_trial(), (fast,)) == trial_features(
+        _trial(), (slow,)
+    )
+
+
+def test_coverage_map_promotes_only_first_sightings():
+    coverage = CoverageMap()
+    first = coverage.observe({"a", "b"})
+    assert first == {"a", "b"}
+    second = coverage.observe({"b", "c"})
+    assert second == {"c"}
+    assert len(coverage) == 3
+    assert coverage.observe({"a", "c"}) == set()

@@ -1,0 +1,75 @@
+"""Zero-cost-when-off: fuzzing must not perturb shared telemetry.
+
+Fuzz traffic announces itself — ``source=fuzz`` span tags and a
+``crosstest.fuzz`` metrics registry — and everything downstream splits
+on that, so the §8 matrix's counters and the historical ``trace
+summarize`` table stay byte-identical whenever no fuzzing ran. (The
+report-side guarantee is covered in
+``tests/crosstest/test_report_fuzz_off.py``.)
+"""
+
+from repro.crosstest.executor import CrossTestMetrics
+from repro.metrics import AbsentPolicy
+from repro.tracing import split_by_source, summary_lines
+from repro.tracing.core import Span
+
+
+def test_matrix_metrics_registry_name_is_unchanged():
+    assert CrossTestMetrics().registry.system == "crosstest"
+    assert CrossTestMetrics(source="fuzz").registry.system == "crosstest.fuzz"
+
+
+def _span(span_id, source=None):
+    span = Span(
+        name="encode",
+        trace_id="t",
+        span_id=span_id,
+        boundary="spark->serde",
+        operation="encode",
+        duration_s=0.001,
+    )
+    if source is not None:
+        span.attributes["source"] = source
+    return span
+
+
+def test_trace_summary_is_byte_identical_without_fuzz_spans():
+    spans = [_span(1), _span(2)]
+    lines = summary_lines(spans, AbsentPolicy.ABSENT)
+    # the historical single-table rendering: no source headers
+    assert not any(line.startswith("[source=") for line in lines)
+    assert lines[0].startswith("boundary")
+    assert any("spark->serde" in line for line in lines[1:])
+    assert lines[-1].startswith("2 spans total")
+
+
+def test_trace_summary_splits_fuzz_spans_into_their_own_table():
+    spans = [_span(1), _span(2), _span(3, source="fuzz")]
+    lines = summary_lines(spans, AbsentPolicy.ABSENT)
+    assert "[source=matrix]" in lines
+    assert "[source=fuzz]" in lines
+    matrix_at = lines.index("[source=matrix]")
+    fuzz_at = lines.index("[source=fuzz]")
+    matrix_table = "\n".join(lines[matrix_at:fuzz_at])
+    fuzz_table = "\n".join(lines[fuzz_at:])
+    # the matrix table counts only the untagged spans
+    assert "2 spans total" in matrix_table
+    assert "1 spans total" in fuzz_table
+
+
+def test_matrix_section_renders_exactly_the_untagged_table():
+    untagged = [_span(1), _span(2)]
+    solo = summary_lines(untagged, AbsentPolicy.ABSENT)
+    mixed = summary_lines(
+        untagged + [_span(3, source="fuzz")], AbsentPolicy.ABSENT
+    )
+    matrix_at = mixed.index("[source=matrix]")
+    fuzz_at = mixed.index("[source=fuzz]")
+    assert mixed[matrix_at + 1 : fuzz_at] == solo
+
+
+def test_split_by_source_defaults_untagged_spans_to_matrix():
+    groups = split_by_source([_span(1), _span(2, source="fuzz")])
+    assert set(groups) == {"matrix", "fuzz"}
+    assert [span.span_id for span in groups["matrix"]] == [1]
+    assert [span.span_id for span in groups["fuzz"]] == [2]
