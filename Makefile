@@ -1,18 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 smoke-crosstest test bench bench-json bench-gate chaos \
-	fuzz-smoke fuzz-baseline lint crosstest
+.PHONY: tier1 smoke-crosstest smoke-tests test bench bench-json \
+	bench-gate chaos fuzz-smoke fuzz-baseline lint crosstest
 
-# fast smoke pass over the §8 cross-test engine (runs first so a broken
-# harness fails in seconds, not after the whole suite), including the
-# tracing-overhead guard: instrumentation must stay free when disabled
+# sub-second sanity tier: the distilled 14-input corpus must still
+# reproduce all 15 discrepancy mechanisms (run this before anything
+# else — a broken harness fails here in well under a second)
 smoke-crosstest:
+	$(PYTHON) -m repro.crosstest.smoke
+
+# fast smoke pass over the §8 cross-test engine test suite, including
+# the tracing-overhead guard: instrumentation must stay free when
+# disabled
+smoke-tests:
 	$(PYTHON) -m pytest -q tests/crosstest
 	$(PYTHON) -m pytest -q benchmarks/test_bench_tracing_overhead.py
 
-# the tier-1 flow: crosstest smoke, then the full suite
-tier1: smoke-crosstest
+# the tier-1 flow: distilled corpus, crosstest tests, then everything
+tier1: smoke-crosstest smoke-tests
 	$(PYTHON) -m pytest -x -q
 
 test:
@@ -21,22 +27,25 @@ test:
 bench:
 	$(PYTHON) -m pytest -q benchmarks
 
-# wall-clock + cache-counter benchmark of the §8 matrix (jobs=1 and auto)
+# wall-clock + cache-counter benchmark of the §8 matrix: a jobs=1 leg
+# and a real process-pool leg at max(2, cpu_count) workers
 bench-json:
 	$(PYTHON) -m repro.crosstest.bench BENCH_crosstest.json
 
-# measure fresh, then gate jobs=1 wall time against the committed baseline
+# measure fresh, then gate jobs=1 wall time against the committed
+# baseline and parallel speedup against break-even (multi-core only)
 bench-gate:
 	$(PYTHON) -m repro.crosstest.bench bench-fresh.json
 	$(PYTHON) -m repro.crosstest.benchgate bench-fresh.json
 
-# the CI chaos job, locally: seeded fault matrix, gated on mis-handled
-# trials, run twice — the fault report must be byte-identical
+# the CI chaos job, locally: seeded fault matrix over the distilled
+# corpus, gated on mis-handled trials, run twice — the fault report
+# must be byte-identical
 chaos:
-	$(PYTHON) -m repro crosstest --formats parquet --jobs 2 \
+	$(PYTHON) -m repro crosstest --corpus smoke --jobs 2 \
 		--faults smoke --fault-seed 1337 --quiet \
 		--fault-json fault-report.json --fault-gate
-	$(PYTHON) -m repro crosstest --formats parquet --jobs 4 \
+	$(PYTHON) -m repro crosstest --corpus smoke --jobs 4 \
 		--faults smoke --fault-seed 1337 --quiet \
 		--fault-json fault-report-rerun.json --fault-gate
 	diff fault-report.json fault-report-rerun.json

@@ -48,6 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated formats (default: orc,parquet,avro)",
     )
     crosstest.add_argument(
+        "--corpus",
+        default="full",
+        choices=["full", "smoke"],
+        help="input corpus: the full 422 curated inputs, or the "
+        "coverage-distilled smoke subset that still triggers all 15 "
+        "known discrepancy mechanisms (default: full)",
+    )
+    crosstest.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -177,9 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--corpus",
-        action="store_true",
+        nargs="?",
+        const="full",
+        default=None,
+        choices=["full", "smoke"],
         help="seed the mutation pool with the curated §8 corpus "
-        "(parents only; corpus inputs are never executed)",
+        "(parents only; corpus inputs are never executed). Optional "
+        "value picks the corpus: 'full' (default when the flag is "
+        "given) or the distilled 'smoke' subset",
     )
     fuzz.add_argument(
         "--no-shrink",
@@ -320,9 +333,15 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
+    inputs = None
+    if args.corpus == "smoke":
+        from repro.crosstest.smoke import smoke_inputs
+
+        inputs = smoke_inputs()
     started = time.perf_counter()
     try:
         report = run_crosstest(
+            inputs=inputs,
             formats=formats,
             conf_overrides=overrides,
             jobs=args.jobs,
@@ -443,7 +462,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             batch=args.batch,
             jobs=args.jobs,
             pool=args.pool,
-            use_corpus=args.corpus,
+            use_corpus=args.corpus is not None,
+            corpus=args.corpus or "full",
             shrink=not args.no_shrink,
         )
     except ValueError as exc:

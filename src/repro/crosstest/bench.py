@@ -1,10 +1,17 @@
 """Wall-clock benchmark of the §8 trial matrix.
 
 ``python -m repro.crosstest.bench [OUTPUT.json]`` (or ``make
-bench-json``) runs the full matrix at ``--jobs 1`` and at the
-auto-sized worker count, and records wall-clock, throughput, and the
-plan-cache counters for each — the numbers the prepared-execution layer
-is accountable for.
+bench-json``) runs the full matrix at ``--jobs 1`` and on a process
+pool at an explicit ``max(2, cores)`` worker count, and records
+wall-clock, throughput, and the plan-cache counters for each — the
+numbers the prepared-execution and parallel layers are accountable for.
+
+The parallel leg is *honest about the host*: it never lets ``jobs``
+auto-resolve (on a 1-core runner that silently measured jobs=1 against
+jobs=1 and reported the pool overhead as a "speedup" of 0.92x), it
+records which pool flavour ran, and it sets ``degenerate: true`` when
+the host has fewer than 2 cores — the signal ``benchgate`` uses to know
+a parallel-speedup comparison would be meaningless there.
 
 ``baseline_jobs1_s`` is the sequential wall-clock measured at the PR-1
 commit (before the plan cache, compiled kernels, and pooled
@@ -15,10 +22,11 @@ is computed against it.
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 
-from repro.crosstest.executor import resolve_jobs
+from repro.crosstest.executor import resolve_jobs, resolve_pool
 from repro.crosstest.plans import FORMATS
 from repro.crosstest.report import run_crosstest
 
@@ -28,8 +36,13 @@ __all__ = ["PR1_BASELINE_JOBS1_S", "run_benchmark", "main"]
 PR1_BASELINE_JOBS1_S = 2.0
 
 
-def _measure(jobs: int | None, repeats: int) -> dict:
-    """Best-of-``repeats`` for one jobs setting.
+def _measure(
+    jobs: int,
+    repeats: int,
+    pool: str = "auto",
+    inputs=None,
+) -> dict:
+    """Best-of-``repeats`` for one explicit jobs/pool setting.
 
     The first run in a process pays every cold cache (parsers, kernels,
     serializer instances, deployment pools); later runs are warm. Both
@@ -43,7 +56,7 @@ def _measure(jobs: int | None, repeats: int) -> dict:
     for _ in range(max(1, repeats)):
         metrics = CrossTestMetrics()
         started = time.perf_counter()
-        run_crosstest(jobs=jobs, metrics=metrics)
+        run_crosstest(inputs=inputs, jobs=jobs, pool=pool, metrics=metrics)
         wall = time.perf_counter() - started
         if not walls or wall < min(walls):
             counters = {
@@ -57,6 +70,7 @@ def _measure(jobs: int | None, repeats: int) -> dict:
     misses = counters.get("plan_cache_misses", 0)
     return {
         "jobs": resolve_jobs(jobs),
+        "pool": resolve_pool(pool, resolve_jobs(jobs)),
         "trials": trials,
         "cold_s": round(walls[0], 4),
         "best_s": round(best, 4),
@@ -69,16 +83,30 @@ def _measure(jobs: int | None, repeats: int) -> dict:
     }
 
 
-def run_benchmark(repeats: int = 3) -> dict:
-    """The full benchmark document written to ``BENCH_crosstest.json``."""
-    sequential = _measure(1, repeats)
-    parallel = _measure(None, repeats)
+def run_benchmark(repeats: int = 3, inputs=None) -> dict:
+    """The full benchmark document written to ``BENCH_crosstest.json``.
+
+    The parallel leg always runs ``max(2, cores)`` process-pool workers
+    — an explicit job count, never auto-resolved, so a 1-core host
+    still measures a *real* pool (and its real overhead) rather than
+    comparing jobs=1 against itself. ``parallel.degenerate`` marks
+    hosts where those workers cannot actually run concurrently; gates
+    must not read ``parallel_speedup`` as a regression signal there.
+
+    ``inputs`` narrows the matrix (testing hook); ``None`` runs the
+    full 422-input corpus.
+    """
+    cores = os.cpu_count() or 1
+    parallel_jobs = max(2, cores)
+    sequential = _measure(1, repeats, inputs=inputs)
+    parallel = _measure(parallel_jobs, repeats, pool="process", inputs=inputs)
+    parallel["degenerate"] = cores < 2
     return {
         "benchmark": "crosstest-trial-matrix",
         "formats": list(FORMATS),
         "baseline_jobs1_s": PR1_BASELINE_JOBS1_S,
         "jobs1": sequential,
-        "jobs_auto": parallel,
+        "parallel": parallel,
         "speedup_vs_baseline": round(
             PR1_BASELINE_JOBS1_S / sequential["best_s"], 2
         ),

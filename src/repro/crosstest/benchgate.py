@@ -8,6 +8,16 @@ PR cannot silently slow the hot path — the fault hooks in particular
 are a one-int check when no injector is active, and this gate is what
 holds them to that.
 
+The gate also holds the parallel layer to its one-line promise: on a
+host where the pool workers can actually run concurrently (the fresh
+``parallel`` section is present, ran at ``jobs >= 2``, and is not
+flagged ``degenerate``), ``jobs1.best_s / parallel.best_s`` must reach
+``--min-parallel-speedup`` (default 1.0 — parallel at least must not
+*lose* to sequential). Degenerate hosts (fewer cores than workers)
+skip the speedup comparison but still must *have* a well-formed
+parallel section: a fresh document missing it fails loudly instead of
+passing silently.
+
 The gate compares ``best_s`` (best-of-N, warm) rather than ``cold_s``:
 cold numbers fold in import time and first-touch cache fills, which
 vary with runner provisioning far more than the code under test does.
@@ -19,12 +29,22 @@ import argparse
 import json
 import sys
 
-__all__ = ["DEFAULT_BASELINE", "DEFAULT_THRESHOLD", "check", "main"]
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_MIN_PARALLEL_SPEEDUP",
+    "GateError",
+    "check",
+    "main",
+]
 
 DEFAULT_BASELINE = "BENCH_crosstest.json"
 
 #: allowed fractional slowdown of jobs=1 best_s before the gate fails
 DEFAULT_THRESHOLD = 0.25
+
+#: required jobs1/parallel wall-clock ratio on non-degenerate hosts
+DEFAULT_MIN_PARALLEL_SPEEDUP = 1.0
 
 
 class GateError(ValueError):
@@ -41,25 +61,78 @@ def _jobs1_best(document: dict, label: str) -> float:
     return float(best)
 
 
+def _parallel_section(document: dict, label: str) -> dict:
+    """The document's parallel leg, validated.
+
+    Current documents call it ``parallel``; pre-PR-6 documents called
+    it ``jobs_auto`` (and carried no ``degenerate`` flag — their
+    recorded ``jobs`` tells the story). Either way the section must be
+    a mapping with a positive ``best_s`` and a ``jobs`` count — absence
+    or malformation is a loud ``GateError``, never a silent pass.
+    """
+    section = document.get("parallel", document.get("jobs_auto"))
+    if not isinstance(section, dict):
+        raise GateError(f"{label}: missing parallel section")
+    best = section.get("best_s")
+    if not isinstance(best, (int, float)) or best <= 0:
+        raise GateError(f"{label}: bad parallel.best_s {best!r}")
+    jobs = section.get("jobs")
+    if not isinstance(jobs, int) or jobs < 1:
+        raise GateError(f"{label}: bad parallel.jobs {jobs!r}")
+    return section
+
+
+def _is_degenerate(section: dict) -> bool:
+    """Whether the parallel leg could not actually run concurrently.
+
+    An explicit ``degenerate`` flag wins; legacy sections without one
+    are degenerate exactly when they resolved to a single worker.
+    """
+    flag = section.get("degenerate")
+    if isinstance(flag, bool):
+        return flag
+    return section["jobs"] < 2
+
+
 def check(
-    fresh: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+    fresh: dict,
+    baseline: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_parallel_speedup: float = DEFAULT_MIN_PARALLEL_SPEEDUP,
 ) -> tuple[bool, str]:
     """``(ok, message)`` for one fresh-vs-baseline comparison."""
     fresh_best = _jobs1_best(fresh, "fresh")
     base_best = _jobs1_best(baseline, "baseline")
+    parallel = _parallel_section(fresh, "fresh")
+    _parallel_section(baseline, "baseline")
     ratio = fresh_best / base_best
     limit = 1.0 + threshold
+    ok = ratio <= limit
     message = (
         f"jobs=1 best {fresh_best:.4f}s vs baseline {base_best:.4f}s "
         f"({ratio:.2f}x, limit {limit:.2f}x)"
     )
-    return ratio <= limit, message
+    if _is_degenerate(parallel):
+        message += (
+            f"; parallel leg degenerate (jobs={parallel['jobs']}), "
+            "speedup not gated"
+        )
+    else:
+        speedup = fresh_best / float(parallel["best_s"])
+        message += (
+            f"; parallel jobs={parallel['jobs']} "
+            f"({parallel.get('pool', '?')}) speedup {speedup:.2f}x "
+            f"(min {min_parallel_speedup:.2f}x)"
+        )
+        ok = ok and speedup >= min_parallel_speedup
+    return ok, message
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.crosstest.benchgate",
-        description="fail if the jobs=1 crosstest wall time regressed",
+        description="fail if the jobs=1 crosstest wall time regressed "
+        "or the parallel leg stopped paying for itself",
     )
     parser.add_argument("fresh", help="freshly measured bench JSON")
     parser.add_argument(
@@ -74,9 +147,22 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional slowdown (default: "
         f"{DEFAULT_THRESHOLD:g} = {DEFAULT_THRESHOLD:.0%})",
     )
+    parser.add_argument(
+        "--min-parallel-speedup",
+        type=float,
+        default=DEFAULT_MIN_PARALLEL_SPEEDUP,
+        help="required jobs1/parallel ratio on non-degenerate hosts "
+        f"(default: {DEFAULT_MIN_PARALLEL_SPEEDUP:g})",
+    )
     args = parser.parse_args(argv)
     if args.threshold < 0:
         print(f"bad --threshold {args.threshold}", file=sys.stderr)
+        return 2
+    if args.min_parallel_speedup <= 0:
+        print(
+            f"bad --min-parallel-speedup {args.min_parallel_speedup}",
+            file=sys.stderr,
+        )
         return 2
     try:
         with open(args.fresh, encoding="utf-8") as handle:
@@ -87,7 +173,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        ok, message = check(fresh, baseline, args.threshold)
+        ok, message = check(
+            fresh, baseline, args.threshold, args.min_parallel_speedup
+        )
     except GateError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -37,13 +37,25 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass, field
 
-from repro.crosstest.harness import Deployment, Trial, run_trial_on
+from repro.crosstest.harness import (
+    TRIAL_TABLE,
+    Deployment,
+    Outcome,
+    Trial,
+    run_trial_on,
+)
 from repro.crosstest.plans import Plan
 from repro.crosstest.values import TestInput
-from repro.faults.core import FaultInjector, InjectionRecord
+from repro.faults.core import (
+    FaultInjector,
+    InjectionRecord,
+    decode_injection_batches,
+    encode_injection_batches,
+)
 from repro.faults.plan import FaultPlan
 from repro.metrics import Histogram, MetricsRegistry
 from repro.tracing.core import Span, Tracer
+from repro.tracing.export import decode_span_batches, encode_span_batches
 
 __all__ = [
     "Shard",
@@ -53,6 +65,8 @@ __all__ = [
     "build_shards",
     "run_shard",
     "worker_pool",
+    "corpus_texts",
+    "prewarm_worker",
     "resolve_jobs",
     "resolve_pool",
     "execute",
@@ -74,31 +88,111 @@ class Shard:
     inputs: tuple[TestInput, ...]
 
 
+#: ``Outcome`` fields in declaration order — the columnar wire schema a
+#: shard ships home instead of per-trial ``Trial`` pickles.
+_OUTCOME_FIELDS = (
+    "status",
+    "stage",
+    "error_type",
+    "error_message",
+    "value",
+    "value_type",
+    "column_name",
+    "row_count",
+    "warnings",
+)
+
+
 @dataclass
 class ShardResult:
-    """What one shard produced, plus its per-trial wall-clock.
+    """What one shard produced, in wire form (columnar + encoded blobs).
 
-    ``cache_counts`` carries the *deltas* this shard contributed to the
-    engines' plan-cache counters (and deployment provisioning counts) —
-    deltas rather than totals so results aggregate correctly when worker
-    processes keep long-lived pools across shards.
+    A worker never echoes its inputs back: the parent already holds the
+    shard's plan, format and ``TestInput`` sequence, so only the
+    *observations* ship —
 
-    ``traces`` is populated only when the shard ran with tracing: one
-    finished-span tuple per trial, in trial order. Spans are plain
-    picklable dataclasses, so traces collected inside a process-pool
-    worker ship back with the result.
+    * ``outcome_columns``: one tuple per :class:`Outcome` field (in
+      ``_OUTCOME_FIELDS`` order), each holding that field for every
+      trial in shard order. Columnar instead of per-trial dataclass
+      tuples, so nothing re-pickles ``Plan``/``TestInput`` objects (and
+      their cached parsed types) on the way home.
+    * ``durations``: per-trial wall-clock, shard order.
+    * ``cache_counts``: the *deltas* this shard contributed to the
+      engines' plan-cache counters (and deployment provisioning
+      counts) — deltas rather than totals so results aggregate
+      correctly when worker processes keep long-lived pools across
+      shards.
+    * ``spans_blob``: only when the shard ran with tracing — every
+      trial's finished spans encoded once per shard via
+      :func:`~repro.tracing.export.encode_span_batches`.
+    * ``injections_blob``: only when the shard ran under a fault plan —
+      per-trial :class:`InjectionRecord` tuples encoded the same way.
 
-    ``injections`` is populated only when the shard ran under a fault
-    plan: one :class:`InjectionRecord` tuple per trial, in trial order,
-    shipping across process pools exactly like spans do.
+    :meth:`pack` builds the wire form inside the worker and
+    :meth:`to_trials` / :meth:`span_batches` / :meth:`injection_batches`
+    rebuild the rich objects parent-side. The encode/decode round trip
+    runs at *every* ``jobs`` setting (including inline ``jobs=1``), so
+    span payloads are canonicalised identically no matter how the
+    matrix was scheduled — fuzz coverage features and report bytes
+    cannot depend on ``--jobs``.
     """
 
     index: int
-    trials: list[Trial]
+    outcome_columns: tuple[tuple, ...]
     durations: list[float] = field(default_factory=list)
     cache_counts: dict[str, int] = field(default_factory=dict)
-    traces: list[tuple[Span, ...]] | None = None
-    injections: list[tuple[InjectionRecord, ...]] | None = None
+    spans_blob: bytes | None = None
+    injections_blob: bytes | None = None
+
+    @classmethod
+    def pack(
+        cls,
+        shard: Shard,
+        trials: list[Trial],
+        durations: list[float],
+        cache_counts: dict[str, int],
+        traces: list[tuple[Span, ...]] | None,
+        injections: list[tuple[InjectionRecord, ...]] | None,
+    ) -> "ShardResult":
+        """Encode one executed shard into its wire form (worker side)."""
+        return cls(
+            index=shard.index,
+            outcome_columns=tuple(
+                tuple(getattr(trial.outcome, name) for trial in trials)
+                for name in _OUTCOME_FIELDS
+            ),
+            durations=durations,
+            cache_counts=cache_counts,
+            spans_blob=(
+                encode_span_batches(traces) if traces is not None else None
+            ),
+            injections_blob=(
+                encode_injection_batches(injections)
+                if injections is not None
+                else None
+            ),
+        )
+
+    def to_trials(self, shard: Shard) -> list[Trial]:
+        """Rebuild the shard's trials against the parent-side inputs."""
+        return [
+            Trial(shard.plan, shard.fmt, test_input, Outcome(*fields))
+            for test_input, *fields in zip(
+                shard.inputs, *self.outcome_columns
+            )
+        ]
+
+    def span_batches(self) -> list[tuple[Span, ...]] | None:
+        """Per-trial finished spans, or ``None`` if tracing was off."""
+        if self.spans_blob is None:
+            return None
+        return decode_span_batches(self.spans_blob)
+
+    def injection_batches(self) -> list[tuple[InjectionRecord, ...]] | None:
+        """Per-trial fired injections, or ``None`` if no fault plan ran."""
+        if self.injections_blob is None:
+            return None
+        return decode_injection_batches(self.injections_blob)
 
 
 def build_shards(
@@ -111,6 +205,9 @@ def build_shards(
 
     Concatenating shard trials in ``index`` order reproduces exactly the
     sequential plan → format → input nesting of the original loop.
+
+    An empty input list yields an empty shard list — a zero-trial matrix
+    has no work, so it must not fan empty shards out to a pool.
     """
     if shard_inputs < 1:
         raise ValueError(f"shard_inputs must be >= 1, got {shard_inputs}")
@@ -118,7 +215,7 @@ def build_shards(
     shards: list[Shard] = []
     for plan in plans:
         for fmt in formats:
-            for start in range(0, len(inputs), shard_inputs) or (0,):
+            for start in range(0, len(inputs), shard_inputs):
                 shards.append(
                     Shard(
                         index=len(shards),
@@ -189,6 +286,85 @@ def worker_pool(conf_overrides: dict[str, object] | None = None) -> DeploymentPo
     return pool
 
 
+def corpus_texts(formats, inputs) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """The (type texts, statement texts) a matrix run will ask to parse.
+
+    Computed parent-side once and shipped to each worker's initializer,
+    so pre-warming the process-global ``parse_type``/``parse_statement``
+    LRU caches costs a few tuples of strings instead of pickling the
+    corpus itself. The statement texts replicate the harness's exact
+    f-string shapes — the caches key on the literal text.
+    """
+    type_texts: list[str] = []
+    seen_types: set[str] = set()
+    statements: list[str] = [f"SELECT * FROM {TRIAL_TABLE}"]
+    for test_input in inputs:
+        if test_input.type_text not in seen_types:
+            seen_types.add(test_input.type_text)
+            type_texts.append(test_input.type_text)
+            for fmt in formats:
+                statements.append(
+                    f"CREATE TABLE {TRIAL_TABLE} "
+                    f"(c {test_input.type_text}) STORED AS {fmt}"
+                )
+        statements.append(
+            f"INSERT INTO {TRIAL_TABLE} VALUES ({test_input.sql_literal})"
+        )
+    return tuple(type_texts), tuple(statements)
+
+
+def prewarm_worker(
+    conf_overrides: dict[str, object] | None = None,
+    plans: tuple[Plan, ...] = (),
+    formats: tuple[str, ...] = (),
+    warm_inputs: tuple[TestInput, ...] = (),
+    type_texts: tuple[str, ...] = (),
+    statement_texts: tuple[str, ...] = (),
+) -> None:
+    """Process-pool initializer: pay a worker's cold start up front.
+
+    A fork-server-style pre-warm so the first *real* shard a worker
+    sees doesn't absorb every one-time cost: importing this module has
+    already pulled in both engines; this fills the process-global
+    parse caches with every type and statement text the run will
+    replay, then builds the worker-global :class:`DeploymentPool` for
+    the run's conf overrides and drives one warm-up trial per
+    ``(plan, fmt)`` cell through it, compiling those plans into the
+    pooled deployment's plan caches.
+
+    Best-effort by construction: an initializer that raises breaks the
+    whole ``ProcessPoolExecutor``, so every step (including individual
+    parses — the corpus deliberately contains invalid SQL) swallows
+    failures. Warm-up trials never trace and never inject, so they are
+    invisible to trace sinks, fault schedules, and fuzz coverage.
+    """
+    try:
+        from repro.common.types import parse_type
+        from repro.sql.parser import parse_statement
+
+        for text in type_texts:
+            try:
+                parse_type(text)
+            except Exception:  # noqa: BLE001 - invalid corpus types are fine
+                pass
+        for text in statement_texts:
+            try:
+                parse_statement(text)
+            except Exception:  # noqa: BLE001 - invalid corpus SQL is fine
+                pass
+        pool = worker_pool(conf_overrides)
+        for plan in plans:
+            for fmt in formats:
+                for test_input in warm_inputs:
+                    deployment = pool.lease()
+                    try:
+                        run_trial_on(deployment, plan, fmt, test_input)
+                    finally:
+                        pool.release(deployment)
+    except Exception:  # noqa: BLE001 - never take the worker down
+        pass
+
+
 def _plan_cache_counts(deployment: Deployment) -> tuple[int, int, int, int]:
     spark = deployment.spark.plan_cache.stats
     hive = deployment.hive.plan_cache.stats
@@ -233,9 +409,9 @@ def run_shard(
 
     With ``tracing``, each trial runs under its own
     :class:`~repro.tracing.Tracer` (trace id ``plan/fmt/input_id``) and
-    the finished spans ride back on ``ShardResult.traces`` — activation
-    happens here, inside the worker, so tracing survives thread and
-    process pools alike.
+    the finished spans ride back on ``ShardResult.spans_blob`` —
+    activation happens here, inside the worker, so tracing survives
+    thread and process pools alike.
 
     With a non-empty ``fault_plan``, each trial likewise runs under its
     own :class:`~repro.faults.FaultInjector` keyed by the same stable
@@ -335,13 +511,8 @@ def run_shard(
             traces.append(tuple(tracer.finished))
         if injections is not None and injector is not None:
             injections.append(tuple(injector.records))
-    return ShardResult(
-        index=shard.index,
-        trials=trials,
-        durations=durations,
-        cache_counts=counts,
-        traces=traces,
-        injections=injections,
+    return ShardResult.pack(
+        shard, trials, durations, counts, traces, injections
     )
 
 
@@ -422,10 +593,14 @@ class CrossTestMetrics:
             description=f"trial latency for {kind} {name} (seconds)",
         )
 
-    def record_shard(self, shard: Shard, result: ShardResult) -> None:
+    def record_shard(
+        self, shard: Shard, result: ShardResult, trials: list[Trial]
+    ) -> None:
+        """Fold one shard in; ``trials`` is ``result.to_trials(shard)``,
+        passed in because the caller already rebuilt them."""
         plan_hist = self._latency("plan", shard.plan.name)
         fmt_hist = self._latency("fmt", shard.fmt)
-        for trial, duration in zip(result.trials, result.durations):
+        for trial, duration in zip(trials, result.durations):
             self.trials_total.increment()
             if trial.outcome.ok:
                 self.trials_ok.increment()
@@ -452,8 +627,7 @@ class CrossTestMetrics:
         from repro.metrics.caches import cache_info_snapshot
 
         metrics: dict[str, object] = {}
-        for name in self.registry.names():
-            metric = self.registry._metrics[name]
+        for name, metric in self.registry.items():
             if isinstance(metric, Histogram):
                 metrics[name] = metric.snapshot()
             else:
@@ -507,8 +681,7 @@ class CrossTestMetrics:
         ]
         if int(self.fault_counters["faults_injected"].value):
             lines.append(self.fault_summary())
-        for name in self.registry.names():
-            metric = self.registry._metrics[name]
+        for name, metric in self.registry.items():
             if not isinstance(metric, Histogram) or not metric.count:
                 continue
             lines.append(
@@ -537,9 +710,16 @@ def resolve_pool(pool: str, jobs: int) -> str:
     return pool
 
 
-def _make_executor(pool: str, jobs: int) -> Executor:
+def _make_executor(
+    pool: str,
+    jobs: int,
+    initializer=None,
+    initargs: tuple = (),
+) -> Executor:
     if pool == "process":
-        return ProcessPoolExecutor(max_workers=jobs)
+        return ProcessPoolExecutor(
+            max_workers=jobs, initializer=initializer, initargs=initargs
+        )
     return ThreadPoolExecutor(max_workers=jobs)
 
 
@@ -558,6 +738,7 @@ def execute(
     fault_plan: FaultPlan | None = None,
     fault_seed: int = 0,
     injection_sink: dict[int, tuple[InjectionRecord, ...]] | None = None,
+    prewarm: bool = True,
 ) -> list[Trial]:
     """Run the full matrix and return trials in sequential order.
 
@@ -573,9 +754,19 @@ def execute(
     on (an empty plan is equivalent to no plan at all);
     ``injection_sink`` is filled like ``trace_sink``, with
     ``{global trial index: fired injection records}``.
+
+    ``prewarm`` (process pools only) installs :func:`prewarm_worker`
+    as the pool initializer so fresh workers start on warm parse and
+    plan caches instead of paying cold-start on their first shard.
+
+    A zero-trial matrix (no plans, no formats, or no inputs) returns
+    immediately — no shards, no pool, no progress callbacks.
     """
     jobs = resolve_jobs(jobs)
+    inputs = list(inputs)
     shards = build_shards(plans, formats, inputs, shard_inputs=shard_inputs)
+    if not shards:
+        return []
     total_trials = sum(len(s.inputs) for s in shards)
     tracing = trace_sink is not None
     if fault_plan is not None and fault_plan.empty:
@@ -585,25 +776,32 @@ def execute(
     for shard in shards:
         offsets.append(base)
         base += len(shard.inputs)
-    results: dict[int, ShardResult] = {}
+    trials_by_index: dict[int, list[Trial]] = {}
     done_trials = 0
 
     def finish(shard: Shard, result: ShardResult) -> None:
         nonlocal done_trials
-        results[shard.index] = result
-        done_trials += len(result.trials)
+        shard_trials = result.to_trials(shard)
+        trials_by_index[shard.index] = shard_trials
+        done_trials += len(shard_trials)
         if metrics is not None:
-            metrics.record_shard(shard, result)
-        if trace_sink is not None and result.traces is not None:
-            offset = offsets[shard.index]
-            for position, spans in enumerate(result.traces):
-                trace_sink[offset + position] = spans
-        if injection_sink is not None and result.injections is not None:
-            offset = offsets[shard.index]
-            for position, records in enumerate(result.injections):
-                injection_sink[offset + position] = records
+            metrics.record_shard(shard, result, shard_trials)
+        if trace_sink is not None:
+            batches = result.span_batches()
+            if batches is not None:
+                offset = offsets[shard.index]
+                for position, spans in enumerate(batches):
+                    trace_sink[offset + position] = spans
+        if injection_sink is not None:
+            batches = result.injection_batches()
+            if batches is not None:
+                offset = offsets[shard.index]
+                for position, records in enumerate(batches):
+                    injection_sink[offset + position] = records
         if progress is not None:
-            progress(len(results), len(shards), done_trials, total_trials)
+            progress(
+                len(trials_by_index), len(shards), done_trials, total_trials
+            )
 
     if jobs == 1:
         # sequential semantics: shards walked in order on the calling
@@ -623,7 +821,22 @@ def execute(
             )
     else:
         flavour = resolve_pool(pool, jobs)
-        with _make_executor(flavour, min(jobs, len(shards) or 1)) as workers:
+        initializer = None
+        initargs: tuple = ()
+        if flavour == "process" and prewarm:
+            type_texts, statement_texts = corpus_texts(formats, inputs)
+            initializer = prewarm_worker
+            initargs = (
+                conf_overrides,
+                tuple(plans),
+                tuple(formats),
+                tuple(inputs[:1]),
+                type_texts,
+                statement_texts,
+            )
+        with _make_executor(
+            flavour, min(jobs, len(shards)), initializer, initargs
+        ) as workers:
             pending = {
                 workers.submit(
                     run_shard,
@@ -644,5 +857,5 @@ def execute(
 
     trials: list[Trial] = []
     for index in range(len(shards)):
-        trials.extend(results[index].trials)
+        trials.extend(trials_by_index[index])
     return trials

@@ -15,6 +15,8 @@ from .core import (
     InjectionRecord,
     apply_torn_write,
     current_injector,
+    decode_injection_batches,
+    encode_injection_batches,
     fault_point,
     injection_active,
 )
@@ -46,6 +48,8 @@ __all__ = [
     "InjectionRecord",
     "apply_torn_write",
     "current_injector",
+    "decode_injection_batches",
+    "encode_injection_batches",
     "fault_point",
     "injection_active",
     "BoundaryError",

@@ -67,6 +67,9 @@ class FuzzConfig:
     #: corpus inputs are never executed, so "generators alone" holds
     #: when this is off, which is the default)
     use_corpus: bool = False
+    #: which corpus seeds the pool when ``use_corpus`` is on: the full
+    #: 422-input §8 corpus, or the coverage-distilled smoke subset
+    corpus: str = "full"
     #: shrink novel findings after the budget is exhausted
     shrink: bool = True
 
@@ -75,6 +78,10 @@ class FuzzConfig:
             raise ValueError(f"budget must be >= 1, got {self.budget}")
         if self.batch < 1:
             raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.corpus not in ("full", "smoke"):
+            raise ValueError(
+                f"corpus must be 'full' or 'smoke', got {self.corpus!r}"
+            )
 
 
 @dataclass
@@ -227,7 +234,12 @@ def run_fuzz(
     if config.use_corpus:
         # corpus inputs join as mutation parents only; they are never
         # executed, so their ids (< FUZZ_ID_BASE) never reach a trial
-        seed_pool.extend(generate_inputs())
+        if config.corpus == "smoke":
+            from repro.crosstest.smoke import smoke_inputs
+
+            seed_pool.extend(smoke_inputs())
+        else:
+            seed_pool.extend(generate_inputs())
     findings: dict[str, FuzzFinding] = {}
     rediscovered: set[int] = set()
     spans_by_input: dict[int, list[Span]] = {}

@@ -215,6 +215,20 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted(self._metrics)
 
+    def get(self, name: str) -> Gauge | Counter | Histogram | None:
+        """The registered metric object itself, or ``None``.
+
+        The public counterpart of reaching into ``_metrics``: exporters
+        that need more than :meth:`read`'s scalar (histogram snapshots,
+        descriptions) go through here.
+        """
+        return self._metrics.get(name)
+
+    def items(self) -> list[tuple[str, Gauge | Counter | Histogram]]:
+        """``(name, metric)`` pairs in name order — the iteration API
+        exporters and renderers use instead of the private dict."""
+        return sorted(self._metrics.items())
+
     # -- scraping -------------------------------------------------------------
 
     def read(

@@ -26,6 +26,8 @@ from repro.tracing.core import (
     tracing_enabled,
 )
 from repro.tracing.export import (
+    decode_span_batches,
+    encode_span_batches,
     read_jsonl,
     read_jsonl_dir,
     to_chrome_trace,
@@ -50,6 +52,8 @@ __all__ = [
     "event",
     "span",
     "tracing_enabled",
+    "decode_span_batches",
+    "encode_span_batches",
     "read_jsonl",
     "read_jsonl_dir",
     "to_chrome_trace",

@@ -18,6 +18,8 @@ __all__ = [
     "read_jsonl",
     "to_chrome_trace",
     "write_chrome_trace",
+    "encode_span_batches",
+    "decode_span_batches",
 ]
 
 
@@ -46,6 +48,30 @@ def read_jsonl_dir(directory: str) -> list[Span]:
         if entry.endswith(".jsonl"):
             spans.extend(read_jsonl(os.path.join(directory, entry)))
     return spans
+
+
+def encode_span_batches(batches: list[tuple[Span, ...]]) -> bytes:
+    """Serialize per-trial span tuples into one compact JSON blob.
+
+    This is the shard-result wire format: a worker encodes every span
+    its shard produced *once*, ships a single ``bytes`` object back, and
+    the parent decodes it with one :func:`json.loads` — instead of
+    pickling thousands of ``Span``/``SpanEvent`` dataclass instances
+    per shard. The payload is the same ``Span.to_json`` schema the JSONL
+    exporter writes, so anything a trace file can hold round-trips here.
+    """
+    return json.dumps(
+        [[span.to_json() for span in batch] for batch in batches],
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def decode_span_batches(blob: bytes) -> list[tuple[Span, ...]]:
+    """Inverse of :func:`encode_span_batches`, in the same batch order."""
+    return [
+        tuple(Span.from_json(payload) for payload in batch)
+        for batch in json.loads(blob.decode("utf-8"))
+    ]
 
 
 def to_chrome_trace(spans: list[Span]) -> dict:

@@ -122,7 +122,7 @@ def summarize_spans(
         if count is None:
             summaries.append(BoundarySummary(boundary, None))
             continue
-        histogram = registry._metrics.get(_histogram_name(boundary))
+        histogram = registry.get(_histogram_name(boundary))
         if isinstance(histogram, Histogram) and histogram.count:
             p50, p99 = histogram.quantile(0.5), histogram.quantile(0.99)
         else:

@@ -1,0 +1,50 @@
+"""The benchmark harness: honest parallel legs on any host."""
+
+import os
+
+from repro.crosstest.bench import PR1_BASELINE_JOBS1_S, run_benchmark
+from repro.crosstest.values import generate_inputs
+
+#: a sliver of the corpus — bench math, not bench numbers, is under test
+BENCH_INPUTS = generate_inputs()[:6]
+
+
+def _fake_cores(monkeypatch, cores):
+    monkeypatch.setattr(os, "cpu_count", lambda: cores)
+
+
+class TestParallelLeg:
+    def test_degenerate_single_core_host(self, monkeypatch):
+        _fake_cores(monkeypatch, 1)
+        document = run_benchmark(repeats=1, inputs=BENCH_INPUTS)
+        parallel = document["parallel"]
+        # never jobs=1-vs-jobs=1: the parallel leg runs a real pool
+        assert parallel["jobs"] == 2
+        assert parallel["pool"] == "process"
+        assert parallel["degenerate"] is True
+
+    def test_multi_core_host_not_degenerate(self, monkeypatch):
+        _fake_cores(monkeypatch, 4)
+        document = run_benchmark(repeats=1, inputs=BENCH_INPUTS)
+        parallel = document["parallel"]
+        assert parallel["jobs"] == 4
+        assert parallel["pool"] == "process"
+        assert parallel["degenerate"] is False
+
+    def test_document_shape(self, monkeypatch):
+        _fake_cores(monkeypatch, 1)
+        document = run_benchmark(repeats=1, inputs=BENCH_INPUTS)
+        assert document["benchmark"] == "crosstest-trial-matrix"
+        assert document["baseline_jobs1_s"] == PR1_BASELINE_JOBS1_S
+        for leg in ("jobs1", "parallel"):
+            section = document[leg]
+            assert section["best_s"] > 0
+            assert section["trials"] == 24 * len(BENCH_INPUTS)
+            assert len(section["runs_s"]) == 1
+        assert document["jobs1"]["jobs"] == 1
+        assert document["parallel_speedup"] > 0
+
+    def test_both_legs_run_the_same_matrix(self, monkeypatch):
+        _fake_cores(monkeypatch, 1)
+        document = run_benchmark(repeats=1, inputs=BENCH_INPUTS)
+        assert document["jobs1"]["trials"] == document["parallel"]["trials"]

@@ -7,8 +7,21 @@ import pytest
 from repro.crosstest.benchgate import GateError, check, main
 
 
-def _doc(best_s):
-    return {"benchmark": "crosstest-trial-matrix", "jobs1": {"best_s": best_s}}
+def _doc(best_s, parallel_best_s=None, jobs=4, degenerate=False, key="parallel"):
+    """A minimal bench document; the parallel leg defaults to a healthy
+    2x speedup on a 4-worker process pool."""
+    if parallel_best_s is None:
+        parallel_best_s = best_s / 2
+    return {
+        "benchmark": "crosstest-trial-matrix",
+        "jobs1": {"best_s": best_s},
+        key: {
+            "best_s": parallel_best_s,
+            "jobs": jobs,
+            "pool": "process",
+            "degenerate": degenerate,
+        },
+    }
 
 
 class TestCheck:
@@ -38,6 +51,70 @@ class TestCheck:
             check(document, _doc(1.0))
 
 
+class TestParallelGate:
+    def test_slower_parallel_fails_on_healthy_host(self):
+        fresh = _doc(1.0, parallel_best_s=1.3)
+        ok, message = check(fresh, _doc(1.0))
+        assert not ok
+        assert "speedup 0.77x" in message
+
+    def test_break_even_parallel_passes(self):
+        ok, _ = check(_doc(1.0, parallel_best_s=1.0), _doc(1.0))
+        assert ok
+
+    def test_custom_min_speedup(self):
+        fresh = _doc(1.0, parallel_best_s=0.8)  # 1.25x
+        ok, _ = check(fresh, _doc(1.0), min_parallel_speedup=1.5)
+        assert not ok
+        ok, _ = check(fresh, _doc(1.0), min_parallel_speedup=1.2)
+        assert ok
+
+    def test_degenerate_host_skips_speedup(self):
+        fresh = _doc(1.0, parallel_best_s=2.0, jobs=2, degenerate=True)
+        ok, message = check(fresh, _doc(1.0))
+        assert ok
+        assert "degenerate" in message and "not gated" in message
+
+    def test_fresh_missing_parallel_section_rejected(self):
+        fresh = {"jobs1": {"best_s": 1.0}}
+        with pytest.raises(GateError, match="missing parallel"):
+            check(fresh, _doc(1.0))
+
+    def test_baseline_missing_parallel_section_rejected(self):
+        with pytest.raises(GateError, match="missing parallel"):
+            check(_doc(1.0), {"jobs1": {"best_s": 1.0}})
+
+    @pytest.mark.parametrize(
+        "section",
+        [
+            {"jobs": 4},
+            {"best_s": 0, "jobs": 4},
+            {"best_s": 1.0},
+            {"best_s": 1.0, "jobs": 0},
+            "not-a-dict",
+        ],
+    )
+    def test_malformed_parallel_section_rejected(self, section):
+        fresh = {"jobs1": {"best_s": 1.0}, "parallel": section}
+        with pytest.raises(GateError):
+            check(fresh, _doc(1.0))
+
+    def test_legacy_jobs_auto_single_worker_not_gated(self):
+        # pre-PR-6 documents: "jobs_auto" section, no degenerate flag.
+        # jobs=1 means the leg never ran a real pool — skip the gate.
+        legacy = _doc(1.0, parallel_best_s=1.1, jobs=1, key="jobs_auto")
+        del legacy["jobs_auto"]["degenerate"]
+        ok, message = check(legacy, _doc(1.0))
+        assert ok
+        assert "not gated" in message
+
+    def test_legacy_jobs_auto_multi_worker_still_gated(self):
+        legacy = _doc(1.0, parallel_best_s=1.5, jobs=4, key="jobs_auto")
+        del legacy["jobs_auto"]["degenerate"]
+        ok, _ = check(legacy, _doc(1.0))
+        assert not ok
+
+
 class TestMain:
     def _write(self, path, document):
         path.write_text(json.dumps(document))
@@ -54,6 +131,40 @@ class TestMain:
         base = self._write(tmp_path / "base.json", _doc(1.0))
         assert main([fresh, "--baseline", base]) == 1
         assert "REGRESSION" in capsys.readouterr().out
+
+    def test_parallel_regression_exit_one(self, tmp_path, capsys):
+        fresh = self._write(
+            tmp_path / "fresh.json", _doc(1.0, parallel_best_s=2.0)
+        )
+        base = self._write(tmp_path / "base.json", _doc(1.0))
+        assert main([fresh, "--baseline", base]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_min_parallel_speedup_flag(self, tmp_path):
+        fresh = self._write(
+            tmp_path / "fresh.json", _doc(1.0, parallel_best_s=0.9)
+        )
+        base = self._write(tmp_path / "base.json", _doc(1.0))
+        assert (
+            main([fresh, "--baseline", base, "--min-parallel-speedup", "2.0"])
+            == 1
+        )
+        assert (
+            main([fresh, "--baseline", base, "--min-parallel-speedup", "1.0"])
+            == 0
+        )
+
+    def test_bad_min_parallel_speedup_exit_two(self, tmp_path):
+        fresh = self._write(tmp_path / "fresh.json", _doc(1.0))
+        assert main([fresh, "--min-parallel-speedup", "0"]) == 2
+
+    def test_missing_parallel_section_exit_two(self, tmp_path, capsys):
+        fresh = self._write(
+            tmp_path / "fresh.json", {"jobs1": {"best_s": 1.0}}
+        )
+        base = self._write(tmp_path / "base.json", _doc(1.0))
+        assert main([fresh, "--baseline", base]) == 2
+        assert "missing parallel" in capsys.readouterr().err
 
     def test_custom_threshold(self, tmp_path):
         fresh = self._write(tmp_path / "fresh.json", _doc(1.9))
@@ -78,3 +189,8 @@ class TestMain:
         with open("BENCH_crosstest.json", encoding="utf-8") as handle:
             document = json.load(handle)
         assert document["jobs1"]["best_s"] > 0
+        parallel = document["parallel"]
+        assert parallel["best_s"] > 0
+        assert parallel["jobs"] >= 2
+        assert parallel["pool"] == "process"
+        assert isinstance(parallel["degenerate"], bool)

@@ -9,10 +9,13 @@ from repro.crosstest.executor import (
     CrossTestMetrics,
     DeploymentPool,
     build_shards,
+    corpus_texts,
     execute,
+    prewarm_worker,
     resolve_jobs,
     resolve_pool,
     run_shard,
+    worker_pool,
 )
 from repro.crosstest.harness import NO_ROWS, CrossTester
 from repro.crosstest.plans import ALL_PLANS
@@ -55,10 +58,12 @@ class TestBuildShards:
         assert len(shards) == 3  # 50 inputs -> 20 + 20 + 10
         assert [len(s.inputs) for s in shards] == [20, 20, 10]
 
-    def test_empty_inputs_yield_empty_shards(self):
-        shards = build_shards(ALL_PLANS[:2], ("orc",), [])
-        assert len(shards) == 2
-        assert all(s.inputs == () for s in shards)
+    def test_empty_inputs_yield_no_shards(self):
+        assert build_shards(ALL_PLANS[:2], ("orc",), []) == []
+
+    def test_empty_plans_or_formats_yield_no_shards(self):
+        assert build_shards([], ("orc",), SMALL_INPUTS) == []
+        assert build_shards(ALL_PLANS[:2], (), SMALL_INPUTS) == []
 
     def test_bad_shard_size_rejected(self):
         with pytest.raises(ValueError):
@@ -113,13 +118,34 @@ class TestRunShard:
         shard = build_shards(ALL_PLANS[:1], ("parquet",), SMALL_INPUTS)[0]
         pooled = run_shard(shard, reuse_deployments=True)
         fresh = run_shard(shard, reuse_deployments=False)
-        assert trial_reprs(pooled.trials) == trial_reprs(fresh.trials)
+        assert trial_reprs(pooled.to_trials(shard)) == trial_reprs(
+            fresh.to_trials(shard)
+        )
 
     def test_durations_cover_every_trial(self):
         shard = build_shards(ALL_PLANS[:1], ("orc",), SMALL_INPUTS[:5])[0]
         result = run_shard(shard)
-        assert len(result.durations) == len(result.trials) == 5
+        assert len(result.durations) == len(result.to_trials(shard)) == 5
         assert all(d >= 0 for d in result.durations)
+
+    def test_result_ships_columns_not_trials(self):
+        shard = build_shards(ALL_PLANS[:1], ("orc",), SMALL_INPUTS[:4])[0]
+        result = run_shard(shard)
+        assert all(len(col) == 4 for col in result.outcome_columns)
+        rebuilt = result.to_trials(shard)
+        assert [t.test_input.input_id for t in rebuilt] == [
+            i.input_id for i in shard.inputs
+        ]
+        assert result.spans_blob is None
+        assert result.injections_blob is None
+
+    def test_traced_shard_round_trips_spans_through_blob(self):
+        shard = build_shards(ALL_PLANS[:1], ("orc",), SMALL_INPUTS[:3])[0]
+        result = run_shard(shard, tracing=True)
+        assert isinstance(result.spans_blob, bytes)
+        batches = result.span_batches()
+        assert len(batches) == 3
+        assert all(batch for batch in batches)
 
 
 class TestExecuteEquivalence:
@@ -162,6 +188,118 @@ class TestExecuteEquivalence:
         )
 
 
+class TestEmptyMatrix:
+    def test_no_inputs_short_circuits(self):
+        calls = []
+        trials = execute(
+            ALL_PLANS,
+            ("orc", "avro"),
+            [],
+            jobs=1,
+            progress=lambda *args: calls.append(args),
+        )
+        assert trials == []
+        assert calls == []  # no shards, no progress chatter
+
+    def test_no_inputs_never_spins_a_pool(self, monkeypatch):
+        import repro.crosstest.executor as executor_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("a zero-trial matrix built a worker pool")
+
+        monkeypatch.setattr(executor_mod, "_make_executor", boom)
+        assert execute(ALL_PLANS, ("orc",), [], jobs=4, pool="process") == []
+        assert execute(ALL_PLANS, ("orc",), [], jobs=8, pool="thread") == []
+
+    def test_no_plans_or_formats_short_circuit(self):
+        assert execute([], ("orc",), SMALL_INPUTS, jobs=4) == []
+        assert execute(ALL_PLANS, (), SMALL_INPUTS, jobs=4) == []
+
+    def test_metrics_untouched_by_empty_matrix(self):
+        metrics = CrossTestMetrics()
+        execute(ALL_PLANS, ("orc",), [], jobs=2, metrics=metrics)
+        assert int(metrics.trials_total.value) == 0
+        assert int(metrics.shards_done.value) == 0
+
+
+class TestPrewarm:
+    def test_corpus_texts_cover_every_statement_shape(self):
+        type_texts, statements = corpus_texts(
+            ("orc", "avro"), SMALL_INPUTS[:5]
+        )
+        assert set(type_texts) == {i.type_text for i in SMALL_INPUTS[:5]}
+        assert "SELECT * FROM ct" in statements
+        for test_input in SMALL_INPUTS[:5]:
+            assert (
+                f"INSERT INTO ct VALUES ({test_input.sql_literal})"
+                in statements
+            )
+            for fmt in ("orc", "avro"):
+                assert (
+                    f"CREATE TABLE ct (c {test_input.type_text}) "
+                    f"STORED AS {fmt}" in statements
+                )
+
+    def test_prewarm_is_best_effort(self):
+        # invalid texts and a warm-up trial that cannot run must never
+        # raise — an initializer exception breaks the whole pool
+        prewarm_worker(
+            None,
+            ALL_PLANS[:1],
+            ("no-such-format",),
+            tuple(SMALL_INPUTS[:1]),
+            ("notatype((",),
+            ("CREATE GARBAGE",),
+        )
+
+    def test_prewarm_compiles_first_shard_plans(self):
+        inputs = tuple(generate_inputs()[:1])
+        type_texts, statements = corpus_texts(("orc",), inputs)
+        conf = {"repro.test.prewarm.inproc": "1"}  # a fresh pool key
+        prewarm_worker(
+            conf, tuple(ALL_PLANS[:2]), ("orc",), inputs, type_texts,
+            statements,
+        )
+        pool = worker_pool(conf)
+        deployment = pool.lease()
+        try:
+            spark = deployment.spark.plan_cache.stats
+            hive = deployment.hive.plan_cache.stats
+            warmed_misses = spark.misses + hive.misses
+            assert warmed_misses > 0  # warm-up trials compiled plans
+        finally:
+            pool.release(deployment)
+        # the "first shard" replays the same statements: all cache
+        # hits, zero new compilations
+        shard = build_shards(ALL_PLANS[:2], ("orc",), list(inputs))[0]
+        result = run_shard(shard, conf)
+        assert result.cache_counts["plan_cache_misses"] == 0
+        assert result.cache_counts["plan_cache_hits"] > 0
+        # and the pool recycles the pre-warmed deployment, not a new one
+        assert result.cache_counts["deployments_created"] == 0
+
+    def test_process_pool_prewarm_preserves_results(self):
+        sequential = execute(ALL_PLANS[:2], ("orc",), SMALL_INPUTS, jobs=1)
+        warmed = execute(
+            ALL_PLANS[:2],
+            ("orc",),
+            SMALL_INPUTS,
+            jobs=2,
+            pool="process",
+            prewarm=True,
+        )
+        cold = execute(
+            ALL_PLANS[:2],
+            ("orc",),
+            SMALL_INPUTS,
+            jobs=2,
+            pool="process",
+            prewarm=False,
+        )
+        assert trial_reprs(warmed) == trial_reprs(sequential)
+        assert trial_reprs(cold) == trial_reprs(sequential)
+
+
 class TestTelemetry:
     def test_metrics_count_every_trial(self):
         metrics = CrossTestMetrics()
@@ -188,7 +326,7 @@ class TestTelemetry:
         )
         names = metrics.registry.names()
         assert "latency_fmt_orc" in names and "latency_fmt_avro" in names
-        hist = metrics.registry._metrics["latency_fmt_orc"]
+        hist = metrics.registry.get("latency_fmt_orc")
         assert hist.count == 2 * 10
         assert any("latency_plan_" in line for line in metrics.summary_lines())
 

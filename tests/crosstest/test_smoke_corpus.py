@@ -1,0 +1,69 @@
+"""The distilled smoke corpus: minimal, pinned, and mechanism-complete."""
+
+import time
+
+import pytest
+
+from repro.crosstest.report import run_crosstest
+from repro.crosstest.smoke import (
+    SMOKE_INPUT_IDS,
+    derive_smoke_ids,
+    main,
+    smoke_inputs,
+)
+from repro.crosstest.values import generate_inputs
+
+
+class TestCommittedIds:
+    def test_ids_exist_in_the_corpus(self):
+        corpus_ids = {i.input_id for i in generate_inputs()}
+        assert set(SMOKE_INPUT_IDS) <= corpus_ids
+
+    def test_smoke_inputs_match_committed_ids(self):
+        inputs = smoke_inputs()
+        assert [i.input_id for i in inputs] == sorted(SMOKE_INPUT_IDS)
+
+    def test_committed_ids_match_derivation(self, full_report):
+        """The pin: regenerate with
+        ``python -m repro.crosstest.smoke --derive`` when this fails."""
+        assert derive_smoke_ids(full_report.trials) == SMOKE_INPUT_IDS
+
+
+class TestMechanismCoverage:
+    @pytest.fixture(scope="class")
+    def smoke_report(self):
+        return run_crosstest(inputs=smoke_inputs(), jobs=1)
+
+    def test_all_fifteen_mechanisms_reproduce(self, smoke_report):
+        assert smoke_report.found_numbers == set(range(1, 16))
+
+    def test_evidence_is_a_subset_of_the_full_run(
+        self, smoke_report, full_report
+    ):
+        wanted = set(SMOKE_INPUT_IDS)
+        for number, evidence in smoke_report.evidence.items():
+            smoke_ids = {t.test_input.input_id for t in evidence.trials}
+            full_ids = {
+                t.test_input.input_id
+                for t in full_report.evidence[number].trials
+            }
+            # per-input classification independence: the smoke run's
+            # evidence is exactly the full run's, restricted to the
+            # distilled inputs
+            assert smoke_ids == full_ids & wanted
+
+    def test_sub_second_at_jobs_1(self):
+        started = time.perf_counter()
+        run_crosstest(inputs=smoke_inputs(), jobs=1)
+        assert time.perf_counter() - started < 1.0
+
+
+class TestCli:
+    def test_main_passes(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "15/15" in out
+
+    def test_derive_matches_committed(self, capsys):
+        assert main(["--derive"]) == 0
+        assert "committed ids match" in capsys.readouterr().out

@@ -45,6 +45,18 @@ class TestMetrics:
         registry.counter("a")
         assert registry.names() == ["a", "b"]
 
+    def test_get_returns_metric_object_or_none(self, registry):
+        gauge = registry.gauge("g")
+        assert registry.get("g") is gauge
+        assert registry.get("nope") is None
+        registry.deregister("g")
+        assert registry.get("g") is None
+
+    def test_items_pairs_in_name_order(self, registry):
+        gauge = registry.gauge("b")
+        counter = registry.counter("a")
+        assert registry.items() == [("a", counter), ("b", gauge)]
+
 
 class TestAbsentPolicies:
     def test_deregistered_reads_zero_by_default(self, registry):
