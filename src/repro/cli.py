@@ -70,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool flavour when --jobs > 1 (default: auto)",
     )
     crosstest.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share deployment lanes between same-type trials "
+        "(default: on; traced or fault-injected trials always run "
+        "isolated; the report is byte-identical either way)",
+    )
+    crosstest.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the progress/summary lines on stderr",
@@ -198,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="skip shrinking novel findings to minimal reproducers",
+    )
+    fuzz.add_argument(
+        "--no-lanes",
+        action="store_true",
+        help="disable batched deployment lanes in the executor "
+        "(campaign rounds are traced for coverage and therefore run "
+        "isolated regardless; lanes only speed up the untraced "
+        "shrinking phase)",
     )
     fuzz.add_argument(
         "--json", action="store_true", help="emit the result as JSON"
@@ -351,6 +367,7 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
             tracing=args.trace_dir is not None,
             fault_plan=fault_plan,
             fault_seed=args.fault_seed,
+            batch=args.batch,
         )
     except UnknownFormatError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -465,6 +482,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             use_corpus=args.corpus is not None,
             corpus=args.corpus or "full",
             shrink=not args.no_shrink,
+            lanes=not args.no_lanes,
         )
     except ValueError as exc:
         print(f"bad fuzz config: {exc}", file=sys.stderr)

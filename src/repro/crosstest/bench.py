@@ -1,10 +1,13 @@
 """Wall-clock benchmark of the §8 trial matrix.
 
 ``python -m repro.crosstest.bench [OUTPUT.json]`` (or ``make
-bench-json``) runs the full matrix at ``--jobs 1`` and on a process
-pool at an explicit ``max(2, cores)`` worker count, and records
-wall-clock, throughput, and the plan-cache counters for each — the
-numbers the prepared-execution and parallel layers are accountable for.
+bench-json``) runs the full matrix three ways — ``--jobs 1`` isolated,
+``--jobs 1`` with batched deployment lanes, and on a process pool at an
+explicit ``max(2, cores)`` worker count — and records wall-clock,
+throughput, and the plan-cache counters for each: the numbers the
+prepared-execution, lane, and parallel layers are accountable for.
+``batch_speedup`` is the lanes-on/lanes-off ratio at jobs=1, with both
+legs from the same run so it isolates exactly what batching buys.
 
 The parallel leg is *honest about the host*: it never lets ``jobs``
 auto-resolve (on a 1-core runner that silently measured jobs=1 against
@@ -41,12 +44,17 @@ def _measure(
     repeats: int,
     pool: str = "auto",
     inputs=None,
+    batch: bool = False,
 ) -> dict:
     """Best-of-``repeats`` for one explicit jobs/pool setting.
 
     The first run in a process pays every cold cache (parsers, kernels,
     serializer instances, deployment pools); later runs are warm. Both
     are reported — cold is what a one-shot CLI invocation sees.
+
+    ``batch`` turns deployment lanes on for the leg; it defaults to off
+    here so the ``jobs1``/``parallel`` legs stay comparable with the
+    pre-lane baselines, with batching measured as its own leg.
     """
     from repro.crosstest import CrossTestMetrics
 
@@ -56,7 +64,9 @@ def _measure(
     for _ in range(max(1, repeats)):
         metrics = CrossTestMetrics()
         started = time.perf_counter()
-        run_crosstest(inputs=inputs, jobs=jobs, pool=pool, metrics=metrics)
+        run_crosstest(
+            inputs=inputs, jobs=jobs, pool=pool, metrics=metrics, batch=batch
+        )
         wall = time.perf_counter() - started
         if not walls or wall < min(walls):
             counters = {
@@ -71,6 +81,7 @@ def _measure(
     return {
         "jobs": resolve_jobs(jobs),
         "pool": resolve_pool(pool, resolve_jobs(jobs)),
+        "batch": batch,
         "trials": trials,
         "cold_s": round(walls[0], 4),
         "best_s": round(best, 4),
@@ -99,6 +110,7 @@ def run_benchmark(repeats: int = 3, inputs=None) -> dict:
     cores = os.cpu_count() or 1
     parallel_jobs = max(2, cores)
     sequential = _measure(1, repeats, inputs=inputs)
+    batched = _measure(1, repeats, inputs=inputs, batch=True)
     parallel = _measure(parallel_jobs, repeats, pool="process", inputs=inputs)
     parallel["degenerate"] = cores < 2
     return {
@@ -106,9 +118,16 @@ def run_benchmark(repeats: int = 3, inputs=None) -> dict:
         "formats": list(FORMATS),
         "baseline_jobs1_s": PR1_BASELINE_JOBS1_S,
         "jobs1": sequential,
+        "jobs1_batch": batched,
         "parallel": parallel,
         "speedup_vs_baseline": round(
             PR1_BASELINE_JOBS1_S / sequential["best_s"], 2
+        ),
+        # what lanes buy over this run's own isolated jobs=1 leg — the
+        # apples-to-apples number the batch gate reads (both legs share
+        # every other optimization layer, so the ratio isolates lanes)
+        "batch_speedup": round(
+            sequential["best_s"] / batched["best_s"], 2
         ),
         "parallel_speedup": round(
             sequential["best_s"] / parallel["best_s"], 2

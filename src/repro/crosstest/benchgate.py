@@ -18,6 +18,15 @@ skip the speedup comparison but still must *have* a well-formed
 parallel section: a fresh document missing it fails loudly instead of
 passing silently.
 
+The batched-lane layer is gated the same way: a fresh document must
+carry a well-formed ``jobs1_batch`` section, and its
+``jobs1.best_s / jobs1_batch.best_s`` ratio must reach
+``--min-batch-speedup`` (default 1.0 — lanes must at least not lose to
+isolated execution; CI pins a higher bar). Both legs come from the
+same fresh run, so the ratio is host-independent in a way a cross-run
+comparison would not be; the *baseline* document may predate the batch
+leg and is not required to carry one.
+
 The gate compares ``best_s`` (best-of-N, warm) rather than ``cold_s``:
 cold numbers fold in import time and first-touch cache fills, which
 vary with runner provisioning far more than the code under test does.
@@ -33,6 +42,7 @@ __all__ = [
     "DEFAULT_BASELINE",
     "DEFAULT_THRESHOLD",
     "DEFAULT_MIN_PARALLEL_SPEEDUP",
+    "DEFAULT_MIN_BATCH_SPEEDUP",
     "GateError",
     "check",
     "main",
@@ -45,6 +55,9 @@ DEFAULT_THRESHOLD = 0.25
 
 #: required jobs1/parallel wall-clock ratio on non-degenerate hosts
 DEFAULT_MIN_PARALLEL_SPEEDUP = 1.0
+
+#: required jobs1/jobs1_batch wall-clock ratio (lanes on vs off)
+DEFAULT_MIN_BATCH_SPEEDUP = 1.0
 
 
 class GateError(ValueError):
@@ -82,6 +95,23 @@ def _parallel_section(document: dict, label: str) -> dict:
     return section
 
 
+def _batch_section(document: dict, label: str) -> dict:
+    """The document's batched jobs=1 leg, validated.
+
+    Required on fresh documents (a bench run without the batch leg
+    cannot gate the lane layer — fail loudly, never pass silently);
+    the committed baseline may legitimately predate lanes, so callers
+    only validate the *fresh* side.
+    """
+    section = document.get("jobs1_batch")
+    if not isinstance(section, dict):
+        raise GateError(f"{label}: missing jobs1_batch section")
+    best = section.get("best_s")
+    if not isinstance(best, (int, float)) or best <= 0:
+        raise GateError(f"{label}: bad jobs1_batch.best_s {best!r}")
+    return section
+
+
 def _is_degenerate(section: dict) -> bool:
     """Whether the parallel leg could not actually run concurrently.
 
@@ -99,12 +129,14 @@ def check(
     baseline: dict,
     threshold: float = DEFAULT_THRESHOLD,
     min_parallel_speedup: float = DEFAULT_MIN_PARALLEL_SPEEDUP,
+    min_batch_speedup: float = DEFAULT_MIN_BATCH_SPEEDUP,
 ) -> tuple[bool, str]:
     """``(ok, message)`` for one fresh-vs-baseline comparison."""
     fresh_best = _jobs1_best(fresh, "fresh")
     base_best = _jobs1_best(baseline, "baseline")
     parallel = _parallel_section(fresh, "fresh")
     _parallel_section(baseline, "baseline")
+    batched = _batch_section(fresh, "fresh")
     ratio = fresh_best / base_best
     limit = 1.0 + threshold
     ok = ratio <= limit
@@ -112,6 +144,12 @@ def check(
         f"jobs=1 best {fresh_best:.4f}s vs baseline {base_best:.4f}s "
         f"({ratio:.2f}x, limit {limit:.2f}x)"
     )
+    batch_speedup = fresh_best / float(batched["best_s"])
+    message += (
+        f"; batch leg {float(batched['best_s']):.4f}s "
+        f"speedup {batch_speedup:.2f}x (min {min_batch_speedup:.2f}x)"
+    )
+    ok = ok and batch_speedup >= min_batch_speedup
     if _is_degenerate(parallel):
         message += (
             f"; parallel leg degenerate (jobs={parallel['jobs']}), "
@@ -154,6 +192,14 @@ def main(argv: list[str] | None = None) -> int:
         help="required jobs1/parallel ratio on non-degenerate hosts "
         f"(default: {DEFAULT_MIN_PARALLEL_SPEEDUP:g})",
     )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=DEFAULT_MIN_BATCH_SPEEDUP,
+        help="required jobs1/jobs1_batch ratio — what deployment lanes "
+        f"must buy over isolated trials (default: "
+        f"{DEFAULT_MIN_BATCH_SPEEDUP:g})",
+    )
     args = parser.parse_args(argv)
     if args.threshold < 0:
         print(f"bad --threshold {args.threshold}", file=sys.stderr)
@@ -161,6 +207,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.min_parallel_speedup <= 0:
         print(
             f"bad --min-parallel-speedup {args.min_parallel_speedup}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.min_batch_speedup <= 0:
+        print(
+            f"bad --min-batch-speedup {args.min_batch_speedup}",
             file=sys.stderr,
         )
         return 2
@@ -174,7 +226,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     try:
         ok, message = check(
-            fresh, baseline, args.threshold, args.min_parallel_speedup
+            fresh,
+            baseline,
+            args.threshold,
+            args.min_parallel_speedup,
+            args.min_batch_speedup,
         )
     except GateError as exc:
         print(f"error: {exc}", file=sys.stderr)

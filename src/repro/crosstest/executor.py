@@ -42,6 +42,7 @@ from repro.crosstest.harness import (
     Deployment,
     Outcome,
     Trial,
+    run_lane_on,
     run_trial_on,
 )
 from repro.crosstest.plans import Plan
@@ -70,6 +71,7 @@ __all__ = [
     "resolve_jobs",
     "resolve_pool",
     "execute",
+    "run_trials",
 ]
 
 #: Inputs per shard: small enough that 8 plans x 3 formats x 422 inputs
@@ -127,6 +129,10 @@ class ShardResult:
       :func:`~repro.tracing.export.encode_span_batches`.
     * ``injections_blob``: only when the shard ran under a fault plan —
       per-trial :class:`InjectionRecord` tuples encoded the same way.
+    * ``stage_durations``: wall-clock samples per harness stage
+      (``create``/``write``/``read``/``reset``), aggregated across the
+      shard — the raw feed for the per-stage latency histograms. Not
+      per-trial: a lane's create covers many trials at once.
 
     :meth:`pack` builds the wire form inside the worker and
     :meth:`to_trials` / :meth:`span_batches` / :meth:`injection_batches`
@@ -143,6 +149,7 @@ class ShardResult:
     cache_counts: dict[str, int] = field(default_factory=dict)
     spans_blob: bytes | None = None
     injections_blob: bytes | None = None
+    stage_durations: dict[str, list[float]] = field(default_factory=dict)
 
     @classmethod
     def pack(
@@ -153,8 +160,12 @@ class ShardResult:
         cache_counts: dict[str, int],
         traces: list[tuple[Span, ...]] | None,
         injections: list[tuple[InjectionRecord, ...]] | None,
+        stage_times: list[tuple[str, float]] | None = None,
     ) -> "ShardResult":
         """Encode one executed shard into its wire form (worker side)."""
+        stage_durations: dict[str, list[float]] = {}
+        for stage, seconds in stage_times or ():
+            stage_durations.setdefault(stage, []).append(seconds)
         return cls(
             index=shard.index,
             outcome_columns=tuple(
@@ -171,6 +182,7 @@ class ShardResult:
                 if injections is not None
                 else None
             ),
+            stage_durations=stage_durations,
         )
 
     def to_trials(self, shard: Shard) -> list[Trial]:
@@ -328,14 +340,15 @@ def prewarm_worker(
     already pulled in both engines; this fills the process-global
     parse caches with every type and statement text the run will
     replay, then builds the worker-global :class:`DeploymentPool` for
-    the run's conf overrides and drives one warm-up trial per
-    ``(plan, fmt)`` cell through it, compiling those plans into the
-    pooled deployment's plan caches.
+    the run's conf overrides and drives one warm-up *lane* per
+    ``(plan, fmt)`` cell through it — the same create/write/read shape
+    batched execution uses — compiling those plans into the pooled
+    deployment's plan caches.
 
     Best-effort by construction: an initializer that raises breaks the
     whole ``ProcessPoolExecutor``, so every step (including individual
     parses — the corpus deliberately contains invalid SQL) swallows
-    failures. Warm-up trials never trace and never inject, so they are
+    failures. Warm-up lanes never trace and never inject, so they are
     invisible to trace sinks, fault schedules, and fuzz coverage.
     """
     try:
@@ -353,12 +366,15 @@ def prewarm_worker(
             except Exception:  # noqa: BLE001 - invalid corpus SQL is fine
                 pass
         pool = worker_pool(conf_overrides)
+        lanes: dict[str, list[TestInput]] = {}
+        for test_input in warm_inputs:
+            lanes.setdefault(test_input.type_text, []).append(test_input)
         for plan in plans:
             for fmt in formats:
-                for test_input in warm_inputs:
+                for lane in lanes.values():
                     deployment = pool.lease()
                     try:
-                        run_trial_on(deployment, plan, fmt, test_input)
+                        run_lane_on(deployment, plan, fmt, tuple(lane))
                     finally:
                         pool.release(deployment)
     except Exception:  # noqa: BLE001 - never take the worker down
@@ -392,41 +408,7 @@ def _retry_counts(deployment: Deployment) -> tuple[int, int, int, int]:
     )
 
 
-def run_shard(
-    shard: Shard,
-    conf_overrides: dict[str, object] | None = None,
-    reuse_deployments: bool = True,
-    tracing: bool = False,
-    fault_plan: FaultPlan | None = None,
-    fault_seed: int = 0,
-) -> ShardResult:
-    """Execute one shard sequentially, timing each trial.
-
-    With ``reuse_deployments`` (the default), deployments come from the
-    worker-global pool for these conf overrides. Cache-counter deltas
-    are read per trial, while the deployment is exclusively leased, so
-    they are race-free even when worker threads share a pool.
-
-    With ``tracing``, each trial runs under its own
-    :class:`~repro.tracing.Tracer` (trace id ``plan/fmt/input_id``) and
-    the finished spans ride back on ``ShardResult.spans_blob`` —
-    activation happens here, inside the worker, so tracing survives
-    thread and process pools alike.
-
-    With a non-empty ``fault_plan``, each trial likewise runs under its
-    own :class:`~repro.faults.FaultInjector` keyed by the same stable
-    trial identity, so the fault schedule is a pure function of
-    ``(plan, seed, trial)`` — independent of worker count, scheduling,
-    and everything the worker ran before.
-    """
-    pool = worker_pool(conf_overrides) if reuse_deployments else None
-    injecting = fault_plan is not None and not fault_plan.empty
-    trials: list[Trial] = []
-    durations: list[float] = []
-    traces: list[tuple[Span, ...]] | None = [] if tracing else None
-    injections: list[tuple[InjectionRecord, ...]] | None = (
-        [] if injecting else None
-    )
+def _new_counts(injecting: bool = False) -> dict[str, int]:
     counts = {
         "plan_cache_hits": 0,
         "plan_cache_misses": 0,
@@ -447,6 +429,199 @@ def run_shard(
             boundary_masked_calls=0,
             boundary_exhausted_calls=0,
         )
+    return counts
+
+
+def _lease_counted(pool: DeploymentPool, counts: dict[str, int]) -> Deployment:
+    deployment = pool.lease()
+    if deployment.leases == 1:
+        counts["deployments_created"] += 1
+    else:
+        counts["deployments_reused"] += 1
+    return deployment
+
+
+def _fold_cache_delta(
+    counts: dict[str, int],
+    before: tuple[int, int, int, int],
+    after: tuple[int, int, int, int],
+) -> None:
+    counts["plan_cache_hits"] += after[0] - before[0]
+    counts["plan_cache_misses"] += after[1] - before[1]
+    counts["plan_cache_invalidations"] += after[2] - before[2]
+    counts["plan_cache_evictions"] += after[3] - before[3]
+
+
+def _timed_release(
+    pool: DeploymentPool,
+    deployment: Deployment,
+    stage_times: list[tuple[str, float]] | None,
+) -> None:
+    """Release a lease, sampling the reset for the stage histograms.
+
+    Reset is deliberately untraced (it runs outside the tracer and
+    injector contexts so it cannot perturb span trees or fault visit
+    counters) — this wall-clock sample is its only telemetry.
+    """
+    started = time.perf_counter()
+    pool.release(deployment)
+    if stage_times is not None:
+        stage_times.append(("reset", time.perf_counter() - started))
+
+
+def _lane_groups(inputs: tuple[TestInput, ...]) -> list[list[int]]:
+    """Group shard positions into same-type lanes, first-seen order.
+
+    Every input in a lane shares a ``type_text``, so one ``CREATE
+    TABLE`` serves the whole lane. Positions within a lane stay in
+    shard order; lanes need not be contiguous — demultiplexing is
+    positional.
+    """
+    groups: dict[str, list[int]] = {}
+    for position, test_input in enumerate(inputs):
+        groups.setdefault(test_input.type_text, []).append(position)
+    return list(groups.values())
+
+
+def _run_lane(
+    pool: DeploymentPool,
+    plan: Plan,
+    fmt: str,
+    inputs: tuple[TestInput, ...],
+    counts: dict[str, int],
+    stage_times: list[tuple[str, float]] | None,
+    multirow: bool = True,
+) -> list[Outcome]:
+    """One lane attempt plus the fallback ladder.
+
+    Each attempt runs on a freshly leased deployment (a failed lane may
+    leave the shared table in an unknown state; release resets it).
+    When :func:`run_lane_on` reports ambiguity, its *stage* picks the
+    fallback: a multi-row ``"write"`` failure retries the lane with
+    single-row statements (exact attribution, same shared table); a
+    ``"read"``/``"count"`` ambiguity means the shared scan itself is
+    the problem — no smaller shared table can attribute it, and reads
+    fail deterministically per (plan, fmt, type), so every input goes
+    straight to the isolated per-trial path, whose outcome is
+    authoritative by definition. At most one retry, then isolation:
+    termination is structural, and a fully read-poisoned lane costs one
+    extra (create + write + read) over never having laned at all.
+    """
+    deployment = _lease_counted(pool, counts)
+    before = _plan_cache_counts(deployment)
+    try:
+        outcomes = run_lane_on(
+            deployment, plan, fmt, inputs,
+            multirow=multirow, stage_times=stage_times,
+        )
+        _fold_cache_delta(counts, before, _plan_cache_counts(deployment))
+    finally:
+        _timed_release(pool, deployment, stage_times)
+    if not isinstance(outcomes, str):
+        return outcomes
+    if outcomes == "write":
+        # only a multi-row statement reports "write"; singles attribute
+        return _run_lane(
+            pool, plan, fmt, inputs, counts, stage_times, multirow=False
+        )
+    resolved: list[Outcome] = []
+    for test_input in inputs:
+        deployment = _lease_counted(pool, counts)
+        before = _plan_cache_counts(deployment)
+        try:
+            trial = run_trial_on(
+                deployment, plan, fmt, test_input, stage_times=stage_times
+            )
+            _fold_cache_delta(counts, before, _plan_cache_counts(deployment))
+        finally:
+            _timed_release(pool, deployment, stage_times)
+        resolved.append(trial.outcome)
+    return resolved
+
+
+def _run_shard_lanes(
+    shard: Shard,
+    pool: DeploymentPool,
+) -> ShardResult:
+    """Execute one shard through batched lanes (tracing/faults off).
+
+    Per-trial durations are each lane's wall-clock split evenly across
+    its trials — the plan/format histograms keep covering every trial,
+    they just report amortized cost, which is the honest number under
+    batching.
+    """
+    counts = _new_counts()
+    stage_times: list[tuple[str, float]] = []
+    outcomes: list[Outcome | None] = [None] * len(shard.inputs)
+    durations: list[float] = [0.0] * len(shard.inputs)
+    for positions in _lane_groups(shard.inputs):
+        lane_inputs = tuple(shard.inputs[p] for p in positions)
+        started = time.perf_counter()
+        lane_outcomes = _run_lane(
+            pool, shard.plan, shard.fmt, lane_inputs, counts, stage_times
+        )
+        share = (time.perf_counter() - started) / len(positions)
+        for offset, position in enumerate(positions):
+            outcomes[position] = lane_outcomes[offset]
+            durations[position] = share
+    trials = [
+        Trial(shard.plan, shard.fmt, test_input, outcomes[position])
+        for position, test_input in enumerate(shard.inputs)
+    ]
+    return ShardResult.pack(
+        shard, trials, durations, counts, None, None, stage_times=stage_times
+    )
+
+
+def run_shard(
+    shard: Shard,
+    conf_overrides: dict[str, object] | None = None,
+    reuse_deployments: bool = True,
+    tracing: bool = False,
+    fault_plan: FaultPlan | None = None,
+    fault_seed: int = 0,
+    batch: bool = False,
+) -> ShardResult:
+    """Execute one shard sequentially, timing each trial.
+
+    With ``reuse_deployments`` (the default), deployments come from the
+    worker-global pool for these conf overrides. Cache-counter deltas
+    are read per trial, while the deployment is exclusively leased, so
+    they are race-free even when worker threads share a pool.
+
+    With ``tracing``, each trial runs under its own
+    :class:`~repro.tracing.Tracer` (trace id ``plan/fmt/input_id``) and
+    the finished spans ride back on ``ShardResult.spans_blob`` —
+    activation happens here, inside the worker, so tracing survives
+    thread and process pools alike.
+
+    With a non-empty ``fault_plan``, each trial likewise runs under its
+    own :class:`~repro.faults.FaultInjector` keyed by the same stable
+    trial identity, so the fault schedule is a pure function of
+    ``(plan, seed, trial)`` — independent of worker count, scheduling,
+    and everything the worker ran before.
+
+    With ``batch``, same-type trials share deployment lanes (one
+    create, batched writes, one scan — see :func:`_run_shard_lanes`),
+    with any in-lane ambiguity falling back to the isolated path.
+    Lanes engage only when tracing and fault injection are both off:
+    traced runs promise one span tree per trial with per-trial trace
+    ids, and fault schedules key on per-trial boundary visit counts —
+    batching would change both, so those runs keep the (correct,
+    slower) per-trial path and reports stay byte-identical either way.
+    """
+    pool = worker_pool(conf_overrides) if reuse_deployments else None
+    injecting = fault_plan is not None and not fault_plan.empty
+    if batch and pool is not None and not tracing and not injecting:
+        return _run_shard_lanes(shard, pool)
+    trials: list[Trial] = []
+    durations: list[float] = []
+    stage_times: list[tuple[str, float]] = []
+    traces: list[tuple[Span, ...]] | None = [] if tracing else None
+    injections: list[tuple[InjectionRecord, ...]] | None = (
+        [] if injecting else None
+    )
+    counts = _new_counts(injecting)
     for test_input in shard.inputs:
         trial_key = f"{shard.plan.name}/{shard.fmt}/{test_input.input_id}"
         tracer = Tracer(trace_id=trial_key) if tracing else None
@@ -463,16 +638,16 @@ def run_shard(
                 if injector is not None:
                     stack.enter_context(injector)
                 return run_trial_on(
-                    deployment, shard.plan, shard.fmt, test_input
+                    deployment,
+                    shard.plan,
+                    shard.fmt,
+                    test_input,
+                    stage_times=stage_times,
                 )
 
         start = time.perf_counter()
         if pool is not None:
-            deployment = pool.lease()
-            if deployment.leases == 1:
-                counts["deployments_created"] += 1
-            else:
-                counts["deployments_reused"] += 1
+            deployment = _lease_counted(pool, counts)
             before = _plan_cache_counts(deployment)
             retry_before = _retry_counts(deployment)
             try:
@@ -480,7 +655,7 @@ def run_shard(
                 after = _plan_cache_counts(deployment)
                 retry_after = _retry_counts(deployment)
             finally:
-                pool.release(deployment)
+                _timed_release(pool, deployment, stage_times)
         else:
             deployment = Deployment(dict(conf_overrides or {}))
             counts["deployments_created"] += 1
@@ -489,10 +664,7 @@ def run_shard(
             trial = run_one(deployment)
             after = _plan_cache_counts(deployment)
             retry_after = _retry_counts(deployment)
-        counts["plan_cache_hits"] += after[0] - before[0]
-        counts["plan_cache_misses"] += after[1] - before[1]
-        counts["plan_cache_invalidations"] += after[2] - before[2]
-        counts["plan_cache_evictions"] += after[3] - before[3]
+        _fold_cache_delta(counts, before, after)
         if injector is not None:
             counts["boundary_attempts"] += retry_after[0] - retry_before[0]
             counts["boundary_faults"] += retry_after[1] - retry_before[1]
@@ -512,7 +684,13 @@ def run_shard(
         if injections is not None and injector is not None:
             injections.append(tuple(injector.records))
     return ShardResult.pack(
-        shard, trials, durations, counts, traces, injections
+        shard,
+        trials,
+        durations,
+        counts,
+        traces,
+        injections,
+        stage_times=stage_times,
     )
 
 
@@ -608,6 +786,10 @@ class CrossTestMetrics:
                 self.stage_errors[trial.outcome.stage].increment()
             plan_hist.observe(duration)
             fmt_hist.observe(duration)
+        for stage, samples in result.stage_durations.items():
+            stage_hist = self._latency("stage", stage)
+            for seconds in samples:
+                stage_hist.observe(seconds)
         for name, delta in result.cache_counts.items():
             counter = self.cache_counters.get(name) or self.fault_counters.get(
                 name
@@ -739,8 +921,15 @@ def execute(
     fault_seed: int = 0,
     injection_sink: dict[int, tuple[InjectionRecord, ...]] | None = None,
     prewarm: bool = True,
+    batch: bool = True,
 ) -> list[Trial]:
     """Run the full matrix and return trials in sequential order.
+
+    ``batch`` (the default) lets same-type trials within a shard share
+    deployment lanes — one create, batched writes, one scan — with
+    bisecting fallback to the isolated path on any in-lane ambiguity.
+    Automatically bypassed for traced or fault-injected runs (see
+    :func:`run_shard`); reports are byte-identical either way.
 
     ``progress``, if given, is called after every shard completes as
     ``progress(done_shards, total_shards, done_trials, total_trials)``.
@@ -817,6 +1006,7 @@ def execute(
                     tracing=tracing,
                     fault_plan=fault_plan,
                     fault_seed=fault_seed,
+                    batch=batch,
                 ),
             )
     else:
@@ -825,12 +1015,21 @@ def execute(
         initargs: tuple = ()
         if flavour == "process" and prewarm:
             type_texts, statement_texts = corpus_texts(formats, inputs)
+            # warm with a small same-type lane (the first type's first
+            # two inputs) so workers compile the exact create/scan plans
+            # lanes replay, whether the run batches or not.
+            first_type = inputs[0].type_text
+            warm = tuple(
+                test_input
+                for test_input in inputs
+                if test_input.type_text == first_type
+            )[:2]
             initializer = prewarm_worker
             initargs = (
                 conf_overrides,
                 tuple(plans),
                 tuple(formats),
-                tuple(inputs[:1]),
+                warm,
                 type_texts,
                 statement_texts,
             )
@@ -846,6 +1045,7 @@ def execute(
                     tracing,
                     fault_plan,
                     fault_seed,
+                    batch,
                 ): shard
                 for shard in shards
             }
@@ -859,3 +1059,47 @@ def execute(
     for index in range(len(shards)):
         trials.extend(trials_by_index[index])
     return trials
+
+
+def run_trials(
+    specs: list[tuple[Plan, str, TestInput]],
+    conf_overrides: dict[str, object] | None = None,
+    batch: bool = True,
+) -> list[Outcome]:
+    """Run a sparse set of (plan, fmt, input) triples, outcomes in order.
+
+    The pooled path for callers that need a handful of scattered trials
+    rather than a full matrix — e.g. the fault-robustness oracle
+    re-running only the injected trials to establish fault-free
+    baselines. Deployments are leased from the worker-global pool (warm
+    plan caches, reset on release, never thrown away), and with
+    ``batch`` the triples are grouped into (plan, fmt, type) lanes so a
+    chaos run's baseline pass amortizes the per-trial round trip the
+    same way the main matrix does.
+    """
+    pool = worker_pool(conf_overrides)
+    outcomes: list[Outcome | None] = [None] * len(specs)
+    counts = _new_counts()
+    if not batch:
+        for position, (plan, fmt, test_input) in enumerate(specs):
+            deployment = _lease_counted(pool, counts)
+            try:
+                outcomes[position] = run_trial_on(
+                    deployment, plan, fmt, test_input
+                ).outcome
+            finally:
+                pool.release(deployment)
+        return outcomes  # type: ignore[return-value]
+    lanes: dict[tuple[Plan, str, str], list[int]] = {}
+    for position, (plan, fmt, test_input) in enumerate(specs):
+        lanes.setdefault((plan, fmt, test_input.type_text), []).append(
+            position
+        )
+    for (plan, fmt, _), positions in lanes.items():
+        lane_inputs = tuple(specs[position][2] for position in positions)
+        lane_outcomes = _run_lane(
+            pool, plan, fmt, lane_inputs, counts, None
+        )
+        for offset, position in enumerate(positions):
+            outcomes[position] = lane_outcomes[offset]
+    return outcomes  # type: ignore[return-value]

@@ -11,6 +11,7 @@ the 15 expected discrepancies.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.common.result import QueryResult
@@ -33,6 +34,7 @@ __all__ = [
     "NO_ROWS",
     "TRIAL_TABLE",
     "run_trial_on",
+    "run_lane_on",
 ]
 
 #: The table name every trial creates, writes, and reads.
@@ -160,6 +162,40 @@ class Deployment:
         else:
             raise ValueError(f"unknown interface {interface!r}")
 
+    def write_rows(
+        self,
+        interface: str,
+        table: str,
+        batch: tuple[TestInput, ...],
+        fmt: str,
+    ) -> None:
+        """Write several same-type inputs through one statement.
+
+        The batched counterpart of :meth:`write`: one multi-row
+        ``INSERT INTO .. VALUES (a), (b), ..`` for the SQL interfaces,
+        one multi-row frame for the DataFrame interface. Row order is
+        preserved — lane demultiplexing depends on it.
+        """
+        if interface == Interface.DATAFRAME:
+            schema = Schema(
+                (Field("c", batch[0].column_type),), case_sensitive=True
+            )
+            frame = self.spark.create_dataframe(
+                [(test_input.py_value,) for test_input in batch], schema
+            )
+            frame.write.format(fmt).save_as_table(table)
+            return
+        values = ", ".join(
+            f"({test_input.sql_literal})" for test_input in batch
+        )
+        dml = f"INSERT INTO {table} VALUES {values}"
+        if interface == Interface.SPARKSQL:
+            self.spark.sql(dml)
+        elif interface == Interface.HIVEQL:
+            self.hive.execute(dml)
+        else:
+            raise ValueError(f"unknown interface {interface!r}")
+
     def read(self, interface: str, table: str) -> QueryResult:
         if interface == Interface.SPARKSQL:
             return self.spark.sql(f"SELECT * FROM {table}")
@@ -197,6 +233,7 @@ class CrossTester:
         fault_plan=None,
         fault_seed: int = 0,
         injection_sink=None,
+        batch: bool = True,
     ) -> list[Trial]:
         """Run the full matrix.
 
@@ -207,7 +244,10 @@ class CrossTester:
         switches per-trial boundary tracing on; it fills with
         ``{trial index: finished spans}``. ``fault_plan``/``fault_seed``
         switch deterministic fault injection on, with fired injections
-        reported through ``injection_sink`` the same way.
+        reported through ``injection_sink`` the same way. ``batch``
+        allows same-type trials to share deployment lanes (automatically
+        bypassed while tracing or injecting faults — see
+        :func:`repro.crosstest.executor.run_shard`).
         """
         from repro.crosstest.executor import execute
 
@@ -224,6 +264,7 @@ class CrossTester:
             fault_plan=fault_plan,
             fault_seed=fault_seed,
             injection_sink=injection_sink,
+            batch=batch,
         )
 
     def run_trial(self, plan: Plan, fmt: str, test_input: TestInput) -> Trial:
@@ -244,7 +285,11 @@ class CrossTester:
 
 
 def run_trial_on(
-    deployment: Deployment, plan: Plan, fmt: str, test_input: TestInput
+    deployment: Deployment,
+    plan: Plan,
+    fmt: str,
+    test_input: TestInput,
+    stage_times: list[tuple[str, float]] | None = None,
 ) -> Trial:
     """Drive one trial against an already-provisioned deployment.
 
@@ -253,8 +298,13 @@ def run_trial_on(
     underneath (metastore registrations, SerDe encode/decode, warehouse
     reads/writes). With tracing off (the default) the ``with`` blocks
     are shared no-ops.
+
+    ``stage_times`` (when given) collects ``(stage, seconds)`` samples
+    for the per-stage latency histograms; a stage that raised still
+    records the time spent failing.
     """
     table = TRIAL_TABLE
+    clock = time.perf_counter
     with trace_span(
         "crosstest.trial", system="crosstest", operation="trial"
     ) as root:
@@ -267,6 +317,7 @@ def run_trial_on(
                 input_id=test_input.input_id,
                 type=test_input.type_text,
             )
+        started = clock() if stage_times is not None else 0.0
         try:
             with trace_span(
                 "crosstest.create", system="crosstest", operation="create"
@@ -274,6 +325,10 @@ def run_trial_on(
                 deployment.create_table(plan.writer, table, test_input, fmt)
         except Exception as exc:  # noqa: BLE001 - any failure is data
             return Trial(plan, fmt, test_input, _error("create", exc))
+        finally:
+            if stage_times is not None:
+                stage_times.append(("create", clock() - started))
+        started = clock() if stage_times is not None else 0.0
         try:
             with trace_span(
                 "crosstest.write", system="crosstest", operation="write"
@@ -281,6 +336,10 @@ def run_trial_on(
                 deployment.write(plan.writer, table, test_input, fmt)
         except Exception as exc:  # noqa: BLE001
             return Trial(plan, fmt, test_input, _error("write", exc))
+        finally:
+            if stage_times is not None:
+                stage_times.append(("write", clock() - started))
+        started = clock() if stage_times is not None else 0.0
         try:
             with trace_span(
                 "crosstest.read", system="crosstest", operation="read"
@@ -288,7 +347,181 @@ def run_trial_on(
                 result = deployment.read(plan.reader, table)
         except Exception as exc:  # noqa: BLE001
             return Trial(plan, fmt, test_input, _error("read", exc))
+        finally:
+            if stage_times is not None:
+                stage_times.append(("read", clock() - started))
         return Trial(plan, fmt, test_input, _ok(result))
+
+
+def run_lane_on(
+    deployment: Deployment,
+    plan: Plan,
+    fmt: str,
+    inputs: tuple[TestInput, ...],
+    multirow: bool = True,
+    stage_times: list[tuple[str, float]] | None = None,
+) -> list[Outcome] | str:
+    """Run a lane of same-type inputs through one shared table.
+
+    The batched counterpart of :func:`run_trial_on`: one ``CREATE
+    TABLE`` (every input in the lane shares a ``type_text``, so the DDL
+    is identical), all writes into the same table, one ``SELECT *``
+    scan, then rows demultiplexed back into per-input :class:`Outcome`s
+    by insertion order — the warehouse assigns part files in write
+    order and the scan reads them sorted, so the k-th surviving row is
+    the k-th successful write.
+
+    Returns the *stage name* of the ambiguity (instead of outcomes)
+    whenever per-input attribution would be a guess rather than an
+    observation, so the caller can pick the right fallback:
+
+    - ``"write"`` — a *multi-row* statement raised; which row poisoned
+      it is unknowable from here, but single-row statements attribute
+      exactly, so the caller retries with ``multirow=False``,
+    - ``"read"`` — the shared scan raised; an isolated read might
+      succeed for some inputs and fail for others (e.g. one poison row
+      breaking the scan), and no smaller shared table can settle that —
+      only the isolated path can,
+    - ``"count"`` — the scan returned a row count that matches neither
+      zero nor the number of successful writes (some rows silently
+      dropped); which writes lost their row is likewise only
+      observable in isolation.
+
+    Resolvable observations are handled in-lane: a ``create`` failure
+    is deterministic across the lane (same DDL, fresh deployment) and
+    is replicated to every input; a *single-row* write failure is that
+    input's write error; an empty scan over successful writes is the
+    row-dropping behaviour the isolated path records as ``NO_ROWS``.
+
+    ``multirow=True`` additionally merges every corpus-``valid`` input
+    in the lane into one leading multi-row statement (see
+    :func:`_write_batches` for why statement order is free); the flag
+    is a grouping heuristic only — correctness never depends on it,
+    since any multi-row failure falls back to single-row writes.
+    """
+    table = TRIAL_TABLE
+    clock = time.perf_counter
+    total = len(inputs)
+
+    started = clock()
+    try:
+        deployment.create_table(plan.writer, table, inputs[0], fmt)
+    except Exception as exc:  # noqa: BLE001 - any failure is data
+        if stage_times is not None:
+            stage_times.append(("create", clock() - started))
+        return [_error("create", exc)] * total
+    if stage_times is not None:
+        stage_times.append(("create", clock() - started))
+
+    outcomes: list[Outcome | None] = [None] * total
+    ok_positions: list[int] = []
+    started = clock()
+    optimistic = plan.writer != Interface.SPARKSQL
+    for positions in _write_batches(inputs, multirow, optimistic):
+        batch = tuple(inputs[position] for position in positions)
+        try:
+            if len(batch) == 1:
+                deployment.write(plan.writer, table, batch[0], fmt)
+            else:
+                deployment.write_rows(plan.writer, table, batch, fmt)
+        except Exception as exc:  # noqa: BLE001
+            if len(batch) > 1:
+                if stage_times is not None:
+                    stage_times.append(("write", clock() - started))
+                return "write"
+            outcomes[positions[0]] = _error("write", exc)
+        else:
+            ok_positions.extend(positions)
+    if stage_times is not None:
+        stage_times.append(("write", clock() - started))
+
+    if ok_positions:
+        started = clock()
+        try:
+            result = deployment.read(plan.reader, table)
+        except Exception:  # noqa: BLE001
+            if stage_times is not None:
+                stage_times.append(("read", clock() - started))
+            return "read"
+        if stage_times is not None:
+            stage_times.append(("read", clock() - started))
+        rows = result.rows
+        if rows and len(rows) != len(ok_positions):
+            return "count"
+        if len(result.schema) > 0:
+            column = result.schema.fields[0]
+            value_type = column.data_type.simple_string()
+            name = column.name
+        else:
+            value_type = ""
+            name = ""
+        if not rows:
+            empty = Outcome(
+                status="ok",
+                value=NO_ROWS,
+                value_type=value_type,
+                column_name=name,
+                row_count=0,
+                warnings=result.warnings,
+            )
+            for position in ok_positions:
+                outcomes[position] = empty
+        else:
+            for row, position in zip(rows, ok_positions):
+                outcomes[position] = Outcome(
+                    status="ok",
+                    value=row[0],
+                    value_type=value_type,
+                    column_name=name,
+                    row_count=1,
+                    warnings=result.warnings,
+                )
+    return outcomes  # type: ignore[return-value]
+
+
+def _write_batches(
+    inputs: tuple[TestInput, ...], multirow: bool, optimistic: bool
+) -> list[list[int]]:
+    """Group lane positions into write statements.
+
+    ``optimistic`` lanes (DataFrame and HiveQL writers, which coerce
+    rather than reject bad values — across the whole corpus they raise
+    on a handful of writes where strict-ANSI SparkSQL raises on
+    thousands) put *every* input into one multi-row write. SparkSQL
+    lanes put only the corpus-``valid`` inputs into the multi-row write
+    (first, preserving their relative order); each predicted-to-fail
+    input gets a single-row write so write errors keep exact per-input
+    attribution. Statement *order* is free to differ from position
+    order: demux follows the execution order of successful writes (the
+    warehouse reads part files back in write order), and writes are
+    row-independent — a failing single writes nothing and observes
+    nothing the multi-row statement changed.
+
+    Both groupings are predictions of which writes succeed, never
+    correctness assumptions: any multi-row statement that fails falls
+    back to single rows (the ``"write"`` rung of the ladder), and an
+    "invalid" single that succeeds simply joins the demux in its write
+    order.
+    """
+    total = len(inputs)
+    if not multirow or total == 1:
+        return [[position] for position in range(total)]
+    if optimistic:
+        return [list(range(total))]
+    valid = [
+        position
+        for position, test_input in enumerate(inputs)
+        if test_input.valid
+    ]
+    if len(valid) < 2:
+        return [[position] for position in range(total)]
+    batches = [valid]
+    batches.extend(
+        [position]
+        for position, test_input in enumerate(inputs)
+        if not test_input.valid
+    )
+    return batches
 
 
 def _error(stage: str, exc: Exception) -> Outcome:

@@ -179,15 +179,14 @@ def difft_failures(trials: list[Trial]) -> list[OracleFailure]:
         key = (trial.plan.group, trial.plan.name, trial.test_input.input_id)
         by_group_plan_input.setdefault(key, []).append(trial)
 
-    # across interfaces within a group, same format
-    for (group, fmt, input_id), bucket in sorted(
-        by_group_fmt_input.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
-    ):
+    # across interfaces within a group, same format (keys are unique, so
+    # sorting items compares only the key tuples — no lambda needed)
+    for (group, fmt, input_id), bucket in sorted(by_group_fmt_input.items()):
         failures.extend(_diff_bucket(bucket, group, input_id, fmt, axis="plan"))
 
     # across formats for the same plan
     for (group, _plan, input_id), bucket in sorted(
-        by_group_plan_input.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+        by_group_plan_input.items()
     ):
         failures.extend(_diff_bucket(bucket, group, input_id, "*", axis="fmt"))
     return failures
@@ -198,6 +197,10 @@ def _diff_bucket(
 ) -> list[OracleFailure]:
     failures = []
     sigs = [signature(trial.outcome) for trial in bucket]
+    # almost every bucket agrees; skip the pairwise walk when it does
+    first = sigs[0]
+    if all(sig == first for sig in sigs):
+        return failures
     for (left, left_sig), (right, right_sig) in combinations(
         zip(bucket, sigs), 2
     ):

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.crosstest.catalog import CATALOG, CATEGORY_MEMBERS, Discrepancy
 from repro.crosstest.classify import Evidence, classify_trials
+from repro.crosstest.executor import run_trials
 from repro.crosstest.harness import CrossTester, Outcome, Trial
 from repro.crosstest.oracles import (
     OracleFailure,
@@ -341,6 +342,7 @@ def run_crosstest(
     tracing: bool = False,
     fault_plan: FaultPlan | None = None,
     fault_seed: int = 0,
+    batch: bool = True,
 ) -> CrossTestReport:
     """Run the full §8 pipeline: harness → oracles → classification.
 
@@ -357,6 +359,10 @@ def run_crosstest(
     baseline, and the fault-robustness oracle attaches a
     :class:`FaultReport` to the result. An empty or absent plan leaves
     the report byte-identical to a plain run.
+
+    ``batch`` (the default) lets same-type trials share deployment
+    lanes in the executor; traced or fault-injected trials always run
+    isolated, and the rendered report is byte-identical either way.
     """
     tester = CrossTester(
         inputs=inputs,
@@ -378,6 +384,7 @@ def run_crosstest(
         fault_plan=fault_plan if injecting else None,
         fault_seed=fault_seed,
         injection_sink=injection_sink,
+        batch=batch,
     )
 
     def oracle_phase() -> tuple[dict, dict, FaultReport | None]:
@@ -391,14 +398,26 @@ def run_crosstest(
                 for index, records in injection_sink.items()
                 if records
             }
-            baselines: dict[int, Outcome] = {
-                index: tester.run_trial(
-                    trials[index].plan,
-                    trials[index].fmt,
-                    trials[index].test_input,
-                ).outcome
-                for index in sorted(injected)
-            }
+            # baseline reruns go through the executor's pooled/laned
+            # path: one sparse batch over warm deployments instead of a
+            # fresh lease per injected trial, so chaos runs don't pay
+            # per-trial cold round trips for their fault-free oracles.
+            indices = sorted(injected)
+            baseline_outcomes = run_trials(
+                [
+                    (
+                        trials[index].plan,
+                        trials[index].fmt,
+                        trials[index].test_input,
+                    )
+                    for index in indices
+                ],
+                tester.conf_overrides,
+                batch=batch,
+            )
+            baselines: dict[int, Outcome] = dict(
+                zip(indices, baseline_outcomes)
+            )
             verdicts = fault_robustness(trials, injected, baselines)
             faults = FaultReport(
                 plan=fault_plan,

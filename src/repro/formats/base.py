@@ -205,14 +205,44 @@ class Serializer:
 
     # -- byte encoding ------------------------------------------------------
 
+    def _write_plan(self, schema: Schema):
+        """``(cell writers, columns header)`` for one schema, memoized.
+
+        Both are pure functions of the logical schema — the writers via
+        the physical lattice, the header via :meth:`physical_schema` —
+        but building them per :meth:`write` call showed up once batched
+        deployment lanes made writes append-heavy (every multi-row
+        INSERT of a lane re-derived the identical header). The header is
+        shared across documents; ``write`` treats it as immutable.
+        """
+        cache = self.__dict__.setdefault("_write_plan_cache", {})
+        plan = cache.get(schema)
+        if plan is None:
+            physical = self.physical_schema(schema)
+            writers = tuple(
+                self._cell_writer(f.data_type) for f in schema.fields
+            )
+            columns = [
+                {
+                    "name": f.name,
+                    "type": f.data_type.simple_string(),
+                    "nullable": f.nullable,
+                }
+                for f in physical.fields
+            ]
+            plan = (writers, columns)
+            if len(cache) >= _INSTANCE_CACHE_LIMIT:
+                cache.clear()
+            cache[schema] = plan
+        return plan
+
     def write(
         self,
         schema: Schema,
         rows: list[Row] | list[tuple],
         properties: dict[str, str] | None = None,
     ) -> bytes:
-        physical = self.physical_schema(schema)
-        writers = [self._cell_writer(f.data_type) for f in schema.fields]
+        writers, columns = self._write_plan(schema)
         arity = len(schema)
         encoded_rows = []
         for row in rows:
@@ -227,14 +257,7 @@ class Serializer:
         document = {
             "version": FORMAT_VERSION,
             "format": self.format_name,
-            "columns": [
-                {
-                    "name": f.name,
-                    "type": f.data_type.simple_string(),
-                    "nullable": f.nullable,
-                }
-                for f in physical.fields
-            ],
+            "columns": columns,
             "properties": dict(properties or {}),
             "rows": encoded_rows,
         }

@@ -72,6 +72,13 @@ class FuzzConfig:
     corpus: str = "full"
     #: shrink novel findings after the budget is exhausted
     shrink: bool = True
+    #: allow batched deployment lanes in the executor. Campaign rounds
+    #: are always traced (coverage comes from spans) and therefore run
+    #: isolated regardless; lanes speed up the *untraced* executions —
+    #: today, the shrinker's reproduction runs. Kept as an escape hatch
+    #: (`--no-lanes`) rather than folded into ``batch``, which here
+    #: means candidates per round.
+    lanes: bool = True
 
     def __post_init__(self) -> None:
         if self.budget < 1:
@@ -274,6 +281,7 @@ def run_fuzz(
             pool=config.pool,
             metrics=metrics,
             trace_sink=trace_sink,
+            batch=config.lanes,
         )
         trials_run += len(trials)
 
@@ -345,5 +353,6 @@ def run_fuzz(
                 config.formats,
                 finding.conf_overrides,
                 conf_label(finding.conf_overrides),
+                batch=config.lanes,
             )
     return result

@@ -45,10 +45,16 @@ def reproduces(
     formats,
     conf_overrides: dict[str, object] | None,
     conf: str,
+    batch: bool = True,
 ) -> bool:
-    """Does running just ``candidate`` still witness the fingerprint?"""
+    """Does running just ``candidate`` still witness the fingerprint?
+
+    Reproduction runs are untraced, so with ``batch`` (the default)
+    they go through the executor's lane path — outcome-identical to
+    isolated execution by the lane byte-identity guarantee.
+    """
     trials = execute(
-        plans, formats, [candidate], conf_overrides, jobs=1
+        plans, formats, [candidate], conf_overrides, jobs=1, batch=batch
     )
     return fingerprint_key in run_fingerprints(trials, conf=conf)
 
@@ -180,6 +186,7 @@ def shrink_input(
     formats,
     conf_overrides: dict[str, object] | None,
     conf: str,
+    batch: bool = True,
 ) -> TestInput:
     """Greedily minimize ``test_input`` while its fingerprint survives."""
     current = test_input
@@ -204,6 +211,7 @@ def shrink_input(
                 formats,
                 conf_overrides,
                 conf,
+                batch=batch,
             ):
                 current = candidate
                 improved = True

@@ -594,7 +594,23 @@ class HiveServer:
             object.__setattr__(data, "_hive_mappers", mappers)
         mapper = mappers.get(table.schema)
         if mapper is None:
-            mapper = self._build_row_mapper(data, table)
+            # The compiled mapper closes over nothing segment-specific:
+            # column resolution and kernels depend only on the physical
+            # schema, the positional property, the format, and the
+            # declared schema. Lane tables hold one part file per
+            # insert, all sharing those four — so an engine-level memo
+            # compiles once per table shape instead of once per segment.
+            key = (
+                data.format_name,
+                data.physical_schema,
+                data.properties.get(HIVE_POSITIONAL_PROPERTY),
+                table.schema,
+            )
+            shared = self.__dict__.setdefault("_shared_row_mappers", {})
+            mapper = shared.get(key)
+            if mapper is None:
+                mapper = self._build_row_mapper(data, table)
+                shared[key] = mapper
             mappers[table.schema] = mapper
         return mapper
 

@@ -335,17 +335,20 @@ class SparkSession:
         partition = self._resolve_partition_spec(
             resolved.table, statement, evaluator, policy
         )
+        # hoisted out of the row loop: multi-row VALUES share one target
+        # schema, so per-row re-derivation is pure overhead under lanes
+        column_types = [f.data_type for f in resolved.schema.fields]
+        arity = len(resolved.schema)
         rows = []
         for expressions in statement.rows:
-            if len(expressions) != len(resolved.schema):
+            if len(expressions) != arity:
                 raise AnalysisException(
-                    f"INSERT arity {len(expressions)} != table arity "
-                    f"{len(resolved.schema)}"
+                    f"INSERT arity {len(expressions)} != table arity {arity}"
                 )
             values = []
-            for expr, column in zip(expressions, resolved.schema.fields):
+            for expr, column_type in zip(expressions, column_types):
                 typed = evaluator.evaluate(expr)
-                values.append(self._sql_store(typed, column.data_type, policy))
+                values.append(self._sql_store(typed, column_type, policy))
             rows.append(tuple(values))
         return resolved, rows, partition
 

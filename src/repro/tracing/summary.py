@@ -21,15 +21,26 @@ from repro.tracing.core import Span
 
 __all__ = [
     "KNOWN_BOUNDARIES",
+    "KNOWN_STAGES",
     "BoundarySummary",
+    "StageSummary",
     "scrape_spans",
     "split_by_source",
     "summarize_spans",
+    "summarize_stages",
     "summary_lines",
 ]
 
 #: the implicit source of untagged spans — the §8 cross-test matrix
 DEFAULT_SOURCE = "matrix"
+
+#: every harness stage a traced trial can spend time in. ``reset`` is
+#: deliberately untraced — it runs outside the tracer and injector
+#: contexts so deployment recycling can never perturb span trees or
+#: fault visit counters — and therefore always reads ABSENT here under
+#: the default policy; its wall clock is covered by the executor's
+#: ``latency_stage_reset`` histogram instead.
+KNOWN_STAGES = ("create", "write", "read", "reset")
 
 #: every boundary the instrumented seams can emit. ``summarize`` reports
 #: each of these even when no span crossed it — absence is information.
@@ -140,6 +151,88 @@ def summarize_spans(
     return summaries
 
 
+@dataclass(frozen=True)
+class StageSummary:
+    """What the scrape saw for one harness stage."""
+
+    stage: str
+    count: int | None  # None == ABSENT under the scrape's absent policy
+    errors: int = 0
+    p50_s: float = 0.0
+    p99_s: float = 0.0
+
+    @property
+    def absent(self) -> bool:
+        return self.count is None
+
+
+def _is_stage_span(item: Span) -> bool:
+    return (
+        item.system == "crosstest"
+        and item.operation in KNOWN_STAGES
+        and item.name == f"crosstest.{item.operation}"
+    )
+
+
+def summarize_stages(
+    spans: list[Span],
+    absent_policy: AbsentPolicy = AbsentPolicy.ABSENT,
+) -> list[StageSummary]:
+    """One :class:`StageSummary` per harness stage, in stage order.
+
+    The per-stage complement of :func:`summarize_spans`: the harness
+    emits one ``crosstest.<stage>`` span per trial stage, and this
+    scrape turns them into per-stage counts and latency quantiles so a
+    slow matrix is attributable to a stage, not just a boundary. Known
+    stages read through the absent policy exactly like known
+    boundaries — ``reset`` in particular is *expected* to read ABSENT
+    (it is deliberately untraced; see :data:`KNOWN_STAGES`).
+
+    Note ``absent_policy=ERROR`` therefore refuses any real harness
+    trace: pass an explicit non-default policy only when scraping spans
+    that genuinely cover all four stages.
+    """
+    registry = MetricsRegistry("tracing")
+    for item in spans:
+        if not _is_stage_span(item):
+            continue
+        registry.counter(
+            f"stage_spans:{item.operation}",
+            description=f"{item.operation}-stage spans",
+        ).increment()
+        if item.status == "error":
+            registry.counter(
+                f"stage_errors:{item.operation}",
+                description=f"errored {item.operation}-stage spans",
+            ).increment()
+        registry.histogram(
+            f"stage_latency:{item.operation}",
+            description=f"{item.operation}-stage latency (seconds)",
+        ).observe(item.duration_s)
+    summaries: list[StageSummary] = []
+    for stage in KNOWN_STAGES:
+        count = registry.read(f"stage_spans:{stage}", absent_policy)
+        if count is None:
+            summaries.append(StageSummary(stage, None))
+            continue
+        histogram = registry.get(f"stage_latency:{stage}")
+        if isinstance(histogram, Histogram) and histogram.count:
+            p50, p99 = histogram.quantile(0.5), histogram.quantile(0.99)
+        else:
+            p50 = p99 = 0.0
+        errors = registry.read(f"stage_errors:{stage}", AbsentPolicy.ZERO)
+        summaries.append(
+            StageSummary(
+                stage,
+                count=int(count),
+                errors=int(errors or 0),
+                p50_s=p50,
+                p99_s=p99,
+            )
+        )
+    return summaries
+
+
 def split_by_source(spans: list[Span]) -> dict[str, list[Span]]:
     """Group spans by their ``source`` attribute.
 
@@ -170,13 +263,16 @@ def summary_lines(
     by_source = split_by_source(spans)
     extra = sorted(source for source in by_source if source != DEFAULT_SOURCE)
     if not extra:
-        return _table_lines(spans, absent_policy)
-    lines: list[str] = []
-    for source in (DEFAULT_SOURCE, *extra):
-        lines.append(f"[source={source}]")
-        lines.extend(
-            _table_lines(by_source.get(source, []), absent_policy)
-        )
+        lines = _table_lines(spans, absent_policy)
+    else:
+        lines = []
+        for source in (DEFAULT_SOURCE, *extra):
+            lines.append(f"[source={source}]")
+            lines.extend(
+                _table_lines(by_source.get(source, []), absent_policy)
+            )
+    if any(_is_stage_span(item) for item in spans):
+        lines.extend(_stage_table_lines(spans, absent_policy))
     return lines
 
 
@@ -203,4 +299,26 @@ def _table_lines(
         f"{len(spans)} spans total, {total} boundary crossings, "
         f"absent_policy={absent_policy.value}"
     )
+    return lines
+
+
+def _stage_table_lines(
+    spans: list[Span],
+    absent_policy: AbsentPolicy = AbsentPolicy.ABSENT,
+) -> list[str]:
+    """The rendered per-stage table (only when stage spans exist)."""
+    width = max(len(stage) for stage in KNOWN_STAGES) + 2
+    lines = [
+        "[trial stages]",
+        f"{'stage':<{width}} {'spans':>8} {'errors':>7} "
+        f"{'p50':>9} {'p99':>9}",
+    ]
+    for row in summarize_stages(spans, absent_policy):
+        if row.absent:
+            lines.append(f"{row.stage:<{width}} {'ABSENT':>8}")
+            continue
+        lines.append(
+            f"{row.stage:<{width}} {row.count:>8} {row.errors:>7} "
+            f"{row.p50_s * 1e6:>7.0f}us {row.p99_s * 1e6:>7.0f}us"
+        )
     return lines

@@ -1,0 +1,97 @@
+"""Report byte-identity of batched lanes vs isolated execution.
+
+The lane layer's acceptance bar: ``--batch`` (the default) must render
+a report byte-identical to ``--no-batch`` at every jobs/pool setting,
+with tracing and fault injection both on and off. Traced and
+fault-injected runs keep the isolated path by construction (lanes
+would perturb span trees and fault visit counters), so their identity
+is the gate that the gating itself works; the plain runs are where
+lanes actually engage. Runs on the distilled smoke corpus so the full
+grid stays cheap.
+"""
+
+import pytest
+
+from repro.crosstest.report import run_crosstest
+from repro.crosstest.smoke import smoke_inputs
+from repro.faults import BUILTIN_PLANS
+
+SETTINGS = [
+    (1, "auto"),
+    (2, "thread"),
+    (4, "thread"),
+    (2, "process"),
+    (4, "process"),
+]
+
+#: span content depends on plan-cache warmth; pinned off exactly as in
+#: test_parallel_identity so traced comparisons are deterministic
+NO_CACHE = {"repro.plan.cache.enabled": "false"}
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return smoke_inputs()
+
+
+@pytest.fixture(scope="module")
+def isolated_plain(smoke):
+    return run_crosstest(inputs=smoke, jobs=1, batch=False).to_json()
+
+
+@pytest.fixture(scope="module")
+def isolated_traced(smoke):
+    return run_crosstest(
+        inputs=smoke, conf_overrides=NO_CACHE, jobs=1,
+        tracing=True, batch=False,
+    ).to_json()
+
+
+@pytest.fixture(scope="module")
+def isolated_faulted(smoke):
+    return run_crosstest(
+        inputs=smoke,
+        jobs=1,
+        fault_plan=BUILTIN_PLANS["smoke"],
+        fault_seed=7,
+        batch=False,
+    ).to_json()
+
+
+class TestBatchIdentity:
+    @pytest.mark.parametrize("jobs,pool", SETTINGS)
+    def test_plain_report_identical(self, smoke, isolated_plain, jobs, pool):
+        report = run_crosstest(
+            inputs=smoke, jobs=jobs, pool=pool, batch=True
+        )
+        assert report.to_json() == isolated_plain
+
+    @pytest.mark.parametrize("jobs,pool", SETTINGS)
+    def test_traced_report_identical(self, smoke, isolated_traced, jobs, pool):
+        report = run_crosstest(
+            inputs=smoke,
+            conf_overrides=NO_CACHE,
+            jobs=jobs,
+            pool=pool,
+            tracing=True,
+            batch=True,
+        )
+        assert report.to_json() == isolated_traced
+
+    @pytest.mark.parametrize("jobs,pool", SETTINGS)
+    def test_faulted_report_identical(
+        self, smoke, isolated_faulted, jobs, pool
+    ):
+        report = run_crosstest(
+            inputs=smoke,
+            jobs=jobs,
+            pool=pool,
+            fault_plan=BUILTIN_PLANS["smoke"],
+            fault_seed=7,
+            batch=True,
+        )
+        assert report.to_json() == isolated_faulted
+
+    def test_batch_is_the_default(self, smoke, isolated_plain):
+        report = run_crosstest(inputs=smoke, jobs=1)
+        assert report.to_json() == isolated_plain

@@ -36,7 +36,7 @@ class TestParallelLeg:
         document = run_benchmark(repeats=1, inputs=BENCH_INPUTS)
         assert document["benchmark"] == "crosstest-trial-matrix"
         assert document["baseline_jobs1_s"] == PR1_BASELINE_JOBS1_S
-        for leg in ("jobs1", "parallel"):
+        for leg in ("jobs1", "jobs1_batch", "parallel"):
             section = document[leg]
             assert section["best_s"] > 0
             assert section["trials"] == 24 * len(BENCH_INPUTS)
@@ -48,3 +48,15 @@ class TestParallelLeg:
         _fake_cores(monkeypatch, 1)
         document = run_benchmark(repeats=1, inputs=BENCH_INPUTS)
         assert document["jobs1"]["trials"] == document["parallel"]["trials"]
+        assert document["jobs1"]["trials"] == document["jobs1_batch"]["trials"]
+
+
+class TestBatchLeg:
+    def test_batch_leg_flags_and_speedup(self, monkeypatch):
+        _fake_cores(monkeypatch, 1)
+        document = run_benchmark(repeats=1, inputs=BENCH_INPUTS)
+        assert document["jobs1"]["batch"] is False
+        assert document["parallel"]["batch"] is False
+        assert document["jobs1_batch"]["batch"] is True
+        assert document["jobs1_batch"]["jobs"] == 1
+        assert document["batch_speedup"] > 0

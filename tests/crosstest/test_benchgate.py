@@ -7,14 +7,24 @@ import pytest
 from repro.crosstest.benchgate import GateError, check, main
 
 
-def _doc(best_s, parallel_best_s=None, jobs=4, degenerate=False, key="parallel"):
+def _doc(
+    best_s,
+    parallel_best_s=None,
+    jobs=4,
+    degenerate=False,
+    key="parallel",
+    batch_best_s=None,
+):
     """A minimal bench document; the parallel leg defaults to a healthy
-    2x speedup on a 4-worker process pool."""
+    2x speedup on a 4-worker process pool, the batch leg likewise."""
     if parallel_best_s is None:
         parallel_best_s = best_s / 2
+    if batch_best_s is None:
+        batch_best_s = best_s / 2
     return {
         "benchmark": "crosstest-trial-matrix",
         "jobs1": {"best_s": best_s},
+        "jobs1_batch": {"best_s": batch_best_s, "batch": True},
         key: {
             "best_s": parallel_best_s,
             "jobs": jobs,
@@ -115,6 +125,53 @@ class TestParallelGate:
         assert not ok
 
 
+class TestBatchGate:
+    def test_break_even_batch_passes(self):
+        ok, message = check(_doc(1.0, batch_best_s=1.0), _doc(1.0))
+        assert ok
+        assert "batch leg 1.0000s speedup 1.00x" in message
+
+    def test_slower_batch_fails(self):
+        ok, message = check(_doc(1.0, batch_best_s=1.3), _doc(1.0))
+        assert not ok
+        assert "speedup 0.77x" in message
+
+    def test_custom_min_batch_speedup(self):
+        fresh = _doc(1.0, batch_best_s=0.5)  # 2.0x
+        ok, _ = check(fresh, _doc(1.0), min_batch_speedup=2.5)
+        assert not ok
+        ok, _ = check(fresh, _doc(1.0), min_batch_speedup=2.0)
+        assert ok
+
+    def test_fresh_missing_batch_section_rejected(self):
+        fresh = _doc(1.0)
+        del fresh["jobs1_batch"]
+        with pytest.raises(GateError, match="missing jobs1_batch"):
+            check(fresh, _doc(1.0))
+
+    def test_baseline_may_predate_the_batch_leg(self):
+        baseline = _doc(1.0)
+        del baseline["jobs1_batch"]
+        ok, _ = check(_doc(1.0), baseline)
+        assert ok
+
+    @pytest.mark.parametrize(
+        "section", [{}, {"best_s": 0}, {"best_s": -1.0}, "not-a-dict"]
+    )
+    def test_malformed_batch_section_rejected(self, section):
+        fresh = _doc(1.0)
+        fresh["jobs1_batch"] = section
+        with pytest.raises(GateError):
+            check(fresh, _doc(1.0))
+
+    def test_batch_gated_even_on_degenerate_hosts(self):
+        # a 1-core runner skips the parallel comparison but lanes run
+        # at jobs=1 — the batch bar applies everywhere
+        fresh = _doc(1.0, jobs=2, degenerate=True, batch_best_s=1.5)
+        ok, _ = check(fresh, _doc(1.0))
+        assert not ok
+
+
 class TestMain:
     def _write(self, path, document):
         path.write_text(json.dumps(document))
@@ -158,6 +215,32 @@ class TestMain:
         fresh = self._write(tmp_path / "fresh.json", _doc(1.0))
         assert main([fresh, "--min-parallel-speedup", "0"]) == 2
 
+    def test_min_batch_speedup_flag(self, tmp_path):
+        fresh = self._write(
+            tmp_path / "fresh.json", _doc(1.0, batch_best_s=0.5)
+        )
+        base = self._write(tmp_path / "base.json", _doc(1.0))
+        assert (
+            main([fresh, "--baseline", base, "--min-batch-speedup", "3.0"])
+            == 1
+        )
+        assert (
+            main([fresh, "--baseline", base, "--min-batch-speedup", "2.0"])
+            == 0
+        )
+
+    def test_bad_min_batch_speedup_exit_two(self, tmp_path):
+        fresh = self._write(tmp_path / "fresh.json", _doc(1.0))
+        assert main([fresh, "--min-batch-speedup", "-1"]) == 2
+
+    def test_missing_batch_section_exit_two(self, tmp_path, capsys):
+        document = _doc(1.0)
+        del document["jobs1_batch"]
+        fresh = self._write(tmp_path / "fresh.json", document)
+        base = self._write(tmp_path / "base.json", _doc(1.0))
+        assert main([fresh, "--baseline", base]) == 2
+        assert "missing jobs1_batch" in capsys.readouterr().err
+
     def test_missing_parallel_section_exit_two(self, tmp_path, capsys):
         fresh = self._write(
             tmp_path / "fresh.json", {"jobs1": {"best_s": 1.0}}
@@ -194,3 +277,9 @@ class TestMain:
         assert parallel["jobs"] >= 2
         assert parallel["pool"] == "process"
         assert isinstance(parallel["degenerate"], bool)
+        batched = document["jobs1_batch"]
+        assert batched["best_s"] > 0
+        assert batched["batch"] is True
+        # the lane layer's acceptance bar: the committed document must
+        # show lanes at least halving the isolated jobs=1 wall time
+        assert document["batch_speedup"] >= 2.0

@@ -6,8 +6,10 @@ from repro.metrics import AbsentPolicy, MetricError
 from repro.tracing.core import Tracer, span
 from repro.tracing.summary import (
     KNOWN_BOUNDARIES,
+    KNOWN_STAGES,
     scrape_spans,
     summarize_spans,
+    summarize_stages,
     summary_lines,
 )
 
@@ -105,6 +107,110 @@ class TestSummaries:
         )
         assert row.p50_s <= row.p99_s
         assert durations[0] <= row.p99_s
+
+
+def _stage_spans(*stages, fail=()):
+    """Spans shaped exactly like the harness's per-stage emissions."""
+    with Tracer(trace_id="t") as tracer:
+        for index, stage in enumerate(stages):
+            try:
+                with span(
+                    f"crosstest.{stage}",
+                    system="crosstest",
+                    operation=stage,
+                ):
+                    if index in fail:
+                        raise RuntimeError("stage broke")
+            except RuntimeError:
+                pass
+    return tracer.finished
+
+
+class TestStageSummaries:
+    def test_counts_and_errors_per_stage(self):
+        spans = _stage_spans(
+            "create", "write", "write", "read", fail=(2,)
+        )
+        rows = {row.stage: row for row in summarize_stages(spans)}
+        assert rows["create"].count == 1
+        assert rows["write"].count == 2
+        assert rows["write"].errors == 1
+        assert rows["read"].count == 1
+        assert rows["read"].errors == 0
+
+    def test_stage_order_is_fixed(self):
+        rows = summarize_stages(_stage_spans("read", "create"))
+        assert tuple(row.stage for row in rows) == KNOWN_STAGES
+
+    def test_reset_reads_absent_under_default_policy(self):
+        # reset is deliberately untraced; a real harness trace never
+        # contains it and the summary must say ABSENT, not 0
+        rows = {
+            row.stage: row
+            for row in summarize_stages(
+                _stage_spans("create", "write", "read")
+            )
+        }
+        assert rows["reset"].absent
+        assert rows["reset"].count is None
+
+    def test_zero_policy_reads_reset_as_zero(self):
+        rows = {
+            row.stage: row
+            for row in summarize_stages(
+                _stage_spans("create"), AbsentPolicy.ZERO
+            )
+        }
+        assert rows["reset"].count == 0
+        assert not rows["reset"].absent
+
+    def test_error_policy_refuses_a_real_harness_trace(self):
+        with pytest.raises(MetricError):
+            summarize_stages(
+                _stage_spans("create", "write", "read"), AbsentPolicy.ERROR
+            )
+
+    def test_lookalike_spans_are_not_stage_spans(self):
+        # same operation, wrong system or wrong name shape: the scrape
+        # must only count the harness's own crosstest.<stage> spans
+        with Tracer(trace_id="t") as tracer:
+            with span("spark.create", system="spark", operation="create"):
+                pass
+            with span(
+                "crosstest.bookkeeping",
+                system="crosstest",
+                operation="create",
+            ):
+                pass
+        rows = {row.stage: row for row in summarize_stages(tracer.finished)}
+        assert rows["create"].absent
+
+    def test_quantiles_ordered(self):
+        spans = _stage_spans(*["write"] * 20)
+        row = next(
+            r for r in summarize_stages(spans) if r.stage == "write"
+        )
+        assert 0.0 <= row.p50_s <= row.p99_s
+
+
+class TestStageRendering:
+    def test_stage_table_rendered_when_stage_spans_exist(self):
+        spans = _stage_spans("create", "write", "read")
+        lines = summary_lines(spans)
+        assert "[trial stages]" in lines
+        stage_block = lines[lines.index("[trial stages]"):]
+        create_line = next(
+            line for line in stage_block if line.startswith("create")
+        )
+        assert "us" in create_line
+        reset_line = next(
+            line for line in stage_block if line.startswith("reset")
+        )
+        assert "ABSENT" in reset_line
+
+    def test_no_stage_table_without_stage_spans(self):
+        lines = summary_lines(_spans_crossing("spark->hdfs"))
+        assert "[trial stages]" not in lines
 
 
 class TestRendering:
