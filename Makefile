@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: tier1 smoke-crosstest smoke-tests test bench bench-json \
-	bench-gate chaos fuzz-smoke fuzz-baseline lint crosstest
+	bench-gate chaos fuzz-smoke fuzz-baseline lint crosstest \
+	status-smoke
 
 # sub-second sanity tier: the distilled 14-input corpus must still
 # reproduce all 15 discrepancy mechanisms (run this before anything
@@ -63,6 +64,19 @@ fuzz-smoke:
 	$(PYTHON) -m repro fuzz --seed 11 --budget 96 --batch 16 \
 		--jobs 4 --quiet --out-dir fuzz-smoke-j4
 	diff fuzz-smoke-j2/fingerprints.jsonl fuzz-smoke-j4/fingerprints.jsonl
+
+# the CI status-smoke step, locally: record a plain and a
+# fault-injected smoke run into a fresh campaign ledger, then render
+# the observatory over it — `repro status` refuses the ledger (exit 2)
+# if its schema version drifted from the reader's
+status-smoke:
+	rm -f ledger-smoke.jsonl
+	$(PYTHON) -m repro crosstest --corpus smoke --jobs 2 --quiet \
+		--ledger ledger-smoke.jsonl
+	$(PYTHON) -m repro crosstest --corpus smoke --jobs 2 --quiet \
+		--faults smoke --fault-seed 1337 \
+		--ledger ledger-smoke.jsonl
+	$(PYTHON) -m repro status --ledger ledger-smoke.jsonl
 
 # regenerate src/repro/fuzz/known_discrepancies.json (deterministic:
 # any machine produces the identical file)

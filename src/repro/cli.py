@@ -9,6 +9,8 @@ Commands map onto the paper's artifacts:
 * ``confcheck`` — lint a deployment's configuration plane
 * ``gaps``      — static reader-gap analysis per storage format
 * ``trace``     — summarize exported boundary traces
+* ``status``    — campaign observatory: ledger trends, co-occurrence
+  clusters, live metrics (optionally served over HTTP)
 """
 
 from __future__ import annotations
@@ -127,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 3 if any injected trial is classified mis-handled",
     )
+    crosstest.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append one campaign-ledger record for this run to PATH "
+        "(JSONL; see 'repro status'). A write failure is reported on "
+        "stderr without changing the run's exit code",
+    )
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -223,6 +233,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the progress/summary lines on stderr",
     )
+    fuzz.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append one campaign-ledger record for this run to PATH "
+        "(JSONL; see 'repro status'). A write failure is reported on "
+        "stderr without changing the run's exit code",
+    )
 
     faults = sub.add_parser(
         "faults", help="inspect the fault-injection machinery"
@@ -276,6 +294,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="how a known boundary with no spans reads: absent "
         "(default; renders ABSENT), zero (the GCP-outage misread), "
         "or error (refuse the scrape)",
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="campaign observatory: ledger trends, co-occurrence "
+        "clusters, live metrics",
+    )
+    status.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="campaign ledger (JSONL) recorded with "
+        "'crosstest --ledger' / 'fuzz --ledger'; omitted or empty "
+        "ledgers render a 'no runs recorded' report",
+    )
+    status.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="J",
+        help="minimum Jaccard similarity for two failure items to "
+        "share a co-occurrence cluster (default: 0.5)",
+    )
+    status.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    status.add_argument(
+        "--serve",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="serve /metrics, /ledger and /clusters as JSON over HTTP "
+        "until interrupted, instead of printing once",
+    )
+    status.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the informational lines on stderr",
     )
     return parser
 
@@ -394,6 +449,28 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
         with open(args.fault_json, "w", encoding="utf-8") as handle:
             json.dump(fault_payload, handle, indent=1, sort_keys=True)
             handle.write("\n")
+    ledger_note = ledger_error = None
+    if args.ledger is not None:
+        from repro.obs import Ledger, crosstest_record, run_env
+
+        record = crosstest_record(
+            report,
+            corpus=args.corpus,
+            conf_overrides=overrides,
+            env=run_env(
+                jobs=resolve_jobs(args.jobs),
+                pool=args.pool,
+                wall_s=elapsed,
+                metrics=metrics,
+            ),
+        )
+        try:
+            Ledger(args.ledger).append(record)
+            ledger_note = f"appended run record to {args.ledger}"
+        except OSError as exc:
+            # exit-code-preserving: a broken ledger must not turn a
+            # completed run into a failure (nor mask --fault-gate)
+            ledger_error = f"ledger error: {exc}"
 
     # The report goes to stdout first and is flushed before any summary
     # chatter hits stderr, so piped consumers never see the two streams
@@ -403,6 +480,9 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
     else:
         print("\n".join(report.summary_lines()))
     sys.stdout.flush()
+    if ledger_error is not None:
+        # errors are not chatter: reported even under --quiet
+        print(f"[crosstest] {ledger_error}", file=sys.stderr)
     if not args.quiet:
         trials = int(metrics.trials_total.value)
         rate = trials / elapsed if elapsed > 0 else 0.0
@@ -415,6 +495,8 @@ def _cmd_crosstest(args: argparse.Namespace) -> int:
         print(f"[crosstest] {metrics.cache_summary()}", file=sys.stderr)
         if trace_note is not None:
             print(f"[crosstest] {trace_note}", file=sys.stderr)
+        if ledger_note is not None:
+            print(f"[crosstest] {ledger_note}", file=sys.stderr)
     if args.fault_gate and report.faults is not None:
         mis_handled = report.faults.mis_handled()
         if mis_handled:
@@ -519,11 +601,40 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    metrics = None
+    if args.ledger is not None:
+        from repro.crosstest import CrossTestMetrics
+
+        metrics = CrossTestMetrics(source="fuzz")
     started = time.perf_counter()
     result = run_fuzz(
-        config, baseline, progress=progress if show_progress else None
+        config,
+        baseline,
+        metrics=metrics,
+        progress=progress if show_progress else None,
     )
     elapsed = time.perf_counter() - started
+
+    ledger_note = ledger_error = None
+    if args.ledger is not None:
+        from repro.obs import Ledger, fuzz_record, run_env
+
+        record = fuzz_record(
+            result,
+            env=run_env(
+                jobs=config.jobs,
+                pool=args.pool,
+                wall_s=elapsed,
+                metrics=metrics,
+            ),
+        )
+        try:
+            Ledger(args.ledger).append(record)
+            ledger_note = f"appended run record to {args.ledger}"
+        except OSError as exc:
+            # exit-code-preserving: a broken ledger must not mask the
+            # novel-findings exit code (4) with a failure of its own
+            ledger_error = f"ledger error: {exc}"
 
     if args.out_dir is not None:
         note = _write_fuzz_out_dir(result, args.out_dir)
@@ -549,6 +660,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     else:
         print("\n".join(section.summary_lines()))
     sys.stdout.flush()
+    if ledger_error is not None:
+        # errors are not chatter: reported even under --quiet
+        print(f"[fuzz] {ledger_error}", file=sys.stderr)
     if not args.quiet:
         rate = result.trials_run / elapsed if elapsed > 0 else 0.0
         print(
@@ -558,6 +672,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             f"({len(result.novel_findings)} novel)",
             file=sys.stderr,
         )
+        if ledger_note is not None:
+            print(f"[fuzz] {ledger_note}", file=sys.stderr)
     return 4 if result.novel_findings else 0
 
 
@@ -707,6 +823,200 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _iso(ts: float) -> str:
+    import time
+
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(ts))
+
+
+def _status_registries():
+    """The live registries the status surface exposes: the process-wide
+    cache stats (the only registry with module lifetime — run registries
+    die with their runs)."""
+    from repro.metrics.caches import cache_stats_registry
+
+    return (cache_stats_registry(),)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        DEFAULT_THRESHOLD,
+        LEDGER_SCHEMA_VERSION,
+        LedgerError,
+        ObsServer,
+        check_schema,
+        cluster_ledger,
+        read_ledger,
+    )
+
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    if not 0.0 < threshold <= 1.0:
+        print(
+            f"bad --threshold {threshold}; expected a Jaccard similarity "
+            "in (0, 1]",
+            file=sys.stderr,
+        )
+        return 2
+
+    records: list[dict] = []
+    if args.ledger is not None:
+        try:
+            records = read_ledger(args.ledger)
+            check_schema(records, args.ledger)
+        except LedgerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.serve is not None:
+        host, sep, port_text = args.serve.rpartition(":")
+        if not sep:
+            host = "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            print(
+                f"bad --serve {args.serve!r}; expected [HOST:]PORT",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            server = ObsServer(
+                ledger_path=args.ledger,
+                registries=_status_registries(),
+                host=host,
+                port=port,
+                threshold=threshold,
+            )
+        except OSError as exc:
+            print(f"error: cannot bind {args.serve!r}: {exc}", file=sys.stderr)
+            return 2
+        if not args.quiet:
+            print(
+                f"[status] serving {', '.join(server.ENDPOINTS)} "
+                f"at {server.url()} (Ctrl-C to stop)",
+                file=sys.stderr,
+            )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+        return 0
+
+    clusters = cluster_ledger(records, threshold=threshold)
+    metrics_snapshot = {
+        registry.system: registry.snapshot()
+        for registry in _status_registries()
+    }
+
+    if args.json:
+        payload = {
+            "schema_version": LEDGER_SCHEMA_VERSION,
+            "ledger": args.ledger,
+            "total_runs": len(records),
+            "threshold": threshold,
+            "runs": records,
+            "clusters": [cluster.to_json() for cluster in clusters],
+            "metrics": metrics_snapshot,
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+
+    print(
+        f"campaign ledger: {args.ledger or '(none)'} "
+        f"(schema v{LEDGER_SCHEMA_VERSION})"
+    )
+    if not records:
+        print(
+            "no runs recorded — record one with "
+            "'repro crosstest --ledger PATH' or 'repro fuzz --ledger PATH'"
+        )
+        return 0
+
+    kinds: dict[str, int] = {}
+    for record in records:
+        kind = str(record.get("kind", "?"))
+        kinds[kind] = kinds.get(kind, 0) + 1
+    kind_text = ", ".join(
+        f"{count} {kind}" for kind, count in sorted(kinds.items())
+    )
+    timestamps = [float(record.get("ts", 0.0)) for record in records]
+    print(
+        f"runs: {len(records)} ({kind_text}), "
+        f"{_iso(min(timestamps))} .. {_iso(max(timestamps))}"
+    )
+    print()
+    print("recent runs (newest last):")
+    for record in records[-10:]:
+        results = record.get("results", {})
+        run = record.get("run", {})
+        fingerprints = len(results.get("fingerprints", ()))
+        faults = results.get("faults") or {}
+        fault_text = (
+            f", faults={faults.get('plan')}"
+            f" mis_handled={len(faults.get('mis_handled', ()))}"
+            if faults
+            else ""
+        )
+        print(
+            f"  {_iso(float(record.get('ts', 0.0)))} "
+            f"{record.get('kind', '?'):9} "
+            f"trials={results.get('trials', 0):<5} "
+            f"fingerprints={fingerprints}{fault_text}"
+            + (
+                f" corpus={run.get('corpus')}"
+                if run.get("corpus") is not None
+                else ""
+            )
+        )
+    print()
+    if not clusters:
+        print(
+            f"co-occurrence clusters (Jaccard >= {threshold:g}): none — "
+            "no failure items recorded yet"
+        )
+    else:
+        print(
+            f"co-occurrence clusters (Jaccard >= {threshold:g}): "
+            f"{len(clusters)}"
+        )
+        for index, cluster in enumerate(clusters, start=1):
+            failed = len(cluster.runs)
+            print(
+                f"  #{index}: {len(cluster.members)} member(s), "
+                f"flake {cluster.flake_rate:.0%} "
+                f"({failed}/{len(records)} runs), "
+                f"seams: {', '.join(cluster.seams)}"
+            )
+            print(
+                f"      first seen {_iso(cluster.first_seen)}, "
+                f"last seen {_iso(cluster.last_seen)}"
+            )
+            for member in cluster.members[:5]:
+                print(f"      {member}")
+            if len(cluster.members) > 5:
+                print(f"      ... {len(cluster.members) - 5} more")
+    live = {
+        system: snapshot
+        for system, snapshot in metrics_snapshot.items()
+        if snapshot
+    }
+    if live:
+        print()
+        print("live metrics:")
+        for system, snapshot in sorted(live.items()):
+            for name, entry in sorted(snapshot.items()):
+                if entry.get("kind") == "histogram":
+                    value = f"count={entry.get('count', 0)}"
+                else:
+                    value = f"{entry.get('value', 0)}"
+                print(f"  {system}.{name} = {value}")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.dataset.io import dump_failures
     from repro.dataset.opensource import load_failures
@@ -736,6 +1046,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_export(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "status":
+        return _cmd_status(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -800,6 +800,12 @@ class CrossTestMetrics:
 
     # -- rendering -----------------------------------------------------
 
+    def snapshot(self) -> dict[str, dict]:
+        """The registry's public snapshot — the feed for ``to_json``,
+        the campaign ledger's ``env.metrics`` section, and the status
+        server's ``/metrics`` endpoint."""
+        return self.registry.snapshot()
+
     def to_json(self) -> dict:
         """Full snapshot: every metric plus the tracked-cache registry.
 
@@ -809,11 +815,14 @@ class CrossTestMetrics:
         from repro.metrics.caches import cache_info_snapshot
 
         metrics: dict[str, object] = {}
-        for name, metric in self.registry.items():
-            if isinstance(metric, Histogram):
-                metrics[name] = metric.snapshot()
+        for name, entry in self.snapshot().items():
+            if entry["kind"] == "histogram":
+                metrics[name] = {
+                    key: entry[key]
+                    for key in ("count", "sum", "buckets", "overflow")
+                }
             else:
-                metrics[name] = metric.value
+                metrics[name] = entry["value"]
         return {
             "system": self.registry.system,
             "metrics": metrics,

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.crosstest.catalog import CATALOG, CATEGORY_MEMBERS, Discrepancy
 from repro.crosstest.classify import Evidence, classify_trials
 from repro.crosstest.executor import run_trials
+from repro.crosstest.fingerprint import FingerprintHit, run_fingerprints
 from repro.crosstest.harness import CrossTester, Outcome, Trial
 from repro.crosstest.oracles import (
     OracleFailure,
@@ -251,6 +252,18 @@ class CrossTestReport:
             name: len(members & self.found_numbers)
             for name, members in CATEGORY_MEMBERS.items()
         }
+
+    def fingerprints(self, conf: str = "") -> dict[str, FingerprintHit]:
+        """Mechanism fingerprints of this run's oracle failures.
+
+        The same ``{key: hit}`` mapping a fuzz campaign collects,
+        computed from the already-evaluated failures — the feed the
+        campaign ledger records so co-occurrence analytics can group
+        plain §8 runs and fuzz runs through one vocabulary. ``conf`` is
+        the deployment-conf label the run executed under
+        (:func:`~repro.crosstest.fingerprint.conf_label`).
+        """
+        return run_fingerprints(self.trials, self.failures, conf)
 
     def to_json(self) -> dict:
         payload = {

@@ -173,6 +173,28 @@ class FuzzResult:
             )
         return records
 
+    def ledger_results(self) -> dict:
+        """The campaign's deterministic observations, ledger-shaped.
+
+        Everything here is a pure function of ``(seed, budget,
+        baseline)`` — byte-identical at any ``--jobs``/pool setting —
+        so it lives in a ledger record's reproducible section rather
+        than its volatile ``env``.
+        """
+        return {
+            "trials": self.trials_run,
+            "rounds": self.rounds,
+            "candidates": self.candidates,
+            "coverage_features": len(self.coverage),
+            "fingerprints": sorted(self.findings),
+            "novel": sorted(
+                key
+                for key, finding in self.findings.items()
+                if finding.novel
+            ),
+            "rediscovered": list(self.rediscovered),
+        }
+
     def section(self) -> FuzzSection:
         return FuzzSection(
             seed=self.config.seed,

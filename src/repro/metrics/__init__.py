@@ -15,6 +15,7 @@ from repro.metrics.registry import (
     Histogram,
     MetricError,
     MetricsRegistry,
+    quantile_from_snapshot,
 )
 
 __all__ = [
@@ -31,5 +32,6 @@ __all__ = [
     "cache_info_snapshot",
     "cache_stats_registry",
     "clear_tracked_caches",
+    "quantile_from_snapshot",
     "tracked_caches",
 ]

@@ -23,6 +23,7 @@ __all__ = [
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS",
     "MetricsRegistry",
+    "quantile_from_snapshot",
 ]
 
 #: Bucket upper bounds (seconds) sized for sub-millisecond trial work.
@@ -253,3 +254,52 @@ class MetricsRegistry:
     ) -> dict[str, float]:
         del absent_policy  # registered metrics are never absent here
         return {name: metric.value for name, metric in sorted(self._metrics.items())}
+
+    def snapshot(self) -> dict[str, dict]:
+        """Every registered metric as plain JSON-ready data.
+
+        ``{name: {"kind": "gauge"|"counter"|"histogram", ...}}`` in name
+        order. Gauges and counters carry ``value``; histograms carry
+        ``count``/``sum``/``buckets``/``overflow`` (the same shape as
+        :meth:`Histogram.snapshot`, with buckets in ascending-bound
+        order). This is the one export surface — ``--metrics-json``,
+        ``trace summarize``, the campaign ledger and the status server
+        all read it — so nothing outside this module needs to know which
+        concrete metric class sits behind a name.
+        """
+        out: dict[str, dict] = {}
+        for name, metric in self.items():
+            if isinstance(metric, Histogram):
+                out[name] = {"kind": "histogram", **metric.snapshot()}
+            elif isinstance(metric, Counter):
+                out[name] = {"kind": "counter", "value": metric.value}
+            else:
+                out[name] = {"kind": "gauge", "value": metric.value}
+        return out
+
+
+def quantile_from_snapshot(entry: dict, q: float) -> float:
+    """:meth:`Histogram.quantile`, recomputed from a snapshot entry.
+
+    ``entry`` is one histogram value out of
+    :meth:`MetricsRegistry.snapshot` (or its JSON round trip — bucket
+    keys are stringified bounds and stay in ascending order either
+    way), so consumers can derive percentiles without holding the live
+    :class:`Histogram` object. Upper-bound biased, exactly like the
+    live method.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise MetricError(f"quantile {q} out of [0, 1]")
+    count = int(entry.get("count", 0))
+    buckets = entry.get("buckets", {})
+    if not count:
+        return 0.0
+    rank = q * count
+    cumulative = 0
+    bound = 0.0
+    for text, bucket_count in buckets.items():
+        bound = float(text)
+        cumulative += int(bucket_count)
+        if cumulative >= rank:
+            return bound
+    return bound if buckets else 0.0

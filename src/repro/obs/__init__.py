@@ -1,0 +1,52 @@
+"""Campaign observability: run ledger, co-occurrence analytics, status.
+
+The campaign-side complement of :mod:`repro.metrics` (one run's
+counters) and :mod:`repro.tracing` (one trial's spans): this package
+remembers what *past* runs found. :mod:`repro.obs.ledger` appends one
+structured record per ``crosstest``/``fuzz``/chaos run,
+:mod:`repro.obs.cluster` groups the recorded discrepancy fingerprints
+and mis-handled fault sites into co-occurrence clusters across runs,
+and :mod:`repro.obs.server` plus ``repro status`` render both — live.
+"""
+
+from repro.obs.cluster import (
+    DEFAULT_THRESHOLD,
+    Cluster,
+    cluster_ledger,
+    item_seam,
+    jaccard,
+    record_items,
+)
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    LedgerError,
+    canonical_record,
+    check_schema,
+    crosstest_record,
+    fuzz_record,
+    read_ledger,
+    run_env,
+)
+from repro.obs.server import ObsServer
+
+__all__ = [
+    "Cluster",
+    "DEFAULT_THRESHOLD",
+    "LEDGER_SCHEMA",
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
+    "LedgerError",
+    "ObsServer",
+    "canonical_record",
+    "check_schema",
+    "cluster_ledger",
+    "crosstest_record",
+    "fuzz_record",
+    "item_seam",
+    "jaccard",
+    "read_ledger",
+    "record_items",
+    "run_env",
+]

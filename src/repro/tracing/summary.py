@@ -16,7 +16,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.metrics import AbsentPolicy, Histogram, MetricsRegistry
+from repro.metrics import (
+    AbsentPolicy,
+    MetricsRegistry,
+    quantile_from_snapshot,
+)
 from repro.tracing.core import Span
 
 __all__ = [
@@ -124,6 +128,7 @@ def summarize_spans(
     :class:`~repro.metrics.MetricError`.
     """
     registry = scrape_spans(spans)
+    snapshot = registry.snapshot()
     seen = sorted(
         {item.boundary for item in spans if item.boundary} - set(boundaries)
     )
@@ -133,17 +138,18 @@ def summarize_spans(
         if count is None:
             summaries.append(BoundarySummary(boundary, None))
             continue
-        histogram = registry.get(_histogram_name(boundary))
-        if isinstance(histogram, Histogram) and histogram.count:
-            p50, p99 = histogram.quantile(0.5), histogram.quantile(0.99)
+        histogram = snapshot.get(_histogram_name(boundary))
+        if histogram is not None and histogram.get("count"):
+            p50 = quantile_from_snapshot(histogram, 0.5)
+            p99 = quantile_from_snapshot(histogram, 0.99)
         else:
             p50 = p99 = 0.0
-        errors = registry.read(_error_name(boundary), AbsentPolicy.ZERO)
+        errors = snapshot.get(_error_name(boundary), {}).get("value", 0)
         summaries.append(
             BoundarySummary(
                 boundary,
                 count=int(count),
-                errors=int(errors or 0),
+                errors=int(errors),
                 p50_s=p50,
                 p99_s=p99,
             )
@@ -209,23 +215,25 @@ def summarize_stages(
             f"stage_latency:{item.operation}",
             description=f"{item.operation}-stage latency (seconds)",
         ).observe(item.duration_s)
+    snapshot = registry.snapshot()
     summaries: list[StageSummary] = []
     for stage in KNOWN_STAGES:
         count = registry.read(f"stage_spans:{stage}", absent_policy)
         if count is None:
             summaries.append(StageSummary(stage, None))
             continue
-        histogram = registry.get(f"stage_latency:{stage}")
-        if isinstance(histogram, Histogram) and histogram.count:
-            p50, p99 = histogram.quantile(0.5), histogram.quantile(0.99)
+        histogram = snapshot.get(f"stage_latency:{stage}")
+        if histogram is not None and histogram.get("count"):
+            p50 = quantile_from_snapshot(histogram, 0.5)
+            p99 = quantile_from_snapshot(histogram, 0.99)
         else:
             p50 = p99 = 0.0
-        errors = registry.read(f"stage_errors:{stage}", AbsentPolicy.ZERO)
+        errors = snapshot.get(f"stage_errors:{stage}", {}).get("value", 0)
         summaries.append(
             StageSummary(
                 stage,
                 count=int(count),
-                errors=int(errors or 0),
+                errors=int(errors),
                 p50_s=p50,
                 p99_s=p99,
             )

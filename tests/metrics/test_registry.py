@@ -148,3 +148,53 @@ class TestHistogram:
         hist.observe(0.002)
         # a histogram scrapes as its observation count
         assert registry.scrape()["latency"] == 2.0
+
+
+class TestSnapshot:
+    def test_snapshot_types_every_metric(self, registry):
+        registry.counter("c").increment(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == {"kind": "counter", "value": 2.0}
+        assert snapshot["g"] == {"kind": "gauge", "value": 7.0}
+        hist = snapshot["h"]
+        assert hist["kind"] == "histogram"
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(0.5)
+        assert "buckets" in hist
+
+    def test_snapshot_is_json_round_trippable(self, registry):
+        import json
+
+        registry.histogram("h").observe(1.0)
+        assert json.loads(json.dumps(registry.snapshot()))
+
+    def test_quantile_from_snapshot_matches_histogram(self, registry):
+        from repro.metrics import quantile_from_snapshot
+
+        hist = registry.histogram("h")
+        for value in (0.001, 0.003, 0.02, 0.4, 9.0):
+            hist.observe(value)
+        entry = registry.snapshot()["h"]
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert quantile_from_snapshot(entry, q) == hist.quantile(q)
+
+    def test_quantile_from_snapshot_survives_json(self, registry):
+        import json
+
+        from repro.metrics import quantile_from_snapshot
+
+        hist = registry.histogram("h")
+        hist.observe(0.002)
+        hist.observe(0.04)
+        entry = json.loads(json.dumps(registry.snapshot()))["h"]
+        assert quantile_from_snapshot(entry, 0.5) == hist.quantile(0.5)
+
+    def test_quantile_from_snapshot_empty_and_range(self):
+        from repro.metrics import quantile_from_snapshot
+
+        empty = {"count": 0, "buckets": {}}
+        assert quantile_from_snapshot(empty, 0.99) == 0.0
+        with pytest.raises(MetricError):
+            quantile_from_snapshot(empty, 1.5)

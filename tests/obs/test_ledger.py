@@ -1,0 +1,218 @@
+"""Tests for the campaign run ledger.
+
+The load-bearing guarantee: with the clock injected and ``env`` pinned,
+a ledger record is a pure function of the run's inputs — byte-identical
+at every ``--jobs``/pool setting, for plain, fault-injected, and fuzz
+runs alike.
+"""
+
+import json
+
+import pytest
+
+from repro.crosstest.report import run_crosstest
+from repro.crosstest.smoke import smoke_inputs
+from repro.faults import BUILTIN_PLANS
+from repro.obs import (
+    LEDGER_SCHEMA,
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    LedgerError,
+    canonical_record,
+    check_schema,
+    crosstest_record,
+    fuzz_record,
+    read_ledger,
+    run_env,
+)
+
+SETTINGS = [
+    (1, "thread"),
+    (2, "thread"),
+    (4, "thread"),
+    (2, "process"),
+    (4, "process"),
+]
+
+FIXED_CLOCK = lambda: 1700000000.0  # noqa: E731
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return smoke_inputs()
+
+
+def _record_bytes(record) -> bytes:
+    return json.dumps(record, sort_keys=True).encode("utf-8")
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def plain_baseline(self, smoke):
+        report = run_crosstest(inputs=smoke, formats=("parquet",), jobs=1)
+        return crosstest_record(
+            report, corpus="smoke", clock=FIXED_CLOCK, env={}
+        )
+
+    @pytest.mark.parametrize("jobs,pool", SETTINGS)
+    def test_plain_record_byte_identical(
+        self, smoke, plain_baseline, jobs, pool
+    ):
+        report = run_crosstest(
+            inputs=smoke, formats=("parquet",), jobs=jobs, pool=pool
+        )
+        record = crosstest_record(
+            report, corpus="smoke", clock=FIXED_CLOCK, env={}
+        )
+        assert _record_bytes(record) == _record_bytes(plain_baseline)
+
+    @pytest.fixture(scope="class")
+    def faulted_baseline(self, smoke):
+        report = run_crosstest(
+            inputs=smoke,
+            formats=("parquet",),
+            jobs=1,
+            fault_plan=BUILTIN_PLANS["smoke"],
+            fault_seed=1337,
+        )
+        return crosstest_record(
+            report, corpus="smoke", clock=FIXED_CLOCK, env={}
+        )
+
+    @pytest.mark.parametrize("jobs,pool", SETTINGS)
+    def test_faulted_record_byte_identical(
+        self, smoke, faulted_baseline, jobs, pool
+    ):
+        report = run_crosstest(
+            inputs=smoke,
+            formats=("parquet",),
+            jobs=jobs,
+            pool=pool,
+            fault_plan=BUILTIN_PLANS["smoke"],
+            fault_seed=1337,
+        )
+        record = crosstest_record(
+            report, corpus="smoke", clock=FIXED_CLOCK, env={}
+        )
+        assert _record_bytes(record) == _record_bytes(faulted_baseline)
+
+    def test_env_is_outside_the_deterministic_core(self, smoke):
+        report = run_crosstest(inputs=smoke, formats=("parquet",), jobs=1)
+        noisy = crosstest_record(
+            report,
+            corpus="smoke",
+            clock=FIXED_CLOCK,
+            env={"jobs": 4, "wall_s": 1.23},
+        )
+        quiet = crosstest_record(
+            report, corpus="smoke", clock=FIXED_CLOCK, env={}
+        )
+        assert canonical_record(noisy) == canonical_record(quiet)
+        assert noisy != quiet
+
+
+class TestFuzzRecord:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        from repro.fuzz import Baseline, FuzzConfig, run_fuzz
+
+        def run(jobs, pool):
+            config = FuzzConfig(
+                seed=3,
+                budget=16,
+                batch=8,
+                jobs=jobs,
+                pool=pool,
+                shrink=False,
+            )
+            return run_fuzz(config, Baseline.empty())
+
+        return run
+
+    def test_fuzz_record_byte_identical_across_jobs(self, campaign):
+        baseline = fuzz_record(
+            campaign(1, "thread"), clock=FIXED_CLOCK, env={}
+        )
+        for jobs, pool in [(2, "thread"), (4, "process")]:
+            record = fuzz_record(
+                campaign(jobs, pool), clock=FIXED_CLOCK, env={}
+            )
+            assert _record_bytes(record) == _record_bytes(baseline)
+
+    def test_fuzz_record_shape(self, campaign):
+        record = fuzz_record(campaign(1, "thread"), clock=FIXED_CLOCK, env={})
+        assert record["kind"] == "fuzz"
+        assert record["schema_version"] == LEDGER_SCHEMA_VERSION
+        assert record["run"]["seed"] == 3
+        results = record["results"]
+        assert results["trials"] > 0
+        assert results["coverage_features"] > 0
+        assert results["fingerprints"] == sorted(results["fingerprints"])
+
+
+class TestLedgerFile:
+    def test_append_then_read_round_trips(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = Ledger(path)
+        first = {"schema_version": 1, "kind": "crosstest", "ts": 1.0}
+        second = {"schema_version": 1, "kind": "fuzz", "ts": 2.0}
+        ledger.append(first)
+        ledger.append(second)
+        assert ledger.read() == [first, second]
+
+    def test_missing_file_is_an_empty_campaign(self, tmp_path):
+        assert read_ledger(str(tmp_path / "absent.jsonl")) == []
+
+    def test_corrupt_line_reports_path_and_lineno(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(LedgerError, match=r"ledger\.jsonl:2"):
+            read_ledger(str(path))
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(LedgerError, match="expected a JSON object"):
+            read_ledger(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('\n{"ok": 1}\n\n')
+        assert read_ledger(str(path)) == [{"ok": 1}]
+
+
+class TestSchema:
+    def test_current_version_accepted(self):
+        check_schema([{"schema_version": LEDGER_SCHEMA_VERSION}])
+
+    def test_drift_names_versions(self):
+        records = [
+            {"schema_version": LEDGER_SCHEMA_VERSION},
+            {"schema_version": 99},
+        ]
+        with pytest.raises(LedgerError, match="99"):
+            check_schema(records, "campaign.jsonl")
+
+    def test_schema_constant_documents_every_record_key(self, smoke):
+        report = run_crosstest(inputs=smoke, formats=("parquet",), jobs=1)
+        record = crosstest_record(
+            report, corpus="smoke", clock=FIXED_CLOCK, env={}
+        )
+        assert set(record) == set(LEDGER_SCHEMA["record"])
+        assert LEDGER_SCHEMA["version"] == LEDGER_SCHEMA_VERSION
+
+
+class TestRunEnv:
+    def test_env_carries_what_the_caller_measured(self):
+        env = run_env(jobs=4, pool="thread", wall_s=1.23456789)
+        assert env["jobs"] == 4
+        assert env["pool"] == "thread"
+        assert env["wall_s"] == pytest.approx(1.234568)
+
+    def test_metrics_snapshot_included(self):
+        from repro.crosstest import CrossTestMetrics
+
+        metrics = CrossTestMetrics()
+        metrics.trials_total.increment(3)
+        env = run_env(metrics=metrics)
+        assert env["metrics"]["trials_total"]["value"] == 3.0

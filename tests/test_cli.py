@@ -271,6 +271,125 @@ class TestTraceSummarize:
         assert "error:" in capsys.readouterr().err
 
 
+class TestLedgerFlag:
+    def test_crosstest_appends_record(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        assert main([
+            "crosstest", "--formats", "parquet", "--jobs", "1",
+            "--corpus", "smoke", "--ledger", str(path),
+        ]) == 0
+        assert "appended run record" in capsys.readouterr().err
+        from repro.obs import read_ledger
+
+        (record,) = read_ledger(str(path))
+        assert record["kind"] == "crosstest"
+        assert record["run"]["corpus"] == "smoke"
+        assert record["results"]["trials"] > 0
+        assert record["env"]["jobs"] == 1
+        assert "metrics" in record["env"]
+
+    def test_fuzz_appends_record(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        code = main([
+            "fuzz", "--budget", "8", "--batch", "8", "--no-shrink",
+            "--quiet", "--ledger", str(path),
+        ])
+        assert code in (0, 4)
+        from repro.obs import read_ledger
+
+        (record,) = read_ledger(str(path))
+        assert record["kind"] == "fuzz"
+        assert record["run"]["budget"] == 8
+        assert record["env"]["metrics"]  # the fuzz-sourced registry
+
+    def test_unwritable_ledger_preserves_exit_code(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker.txt"
+        blocker.write_text("")
+        # a path under a file can never be opened for append
+        path = blocker / "ledger.jsonl"
+        assert main([
+            "crosstest", "--formats", "parquet", "--jobs", "1",
+            "--corpus", "smoke", "--quiet", "--ledger", str(path),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "ledger error" in captured.err
+        assert "discrepancies found" in captured.out
+
+    def test_quiet_keeps_ledger_note_off_stderr(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        assert main([
+            "crosstest", "--formats", "parquet", "--jobs", "1",
+            "--corpus", "smoke", "--quiet", "--ledger", str(path),
+        ]) == 0
+        assert capsys.readouterr().err == ""
+        assert path.exists()
+
+
+class TestStatus:
+    def _seed_ledger(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        for seed in ("1337", "1338"):
+            assert main([
+                "crosstest", "--formats", "parquet", "--jobs", "1",
+                "--corpus", "smoke", "--quiet",
+                "--faults", "smoke", "--fault-seed", seed,
+                "--ledger", str(path),
+            ]) == 0
+        return path
+
+    def test_no_runs_recorded_is_friendly(self, tmp_path, capsys):
+        assert main([
+            "status", "--ledger", str(tmp_path / "absent.jsonl"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no runs recorded" in out
+
+    def test_no_ledger_at_all_is_friendly(self, capsys):
+        assert main(["status"]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_status_renders_clusters_with_seams(self, tmp_path, capsys):
+        path = self._seed_ledger(tmp_path)
+        capsys.readouterr()
+        assert main(["status", "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "runs: 2 (2 crosstest)" in out
+        assert "co-occurrence clusters" in out
+        assert "flake 100%" in out
+        assert "spark->hive" in out or "spark<->spark" in out
+
+    def test_status_json(self, tmp_path, capsys):
+        path = self._seed_ledger(tmp_path)
+        capsys.readouterr()
+        assert main(["status", "--ledger", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_runs"] == 2
+        assert payload["clusters"]
+        cluster = payload["clusters"][0]
+        assert cluster["flake_rate"] == 1.0
+        assert cluster["seams"]
+
+    def test_schema_drift_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"schema_version": 99, "kind": "crosstest"}\n')
+        assert main(["status", "--ledger", str(path)]) == 2
+        assert "schema-version drift" in capsys.readouterr().err
+
+    def test_corrupt_ledger_exits_2_without_traceback(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text("not json\n")
+        assert main(["status", "--ledger", str(path)]) == 2
+        assert "not a JSON record" in capsys.readouterr().err
+
+    def test_bad_threshold_rejected(self, capsys):
+        assert main(["status", "--threshold", "0"]) == 2
+        assert "bad --threshold" in capsys.readouterr().err
+
+    def test_bad_serve_spec_rejected(self, capsys):
+        assert main(["status", "--serve", "not-a-port"]) == 2
+        assert "bad --serve" in capsys.readouterr().err
+
+
 class TestConfcheckAndGaps:
     def test_confcheck_flags_example(self, capsys):
         assert main(["confcheck"]) == 1
