@@ -3,7 +3,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: tier1 smoke-crosstest smoke-tests test bench bench-json \
 	bench-gate chaos fuzz-smoke fuzz-baseline lint crosstest \
-	status-smoke
+	status-smoke campaign-smoke
 
 # sub-second sanity tier: the distilled 14-input corpus must still
 # reproduce all 15 discrepancy mechanisms (run this before anything
@@ -77,6 +77,34 @@ status-smoke:
 		--faults smoke --fault-seed 1337 \
 		--ledger ledger-smoke.jsonl
 	$(PYTHON) -m repro status --ledger ledger-smoke.jsonl
+
+# the CI campaign-smoke job, locally: an uninterrupted 3-batch
+# campaign vs. one "killed" after batch 1 (--max-batches 1, jobs=2)
+# and resumed from its checkpoint for the remaining 2 (jobs=4). The
+# fingerprint JSONL must be byte-identical and the ledgers canonically
+# identical, or checkpoint/resume broke the determinism contract.
+# Exit 4 (a novel fingerprint) fails the target, same as fuzz-smoke.
+campaign-smoke:
+	rm -rf campaign-smoke && mkdir -p campaign-smoke
+	$(PYTHON) -m repro campaign --seed 11 --batch 16 --jobs 2 \
+		--max-batches 3 --quiet \
+		--checkpoint campaign-smoke/clean.ckpt.json \
+		--fingerprints campaign-smoke/clean.fp.jsonl \
+		--ledger campaign-smoke/clean.ledger.jsonl
+	$(PYTHON) -m repro campaign --seed 11 --batch 16 --jobs 2 \
+		--max-batches 1 --quiet \
+		--checkpoint campaign-smoke/resumed.ckpt.json \
+		--fingerprints campaign-smoke/resumed.fp.jsonl \
+		--ledger campaign-smoke/resumed.ledger.jsonl
+	$(PYTHON) -m repro campaign --seed 11 --batch 16 --jobs 4 \
+		--max-batches 3 --quiet \
+		--checkpoint campaign-smoke/resumed.ckpt.json \
+		--fingerprints campaign-smoke/resumed.fp.jsonl \
+		--ledger campaign-smoke/resumed.ledger.jsonl
+	diff campaign-smoke/clean.fp.jsonl campaign-smoke/resumed.fp.jsonl
+	$(PYTHON) -m repro.obs.ledgerdiff \
+		campaign-smoke/clean.ledger.jsonl \
+		campaign-smoke/resumed.ledger.jsonl
 
 # regenerate src/repro/fuzz/known_discrepancies.json (deterministic:
 # any machine produces the identical file)

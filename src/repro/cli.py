@@ -5,6 +5,8 @@ Commands map onto the paper's artifacts:
 * ``study``     — regenerate Tables 1-9 and Findings 1-13 (C1/E1)
 * ``crosstest`` — run the §8 Spark-Hive cross-test (C2/E2)
 * ``fuzz``      — coverage-guided discrepancy search beyond the corpus
+* ``campaign``  — the always-on version of ``fuzz``: checkpoint every
+  batch, resume exactly after a kill, stream findings to the ledger
 * ``replay``    — replay a named CSI failure (Figures 1-5 and more)
 * ``confcheck`` — lint a deployment's configuration plane
 * ``gaps``      — static reader-gap analysis per storage format
@@ -242,6 +244,113 @@ def build_parser() -> argparse.ArgumentParser:
         "stderr without changing the run's exit code",
     )
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="run the fuzz pipeline continuously with per-batch "
+        "checkpoints; a killed campaign resumes exactly",
+    )
+    campaign.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="campaign seed; every generator choice derives from it "
+        "(default: 0)",
+    )
+    campaign.add_argument(
+        "--batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="candidates per batch — one batch is the commit/checkpoint "
+        "unit (default: 16)",
+    )
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker count per batch (default: 1; campaign output is "
+        "byte-identical at any jobs/pool setting, resume included)",
+    )
+    campaign.add_argument(
+        "--pool",
+        default="auto",
+        choices=["auto", "thread", "process"],
+        help="worker pool flavour when --jobs > 1 (default: auto)",
+    )
+    campaign.add_argument(
+        "--checkpoint",
+        default="campaign-checkpoint.json",
+        metavar="PATH",
+        help="checkpoint file: written atomically after every batch, "
+        "resumed from when it already exists "
+        "(default: campaign-checkpoint.json)",
+    )
+    campaign.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append one 'campaign' ledger record per batch to PATH "
+        "(JSONL; see 'repro status')",
+    )
+    campaign.add_argument(
+        "--fingerprints",
+        default="campaign-fingerprints.jsonl",
+        metavar="PATH",
+        help="stream one JSONL record per first-seen fingerprint to "
+        "PATH (default: campaign-fingerprints.jsonl)",
+    )
+    campaign.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop once the campaign has committed N batches in total "
+        "(counts batches from before a resume too); omit for the "
+        "perpetual case",
+    )
+    campaign.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop starting new batches after SECONDS of wall clock; "
+        "the in-flight batch always drains and commits",
+    )
+    campaign.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="known-discrepancies baseline to dedup against (default: "
+        "the committed known_discrepancies.json; 'none' for an empty "
+        "baseline)",
+    )
+    campaign.add_argument(
+        "--corpus",
+        nargs="?",
+        const="full",
+        default=None,
+        choices=["full", "smoke"],
+        help="seed the mutation pool with the curated §8 corpus "
+        "(parents only; corpus inputs are never executed)",
+    )
+    campaign.add_argument(
+        "--no-lanes",
+        action="store_true",
+        help="disable batched deployment lanes in the executor",
+    )
+    campaign.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the invocation summary as JSON",
+    )
+    campaign.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-batch progress lines on stderr",
+    )
+
     faults = sub.add_parser(
         "faults", help="inspect the fault-injection machinery"
     )
@@ -318,14 +427,23 @@ def build_parser() -> argparse.ArgumentParser:
         "share a co-occurrence cluster (default: 0.5)",
     )
     status.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="campaign checkpoint written by 'repro campaign'; adds a "
+        "live campaign panel (and the /campaign endpoint under --serve)",
+    )
+    status.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
     status.add_argument(
         "--serve",
         default=None,
         metavar="[HOST:]PORT",
-        help="serve /metrics, /ledger and /clusters as JSON over HTTP "
-        "until interrupted, instead of printing once",
+        help="serve /metrics, /ledger, /clusters and /campaign as JSON "
+        "over HTTP until interrupted, instead of printing once. PORT 0 "
+        "binds an ephemeral port; the resolved URL is printed to "
+        "stdout either way",
     )
     status.add_argument(
         "--quiet",
@@ -720,6 +838,119 @@ def _write_fuzz_out_dir(result, out_dir: str) -> str:
     )
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.campaign import CampaignService, CheckpointError
+    from repro.fuzz import Baseline, FuzzConfig, default_baseline_path
+
+    if args.jobs < 1:
+        print(f"bad --jobs {args.jobs}; expected >= 1", file=sys.stderr)
+        return 2
+    if args.max_batches is not None and args.max_batches < 1:
+        print(
+            f"bad --max-batches {args.max_batches}; expected >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.duration is not None and args.duration <= 0:
+        print(
+            f"bad --duration {args.duration}; expected > 0", file=sys.stderr
+        )
+        return 2
+    try:
+        config = FuzzConfig(
+            seed=args.seed,
+            budget=args.batch,  # unused by the service; rounds are the unit
+            batch=args.batch,
+            jobs=args.jobs,
+            pool=args.pool,
+            use_corpus=args.corpus is not None,
+            corpus=args.corpus or "full",
+            shrink=False,
+            lanes=not args.no_lanes,
+        )
+    except ValueError as exc:
+        print(f"bad campaign config: {exc}", file=sys.stderr)
+        return 2
+
+    if args.baseline == "none":
+        baseline = Baseline.empty()
+    else:
+        baseline_path = (
+            args.baseline
+            if args.baseline is not None
+            else default_baseline_path()
+        )
+        try:
+            baseline = Baseline.load(baseline_path)
+        except OSError as exc:
+            if args.baseline is not None:
+                print(f"bad --baseline: {exc}", file=sys.stderr)
+                return 2
+            # no committed baseline yet — everything found is novel
+            baseline = Baseline.empty()
+
+    def progress(outcome):
+        print(
+            f"[campaign] batch {outcome.round_index}: "
+            f"{outcome.trials} trials, "
+            f"{len(outcome.new_keys)} new fingerprints "
+            f"({len(outcome.novel_keys)} novel), "
+            f"coverage {outcome.coverage_features}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    service = CampaignService(
+        config,
+        baseline,
+        checkpoint_path=args.checkpoint,
+        fingerprints_path=args.fingerprints,
+        ledger_path=args.ledger,
+        max_batches=args.max_batches,
+        duration=args.duration,
+        progress=None if args.quiet else progress,
+    )
+    try:
+        summary = asyncio.run(service.run())
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(summary.to_json(), indent=1, sort_keys=True))
+    else:
+        verb = "resumed" if summary.resumed else "started"
+        print(
+            f"campaign {verb} at batch "
+            f"{summary.batches_total - summary.batches_run}, "
+            f"ran {summary.batches_run} batch(es) "
+            f"(stop: {summary.stop_reason})"
+        )
+        print(
+            f"  total: {summary.batches_total} batches, "
+            f"{summary.candidates} candidates, {summary.trials} trials"
+        )
+        print(
+            f"  found: {summary.fingerprints} fingerprints "
+            f"({len(summary.novel_keys)} novel), "
+            f"coverage {summary.coverage_features}"
+        )
+        for key in summary.novel_keys[:10]:
+            print(f"  novel: {key}")
+        if len(summary.novel_keys) > 10:
+            print(f"  ... {len(summary.novel_keys) - 10} more novel")
+    sys.stdout.flush()
+    if not args.quiet and summary.novel_seen:
+        print(
+            "[campaign] novel fingerprints seen — exiting 4 "
+            "(same contract as 'repro fuzz')",
+            file=sys.stderr,
+        )
+    return summary.exit_code
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults import BUILTIN_PLANS, KNOWN_SITES
 
@@ -844,6 +1075,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
         LEDGER_SCHEMA_VERSION,
         LedgerError,
         ObsServer,
+        campaign_snapshot,
         check_schema,
         cluster_ledger,
         read_ledger,
@@ -863,7 +1095,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
     records: list[dict] = []
     if args.ledger is not None:
         try:
-            records = read_ledger(args.ledger)
+            # tolerate a torn trailing line: a live campaign writer
+            # killed mid-append must not break its own status surface
+            records = read_ledger(args.ledger, tolerate_truncated_tail=True)
             check_schema(records, args.ledger)
         except LedgerError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -888,10 +1122,15 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 host=host,
                 port=port,
                 threshold=threshold,
+                checkpoint_path=args.checkpoint,
             )
         except OSError as exc:
             print(f"error: cannot bind {args.serve!r}: {exc}", file=sys.stderr)
             return 2
+        # the *resolved* URL goes to stdout even under --quiet: with an
+        # ephemeral port (--serve 0) it is the only way a script can
+        # learn where the server actually bound
+        print(f"serving at {server.url()}", flush=True)
         if not args.quiet:
             print(
                 f"[status] serving {', '.join(server.ENDPOINTS)} "
@@ -922,6 +1161,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
             "clusters": [cluster.to_json() for cluster in clusters],
             "metrics": metrics_snapshot,
         }
+        if args.checkpoint is not None:
+            payload["campaign"] = campaign_snapshot(args.checkpoint)
         print(json.dumps(payload, indent=1, sort_keys=True))
         return 0
 
@@ -929,6 +1170,20 @@ def _cmd_status(args: argparse.Namespace) -> int:
         f"campaign ledger: {args.ledger or '(none)'} "
         f"(schema v{LEDGER_SCHEMA_VERSION})"
     )
+    if args.checkpoint is not None:
+        panel = campaign_snapshot(args.checkpoint)
+        if not panel["active"]:
+            detail = panel.get("error", "no checkpoint yet")
+            print(f"campaign: {args.checkpoint} — {detail}")
+        else:
+            print(
+                f"campaign: {args.checkpoint} — batch {panel['batches']}, "
+                f"{panel['candidates']} candidates, {panel['trials']} "
+                f"trials, {panel['fingerprints']} fingerprints "
+                f"({panel['novel']} novel), coverage "
+                f"{panel['coverage_features']}, last commit "
+                f"{_iso(float(panel['mtime']))}"
+            )
     if not records:
         print(
             "no runs recorded — record one with "
@@ -1034,6 +1289,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_crosstest(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "replay":

@@ -63,6 +63,7 @@ __all__ = [
     "ShardResult",
     "DeploymentPool",
     "CrossTestMetrics",
+    "WorkerPoolHandle",
     "build_shards",
     "run_shard",
     "worker_pool",
@@ -914,6 +915,58 @@ def _make_executor(
     return ThreadPoolExecutor(max_workers=jobs)
 
 
+class WorkerPoolHandle:
+    """A long-lived worker pool reused across :func:`execute` calls.
+
+    ``execute`` normally builds a pool per call and tears it down on the
+    way out — correct for one-shot matrices, ruinous for an always-on
+    campaign that submits a small batch every few hundred milliseconds:
+    process workers would pay import + parse-cache + deployment-pool
+    cold start on *every* batch. A handle owns one executor for its
+    whole lifetime; worker-global state (parse LRU caches, deployment
+    pools, compiled plans) then persists across batches, which is where
+    the campaign's steady-state throughput comes from.
+
+    Worker state can never leak into results: shard outcomes are
+    byte-identical whatever a worker ran before (the jobs/pool identity
+    grid pins this), so reusing workers is purely a wall-clock win.
+
+    The handle is lazy (no pool until the first :meth:`executor` call)
+    and idempotent to close; it also works as a context manager.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        pool: str = "auto",
+        initializer=None,
+        initargs: tuple = (),
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.flavour = resolve_pool(pool, self.jobs)
+        self._initializer = initializer
+        self._initargs = initargs
+        self._executor: Executor | None = None
+
+    def executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = _make_executor(
+                self.flavour, self.jobs, self._initializer, self._initargs
+            )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPoolHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def execute(
     plans,
     formats,
@@ -931,6 +984,7 @@ def execute(
     injection_sink: dict[int, tuple[InjectionRecord, ...]] | None = None,
     prewarm: bool = True,
     batch: bool = True,
+    pool_handle: "WorkerPoolHandle | None" = None,
 ) -> list[Trial]:
     """Run the full matrix and return trials in sequential order.
 
@@ -956,6 +1010,13 @@ def execute(
     ``prewarm`` (process pools only) installs :func:`prewarm_worker`
     as the pool initializer so fresh workers start on warm parse and
     plan caches instead of paying cold-start on their first shard.
+
+    ``pool_handle``, if given (and ``jobs > 1``), submits shards to the
+    caller's persistent :class:`WorkerPoolHandle` instead of building
+    and tearing down a pool inside this call — the repeated-submission
+    path the fuzz scheduler and the always-on campaign service use.
+    ``prewarm`` is ignored on that path (the handle fixed its
+    initializer at construction).
 
     A zero-trial matrix (no plans, no formats, or no inputs) returns
     immediately — no shards, no pool, no progress callbacks.
@@ -1019,32 +1080,8 @@ def execute(
                 ),
             )
     else:
-        flavour = resolve_pool(pool, jobs)
-        initializer = None
-        initargs: tuple = ()
-        if flavour == "process" and prewarm:
-            type_texts, statement_texts = corpus_texts(formats, inputs)
-            # warm with a small same-type lane (the first type's first
-            # two inputs) so workers compile the exact create/scan plans
-            # lanes replay, whether the run batches or not.
-            first_type = inputs[0].type_text
-            warm = tuple(
-                test_input
-                for test_input in inputs
-                if test_input.type_text == first_type
-            )[:2]
-            initializer = prewarm_worker
-            initargs = (
-                conf_overrides,
-                tuple(plans),
-                tuple(formats),
-                warm,
-                type_texts,
-                statement_texts,
-            )
-        with _make_executor(
-            flavour, min(jobs, len(shards)), initializer, initargs
-        ) as workers:
+
+        def drain(workers: Executor) -> None:
             pending = {
                 workers.submit(
                     run_shard,
@@ -1063,6 +1100,38 @@ def execute(
                 for future in done:
                     shard = pending.pop(future)
                     finish(shard, future.result())
+
+        if pool_handle is not None:
+            drain(pool_handle.executor())
+        else:
+            flavour = resolve_pool(pool, jobs)
+            initializer = None
+            initargs: tuple = ()
+            if flavour == "process" and prewarm:
+                type_texts, statement_texts = corpus_texts(formats, inputs)
+                # warm with a small same-type lane (the first type's
+                # first two inputs) so workers compile the exact
+                # create/scan plans lanes replay, whether the run
+                # batches or not.
+                first_type = inputs[0].type_text
+                warm = tuple(
+                    test_input
+                    for test_input in inputs
+                    if test_input.type_text == first_type
+                )[:2]
+                initializer = prewarm_worker
+                initargs = (
+                    conf_overrides,
+                    tuple(plans),
+                    tuple(formats),
+                    warm,
+                    type_texts,
+                    statement_texts,
+                )
+            with _make_executor(
+                flavour, min(jobs, len(shards)), initializer, initargs
+            ) as workers:
+                drain(workers)
 
     trials: list[Trial] = []
     for index in range(len(shards)):

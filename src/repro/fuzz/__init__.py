@@ -18,16 +18,26 @@ Entry point: ``python -m repro fuzz`` (exit 4 on a novel discrepancy).
 from repro.fuzz.coverage import CoverageMap, trial_features
 from repro.fuzz.dedup import Baseline, default_baseline_path
 from repro.fuzz.generators import FUZZ_ID_BASE, gen_candidate, gen_conf, mutate
-from repro.fuzz.scheduler import FuzzConfig, FuzzFinding, FuzzResult, run_fuzz
+from repro.fuzz.scheduler import (
+    CampaignState,
+    FuzzConfig,
+    FuzzFinding,
+    FuzzResult,
+    RoundOutcome,
+    run_fuzz,
+    run_round,
+)
 from repro.fuzz.shrink import input_size, reproduces, shrink_input
 
 __all__ = [
     "FUZZ_ID_BASE",
     "Baseline",
+    "CampaignState",
     "CoverageMap",
     "FuzzConfig",
     "FuzzFinding",
     "FuzzResult",
+    "RoundOutcome",
     "default_baseline_path",
     "gen_candidate",
     "gen_conf",
@@ -35,6 +45,7 @@ __all__ = [
     "mutate",
     "reproduces",
     "run_fuzz",
+    "run_round",
     "shrink_input",
     "trial_features",
 ]

@@ -12,6 +12,20 @@ The budget is counted in *candidates generated*, not wall-clock: a time
 budget would make the campaign's output depend on machine speed and
 worker count, which is precisely what the determinism guarantee
 forbids.
+
+**Resumable state.** Everything a campaign carries between rounds lives
+in one :class:`CampaignState`, and one round is one :func:`run_round`
+call that advances it. The state round-trips through JSON
+(:meth:`CampaignState.to_json` / :meth:`CampaignState.from_json`) *by
+provenance, not by value*: a promoted seed or a finding's witness is
+stored as its ``(round, slot, input_id)`` coordinates and regenerated
+through the same BLAKE2b-seeded generator calls that built it the
+first time, so a checkpoint stays a few KB of pure JSON no matter what
+Python values (decimals, timestamps, nested rows) the inputs carry —
+and a restored campaign is *exactly* the campaign that was stopped.
+:mod:`repro.campaign` builds the always-on service on top of this;
+:func:`run_fuzz` is the bounded one-shot loop the ``repro fuzz`` CLI
+has always exposed.
 """
 
 from __future__ import annotations
@@ -19,7 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crosstest.classify import found_discrepancies
-from repro.crosstest.executor import CrossTestMetrics, execute
+from repro.crosstest.executor import (
+    CrossTestMetrics,
+    WorkerPoolHandle,
+    execute,
+    resolve_jobs,
+)
 from repro.crosstest.fingerprint import (
     Fingerprint,
     conf_label,
@@ -40,7 +59,15 @@ from repro.fuzz.generators import (
 from repro.fuzz.shrink import shrink_input
 from repro.tracing.core import Span
 
-__all__ = ["FuzzConfig", "FuzzFinding", "FuzzResult", "run_fuzz"]
+__all__ = [
+    "FuzzConfig",
+    "FuzzFinding",
+    "FuzzResult",
+    "CampaignState",
+    "RoundOutcome",
+    "run_round",
+    "run_fuzz",
+]
 
 from hashlib import blake2b
 
@@ -89,6 +116,22 @@ class FuzzConfig:
             raise ValueError(
                 f"corpus must be 'full' or 'smoke', got {self.corpus!r}"
             )
+
+    def signature(self) -> dict:
+        """The determinism-relevant subset of the config: two campaigns
+        with equal signatures emit identical batches. ``jobs``/``pool``
+        are runtime knobs (byte-identity across them is the executor's
+        guarantee), ``budget``/``shrink`` only bound the one-shot loop —
+        none of them belong in a checkpoint's compatibility check."""
+        return {
+            "seed": self.seed,
+            "batch": self.batch,
+            "plans": [plan.name for plan in self.plans],
+            "formats": list(self.formats),
+            "use_corpus": self.use_corpus,
+            "corpus": self.corpus,
+            "lanes": self.lanes,
+        }
 
 
 @dataclass
@@ -210,6 +253,31 @@ class FuzzResult:
         )
 
 
+def _build_candidate(
+    config: FuzzConfig,
+    round_index: int,
+    slot: int,
+    input_id: int,
+    seed_pool: list[TestInput],
+) -> TestInput:
+    """One batch slot's candidate: a fresh generation, or a mutation of
+    a promoted seed. A pure function of ``(config signature, round,
+    slot, input_id, pool contents)`` — the property checkpoint
+    restoration leans on to regenerate inputs from provenance alone."""
+    use_mutation = (
+        seed_pool
+        and round_index > 0
+        and _hash_int(config.seed, round_index, slot, "mutate?") % 3 == 0
+    )
+    if use_mutation:
+        parent = seed_pool[
+            _hash_int(config.seed, round_index, slot, "parent")
+            % len(seed_pool)
+        ]
+        return mutate(config.seed, round_index, slot, input_id, parent)
+    return gen_candidate(config.seed, round_index, slot, input_id)
+
+
 def _build_batch(
     config: FuzzConfig,
     round_index: int,
@@ -218,27 +286,371 @@ def _build_batch(
     seed_pool: list[TestInput],
 ) -> list[TestInput]:
     """One round's candidates: fresh generations plus seed mutations."""
-    batch: list[TestInput] = []
-    for slot in range(batch_size):
-        input_id = next_id + slot
-        use_mutation = (
-            seed_pool
-            and round_index > 0
-            and _hash_int(config.seed, round_index, slot, "mutate?") % 3 == 0
+    return [
+        _build_candidate(
+            config, round_index, slot, next_id + slot, seed_pool
         )
-        if use_mutation:
-            parent = seed_pool[
-                _hash_int(config.seed, round_index, slot, "parent")
-                % len(seed_pool)
-            ]
-            batch.append(
-                mutate(config.seed, round_index, slot, input_id, parent)
+        for slot in range(batch_size)
+    ]
+
+
+def _corpus_pool(config: FuzzConfig) -> list[TestInput]:
+    """The curated inputs that pre-seed the mutation pool (never
+    executed, so their ids — all ``< FUZZ_ID_BASE`` — never reach a
+    trial)."""
+    if not config.use_corpus:
+        return []
+    if config.corpus == "smoke":
+        from repro.crosstest.smoke import smoke_inputs
+
+        return list(smoke_inputs())
+    return list(generate_inputs())
+
+
+@dataclass
+class RoundOutcome:
+    """What one executed round contributed, in deterministic order."""
+
+    #: the round that just ran (``state.round_index`` has advanced past it)
+    round_index: int
+    #: candidates generated this round
+    candidates: int
+    #: trials executed this round (candidates × plans × formats)
+    trials: int
+    #: every fingerprint key witnessed this round, sorted
+    witnessed: tuple[str, ...] = ()
+    #: the subset of ``witnessed`` first seen this round, sorted
+    new_keys: tuple[str, ...] = ()
+    #: the subset of ``new_keys`` absent from the baseline, sorted
+    novel_keys: tuple[str, ...] = ()
+    #: inputs promoted into the mutation pool this round
+    promoted: int = 0
+    #: catalog numbers first rediscovered this round, sorted
+    rediscovered: tuple[int, ...] = ()
+    #: campaign-wide coverage feature count after this round
+    coverage_features: int = 0
+
+
+@dataclass
+class CampaignState:
+    """Everything a campaign carries from one round to the next.
+
+    Mutated in place by :func:`run_round`; serialized by provenance via
+    :meth:`to_json`/:meth:`from_json` (see the module docstring). The
+    ``promoted`` and finding-witness coordinates are the only memory of
+    *which* generated inputs mattered — the inputs themselves are
+    regenerated on restore, so two states with equal JSON are equal
+    campaigns.
+    """
+
+    config: FuzzConfig
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    #: mutation parents: corpus prefix (never serialized by value) plus
+    #: every promoted input, in promotion order
+    seed_pool: list[TestInput] = field(default_factory=list)
+    #: how many leading ``seed_pool`` entries came from the corpus
+    corpus_len: int = 0
+    #: ``(round, slot, input_id)`` per promoted (non-corpus) pool entry
+    promoted: list[tuple[int, int, int]] = field(default_factory=list)
+    pool_ids: set[int] = field(default_factory=set)
+    findings: dict[str, FuzzFinding] = field(default_factory=dict)
+    #: ``(round, slot, input_id)`` of each finding's witness, by key
+    witness_provenance: dict[str, tuple[int, int, int]] = field(
+        default_factory=dict
+    )
+    rediscovered: set[int] = field(default_factory=set)
+    candidates: int = 0
+    round_index: int = 0
+    trials_run: int = 0
+
+    @classmethod
+    def fresh(cls, config: FuzzConfig) -> "CampaignState":
+        corpus = _corpus_pool(config)
+        return cls(
+            config=config,
+            seed_pool=list(corpus),
+            corpus_len=len(corpus),
+        )
+
+    @property
+    def novel_keys(self) -> list[str]:
+        return sorted(
+            key
+            for key, finding in self.findings.items()
+            if finding.novel
+        )
+
+    # -- serialization (by provenance) ---------------------------------
+
+    def to_json(self) -> dict:
+        """Pure-JSON snapshot of the campaign (no pickles, no values).
+
+        Generated inputs are stored as ``(round, slot, input_id)``
+        coordinates; :meth:`from_json` replays the generator calls to
+        rebuild them, so the snapshot is independent of what Python
+        types the inputs carry and byte-stable across interpreter runs.
+        """
+        return {
+            "config": self.config.signature(),
+            "candidates": self.candidates,
+            "round_index": self.round_index,
+            "trials_run": self.trials_run,
+            "coverage": sorted(self.coverage.seen),
+            "promoted": [list(entry) for entry in self.promoted],
+            "findings": [
+                {
+                    "key": key,
+                    "fingerprint": self.findings[key].fingerprint.to_json(),
+                    "novel": self.findings[key].novel,
+                    "failures": self.findings[key].failure_count,
+                    "round": self.findings[key].round_index,
+                    "witness": list(self.witness_provenance[key]),
+                }
+                for key in sorted(self.findings)
+            ],
+            "rediscovered": sorted(self.rediscovered),
+        }
+
+    @classmethod
+    def from_json(
+        cls,
+        payload: dict,
+        *,
+        jobs: int | None = 1,
+        pool: str = "auto",
+        shrink: bool = False,
+    ) -> "CampaignState":
+        """Rebuild a campaign from its :meth:`to_json` snapshot.
+
+        ``jobs``/``pool`` are runtime knobs supplied afresh by the
+        caller — a campaign checkpointed at ``--jobs 2`` resumes
+        byte-identically at ``--jobs 4``, which is exactly what the
+        determinism grid pins.
+        """
+        sig = payload["config"]
+        plans_by_name = {plan.name: plan for plan in ALL_PLANS}
+        try:
+            plans = tuple(plans_by_name[name] for name in sig["plans"])
+        except KeyError as exc:
+            raise ValueError(f"unknown plan in checkpoint: {exc}") from exc
+        config = FuzzConfig(
+            seed=int(sig["seed"]),
+            budget=max(1, int(payload["candidates"])),
+            batch=int(sig["batch"]),
+            jobs=jobs,
+            pool=pool,
+            plans=plans,
+            formats=tuple(sig["formats"]),
+            use_corpus=bool(sig["use_corpus"]),
+            corpus=str(sig["corpus"]),
+            shrink=shrink,
+            lanes=bool(sig["lanes"]),
+        )
+        corpus = _corpus_pool(config)
+        state = cls(
+            config=config,
+            seed_pool=list(corpus),
+            corpus_len=len(corpus),
+            candidates=int(payload["candidates"]),
+            round_index=int(payload["round_index"]),
+            trials_run=int(payload["trials_run"]),
+            rediscovered={int(n) for n in payload.get("rediscovered", ())},
+        )
+        state.coverage.seen.update(payload.get("coverage", ()))
+        # promoted entries regenerate in promotion order: the pool an
+        # entry saw at build time is the corpus plus every entry
+        # promoted in a *strictly earlier* round (same-round promotions
+        # land only after the whole batch was built).
+        for entry in payload.get("promoted", ()):
+            round_index, slot, input_id = (int(part) for part in entry)
+            state.seed_pool.append(
+                state._rebuild_input(round_index, slot, input_id)
             )
+            state.promoted.append((round_index, slot, input_id))
+            state.pool_ids.add(input_id)
+        for record in payload.get("findings", ()):
+            key = record["key"]
+            round_index, slot, input_id = (
+                int(part) for part in record["witness"]
+            )
+            state.findings[key] = FuzzFinding(
+                fingerprint=Fingerprint.from_json(record["fingerprint"]),
+                witness=state._rebuild_input(round_index, slot, input_id),
+                conf_overrides=dict(
+                    gen_conf(config.seed, int(record["round"]))
+                ),
+                round_index=int(record["round"]),
+                failure_count=int(record["failures"]),
+                novel=bool(record["novel"]),
+            )
+            state.witness_provenance[key] = (round_index, slot, input_id)
+        return state
+
+    def _rebuild_input(
+        self, round_index: int, slot: int, input_id: int
+    ) -> TestInput:
+        """Regenerate one batch input from its coordinates, against the
+        pool exactly as it stood when that round's batch was built."""
+        prefix = self.seed_pool[: self.corpus_len] + [
+            candidate
+            for candidate, (entry_round, _, _) in zip(
+                self.seed_pool[self.corpus_len :], self.promoted
+            )
+            if entry_round < round_index
+        ]
+        return _build_candidate(
+            self.config, round_index, slot, input_id, prefix
+        )
+
+    def result(
+        self, spans_by_input: dict[int, list[Span]] | None = None
+    ) -> FuzzResult:
+        """The state's observations as a :class:`FuzzResult`."""
+        return FuzzResult(
+            config=self.config,
+            rounds=self.round_index,
+            candidates=self.candidates,
+            trials_run=self.trials_run,
+            coverage=self.coverage,
+            findings=self.findings,
+            rediscovered=tuple(sorted(self.rediscovered)),
+            spans_by_input=spans_by_input or {},
+        )
+
+
+def run_round(
+    state: CampaignState,
+    baseline: Baseline,
+    *,
+    batch_size: int | None = None,
+    metrics: CrossTestMetrics | None = None,
+    pool_handle: WorkerPoolHandle | None = None,
+    spans_by_input: dict[int, list[Span]] | None = None,
+) -> RoundOutcome:
+    """Execute one campaign round and advance ``state`` past it.
+
+    ``batch_size`` defaults to a full ``config.batch`` (the perpetual
+    service's unit); :func:`run_fuzz` passes the budget remainder on the
+    last round. ``pool_handle`` lets a long-running caller reuse one
+    worker pool across rounds instead of paying pool teardown per
+    round. ``spans_by_input``, if given, accumulates every trial's
+    spans (the one-shot CLI wants them for trace export; the always-on
+    service must *not* accumulate unbounded span memory, so it passes
+    ``None``).
+    """
+    config = state.config
+    if batch_size is None:
+        batch_size = config.batch
+    round_index = state.round_index
+    batch = _build_batch(
+        config,
+        round_index,
+        batch_size,
+        FUZZ_ID_BASE + state.candidates,
+        state.seed_pool,
+    )
+    slots = {
+        test_input.input_id: slot for slot, test_input in enumerate(batch)
+    }
+    conf_overrides = gen_conf(config.seed, round_index)
+    # fuzz batches always run with the plan cache off: cache hits
+    # skip analysis-time spans/events, and cache warmth depends on
+    # worker history (even fork inheritance), which would make the
+    # coverage map vary with --jobs. Outcome-neutral by the PR 2
+    # byte-identity guarantee; excluded from the fingerprint label.
+    exec_conf = dict(conf_overrides)
+    exec_conf["repro.plan.cache.enabled"] = "false"
+    trace_sink: dict[int, tuple[Span, ...]] = {}
+    trials = execute(
+        config.plans,
+        config.formats,
+        batch,
+        exec_conf,
+        jobs=config.jobs,
+        pool=config.pool,
+        metrics=metrics,
+        trace_sink=trace_sink,
+        batch=config.lanes,
+        pool_handle=pool_handle,
+    )
+    state.trials_run += len(trials)
+
+    # fuzz spans are tagged with their source so `trace summarize`
+    # can split them out of the §8 matrix totals
+    for spans in trace_sink.values():
+        for span in spans:
+            span.attributes["source"] = "fuzz"
+
+    # coverage promotion, in (byte-identical) trial order
+    promoted: set[int] = set()
+    for index, trial in enumerate(trials):
+        spans = trace_sink.get(index, ())
+        input_id = trial.test_input.input_id
+        if spans_by_input is not None:
+            spans_by_input.setdefault(input_id, []).extend(spans)
+        if state.coverage.observe(trial_features(trial, spans)):
+            promoted.add(input_id)
+    promoted_count = 0
+    for test_input in batch:
+        if test_input.input_id in promoted and (
+            test_input.input_id not in state.pool_ids
+        ):
+            state.seed_pool.append(test_input)
+            state.pool_ids.add(test_input.input_id)
+            state.promoted.append(
+                (round_index, slots[test_input.input_id], test_input.input_id)
+            )
+            promoted_count += 1
+
+    # fingerprints + dedup bookkeeping
+    label = conf_label(conf_overrides)
+    failures = all_failures(trials)
+    by_id = {test_input.input_id: test_input for test_input in batch}
+    hits = run_fingerprints(trials, failures, label)
+    new_keys: list[str] = []
+    for key, hit in hits.items():
+        finding = state.findings.get(key)
+        if finding is None:
+            state.findings[key] = FuzzFinding(
+                fingerprint=hit.fingerprint,
+                witness=by_id[hit.witness_input_id],
+                conf_overrides=dict(conf_overrides),
+                round_index=round_index,
+                failure_count=len(hit.failures),
+                novel=key not in baseline,
+            )
+            state.witness_provenance[key] = (
+                round_index,
+                slots[hit.witness_input_id],
+                hit.witness_input_id,
+            )
+            new_keys.append(key)
         else:
-            batch.append(
-                gen_candidate(config.seed, round_index, slot, input_id)
+            finding.failure_count += len(hit.failures)
+
+    fresh_numbers = sorted(
+        number
+        for number in found_discrepancies(trials)
+        if number and number not in state.rediscovered
+    )
+    state.rediscovered.update(fresh_numbers)
+    state.candidates += batch_size
+    state.round_index += 1
+    return RoundOutcome(
+        round_index=round_index,
+        candidates=batch_size,
+        trials=len(trials),
+        witnessed=tuple(sorted(hits)),
+        new_keys=tuple(sorted(new_keys)),
+        novel_keys=tuple(
+            sorted(
+                key for key in new_keys if state.findings[key].novel
             )
-    return batch
+        ),
+        promoted=promoted_count,
+        rediscovered=tuple(fresh_numbers),
+        coverage_features=len(state.coverage),
+    )
 
 
 def run_fuzz(
@@ -257,115 +669,33 @@ def run_fuzz(
     """
     if metrics is None:
         metrics = CrossTestMetrics(source="fuzz")
-    coverage = CoverageMap()
-    seed_pool: list[TestInput] = []
-    pool_ids: set[int] = set()
-    if config.use_corpus:
-        # corpus inputs join as mutation parents only; they are never
-        # executed, so their ids (< FUZZ_ID_BASE) never reach a trial
-        if config.corpus == "smoke":
-            from repro.crosstest.smoke import smoke_inputs
-
-            seed_pool.extend(smoke_inputs())
-        else:
-            seed_pool.extend(generate_inputs())
-    findings: dict[str, FuzzFinding] = {}
-    rediscovered: set[int] = set()
+    state = CampaignState.fresh(config)
     spans_by_input: dict[int, list[Span]] = {}
     total_rounds = (config.budget + config.batch - 1) // config.batch
-    candidates = 0
-    trials_run = 0
-    round_index = 0
-    while candidates < config.budget:
-        batch_size = min(config.batch, config.budget - candidates)
-        batch = _build_batch(
-            config,
-            round_index,
-            batch_size,
-            FUZZ_ID_BASE + candidates,
-            seed_pool,
-        )
-        conf_overrides = gen_conf(config.seed, round_index)
-        # fuzz batches always run with the plan cache off: cache hits
-        # skip analysis-time spans/events, and cache warmth depends on
-        # worker history (even fork inheritance), which would make the
-        # coverage map vary with --jobs. Outcome-neutral by the PR 2
-        # byte-identity guarantee; excluded from the fingerprint label.
-        exec_conf = dict(conf_overrides)
-        exec_conf["repro.plan.cache.enabled"] = "false"
-        trace_sink: dict[int, tuple[Span, ...]] = {}
-        trials = execute(
-            config.plans,
-            config.formats,
-            batch,
-            exec_conf,
-            jobs=config.jobs,
-            pool=config.pool,
-            metrics=metrics,
-            trace_sink=trace_sink,
-            batch=config.lanes,
-        )
-        trials_run += len(trials)
-
-        # fuzz spans are tagged with their source so `trace summarize`
-        # can split them out of the §8 matrix totals
-        for spans in trace_sink.values():
-            for span in spans:
-                span.attributes["source"] = "fuzz"
-
-        # coverage promotion, in (byte-identical) trial order
-        promoted: set[int] = set()
-        for index, trial in enumerate(trials):
-            spans = trace_sink.get(index, ())
-            input_id = trial.test_input.input_id
-            spans_by_input.setdefault(input_id, []).extend(spans)
-            if coverage.observe(trial_features(trial, spans)):
-                promoted.add(input_id)
-        for test_input in batch:
-            if test_input.input_id in promoted and (
-                test_input.input_id not in pool_ids
-            ):
-                seed_pool.append(test_input)
-                pool_ids.add(test_input.input_id)
-
-        # fingerprints + dedup bookkeeping
-        label = conf_label(conf_overrides)
-        failures = all_failures(trials)
-        by_id = {test_input.input_id: test_input for test_input in batch}
-        for key, hit in run_fingerprints(trials, failures, label).items():
-            finding = findings.get(key)
-            if finding is None:
-                findings[key] = FuzzFinding(
-                    fingerprint=hit.fingerprint,
-                    witness=by_id[hit.witness_input_id],
-                    conf_overrides=dict(conf_overrides),
-                    round_index=round_index,
-                    failure_count=len(hit.failures),
-                    novel=key not in baseline,
-                )
-            else:
-                finding.failure_count += len(hit.failures)
-
-        rediscovered.update(
-            number
-            for number in found_discrepancies(trials)
-            if number
-        )
-        candidates += batch_size
-        round_index += 1
-        if progress is not None:
-            progress(round_index, total_rounds, trials_run)
-
-    result = FuzzResult(
-        config=config,
-        rounds=round_index,
-        candidates=candidates,
-        trials_run=trials_run,
-        coverage=coverage,
-        findings=findings,
-        rediscovered=tuple(sorted(rediscovered)),
-        spans_by_input=spans_by_input,
+    pool_handle = (
+        WorkerPoolHandle(config.jobs, config.pool)
+        if resolve_jobs(config.jobs) > 1
+        else None
     )
+    try:
+        while state.candidates < config.budget:
+            run_round(
+                state,
+                baseline,
+                batch_size=min(
+                    config.batch, config.budget - state.candidates
+                ),
+                metrics=metrics,
+                pool_handle=pool_handle,
+                spans_by_input=spans_by_input,
+            )
+            if progress is not None:
+                progress(state.round_index, total_rounds, state.trials_run)
+    finally:
+        if pool_handle is not None:
+            pool_handle.close()
+
+    result = state.result(spans_by_input)
     if config.shrink:
         for finding in result.novel_findings:
             finding.shrunk = shrink_input(

@@ -22,14 +22,16 @@ from repro.obs.ledger import (
     LEDGER_SCHEMA_VERSION,
     Ledger,
     LedgerError,
+    campaign_record,
     canonical_record,
     check_schema,
     crosstest_record,
     fuzz_record,
     read_ledger,
+    read_ledger_with_tail,
     run_env,
 )
-from repro.obs.server import ObsServer
+from repro.obs.server import ObsServer, campaign_snapshot
 
 __all__ = [
     "Cluster",
@@ -39,6 +41,8 @@ __all__ = [
     "Ledger",
     "LedgerError",
     "ObsServer",
+    "campaign_record",
+    "campaign_snapshot",
     "canonical_record",
     "check_schema",
     "cluster_ledger",
@@ -47,6 +51,7 @@ __all__ = [
     "item_seam",
     "jaccard",
     "read_ledger",
+    "read_ledger_with_tail",
     "record_items",
     "run_env",
 ]

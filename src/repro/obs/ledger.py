@@ -10,15 +10,18 @@ runs ("which discrepancies keep failing together?") become answerable
 
 **Determinism contract.** A record has two parts:
 
-* Everything outside ``env`` — ``kind``, ``ts``, ``run``, ``results`` —
-  is a pure function of the run's inputs ``(corpus, seed, conf, fault
-  plan)`` plus the injectable clock. At a fixed seed the section is
+* Everything outside ``env`` and ``ts`` — ``kind``, ``run``,
+  ``results`` — is a pure function of the run's inputs ``(corpus,
+  seed, conf, fault plan)``. At a fixed seed the section is
   byte-identical at every ``--jobs``/pool setting, which is what lets
   two ledgers from different machines diff cleanly (and what the
   determinism tests pin at jobs 1/2/4 on thread and process pools).
-* ``env`` is explicitly *volatile*: wall clock, worker count, latency
-  histogram snapshots, git/bench metadata. Consumers that compare or
-  cluster records must ignore it; :func:`canonical_record` strips it.
+* ``env`` and ``ts`` are explicitly *volatile*: wall clock, worker
+  count, latency histogram snapshots, git/bench metadata. Consumers
+  that compare or cluster records must ignore them;
+  :func:`canonical_record` strips both — which is how a campaign
+  killed mid-run and resumed hours later still produces
+  canonically-identical records to an uninterrupted run.
 
 ``ts`` is stamped through an injectable ``clock`` callable (defaulting
 to :func:`time.time`) so tests — and any caller that wants
@@ -39,10 +42,12 @@ __all__ = [
     "LedgerError",
     "Ledger",
     "read_ledger",
+    "read_ledger_with_tail",
     "check_schema",
     "canonical_record",
     "crosstest_record",
     "fuzz_record",
+    "campaign_record",
     "run_env",
 ]
 
@@ -58,13 +63,22 @@ LEDGER_SCHEMA = {
     "version": LEDGER_SCHEMA_VERSION,
     "record": {
         "schema_version": "int — LEDGER_SCHEMA_VERSION at write time",
-        "kind": "str — 'crosstest' (incl. chaos runs) or 'fuzz'",
-        "ts": "float — unix time from the injectable clock",
+        "kind": (
+            "str — 'crosstest' (incl. chaos runs), 'fuzz', or "
+            "'campaign' (one record per always-on campaign batch)"
+        ),
+        "ts": (
+            "float — unix time from the injectable clock; volatile "
+            "(stripped by canonical_record alongside env)"
+        ),
         "run": {
             "crosstest": (
                 "corpus, conf, plans, formats, fault_plan, fault_seed"
             ),
             "fuzz": "seed, budget, batch, corpus, plans, formats",
+            "campaign": (
+                "seed, batch, batch_index, corpus, plans, formats"
+            ),
         },
         "results": {
             "trials": "int — trials executed",
@@ -79,6 +93,11 @@ LEDGER_SCHEMA = {
             "coverage_features": "fuzz only: distinct coverage features",
             "novel": "fuzz only: fingerprint keys not in the baseline",
             "rediscovered": "fuzz only: rediscovered catalog numbers",
+            "campaign": (
+                "campaign records scope these per batch: fingerprints "
+                "witnessed, new_fingerprints/novel first seen, "
+                "candidates, plus cumulative coverage_features"
+            ),
         },
         "env": (
             "volatile facts, excluded from determinism guarantees: "
@@ -115,33 +134,64 @@ class Ledger:
         return read_ledger(self.path)
 
 
-def read_ledger(path: str) -> list[dict]:
+def read_ledger(
+    path: str, *, tolerate_truncated_tail: bool = False
+) -> list[dict]:
     """Every record in the ledger, file order; a missing file is an
     empty campaign (``[]``), not an error — "no runs recorded" is a
-    legitimate state the status surface renders as such."""
+    legitimate state the status surface renders as such.
+
+    ``tolerate_truncated_tail`` drops an unparseable *final* line
+    instead of raising — the hard-kill case: a writer killed mid-append
+    leaves at most one torn trailing line, and a status surface polling
+    a live campaign must render the intact prefix rather than 500. A
+    corrupt line anywhere *before* the tail still raises — that is file
+    damage, not an append in flight.
+    """
+    records, truncated = read_ledger_with_tail(path)
+    if truncated is not None and not tolerate_truncated_tail:
+        lineno, reason = truncated
+        raise LedgerError(f"{path}:{lineno}: not a JSON record ({reason})")
+    return records
+
+
+def read_ledger_with_tail(
+    path: str,
+) -> tuple[list[dict], tuple[int, str] | None]:
+    """Like :func:`read_ledger`, but report a torn tail instead of
+    deciding about it: returns ``(records, truncated)`` where
+    ``truncated`` is ``None`` for a clean ledger or ``(lineno,
+    reason)`` for an unparseable final line (which is *not* included in
+    ``records``). Callers that tolerate the tail should still surface
+    it — detected and tolerated, never silently mis-parsed."""
     try:
         handle = open(path, encoding="utf-8")
     except FileNotFoundError:
-        return []
+        return [], None
     records: list[dict] = []
+    bad: tuple[int, str] | None = None
     with handle:
         for lineno, line in enumerate(handle, start=1):
+            if bad is not None:
+                # the bad line was not the tail after all
+                raise LedgerError(
+                    f"{path}:{bad[0]}: not a JSON record ({bad[1]})"
+                )
             line = line.strip()
             if not line:
                 continue
             try:
                 payload = json.loads(line)
             except ValueError as exc:
-                raise LedgerError(
-                    f"{path}:{lineno}: not a JSON record ({exc})"
-                ) from exc
+                bad = (lineno, str(exc))
+                continue
             if not isinstance(payload, dict):
                 raise LedgerError(
                     f"{path}:{lineno}: expected a JSON object, "
                     f"got {type(payload).__name__}"
                 )
             records.append(payload)
-    return records
+    return records, bad
 
 
 def check_schema(records: list[dict], path: str = "ledger") -> None:
@@ -166,9 +216,14 @@ def check_schema(records: list[dict], path: str = "ledger") -> None:
 
 
 def canonical_record(record: dict) -> dict:
-    """The record minus its volatile ``env`` section — the part the
-    determinism contract covers and the clustering reads."""
-    return {key: value for key, value in record.items() if key != "env"}
+    """The record minus its volatile sections (``env`` and ``ts``) —
+    the part the determinism contract covers and the clustering reads.
+    ``ts`` is wall-clock: a campaign killed mid-run and resumed hours
+    later stamps later times on the re-run batches, but its canonical
+    records must still be byte-identical to an uninterrupted run."""
+    return {
+        key: value for key, value in record.items() if key not in ("env", "ts")
+    }
 
 
 def _stamp(clock: Callable[[], float] | None) -> float:
@@ -285,6 +340,34 @@ def fuzz_record(
             "formats": sorted(config.formats),
         },
         "results": result.ledger_results(),
+        "env": dict(env or {}),
+    }
+
+
+def campaign_record(
+    run: dict,
+    results: dict,
+    *,
+    clock: Callable[[], float] | None = None,
+    env: dict | None = None,
+) -> dict:
+    """One ledger record per committed campaign batch.
+
+    ``run`` identifies the batch within the campaign (seed, batch size,
+    ``batch_index``, plans, formats, corpus); ``results`` carries the
+    batch outcome — ``fingerprints`` lists every key *witnessed* this
+    batch (so cluster co-occurrence sees the batch's full failure set),
+    ``new_fingerprints``/``novel`` the subset first seen here, plus
+    cumulative ``coverage_features`` and ``rediscovered``. Both dicts
+    are deterministic by the campaign's own guarantee; only ``ts`` and
+    ``env`` are volatile.
+    """
+    return {
+        "schema_version": LEDGER_SCHEMA_VERSION,
+        "kind": "campaign",
+        "ts": _stamp(clock),
+        "run": dict(run),
+        "results": dict(results),
         "env": dict(env or {}),
     }
 

@@ -1,0 +1,98 @@
+"""Canonical ledger comparison — the determinism oracle for campaigns.
+
+Two ledgers written by the "same" campaign (one uninterrupted, one
+killed and resumed; or two runs at different ``--jobs``/pool settings)
+are never byte-identical: timestamps and the volatile ``env`` section
+differ by construction. What the determinism contract pins is the
+*canonical* form (:func:`repro.obs.ledger.canonical_record`), so the
+smoke jobs compare that::
+
+    python -m repro.obs.ledgerdiff a.jsonl b.jsonl
+
+Exit 0 when every record matches canonically, 1 on any divergence
+(count mismatch or first differing record, reported to stderr), 2 on
+unreadable input. A torn trailing line is tolerated on both sides —
+the comparison covers the intact prefix — but is reported, since a
+smoke run that tore its tail should be visible even when it passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.ledger import (
+    LedgerError,
+    canonical_record,
+    read_ledger_with_tail,
+)
+
+__all__ = ["compare_ledgers", "main"]
+
+
+def compare_ledgers(
+    left_path: str, right_path: str
+) -> tuple[list[str], list[str]]:
+    """Compare two ledgers canonically.
+
+    Returns ``(differences, notes)``: ``differences`` is empty iff the
+    ledgers match record-for-record after :func:`canonical_record`;
+    ``notes`` carries non-fatal observations (torn tails).
+    Raises :class:`LedgerError` when either file is unreadable.
+    """
+    notes: list[str] = []
+    sides = []
+    for path in (left_path, right_path):
+        records, truncated = read_ledger_with_tail(path)
+        if truncated is not None:
+            notes.append(
+                f"{path}:{truncated[0]}: torn trailing line tolerated"
+            )
+        sides.append([canonical_record(record) for record in records])
+    left, right = sides
+
+    differences: list[str] = []
+    if len(left) != len(right):
+        differences.append(
+            f"record count differs: {left_path} has {len(left)}, "
+            f"{right_path} has {len(right)}"
+        )
+    for index, (a, b) in enumerate(zip(left, right)):
+        if a != b:
+            differences.append(
+                f"record {index} differs canonically:\n"
+                f"  {left_path}: {json.dumps(a, sort_keys=True)}\n"
+                f"  {right_path}: {json.dumps(b, sort_keys=True)}"
+            )
+            break  # the first divergence is the actionable one
+    return differences, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.ledgerdiff",
+        description="Compare two ledgers after stripping volatile "
+        "sections (env, ts); exit 1 on canonical divergence.",
+    )
+    parser.add_argument("left", help="first ledger JSONL path")
+    parser.add_argument("right", help="second ledger JSONL path")
+    args = parser.parse_args(argv)
+
+    try:
+        differences, notes = compare_ledgers(args.left, args.right)
+    except LedgerError as exc:
+        print(f"ledgerdiff: {exc}", file=sys.stderr)
+        return 2
+    for note in notes:
+        print(f"ledgerdiff: note: {note}", file=sys.stderr)
+    if differences:
+        for line in differences:
+            print(f"ledgerdiff: {line}", file=sys.stderr)
+        return 1
+    print(f"ledgerdiff: canonical match ({args.left} == {args.right})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

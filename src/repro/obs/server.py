@@ -12,7 +12,14 @@ endpoints —
   concurrent writer's appends show up without restarts);
 * ``GET /clusters`` — :func:`repro.obs.cluster.cluster_ledger` over
   the current ledger;
+* ``GET /campaign`` — the live campaign checkpoint (batch cursor,
+  coverage, fingerprint counts), re-read per request so ``status
+  --serve`` is the front-end of a *running* campaign;
 * ``GET /``         — the endpoint index plus schema version.
+
+Ledger reads tolerate a torn trailing line (a concurrent campaign
+writer killed mid-append): the intact prefix is served, with the torn
+tail surfaced as ``"truncated_tail"`` rather than a 500.
 
 No dependencies beyond ``http.server``; start it in the background
 (``start()``/``stop()``) next to a scheduler loop, or foreground via
@@ -22,6 +29,7 @@ No dependencies beyond ``http.server``; start it in the background
 from __future__ import annotations
 
 import json
+import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -29,10 +37,59 @@ from repro.obs.cluster import DEFAULT_THRESHOLD, cluster_ledger
 from repro.obs.ledger import (
     LEDGER_SCHEMA_VERSION,
     LedgerError,
-    read_ledger,
+    read_ledger_with_tail,
 )
 
-__all__ = ["ObsServer"]
+__all__ = ["ObsServer", "campaign_snapshot"]
+
+
+def campaign_snapshot(checkpoint_path: str | None) -> dict:
+    """The ``/campaign`` payload: a summary of the checkpoint on disk.
+
+    ``active`` is simply "a readable checkpoint exists" — there is no
+    liveness channel to the campaign process, so the panel reports the
+    last committed batch cursor plus the checkpoint's mtime and lets
+    the reader judge staleness. Shared by :class:`ObsServer` and the
+    ``repro status`` campaign panel.
+    """
+    payload: dict[str, object] = {
+        "checkpoint": checkpoint_path,
+        "active": False,
+    }
+    if checkpoint_path is None:
+        return payload
+    try:
+        with open(checkpoint_path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        mtime = os.path.getmtime(checkpoint_path)
+    except FileNotFoundError:
+        return payload
+    except ValueError as exc:
+        payload["error"] = f"unreadable checkpoint ({exc})"
+        return payload
+    state = snapshot.get("state", {})
+    findings = state.get("findings", ())
+    payload.update(
+        {
+            "active": True,
+            "mtime": mtime,
+            "schema_version": snapshot.get("schema_version"),
+            "config": state.get("config", {}),
+            "batches": state.get("round_index", 0),
+            "candidates": state.get("candidates", 0),
+            "trials": state.get("trials_run", 0),
+            "coverage_features": len(state.get("coverage", [])),
+            "fingerprints": len(findings),
+            "novel": sum(
+                1
+                for finding in findings
+                if isinstance(finding, dict) and finding.get("novel")
+            ),
+            "rediscovered": len(state.get("rediscovered", [])),
+            "novel_seen": bool(snapshot.get("novel_seen", False)),
+        }
+    )
+    return payload
 
 
 class ObsServer:
@@ -46,7 +103,7 @@ class ObsServer:
     construction.
     """
 
-    ENDPOINTS = ("/", "/metrics", "/ledger", "/clusters")
+    ENDPOINTS = ("/", "/metrics", "/ledger", "/clusters", "/campaign")
 
     def __init__(
         self,
@@ -55,8 +112,10 @@ class ObsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         threshold: float = DEFAULT_THRESHOLD,
+        checkpoint_path: str | None = None,
     ) -> None:
         self.ledger_path = ledger_path
+        self.checkpoint_path = checkpoint_path
         self.registries = tuple(registries)
         self.threshold = threshold
         obs = self
@@ -96,19 +155,24 @@ class ObsServer:
 
     # -- payloads ----------------------------------------------------------
 
-    def _records(self) -> list[dict]:
+    def _records(self) -> tuple[list[dict], tuple[int, str] | None]:
         if self.ledger_path is None:
-            return []
-        return read_ledger(self.ledger_path)
+            return [], None
+        # Tolerate a torn tail: a live campaign writer killed mid-append
+        # leaves at most one partial final line, and the status surface
+        # must keep rendering the intact prefix.
+        return read_ledger_with_tail(self.ledger_path)
 
     def payload(self, path: str) -> dict | None:
         """The JSON body for one endpoint, or ``None`` for a 404."""
         if path == "/":
+            records, _ = self._records()
             return {
                 "endpoints": list(self.ENDPOINTS),
                 "schema_version": LEDGER_SCHEMA_VERSION,
                 "ledger": self.ledger_path,
-                "runs": len(self._records()),
+                "checkpoint": self.checkpoint_path,
+                "runs": len(records),
             }
         if path == "/metrics":
             return {
@@ -116,14 +180,20 @@ class ObsServer:
                 for registry in self.registries
             }
         if path == "/ledger":
-            records = self._records()
-            return {
+            records, truncated = self._records()
+            payload = {
                 "schema_version": LEDGER_SCHEMA_VERSION,
                 "ledger": self.ledger_path,
                 "runs": records,
             }
+            if truncated is not None:
+                payload["truncated_tail"] = {
+                    "lineno": truncated[0],
+                    "reason": truncated[1],
+                }
+            return payload
         if path == "/clusters":
-            records = self._records()
+            records, _ = self._records()
             return {
                 "total_runs": len(records),
                 "threshold": self.threshold,
@@ -134,6 +204,8 @@ class ObsServer:
                     )
                 ],
             }
+        if path == "/campaign":
+            return campaign_snapshot(self.checkpoint_path)
         return None
 
     # -- lifecycle ---------------------------------------------------------

@@ -130,9 +130,23 @@ class TestClustering:
 
     def test_clusters_ignore_env(self):
         record = _record(1.0, [FP_CAST])
-        stripped = canonical_record(record)
-        assert "env" not in stripped
+        stripped = {
+            key: value for key, value in record.items() if key != "env"
+        }
         assert cluster_ledger([record]) == cluster_ledger([stripped])
+
+    def test_canonical_records_cluster_identically_sans_timeline(self):
+        # canonical_record strips ts too (it is volatile across a
+        # kill/resume); membership and seams must be unaffected — only
+        # the first/last-seen timeline collapses to the default
+        record = _record(1.0, [FP_CAST])
+        stripped = canonical_record(record)
+        assert "env" not in stripped and "ts" not in stripped
+        (full,) = cluster_ledger([record])
+        (canon,) = cluster_ledger([stripped])
+        assert canon.members == full.members
+        assert canon.seams == full.seams
+        assert canon.flake_rate == full.flake_rate
 
 
 class TestOrderIndependence:

@@ -18,11 +18,13 @@ from repro.obs import (
     LEDGER_SCHEMA_VERSION,
     Ledger,
     LedgerError,
+    campaign_record,
     canonical_record,
     check_schema,
     crosstest_record,
     fuzz_record,
     read_ledger,
+    read_ledger_with_tail,
     run_env,
 )
 
@@ -110,6 +112,20 @@ class TestDeterminism:
         assert canonical_record(noisy) == canonical_record(quiet)
         assert noisy != quiet
 
+    def test_ts_is_outside_the_deterministic_core(self, smoke):
+        # a resumed campaign stamps later wall-clock times than the
+        # uninterrupted run it must canonically match
+        report = run_crosstest(inputs=smoke, formats=("parquet",), jobs=1)
+        early = crosstest_record(
+            report, corpus="smoke", clock=lambda: 1.0, env={}
+        )
+        late = crosstest_record(
+            report, corpus="smoke", clock=lambda: 9999.0, env={}
+        )
+        assert canonical_record(early) == canonical_record(late)
+        assert "ts" not in canonical_record(early)
+        assert early != late
+
 
 class TestFuzzRecord:
     @pytest.fixture(scope="class")
@@ -179,6 +195,76 @@ class TestLedgerFile:
         path = tmp_path / "ledger.jsonl"
         path.write_text('\n{"ok": 1}\n\n')
         assert read_ledger(str(path)) == [{"ok": 1}]
+
+
+class TestTornTail:
+    """A hard-killed writer leaves at most one partial trailing line;
+    the ledger layer must detect it — and tolerate it only when asked,
+    never silently mis-parse it."""
+
+    def test_strict_read_still_raises(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"ok": 1}\n{"torn": tru')
+        with pytest.raises(LedgerError, match=r"ledger\.jsonl:2"):
+            read_ledger(str(path))
+
+    def test_tolerant_read_drops_only_the_tail(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"ok": 1}\n{"torn": tru')
+        records = read_ledger(str(path), tolerate_truncated_tail=True)
+        assert records == [{"ok": 1}]
+
+    def test_with_tail_reports_the_tear(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"ok": 1}\n{"torn": tru')
+        records, truncated = read_ledger_with_tail(str(path))
+        assert records == [{"ok": 1}]
+        assert truncated is not None
+        assert truncated[0] == 2
+
+    def test_clean_ledger_has_no_tail(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"ok": 1}\n')
+        assert read_ledger_with_tail(str(path)) == ([{"ok": 1}], None)
+
+    def test_mid_file_corruption_raises_even_when_tolerant(self, tmp_path):
+        # damage before the tail is not an append in flight
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('not json\n{"ok": 1}\n')
+        with pytest.raises(LedgerError, match=r"ledger\.jsonl:1"):
+            read_ledger(str(path), tolerate_truncated_tail=True)
+
+    def test_missing_file_is_clean(self, tmp_path):
+        assert read_ledger_with_tail(str(tmp_path / "absent.jsonl")) == (
+            [],
+            None,
+        )
+
+
+class TestCampaignRecord:
+    def test_shape_and_determinism(self):
+        run = {"seed": 11, "batch": 16, "batch_index": 2}
+        results = {
+            "trials": 384,
+            "fingerprints": ["a|x", "b|y"],
+            "new_fingerprints": ["b|y"],
+            "novel": [],
+        }
+        record = campaign_record(run, results, clock=FIXED_CLOCK, env={})
+        assert record["kind"] == "campaign"
+        assert record["schema_version"] == LEDGER_SCHEMA_VERSION
+        assert set(record) == set(LEDGER_SCHEMA["record"])
+        again = campaign_record(run, results, clock=FIXED_CLOCK, env={})
+        assert _record_bytes(record) == _record_bytes(again)
+
+    def test_clock_and_env_stay_volatile(self):
+        run = {"seed": 11, "batch": 16, "batch_index": 0}
+        early = campaign_record(run, {}, clock=lambda: 1.0, env={})
+        late = campaign_record(
+            run, {}, clock=lambda: 2.0, env={"jobs": 4}
+        )
+        assert early != late
+        assert canonical_record(early) == canonical_record(late)
 
 
 class TestSchema:

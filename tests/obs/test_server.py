@@ -101,13 +101,74 @@ class TestObsServer:
             server.stop()
 
     def test_corrupt_ledger_is_500_not_crash(self, tmp_path):
+        # corruption before the tail is file damage, not a torn append
         path = tmp_path / "bad.jsonl"
-        path.write_text("not json\n")
+        path.write_text('not json\n{"ok": 1}\n')
         server = ObsServer(ledger_path=str(path)).start()
         try:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 _get(server, "/ledger")
             assert excinfo.value.code == 500
+        finally:
+            server.stop()
+
+    def test_torn_tail_served_not_500(self, tmp_path):
+        # a live campaign writer killed mid-append leaves one partial
+        # final line; the server keeps serving the intact prefix and
+        # surfaces the tear instead of failing the request
+        path = tmp_path / "live.jsonl"
+        path.write_text('{"ok": 1}\n{"tor')
+        server = ObsServer(ledger_path=str(path)).start()
+        try:
+            status, payload = _get(server, "/ledger")
+            assert status == 200
+            assert payload["runs"] == [{"ok": 1}]
+            assert payload["truncated_tail"]["lineno"] == 2
+        finally:
+            server.stop()
+
+    def test_campaign_endpoint_reflects_checkpoint(self, tmp_path):
+        checkpoint = tmp_path / "campaign-checkpoint.json"
+        server = ObsServer(checkpoint_path=str(checkpoint)).start()
+        try:
+            _, before = _get(server, "/campaign")
+            assert before["active"] is False
+            checkpoint.write_text(
+                json.dumps(
+                    {
+                        "schema_version": 1,
+                        "kind": "campaign-checkpoint",
+                        "state": {
+                            "config": {"seed": 7},
+                            "round_index": 3,
+                            "candidates": 48,
+                            "trials_run": 1152,
+                            "coverage": ["a", "b"],
+                            "findings": [
+                                {"key": "x", "novel": True},
+                                {"key": "y", "novel": False},
+                            ],
+                            "rediscovered": [2],
+                        },
+                        "offsets": {
+                            "ledger_bytes": 0,
+                            "fingerprints_bytes": 0,
+                        },
+                        "novel_seen": True,
+                        "env": {},
+                    }
+                )
+            )
+            _, after = _get(server, "/campaign")
+            assert after["active"] is True
+            assert after["batches"] == 3
+            assert after["candidates"] == 48
+            assert after["trials"] == 1152
+            assert after["coverage_features"] == 2
+            assert after["fingerprints"] == 2
+            assert after["novel"] == 1
+            assert after["novel_seen"] is True
+            assert after["config"] == {"seed": 7}
         finally:
             server.stop()
 

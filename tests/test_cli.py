@@ -325,6 +325,53 @@ class TestLedgerFlag:
         assert path.exists()
 
 
+class TestCampaign:
+    def _args(self, tmp_path, extra):
+        return [
+            "campaign", "--seed", "3", "--batch", "8",
+            "--baseline", "none", "--quiet",
+            "--checkpoint", str(tmp_path / "ckpt.json"),
+            "--fingerprints", str(tmp_path / "fp.jsonl"),
+            *extra,
+        ]
+
+    def test_bounded_campaign_runs_and_exits_4_on_novel(
+        self, tmp_path, capsys
+    ):
+        # empty baseline → everything found is novel → exit 4
+        assert main(self._args(tmp_path, ["--max-batches", "1"])) == 4
+        out = capsys.readouterr().out
+        assert "campaign started at batch 0" in out
+        assert (tmp_path / "ckpt.json").exists()
+        assert (tmp_path / "fp.jsonl").exists()
+
+    def test_resume_reports_and_respects_global_max_batches(
+        self, tmp_path, capsys
+    ):
+        assert main(self._args(tmp_path, ["--max-batches", "1"])) == 4
+        capsys.readouterr()
+        assert main(
+            self._args(tmp_path, ["--max-batches", "2", "--json"])
+        ) == 4
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["resumed"] is True
+        assert payload["batches_run"] == 1
+        assert payload["batches_total"] == 2
+        assert payload["exit_code"] == 4
+
+    def test_checkpoint_config_mismatch_exits_2(self, tmp_path, capsys):
+        assert main(self._args(tmp_path, ["--max-batches", "1"])) == 4
+        args = self._args(tmp_path, ["--max-batches", "2"])
+        args[args.index("--seed") + 1] = "4"
+        assert main(args) == 2
+        assert "checkpoint error" in capsys.readouterr().err
+
+    def test_bad_flags_rejected(self, capsys):
+        assert main(["campaign", "--jobs", "0"]) == 2
+        assert main(["campaign", "--max-batches", "0"]) == 2
+        assert main(["campaign", "--duration", "-1"]) == 2
+
+
 class TestStatus:
     def _seed_ledger(self, tmp_path):
         path = tmp_path / "ledger.jsonl"
@@ -376,10 +423,22 @@ class TestStatus:
         assert "schema-version drift" in capsys.readouterr().err
 
     def test_corrupt_ledger_exits_2_without_traceback(self, tmp_path, capsys):
+        # corruption *before* the tail is file damage, not a torn append
         path = tmp_path / "ledger.jsonl"
-        path.write_text("not json\n")
+        path.write_text('not json\n{"schema_version": 1}\n')
         assert main(["status", "--ledger", str(path)]) == 2
         assert "not a JSON record" in capsys.readouterr().err
+
+    def test_torn_trailing_line_tolerated(self, tmp_path, capsys):
+        # a hard-killed campaign writer leaves at most one partial final
+        # line; status must render the intact prefix, not exit 2
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(
+            '{"schema_version": 1, "kind": "campaign", "ts": 1.0, '
+            '"run": {}, "results": {}, "env": {}}\n{"schema_ver'
+        )
+        assert main(["status", "--ledger", str(path)]) == 0
+        assert "runs: 1 (1 campaign)" in capsys.readouterr().out
 
     def test_bad_threshold_rejected(self, capsys):
         assert main(["status", "--threshold", "0"]) == 2
@@ -388,6 +447,75 @@ class TestStatus:
     def test_bad_serve_spec_rejected(self, capsys):
         assert main(["status", "--serve", "not-a-port"]) == 2
         assert "bad --serve" in capsys.readouterr().err
+
+    def test_campaign_panel_renders_checkpoint(self, tmp_path, capsys):
+        assert main([
+            "campaign", "--seed", "3", "--batch", "8",
+            "--baseline", "none", "--quiet", "--max-batches", "1",
+            "--checkpoint", str(tmp_path / "ckpt.json"),
+            "--fingerprints", str(tmp_path / "fp.jsonl"),
+        ]) == 4
+        capsys.readouterr()
+        assert main([
+            "status", "--checkpoint", str(tmp_path / "ckpt.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "campaign:" in out
+        assert "batch 1, 8 candidates" in out
+
+    def test_campaign_panel_missing_checkpoint_is_friendly(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "status", "--checkpoint", str(tmp_path / "absent.json"),
+        ]) == 0
+        assert "no checkpoint yet" in capsys.readouterr().out
+
+    def test_serve_prints_resolved_ephemeral_url(self, tmp_path):
+        # --serve 0 binds an ephemeral port; the resolved URL on stdout
+        # is the only way a script learns where the server bound
+        import os
+        import signal as signal_mod
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "status",
+                "--serve", "127.0.0.1:0", "--quiet",
+                "--checkpoint", str(tmp_path / "absent.json"),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd="/root/repo",
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("serving at http://127.0.0.1:")
+            url = line.removeprefix("serving at ")
+            assert not url.endswith(":0/")
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    with urllib.request.urlopen(
+                        url + "campaign", timeout=5
+                    ) as resp:
+                        payload = json.load(resp)
+                    break
+                except OSError:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.2)
+            assert payload["active"] is False
+        finally:
+            proc.send_signal(signal_mod.SIGINT)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
 
 
 class TestConfcheckAndGaps:
