@@ -3,7 +3,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: tier1 smoke-crosstest smoke-tests test bench bench-json \
 	bench-gate chaos fuzz-smoke fuzz-baseline lint crosstest \
-	status-smoke campaign-smoke
+	status-smoke campaign-smoke analytics-smoke
 
 # sub-second sanity tier: the distilled 14-input corpus must still
 # reproduce all 15 discrepancy mechanisms (run this before anything
@@ -105,6 +105,15 @@ campaign-smoke:
 	$(PYTHON) -m repro.obs.ledgerdiff \
 		campaign-smoke/clean.ledger.jsonl \
 		campaign-smoke/resumed.ledger.jsonl
+
+# the CI analytics-smoke job, locally: a synthetic two-commit drift
+# ledger must flag the regression (and `repro analyze --gate` must
+# exit 5 on it), then a seeded exit-4 campaign must round-trip through
+# auto-triage — novel key reproduced from its checkpoint coordinates,
+# shrunk, and the proposed baseline silences the re-run back to exit 0
+analytics-smoke:
+	rm -rf analytics-smoke
+	$(PYTHON) -m repro.analytics.smoke analytics-smoke
 
 # regenerate src/repro/fuzz/known_discrepancies.json (deterministic:
 # any machine produces the identical file)

@@ -1,0 +1,218 @@
+"""The analytics smoke gate: drift must flag, triage must round-trip.
+
+Two legs, both deterministic end to end:
+
+1. **Drift**: a synthetic two-commit ledger — a cluster failing in 1/5
+   runs at commit ``aaa1111`` and 5/5 at ``bbb2222`` — must produce a
+   ``regressed`` drift flag (through the library *and* through
+   ``repro analyze --gate``, which must exit 5), an evolution event,
+   and byte-identical reports when the ledger lines are shuffled.
+
+2. **Triage round-trip**: run the canonical seed-3 campaign in-process
+   to learn its fingerprints, commit a baseline with one key held out,
+   run ``repro campaign`` against it (must exit 4 — a seeded novelty),
+   auto-triage the checkpoint (the held-out key must reproduce from its
+   provenance coordinates and shrink), then re-run the campaign with
+   the proposed baseline — which must exit 0. That closes the loop the
+   nightly auto-triage step relies on: the artifact it uploads is
+   *proven* to turn the red nightly green.
+
+Run via ``make analytics-smoke`` / the ``analytics-smoke`` CI job:
+``python -m repro.analytics.smoke [workdir]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.analytics.drift import analyze_ledger
+from repro.analytics.triage import triage_checkpoint, write_triage
+from repro.fuzz.dedup import Baseline
+from repro.fuzz.scheduler import FuzzConfig, run_fuzz
+
+__all__ = ["synthetic_drift_ledger", "main"]
+
+#: the two commits of the synthetic ledger, in time order
+_OLD_COMMIT, _NEW_COMMIT = "aaa1111", "bbb2222"
+#: the fingerprint whose rate jumps at the boundary
+_FLAKY_KEY = "smoke_drift|spark_hive|parquet|w:ok|shape|ev|conf"
+#: present only before the boundary — its cluster dies
+_DYING_KEY = "smoke_gone|hive_spark|orc|w:ok|shape|ev|conf"
+
+
+def _record(ts: float, commit: str, keys: list[str]) -> dict:
+    return {
+        "schema_version": 1,
+        "kind": "crosstest",
+        "ts": ts,
+        "run": {"corpus": "smoke", "jobs": 1},
+        "results": {"fingerprints": sorted(keys)},
+        "env": {"git": {"commit": commit}},
+    }
+
+
+def synthetic_drift_ledger() -> list[dict]:
+    """Ten runs across two commits with one regressing cluster.
+
+    At ``aaa1111`` the flaky fingerprint fires in 1/5 runs and a second
+    fingerprint in the other 4; at ``bbb2222`` the flaky one fires in
+    5/5 and the second never — a drift flag and a cluster death.
+    """
+    records = []
+    for index in range(5):
+        keys = [_FLAKY_KEY] if index == 0 else [_DYING_KEY]
+        records.append(_record(1000.0 + index, _OLD_COMMIT, keys))
+    for index in range(5):
+        records.append(_record(2000.0 + index, _NEW_COMMIT, [_FLAKY_KEY]))
+    return records
+
+
+def _drift_leg(workdir: str) -> None:
+    records = synthetic_drift_ledger()
+    report = analyze_ledger(records)
+
+    flagged = [
+        drift
+        for drift in report.drifts
+        if drift.direction == "regressed"
+        and drift.boundary == (_OLD_COMMIT, _NEW_COMMIT)
+        and f"fp:{_FLAKY_KEY}" in drift.cluster
+    ]
+    if not flagged:
+        raise AssertionError(
+            "two-commit synthetic ledger produced no regression flag: "
+            + json.dumps(report.to_json())
+        )
+    deaths = [event for event in report.evolution if event.kind == "death"]
+    if not deaths:
+        raise AssertionError("expected a cluster death at the boundary")
+
+    shuffled = analyze_ledger(list(reversed(records)))
+    if report.to_json() != shuffled.to_json():
+        raise AssertionError(
+            "analytics report depends on ledger line order"
+        )
+    print(
+        f"[analytics-smoke] drift: {len(report.drifts)} flag(s), "
+        f"{len(report.evolution)} evolution event(s), shuffle-stable"
+    )
+
+    # same ledger through the CLI gate: drift present must exit 5
+    from repro import cli
+
+    ledger_path = os.path.join(workdir, "drift.ledger.jsonl")
+    with open(ledger_path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    code = cli.main(
+        ["analyze", "--ledger", ledger_path, "--gate", "--quiet"]
+    )
+    if code != 5:
+        raise AssertionError(
+            f"'repro analyze --gate' on a drifting ledger exited {code},"
+            " expected 5"
+        )
+    print("[analytics-smoke] drift: CLI gate exits 5 as specified")
+
+
+def _campaign(workdir: str, name: str, baseline_path: str) -> int:
+    from repro import cli
+
+    return cli.main(
+        [
+            "campaign",
+            "--seed", "3",
+            "--batch", "8",
+            "--max-batches", "1",
+            "--quiet",
+            "--checkpoint", os.path.join(workdir, f"{name}.ckpt.json"),
+            "--fingerprints", os.path.join(workdir, f"{name}.fp.jsonl"),
+            "--ledger", os.path.join(workdir, f"{name}.ledger.jsonl"),
+            "--baseline", baseline_path,
+        ]
+    )
+
+
+def _triage_leg(workdir: str) -> None:
+    # learn the canonical seed-3 batch's fingerprints in-process, then
+    # hold the last key out of the baseline to seed a "novelty"
+    config = FuzzConfig(seed=3, budget=8, batch=8, shrink=False)
+    learned = run_fuzz(config, Baseline.empty())
+    keys = sorted(learned.findings)
+    if not keys:
+        raise AssertionError("seed-3 campaign witnessed no fingerprints")
+    held_out = keys[-1]
+    pruned = Baseline(
+        {
+            key: finding.fingerprint
+            for key, finding in learned.findings.items()
+            if key != held_out
+        }
+    )
+    pruned_path = os.path.join(workdir, "pruned-baseline.json")
+    pruned.save(pruned_path)
+    print(
+        f"[analytics-smoke] triage: {len(keys)} fingerprint(s), held out"
+        f" {held_out!r}"
+    )
+
+    code = _campaign(workdir, "seeded", pruned_path)
+    if code != 4:
+        raise AssertionError(
+            f"campaign against the pruned baseline exited {code},"
+            " expected 4 (seeded novelty)"
+        )
+
+    report, delta, _proposed = triage_checkpoint(
+        os.path.join(workdir, "seeded.ckpt.json"),
+        Baseline.load(pruned_path),
+        fingerprints_path=os.path.join(workdir, "seeded.fp.jsonl"),
+        shrink=True,
+    )
+    if [finding.key for finding in report.findings] != [held_out]:
+        raise AssertionError(
+            f"triage found {[f.key for f in report.findings]},"
+            f" expected exactly [{held_out!r}]"
+        )
+    if not report.all_reproduced:
+        raise AssertionError(
+            "held-out fingerprint did not reproduce from its provenance"
+            " coordinates"
+        )
+    if held_out not in delta.fingerprints:
+        raise AssertionError("baseline delta is missing the novel key")
+    paths = write_triage(
+        os.path.join(workdir, "triage"), report, delta, _proposed
+    )
+    print(
+        "[analytics-smoke] triage: reproduced + shrunk, artifacts in "
+        + os.path.dirname(paths["report"])
+    )
+
+    code = _campaign(workdir, "green", paths["proposed"])
+    if code != 0:
+        raise AssertionError(
+            f"campaign against the proposed baseline exited {code},"
+            " expected 0 — the triage delta did not close the novelty"
+        )
+    print("[analytics-smoke] triage: proposed baseline turns exit 4 -> 0")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    workdir = args[0] if args else "analytics-smoke"
+    os.makedirs(workdir, exist_ok=True)
+    try:
+        _drift_leg(workdir)
+        _triage_leg(workdir)
+    except AssertionError as exc:
+        print(f"[analytics-smoke] FAIL: {exc}", file=sys.stderr)
+        return 1
+    print("[analytics-smoke] ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

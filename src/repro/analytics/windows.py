@@ -1,0 +1,294 @@
+"""Ledger windows: partition campaign records along commit or time axes.
+
+The ledger deliberately separates the deterministic core of a record
+from the volatile ``env`` — but the *analytics* questions a perpetual
+ledger exists to answer live exactly on that volatile side: "did this
+failure cluster change behaviour **at a commit boundary**?", "what did
+last week's runs see that this week's don't?". This module gives those
+questions their unit of comparison: a :class:`Window` is a maximal run
+of ledger records sharing one ``env.git.commit`` (or one fixed-width
+time bucket), in canonical record order so the partition — like the
+clustering it feeds — is immune to ledger-line shuffling.
+
+On top of the partition sit two analyses:
+
+* :func:`cluster_windows` re-runs the co-occurrence clustering
+  (:func:`repro.obs.cluster.cluster_ledger`) *per window*, and
+* :func:`cluster_evolution` compares the per-window clusterings of
+  adjacent windows and reports **births** (a cluster whose members were
+  never seen before), **deaths** (a cluster that stopped failing),
+  **merges** (previously-independent clusters now co-failing — the
+  "Systemic Flakiness" signal that two mechanisms share a root cause)
+  and **splits** (a cluster that decomposed).
+
+Everything is deterministic for a fixed record *set*: shuffling the
+ledger lines changes neither window boundaries nor events (pinned by
+tests/analytics/).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.cluster import Cluster, canonical_order, cluster_ledger, record_items
+
+__all__ = [
+    "DEFAULT_WINDOW_SECONDS",
+    "Window",
+    "EvolutionEvent",
+    "record_commit",
+    "commit_windows",
+    "time_windows",
+    "partition_ledger",
+    "cluster_windows",
+    "cluster_evolution",
+]
+
+#: default width of a time window: one day, the nightly-campaign cadence
+DEFAULT_WINDOW_SECONDS = 86_400.0
+
+#: window label for records whose ``env`` carries no git commit
+UNKNOWN_COMMIT = "unknown"
+
+
+@dataclass(frozen=True)
+class Window:
+    """One contiguous slice of the (canonically ordered) ledger."""
+
+    #: commit short-hash, or the time bucket's ISO start
+    label: str
+    #: which axis produced the window: ``"commit"`` or ``"time"``
+    kind: str
+    #: position in the window sequence, 0-based
+    index: int
+    records: tuple[dict, ...]
+
+    @property
+    def start(self) -> float:
+        return min(
+            (float(r.get("ts", 0.0)) for r in self.records), default=0.0
+        )
+
+    @property
+    def end(self) -> float:
+        return max(
+            (float(r.get("ts", 0.0)) for r in self.records), default=0.0
+        )
+
+    def items(self) -> set[str]:
+        """Every failure item any record in the window contributes."""
+        out: set[str] = set()
+        for record in self.records:
+            out.update(record_items(record))
+        return out
+
+    def item_rate(self, members: tuple[str, ...]) -> float:
+        """Fraction of the window's runs in which *any* member failed."""
+        if not self.records:
+            return 0.0
+        wanted = set(members)
+        hits = sum(
+            1
+            for record in self.records
+            if wanted.intersection(record_items(record))
+        )
+        return hits / len(self.records)
+
+    def to_json(self) -> dict:
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "index": self.index,
+            "runs": len(self.records),
+            "start": self.start,
+            "end": self.end,
+            "items": len(self.items()),
+        }
+
+
+def record_commit(record: dict) -> str | None:
+    """The git commit a record's volatile ``env`` was stamped with."""
+    git = record.get("env", {}).get("git")
+    if not isinstance(git, dict):
+        return None
+    commit = git.get("commit")
+    return str(commit) if commit else None
+
+
+def commit_windows(records: list[dict]) -> list[Window]:
+    """Partition the ledger by ``env.git.commit``.
+
+    Windows are ordered by each commit's first appearance in canonical
+    record order (which tracks ``ts``), so "the window before this one"
+    means "the commit the campaign ran at before this one landed".
+    Records with no recorded commit share one ``unknown`` window.
+    """
+    ordered = canonical_order(records)
+    grouped: dict[str, list[dict]] = {}
+    order: list[str] = []
+    for record in ordered:
+        commit = record_commit(record) or UNKNOWN_COMMIT
+        if commit not in grouped:
+            grouped[commit] = []
+            order.append(commit)
+        grouped[commit].append(record)
+    return [
+        Window(
+            label=label, kind="commit", index=index,
+            records=tuple(grouped[label]),
+        )
+        for index, label in enumerate(order)
+    ]
+
+
+def time_windows(
+    records: list[dict], width_seconds: float = DEFAULT_WINDOW_SECONDS
+) -> list[Window]:
+    """Partition the ledger into fixed-width time buckets.
+
+    Buckets are aligned to multiples of ``width_seconds`` since the
+    epoch and labelled by their (UTC) start; empty buckets between two
+    populated ones are *not* emitted — a campaign that paused for a
+    week compares its last active window against its next one.
+    """
+    import time as _time
+
+    if width_seconds <= 0:
+        raise ValueError(
+            f"window width must be > 0 seconds, got {width_seconds}"
+        )
+    ordered = canonical_order(records)
+    grouped: dict[int, list[dict]] = {}
+    for record in ordered:
+        bucket = int(float(record.get("ts", 0.0)) // width_seconds)
+        grouped.setdefault(bucket, []).append(record)
+    windows = []
+    for index, bucket in enumerate(sorted(grouped)):
+        start = bucket * width_seconds
+        label = _time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", _time.gmtime(start)
+        )
+        windows.append(
+            Window(
+                label=label, kind="time", index=index,
+                records=tuple(grouped[bucket]),
+            )
+        )
+    return windows
+
+
+def partition_ledger(
+    records: list[dict],
+    *,
+    by: str = "commit",
+    window_seconds: float = DEFAULT_WINDOW_SECONDS,
+) -> list[Window]:
+    """Window the ledger along the requested axis."""
+    if by == "commit":
+        return commit_windows(records)
+    if by == "time":
+        return time_windows(records, window_seconds)
+    raise ValueError(f"unknown window axis {by!r}; expected commit or time")
+
+
+def cluster_windows(
+    windows: list[Window], threshold: float = 0.5
+) -> list[list[Cluster]]:
+    """Re-cluster each window independently, same order as ``windows``."""
+    return [
+        cluster_ledger(list(window.records), threshold=threshold)
+        for window in windows
+    ]
+
+
+@dataclass(frozen=True)
+class EvolutionEvent:
+    """One cluster lifecycle event at a window boundary."""
+
+    #: ``birth`` / ``death`` / ``merge`` / ``split``
+    kind: str
+    #: labels of the (before, after) windows the event straddles
+    boundary: tuple[str, str]
+    #: the cluster the event is about (after-side for birth/merge,
+    #: before-side for death/split), as its sorted member tuple
+    cluster: tuple[str, ...]
+    #: for merge: the before-side clusters that fused; for split: the
+    #: after-side fragments; empty for birth/death
+    related: tuple[tuple[str, ...], ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "boundary": list(self.boundary),
+            "cluster": list(self.cluster),
+            "related": [list(members) for members in self.related],
+        }
+
+
+def cluster_evolution(
+    windows: list[Window], threshold: float = 0.5
+) -> list[EvolutionEvent]:
+    """Births, deaths, merges and splits between adjacent windows.
+
+    Clusters are matched across a boundary by member overlap. An
+    after-side cluster overlapping *no* before-side cluster whose
+    members were also never seen loose in the before window is a birth;
+    one overlapping two or more is a merge. Symmetrically for deaths
+    and splits on the before side. Output order is deterministic:
+    boundary order, then kind, then member tuple.
+    """
+    per_window = cluster_windows(windows, threshold)
+    events: list[EvolutionEvent] = []
+    for index in range(1, len(windows)):
+        before_window, after_window = windows[index - 1], windows[index]
+        boundary = (before_window.label, after_window.label)
+        before = per_window[index - 1]
+        after = per_window[index]
+        before_items = before_window.items()
+        after_items = after_window.items()
+        overlaps: dict[int, list[int]] = {}
+        reverse: dict[int, list[int]] = {}
+        for b_idx, b_cluster in enumerate(before):
+            b_members = set(b_cluster.members)
+            for a_idx, a_cluster in enumerate(after):
+                if b_members.intersection(a_cluster.members):
+                    overlaps.setdefault(a_idx, []).append(b_idx)
+                    reverse.setdefault(b_idx, []).append(a_idx)
+        bucket: list[EvolutionEvent] = []
+        for a_idx, a_cluster in enumerate(after):
+            parents = overlaps.get(a_idx, [])
+            if not parents:
+                # only a true birth if nothing in the before window —
+                # clustered or not — ever witnessed any member
+                if not before_items.intersection(a_cluster.members):
+                    bucket.append(
+                        EvolutionEvent("birth", boundary, a_cluster.members)
+                    )
+            elif len(parents) > 1:
+                bucket.append(
+                    EvolutionEvent(
+                        "merge",
+                        boundary,
+                        a_cluster.members,
+                        tuple(before[p].members for p in sorted(parents)),
+                    )
+                )
+        for b_idx, b_cluster in enumerate(before):
+            children = reverse.get(b_idx, [])
+            if not children:
+                if not after_items.intersection(b_cluster.members):
+                    bucket.append(
+                        EvolutionEvent("death", boundary, b_cluster.members)
+                    )
+            elif len(children) > 1:
+                bucket.append(
+                    EvolutionEvent(
+                        "split",
+                        boundary,
+                        b_cluster.members,
+                        tuple(after[c].members for c in sorted(children)),
+                    )
+                )
+        bucket.sort(key=lambda event: (event.kind, event.cluster))
+        events.extend(bucket)
+    return events

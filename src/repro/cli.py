@@ -13,6 +13,10 @@ Commands map onto the paper's artifacts:
 * ``trace``     — summarize exported boundary traces
 * ``status``    — campaign observatory: ledger trends, co-occurrence
   clusters, live metrics (optionally served over HTTP)
+* ``analyze``   — ledger analytics: commit/time windows, cluster drift
+  at boundaries, cluster births/deaths/merges/splits
+* ``triage``    — auto-triage a campaign's novel fingerprints from
+  checkpoint provenance into a shrunk witness + baseline delta
 """
 
 from __future__ import annotations
@@ -446,6 +450,119 @@ def build_parser() -> argparse.ArgumentParser:
         "stdout either way",
     )
     status.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the informational lines on stderr",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="ledger analytics: windows, cluster drift at boundaries, "
+        "cluster births/deaths/merges/splits",
+    )
+    analyze.add_argument(
+        "--ledger",
+        required=True,
+        metavar="PATH",
+        help="campaign ledger (JSONL) to analyze",
+    )
+    analyze.add_argument(
+        "--by",
+        default="commit",
+        choices=["commit", "time"],
+        help="window axis: env.git.commit boundaries (default) or "
+        "fixed-width time buckets",
+    )
+    analyze.add_argument(
+        "--window-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="time-window width for --by time (default: 86400, one "
+        "nightly cadence)",
+    )
+    analyze.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="J",
+        help="minimum Jaccard similarity for two failure items to "
+        "share a co-occurrence cluster (default: 0.5)",
+    )
+    analyze.add_argument(
+        "--min-delta",
+        type=float,
+        default=None,
+        metavar="D",
+        help="minimum per-window occurrence-rate change for a cluster "
+        "to count as drifted (default: 0.25)",
+    )
+    analyze.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 5 when any cluster drifted across a window "
+        "boundary (the regression-alarm mode for CI)",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    analyze.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the report text; useful with --gate when only "
+        "the exit code matters",
+    )
+
+    triage = sub.add_parser(
+        "triage",
+        help="auto-triage a campaign's novel fingerprints: reproduce "
+        "each from its checkpoint provenance, shrink the witness, "
+        "emit a ready-to-commit baseline delta",
+    )
+    triage.add_argument(
+        "--checkpoint",
+        required=True,
+        metavar="PATH",
+        help="campaign checkpoint written by 'repro campaign'; witness "
+        "inputs are regenerated from its (round, slot, input_id) "
+        "coordinates",
+    )
+    triage.add_argument(
+        "--fingerprints",
+        default=None,
+        metavar="PATH",
+        help="fingerprint JSONL of the same campaign; restricts triage "
+        "to the keys it marks novel (default: every novel key the "
+        "checkpoint carries)",
+    )
+    triage.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="known-discrepancies baseline the delta extends (default: "
+        "the committed known_discrepancies.json; 'none' for an empty "
+        "baseline)",
+    )
+    triage.add_argument(
+        "--out-dir",
+        default="triage-out",
+        metavar="DIR",
+        help="where the triage artifacts land: triage-report.json/.txt, "
+        "baseline-delta.json, proposed_known_discrepancies.json "
+        "(default: triage-out)",
+    )
+    triage.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging the witnesses (faster; the report "
+        "keeps the full-size witness)",
+    )
+    triage.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the triage report as JSON instead of text",
+    )
+    triage.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the informational lines on stderr",
@@ -1161,6 +1278,11 @@ def _cmd_status(args: argparse.Namespace) -> int:
             "clusters": [cluster.to_json() for cluster in clusters],
             "metrics": metrics_snapshot,
         }
+        from repro.analytics import analyze_ledger
+
+        payload["analytics"] = analyze_ledger(
+            records, threshold=threshold
+        ).to_json()
         if args.checkpoint is not None:
             payload["campaign"] = campaign_snapshot(args.checkpoint)
         print(json.dumps(payload, indent=1, sort_keys=True))
@@ -1254,6 +1376,24 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 print(f"      {member}")
             if len(cluster.members) > 5:
                 print(f"      ... {len(cluster.members) - 5} more")
+    from repro.analytics import commit_windows, detect_drift
+
+    if len(commit_windows(records)) >= 2:
+        drifts = detect_drift(records, threshold=threshold)
+        print()
+        if not drifts:
+            print("commit drift: none — cluster rates stable across commits")
+        else:
+            print(f"commit drift: {len(drifts)} flagged cluster(s)")
+            for drift in drifts:
+                print(
+                    f"  {drift.direction} at {drift.boundary[0]} -> "
+                    f"{drift.boundary[1]}: {drift.before_rate:.0%} -> "
+                    f"{drift.after_rate:.0%}, "
+                    f"{len(drift.cluster)} member(s) "
+                    f"({', '.join(drift.seams)}) — "
+                    "see 'repro analyze' for detail"
+                )
     live = {
         system: snapshot
         for system, snapshot in metrics_snapshot.items()
@@ -1269,6 +1409,175 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 else:
                     value = f"{entry.get('value', 0)}"
                 print(f"  {system}.{name} = {value}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analytics import (
+        DEFAULT_MIN_DELTA,
+        DEFAULT_WINDOW_SECONDS,
+        analyze_ledger,
+    )
+    from repro.obs import (
+        DEFAULT_THRESHOLD,
+        LedgerError,
+        check_schema,
+        read_ledger,
+    )
+
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    min_delta = (
+        args.min_delta if args.min_delta is not None else DEFAULT_MIN_DELTA
+    )
+    window_seconds = (
+        args.window_seconds
+        if args.window_seconds is not None
+        else DEFAULT_WINDOW_SECONDS
+    )
+    if not 0.0 < threshold <= 1.0:
+        print(
+            f"bad --threshold {threshold}; expected a Jaccard similarity "
+            "in (0, 1]",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0.0 < min_delta <= 1.0:
+        print(
+            f"bad --min-delta {min_delta}; expected a rate change "
+            "in (0, 1]",
+            file=sys.stderr,
+        )
+        return 2
+    if window_seconds <= 0:
+        print(
+            f"bad --window-seconds {window_seconds}; expected > 0",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        records = read_ledger(args.ledger, tolerate_truncated_tail=True)
+        check_schema(records, args.ledger)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = analyze_ledger(
+        records,
+        by=args.by,
+        window_seconds=window_seconds,
+        threshold=threshold,
+        min_delta=min_delta,
+    )
+
+    if args.json:
+        print(json.dumps(report.to_json(), indent=1, sort_keys=True))
+    elif not args.quiet:
+        print(
+            f"ledger: {args.ledger} — {len(records)} runs, "
+            f"{len(report.windows)} {args.by} window(s)"
+        )
+        for window in report.windows:
+            print(
+                f"  window #{window.index} [{window.label}]: "
+                f"{len(window.records)} runs, "
+                f"{len(window.items())} failure item(s), "
+                f"{_iso(window.start)} .. {_iso(window.end)}"
+            )
+        print()
+        if not report.drifts:
+            print(
+                f"drift (|rate change| >= {min_delta:g}): none — every "
+                "cluster's occurrence rate is stable across boundaries"
+            )
+        else:
+            print(f"drift (|rate change| >= {min_delta:g}): {len(report.drifts)}")
+            for drift in report.drifts:
+                print(
+                    f"  {drift.direction.upper():9} "
+                    f"{drift.boundary[0]} -> {drift.boundary[1]}: "
+                    f"{drift.before_rate:.0%} -> {drift.after_rate:.0%} "
+                    f"({drift.delta:+.0%}), seams: {', '.join(drift.seams)}"
+                )
+                for member in drift.cluster[:3]:
+                    print(f"      {member}")
+                if len(drift.cluster) > 3:
+                    print(f"      ... {len(drift.cluster) - 3} more")
+        if report.evolution:
+            print()
+            print(f"cluster evolution: {len(report.evolution)} event(s)")
+            for event in report.evolution:
+                print(
+                    f"  {event.kind.upper():6} at "
+                    f"{event.boundary[0]} -> {event.boundary[1]}: "
+                    f"{len(event.cluster)} member(s), e.g. "
+                    f"{event.cluster[0]}"
+                )
+    if args.gate and report.drifts:
+        if not args.quiet:
+            print(
+                f"[analyze] {len(report.drifts)} drifted cluster(s) — "
+                "exiting 5 (--gate)",
+                file=sys.stderr,
+            )
+        return 5
+    return 0
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    from repro.analytics import TriageError, triage_checkpoint, write_triage
+    from repro.campaign import CheckpointError
+    from repro.fuzz.dedup import Baseline, default_baseline_path
+
+    if args.baseline == "none":
+        baseline = Baseline.empty()
+    else:
+        baseline_path = (
+            args.baseline
+            if args.baseline is not None
+            else default_baseline_path()
+        )
+        try:
+            baseline = Baseline.load(baseline_path)
+        except OSError as exc:
+            if args.baseline is not None:
+                print(f"bad --baseline: {exc}", file=sys.stderr)
+                return 2
+            baseline = Baseline.empty()
+
+    try:
+        report, delta, proposed = triage_checkpoint(
+            args.checkpoint,
+            baseline,
+            fingerprints_path=args.fingerprints,
+            shrink=not args.no_shrink,
+        )
+    except (TriageError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    paths = write_triage(args.out_dir, report, delta, proposed)
+    if args.json:
+        payload = report.to_json()
+        payload["artifacts"] = paths
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(report.to_text())
+        print()
+        print(f"baseline delta:    {paths['delta']} ({len(delta)} entries)")
+        print(f"proposed baseline: {paths['proposed']} ({len(proposed)} entries)")
+    if not report.all_reproduced:
+        if not args.quiet:
+            print(
+                "[triage] some novel fingerprints failed to reproduce "
+                "from their provenance coordinates — exiting 1 (either "
+                "the determinism contract broke, or checkpoint and "
+                "build are from different campaigns)",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -1305,6 +1614,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "triage":
+        return _cmd_triage(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -33,6 +33,7 @@ __all__ = [
     "record_items",
     "item_seam",
     "jaccard",
+    "canonical_order",
     "cluster_ledger",
 ]
 
@@ -123,10 +124,12 @@ def jaccard(left: set[int], right: set[int]) -> float:
     return len(left & right) / len(union)
 
 
-def _canonical_order(records: list[dict]) -> list[dict]:
+def canonical_order(records: list[dict]) -> list[dict]:
     """Records in a content-determined order, so run indices (and with
     them the whole clustering output) cannot depend on how the ledger
-    lines happened to be concatenated."""
+    lines happened to be concatenated. Shared with
+    :mod:`repro.analytics.windows`, whose window boundaries must be
+    equally immune to ledger-line shuffling."""
     from repro.obs.ledger import canonical_record
 
     return sorted(
@@ -151,7 +154,7 @@ def cluster_ledger(
     """
     if not 0.0 < threshold <= 1.0:
         raise ValueError(f"threshold must be in (0, 1], got {threshold}")
-    ordered = _canonical_order(records)
+    ordered = canonical_order(records)
     total = len(ordered)
     if not total:
         return []

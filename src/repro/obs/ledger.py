@@ -31,6 +31,8 @@ byte-reproducible ledgers — can fix it.
 from __future__ import annotations
 
 import json
+import os
+import subprocess
 import time
 from typing import Callable
 
@@ -400,10 +402,27 @@ def run_env(
     return env
 
 
-def _git_metadata() -> dict | None:
-    try:
-        import subprocess
+# Both metadata probes are cached per process: a long campaign appends
+# one record per batch, and paying a `git rev-parse` fork plus a bench
+# file read on every append adds up to real wall time for facts that
+# cannot change under a running process. `_clear_metadata_cache()` (for
+# tests) resets both; the bench cache is keyed by resolved path so an
+# env-var change between appends still re-resolves.
+_METADATA_CACHE: dict[object, dict | None] = {}
 
+
+def _clear_metadata_cache() -> None:
+    _METADATA_CACHE.clear()
+
+
+def _git_metadata() -> dict | None:
+    if "git" not in _METADATA_CACHE:
+        _METADATA_CACHE["git"] = _probe_git_metadata()
+    return _METADATA_CACHE["git"]
+
+
+def _probe_git_metadata() -> dict | None:
+    try:
         proc = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             capture_output=True,
@@ -417,9 +436,31 @@ def _git_metadata() -> dict | None:
     return None
 
 
+def _bench_json_path() -> str:
+    """Where the bench snapshot lives: ``REPRO_BENCH_JSON`` when set,
+    else ``BENCH_crosstest.json`` at the repo root — *not* the cwd, so
+    a campaign launched from any working directory still records its
+    host's bench metadata."""
+    override = os.environ.get("REPRO_BENCH_JSON")
+    if override:
+        return override
+    repo_root = os.path.dirname(  # src/repro/obs/ledger.py -> repo root
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    )
+    return os.path.join(repo_root, "BENCH_crosstest.json")
+
+
 def _bench_metadata() -> dict | None:
+    path = _bench_json_path()
+    key = ("bench", path)
+    if key not in _METADATA_CACHE:
+        _METADATA_CACHE[key] = _probe_bench_metadata(path)
+    return _METADATA_CACHE[key]
+
+
+def _probe_bench_metadata(path: str) -> dict | None:
     try:
-        with open("BENCH_crosstest.json", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             payload = json.load(handle)
         rate = payload.get("jobs1", {}).get("trials_per_s")
         if rate is not None:

@@ -15,6 +15,9 @@ endpoints —
 * ``GET /campaign`` — the live campaign checkpoint (batch cursor,
   coverage, fingerprint counts), re-read per request so ``status
   --serve`` is the front-end of a *running* campaign;
+* ``GET /analytics`` — :func:`repro.analytics.analyze_ledger` over the
+  current ledger: commit windows, cluster drift flags, evolution
+  events;
 * ``GET /``         — the endpoint index plus schema version.
 
 Ledger reads tolerate a torn trailing line (a concurrent campaign
@@ -103,7 +106,14 @@ class ObsServer:
     construction.
     """
 
-    ENDPOINTS = ("/", "/metrics", "/ledger", "/clusters", "/campaign")
+    ENDPOINTS = (
+        "/",
+        "/metrics",
+        "/ledger",
+        "/clusters",
+        "/campaign",
+        "/analytics",
+    )
 
     def __init__(
         self,
@@ -206,6 +216,18 @@ class ObsServer:
             }
         if path == "/campaign":
             return campaign_snapshot(self.checkpoint_path)
+        if path == "/analytics":
+            # imported lazily: obs must not hard-depend on analytics
+            # (analytics already imports obs for clustering)
+            from repro.analytics import analyze_ledger
+
+            records, _ = self._records()
+            payload = analyze_ledger(
+                records, threshold=self.threshold
+            ).to_json()
+            payload["total_runs"] = len(records)
+            payload["threshold"] = self.threshold
+            return payload
         return None
 
     # -- lifecycle ---------------------------------------------------------

@@ -1,0 +1,186 @@
+"""Tests for cluster drift detection.
+
+The acceptance bar (ISSUE 10): a synthetic two-commit ledger with a
+rate shift must produce a drift flag, deterministically across record
+shuffle order.
+"""
+
+import random
+
+import pytest
+
+from repro.analytics.drift import (
+    DEFAULT_MIN_DELTA,
+    analyze_ledger,
+    detect_drift,
+)
+
+
+def _record(ts: float, commit: str, keys: list[str]) -> dict:
+    return {
+        "schema_version": 1,
+        "kind": "crosstest",
+        "ts": ts,
+        "run": {},
+        "results": {"fingerprints": keys},
+        "env": {"git": {"commit": commit}},
+    }
+
+
+def _two_commit_ledger(
+    before_hits: int = 1, after_hits: int = 5, runs: int = 5
+) -> list[dict]:
+    """``runs`` records per commit; the fingerprint fires in the first
+    ``*_hits`` of each side."""
+    records = []
+    for i in range(runs):
+        keys = ["drifter|spark_hive|parquet"] if i < before_hits else []
+        records.append(_record(100.0 + i, "aaa1111", keys))
+    for i in range(runs):
+        keys = ["drifter|spark_hive|parquet"] if i < after_hits else []
+        records.append(_record(200.0 + i, "bbb2222", keys))
+    return records
+
+
+class TestDetectDrift:
+    def test_rate_shift_is_flagged(self):
+        drifts = detect_drift(_two_commit_ledger(1, 5))
+        assert len(drifts) == 1
+        drift = drifts[0]
+        assert drift.direction == "regressed"
+        assert drift.boundary == ("aaa1111", "bbb2222")
+        assert drift.before_rate == pytest.approx(0.2)
+        assert drift.after_rate == pytest.approx(1.0)
+        assert drift.delta == pytest.approx(0.8)
+        assert drift.cluster == ("fp:drifter|spark_hive|parquet",)
+        assert drift.seams == ("spark->hive",)
+
+    def test_recovery_is_flagged_with_direction(self):
+        drifts = detect_drift(_two_commit_ledger(5, 1))
+        assert len(drifts) == 1
+        assert drifts[0].direction == "recovered"
+        assert drifts[0].delta == pytest.approx(-0.8)
+
+    def test_stable_rate_is_not_flagged(self):
+        assert detect_drift(_two_commit_ledger(3, 3)) == []
+
+    def test_sub_threshold_shift_is_not_flagged(self):
+        # 0.2 -> 0.4 is a 0.2 delta, under the default 0.25
+        assert DEFAULT_MIN_DELTA == 0.25
+        assert detect_drift(_two_commit_ledger(1, 2)) == []
+
+    def test_min_delta_is_configurable(self):
+        drifts = detect_drift(_two_commit_ledger(1, 2), min_delta=0.1)
+        assert len(drifts) == 1
+
+    def test_bad_min_delta_rejected(self):
+        with pytest.raises(ValueError, match="min_delta"):
+            detect_drift(_two_commit_ledger(), min_delta=0.0)
+        with pytest.raises(ValueError, match="min_delta"):
+            detect_drift(_two_commit_ledger(), min_delta=1.5)
+
+    def test_single_window_cannot_drift(self):
+        records = [
+            _record(float(i), "onlycommit", ["k"]) for i in range(5)
+        ]
+        assert detect_drift(records) == []
+
+    def test_empty_ledger(self):
+        assert detect_drift([]) == []
+
+    def test_shuffle_determinism(self):
+        records = _two_commit_ledger(1, 5)
+        baseline = detect_drift(records)
+        for seed in range(5):
+            shuffled = list(records)
+            random.Random(seed).shuffle(shuffled)
+            assert detect_drift(shuffled) == baseline
+
+    def test_cluster_identity_is_global(self):
+        # the cluster fails only after the boundary; drift must still
+        # see it in the before-window (rate 0.0) rather than treating
+        # the two windows' clusterings as unrelated
+        records = []
+        for i in range(4):
+            records.append(_record(100.0 + i, "aaa1111", []))
+        for i in range(4):
+            records.append(_record(200.0 + i, "bbb2222", ["born|g|f"]))
+        drifts = detect_drift(records)
+        assert len(drifts) == 1
+        assert drifts[0].before_rate == 0.0
+        assert drifts[0].after_rate == pytest.approx(1.0)
+
+    def test_three_windows_flag_each_boundary(self):
+        records = []
+        for i in range(4):
+            records.append(_record(100.0 + i, "aaa", ["k|g|f"]))
+        for i in range(4):
+            records.append(_record(200.0 + i, "bbb", []))
+        for i in range(4):
+            records.append(_record(300.0 + i, "ccc", ["k|g|f"]))
+        drifts = detect_drift(records)
+        assert [(d.boundary, d.direction) for d in drifts] == [
+            (("aaa", "bbb"), "recovered"),
+            (("bbb", "ccc"), "regressed"),
+        ]
+
+    def test_ordering_by_descending_delta_within_boundary(self):
+        # two disjoint clusters drift at the same boundary by 1.0
+        # and 0.5 — the bigger move is reported first
+        records = []
+        for i in range(4):
+            keys = ["small|g|f"] if i < 2 else []
+            records.append(_record(100.0 + i, "aaa", keys))
+        for i in range(4):
+            records.append(
+                _record(200.0 + i, "bbb", ["big|g|f"])
+            )
+        drifts = detect_drift(records)
+        assert [abs(d.delta) for d in drifts] == sorted(
+            [abs(d.delta) for d in drifts], reverse=True
+        )
+        assert drifts[0].cluster == ("fp:big|g|f",)
+
+
+class TestAnalyzeLedger:
+    def test_report_bundles_all_three_analyses(self):
+        report = analyze_ledger(_two_commit_ledger(1, 5))
+        assert report.by == "commit"
+        assert len(report.windows) == 2
+        assert len(report.clusters) == 1
+        assert len(report.drifts) == 1
+        payload = report.to_json()
+        assert set(payload) == {
+            "by",
+            "windows",
+            "clusters",
+            "drifts",
+            "evolution",
+        }
+
+    def test_report_shuffle_determinism(self):
+        records = _two_commit_ledger(2, 5)
+        baseline = analyze_ledger(records).to_json()
+        shuffled = list(records)
+        random.Random(42).shuffle(shuffled)
+        assert analyze_ledger(shuffled).to_json() == baseline
+
+    def test_time_axis(self):
+        records = [
+            _record(10.0, "aaa", ["k|g|f"]),
+            _record(20.0, "aaa", ["k|g|f"]),
+            _record(110.0, "aaa", []),
+            _record(120.0, "aaa", []),
+        ]
+        report = analyze_ledger(records, by="time", window_seconds=100.0)
+        assert report.by == "time"
+        assert len(report.windows) == 2
+        assert len(report.drifts) == 1
+        assert report.drifts[0].direction == "recovered"
+
+    def test_empty_ledger_renders_empty_report(self):
+        report = analyze_ledger([])
+        assert report.windows == ()
+        assert report.clusters == ()
+        assert report.drifts == ()
+        assert report.evolution == ()

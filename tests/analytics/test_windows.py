@@ -1,0 +1,256 @@
+"""Tests for ledger windowing and cluster evolution.
+
+The load-bearing guarantee mirrors the clustering's: window boundaries
+and evolution events are functions of the record *set*, never of the
+order the ledger lines happened to be concatenated in.
+"""
+
+import random
+
+import pytest
+
+from repro.analytics.windows import (
+    Window,
+    cluster_evolution,
+    cluster_windows,
+    commit_windows,
+    partition_ledger,
+    record_commit,
+    time_windows,
+)
+
+
+def _record(
+    ts: float, commit: str | None, keys: list[str] | None = None
+) -> dict:
+    record = {
+        "schema_version": 1,
+        "kind": "crosstest",
+        "ts": ts,
+        "run": {},
+        "results": {"fingerprints": keys or []},
+        "env": {},
+    }
+    if commit is not None:
+        record["env"]["git"] = {"commit": commit}
+    return record
+
+
+class TestRecordCommit:
+    def test_reads_the_env_commit(self):
+        assert record_commit(_record(1.0, "abc1234")) == "abc1234"
+
+    def test_missing_commit_is_none(self):
+        assert record_commit(_record(1.0, None)) is None
+        assert record_commit({"env": {"git": "not a dict"}}) is None
+        assert record_commit({}) is None
+
+
+class TestCommitWindows:
+    def test_partitions_by_commit_in_first_seen_order(self):
+        records = [
+            _record(1.0, "aaa"),
+            _record(2.0, "aaa"),
+            _record(3.0, "bbb"),
+            _record(4.0, "bbb"),
+            _record(5.0, "ccc"),
+        ]
+        windows = commit_windows(records)
+        assert [window.label for window in windows] == ["aaa", "bbb", "ccc"]
+        assert [len(window.records) for window in windows] == [2, 2, 1]
+        assert [window.index for window in windows] == [0, 1, 2]
+
+    def test_order_is_by_timestamp_not_line_order(self):
+        records = [
+            _record(5.0, "newer"),
+            _record(1.0, "older"),
+        ]
+        windows = commit_windows(records)
+        assert [window.label for window in windows] == ["older", "newer"]
+
+    def test_shuffle_invariance(self):
+        records = [
+            _record(float(i), "aaa" if i < 3 else "bbb", [f"fp:{i % 2}"])
+            for i in range(6)
+        ]
+        baseline = commit_windows(records)
+        shuffled = list(records)
+        random.Random(7).shuffle(shuffled)
+        assert commit_windows(shuffled) == baseline
+
+    def test_commitless_records_share_the_unknown_window(self):
+        records = [_record(1.0, None), _record(2.0, None), _record(3.0, "aaa")]
+        windows = commit_windows(records)
+        assert [window.label for window in windows] == ["unknown", "aaa"]
+        assert len(windows[0].records) == 2
+
+    def test_empty_ledger_has_no_windows(self):
+        assert commit_windows([]) == []
+
+
+class TestTimeWindows:
+    def test_buckets_align_to_width(self):
+        records = [
+            _record(10.0, None),
+            _record(95.0, None),
+            _record(105.0, None),
+        ]
+        windows = time_windows(records, width_seconds=100.0)
+        assert len(windows) == 2
+        assert len(windows[0].records) == 2  # ts 10 and 95
+        assert len(windows[1].records) == 1  # ts 105
+
+    def test_gap_buckets_are_not_emitted(self):
+        records = [_record(10.0, None), _record(1000.0, None)]
+        windows = time_windows(records, width_seconds=100.0)
+        assert len(windows) == 2
+        assert [window.index for window in windows] == [0, 1]
+
+    def test_labels_are_utc_bucket_starts(self):
+        windows = time_windows([_record(86400.0, None)], width_seconds=86400.0)
+        assert windows[0].label == "1970-01-02T00:00:00Z"
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            time_windows([_record(1.0, None)], width_seconds=0.0)
+
+
+class TestPartitionLedger:
+    def test_dispatches_both_axes(self):
+        records = [_record(1.0, "aaa")]
+        assert partition_ledger(records, by="commit")[0].kind == "commit"
+        assert partition_ledger(records, by="time")[0].kind == "time"
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown window axis"):
+            partition_ledger([], by="phase-of-moon")
+
+
+class TestWindowItems:
+    def test_item_rate_counts_member_hits(self):
+        window = Window(
+            label="aaa",
+            kind="commit",
+            index=0,
+            records=tuple(
+                [
+                    _record(1.0, "aaa", ["k1"]),
+                    _record(2.0, "aaa", ["k2"]),
+                    _record(3.0, "aaa", []),
+                    _record(4.0, "aaa", ["k1", "k2"]),
+                ]
+            ),
+        )
+        assert window.item_rate(("fp:k1",)) == pytest.approx(0.5)
+        # any-member semantics: a run counts once however many fire
+        assert window.item_rate(("fp:k1", "fp:k2")) == pytest.approx(0.75)
+        assert window.item_rate(("fp:absent",)) == 0.0
+
+    def test_empty_window_rate_is_zero(self):
+        window = Window(label="x", kind="commit", index=0, records=())
+        assert window.item_rate(("fp:k1",)) == 0.0
+
+
+class TestClusterEvolution:
+    def _windows(self, *window_keys: list[list[str]]) -> list[Window]:
+        windows = []
+        ts = 0.0
+        for index, runs in enumerate(window_keys):
+            records = []
+            for keys in runs:
+                records.append(_record(ts, f"commit{index}", keys))
+                ts += 1.0
+            windows.append(
+                Window(
+                    label=f"commit{index}",
+                    kind="commit",
+                    index=index,
+                    records=tuple(records),
+                )
+            )
+        return windows
+
+    def test_birth_requires_members_unseen_before(self):
+        windows = self._windows(
+            [["old"], ["old"]],
+            [["old"], ["fresh"], ["fresh"]],
+        )
+        events = cluster_evolution(windows)
+        births = [event for event in events if event.kind == "birth"]
+        assert [event.cluster for event in births] == [("fp:fresh",)]
+
+    def test_no_birth_when_member_was_loose_before(self):
+        # "fresh" failed once in the before window without clustering
+        # into anything there — that is not a new failure mode
+        windows = self._windows(
+            [["old"], ["old"], ["fresh"]],
+            [["fresh"], ["fresh"]],
+        )
+        events = cluster_evolution(windows)
+        assert not any(event.kind == "birth" for event in events)
+
+    def test_death_requires_members_gone_after(self):
+        windows = self._windows(
+            [["doomed"], ["doomed"]],
+            [["other"], ["other"]],
+        )
+        events = cluster_evolution(windows)
+        deaths = [event for event in events if event.kind == "death"]
+        assert [event.cluster for event in deaths] == [("fp:doomed",)]
+        births = [event for event in events if event.kind == "birth"]
+        assert [event.cluster for event in births] == [("fp:other",)]
+
+    def test_merge_lists_the_fused_parents(self):
+        # before: a and b fail in disjoint runs (two clusters);
+        # after: always together (one cluster)
+        windows = self._windows(
+            [["a"], ["a"], ["b"], ["b"]],
+            [["a", "b"], ["a", "b"]],
+        )
+        events = cluster_evolution(windows)
+        merges = [event for event in events if event.kind == "merge"]
+        assert len(merges) == 1
+        assert merges[0].cluster == ("fp:a", "fp:b")
+        assert merges[0].related == (("fp:a",), ("fp:b",))
+
+    def test_split_lists_the_fragments(self):
+        windows = self._windows(
+            [["a", "b"], ["a", "b"]],
+            [["a"], ["a"], ["b"], ["b"]],
+        )
+        events = cluster_evolution(windows)
+        splits = [event for event in events if event.kind == "split"]
+        assert len(splits) == 1
+        assert splits[0].cluster == ("fp:a", "fp:b")
+        assert splits[0].related == (("fp:a",), ("fp:b",))
+
+    def test_boundary_labels_and_ordering(self):
+        windows = self._windows(
+            [["a"]],
+            [["a"], ["b"], ["b"]],
+            [["a"]],
+        )
+        events = cluster_evolution(windows)
+        assert [event.boundary for event in events] == [
+            ("commit0", "commit1"),
+            ("commit1", "commit2"),
+        ]
+        assert [event.kind for event in events] == ["birth", "death"]
+
+    def test_shuffle_invariance_of_events(self):
+        records = []
+        for i in range(8):
+            commit = "aaa" if i < 4 else "bbb"
+            keys = ["x"] if i % 2 == 0 else ["y"]
+            records.append(_record(float(i), commit, keys))
+        baseline = cluster_evolution(commit_windows(records))
+        shuffled = list(records)
+        random.Random(3).shuffle(shuffled)
+        assert cluster_evolution(commit_windows(shuffled)) == baseline
+
+    def test_per_window_clustering_shapes(self):
+        windows = self._windows([["a"]], [["b"]])
+        per_window = cluster_windows(windows)
+        assert len(per_window) == 2
+        assert per_window[0][0].members == ("fp:a",)
+        assert per_window[1][0].members == ("fp:b",)

@@ -234,11 +234,146 @@ class TestTornTail:
         with pytest.raises(LedgerError, match=r"ledger\.jsonl:1"):
             read_ledger(str(path), tolerate_truncated_tail=True)
 
+    def test_with_tail_raises_on_mid_file_corruption(self, tmp_path):
+        # read_ledger_with_tail itself must distinguish the two: a bad
+        # line followed by a good one is corruption, not a torn append
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n{"ok": 2}\n')
+        with pytest.raises(LedgerError, match=r"ledger\.jsonl:2"):
+            read_ledger_with_tail(str(path))
+
+    def test_two_bad_trailing_lines_are_corruption(self, tmp_path):
+        # a hard kill tears at most ONE line; two unparseable trailing
+        # lines cannot be an append in flight
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"ok": 1}\n{"torn": tru\n{"also": tor')
+        with pytest.raises(LedgerError, match=r"ledger\.jsonl:2"):
+            read_ledger_with_tail(str(path))
+
+    def test_torn_sole_line_tolerated(self, tmp_path):
+        # a writer killed during its very first append: empty prefix
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"torn": tru')
+        records, truncated = read_ledger_with_tail(str(path))
+        assert records == []
+        assert truncated is not None and truncated[0] == 1
+
+    def test_tail_report_carries_the_parse_reason(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"ok": 1}\n{"torn": tru')
+        _, truncated = read_ledger_with_tail(str(path))
+        assert truncated is not None
+        lineno, reason = truncated
+        assert lineno == 2
+        assert reason  # a human can see *why* the line failed to parse
+
     def test_missing_file_is_clean(self, tmp_path):
         assert read_ledger_with_tail(str(tmp_path / "absent.jsonl")) == (
             [],
             None,
         )
+
+
+class TestMetadataCaching:
+    """Ledger appends must not pay a git fork / bench-file read each
+    time: both probes run once per process (PR 10 satellite), and the
+    bench snapshot resolves against the repo root or REPRO_BENCH_JSON,
+    never the cwd."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        from repro.obs.ledger import _clear_metadata_cache
+
+        _clear_metadata_cache()
+        yield
+        _clear_metadata_cache()
+
+    def test_git_probe_runs_once_per_process(self, monkeypatch):
+        from repro.obs import ledger as ledger_mod
+
+        calls = []
+
+        class FakeProc:
+            returncode = 0
+            stdout = "abc1234\n"
+
+        def fake_run(*args, **kwargs):
+            calls.append(args)
+            return FakeProc()
+
+        monkeypatch.setattr(ledger_mod.subprocess, "run", fake_run)
+        assert ledger_mod._git_metadata() == {"commit": "abc1234"}
+        assert ledger_mod._git_metadata() == {"commit": "abc1234"}
+        run_env(jobs=1)
+        assert len(calls) == 1
+
+    def test_failed_git_probe_is_cached_too(self, monkeypatch):
+        from repro.obs import ledger as ledger_mod
+
+        calls = []
+
+        def fake_run(*args, **kwargs):
+            calls.append(args)
+            raise OSError("no git on this host")
+
+        monkeypatch.setattr(ledger_mod.subprocess, "run", fake_run)
+        assert ledger_mod._git_metadata() is None
+        assert ledger_mod._git_metadata() is None
+        assert len(calls) == 1
+
+    def test_bench_env_var_overrides_path(self, tmp_path, monkeypatch):
+        from repro.obs import ledger as ledger_mod
+
+        bench = tmp_path / "elsewhere.json"
+        bench.write_text(json.dumps({"jobs1": {"trials_per_s": 12345.0}}))
+        monkeypatch.setenv("REPRO_BENCH_JSON", str(bench))
+        assert ledger_mod._bench_metadata() == {
+            "jobs1_trials_per_s": 12345.0
+        }
+
+    def test_bench_default_resolves_repo_root_not_cwd(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        from repro.obs import ledger as ledger_mod
+
+        monkeypatch.delenv("REPRO_BENCH_JSON", raising=False)
+        # a decoy in the cwd must NOT be picked up
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "BENCH_crosstest.json").write_text(
+            json.dumps({"jobs1": {"trials_per_s": 1.0}})
+        )
+        path = ledger_mod._bench_json_path()
+        assert os.path.isabs(path)
+        assert path != str(tmp_path / "BENCH_crosstest.json")
+        # repo root = the directory holding src/repro
+        root = os.path.dirname(
+            os.path.dirname(
+                os.path.dirname(os.path.dirname(ledger_mod.__file__))
+            )
+        )
+        assert path == os.path.join(root, "BENCH_crosstest.json")
+
+    def test_bench_cache_is_keyed_by_resolved_path(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs import ledger as ledger_mod
+
+        first = tmp_path / "a.json"
+        first.write_text(json.dumps({"jobs1": {"trials_per_s": 1.0}}))
+        second = tmp_path / "b.json"
+        second.write_text(json.dumps({"jobs1": {"trials_per_s": 2.0}}))
+        monkeypatch.setenv("REPRO_BENCH_JSON", str(first))
+        assert ledger_mod._bench_metadata() == {"jobs1_trials_per_s": 1.0}
+        # pointing the env var elsewhere between appends re-resolves
+        # rather than serving the stale cache entry
+        monkeypatch.setenv("REPRO_BENCH_JSON", str(second))
+        assert ledger_mod._bench_metadata() == {"jobs1_trials_per_s": 2.0}
+        # ...and the first entry is still cached, not re-read
+        first.unlink()
+        monkeypatch.setenv("REPRO_BENCH_JSON", str(first))
+        assert ledger_mod._bench_metadata() == {"jobs1_trials_per_s": 1.0}
 
 
 class TestCampaignRecord:

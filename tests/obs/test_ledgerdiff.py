@@ -1,0 +1,162 @@
+"""Tests for canonical ledger comparison (``repro.obs.ledgerdiff``).
+
+The campaign-smoke CI job trusts ``ledgerdiff`` to say "these two runs
+are the same campaign" across kill/resume and jobs/pool settings — so
+the volatile ``env`` section (git commit, jobs, pool, wall clock) and
+``ts`` must never produce a difference, while any drift in the
+deterministic core must.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import LedgerError
+from repro.obs.ledgerdiff import compare_ledgers, main
+
+
+def _record(
+    *,
+    ts: float = 1.0,
+    commit: str = "abc1234",
+    jobs: int = 1,
+    pool: str = "thread",
+    fingerprints: tuple[str, ...] = ("a|x",),
+    trials: int = 10,
+) -> dict:
+    return {
+        "schema_version": 1,
+        "kind": "campaign",
+        "ts": ts,
+        "run": {"seed": 11, "batch": 16, "batch_index": 0},
+        "results": {
+            "trials": trials,
+            "fingerprints": list(fingerprints),
+        },
+        "env": {
+            "jobs": jobs,
+            "pool": pool,
+            "wall_s": ts / 7.0,
+            "git": {"commit": commit},
+        },
+    }
+
+
+def _write(path, records) -> str:
+    path.write_text(
+        "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+    )
+    return str(path)
+
+
+class TestVolatileDrift:
+    """Records whose volatile sections drifted between runs — a resume
+    hours later on another commit, at another jobs/pool setting — must
+    still compare as the same campaign."""
+
+    def test_env_and_ts_drift_is_not_a_difference(self, tmp_path):
+        left = _write(
+            tmp_path / "a.jsonl",
+            [_record(ts=1.0, commit="abc1234", jobs=2, pool="thread")],
+        )
+        right = _write(
+            tmp_path / "b.jsonl",
+            [_record(ts=9999.0, commit="def5678", jobs=4, pool="process")],
+        )
+        differences, notes = compare_ledgers(left, right)
+        assert differences == []
+        assert notes == []
+
+    def test_commit_drift_across_many_records(self, tmp_path):
+        # a multi-batch campaign straddling a commit boundary mid-run
+        left = _write(
+            tmp_path / "a.jsonl",
+            [_record(ts=float(i), commit="abc1234") for i in range(4)],
+        )
+        right = _write(
+            tmp_path / "b.jsonl",
+            [
+                _record(
+                    ts=float(i) + 100.0,
+                    commit="abc1234" if i < 2 else "def5678",
+                )
+                for i in range(4)
+            ],
+        )
+        differences, _ = compare_ledgers(left, right)
+        assert differences == []
+
+    def test_main_exits_zero_on_volatile_drift(self, tmp_path, capsys):
+        left = _write(tmp_path / "a.jsonl", [_record(jobs=1)])
+        right = _write(tmp_path / "b.jsonl", [_record(jobs=8, ts=2.0)])
+        assert main([left, right]) == 0
+        assert "canonical match" in capsys.readouterr().out
+
+
+class TestCanonicalDivergence:
+    def test_core_drift_is_reported(self, tmp_path):
+        left = _write(tmp_path / "a.jsonl", [_record(trials=10)])
+        right = _write(tmp_path / "b.jsonl", [_record(trials=11)])
+        differences, _ = compare_ledgers(left, right)
+        assert len(differences) == 1
+        assert "record 0 differs canonically" in differences[0]
+
+    def test_fingerprint_drift_is_reported(self, tmp_path):
+        left = _write(
+            tmp_path / "a.jsonl", [_record(fingerprints=("a|x",))]
+        )
+        right = _write(
+            tmp_path / "b.jsonl", [_record(fingerprints=("a|x", "b|y"))]
+        )
+        differences, _ = compare_ledgers(left, right)
+        assert differences
+
+    def test_count_mismatch_is_reported(self, tmp_path):
+        left = _write(tmp_path / "a.jsonl", [_record(), _record(ts=2.0)])
+        right = _write(tmp_path / "b.jsonl", [_record()])
+        differences, _ = compare_ledgers(left, right)
+        assert any("record count differs" in line for line in differences)
+
+    def test_main_exits_one_on_divergence(self, tmp_path):
+        left = _write(tmp_path / "a.jsonl", [_record(trials=10)])
+        right = _write(tmp_path / "b.jsonl", [_record(trials=11)])
+        assert main([left, right]) == 1
+
+    def test_first_divergence_only(self, tmp_path):
+        # every later record also differs; only the first is actionable
+        left = _write(
+            tmp_path / "a.jsonl",
+            [_record(ts=float(i), trials=10) for i in range(3)],
+        )
+        right = _write(
+            tmp_path / "b.jsonl",
+            [_record(ts=float(i), trials=99) for i in range(3)],
+        )
+        differences, _ = compare_ledgers(left, right)
+        assert len(differences) == 1
+
+
+class TestTailsAndErrors:
+    def test_torn_tail_tolerated_but_noted(self, tmp_path):
+        left = _write(tmp_path / "a.jsonl", [_record()])
+        right = tmp_path / "b.jsonl"
+        right.write_text(
+            json.dumps(_record(ts=5.0), sort_keys=True) + '\n{"torn": tru'
+        )
+        differences, notes = compare_ledgers(left, str(right))
+        assert differences == []
+        assert len(notes) == 1
+        assert "torn trailing line tolerated" in notes[0]
+
+    def test_mid_file_corruption_is_an_error(self, tmp_path):
+        left = _write(tmp_path / "a.jsonl", [_record()])
+        right = tmp_path / "b.jsonl"
+        right.write_text('not json\n{"ok": 1}\n')
+        with pytest.raises(LedgerError):
+            compare_ledgers(left, str(right))
+
+    def test_main_exits_two_on_unreadable_input(self, tmp_path):
+        left = _write(tmp_path / "a.jsonl", [_record()])
+        right = tmp_path / "b.jsonl"
+        right.write_text('not json\n{"ok": 1}\n')
+        assert main([left, str(right)]) == 2
